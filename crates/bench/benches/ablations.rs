@@ -1,0 +1,91 @@
+//! Ablations A–D: what each search mechanism contributes to optimization
+//! time (the answer is never plan quality — those configurations stay
+//! exhaustive, which the invariant tests assert separately).
+//!
+//! * A — branch-and-bound pruning (§3: cost limits passed down)
+//! * B — failure memoization (§3: "interesting" facts include failures)
+//! * C — goal-directed physical properties (measured via a sorted goal,
+//!   which exercises the property-driven machinery end to end)
+//! * D — promise ordering of moves
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use volcano_bench::{generate_query, WorkloadConfig};
+use volcano_core::{PhysicalProps, SearchOptions};
+use volcano_rel::{JoinSpace, RelModel, RelModelOptions, RelOptimizer, RelProps};
+
+fn optimize(query: &volcano_bench::GeneratedQuery, opts: SearchOptions, sorted_goal: bool) {
+    optimize_in_space(query, opts, sorted_goal, JoinSpace::Bushy)
+}
+
+fn optimize_in_space(
+    query: &volcano_bench::GeneratedQuery,
+    opts: SearchOptions,
+    sorted_goal: bool,
+    space: JoinSpace,
+) {
+    let model = RelModel::new(
+        query.catalog.clone(),
+        RelModelOptions {
+            join_space: space,
+            ..RelModelOptions::paper_fig4()
+        },
+    );
+    let mut opt = RelOptimizer::new(&model, opts);
+    let root = opt.insert_tree(&query.expr);
+    let goal = if sorted_goal {
+        let attr = opt.memo().logical_props(opt.memo().repr(root)).cols[0].attr;
+        RelProps::sorted(vec![attr])
+    } else {
+        RelProps::any()
+    };
+    let _ = opt.find_best_plan(root, goal, None).unwrap();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let n = 6;
+    let query = generate_query(&WorkloadConfig::relations(n), 4242);
+
+    group.bench_function(BenchmarkId::new("all_mechanisms", n), |b| {
+        b.iter(|| optimize(&query, SearchOptions::default(), false))
+    });
+
+    let no_prune = SearchOptions {
+        pruning: false,
+        ..SearchOptions::default()
+    };
+    group.bench_function(BenchmarkId::new("A_no_pruning", n), |b| {
+        b.iter(|| optimize(&query, no_prune.clone(), false))
+    });
+
+    let no_fail = SearchOptions {
+        failure_memo: false,
+        ..SearchOptions::default()
+    };
+    group.bench_function(BenchmarkId::new("B_no_failure_memo", n), |b| {
+        b.iter(|| optimize(&query, no_fail.clone(), false))
+    });
+
+    group.bench_function(BenchmarkId::new("C_sorted_goal", n), |b| {
+        b.iter(|| optimize(&query, SearchOptions::default(), true))
+    });
+
+    let no_promise = SearchOptions {
+        promise_ordering: false,
+        ..SearchOptions::default()
+    };
+    group.bench_function(BenchmarkId::new("D_no_promise_order", n), |b| {
+        b.iter(|| optimize(&query, no_promise.clone(), false))
+    });
+
+    // F: the Starburst search-space parameter (§5): left-deep trees only.
+    group.bench_function(BenchmarkId::new("F_left_deep_space", n), |b| {
+        b.iter(|| optimize_in_space(&query, SearchOptions::default(), false, JoinSpace::LeftDeep))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion micro-benchmarks behind Figure 4's optimization-time
+//! series: Volcano vs. the EXODUS baseline at increasing query
+//! complexity. (The full 50-queries-per-level table is produced by the
+//! `fig4` binary; this bench tracks per-query latency precisely.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use volcano_bench::{generate_query, run_exodus, run_volcano, WorkloadConfig};
+use volcano_core::SearchOptions;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_opt_time");
+    group.sample_size(10);
+    for n in [2usize, 4, 6, 8] {
+        let query = generate_query(&WorkloadConfig::relations(n), 42 + n as u64);
+        group.bench_with_input(BenchmarkId::new("volcano", n), &query, |b, q| {
+            b.iter(|| run_volcano(q, SearchOptions::default()))
+        });
+        if n <= 6 {
+            // EXODUS at n=8 takes seconds per query; keep the bench fast.
+            group.bench_with_input(BenchmarkId::new("exodus", n), &query, |b, q| {
+                b.iter(|| run_exodus(q, 256 << 20))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Regenerate Figure 4 of the paper: *Exhaustive Optimization
+//! Performance* — average optimization time and average estimated
+//! execution time per query, for select–join queries over 2–8 input
+//! relations, EXODUS baseline vs. Volcano optimizer generator.
+//!
+//! Usage:
+//!   cargo run -p volcano-bench --release --bin fig4 [-- --queries N] [--max-rel M] [--csv PATH]
+//!
+//! Defaults match the paper: 50 queries per complexity level, 2–8 input
+//! relations. Output: one table row per complexity level plus a CSV.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use volcano_bench::{generate_query, run_exodus, run_volcano, WorkloadConfig};
+use volcano_core::SearchOptions;
+
+struct Args {
+    queries: usize,
+    max_rel: usize,
+    csv: Option<String>,
+    exodus_budget: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        queries: 50,
+        max_rel: 8,
+        csv: Some("fig4.csv".to_string()),
+        exodus_budget: 16 << 20,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--queries" => args.queries = it.next().expect("--queries N").parse().expect("number"),
+            "--max-rel" => args.max_rel = it.next().expect("--max-rel M").parse().expect("number"),
+            "--csv" => args.csv = Some(it.next().expect("--csv PATH")),
+            "--no-csv" => args.csv = None,
+            "--exodus-budget-mb" => {
+                args.exodus_budget = it
+                    .next()
+                    .expect("--exodus-budget-mb N")
+                    .parse::<usize>()
+                    .expect("number")
+                    << 20
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn main() {
+    let args = parse_args();
+    let started = Instant::now();
+    let mut csv = String::from(
+        "relations,queries,volcano_opt_s,exodus_opt_s,volcano_exec_ms,exodus_exec_ms,\
+         volcano_memo_kb,exodus_mesh_kb,exodus_aborts,time_ratio,exec_ratio\n",
+    );
+
+    println!("Figure 4 reproduction: exhaustive optimization performance");
+    println!(
+        "{} queries per complexity level, relations of 1,200-7,200 x 100-byte records,",
+        args.queries
+    );
+    println!("one selection per relation, bushy plans, exhaustive search.\n");
+    println!(
+        "{:>4} | {:>12} {:>12} {:>7} | {:>12} {:>12} {:>7} | {:>9} {:>9} {:>7}",
+        "rels",
+        "volcano opt",
+        "exodus opt",
+        "ratio",
+        "volcano exec",
+        "exodus exec",
+        "ratio",
+        "memo KB",
+        "mesh KB",
+        "aborts"
+    );
+
+    for n in 2..=args.max_rel {
+        let mut v_opt = Vec::new();
+        let mut e_opt = Vec::new();
+        let mut v_exec = Vec::new();
+        let mut e_exec = Vec::new();
+        let mut v_mem = Vec::new();
+        let mut e_mem = Vec::new();
+        let mut aborts = 0usize;
+
+        for q in 0..args.queries {
+            let seed = (n as u64) * 10_000 + q as u64;
+            let query = generate_query(&WorkloadConfig::relations(n), seed);
+            let v = run_volcano(&query, SearchOptions::default());
+            let e = run_exodus(&query, args.exodus_budget);
+            v_opt.push(v.opt_seconds);
+            v_mem.push(v.memo_bytes as f64);
+            e_mem.push(e.mesh_bytes as f64);
+            e_opt.push(e.opt_seconds);
+            match e.est_exec_ms {
+                Some(ec) => {
+                    // Plan quality compared only on queries both complete,
+                    // as in the paper.
+                    v_exec.push(v.est_exec_ms);
+                    e_exec.push(ec);
+                }
+                None => aborts += 1,
+            }
+        }
+
+        let vo = mean(&v_opt);
+        let eo = mean(&e_opt);
+        let ve = geomean(&v_exec);
+        let ee = geomean(&e_exec);
+        let vm = mean(&v_mem) / 1024.0;
+        let em = mean(&e_mem) / 1024.0;
+        println!(
+            "{:>4} | {:>10.4}s {:>10.4}s {:>6.1}x | {:>10.1}ms {:>10.1}ms {:>6.2}x | {:>9.0} {:>9.0} {:>7}",
+            n,
+            vo,
+            eo,
+            eo / vo,
+            ve,
+            ee,
+            ee / ve,
+            vm,
+            em,
+            aborts
+        );
+        let _ = writeln!(
+            csv,
+            "{n},{},{vo},{eo},{ve},{ee},{vm},{em},{aborts},{},{}",
+            args.queries,
+            eo / vo,
+            ee / ve
+        );
+    }
+
+    if let Some(path) = &args.csv {
+        std::fs::write(path, csv).expect("write csv");
+        println!("\nCSV written to {path}");
+    }
+    println!(
+        "total harness time: {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,198 @@
+//! The abstract data type "cost" (§2.2, §4.1).
+//!
+//! > *"Cost is an abstract data type for the optimizer generator;
+//! > therefore, the optimizer implementor can choose cost to be a number
+//! > (e.g., estimated elapsed time), a record (e.g., estimated CPU time
+//! > and I/O count), or any other type. Cost arithmetic and comparisons
+//! > are performed by invoking functions associated with the abstract
+//! > data type 'cost'."*
+//!
+//! The search engine only ever manipulates costs through the [`Cost`]
+//! trait: addition (accumulating input costs against a limit),
+//! subtraction (deriving the remaining budget for branch-and-bound, and
+//! subtracting an enforcer's cost from the bound, §6), and comparison.
+//! `f64` implements `Cost` for simple elapsed-time models; richer models
+//! (CPU + I/O records, memory-dependent functions) implement it in the
+//! model-specification crates.
+
+use std::fmt::Debug;
+
+/// Abstract cost supplied by the optimizer implementor.
+///
+/// Implementations must form a totally ordered monoid under [`Cost::add`]
+/// with identity [`Cost::zero`]: `add` must be commutative and monotone
+/// (adding a cost never makes the total cheaper). The search engine relies
+/// on monotonicity for the correctness of branch-and-bound pruning.
+pub trait Cost: Clone + Debug {
+    /// The identity cost (a free operation).
+    fn zero() -> Self;
+
+    /// Accumulate another cost into this one.
+    fn add(&self, other: &Self) -> Self;
+
+    /// Budget remaining after spending `other`: `self - other`, saturating
+    /// at [`Cost::zero`]. Used to pass tightened limits into input
+    /// optimizations and to subtract enforcer costs from the bound.
+    fn sub_saturating(&self, other: &Self) -> Self;
+
+    /// Strict comparison: is `self` strictly cheaper than `other`?
+    fn cheaper_than(&self, other: &Self) -> bool;
+
+    /// Non-strict comparison, derived from [`Cost::cheaper_than`].
+    fn cheaper_or_equal(&self, other: &Self) -> bool {
+        !other.cheaper_than(self)
+    }
+}
+
+impl Cost for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+
+    fn sub_saturating(&self, other: &Self) -> Self {
+        // `inf - inf` must stay an unlimited budget, not NaN.
+        if self.is_infinite() && other.is_infinite() {
+            f64::INFINITY
+        } else {
+            (self - other).max(0.0)
+        }
+    }
+
+    fn cheaper_than(&self, other: &Self) -> bool {
+        self < other
+    }
+}
+
+/// A cost limit for branch-and-bound pruning.
+///
+/// `None` is the unlimited budget (the paper's "typically infinity for a
+/// user query"); `Some(c)` means only plans with cost `<= c` are
+/// acceptable. Modelling the unlimited budget explicitly rather than with
+/// a sentinel keeps the `Cost` ADT free of an `infinite()` requirement
+/// that some cost types (records, closures over memory size) cannot
+/// represent faithfully.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Limit<C>(pub Option<C>);
+
+impl<C: Cost> Limit<C> {
+    /// The unlimited budget.
+    pub fn unlimited() -> Self {
+        Limit(None)
+    }
+
+    /// A finite budget.
+    pub fn at_most(c: C) -> Self {
+        Limit(Some(c))
+    }
+
+    /// Is there no bound at all?
+    pub fn is_unlimited(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Does a plan of cost `c` fit within this limit?
+    pub fn admits(&self, c: &C) -> bool {
+        match &self.0 {
+            None => true,
+            Some(l) => c.cheaper_or_equal(l),
+        }
+    }
+
+    /// Budget remaining after spending `c` (saturating at zero).
+    pub fn spend(&self, c: &C) -> Self {
+        match &self.0 {
+            None => Limit(None),
+            Some(l) => Limit(Some(l.sub_saturating(c))),
+        }
+    }
+
+    /// Tighten this limit so it admits nothing more expensive than `c`.
+    /// Used when a complete plan of cost `c` is already known: "no other
+    /// plan or partial plan with higher cost can be part of the optimal
+    /// query evaluation plan" (§3).
+    pub fn tighten(&self, c: &C) -> Self {
+        match &self.0 {
+            None => Limit(Some(c.clone())),
+            Some(l) => {
+                if c.cheaper_than(l) {
+                    Limit(Some(c.clone()))
+                } else {
+                    self.clone()
+                }
+            }
+        }
+    }
+
+    /// Is this limit at least as permissive as `other`? Used by the
+    /// failure memo: a recorded failure at limit `L` proves failure for
+    /// every request whose limit is *not more permissive* than `L`.
+    pub fn at_least_as_permissive_as(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(a), Some(b)) => b.cheaper_or_equal(a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_cost_monoid() {
+        let a = 2.0f64;
+        let b = 3.0f64;
+        assert_eq!(a.add(&b), 5.0);
+        assert_eq!(f64::zero().add(&a), a);
+        assert!(a.cheaper_than(&b));
+        assert!(a.cheaper_or_equal(&a));
+        assert!(!b.cheaper_or_equal(&a));
+    }
+
+    #[test]
+    fn f64_sub_saturates() {
+        assert_eq!(2.0f64.sub_saturating(&5.0), 0.0);
+        assert_eq!(5.0f64.sub_saturating(&2.0), 3.0);
+        let inf = f64::INFINITY;
+        assert_eq!(inf.sub_saturating(&inf), inf);
+        assert_eq!(inf.sub_saturating(&3.0), inf);
+    }
+
+    #[test]
+    fn limit_admits_and_spends() {
+        let l = Limit::at_most(10.0f64);
+        assert!(l.admits(&10.0));
+        assert!(l.admits(&0.0));
+        assert!(!l.admits(&10.1));
+        assert!(Limit::<f64>::unlimited().admits(&1e300));
+
+        let rest = l.spend(&4.0);
+        assert_eq!(rest, Limit::at_most(6.0));
+        assert_eq!(Limit::<f64>::unlimited().spend(&4.0), Limit::unlimited());
+    }
+
+    #[test]
+    fn limit_tighten_takes_min() {
+        let l = Limit::at_most(10.0f64);
+        assert_eq!(l.tighten(&3.0), Limit::at_most(3.0));
+        assert_eq!(l.tighten(&30.0), Limit::at_most(10.0));
+        assert_eq!(Limit::<f64>::unlimited().tighten(&3.0), Limit::at_most(3.0));
+    }
+
+    #[test]
+    fn limit_permissiveness_order() {
+        let small = Limit::at_most(1.0f64);
+        let big = Limit::at_most(9.0f64);
+        let unlim = Limit::<f64>::unlimited();
+        assert!(big.at_least_as_permissive_as(&small));
+        assert!(!small.at_least_as_permissive_as(&big));
+        assert!(unlim.at_least_as_permissive_as(&big));
+        assert!(!big.at_least_as_permissive_as(&unlim));
+        assert!(big.at_least_as_permissive_as(&big));
+    }
+}

@@ -1,0 +1,181 @@
+//! Logical algebra expression trees.
+//!
+//! [`ExprTree`] is the optimizer's *input*: "user queries to be optimized
+//! by a generated optimizer are specified as an algebra expression (tree)
+//! of logical operators" (§2.2). [`SubstExpr`] is what a transformation
+//! rule *produces*: a tree whose leaves may refer back to equivalence
+//! classes bound by the rule's pattern.
+
+use crate::ids::GroupId;
+use crate::model::{Model, Operator};
+
+/// A standalone logical algebra expression (the parser's output).
+// Trait impls are written by hand throughout this crate because derives on
+// `Foo<M: Model>` would bound `M` itself instead of the associated types.
+pub struct ExprTree<M: Model> {
+    /// The operator at this node.
+    pub op: M::Op,
+    /// Input expressions, one per operator input.
+    pub inputs: Vec<ExprTree<M>>,
+}
+
+impl<M: Model> Clone for ExprTree<M> {
+    fn clone(&self) -> Self {
+        ExprTree {
+            op: self.op.clone(),
+            inputs: self.inputs.clone(),
+        }
+    }
+}
+
+impl<M: Model> std::fmt::Debug for ExprTree<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExprTree")
+            .field("op", &self.op)
+            .field("inputs", &self.inputs)
+            .finish()
+    }
+}
+
+impl<M: Model> PartialEq for ExprTree<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.op == other.op && self.inputs == other.inputs
+    }
+}
+
+impl<M: Model> Eq for ExprTree<M> {}
+
+impl<M: Model> ExprTree<M> {
+    /// Build an interior node; panics if the input count does not match
+    /// the operator's declared arity.
+    pub fn new(op: M::Op, inputs: Vec<ExprTree<M>>) -> Self {
+        assert_eq!(
+            op.arity(),
+            inputs.len(),
+            "operator {} declares arity {} but got {} inputs",
+            op.name(),
+            op.arity(),
+            inputs.len()
+        );
+        ExprTree { op, inputs }
+    }
+
+    /// Build a leaf (zero-input) node.
+    pub fn leaf(op: M::Op) -> Self {
+        Self::new(op, Vec::new())
+    }
+
+    /// Total number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        1 + self.inputs.iter().map(ExprTree::node_count).sum::<usize>()
+    }
+
+    /// Depth of the tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.inputs.iter().map(ExprTree::depth).max().unwrap_or(0)
+    }
+
+    /// Render as `op(child, child, ...)`.
+    pub fn display(&self) -> String {
+        if self.inputs.is_empty() {
+            self.op.name().to_string()
+        } else {
+            let args: Vec<String> = self.inputs.iter().map(ExprTree::display).collect();
+            format!("{}({})", self.op.name(), args.join(", "))
+        }
+    }
+}
+
+/// A substitute expression produced by a transformation rule.
+///
+/// Leaves are either operators of arity zero or references to equivalence
+/// classes the rule's pattern bound (`Group`). Referring to groups rather
+/// than concrete expressions is what lets a single rule application stand
+/// for the transformation of *every* member of the bound classes — the
+/// memo sharing at the heart of dynamic programming over algebras.
+pub enum SubstExpr<M: Model> {
+    /// Reference to an existing equivalence class.
+    Group(GroupId),
+    /// A new (or rediscovered) operator node.
+    Node {
+        /// The operator at this node.
+        op: M::Op,
+        /// Inputs, one per operator input.
+        inputs: Vec<SubstExpr<M>>,
+    },
+}
+
+impl<M: Model> Clone for SubstExpr<M> {
+    fn clone(&self) -> Self {
+        match self {
+            SubstExpr::Group(g) => SubstExpr::Group(*g),
+            SubstExpr::Node { op, inputs } => SubstExpr::Node {
+                op: op.clone(),
+                inputs: inputs.clone(),
+            },
+        }
+    }
+}
+
+impl<M: Model> std::fmt::Debug for SubstExpr<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubstExpr::Group(g) => write!(f, "Group({g:?})"),
+            SubstExpr::Node { op, inputs } => f
+                .debug_struct("Node")
+                .field("op", op)
+                .field("inputs", inputs)
+                .finish(),
+        }
+    }
+}
+
+impl<M: Model> SubstExpr<M> {
+    /// Build an interior node; panics on arity mismatch.
+    pub fn node(op: M::Op, inputs: Vec<SubstExpr<M>>) -> Self {
+        assert_eq!(
+            op.arity(),
+            inputs.len(),
+            "operator {} declares arity {} but got {} inputs",
+            op.name(),
+            op.arity(),
+            inputs.len()
+        );
+        SubstExpr::Node { op, inputs }
+    }
+
+    /// Build a group reference.
+    pub fn group(g: GroupId) -> Self {
+        SubstExpr::Group(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{ToyModel, ToyOp};
+
+    type Tree = ExprTree<ToyModel>;
+
+    fn join(l: Tree, r: Tree) -> Tree {
+        Tree::new(ToyOp::Join, vec![l, r])
+    }
+
+    fn get(name: &str) -> Tree {
+        Tree::leaf(ToyOp::Get(name.into()))
+    }
+
+    #[test]
+    fn tree_shape_metrics() {
+        let t = join(join(get("a"), get("b")), get("c"));
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.display(), "join(join(get, get), get)");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let _ = Tree::new(ToyOp::Join, vec![get("a")]);
+    }
+}

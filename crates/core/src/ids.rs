@@ -1,0 +1,98 @@
+//! Integer identifiers for memo entities.
+//!
+//! The EXODUS prototype already translated "all strings into integers,
+//! which ensured very fast pattern matching" (§4); we follow the same
+//! discipline: groups and expressions are dense `u32` indices into arenas,
+//! never pointers or strings.
+
+use std::fmt;
+
+/// Identifier of an equivalence class (group) in the [`crate::Memo`].
+///
+/// A `GroupId` may refer to a group that has since been merged into
+/// another; the memo resolves identifiers to their union-find
+/// representative on every access, so stale ids remain valid.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub(crate) u32);
+
+impl GroupId {
+    /// Raw index value (stable for the lifetime of the memo).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index. Intended for tests and serialization.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        GroupId(i as u32)
+    }
+}
+
+impl fmt::Debug for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// Identifier of a logical expression in the [`crate::Memo`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub(crate) u32);
+
+impl ExprId {
+    /// Raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index. Intended for tests and serialization.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ExprId(i as u32)
+    }
+}
+
+impl fmt::Debug for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+impl fmt::Display for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_id_roundtrip() {
+        let g = GroupId::from_index(42);
+        assert_eq!(g.index(), 42);
+        assert_eq!(format!("{g:?}"), "G42");
+        assert_eq!(format!("{g}"), "G42");
+    }
+
+    #[test]
+    fn expr_id_roundtrip() {
+        let e = ExprId::from_index(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(format!("{e:?}"), "E7");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(GroupId::from_index(1) < GroupId::from_index(2));
+        assert!(ExprId::from_index(0) < ExprId::from_index(1));
+    }
+}

@@ -1,0 +1,616 @@
+//! The memo: a hash table of expressions and equivalence classes (§3).
+//!
+//! > *"In order to prevent redundant optimization effort by detecting
+//! > redundant (i.e., multiple equivalent) derivations of the same logical
+//! > expressions and plans during optimization, expressions and plans are
+//! > captured in a hash table of expressions and equivalence classes. An
+//! > equivalence class represents two collections, one of equivalent
+//! > logical and one of physical expressions (plans)."*
+//!
+//! This module fixes the EXODUS "MESH" pathologies the paper documents
+//! (§4.1): logical and physical expressions are kept separately (a group's
+//! logical members are shared by *all* plans, instead of duplicating nodes
+//! per algorithm choice), physical properties key the winner table, and
+//! identifiers are dense integers.
+//!
+//! Equivalence classes that are discovered to be equal (a transformation
+//! produces an expression that already exists in a different class) are
+//! *merged* through a union–find structure; expression keys are then
+//! re-canonicalized, which can cascade into further merges.
+
+use std::collections::HashMap;
+use std::mem::size_of;
+
+use crate::cost::Limit;
+use crate::expr::{ExprTree, SubstExpr};
+use crate::ids::{ExprId, GroupId};
+use crate::model::Model;
+
+/// An optimization goal fragment: the property vectors a plan for some
+/// group must satisfy ("each optimization goal (and subgoal) is a pair of
+/// a logical expression and a physical property vector", §2.2, plus the
+/// excluding vector used below enforcers, §3).
+pub struct Goal<M: Model> {
+    /// Required physical properties.
+    pub required: M::PhysProps,
+    /// Excluding physical property vector (almost always
+    /// [`crate::PhysicalProps::any`], i.e. nothing excluded).
+    pub excluded: M::PhysProps,
+}
+
+impl<M: Model> Clone for Goal<M> {
+    fn clone(&self) -> Self {
+        Goal {
+            required: self.required.clone(),
+            excluded: self.excluded.clone(),
+        }
+    }
+}
+
+impl<M: Model> PartialEq for Goal<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.required == other.required && self.excluded == other.excluded
+    }
+}
+
+impl<M: Model> Eq for Goal<M> {}
+
+impl<M: Model> std::hash::Hash for Goal<M> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.required.hash(state);
+        self.excluded.hash(state);
+    }
+}
+
+impl<M: Model> std::fmt::Debug for Goal<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Goal")
+            .field("required", &self.required)
+            .field("excluded", &self.excluded)
+            .finish()
+    }
+}
+
+/// Reference to the sub-goal an optimal plan's input was optimized for.
+/// Plans are materialized from these references at extraction time, so the
+/// memo stores each best sub-plan exactly once.
+pub struct InputGoal<M: Model> {
+    /// The input equivalence class.
+    pub group: GroupId,
+    /// The goal it was optimized for.
+    pub goal: Goal<M>,
+}
+
+impl<M: Model> Clone for InputGoal<M> {
+    fn clone(&self) -> Self {
+        InputGoal {
+            group: self.group,
+            goal: self.goal.clone(),
+        }
+    }
+}
+
+impl<M: Model> std::fmt::Debug for InputGoal<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "InputGoal({:?}, {:?})", self.group, self.goal)
+    }
+}
+
+/// The best plan found for a goal.
+pub struct WinnerPlan<M: Model> {
+    /// Chosen algorithm or enforcer.
+    pub alg: M::Alg,
+    /// Physical properties the plan delivers (must satisfy the goal).
+    pub delivered: M::PhysProps,
+    /// Cost of this operator alone.
+    pub local_cost: M::Cost,
+    /// Cost including all inputs.
+    pub total_cost: M::Cost,
+    /// Input sub-goals, one per operator input.
+    pub inputs: Vec<InputGoal<M>>,
+    /// The logical expression implemented, if the operator is an
+    /// algorithm; `None` for enforcers, which implement the whole class.
+    pub expr: Option<ExprId>,
+}
+
+impl<M: Model> Clone for WinnerPlan<M> {
+    fn clone(&self) -> Self {
+        WinnerPlan {
+            alg: self.alg.clone(),
+            delivered: self.delivered.clone(),
+            local_cost: self.local_cost.clone(),
+            total_cost: self.total_cost.clone(),
+            inputs: self.inputs.clone(),
+            expr: self.expr,
+        }
+    }
+}
+
+impl<M: Model> std::fmt::Debug for WinnerPlan<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WinnerPlan")
+            .field("alg", &self.alg)
+            .field("delivered", &self.delivered)
+            .field("total_cost", &self.total_cost)
+            .field("inputs", &self.inputs)
+            .field("expr", &self.expr)
+            .finish()
+    }
+}
+
+/// A memoized optimization outcome for a goal: either the optimal plan or
+/// a recorded failure. Failures are first-class — "newly derived
+/// interesting facts are captured in the hash table. 'Interesting' ...
+/// includes both plans optimal for given physical properties as well as
+/// failures that can save future optimization effort" (§3).
+pub enum Winner<M: Model> {
+    /// The optimal plan and its cost.
+    Optimal(WinnerPlan<M>),
+    /// No plan exists within `tried`: any future request with the same or
+    /// a lower cost limit can fail immediately.
+    Failure {
+        /// The most permissive limit under which optimization has failed.
+        tried: Limit<M::Cost>,
+    },
+}
+
+impl<M: Model> Clone for Winner<M> {
+    fn clone(&self) -> Self {
+        match self {
+            Winner::Optimal(p) => Winner::Optimal(p.clone()),
+            Winner::Failure { tried } => Winner::Failure {
+                tried: tried.clone(),
+            },
+        }
+    }
+}
+
+impl<M: Model> std::fmt::Debug for Winner<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Winner::Optimal(p) => write!(f, "Optimal({p:?})"),
+            Winner::Failure { tried } => write!(f, "Failure(tried={tried:?})"),
+        }
+    }
+}
+
+pub(crate) struct ExprData<M: Model> {
+    pub op: M::Op,
+    /// Input groups; kept canonical (re-written on merge cascades).
+    pub inputs: Vec<GroupId>,
+    /// Owning group; kept canonical.
+    pub group: GroupId,
+    /// Set when a merge cascade discovered this expression duplicates an
+    /// earlier one; dead expressions are skipped everywhere.
+    pub dead: bool,
+}
+
+pub(crate) struct GroupData<M: Model> {
+    /// Member logical expressions (live and dead; filter via `ExprData`).
+    pub exprs: Vec<ExprId>,
+    /// Logical properties, derived once from the first member expression:
+    /// "the logical properties are determined based on the logical
+    /// expression, before any optimization is performed" (§2.2).
+    pub logical: M::LogicalProps,
+    /// Best plans and failures per goal.
+    pub winners: HashMap<Goal<M>, Winner<M>>,
+    /// Memo version at the last structural change to this group.
+    pub version: u64,
+}
+
+/// The memo structure. See the module documentation.
+pub struct Memo<M: Model> {
+    exprs: Vec<ExprData<M>>,
+    groups: Vec<GroupData<M>>,
+    /// Union–find parents over group indices.
+    parent: Vec<u32>,
+    /// Duplicate detection: canonical `(op, input groups)` → expression.
+    index: HashMap<(M::Op, Vec<GroupId>), ExprId>,
+    /// Monotone structural version counter.
+    version: u64,
+    /// Number of group merges performed (statistic).
+    merges: u64,
+    /// Number of expressions marked dead by merge cascades (statistic).
+    dead_exprs: u64,
+}
+
+impl<M: Model> Default for Memo<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Model> Memo<M> {
+    /// Create an empty memo.
+    pub fn new() -> Self {
+        Memo {
+            exprs: Vec::new(),
+            groups: Vec::new(),
+            parent: Vec::new(),
+            index: HashMap::new(),
+            version: 0,
+            merges: 0,
+            dead_exprs: 0,
+        }
+    }
+
+    /// Resolve a group id to its union–find representative.
+    pub fn repr(&self, g: GroupId) -> GroupId {
+        let mut i = g.0;
+        while self.parent[i as usize] != i {
+            i = self.parent[i as usize];
+        }
+        GroupId(i)
+    }
+
+    /// Current structural version (bumped on every expression insertion
+    /// or merge).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Version of the last structural change to `g`.
+    pub fn group_version(&self, g: GroupId) -> u64 {
+        self.groups[self.repr(g).index()].version
+    }
+
+    /// Total number of expression slots ever allocated (including dead).
+    pub fn num_exprs(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Total number of group slots ever allocated (including merged-away
+    /// groups).
+    pub fn num_allocated_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of live (non-merged-away) groups.
+    pub fn num_groups(&self) -> usize {
+        (0..self.parent.len())
+            .filter(|&i| self.parent[i] == i as u32)
+            .count()
+    }
+
+    /// Number of group merges performed so far.
+    pub fn merge_count(&self) -> u64 {
+        self.merges
+    }
+
+    /// Number of expressions retired as duplicates by merge cascades.
+    pub fn dead_expr_count(&self) -> u64 {
+        self.dead_exprs
+    }
+
+    /// Is the expression alive (not retired by a merge cascade)?
+    pub fn is_live(&self, e: ExprId) -> bool {
+        !self.exprs[e.index()].dead
+    }
+
+    /// The operator and (canonical) input groups of an expression.
+    pub fn expr(&self, e: ExprId) -> (&M::Op, &[GroupId]) {
+        let d = &self.exprs[e.index()];
+        (&d.op, &d.inputs)
+    }
+
+    /// The (canonical) group an expression belongs to.
+    pub fn group_of(&self, e: ExprId) -> GroupId {
+        self.repr(self.exprs[e.index()].group)
+    }
+
+    /// Live member expressions of a group.
+    pub fn group_exprs(&self, g: GroupId) -> Vec<ExprId> {
+        self.groups[self.repr(g).index()]
+            .exprs
+            .iter()
+            .copied()
+            .filter(|&e| !self.exprs[e.index()].dead)
+            .collect()
+    }
+
+    /// Logical properties of a group.
+    pub fn logical_props(&self, g: GroupId) -> &M::LogicalProps {
+        &self.groups[self.repr(g).index()].logical
+    }
+
+    /// Look up the memoized outcome for a goal.
+    pub fn winner(&self, g: GroupId, goal: &Goal<M>) -> Option<&Winner<M>> {
+        self.groups[self.repr(g).index()].winners.get(goal)
+    }
+
+    /// Record (or replace) the memoized outcome for a goal.
+    ///
+    /// Invariant: an `Optimal` winner is never replaced by a strictly more
+    /// expensive one (debug-asserted) — dynamic programming would be
+    /// unsound otherwise.
+    pub fn set_winner(&mut self, g: GroupId, goal: Goal<M>, w: Winner<M>) {
+        let gi = self.repr(g).index();
+        #[cfg(debug_assertions)]
+        {
+            use crate::cost::Cost;
+            if let (Some(Winner::Optimal(old)), Winner::Optimal(new)) =
+                (self.groups[gi].winners.get(&goal), &w)
+            {
+                debug_assert!(
+                    new.total_cost.cheaper_or_equal(&old.total_cost),
+                    "winner for {goal:?} regressed from {:?} to {:?}",
+                    old.total_cost,
+                    new.total_cost
+                );
+            }
+        }
+        self.groups[gi].winners.insert(goal, w);
+    }
+
+    /// Number of winner entries (plans + failures) across all groups.
+    pub fn winner_count(&self) -> usize {
+        (0..self.parent.len())
+            .filter(|&i| self.parent[i] == i as u32)
+            .map(|i| self.groups[i].winners.len())
+            .sum()
+    }
+
+    /// All live group ids (representatives).
+    pub fn group_ids(&self) -> Vec<GroupId> {
+        (0..self.parent.len())
+            .filter(|&i| self.parent[i] == i as u32)
+            .map(|i| GroupId(i as u32))
+            .collect()
+    }
+
+    /// Insert a complete expression tree, returning the root group.
+    pub fn insert_tree(&mut self, model: &M, tree: &ExprTree<M>) -> GroupId {
+        let inputs: Vec<GroupId> = tree
+            .inputs
+            .iter()
+            .map(|t| self.insert_tree(model, t))
+            .collect();
+        let (g, _) = self.intern_expr(model, tree.op.clone(), inputs, None);
+        g
+    }
+
+    /// Insert a substitute expression produced by a transformation rule.
+    /// The root lands in (or is merged with) `target`. Returns `true` if
+    /// the memo changed structurally.
+    pub fn insert_subst(&mut self, model: &M, subst: &SubstExpr<M>, target: GroupId) -> bool {
+        match subst {
+            SubstExpr::Group(g) => {
+                let target = self.repr(target);
+                let g = self.repr(*g);
+                if g == target {
+                    false
+                } else {
+                    self.merge(target, g);
+                    true
+                }
+            }
+            SubstExpr::Node { op, inputs } => {
+                let mut changed = false;
+                let input_groups: Vec<GroupId> = inputs
+                    .iter()
+                    .map(|s| {
+                        let (g, c) = self.insert_subst_sub(model, s);
+                        changed |= c;
+                        g
+                    })
+                    .collect();
+                let (_, c) =
+                    self.intern_expr(model, op.clone(), input_groups, Some(self.repr(target)));
+                changed | c
+            }
+        }
+    }
+
+    /// Insert a substitute sub-expression with no target class ("often a
+    /// new equivalence class is created during a transformation", §3 /
+    /// Figure 3).
+    fn insert_subst_sub(&mut self, model: &M, subst: &SubstExpr<M>) -> (GroupId, bool) {
+        match subst {
+            SubstExpr::Group(g) => (self.repr(*g), false),
+            SubstExpr::Node { op, inputs } => {
+                let mut changed = false;
+                let input_groups: Vec<GroupId> = inputs
+                    .iter()
+                    .map(|s| {
+                        let (g, c) = self.insert_subst_sub(model, s);
+                        changed |= c;
+                        g
+                    })
+                    .collect();
+                let (g, c) = self.intern_expr(model, op.clone(), input_groups, None);
+                (g, changed | c)
+            }
+        }
+    }
+
+    /// Core interning: find or create the expression `(op, inputs)`.
+    ///
+    /// * If it exists in `target`'s class (or no target was given):
+    ///   nothing changes.
+    /// * If it exists in a *different* class and a target was given, the
+    ///   two classes have been proven equivalent and are merged.
+    /// * Otherwise a new expression is created in `target` or, absent a
+    ///   target, in a fresh class whose logical properties are derived
+    ///   from this expression.
+    ///
+    /// Returns the (canonical) owning group and whether the memo changed.
+    pub(crate) fn intern_expr(
+        &mut self,
+        model: &M,
+        op: M::Op,
+        inputs: Vec<GroupId>,
+        target: Option<GroupId>,
+    ) -> (GroupId, bool) {
+        let inputs: Vec<GroupId> = inputs.iter().map(|&g| self.repr(g)).collect();
+        let key = (op.clone(), inputs.clone());
+        if let Some(&existing) = self.index.get(&key) {
+            let eg = self.group_of(existing);
+            return match target {
+                Some(t) if self.repr(t) != eg => {
+                    self.merge(self.repr(t), eg);
+                    (self.repr(eg), true)
+                }
+                _ => (eg, false),
+            };
+        }
+
+        // Derive logical properties from the input groups.
+        let derived = {
+            let input_props: Vec<&M::LogicalProps> =
+                inputs.iter().map(|&g| self.logical_props(g)).collect();
+            model.derive_logical_props(&op, &input_props)
+        };
+
+        let group = match target {
+            Some(t) => {
+                let t = self.repr(t);
+                model.assert_logical_props_consistent(&self.groups[t.index()].logical, &derived);
+                t
+            }
+            None => {
+                let gid = GroupId(self.groups.len() as u32);
+                self.groups.push(GroupData {
+                    exprs: Vec::new(),
+                    logical: derived,
+                    winners: HashMap::new(),
+                    version: 0,
+                });
+                self.parent.push(gid.0);
+                gid
+            }
+        };
+
+        let eid = ExprId(self.exprs.len() as u32);
+        self.exprs.push(ExprData {
+            op: op.clone(),
+            inputs: inputs.clone(),
+            group,
+            dead: false,
+        });
+        self.groups[group.index()].exprs.push(eid);
+        self.index.insert(key, eid);
+        self.version += 1;
+        self.groups[group.index()].version = self.version;
+        (group, true)
+    }
+
+    /// Merge two equivalence classes proven equal, cascading through any
+    /// further merges triggered by key re-canonicalization.
+    pub(crate) fn merge(&mut self, a: GroupId, b: GroupId) {
+        let mut pending = vec![(a, b)];
+        while let Some((a, b)) = pending.pop() {
+            let ra = self.repr(a);
+            let rb = self.repr(b);
+            if ra == rb {
+                continue;
+            }
+            // Keep the lower index as representative for stability.
+            let (keep, gone) = if ra.0 < rb.0 { (ra, rb) } else { (rb, ra) };
+            self.parent[gone.index()] = keep.0;
+            self.merges += 1;
+            self.version += 1;
+
+            let gone_exprs = std::mem::take(&mut self.groups[gone.index()].exprs);
+            self.groups[keep.index()].exprs.extend(gone_exprs);
+            let gone_winners = std::mem::take(&mut self.groups[gone.index()].winners);
+            for (goal, w) in gone_winners {
+                self.merge_winner(keep, goal, w);
+            }
+            self.groups[keep.index()].version = self.version;
+
+            pending.extend(self.rebuild_index());
+        }
+    }
+
+    /// Merge a winner entry from an absorbed group, keeping the better
+    /// fact for each goal.
+    fn merge_winner(&mut self, g: GroupId, goal: Goal<M>, incoming: Winner<M>) {
+        use crate::cost::Cost;
+        let gi = g.index();
+        let merged = match (self.groups[gi].winners.remove(&goal), incoming) {
+            (None, w) => w,
+            (Some(Winner::Optimal(a)), Winner::Optimal(b)) => {
+                if b.total_cost.cheaper_than(&a.total_cost) {
+                    Winner::Optimal(b)
+                } else {
+                    Winner::Optimal(a)
+                }
+            }
+            (Some(Winner::Optimal(a)), Winner::Failure { .. }) => Winner::Optimal(a),
+            (Some(Winner::Failure { .. }), Winner::Optimal(b)) => Winner::Optimal(b),
+            (Some(Winner::Failure { tried: a }), Winner::Failure { tried: b }) => {
+                if b.at_least_as_permissive_as(&a) {
+                    Winner::Failure { tried: b }
+                } else {
+                    Winner::Failure { tried: a }
+                }
+            }
+        };
+        self.groups[gi].winners.insert(goal, merged);
+    }
+
+    /// Re-canonicalize every live expression after a merge; returns any
+    /// newly discovered group equalities.
+    fn rebuild_index(&mut self) -> Vec<(GroupId, GroupId)> {
+        self.index.clear();
+        let mut new_merges = Vec::new();
+        for i in 0..self.exprs.len() {
+            if self.exprs[i].dead {
+                continue;
+            }
+            let inputs: Vec<GroupId> = self.exprs[i].inputs.iter().map(|&g| self.repr(g)).collect();
+            let group = self.repr(self.exprs[i].group);
+            self.exprs[i].inputs = inputs.clone();
+            self.exprs[i].group = group;
+            let key = (self.exprs[i].op.clone(), inputs);
+            match self.index.get(&key) {
+                None => {
+                    self.index.insert(key, ExprId(i as u32));
+                }
+                Some(&prev) => {
+                    let pg = self.repr(self.exprs[prev.index()].group);
+                    if pg != group {
+                        // Two identical expressions in different classes:
+                        // the classes are equal.
+                        new_merges.push((pg, group));
+                    } else {
+                        // True duplicate within one class: retire it.
+                        self.exprs[i].dead = true;
+                        self.dead_exprs += 1;
+                    }
+                }
+            }
+        }
+        new_merges
+    }
+
+    /// Rough estimate of the memo's memory footprint in bytes, for the
+    /// paper's "< 1 MB of work space" comparison (§4.2). Counts arena
+    /// entries and hash-table payloads, not allocator overhead.
+    pub fn memory_estimate(&self) -> usize {
+        let expr_bytes: usize = self
+            .exprs
+            .iter()
+            .map(|e| size_of::<ExprData<M>>() + e.inputs.len() * size_of::<GroupId>())
+            .sum();
+        let group_bytes: usize = self
+            .groups
+            .iter()
+            .map(|g| {
+                size_of::<GroupData<M>>()
+                    + g.exprs.len() * size_of::<ExprId>()
+                    + g.winners.len() * (size_of::<Goal<M>>() + size_of::<Winner<M>>())
+                    + g.winners
+                        .values()
+                        .map(|w| match w {
+                            Winner::Optimal(p) => p.inputs.len() * size_of::<InputGoal<M>>(),
+                            Winner::Failure { .. } => 0,
+                        })
+                        .sum::<usize>()
+            })
+            .sum();
+        let index_bytes = self.index.len()
+            * (size_of::<(M::Op, Vec<GroupId>)>() + size_of::<ExprId>() + 2 * size_of::<GroupId>());
+        expr_bytes + group_bytes + index_bytes + self.parent.len() * size_of::<u32>()
+    }
+}

@@ -1,0 +1,98 @@
+//! The data-model specification trait (§2.2).
+//!
+//! A [`Model`] bundles every component the optimizer implementor supplies:
+//! the logical and physical algebras, the three ADTs (cost, logical
+//! properties, physical property vector), the rule sets, and the property
+//! functions. `Optimizer<M>` is then a *generated optimizer* in the
+//! paper's sense: `rustc` monomorphizes the generic search engine over the
+//! concrete model, compiling the rules into the optimizer.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::cost::Cost;
+use crate::props::PhysicalProps;
+use crate::rules::{Enforcer, ImplementationRule, TransformationRule};
+
+/// A logical operator of the model's logical algebra.
+///
+/// Operators "can have zero or more inputs; the number of inputs is not
+/// restricted" (§2.2). `arity` is consulted when expressions are built and
+/// when patterns are matched.
+pub trait Operator: Clone + Eq + Hash + Debug {
+    /// Number of inputs this operator consumes.
+    fn arity(&self) -> usize;
+
+    /// Stable name for tracing and plan explanation.
+    fn name(&self) -> &str;
+}
+
+/// A physical algorithm or enforcer of the model's physical algebra.
+///
+/// Enforcers "are operators in the physical algebra that do not correspond
+/// to any operator in the logical algebra" (§2.2); the engine treats both
+/// uniformly as `Alg` values once chosen, which mirrors the paper's "in
+/// many respects, enforcers are dealt with exactly like algorithms".
+pub trait Algorithm: Clone + Eq + Hash + Debug {
+    /// Stable name for tracing and plan explanation.
+    fn name(&self) -> &str;
+}
+
+/// The complete model specification: the input to the optimizer generator.
+pub trait Model: Sized {
+    /// Logical operators (the logical algebra).
+    type Op: Operator;
+
+    /// Physical algorithms and enforcers (the physical algebra).
+    type Alg: Algorithm;
+
+    /// The ADT "logical properties": schema, expected size, type of the
+    /// intermediate result, ... Derived once per equivalence class, before
+    /// any optimization is performed.
+    type LogicalProps: Clone + Debug;
+
+    /// The ADT "physical property vector": sort order, partitioning,
+    /// compression status, ...
+    type PhysProps: PhysicalProps;
+
+    /// The ADT "cost".
+    type Cost: Cost;
+
+    /// The property function for logical operators: derive the logical
+    /// properties of `op`'s result from the logical properties of its
+    /// inputs. Encapsulates selectivity estimation (§2.2).
+    ///
+    /// Equivalent expressions must derive equal logical properties ("the
+    /// schema of an intermediate result can be determined independently of
+    /// which one of many equivalent algebra expressions creates it"); the
+    /// memo derives each group's properties from the first expression
+    /// inserted into it and debug-asserts agreement via
+    /// [`Model::assert_logical_props_consistent`].
+    fn derive_logical_props(
+        &self,
+        op: &Self::Op,
+        inputs: &[&Self::LogicalProps],
+    ) -> Self::LogicalProps;
+
+    /// Consistency check hook: called in debug builds when a second
+    /// expression joins an existing group; implementations may assert that
+    /// `derived` agrees with the group's existing `props` (e.g. equal
+    /// estimated cardinality). The default accepts silently, because
+    /// logical property types need not be `Eq`.
+    fn assert_logical_props_consistent(
+        &self,
+        _existing: &Self::LogicalProps,
+        _derived: &Self::LogicalProps,
+    ) {
+    }
+
+    /// The transformation rules of the logical algebra.
+    fn transformations(&self) -> &[Box<dyn TransformationRule<Self>>];
+
+    /// The implementation rules mapping logical operators (possibly more
+    /// than one at a time) to algorithms.
+    fn implementations(&self) -> &[Box<dyn ImplementationRule<Self>>];
+
+    /// The enforcers of the physical algebra.
+    fn enforcers(&self) -> &[Box<dyn Enforcer<Self>>];
+}

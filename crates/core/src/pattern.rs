@@ -1,0 +1,288 @@
+//! Tree patterns and pattern matching over the memo.
+//!
+//! Rules specify *patterns* — trees of operator matchers whose leaves are
+//! wildcards binding entire equivalence classes. Matching a pattern
+//! against a logical expression enumerates every *binding*: a choice of
+//! concrete member expression for each interior pattern node. Multi-level
+//! patterns are what make rules such as join associativity
+//! (`Join(Join(?a, ?b), ?c)`) and multi-operator implementation rules
+//! (`Project(Join(?a, ?b))` → one physical operator, §2.2) expressible.
+
+use std::fmt;
+
+use crate::ids::{ExprId, GroupId};
+use crate::memo::Memo;
+use crate::model::Model;
+
+/// Boxed operator predicate.
+type OpPred<M> = Box<dyn Fn(&<M as Model>::Op) -> bool + Send + Sync>;
+
+/// A predicate over logical operators, used at interior pattern nodes.
+///
+/// Matchers are named so traces and generated documentation can display
+/// patterns symbolically.
+pub struct OpMatcher<M: Model> {
+    name: &'static str,
+    pred: OpPred<M>,
+}
+
+impl<M: Model> OpMatcher<M> {
+    /// Build a matcher from a name and a predicate.
+    pub fn new(name: &'static str, pred: impl Fn(&M::Op) -> bool + Send + Sync + 'static) -> Self {
+        OpMatcher {
+            name,
+            pred: Box::new(pred),
+        }
+    }
+
+    /// Does this matcher accept `op`?
+    pub fn matches(&self, op: &M::Op) -> bool {
+        (self.pred)(op)
+    }
+
+    /// The matcher's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl<M: Model> fmt::Debug for OpMatcher<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OpMatcher({})", self.name)
+    }
+}
+
+/// A tree pattern over the logical algebra.
+pub enum Pattern<M: Model> {
+    /// Wildcard: matches any equivalence class, binding its group id.
+    Any,
+    /// An interior node: matches expressions whose operator satisfies the
+    /// matcher and whose inputs match the sub-patterns position-wise.
+    Op {
+        /// Predicate on the operator at this node.
+        matcher: OpMatcher<M>,
+        /// Sub-patterns, one per operator input.
+        inputs: Vec<Pattern<M>>,
+    },
+}
+
+impl<M: Model> fmt::Debug for Pattern<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pattern({})", self.display())
+    }
+}
+
+impl<M: Model> Pattern<M> {
+    /// Convenience constructor for an interior node.
+    pub fn op(
+        name: &'static str,
+        pred: impl Fn(&M::Op) -> bool + Send + Sync + 'static,
+        inputs: Vec<Pattern<M>>,
+    ) -> Self {
+        Pattern::Op {
+            matcher: OpMatcher::new(name, pred),
+            inputs,
+        }
+    }
+
+    /// Depth of the pattern: `Any` is 0, a node is 1 + max input depth.
+    /// Patterns of depth ≤ 1 never need re-matching when input groups
+    /// grow, which the exploration fixpoint exploits.
+    pub fn depth(&self) -> usize {
+        match self {
+            Pattern::Any => 0,
+            Pattern::Op { inputs, .. } => 1 + inputs.iter().map(Pattern::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Render the pattern symbolically, e.g. `join(join(?, ?), ?)`.
+    pub fn display(&self) -> String {
+        match self {
+            Pattern::Any => "?".to_string(),
+            Pattern::Op { matcher, inputs } => {
+                if inputs.is_empty() {
+                    matcher.name().to_string()
+                } else {
+                    let args: Vec<String> = inputs.iter().map(Pattern::display).collect();
+                    format!("{}({})", matcher.name(), args.join(", "))
+                }
+            }
+        }
+    }
+}
+
+/// The result of matching one pattern node against one expression.
+pub struct Binding<M: Model> {
+    /// The matched expression.
+    pub expr: ExprId,
+    /// The matched expression's operator (cloned so condition/apply code
+    /// can inspect operator arguments without re-borrowing the memo).
+    pub op: M::Op,
+    /// One child per operator input, position-wise.
+    pub children: Vec<BindingChild<M>>,
+}
+
+/// A bound pattern child: either a whole group (wildcard) or a nested
+/// binding (interior pattern node).
+pub enum BindingChild<M: Model> {
+    /// The child pattern was `Any`; the whole input group is bound.
+    Group(GroupId),
+    /// The child pattern was an `Op` node bound to a member expression.
+    Bound(Binding<M>),
+}
+
+impl<M: Model> Clone for Binding<M> {
+    fn clone(&self) -> Self {
+        Binding {
+            expr: self.expr,
+            op: self.op.clone(),
+            children: self.children.clone(),
+        }
+    }
+}
+
+impl<M: Model> fmt::Debug for Binding<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Binding")
+            .field("expr", &self.expr)
+            .field("op", &self.op)
+            .field("children", &self.children)
+            .finish()
+    }
+}
+
+impl<M: Model> Clone for BindingChild<M> {
+    fn clone(&self) -> Self {
+        match self {
+            BindingChild::Group(g) => BindingChild::Group(*g),
+            BindingChild::Bound(b) => BindingChild::Bound(b.clone()),
+        }
+    }
+}
+
+impl<M: Model> fmt::Debug for BindingChild<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindingChild::Group(g) => write!(f, "Group({g:?})"),
+            BindingChild::Bound(b) => write!(f, "Bound({b:?})"),
+        }
+    }
+}
+
+impl<M: Model> Binding<M> {
+    /// The groups bound by `Any` leaves, in left-to-right order. For an
+    /// implementation rule these are the input groups of the resulting
+    /// physical operator.
+    pub fn leaf_groups(&self) -> Vec<GroupId> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<GroupId>) {
+        for c in &self.children {
+            match c {
+                BindingChild::Group(g) => out.push(*g),
+                BindingChild::Bound(b) => b.collect_leaves(out),
+            }
+        }
+    }
+
+    /// The input group bound at child position `i` (panics if that child
+    /// was matched by a nested pattern rather than a wildcard).
+    pub fn input_group(&self, i: usize) -> GroupId {
+        match &self.children[i] {
+            BindingChild::Group(g) => *g,
+            BindingChild::Bound(_) => {
+                panic!("binding child {i} is a nested expression, not a group")
+            }
+        }
+    }
+
+    /// The nested binding at child position `i` (panics if that child was
+    /// matched by a wildcard).
+    pub fn nested(&self, i: usize) -> &Binding<M> {
+        match &self.children[i] {
+            BindingChild::Group(_) => panic!("binding child {i} is a group, not a nested binding"),
+            BindingChild::Bound(b) => b,
+        }
+    }
+}
+
+/// Enumerate all bindings of `pattern` rooted at expression `expr`.
+///
+/// Interior pattern nodes quantify over every live member expression of
+/// the corresponding input group, so the result is the full cross product
+/// — exactly the "several different ways" in which an algebraic
+/// transformation system can derive the same expression, which the memo's
+/// duplicate detection then collapses.
+pub fn match_pattern<M: Model>(
+    memo: &Memo<M>,
+    pattern: &Pattern<M>,
+    expr: ExprId,
+) -> Vec<Binding<M>> {
+    match pattern {
+        // A top-level wildcard binds nothing useful; rules must have an
+        // operator at the root.
+        Pattern::Any => Vec::new(),
+        Pattern::Op { matcher, inputs } => {
+            let (op, expr_inputs) = memo.expr(expr);
+            if !matcher.matches(op) || inputs.len() != expr_inputs.len() {
+                return Vec::new();
+            }
+            // Match each child pattern, then take the cross product.
+            let mut per_child: Vec<Vec<BindingChild<M>>> = Vec::with_capacity(inputs.len());
+            for (pat, gid) in inputs.iter().zip(expr_inputs.iter()) {
+                let alts = match_group(memo, pat, *gid);
+                if alts.is_empty() {
+                    return Vec::new();
+                }
+                per_child.push(alts);
+            }
+            let op = op.clone();
+            cross_product(&per_child)
+                .into_iter()
+                .map(|children| Binding {
+                    expr,
+                    op: op.clone(),
+                    children,
+                })
+                .collect()
+        }
+    }
+}
+
+fn match_group<M: Model>(
+    memo: &Memo<M>,
+    pattern: &Pattern<M>,
+    group: GroupId,
+) -> Vec<BindingChild<M>> {
+    match pattern {
+        Pattern::Any => vec![BindingChild::Group(memo.repr(group))],
+        Pattern::Op { .. } => {
+            let mut out = Vec::new();
+            for eid in memo.group_exprs(group) {
+                for b in match_pattern(memo, pattern, eid) {
+                    out.push(BindingChild::Bound(b));
+                }
+            }
+            out
+        }
+    }
+}
+
+fn cross_product<M: Model>(per_child: &[Vec<BindingChild<M>>]) -> Vec<Vec<BindingChild<M>>> {
+    let mut acc: Vec<Vec<BindingChild<M>>> = vec![Vec::new()];
+    for alts in per_child {
+        let mut next = Vec::with_capacity(acc.len() * alts.len());
+        for prefix in &acc {
+            for alt in alts {
+                let mut row = prefix.clone();
+                row.push(alt.clone());
+                next.push(row);
+            }
+        }
+        acc = next;
+    }
+    acc
+}

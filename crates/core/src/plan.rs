@@ -1,0 +1,118 @@
+//! Extracted query evaluation plans.
+//!
+//! "The output of the optimizer is a plan, which is an expression over the
+//! algebra of algorithms" (§2.2). During search the memo stores each best
+//! sub-plan once, as winner entries referencing input *goals*; a [`Plan`]
+//! is the materialized tree handed back to the caller.
+
+use std::fmt::Write as _;
+
+use crate::ids::GroupId;
+use crate::model::{Algorithm, Model};
+
+/// A physical algebra expression: the optimizer's output.
+pub struct Plan<M: Model> {
+    /// The algorithm or enforcer at this node.
+    pub alg: M::Alg,
+    /// Physical properties this node delivers.
+    pub delivered: M::PhysProps,
+    /// Cost of this node alone.
+    pub local_cost: M::Cost,
+    /// Cost of this node including all inputs (the plan's estimated
+    /// execution cost at the root).
+    pub cost: M::Cost,
+    /// The equivalence class this plan implements.
+    pub group: GroupId,
+    /// Input plans.
+    pub inputs: Vec<Plan<M>>,
+}
+
+impl<M: Model> Clone for Plan<M> {
+    fn clone(&self) -> Self {
+        Plan {
+            alg: self.alg.clone(),
+            delivered: self.delivered.clone(),
+            local_cost: self.local_cost.clone(),
+            cost: self.cost.clone(),
+            group: self.group,
+            inputs: self.inputs.clone(),
+        }
+    }
+}
+
+impl<M: Model> std::fmt::Debug for Plan<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plan")
+            .field("alg", &self.alg)
+            .field("delivered", &self.delivered)
+            .field("cost", &self.cost)
+            .field("inputs", &self.inputs)
+            .finish()
+    }
+}
+
+impl<M: Model> Plan<M> {
+    /// Number of physical operators in the plan.
+    pub fn node_count(&self) -> usize {
+        1 + self.inputs.iter().map(Plan::node_count).sum::<usize>()
+    }
+
+    /// Depth of the plan tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.inputs.iter().map(Plan::depth).max().unwrap_or(0)
+    }
+
+    /// Pre-order iterator over all nodes.
+    pub fn nodes(&self) -> Vec<&Plan<M>> {
+        let mut out = Vec::with_capacity(self.node_count());
+        self.collect_nodes(&mut out);
+        out
+    }
+
+    fn collect_nodes<'a>(&'a self, out: &mut Vec<&'a Plan<M>>) {
+        out.push(self);
+        for i in &self.inputs {
+            i.collect_nodes(out);
+        }
+    }
+
+    /// Count nodes whose algorithm satisfies a predicate (e.g. "how many
+    /// sorts did the optimizer insert?").
+    pub fn count_algs(&self, pred: impl Fn(&M::Alg) -> bool + Copy) -> usize {
+        self.nodes().into_iter().filter(|n| pred(&n.alg)).count()
+    }
+
+    /// Render the plan as an indented tree with per-node costs and
+    /// delivered properties.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let _ = writeln!(
+            out,
+            "{:indent$}{} [cost={:?}, local={:?}, delivers={:?}]",
+            "",
+            self.alg.name(),
+            self.cost,
+            self.local_cost,
+            self.delivered,
+            indent = depth * 2
+        );
+        for i in &self.inputs {
+            i.explain_into(out, depth + 1);
+        }
+    }
+
+    /// Render a compact single-line form: `alg(child, child)`.
+    pub fn compact(&self) -> String {
+        if self.inputs.is_empty() {
+            self.alg.name().to_string()
+        } else {
+            let args: Vec<String> = self.inputs.iter().map(Plan::compact).collect();
+            format!("{}({})", self.alg.name(), args.join(", "))
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The abstract data type "physical property vector" (§2.2).
+//!
+//! > *"The set of physical properties is summarized for each intermediate
+//! > result in a physical property vector, which is defined by the
+//! > optimizer implementor and treated as an abstract data type by the
+//! > Volcano optimizer generator and its search engine."*
+//!
+//! The search engine needs exactly two comparisons on property vectors —
+//! equality and *cover* — plus a distinguished "no requirements" vector.
+//! Everything else (what the properties *are*: sort order, partitioning,
+//! compression status, uniqueness, assembledness, ...) is the model's
+//! business.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Abstract physical property vector supplied by the optimizer
+/// implementor.
+///
+/// `Eq + Hash` provide the paper's equality comparison (used to key the
+/// winner table: "for each combination of physical properties for which an
+/// equivalence class has already been optimized ... the best plan found is
+/// kept"); [`PhysicalProps::satisfies`] provides the *cover* comparison.
+///
+/// # Laws
+///
+/// * `satisfies` is reflexive and transitive (a partial order up to
+///   equivalence).
+/// * `p.satisfies(&Self::any())` holds for every `p`: the empty
+///   requirement is satisfied by anything.
+/// * If `a == b` then `a.satisfies(&b)`.
+///
+/// These laws are exercised by property-based tests in the model crates.
+pub trait PhysicalProps: Clone + Eq + Hash + Debug {
+    /// The vector imposing no requirements at all.
+    fn any() -> Self;
+
+    /// Cover comparison: does a result with properties `self` satisfy a
+    /// requirement of `required`? E.g. output sorted on `(A, B)` satisfies
+    /// a requirement of "sorted on `(A)`".
+    fn satisfies(&self, required: &Self) -> bool;
+
+    /// Does this vector impose no requirements? Default: equality with
+    /// [`PhysicalProps::any`].
+    fn is_any(&self) -> bool {
+        *self == Self::any()
+    }
+}
+
+/// A trivial property vector for models without physical properties.
+///
+/// Useful for purely logical rewriting models and as a building block in
+/// tests.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct NoProps;
+
+impl PhysicalProps for NoProps {
+    fn any() -> Self {
+        NoProps
+    }
+
+    fn satisfies(&self, _required: &Self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_props_is_trivially_satisfied() {
+        assert!(NoProps.satisfies(&NoProps));
+        assert!(NoProps.is_any());
+        assert_eq!(NoProps::any(), NoProps);
+    }
+}

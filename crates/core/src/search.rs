@@ -1,0 +1,789 @@
+//! The search engine: directed dynamic programming (§3, Figure 2).
+//!
+//! `FindBestPlan` is split exactly as the paper describes: first the
+//! winner table (plans *and* memoized failures) is consulted; if actual
+//! optimization is required, the possible *moves* — applicable
+//! transformations, algorithms that give the required physical properties,
+//! and enforcers for required physical properties — are generated, ordered
+//! by promise, and pursued under a branch-and-bound cost limit.
+//!
+//! Transformations are exhausted in an up-front *exploration* fixpoint
+//! (each (expression, rule) pair fires once, with re-matching when a
+//! multi-level pattern's input classes grow). With exhaustive search this
+//! is equivalent to interleaving transformation moves — every logical
+//! expression is derived either way and the memo collapses duplicate
+//! derivations — while keeping the costing recursion strictly goal-driven:
+//! plans are derived "only for those partial queries that are considered
+//! as parts of larger subqueries, not all equivalent expressions and plans
+//! that are feasible or seem interesting by their sort order".
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use crate::cost::{Cost, Limit};
+use crate::error::OptimizeError;
+use crate::expr::{ExprTree, SubstExpr};
+use crate::ids::{ExprId, GroupId};
+use crate::memo::{Goal, InputGoal, Memo, Winner, WinnerPlan};
+use crate::model::Model;
+use crate::pattern::{match_pattern, Binding};
+use crate::plan::Plan;
+use crate::props::PhysicalProps;
+use crate::rules::{AlgApplication, EnforcerApplication, RuleCtx};
+use crate::stats::SearchStats;
+use crate::trace::{NullTracer, TraceEvent, Tracer};
+
+/// Version sentinel for "this (expression, rule) pair has never matched".
+const NEVER: u64 = u64::MAX;
+
+/// One unit of parallel exploration output: the matched expression, the
+/// rule index, the substitutes produced, and the fired/produced counts.
+type ExploreProduct<M> = (ExprId, usize, Vec<SubstExpr<M>>, u64, u64);
+
+/// Knobs controlling the search strategy.
+///
+/// The defaults reproduce the paper's engine (exhaustive, pruned,
+/// memoizing). The toggles exist because "pursuing all moves or only a
+/// selected few is a major heuristic placed into the hands of the
+/// optimizer implementor" (§3) — and because the ablation benchmarks need
+/// to quantify each mechanism's contribution.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Branch-and-bound pruning: pass tightened cost limits into input
+    /// optimizations and abandon moves whose accumulated cost crosses the
+    /// bound. Disabling reverts to plain exhaustive dynamic programming.
+    pub pruning: bool,
+    /// Memoize optimization *failures* so a later request with the same
+    /// or a lower cost limit fails without search.
+    pub failure_memo: bool,
+    /// Order moves by descending promise before pursuing them.
+    pub promise_ordering: bool,
+    /// Pursue only the `k` most promising moves per goal (heuristic,
+    /// sacrifices optimality). `None` = exhaustive.
+    pub move_limit: Option<usize>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            pruning: true,
+            failure_memo: true,
+            promise_ordering: true,
+            move_limit: None,
+        }
+    }
+}
+
+/// Why a goal could not be satisfied (internal).
+struct GoalFailure {
+    /// `true` when the failure is a proven fact for this goal and limit
+    /// (safe to memoize); `false` when it is an artifact of cycle
+    /// breaking ("in progress" marks) and must not poison the memo.
+    memoizable: bool,
+}
+
+/// One move the engine may pursue for a goal (§3: "three sets of possible
+/// moves"; transformations are exhausted during exploration).
+enum Move<M: Model> {
+    Alg {
+        rule_idx: usize,
+        binding: Binding<M>,
+        app: AlgApplication<M>,
+        promise: f64,
+    },
+    Enf {
+        enf_idx: usize,
+        app: EnforcerApplication<M>,
+        promise: f64,
+    },
+}
+
+impl<M: Model> Move<M> {
+    fn promise(&self) -> f64 {
+        match self {
+            Move::Alg { promise, .. } | Move::Enf { promise, .. } => *promise,
+        }
+    }
+}
+
+/// A generated optimizer: the search engine instantiated for one model.
+pub struct Optimizer<'m, M: Model> {
+    model: &'m M,
+    memo: Memo<M>,
+    opts: SearchOptions,
+    stats: SearchStats,
+    /// Goals currently being optimized, for cycle detection among
+    /// mutually inverse transformation derivations.
+    in_progress: HashSet<(GroupId, Goal<M>)>,
+    /// Per-expression, per-transformation-rule memo version at the last
+    /// pattern match (`NEVER` = not yet matched).
+    watermarks: Vec<Vec<u64>>,
+    /// Transformation pattern depths, cached from the model.
+    rule_depths: Vec<usize>,
+    tracer: Box<dyn Tracer>,
+}
+
+impl<'m, M: Model> Optimizer<'m, M> {
+    /// Create an optimizer for `model` with the given search options.
+    pub fn new(model: &'m M, opts: SearchOptions) -> Self {
+        let rule_depths = model
+            .transformations()
+            .iter()
+            .map(|r| r.pattern().depth())
+            .collect();
+        Optimizer {
+            model,
+            memo: Memo::new(),
+            opts,
+            stats: SearchStats::default(),
+            in_progress: HashSet::new(),
+            watermarks: Vec::new(),
+            rule_depths,
+            tracer: Box::new(NullTracer),
+        }
+    }
+
+    /// Attach a tracer receiving structured search events.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Insert a query (logical algebra expression) and return its root
+    /// equivalence class.
+    pub fn insert_tree(&mut self, tree: &ExprTree<M>) -> GroupId {
+        self.memo.insert_tree(self.model, tree)
+    }
+
+    /// The memo, for inspection and testing.
+    pub fn memo(&self) -> &Memo<M> {
+        &self.memo
+    }
+
+    /// Search statistics accumulated so far.
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+
+    /// Run the transformation exploration fixpoint without any costing —
+    /// the paper's "extreme case" where "a logical expression is
+    /// transformed on the logical algebra level without optimizing its
+    /// subexpressions and without performing algorithm selection and cost
+    /// analysis" (§4.1): Starburst's query-rewrite level as a *choice*,
+    /// not a mandatory layer.
+    pub fn explore(&mut self) {
+        let model = self.model;
+        let rules = model.transformations();
+        loop {
+            self.stats.explore_passes += 1;
+            let mut changed = false;
+            let mut i = 0;
+            while i < self.memo.num_exprs() {
+                let e = ExprId::from_index(i);
+                i += 1;
+                if !self.memo.is_live(e) {
+                    continue;
+                }
+                for (ri, rule) in rules.iter().enumerate() {
+                    self.ensure_watermarks(e);
+                    let wm = self.watermarks[e.index()][ri];
+                    // Depth-1 patterns see only this expression's own
+                    // operator: matching them once is exhaustive. Deeper
+                    // patterns must be re-matched when the memo grows,
+                    // because input classes may have gained members.
+                    let needs_match =
+                        wm == NEVER || (self.rule_depths[ri] > 1 && self.memo.version() > wm);
+                    if !needs_match {
+                        continue;
+                    }
+                    let version_before = self.memo.version();
+                    self.stats.transform_matches += 1;
+                    let bindings = match_pattern(&self.memo, rule.pattern(), e);
+                    let mut products = Vec::new();
+                    {
+                        let ctx = RuleCtx::new(&self.memo);
+                        for b in &bindings {
+                            if rule.condition(b, &ctx) {
+                                self.stats.transform_fired += 1;
+                                self.tracer.event(TraceEvent::RuleFired {
+                                    rule: rule.name(),
+                                    expr: e,
+                                });
+                                products.extend(rule.apply(b, &ctx));
+                            }
+                        }
+                    }
+                    self.watermarks[e.index()][ri] = version_before;
+                    if !products.is_empty() {
+                        let target = self.memo.group_of(e);
+                        for p in &products {
+                            self.stats.substitutes_produced += 1;
+                            changed |= self.memo.insert_subst(model, p, target);
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Parallel transformation exploration on shared memory — one of the
+    /// paper's stated research directions for the search engine (§6:
+    /// "parallel search (on shared-memory machines)").
+    ///
+    /// Each fixpoint pass fans the pattern matching, condition code, and
+    /// substitute construction — all read-only over the memo — across
+    /// `threads` scoped threads; the produced substitutes are installed
+    /// serially (the memo's hash table and union–find stay
+    /// single-writer). Equivalent to [`Optimizer::explore`] in outcome;
+    /// call it explicitly before [`Optimizer::find_best_plan`] to
+    /// front-load the exploration in parallel.
+    pub fn explore_parallel(&mut self, threads: usize)
+    where
+        M: Sync,
+        M::Op: Send + Sync,
+        M::Alg: Sync,
+        M::LogicalProps: Sync,
+        M::PhysProps: Send + Sync,
+        M::Cost: Sync,
+    {
+        let threads = threads.max(1);
+        let model = self.model;
+        let rules = model.transformations();
+        loop {
+            self.stats.explore_passes += 1;
+
+            // Collect the (expression, rule) pairs that need matching in
+            // this pass.
+            let mut tasks: Vec<(ExprId, usize)> = Vec::new();
+            for i in 0..self.memo.num_exprs() {
+                let e = ExprId::from_index(i);
+                if !self.memo.is_live(e) {
+                    continue;
+                }
+                self.ensure_watermarks(e);
+                for ri in 0..rules.len() {
+                    let wm = self.watermarks[e.index()][ri];
+                    let needs =
+                        wm == NEVER || (self.rule_depths[ri] > 1 && self.memo.version() > wm);
+                    if needs {
+                        tasks.push((e, ri));
+                    }
+                }
+            }
+            if tasks.is_empty() {
+                break;
+            }
+            let version_before = self.memo.version();
+
+            // Fan the read-only work out over scoped threads.
+            let memo = &self.memo;
+            let chunk = tasks.len().div_ceil(threads);
+            let mut products: Vec<ExploreProduct<M>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = tasks
+                    .chunks(chunk.max(1))
+                    .map(|chunk_tasks| {
+                        scope.spawn(move || {
+                            let ctx = RuleCtx::new(memo);
+                            let mut out = Vec::with_capacity(chunk_tasks.len());
+                            for &(e, ri) in chunk_tasks {
+                                let rule = &rules[ri];
+                                let mut fired = 0u64;
+                                let mut subs = Vec::new();
+                                for b in match_pattern(memo, rule.pattern(), e) {
+                                    if rule.condition(&b, &ctx) {
+                                        fired += 1;
+                                        subs.extend(rule.apply(&b, &ctx));
+                                    }
+                                }
+                                let produced = subs.len() as u64;
+                                out.push((e, ri, subs, fired, produced));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("exploration worker panicked"))
+                    .collect()
+            });
+
+            // Serial install phase.
+            let mut changed = false;
+            for (e, ri, subs, fired, produced) in products.drain(..) {
+                self.stats.transform_matches += 1;
+                self.stats.transform_fired += fired;
+                self.stats.substitutes_produced += produced;
+                self.watermarks[e.index()][ri] = version_before;
+                if !subs.is_empty() && self.memo.is_live(e) {
+                    let target = self.memo.group_of(e);
+                    for p in &subs {
+                        changed |= self.memo.insert_subst(model, p, target);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    fn ensure_watermarks(&mut self, e: ExprId) {
+        let nrules = self.rule_depths.len();
+        while self.watermarks.len() <= e.index() {
+            self.watermarks.push(vec![NEVER; nrules]);
+        }
+    }
+
+    /// Optimize `root` for the required physical properties under an
+    /// optional cost limit ("typically infinity for a user query, but the
+    /// user interface may permit users to set their own limits to 'catch'
+    /// unreasonable queries", §3) and return the optimal plan.
+    pub fn find_best_plan(
+        &mut self,
+        root: GroupId,
+        required: M::PhysProps,
+        limit: Option<M::Cost>,
+    ) -> Result<Plan<M>, OptimizeError> {
+        let start = Instant::now();
+        self.explore();
+        let goal = Goal {
+            required,
+            excluded: M::PhysProps::any(),
+        };
+        let had_limit = limit.is_some();
+        let res = self.optimize_goal(root, goal.clone(), Limit(limit));
+        self.stats.elapsed += start.elapsed();
+        self.stats.exprs_created = self.memo.num_exprs();
+        self.stats.groups_created = self.memo.num_allocated_groups();
+        self.stats.group_merges = self.memo.merge_count();
+        self.stats.dead_exprs = self.memo.dead_expr_count();
+        self.stats.memo_bytes = self.memo.memory_estimate();
+        match res {
+            Ok(_) => Ok(self
+                .extract_plan(root, &goal)
+                .expect("winner recorded for successful goal")),
+            Err(_) => {
+                // With an unlimited budget the failure is structural (the
+                // model cannot implement the expression); with a finite
+                // budget the plan may simply be too expensive.
+                if had_limit {
+                    Err(OptimizeError::LimitExceeded)
+                } else {
+                    Err(OptimizeError::NoPlan)
+                }
+            }
+        }
+    }
+
+    /// The optimal cost memoized for a goal, if any.
+    pub fn best_cost(&self, group: GroupId, required: &M::PhysProps) -> Option<M::Cost> {
+        let goal = Goal {
+            required: required.clone(),
+            excluded: M::PhysProps::any(),
+        };
+        match self.memo.winner(self.memo.repr(group), &goal) {
+            Some(Winner::Optimal(p)) => Some(p.total_cost.clone()),
+            _ => None,
+        }
+    }
+
+    /// The recursive heart of Figure 2.
+    fn optimize_goal(
+        &mut self,
+        group: GroupId,
+        goal: Goal<M>,
+        limit: Limit<M::Cost>,
+    ) -> Result<M::Cost, GoalFailure> {
+        let group = self.memo.repr(group);
+
+        // "if the pair LogExpr and PhysProp is in the look-up table ..."
+        if let Some(w) = self.memo.winner(group, &goal) {
+            match w {
+                Winner::Optimal(p) => {
+                    // Optimal entries are true optima (branch-and-bound
+                    // returns optimal completions), so the limit check is
+                    // definitive either way.
+                    return if limit.admits(&p.total_cost) {
+                        self.stats.winner_hits += 1;
+                        Ok(p.total_cost.clone())
+                    } else {
+                        self.stats.failure_hits += 1;
+                        Err(GoalFailure { memoizable: true })
+                    };
+                }
+                Winner::Failure { tried } => {
+                    if tried.at_least_as_permissive_as(&limit) {
+                        self.stats.failure_hits += 1;
+                        return Err(GoalFailure { memoizable: true });
+                    }
+                    // A more permissive budget than any tried before:
+                    // actual (re-)optimization is required.
+                }
+            }
+        }
+
+        // "the current expression and physical property vector is marked
+        // as 'in progress'" — cycle breaking for inverse rules.
+        let key = (group, goal.clone());
+        if self.in_progress.contains(&key) {
+            return Err(GoalFailure { memoizable: false });
+        }
+        self.in_progress.insert(key.clone());
+        self.stats.goals_optimized += 1;
+        self.tracer.event(TraceEvent::GoalBegin {
+            group,
+            required: format!("{:?}", goal.required),
+        });
+
+        let mut moves = self.generate_moves(group, &goal);
+        if self.opts.promise_ordering {
+            // Stable sort by descending promise: "order the set of moves
+            // by promise".
+            moves.sort_by(|a, b| {
+                b.promise()
+                    .partial_cmp(&a.promise())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+        if let Some(k) = self.opts.move_limit {
+            // "for the most promising moves": heuristic move selection.
+            moves.truncate(k);
+        }
+
+        let mut best: Option<WinnerPlan<M>> = None;
+        let mut bound = limit.clone();
+        let mut nonmemoizable_failure = false;
+
+        for mv in moves {
+            match mv {
+                Move::Alg {
+                    rule_idx,
+                    binding,
+                    app,
+                    ..
+                } => {
+                    if let Err(nm) =
+                        self.pursue_alg(group, rule_idx, &binding, app, &mut best, &mut bound)
+                    {
+                        nonmemoizable_failure |= nm;
+                    }
+                }
+                Move::Enf { enf_idx, app, .. } => {
+                    if let Err(nm) = self.pursue_enf(group, enf_idx, app, &mut best, &mut bound) {
+                        nonmemoizable_failure |= nm;
+                    }
+                }
+            }
+        }
+
+        self.in_progress.remove(&key);
+
+        let outcome = match best {
+            Some(plan) => {
+                let cost = plan.total_cost.clone();
+                debug_assert!(
+                    plan.delivered.satisfies(&goal.required),
+                    "chosen plan's physical properties {:?} do not satisfy the goal {:?}",
+                    plan.delivered,
+                    goal.required
+                );
+                self.stats.winners_recorded += 1;
+                self.memo
+                    .set_winner(group, goal.clone(), Winner::Optimal(plan));
+                if limit.admits(&cost) {
+                    Ok(cost)
+                } else {
+                    Err(GoalFailure { memoizable: true })
+                }
+            }
+            None => {
+                if !nonmemoizable_failure && self.opts.failure_memo {
+                    self.stats.failures_recorded += 1;
+                    self.memo.set_winner(
+                        group,
+                        goal.clone(),
+                        Winner::Failure {
+                            tried: limit.clone(),
+                        },
+                    );
+                }
+                Err(GoalFailure {
+                    memoizable: !nonmemoizable_failure,
+                })
+            }
+        };
+
+        self.tracer.event(TraceEvent::GoalEnd {
+            group,
+            outcome: match &outcome {
+                Ok(c) => format!("optimal cost {c:?}"),
+                Err(_) => "failure".to_string(),
+            },
+        });
+        outcome
+    }
+
+    /// Generate the algorithm and enforcer moves for a goal.
+    fn generate_moves(&mut self, group: GroupId, goal: &Goal<M>) -> Vec<Move<M>> {
+        let model = self.model;
+        let mut moves = Vec::new();
+        let exclude_active = !goal.excluded.is_any();
+        let mut excluded_count = 0u64;
+
+        {
+            let ctx = RuleCtx::new(&self.memo);
+            // "there might be some algorithms that can deliver the logical
+            // expression with the desired physical properties".
+            for expr in self.memo.group_exprs(group) {
+                for (ri, rule) in model.implementations().iter().enumerate() {
+                    for binding in match_pattern(&self.memo, rule.pattern(), expr) {
+                        if !rule.condition(&binding, &ctx) {
+                            continue;
+                        }
+                        for app in rule.applies(&binding, &goal.required, &ctx) {
+                            debug_assert!(
+                                app.delivers.satisfies(&goal.required),
+                                "applicability function of {} produced properties {:?} that \
+                                 do not satisfy {:?}",
+                                rule.name(),
+                                app.delivers,
+                                goal.required
+                            );
+                            // "algorithms that already applied before
+                            // relaxing the physical properties must not be
+                            // explored again" below an enforcer.
+                            if exclude_active && app.delivers.satisfies(&goal.excluded) {
+                                excluded_count += 1;
+                                continue;
+                            }
+                            let promise = rule.promise(&app, &binding, &ctx);
+                            moves.push(Move::Alg {
+                                rule_idx: ri,
+                                binding: binding.clone(),
+                                app,
+                                promise,
+                            });
+                        }
+                    }
+                }
+            }
+            // "an enforcer might be useful to permit additional algorithm
+            // choices".
+            for (ei, enf) in model.enforcers().iter().enumerate() {
+                for app in enf.applies(&goal.required, group, &ctx) {
+                    if exclude_active && app.delivers.satisfies(&goal.excluded) {
+                        excluded_count += 1;
+                        continue;
+                    }
+                    let promise = enf.promise(&app, group, &ctx);
+                    moves.push(Move::Enf {
+                        enf_idx: ei,
+                        app,
+                        promise,
+                    });
+                }
+            }
+        }
+        self.stats.moves_excluded += excluded_count;
+        moves
+    }
+
+    /// Pursue an algorithm move: cost the algorithm, then optimize each
+    /// input for its required properties while the accumulated cost stays
+    /// under the bound. Returns `Err(nonmemoizable)` when abandoned.
+    fn pursue_alg(
+        &mut self,
+        group: GroupId,
+        rule_idx: usize,
+        binding: &Binding<M>,
+        app: AlgApplication<M>,
+        best: &mut Option<WinnerPlan<M>>,
+        bound: &mut Limit<M::Cost>,
+    ) -> Result<(), bool> {
+        self.stats.alg_moves += 1;
+        let model = self.model;
+        let rule = &model.implementations()[rule_idx];
+        let local = {
+            let ctx = RuleCtx::new(&self.memo);
+            rule.cost(&app, binding, &ctx)
+        };
+        self.tracer.event(TraceEvent::MoveCosted {
+            group,
+            description: format!("{} via {:?}", rule.name(), app.alg),
+        });
+
+        let leaves = binding.leaf_groups();
+        assert_eq!(
+            leaves.len(),
+            app.input_props.len(),
+            "rule {} produced {} input property vectors for {} bound input groups",
+            rule.name(),
+            app.input_props.len(),
+            leaves.len()
+        );
+
+        // "TotalCost := cost of the algorithm; for each input I while
+        // TotalCost < Limit ..."
+        let mut total = local.clone();
+        let mut input_goals = Vec::with_capacity(leaves.len());
+        for (g, props) in leaves.iter().zip(app.input_props.iter()) {
+            if self.opts.pruning && !bound.admits(&total) {
+                self.stats.moves_pruned += 1;
+                return Err(false);
+            }
+            let child_goal = Goal {
+                required: props.clone(),
+                excluded: M::PhysProps::any(),
+            };
+            let child_limit = if self.opts.pruning {
+                bound.spend(&total)
+            } else {
+                Limit::unlimited()
+            };
+            match self.optimize_goal(*g, child_goal.clone(), child_limit) {
+                Ok(c) => {
+                    total = total.add(&c);
+                    input_goals.push(InputGoal {
+                        group: *g,
+                        goal: child_goal,
+                    });
+                }
+                Err(f) => return Err(!f.memoizable),
+            }
+        }
+
+        self.consider_candidate(
+            WinnerPlan {
+                alg: app.alg,
+                delivered: app.delivers,
+                local_cost: local,
+                total_cost: total,
+                inputs: input_goals,
+                expr: Some(binding.expr),
+            },
+            best,
+            bound,
+        );
+        Ok(())
+    }
+
+    /// Pursue an enforcer move: cost the enforcer, subtract its cost from
+    /// the bound (§6), and optimize the *same* group for the relaxed
+    /// property vector with the enforced properties excluded.
+    fn pursue_enf(
+        &mut self,
+        group: GroupId,
+        enf_idx: usize,
+        app: EnforcerApplication<M>,
+        best: &mut Option<WinnerPlan<M>>,
+        bound: &mut Limit<M::Cost>,
+    ) -> Result<(), bool> {
+        self.stats.enforcer_moves += 1;
+        let model = self.model;
+        let enf = &model.enforcers()[enf_idx];
+        let local = {
+            let ctx = RuleCtx::new(&self.memo);
+            enf.cost(&app, group, &ctx)
+        };
+        self.tracer.event(TraceEvent::MoveCosted {
+            group,
+            description: format!("enforcer {} as {:?}", enf.name(), app.alg),
+        });
+
+        if self.opts.pruning && !bound.admits(&local) {
+            self.stats.moves_pruned += 1;
+            return Err(false);
+        }
+        let child_goal = Goal {
+            required: app.relaxed.clone(),
+            excluded: app.excluded.clone(),
+        };
+        let child_limit = if self.opts.pruning {
+            bound.spend(&local)
+        } else {
+            Limit::unlimited()
+        };
+        match self.optimize_goal(group, child_goal.clone(), child_limit) {
+            Ok(c) => {
+                self.consider_candidate(
+                    WinnerPlan {
+                        alg: app.alg,
+                        delivered: app.delivers,
+                        local_cost: local.clone(),
+                        total_cost: local.add(&c),
+                        inputs: vec![InputGoal {
+                            group,
+                            goal: child_goal,
+                        }],
+                        expr: None,
+                    },
+                    best,
+                    bound,
+                );
+                Ok(())
+            }
+            Err(f) => Err(!f.memoizable),
+        }
+    }
+
+    /// Accept a completed candidate if it beats the best plan so far,
+    /// tightening the branch-and-bound limit: "once a complete plan is
+    /// known ... no other plan or partial plan with higher cost can be
+    /// part of the optimal query evaluation plan".
+    fn consider_candidate(
+        &mut self,
+        candidate: WinnerPlan<M>,
+        best: &mut Option<WinnerPlan<M>>,
+        bound: &mut Limit<M::Cost>,
+    ) {
+        let better = match best {
+            None => !self.opts.pruning || bound.admits(&candidate.total_cost),
+            Some(b) => candidate.total_cost.cheaper_than(&b.total_cost),
+        };
+        if better {
+            if self.opts.pruning {
+                *bound = bound.tighten(&candidate.total_cost);
+            }
+            *best = Some(candidate);
+        }
+    }
+
+    /// Materialize the memoized optimal plan for a goal.
+    fn extract_plan(&self, group: GroupId, goal: &Goal<M>) -> Option<Plan<M>> {
+        let group = self.memo.repr(group);
+        match self.memo.winner(group, goal)? {
+            Winner::Failure { .. } => None,
+            Winner::Optimal(p) => {
+                // The paper's consistency check: "generated optimizers
+                // verify that the physical properties of a chosen plan
+                // really do satisfy the physical property vector given as
+                // part of the optimization goal" (§2.2).
+                assert!(
+                    p.delivered.satisfies(&goal.required),
+                    "plan properties {:?} violate goal {:?}",
+                    p.delivered,
+                    goal.required
+                );
+                let inputs = p
+                    .inputs
+                    .iter()
+                    .map(|ig| {
+                        self.extract_plan(ig.group, &ig.goal)
+                            .expect("input goal of a winner must itself have a winner")
+                    })
+                    .collect();
+                Some(Plan {
+                    alg: p.alg.clone(),
+                    delivered: p.delivered.clone(),
+                    local_cost: p.local_cost.clone(),
+                    cost: p.total_cost.clone(),
+                    group,
+                    inputs,
+                })
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Search statistics.
+//!
+//! The paper's evaluation (§4.2) reports optimization time, estimated plan
+//! cost, and memory consumption; the engine counts everything needed to
+//! regenerate those series and to explain *why* a search was cheap or
+//! expensive.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters accumulated over one `find_best_plan` invocation (they keep
+/// accumulating if the same optimizer instance is reused, mirroring the
+/// paper's note that partial results currently live for a single query).
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// Equivalence classes created.
+    pub groups_created: usize,
+    /// Logical expressions created (live + later retired).
+    pub exprs_created: usize,
+    /// Group merges performed by duplicate detection.
+    pub group_merges: u64,
+    /// Expressions retired as duplicates by merge cascades.
+    pub dead_exprs: u64,
+    /// Transformation-rule pattern match attempts.
+    pub transform_matches: u64,
+    /// Transformation-rule firings (pattern + condition succeeded).
+    pub transform_fired: u64,
+    /// Substitute expressions produced by transformations.
+    pub substitutes_produced: u64,
+    /// Full passes of the exploration fixpoint.
+    pub explore_passes: u64,
+    /// Optimization goals entered (excluding memo hits).
+    pub goals_optimized: u64,
+    /// Goal lookups answered from the winner table (plans).
+    pub winner_hits: u64,
+    /// Goal lookups answered from the winner table (memoized failures).
+    pub failure_hits: u64,
+    /// Algorithm moves costed.
+    pub alg_moves: u64,
+    /// Enforcer moves costed.
+    pub enforcer_moves: u64,
+    /// Moves abandoned because the accumulated cost crossed the limit
+    /// (branch-and-bound prunes).
+    pub moves_pruned: u64,
+    /// Moves skipped because their delivered properties satisfied the
+    /// excluding property vector (redundant below an enforcer).
+    pub moves_excluded: u64,
+    /// Winner entries recorded (optimal plans).
+    pub winners_recorded: u64,
+    /// Failure entries recorded.
+    pub failures_recorded: u64,
+    /// Wall-clock time spent inside `find_best_plan`.
+    pub elapsed: Duration,
+    /// Memo memory footprint estimate after the search, in bytes.
+    pub memo_bytes: usize,
+}
+
+impl SearchStats {
+    /// Total moves considered (algorithms + enforcers).
+    pub fn total_moves(&self) -> u64 {
+        self.alg_moves + self.enforcer_moves
+    }
+}
+
+impl fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "memo: {} groups, {} exprs ({} retired), {} merges, ~{} bytes",
+            self.groups_created,
+            self.exprs_created,
+            self.dead_exprs,
+            self.group_merges,
+            self.memo_bytes
+        )?;
+        writeln!(
+            f,
+            "explore: {} passes, {} matches, {} fired, {} substitutes",
+            self.explore_passes,
+            self.transform_matches,
+            self.transform_fired,
+            self.substitutes_produced
+        )?;
+        writeln!(
+            f,
+            "search: {} goals, {} winner hits, {} failure hits",
+            self.goals_optimized, self.winner_hits, self.failure_hits
+        )?;
+        writeln!(
+            f,
+            "moves: {} algorithm, {} enforcer, {} pruned, {} excluded",
+            self.alg_moves, self.enforcer_moves, self.moves_pruned, self.moves_excluded
+        )?;
+        write!(
+            f,
+            "results: {} winners, {} failures, elapsed {:?}",
+            self.winners_recorded, self.failures_recorded, self.elapsed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_display_mentions_key_counters() {
+        let s = SearchStats {
+            alg_moves: 3,
+            enforcer_moves: 2,
+            ..SearchStats::default()
+        };
+        assert_eq!(s.total_moves(), 5);
+        let text = s.to_string();
+        assert!(text.contains("3 algorithm"));
+        assert!(text.contains("2 enforcer"));
+    }
+}

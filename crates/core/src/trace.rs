@@ -1,0 +1,122 @@
+//! Optimization tracing.
+//!
+//! A [`Tracer`] receives structured events as the search runs; the default
+//! [`NullTracer`] compiles to nothing. [`CollectingTracer`] records events
+//! for tests, debugging, and `EXPLAIN`-style tooling.
+
+use std::cell::RefCell;
+
+use crate::ids::{ExprId, GroupId};
+
+/// One search event. Payloads are pre-rendered strings so the event type
+/// stays independent of the model's associated types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A transformation rule fired on an expression.
+    RuleFired {
+        /// Rule name.
+        rule: &'static str,
+        /// The matched expression.
+        expr: ExprId,
+    },
+    /// Optimization of a goal began.
+    GoalBegin {
+        /// The group being optimized.
+        group: GroupId,
+        /// Rendered required physical properties.
+        required: String,
+    },
+    /// Optimization of a goal finished.
+    GoalEnd {
+        /// The group that was optimized.
+        group: GroupId,
+        /// Rendered outcome (winning algorithm + cost, or failure).
+        outcome: String,
+    },
+    /// An algorithm or enforcer move was costed.
+    MoveCosted {
+        /// The group the move applies to.
+        group: GroupId,
+        /// Rendered move description.
+        description: String,
+    },
+}
+
+/// Receiver of search events.
+pub trait Tracer {
+    /// Called once per event, in search order.
+    fn event(&self, e: TraceEvent);
+}
+
+/// A tracer that discards everything (the default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    #[inline]
+    fn event(&self, _e: TraceEvent) {}
+}
+
+/// A tracer that collects every event in memory.
+#[derive(Debug, Default)]
+pub struct CollectingTracer {
+    events: RefCell<Vec<TraceEvent>>,
+}
+
+impl CollectingTracer {
+    /// Create an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take the collected events, leaving the collector empty.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.borrow_mut())
+    }
+
+    /// Number of events collected so far.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+}
+
+impl Tracer for CollectingTracer {
+    fn event(&self, e: TraceEvent) {
+        self.events.borrow_mut().push(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_tracer_accumulates() {
+        let t = CollectingTracer::new();
+        assert!(t.is_empty());
+        t.event(TraceEvent::RuleFired {
+            rule: "join_commute",
+            expr: ExprId::from_index(0),
+        });
+        t.event(TraceEvent::GoalBegin {
+            group: GroupId::from_index(1),
+            required: "any".into(),
+        });
+        assert_eq!(t.len(), 2);
+        let events = t.take();
+        assert_eq!(events.len(), 2);
+        assert!(t.is_empty());
+        assert!(matches!(
+            events[0],
+            TraceEvent::RuleFired {
+                rule: "join_commute",
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the memo and the search engine's invariants,
+//! using the toy model over randomly shaped join trees.
+
+use proptest::prelude::*;
+use volcano_core::cost::Limit;
+use volcano_core::toy::{ToyModel, ToyOp, ToyProps};
+use volcano_core::{ExprTree, Optimizer, PhysicalProps, SearchOptions};
+
+type Tree = ExprTree<ToyModel>;
+
+/// Strategy: a random binary join tree over tables t0..t{n-1}, each leaf
+/// used exactly once (no repeated relations, like real join queries).
+fn join_tree(n: usize) -> impl Strategy<Value = Tree> {
+    // Random permutation + random shape via split points.
+    (proptest::collection::vec(any::<u8>(), n - 1), Just(n)).prop_map(|(splits, n)| {
+        fn build(leaves: &[usize], splits: &mut impl Iterator<Item = u8>) -> Tree {
+            if leaves.len() == 1 {
+                return Tree::leaf(ToyOp::Get(format!("t{}", leaves[0])));
+            }
+            let s = (splits.next().unwrap_or(0) as usize % (leaves.len() - 1)) + 1;
+            let (l, r) = leaves.split_at(s);
+            Tree::new(ToyOp::Join, vec![build(l, splits), build(r, splits)])
+        }
+        let leaves: Vec<usize> = (0..n).collect();
+        build(&leaves, &mut splits.into_iter())
+    })
+}
+
+fn model(n: usize) -> ToyModel {
+    let tables: Vec<(String, u64)> = (0..n)
+        .map(|i| (format!("t{i}"), 100 + 137 * i as u64))
+        .collect();
+    let refs: Vec<(&str, u64)> = tables.iter().map(|(s, c)| (s.as_str(), *c)).collect();
+    ToyModel::with_tables(&refs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every initial tree shape of the same relations lands in the same
+    /// explored memo: same group count, same optimal cost (the essence
+    /// of dynamic programming over equivalence classes).
+    #[test]
+    fn optimum_is_shape_independent(n in 2usize..5, t1 in join_tree(4), t2 in join_tree(4)) {
+        let _ = n;
+        let m = model(4);
+        let mut o1 = Optimizer::new(&m, SearchOptions::default());
+        let r1 = o1.insert_tree(&t1);
+        let c1 = o1.find_best_plan(r1, ToyProps::any(), None).unwrap().cost;
+        let mut o2 = Optimizer::new(&m, SearchOptions::default());
+        let r2 = o2.insert_tree(&t2);
+        let c2 = o2.find_best_plan(r2, ToyProps::any(), None).unwrap().cost;
+        prop_assert!((c1 - c2).abs() < 1e-9, "{c1} vs {c2}");
+        prop_assert_eq!(o1.memo().num_groups(), o2.memo().num_groups());
+    }
+
+    /// Inserting the same tree twice is a no-op: full structural sharing.
+    #[test]
+    fn reinsertion_is_idempotent(t in join_tree(4)) {
+        let m = model(4);
+        let mut opt = Optimizer::new(&m, SearchOptions::default());
+        let r1 = opt.insert_tree(&t);
+        let before = opt.memo().num_exprs();
+        let r2 = opt.insert_tree(&t);
+        prop_assert_eq!(opt.memo().repr(r1), opt.memo().repr(r2));
+        prop_assert_eq!(opt.memo().num_exprs(), before);
+    }
+
+    /// Exploration is confluent: exploring before or during costing gives
+    /// identical memo contents.
+    #[test]
+    fn explore_then_optimize_matches_direct(t in join_tree(4)) {
+        let m = model(4);
+        let mut o1 = Optimizer::new(&m, SearchOptions::default());
+        let r1 = o1.insert_tree(&t);
+        o1.explore();
+        let c1 = o1.find_best_plan(r1, ToyProps::any(), None).unwrap().cost;
+
+        let mut o2 = Optimizer::new(&m, SearchOptions::default());
+        let r2 = o2.insert_tree(&t);
+        let c2 = o2.find_best_plan(r2, ToyProps::any(), None).unwrap().cost;
+        prop_assert!((c1 - c2).abs() < 1e-9);
+        prop_assert_eq!(o1.memo().num_exprs(), o2.memo().num_exprs());
+    }
+
+    /// The sorted-goal optimum is never cheaper than the unconstrained
+    /// optimum, and both are stable under re-query (memo hits).
+    #[test]
+    fn goals_are_monotone_and_memoized(t in join_tree(3)) {
+        let m = model(3);
+        let mut opt = Optimizer::new(&m, SearchOptions::default());
+        let root = opt.insert_tree(&t);
+        let free = opt.find_best_plan(root, ToyProps::any(), None).unwrap().cost;
+        let sorted = opt.find_best_plan(root, ToyProps::sorted(), None).unwrap().cost;
+        prop_assert!(sorted + 1e-9 >= free);
+        let hits_before = opt.stats().winner_hits;
+        let free2 = opt.find_best_plan(root, ToyProps::any(), None).unwrap().cost;
+        prop_assert!((free - free2).abs() < 1e-12);
+        prop_assert!(opt.stats().winner_hits > hits_before, "second query must hit the memo");
+    }
+
+    /// Limit algebra laws (the branch-and-bound arithmetic).
+    #[test]
+    fn limit_laws(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let la = Limit::at_most(a);
+        // tighten is idempotent and commutes with min.
+        prop_assert_eq!(la.tighten(&b), Limit::at_most(a.min(b)));
+        // spend then admit: spending the full budget leaves nothing.
+        let rest = la.spend(&a);
+        prop_assert!(rest.admits(&0.0));
+        prop_assert!(!rest.admits(&1e-9) || a == 0.0 || rest == Limit::at_most(0.0));
+        // permissiveness is a total preorder consistent with the value.
+        let lb = Limit::at_most(b);
+        prop_assert_eq!(la.at_least_as_permissive_as(&lb), a >= b);
+        prop_assert!(Limit::<f64>::unlimited().at_least_as_permissive_as(&la));
+    }
+
+    /// Cost-limit boundary on the toy model: limits strictly below the
+    /// optimum fail, and at/above succeed.
+    #[test]
+    fn limit_boundary(t in join_tree(3)) {
+        let m = model(3);
+        let mut opt = Optimizer::new(&m, SearchOptions::default());
+        let root = opt.insert_tree(&t);
+        let best = opt.find_best_plan(root, ToyProps::any(), None).unwrap().cost;
+        let mut o2 = Optimizer::new(&m, SearchOptions::default());
+        let r2 = o2.insert_tree(&t);
+        prop_assert!(o2.find_best_plan(r2, ToyProps::any(), Some(best * 0.999)).is_err());
+        prop_assert!(o2.find_best_plan(r2, ToyProps::any(), Some(best * 1.001)).is_ok());
+    }
+}
+
+// ToyProps laws required by the PhysicalProps contract.
+proptest! {
+    #[test]
+    fn props_laws(a in any::<bool>(), b in any::<bool>()) {
+        let pa = ToyProps { sorted: a };
+        let pb = ToyProps { sorted: b };
+        // Reflexive.
+        prop_assert!(pa.satisfies(&pa));
+        // Everything satisfies `any`.
+        prop_assert!(pa.satisfies(&ToyProps::any()));
+        // Equality implies satisfaction.
+        if pa == pb {
+            prop_assert!(pa.satisfies(&pb) && pb.satisfies(&pa));
+        }
+        // Transitivity over the two-point lattice.
+        let pc = ToyProps { sorted: a && b };
+        if pa.satisfies(&pb) && pb.satisfies(&pc) {
+            prop_assert!(pa.satisfies(&pc));
+        }
+    }
+}

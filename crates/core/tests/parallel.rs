@@ -1,0 +1,94 @@
+//! Parallel exploration (§6 "parallel search on shared-memory machines"):
+//! same memo, same optimum, any thread count.
+
+use volcano_core::toy::{ToyModel, ToyOp, ToyProps};
+use volcano_core::{ExprTree, Optimizer, PhysicalProps, SearchOptions};
+
+type Tree = ExprTree<ToyModel>;
+
+fn chain(n: usize) -> (ToyModel, Tree) {
+    let tables: Vec<(String, u64)> = (0..n)
+        .map(|i| (format!("t{i}"), 100 + 211 * i as u64))
+        .collect();
+    let refs: Vec<(&str, u64)> = tables.iter().map(|(s, c)| (s.as_str(), *c)).collect();
+    let model = ToyModel::with_tables(&refs);
+    let mut e = Tree::leaf(ToyOp::Get("t0".into()));
+    for i in 1..n {
+        e = Tree::new(
+            ToyOp::Join,
+            vec![e, Tree::leaf(ToyOp::Get(format!("t{i}")))],
+        );
+    }
+    (model, e)
+}
+
+#[test]
+fn parallel_explore_matches_sequential() {
+    for n in [3usize, 5, 7] {
+        let (model, query) = chain(n);
+
+        let mut seq = Optimizer::new(&model, SearchOptions::default());
+        let sroot = seq.insert_tree(&query);
+        seq.explore();
+        let scost = seq
+            .find_best_plan(sroot, ToyProps::any(), None)
+            .unwrap()
+            .cost;
+
+        for threads in [1usize, 2, 4, 8] {
+            let mut par = Optimizer::new(&model, SearchOptions::default());
+            let proot = par.insert_tree(&query);
+            par.explore_parallel(threads);
+            let pcost = par
+                .find_best_plan(proot, ToyProps::any(), None)
+                .unwrap()
+                .cost;
+            assert!(
+                (scost - pcost).abs() < 1e-9,
+                "n={n} threads={threads}: {scost} vs {pcost}"
+            );
+            assert_eq!(
+                seq.memo().num_groups(),
+                par.memo().num_groups(),
+                "n={n} threads={threads}: group counts diverged"
+            );
+            // Parallel passes match against a per-pass snapshot, so they
+            // may allocate duplicates that merge cascades retire; the
+            // *live* contents must agree exactly.
+            let live_seq = seq.memo().num_exprs() as u64 - seq.memo().dead_expr_count();
+            let live_par = par.memo().num_exprs() as u64 - par.memo().dead_expr_count();
+            assert_eq!(
+                live_seq, live_par,
+                "n={n} threads={threads}: live expression counts diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_explore_then_optimize_sorted_goal() {
+    let (model, query) = chain(5);
+    let mut par = Optimizer::new(&model, SearchOptions::default());
+    let root = par.insert_tree(&query);
+    par.explore_parallel(4);
+    let plan = par.find_best_plan(root, ToyProps::sorted(), None).unwrap();
+    assert!(plan.delivered.satisfies(&ToyProps::sorted()));
+
+    let mut seq = Optimizer::new(&model, SearchOptions::default());
+    let sroot = seq.insert_tree(&query);
+    let splan = seq.find_best_plan(sroot, ToyProps::sorted(), None).unwrap();
+    assert!((plan.cost - splan.cost).abs() < 1e-9);
+}
+
+#[test]
+fn parallel_explore_is_idempotent() {
+    let (model, query) = chain(4);
+    let mut opt = Optimizer::new(&model, SearchOptions::default());
+    let root = opt.insert_tree(&query);
+    opt.explore_parallel(4);
+    let exprs = opt.memo().num_exprs();
+    opt.explore_parallel(4);
+    opt.explore();
+    assert_eq!(opt.memo().num_exprs(), exprs, "fixpoint reached once");
+    let _ = opt.find_best_plan(root, ToyProps::any(), None).unwrap();
+}

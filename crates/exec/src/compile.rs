@@ -1,0 +1,285 @@
+//! Lower an optimized physical plan to an executable operator tree.
+//!
+//! Compilation walks the plan bottom-up, tracking each node's output
+//! schema (a vector of attribute ids) so predicates, join keys, sort keys
+//! and projections can be resolved to tuple positions. [`compile_node`]
+//! builds a single operator over pre-built children, which the
+//! EXPLAIN-ANALYZE instrumentation uses to interpose row counters at
+//! every operator boundary.
+
+use volcano_rel::{AttrId, Pred, RelAlg, RelPlan, TableId};
+
+use crate::database::Database;
+use crate::iterator::BoxedOperator;
+use crate::ops::{
+    aggregate::CompiledAgg, CompiledPred, Filter, HashAggregate, HashJoin, MergeJoin, NestedLoops,
+    Project, StreamAggregate, TableScan,
+};
+use crate::ops::{HashSetOp, MergeSetOp, SetOpKind};
+
+/// An executable operator tree plus its output schema.
+pub struct Compiled {
+    /// The root operator.
+    pub operator: BoxedOperator,
+    /// Output attribute ids, in tuple position order.
+    pub schema: Vec<AttrId>,
+}
+
+fn position(schema: &[AttrId], attr: AttrId) -> usize {
+    schema
+        .iter()
+        .position(|&a| a == attr)
+        .unwrap_or_else(|| panic!("attribute {attr:?} not in schema {schema:?}"))
+}
+
+fn compile_pred(schema: &[AttrId], pred: &Pred) -> CompiledPred {
+    CompiledPred::new(
+        pred.terms()
+            .iter()
+            .map(|c| (position(schema, c.attr), c.op, c.value.clone()))
+            .collect(),
+    )
+}
+
+fn table_schema(db: &Database, t: TableId) -> Vec<AttrId> {
+    db.catalog()
+        .table(t)
+        .columns
+        .iter()
+        .map(|c| c.attr)
+        .collect()
+}
+
+/// The output schema of a plan node (attribute ids in position order).
+pub fn schema_of(db: &Database, plan: &RelPlan) -> Vec<AttrId> {
+    match &plan.alg {
+        RelAlg::FileScan(t) | RelAlg::FilterScan(t, _) | RelAlg::IndexScan(t, _) => {
+            table_schema(db, *t)
+        }
+        RelAlg::Filter(_) | RelAlg::Sort(_) => schema_of(db, &plan.inputs[0]),
+        RelAlg::ProjectOp(attrs) => attrs.clone(),
+        RelAlg::MergeJoin(_) | RelAlg::HybridHashJoin(_) | RelAlg::NestedLoops(_) => {
+            let mut s = schema_of(db, &plan.inputs[0]);
+            s.extend(schema_of(db, &plan.inputs[1]));
+            s
+        }
+        RelAlg::MultiWayHashJoin { .. } => {
+            let mut s = schema_of(db, &plan.inputs[0]);
+            s.extend(schema_of(db, &plan.inputs[1]));
+            s.extend(schema_of(db, &plan.inputs[2]));
+            s
+        }
+        RelAlg::HashUnion
+        | RelAlg::HashIntersect
+        | RelAlg::HashDifference
+        | RelAlg::MergeUnion
+        | RelAlg::MergeIntersect
+        | RelAlg::MergeDifference => schema_of(db, &plan.inputs[0]),
+        RelAlg::HashAggregate(spec) | RelAlg::StreamAggregate(spec) => {
+            let mut s = spec.group_by.clone();
+            s.extend(spec.aggs.iter().map(|&(_, out)| out));
+            s
+        }
+    }
+}
+
+/// Build the operator for `plan`'s root over pre-built `children`
+/// (which must correspond to `plan.inputs`, in order).
+pub fn compile_node(
+    db: &Database,
+    plan: &RelPlan,
+    mut children: Vec<BoxedOperator>,
+) -> BoxedOperator {
+    let child_schemas: Vec<Vec<AttrId>> = plan.inputs.iter().map(|c| schema_of(db, c)).collect();
+    match &plan.alg {
+        RelAlg::FileScan(t) => Box::new(TableScan::new(db.table(*t).clone())),
+        RelAlg::IndexScan(t, attr) => {
+            let index = db
+                .index(*t, *attr)
+                .unwrap_or_else(|| panic!("no index on {t:?}.{attr:?}"))
+                .clone();
+            Box::new(crate::ops::IndexScan::new(db.table(*t).clone(), index))
+        }
+        RelAlg::FilterScan(t, pred) => {
+            let schema = table_schema(db, *t);
+            let cp = compile_pred(&schema, pred);
+            Box::new(TableScan::with_pred(db.table(*t).clone(), Some(cp)))
+        }
+        RelAlg::Filter(pred) => {
+            let cp = compile_pred(&child_schemas[0], pred);
+            Box::new(Filter::new(children.remove(0), cp))
+        }
+        RelAlg::ProjectOp(attrs) => {
+            let positions = attrs
+                .iter()
+                .map(|&a| position(&child_schemas[0], a))
+                .collect();
+            Box::new(Project::new(children.remove(0), positions))
+        }
+        RelAlg::Sort(attrs) => {
+            let keys = attrs
+                .iter()
+                .map(|&a| position(&child_schemas[0], a))
+                .collect();
+            // External sort over the database's buffer pool: run files
+            // spill through the same disk the cost model charges.
+            Box::new(crate::ops::ExternalSort::new(
+                children.remove(0),
+                keys,
+                db.pool().clone(),
+                db.sort_memory_rows(),
+            ))
+        }
+        RelAlg::MergeJoin(p) => {
+            // The key *order* the optimizer chose is visible in the left
+            // input's delivered sort order (its prefix is a permutation
+            // of the predicate's left attributes).
+            let k = p.pairs().len();
+            let left_order: Vec<AttrId> = plan.inputs[0]
+                .delivered
+                .sort
+                .iter()
+                .take(k)
+                .copied()
+                .collect();
+            assert_eq!(
+                left_order.len(),
+                k,
+                "merge join input must be sorted on all {k} key(s)"
+            );
+            let mut lkeys = Vec::with_capacity(k);
+            let mut rkeys = Vec::with_capacity(k);
+            for la in left_order {
+                let &(_, ra) = p
+                    .pairs()
+                    .iter()
+                    .find(|&&(pl, _)| pl == la)
+                    .unwrap_or_else(|| panic!("sort key {la:?} is not a join key of {p}"));
+                lkeys.push(position(&child_schemas[0], la));
+                rkeys.push(position(&child_schemas[1], ra));
+            }
+            let right = children.remove(1);
+            let left = children.remove(0);
+            Box::new(MergeJoin::new(left, right, lkeys, rkeys))
+        }
+        RelAlg::HybridHashJoin(p) => {
+            let lkeys = p
+                .pairs()
+                .iter()
+                .map(|&(la, _)| position(&child_schemas[0], la))
+                .collect();
+            let rkeys = p
+                .pairs()
+                .iter()
+                .map(|&(_, ra)| position(&child_schemas[1], ra))
+                .collect();
+            let right = children.remove(1);
+            let left = children.remove(0);
+            Box::new(HashJoin::new(left, right, lkeys, rkeys))
+        }
+        RelAlg::MultiWayHashJoin { inner, outer } => {
+            let inner_a = inner
+                .pairs()
+                .iter()
+                .map(|&(la, _)| position(&child_schemas[0], la))
+                .collect();
+            let inner_b = inner
+                .pairs()
+                .iter()
+                .map(|&(_, ra)| position(&child_schemas[1], ra))
+                .collect();
+            // The rule's condition guarantees the outer-left attributes
+            // all live in B.
+            let outer_b = outer
+                .pairs()
+                .iter()
+                .map(|&(la, _)| position(&child_schemas[1], la))
+                .collect();
+            let outer_c = outer
+                .pairs()
+                .iter()
+                .map(|&(_, ra)| position(&child_schemas[2], ra))
+                .collect();
+            let c = children.remove(2);
+            let b = children.remove(1);
+            let a = children.remove(0);
+            Box::new(crate::ops::MultiWayHash::new(
+                a, b, c, inner_a, inner_b, outer_b, outer_c,
+            ))
+        }
+        RelAlg::NestedLoops(p) => {
+            let pairs = p
+                .pairs()
+                .iter()
+                .map(|&(la, ra)| {
+                    (
+                        position(&child_schemas[0], la),
+                        position(&child_schemas[1], ra),
+                    )
+                })
+                .collect();
+            let right = children.remove(1);
+            let left = children.remove(0);
+            Box::new(NestedLoops::new(left, right, pairs))
+        }
+        RelAlg::HashUnion | RelAlg::HashIntersect | RelAlg::HashDifference => {
+            let kind = match &plan.alg {
+                RelAlg::HashUnion => SetOpKind::Union,
+                RelAlg::HashIntersect => SetOpKind::Intersect,
+                _ => SetOpKind::Difference,
+            };
+            let right = children.remove(1);
+            let left = children.remove(0);
+            Box::new(HashSetOp::new(kind, left, right))
+        }
+        RelAlg::MergeUnion | RelAlg::MergeIntersect | RelAlg::MergeDifference => {
+            let kind = match &plan.alg {
+                RelAlg::MergeUnion => SetOpKind::Union,
+                RelAlg::MergeIntersect => SetOpKind::Intersect,
+                _ => SetOpKind::Difference,
+            };
+            let right = children.remove(1);
+            let left = children.remove(0);
+            Box::new(MergeSetOp::new(kind, left, right))
+        }
+        RelAlg::HashAggregate(spec) | RelAlg::StreamAggregate(spec) => {
+            let group: Vec<usize> = spec
+                .group_by
+                .iter()
+                .map(|&a| position(&child_schemas[0], a))
+                .collect();
+            let aggs: Vec<CompiledAgg> = spec
+                .aggs
+                .iter()
+                .map(|(f, _)| {
+                    use volcano_rel::AggFunc::*;
+                    match f {
+                        CountStar => CompiledAgg::CountStar,
+                        Sum(a) => CompiledAgg::Sum(position(&child_schemas[0], *a)),
+                        Min(a) => CompiledAgg::Min(position(&child_schemas[0], *a)),
+                        Max(a) => CompiledAgg::Max(position(&child_schemas[0], *a)),
+                        Avg(a) => CompiledAgg::Avg(position(&child_schemas[0], *a)),
+                    }
+                })
+                .collect();
+            let child = children.remove(0);
+            match &plan.alg {
+                RelAlg::StreamAggregate(_) => Box::new(StreamAggregate::new(child, group, aggs)),
+                _ => Box::new(HashAggregate::new(child, group, aggs)),
+            }
+        }
+    }
+}
+
+/// Compile a plan against a database.
+pub fn compile(db: &Database, plan: &RelPlan) -> Compiled {
+    let children: Vec<BoxedOperator> = plan
+        .inputs
+        .iter()
+        .map(|c| compile(db, c).operator)
+        .collect();
+    Compiled {
+        operator: compile_node(db, plan, children),
+        schema: schema_of(db, plan),
+    }
+}

@@ -1,0 +1,38 @@
+//! The demand-driven iterator interface.
+//!
+//! "Operators consuming and producing sets or sequences of items are the
+//! fundamental building blocks" (§6); in the Volcano execution engine
+//! each algorithm is an iterator with `open`, `next`, and `close`.
+
+use volcano_rel::value::Tuple;
+
+/// A Volcano iterator: one node of an executable plan.
+///
+/// Contract: `open` before the first `next`; `next` returns `None` at end
+/// of stream and keeps returning `None` afterwards; `close` releases
+/// resources. Re-opening after `close` restarts the stream (nested-loops
+/// joins rely on this for their inner input).
+pub trait Operator: Send {
+    /// Prepare to produce tuples.
+    fn open(&mut self);
+
+    /// Produce the next tuple, or `None` at end of stream.
+    fn next(&mut self) -> Option<Tuple>;
+
+    /// Release resources.
+    fn close(&mut self);
+}
+
+/// A boxed operator tree.
+pub type BoxedOperator = Box<dyn Operator>;
+
+/// Drain an operator into a vector (opens and closes it).
+pub fn collect(op: &mut dyn Operator) -> Vec<Tuple> {
+    op.open();
+    let mut out = Vec::new();
+    while let Some(t) = op.next() {
+        out.push(t);
+    }
+    op.close();
+    out
+}

@@ -1,0 +1,35 @@
+//! # volcano-exec — the Volcano execution engine
+//!
+//! The demand-driven iterator model of the Volcano query processor \[4\]:
+//! every physical operator implements `open` / `next` / `close`
+//! ([`iterator::Operator`]), consuming and producing streams of tuples,
+//! with data pipelined between operators.
+//!
+//! * [`ops`] — the algorithms the optimizer chooses among: table scan,
+//!   filtered scan, filter, project, sort, merge join, hash join, nested
+//!   loops, set operations, aggregation, and the `exchange` operator for
+//!   pipeline parallelism (crossbeam channels), per the paper's
+//!   parallelism discussion.
+//! * [`database`] — tables as heap files behind a buffer pool, with data
+//!   generation that honours the catalog's statistics.
+//! * [`compile()`] — lowers an optimized [`volcano_rel::RelPlan`] to an
+//!   executable operator tree, resolving attributes to positions.
+//! * [`naive`] — a direct evaluator for *logical* algebra expressions:
+//!   the correctness oracle that every optimized-and-executed plan is
+//!   tested against.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analyze;
+pub mod compile;
+pub mod database;
+pub mod iterator;
+pub mod naive;
+pub mod ops;
+
+pub use analyze::{execute_analyzed, Analyzed};
+pub use compile::{compile, compile_node, schema_of, Compiled};
+pub use database::Database;
+pub use iterator::{collect, BoxedOperator, Operator};
+pub use naive::{assert_same_rows, evaluate_logical, Evaluated};

@@ -1,0 +1,245 @@
+//! A direct evaluator for *logical* algebra expressions.
+//!
+//! Slow and obviously correct: this is the oracle the optimized plans are
+//! validated against (same database in, same multiset of rows out,
+//! whatever plan the optimizer chose).
+
+use std::collections::{HashMap, HashSet};
+
+use volcano_rel::value::Tuple;
+use volcano_rel::{AggFunc, AttrId, RelExpr, RelOp, Value};
+
+use crate::database::{decode_row, Database};
+
+/// Rows plus their schema (attribute ids in position order).
+pub struct Evaluated {
+    /// Result rows (order unspecified).
+    pub rows: Vec<Tuple>,
+    /// Output schema.
+    pub schema: Vec<AttrId>,
+}
+
+fn position(schema: &[AttrId], attr: AttrId) -> usize {
+    schema
+        .iter()
+        .position(|&a| a == attr)
+        .unwrap_or_else(|| panic!("attribute {attr:?} not in schema {schema:?}"))
+}
+
+/// Evaluate a logical expression directly (no optimization).
+pub fn evaluate_logical(db: &Database, expr: &RelExpr) -> Evaluated {
+    match &expr.op {
+        RelOp::Get(t) => {
+            let schema = db
+                .catalog()
+                .table(*t)
+                .columns
+                .iter()
+                .map(|c| c.attr)
+                .collect();
+            let rows = db
+                .table(*t)
+                .scan_all()
+                .iter()
+                .map(|b| decode_row(b))
+                .collect();
+            Evaluated { rows, schema }
+        }
+        RelOp::Select(p) => {
+            let input = evaluate_logical(db, &expr.inputs[0]);
+            let terms: Vec<(usize, _, _)> = p
+                .terms()
+                .iter()
+                .map(|c| (position(&input.schema, c.attr), c.op, c.value.clone()))
+                .collect();
+            let rows = input
+                .rows
+                .into_iter()
+                .filter(|t| {
+                    terms.iter().all(|(pos, op, lit)| {
+                        t[*pos].sql_cmp(lit).map(|o| op.eval(o)).unwrap_or(false)
+                    })
+                })
+                .collect();
+            Evaluated {
+                rows,
+                schema: input.schema,
+            }
+        }
+        RelOp::Project(attrs) => {
+            let input = evaluate_logical(db, &expr.inputs[0]);
+            let positions: Vec<usize> = attrs.iter().map(|&a| position(&input.schema, a)).collect();
+            let rows = input
+                .rows
+                .into_iter()
+                .map(|t| positions.iter().map(|&i| t[i].clone()).collect())
+                .collect();
+            Evaluated {
+                rows,
+                schema: attrs.clone(),
+            }
+        }
+        RelOp::Join(p) => {
+            let l = evaluate_logical(db, &expr.inputs[0]);
+            let r = evaluate_logical(db, &expr.inputs[1]);
+            let pairs: Vec<(usize, usize)> = p
+                .pairs()
+                .iter()
+                .map(|&(la, ra)| (position(&l.schema, la), position(&r.schema, ra)))
+                .collect();
+            let mut rows = Vec::new();
+            for lt in &l.rows {
+                for rt in &r.rows {
+                    let ok = pairs.iter().all(|&(lp, rp)| {
+                        lt[lp]
+                            .sql_cmp(&rt[rp])
+                            .map(|o| o == std::cmp::Ordering::Equal)
+                            .unwrap_or(false)
+                    });
+                    if ok {
+                        let mut row = lt.clone();
+                        row.extend(rt.iter().cloned());
+                        rows.push(row);
+                    }
+                }
+            }
+            let mut schema = l.schema;
+            schema.extend(r.schema);
+            Evaluated { rows, schema }
+        }
+        RelOp::Union => {
+            let l = evaluate_logical(db, &expr.inputs[0]);
+            let r = evaluate_logical(db, &expr.inputs[1]);
+            let mut rows = l.rows;
+            rows.extend(r.rows);
+            Evaluated {
+                rows,
+                schema: l.schema,
+            }
+        }
+        RelOp::Intersect => {
+            let l = evaluate_logical(db, &expr.inputs[0]);
+            let r = evaluate_logical(db, &expr.inputs[1]);
+            let rset: HashSet<Tuple> = r.rows.into_iter().collect();
+            let mut seen = HashSet::new();
+            let rows = l
+                .rows
+                .into_iter()
+                .filter(|t| rset.contains(t) && seen.insert(t.clone()))
+                .collect();
+            Evaluated {
+                rows,
+                schema: l.schema,
+            }
+        }
+        RelOp::Difference => {
+            let l = evaluate_logical(db, &expr.inputs[0]);
+            let r = evaluate_logical(db, &expr.inputs[1]);
+            let rset: HashSet<Tuple> = r.rows.into_iter().collect();
+            let mut seen = HashSet::new();
+            let rows = l
+                .rows
+                .into_iter()
+                .filter(|t| !rset.contains(t) && seen.insert(t.clone()))
+                .collect();
+            Evaluated {
+                rows,
+                schema: l.schema,
+            }
+        }
+        RelOp::Aggregate(spec) => {
+            let input = evaluate_logical(db, &expr.inputs[0]);
+            let gpos: Vec<usize> = spec
+                .group_by
+                .iter()
+                .map(|&a| position(&input.schema, a))
+                .collect();
+            let mut groups: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+            for t in input.rows {
+                let key = gpos.iter().map(|&i| t[i].clone()).collect();
+                groups.entry(key).or_default().push(t);
+            }
+            if groups.is_empty() && spec.group_by.is_empty() {
+                groups.insert(vec![], vec![]);
+            }
+            let mut rows = Vec::new();
+            for (key, members) in groups {
+                let mut row = key;
+                for (f, _) in &spec.aggs {
+                    row.push(eval_agg(f, &members, &input.schema));
+                }
+                rows.push(row);
+            }
+            let mut schema = spec.group_by.clone();
+            schema.extend(spec.aggs.iter().map(|&(_, out)| out));
+            Evaluated { rows, schema }
+        }
+    }
+}
+
+fn eval_agg(f: &AggFunc, members: &[Tuple], schema: &[AttrId]) -> Value {
+    let numeric = |v: &Value| match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(x) => Some(x.get()),
+        _ => None,
+    };
+    match f {
+        AggFunc::CountStar => Value::Int(members.len() as i64),
+        AggFunc::Sum(a) => {
+            let pos = position(schema, *a);
+            let vals: Vec<f64> = members.iter().filter_map(|t| numeric(&t[pos])).collect();
+            if vals.is_empty() {
+                Value::Null
+            } else {
+                Value::float(vals.iter().sum())
+            }
+        }
+        AggFunc::Min(a) => {
+            let pos = position(schema, *a);
+            members
+                .iter()
+                .map(|t| &t[pos])
+                .filter(|v| !v.is_null())
+                .min()
+                .cloned()
+                .unwrap_or(Value::Null)
+        }
+        AggFunc::Max(a) => {
+            let pos = position(schema, *a);
+            members
+                .iter()
+                .map(|t| &t[pos])
+                .filter(|v| !v.is_null())
+                .max()
+                .cloned()
+                .unwrap_or(Value::Null)
+        }
+        AggFunc::Avg(a) => {
+            let pos = position(schema, *a);
+            let vals: Vec<f64> = members.iter().filter_map(|t| numeric(&t[pos])).collect();
+            if vals.is_empty() {
+                Value::Null
+            } else {
+                Value::float(vals.iter().sum::<f64>() / vals.len() as f64)
+            }
+        }
+    }
+}
+
+/// Order-insensitive multiset equality of row sets; panics with a helpful
+/// message on mismatch. Used by tests comparing optimized execution
+/// against this oracle.
+pub fn assert_same_rows(mut a: Vec<Tuple>, mut b: Vec<Tuple>) {
+    a.sort();
+    b.sort();
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "row counts differ: {} vs {}",
+        a.len(),
+        b.len()
+    );
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x, y, "row mismatch");
+    }
+}

@@ -1,0 +1,272 @@
+//! Aggregation: hash-based (unordered) and stream-based (sorted input).
+
+use std::collections::HashMap;
+
+use volcano_rel::value::Tuple;
+use volcano_rel::Value;
+
+use crate::iterator::{BoxedOperator, Operator};
+
+/// An aggregate compiled to input positions.
+#[derive(Debug, Clone, Copy)]
+pub enum CompiledAgg {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `SUM(col at position)`.
+    Sum(usize),
+    /// `MIN(col at position)`.
+    Min(usize),
+    /// `MAX(col at position)`.
+    Max(usize),
+    /// `AVG(col at position)`.
+    Avg(usize),
+}
+
+/// Running accumulator for one aggregate.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    Sum(f64, bool),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg(f64, i64),
+}
+
+impl CompiledAgg {
+    fn init(&self) -> Acc {
+        match self {
+            CompiledAgg::CountStar => Acc::Count(0),
+            CompiledAgg::Sum(_) => Acc::Sum(0.0, false),
+            CompiledAgg::Min(_) => Acc::Min(None),
+            CompiledAgg::Max(_) => Acc::Max(None),
+            CompiledAgg::Avg(_) => Acc::Avg(0.0, 0),
+        }
+    }
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(x) => Some(x.get()),
+        _ => None,
+    }
+}
+
+fn update(acc: &mut Acc, agg: &CompiledAgg, t: &Tuple) {
+    match (acc, agg) {
+        (Acc::Count(c), CompiledAgg::CountStar) => *c += 1,
+        (Acc::Sum(s, seen), CompiledAgg::Sum(p)) => {
+            if let Some(x) = numeric(&t[*p]) {
+                *s += x;
+                *seen = true;
+            }
+        }
+        (Acc::Min(m), CompiledAgg::Min(p)) => {
+            if !t[*p].is_null() && m.as_ref().map(|cur| t[*p] < *cur).unwrap_or(true) {
+                *m = Some(t[*p].clone());
+            }
+        }
+        (Acc::Max(m), CompiledAgg::Max(p)) => {
+            if !t[*p].is_null() && m.as_ref().map(|cur| t[*p] > *cur).unwrap_or(true) {
+                *m = Some(t[*p].clone());
+            }
+        }
+        (Acc::Avg(s, n), CompiledAgg::Avg(p)) => {
+            if let Some(x) = numeric(&t[*p]) {
+                *s += x;
+                *n += 1;
+            }
+        }
+        _ => unreachable!("accumulator/aggregate mismatch"),
+    }
+}
+
+fn finish(acc: Acc) -> Value {
+    match acc {
+        Acc::Count(c) => Value::Int(c),
+        Acc::Sum(s, seen) => {
+            if seen {
+                Value::float(s)
+            } else {
+                Value::Null
+            }
+        }
+        Acc::Min(m) | Acc::Max(m) => m.unwrap_or(Value::Null),
+        Acc::Avg(s, n) => {
+            if n > 0 {
+                Value::float(s / n as f64)
+            } else {
+                Value::Null
+            }
+        }
+    }
+}
+
+fn output_row(group: Vec<Value>, accs: Vec<Acc>) -> Tuple {
+    let mut row = group;
+    row.extend(accs.into_iter().map(finish));
+    row
+}
+
+/// Hash aggregation over unordered input.
+pub struct HashAggregate {
+    child: BoxedOperator,
+    group: Vec<usize>,
+    aggs: Vec<CompiledAgg>,
+    results: Vec<Tuple>,
+    idx: usize,
+}
+
+impl HashAggregate {
+    /// Aggregate `child`, grouping on positions `group`.
+    pub fn new(child: BoxedOperator, group: Vec<usize>, aggs: Vec<CompiledAgg>) -> Self {
+        HashAggregate {
+            child,
+            group,
+            aggs,
+            results: Vec::new(),
+            idx: 0,
+        }
+    }
+}
+
+impl Operator for HashAggregate {
+    fn open(&mut self) {
+        self.child.open();
+        let mut table: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+        let mut any_row = false;
+        while let Some(t) = self.child.next() {
+            any_row = true;
+            let key: Vec<Value> = self.group.iter().map(|&i| t[i].clone()).collect();
+            let accs = table
+                .entry(key)
+                .or_insert_with(|| self.aggs.iter().map(CompiledAgg::init).collect());
+            for (acc, agg) in accs.iter_mut().zip(self.aggs.iter()) {
+                update(acc, agg, &t);
+            }
+        }
+        self.child.close();
+        // Grand total over an empty input still yields one row.
+        if !any_row && self.group.is_empty() {
+            table.insert(vec![], self.aggs.iter().map(CompiledAgg::init).collect());
+        }
+        self.results = table
+            .into_iter()
+            .map(|(k, accs)| output_row(k, accs))
+            .collect();
+        self.idx = 0;
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.idx < self.results.len() {
+            let t = std::mem::take(&mut self.results[self.idx]);
+            self.idx += 1;
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    fn close(&mut self) {
+        self.results.clear();
+    }
+}
+
+/// Streaming aggregation over input sorted on the grouping positions;
+/// preserves that order in the output.
+pub struct StreamAggregate {
+    child: BoxedOperator,
+    group: Vec<usize>,
+    aggs: Vec<CompiledAgg>,
+    current_key: Option<Vec<Value>>,
+    accs: Vec<Acc>,
+    done: bool,
+    produced_any: bool,
+}
+
+impl StreamAggregate {
+    /// Aggregate sorted `child`, grouping on positions `group`.
+    pub fn new(child: BoxedOperator, group: Vec<usize>, aggs: Vec<CompiledAgg>) -> Self {
+        StreamAggregate {
+            child,
+            group,
+            aggs,
+            current_key: None,
+            accs: Vec::new(),
+            done: false,
+            produced_any: false,
+        }
+    }
+}
+
+impl Operator for StreamAggregate {
+    fn open(&mut self) {
+        self.child.open();
+        self.current_key = None;
+        self.done = false;
+        self.produced_any = false;
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match self.child.next() {
+                None => {
+                    self.done = true;
+                    self.child.close();
+                    if let Some(k) = self.current_key.take() {
+                        return Some(output_row(k, std::mem::take(&mut self.accs)));
+                    }
+                    // Grand total over empty input.
+                    if self.group.is_empty() && !self.produced_any {
+                        self.produced_any = true;
+                        return Some(output_row(
+                            vec![],
+                            self.aggs.iter().map(CompiledAgg::init).collect(),
+                        ));
+                    }
+                    return None;
+                }
+                Some(t) => {
+                    let key: Vec<Value> = self.group.iter().map(|&i| t[i].clone()).collect();
+                    match &self.current_key {
+                        Some(cur) if *cur != key => {
+                            // Group boundary: emit the finished group and
+                            // start the new one with this tuple.
+                            let finished = self.current_key.replace(key).expect("current");
+                            let accs = std::mem::replace(
+                                &mut self.accs,
+                                self.aggs.iter().map(CompiledAgg::init).collect(),
+                            );
+                            for (acc, agg) in self.accs.iter_mut().zip(self.aggs.iter()) {
+                                update(acc, agg, &t);
+                            }
+                            self.produced_any = true;
+                            return Some(output_row(finished, accs));
+                        }
+                        Some(_) => {
+                            for (acc, agg) in self.accs.iter_mut().zip(self.aggs.iter()) {
+                                update(acc, agg, &t);
+                            }
+                        }
+                        None => {
+                            self.current_key = Some(key);
+                            self.accs = self.aggs.iter().map(CompiledAgg::init).collect();
+                            for (acc, agg) in self.accs.iter_mut().zip(self.aggs.iter()) {
+                                update(acc, agg, &t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        if !self.done {
+            self.child.close();
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! The `exchange` operator: pipeline parallelism.
+//!
+//! Volcano's exchange operator \[4\] decouples a producer subtree from its
+//! consumer by running it in its own thread and streaming tuples through
+//! a bounded channel. "Location and partitioning in parallel and
+//! distributed systems can be enforced with a network and parallelism
+//! operator such as Volcano's exchange operator" (§4.1) — here it is the
+//! execution-side realization; the optimizer model treats parallelism as
+//! out of scope for the Figure 4 experiments.
+
+use crossbeam::channel::{bounded, Receiver};
+
+use volcano_rel::value::Tuple;
+
+use crate::iterator::{BoxedOperator, Operator};
+
+/// Runs its child in a separate thread; `next` receives from a bounded
+/// channel.
+pub struct Exchange {
+    child: Option<BoxedOperator>,
+    rx: Option<Receiver<Tuple>>,
+    handle: Option<std::thread::JoinHandle<BoxedOperator>>,
+    capacity: usize,
+}
+
+impl Exchange {
+    /// Wrap `child`; the channel buffers up to `capacity` tuples.
+    pub fn new(child: BoxedOperator, capacity: usize) -> Self {
+        Exchange {
+            child: Some(child),
+            rx: None,
+            handle: None,
+            capacity: capacity.max(1),
+        }
+    }
+}
+
+impl Operator for Exchange {
+    fn open(&mut self) {
+        let mut child = self.child.take().expect("exchange re-opened before close");
+        let (tx, rx) = bounded::<Tuple>(self.capacity);
+        self.rx = Some(rx);
+        self.handle = Some(std::thread::spawn(move || {
+            child.open();
+            while let Some(t) = child.next() {
+                // The consumer dropping its receiver ends the producer.
+                if tx.send(t).is_err() {
+                    break;
+                }
+            }
+            child.close();
+            child
+        }));
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        self.rx.as_ref().and_then(|rx| rx.recv().ok())
+    }
+
+    fn close(&mut self) {
+        // Drop the receiver first so a still-running producer unblocks.
+        self.rx = None;
+        if let Some(h) = self.handle.take() {
+            let child = h.join().expect("exchange producer panicked");
+            self.child = Some(child);
+        }
+    }
+}

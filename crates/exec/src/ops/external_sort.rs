@@ -1,0 +1,319 @@
+//! External sort: run formation with spill to heap files, single-level
+//! merge — the execution-side realization of the cost model's sort
+//! ("sorting costs were calculated based on a single-level merge",
+//! §4.2), with the run I/O visible in the disk counters.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use volcano_rel::value::Tuple;
+use volcano_store::{BufferPool, HeapFile, PageId};
+
+use crate::database::{decode_row, encode_row};
+use crate::iterator::{BoxedOperator, Operator};
+
+/// A page-buffered sequential reader over one spilled run.
+struct RunReader {
+    heap: HeapFile,
+    pages: Vec<PageId>,
+    page_idx: usize,
+    buffer: Vec<Tuple>,
+    buffer_idx: usize,
+}
+
+impl RunReader {
+    fn new(heap: HeapFile) -> Self {
+        let pages = heap.pages();
+        RunReader {
+            heap,
+            pages,
+            page_idx: 0,
+            buffer: Vec::new(),
+            buffer_idx: 0,
+        }
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if self.buffer_idx < self.buffer.len() {
+                let t = std::mem::take(&mut self.buffer[self.buffer_idx]);
+                self.buffer_idx += 1;
+                return Some(t);
+            }
+            if self.page_idx >= self.pages.len() {
+                return None;
+            }
+            let page = self.pages[self.page_idx];
+            self.page_idx += 1;
+            self.buffer = self
+                .heap
+                .page_records(page)
+                .iter()
+                .map(|b| decode_row(b))
+                .collect();
+            self.buffer_idx = 0;
+        }
+    }
+}
+
+enum Source {
+    /// Everything fit in memory.
+    InMemory(Vec<Tuple>, usize),
+    /// Runs spilled to heap files; merged through a min-heap of cursors.
+    Spilled {
+        readers: Vec<RunReader>,
+        heads: BinaryHeap<Head>,
+    },
+    Empty,
+}
+
+struct Head {
+    key: Vec<volcano_rel::Value>,
+    run: usize,
+    tuple: Tuple,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.run == other.run
+    }
+}
+
+impl Eq for Head {}
+
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; run index tie-break for determinism.
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.run.cmp(&self.run))
+    }
+}
+
+/// Sort with bounded memory: runs of at most `memory_rows` tuples are
+/// sorted in memory; when more than one run forms, runs spill to heap
+/// files on `pool` and are merged in a single level.
+pub struct ExternalSort {
+    child: BoxedOperator,
+    keys: Vec<usize>,
+    pool: Arc<BufferPool>,
+    memory_rows: usize,
+    source: Source,
+}
+
+impl ExternalSort {
+    /// Build the operator.
+    pub fn new(
+        child: BoxedOperator,
+        keys: Vec<usize>,
+        pool: Arc<BufferPool>,
+        memory_rows: usize,
+    ) -> Self {
+        ExternalSort {
+            child,
+            keys,
+            pool,
+            memory_rows: memory_rows.max(2),
+            source: Source::Empty,
+        }
+    }
+
+    fn key_of(keys: &[usize], t: &Tuple) -> Vec<volcano_rel::Value> {
+        keys.iter().map(|&i| t[i].clone()).collect()
+    }
+
+    fn sort_run(keys: &[usize], run: &mut [Tuple]) {
+        run.sort_by(|a, b| {
+            for &k in keys {
+                match a[k].cmp(&b[k]) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            Ordering::Equal
+        });
+    }
+}
+
+impl Operator for ExternalSort {
+    fn open(&mut self) {
+        self.child.open();
+        let mut run: Vec<Tuple> = Vec::new();
+        let mut spilled: Vec<HeapFile> = Vec::new();
+        while let Some(t) = self.child.next() {
+            run.push(t);
+            if run.len() >= self.memory_rows {
+                // Spill the sorted run.
+                Self::sort_run(&self.keys, &mut run);
+                let file = HeapFile::create(self.pool.clone());
+                for t in run.drain(..) {
+                    file.insert(&encode_row(&t));
+                }
+                spilled.push(file);
+            }
+        }
+        self.child.close();
+
+        self.source = if spilled.is_empty() {
+            Self::sort_run(&self.keys, &mut run);
+            Source::InMemory(run, 0)
+        } else {
+            // The final partial run spills too: one uniform merge.
+            if !run.is_empty() {
+                Self::sort_run(&self.keys, &mut run);
+                let file = HeapFile::create(self.pool.clone());
+                for t in run.drain(..) {
+                    file.insert(&encode_row(&t));
+                }
+                spilled.push(file);
+            }
+            let mut readers: Vec<RunReader> = spilled.into_iter().map(RunReader::new).collect();
+            let mut heads = BinaryHeap::new();
+            for (i, r) in readers.iter_mut().enumerate() {
+                if let Some(t) = r.next() {
+                    heads.push(Head {
+                        key: Self::key_of(&self.keys, &t),
+                        run: i,
+                        tuple: t,
+                    });
+                }
+            }
+            Source::Spilled { readers, heads }
+        };
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        match &mut self.source {
+            Source::Empty => None,
+            Source::InMemory(rows, idx) => {
+                if *idx < rows.len() {
+                    let t = std::mem::take(&mut rows[*idx]);
+                    *idx += 1;
+                    Some(t)
+                } else {
+                    None
+                }
+            }
+            Source::Spilled { readers, heads } => {
+                let head = heads.pop()?;
+                if let Some(t) = readers[head.run].next() {
+                    heads.push(Head {
+                        key: Self::key_of(&self.keys, &t),
+                        run: head.run,
+                        tuple: t,
+                    });
+                }
+                Some(head.tuple)
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.source = Source::Empty;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcano_rel::Value;
+    use volcano_store::MemDisk;
+
+    struct Rows(Vec<Tuple>, usize);
+
+    impl Operator for Rows {
+        fn open(&mut self) {
+            self.1 = 0;
+        }
+
+        fn next(&mut self) -> Option<Tuple> {
+            let t = self.0.get(self.1).cloned();
+            if t.is_some() {
+                self.1 += 1;
+            }
+            t
+        }
+
+        fn close(&mut self) {}
+    }
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 64))
+    }
+
+    fn rows(n: i64) -> Box<Rows> {
+        let mut v: Vec<Tuple> = (0..n).map(|i| vec![Value::Int((i * 7919) % 997)]).collect();
+        v.reverse();
+        Box::new(Rows(v, 0))
+    }
+
+    #[test]
+    fn in_memory_path_when_everything_fits() {
+        let p = pool();
+        let mut s = ExternalSort::new(rows(100), vec![0], p.clone(), 1_000);
+        s.open();
+        let mut out = Vec::new();
+        while let Some(t) = s.next() {
+            out.push(t);
+        }
+        s.close();
+        assert_eq!(out.len(), 100);
+        for w in out.windows(2) {
+            assert!(w[0][0] <= w[1][0]);
+        }
+        // Nothing spilled: data may live in the (write-back) pool, but no
+        // runs were read back.
+        let (_, misses, _) = p.stats();
+        assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn spilled_runs_merge_correctly() {
+        // A tiny pool forces the run files through the disk.
+        let p = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 4));
+        let mut s = ExternalSort::new(rows(5_000), vec![0], p.clone(), 256);
+        s.open();
+        let mut out = Vec::new();
+        while let Some(t) = s.next() {
+            out.push(t);
+        }
+        s.close();
+        assert_eq!(out.len(), 5_000);
+        for w in out.windows(2) {
+            assert!(w[0][0] <= w[1][0], "merged output out of order");
+        }
+        // ~20 runs were written and read back through the pool/disk.
+        let disk = p.disk().stats();
+        assert!(
+            disk.reads() + disk.writes() > 0,
+            "external sort must do real I/O"
+        );
+    }
+
+    #[test]
+    fn duplicates_and_empty_input() {
+        let p = pool();
+        let mut dup_rows: Vec<Tuple> = (0..600).map(|i| vec![Value::Int(i % 3)]).collect();
+        dup_rows.reverse();
+        let mut s = ExternalSort::new(Box::new(Rows(dup_rows, 0)), vec![0], p.clone(), 100);
+        s.open();
+        let mut counts = [0usize; 3];
+        while let Some(t) = s.next() {
+            let Value::Int(k) = t[0] else { panic!() };
+            counts[k as usize] += 1;
+        }
+        assert_eq!(counts, [200, 200, 200]);
+
+        let mut empty = ExternalSort::new(Box::new(Rows(vec![], 0)), vec![0], p, 100);
+        empty.open();
+        assert!(empty.next().is_none());
+    }
+}

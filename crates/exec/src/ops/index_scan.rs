@@ -1,0 +1,62 @@
+//! Ordered scan through a B+tree index: record ids are visited in key
+//! order and the rows fetched from the heap file, so the output stream
+//! *delivers* the sort order the optimizer promised.
+
+use std::sync::Arc;
+
+use volcano_rel::value::Tuple;
+use volcano_store::{BTree, HeapFile, RecordId};
+
+use crate::database::decode_row;
+use crate::iterator::Operator;
+
+/// Index-ordered table scan.
+pub struct IndexScan {
+    heap: Arc<HeapFile>,
+    index: Arc<BTree>,
+    rids: Vec<RecordId>,
+    idx: usize,
+    opened: bool,
+}
+
+impl IndexScan {
+    /// Scan `heap` in the key order of `index`.
+    pub fn new(heap: Arc<HeapFile>, index: Arc<BTree>) -> Self {
+        IndexScan {
+            heap,
+            index,
+            rids: Vec::new(),
+            idx: 0,
+            opened: false,
+        }
+    }
+}
+
+impl Operator for IndexScan {
+    fn open(&mut self) {
+        // Collect the record ids in key order; rows are fetched lazily so
+        // the stream pipelines.
+        self.rids = self.index.scan_all().into_iter().map(|(_, r)| r).collect();
+        self.idx = 0;
+        self.opened = true;
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        assert!(self.opened, "next() before open()");
+        while self.idx < self.rids.len() {
+            let rid = self.rids[self.idx];
+            self.idx += 1;
+            // Deleted rows leave dangling index entries in this simple
+            // build; skip them.
+            if let Some(bytes) = self.heap.get(rid) {
+                return Some(decode_row(&bytes));
+            }
+        }
+        None
+    }
+
+    fn close(&mut self) {
+        self.rids.clear();
+        self.opened = false;
+    }
+}

@@ -1,0 +1,415 @@
+//! Join algorithms: merge join, hash join, nested loops.
+
+use std::collections::HashMap;
+
+use volcano_rel::value::Tuple;
+use volcano_rel::Value;
+
+use crate::iterator::{BoxedOperator, Operator};
+
+fn key_of(t: &Tuple, keys: &[usize]) -> Vec<Value> {
+    keys.iter().map(|&i| t[i].clone()).collect()
+}
+
+fn concat(l: &Tuple, r: &Tuple) -> Tuple {
+    let mut out = Vec::with_capacity(l.len() + r.len());
+    out.extend(l.iter().cloned());
+    out.extend(r.iter().cloned());
+    out
+}
+
+/// Merge join over inputs sorted on the respective key positions.
+/// Handles duplicate key groups by buffering the right group and
+/// producing the cross product with each matching left tuple.
+pub struct MergeJoin {
+    left: BoxedOperator,
+    right: BoxedOperator,
+    lkeys: Vec<usize>,
+    rkeys: Vec<usize>,
+    left_cur: Option<Tuple>,
+    right_cur: Option<Tuple>,
+    /// The buffered right group currently matching `group_key`.
+    right_group: Vec<Tuple>,
+    group_key: Vec<Value>,
+    emit_idx: usize,
+    emitting: bool,
+}
+
+impl MergeJoin {
+    /// Join sorted `left` and `right` on the key positions.
+    pub fn new(
+        left: BoxedOperator,
+        right: BoxedOperator,
+        lkeys: Vec<usize>,
+        rkeys: Vec<usize>,
+    ) -> Self {
+        assert_eq!(lkeys.len(), rkeys.len());
+        assert!(!lkeys.is_empty(), "merge join needs at least one key");
+        MergeJoin {
+            left,
+            right,
+            lkeys,
+            rkeys,
+            left_cur: None,
+            right_cur: None,
+            right_group: Vec::new(),
+            group_key: Vec::new(),
+            emit_idx: 0,
+            emitting: false,
+        }
+    }
+}
+
+impl Operator for MergeJoin {
+    fn open(&mut self) {
+        self.left.open();
+        self.right.open();
+        self.left_cur = self.left.next();
+        self.right_cur = self.right.next();
+        self.right_group.clear();
+        self.emitting = false;
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            // Emit pending (left tuple × buffered right group) pairs.
+            if self.emitting {
+                if self.emit_idx < self.right_group.len() {
+                    let l = self.left_cur.as_ref().expect("emitting requires left");
+                    let out = concat(l, &self.right_group[self.emit_idx]);
+                    self.emit_idx += 1;
+                    return Some(out);
+                }
+                // Advance left; if its key still matches the buffered
+                // group, re-emit; otherwise leave emission mode.
+                self.emitting = false;
+                self.left_cur = self.left.next();
+                if let Some(l) = &self.left_cur {
+                    if key_of(l, &self.lkeys) == self.group_key {
+                        self.emit_idx = 0;
+                        self.emitting = true;
+                        continue;
+                    }
+                }
+                self.right_group.clear();
+            }
+
+            let l = self.left_cur.as_ref()?;
+            let r = match &self.right_cur {
+                Some(r) => r,
+                None => return None,
+            };
+            let lk = key_of(l, &self.lkeys);
+            let rk = key_of(r, &self.rkeys);
+            match lk.cmp(&rk) {
+                std::cmp::Ordering::Less => {
+                    self.left_cur = self.left.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    self.right_cur = self.right.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    // Buffer the whole right group with this key.
+                    self.group_key = rk;
+                    self.right_group.clear();
+                    loop {
+                        let r = self.right_cur.take().expect("group head present");
+                        self.right_group.push(r);
+                        self.right_cur = self.right.next();
+                        match &self.right_cur {
+                            Some(r2) if key_of(r2, &self.rkeys) == self.group_key => {}
+                            _ => break,
+                        }
+                    }
+                    self.emit_idx = 0;
+                    self.emitting = true;
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+        self.right_group.clear();
+    }
+}
+
+/// Hash join: builds a table on the left input, probes with the right.
+/// Output order is the probe order (treated as unordered by the model).
+pub struct HashJoin {
+    left: BoxedOperator,
+    right: BoxedOperator,
+    lkeys: Vec<usize>,
+    rkeys: Vec<usize>,
+    table: HashMap<Vec<Value>, Vec<Tuple>>,
+    probe: Option<Tuple>,
+    match_idx: usize,
+}
+
+impl HashJoin {
+    /// Join `left` (build) and `right` (probe) on the key positions.
+    pub fn new(
+        left: BoxedOperator,
+        right: BoxedOperator,
+        lkeys: Vec<usize>,
+        rkeys: Vec<usize>,
+    ) -> Self {
+        assert_eq!(lkeys.len(), rkeys.len());
+        assert!(!lkeys.is_empty(), "hash join needs at least one key");
+        HashJoin {
+            left,
+            right,
+            lkeys,
+            rkeys,
+            table: HashMap::new(),
+            probe: None,
+            match_idx: 0,
+        }
+    }
+}
+
+impl Operator for HashJoin {
+    fn open(&mut self) {
+        self.left.open();
+        self.table.clear();
+        while let Some(t) = self.left.next() {
+            // NULL keys never join (SQL semantics).
+            let k = key_of(&t, &self.lkeys);
+            if k.iter().any(Value::is_null) {
+                continue;
+            }
+            self.table.entry(k).or_default().push(t);
+        }
+        self.left.close();
+        self.right.open();
+        self.probe = None;
+        self.match_idx = 0;
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if let Some(p) = &self.probe {
+                let k = key_of(p, &self.rkeys);
+                if let Some(matches) = self.table.get(&k) {
+                    if self.match_idx < matches.len() {
+                        let out = concat(&matches[self.match_idx], p);
+                        self.match_idx += 1;
+                        return Some(out);
+                    }
+                }
+            }
+            self.probe = Some(self.right.next()?);
+            self.match_idx = 0;
+            if self
+                .probe
+                .as_ref()
+                .map(|p| key_of(p, &self.rkeys).iter().any(Value::is_null))
+                .unwrap_or(false)
+            {
+                self.probe = None;
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.right.close();
+        self.table.clear();
+    }
+}
+
+/// Tuple-at-a-time nested loops with an arbitrary equi-predicate
+/// (possibly empty = Cartesian product). Preserves the outer (left)
+/// order. The inner input is materialized at `open` (equivalent to
+/// re-opening it per outer tuple, without the redundant work).
+pub struct NestedLoops {
+    left: BoxedOperator,
+    right: BoxedOperator,
+    /// `(left position, right position)` equality pairs; empty = cross.
+    pairs: Vec<(usize, usize)>,
+    inner: Vec<Tuple>,
+    outer: Option<Tuple>,
+    inner_idx: usize,
+}
+
+impl NestedLoops {
+    /// Join `left` (outer) and `right` (inner) on the pairs.
+    pub fn new(left: BoxedOperator, right: BoxedOperator, pairs: Vec<(usize, usize)>) -> Self {
+        NestedLoops {
+            left,
+            right,
+            pairs,
+            inner: Vec::new(),
+            outer: None,
+            inner_idx: 0,
+        }
+    }
+}
+
+impl Operator for NestedLoops {
+    fn open(&mut self) {
+        self.right.open();
+        self.inner.clear();
+        while let Some(t) = self.right.next() {
+            self.inner.push(t);
+        }
+        self.right.close();
+        self.left.open();
+        self.outer = None;
+        self.inner_idx = 0;
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if let Some(o) = &self.outer {
+                while self.inner_idx < self.inner.len() {
+                    let i = &self.inner[self.inner_idx];
+                    self.inner_idx += 1;
+                    let matches = self.pairs.iter().all(|&(lp, rp)| {
+                        o[lp]
+                            .sql_cmp(&i[rp])
+                            .map(|ord| ord == std::cmp::Ordering::Equal)
+                            .unwrap_or(false)
+                    });
+                    if matches {
+                        return Some(concat(o, i));
+                    }
+                }
+            }
+            self.outer = Some(self.left.next()?);
+            self.inner_idx = 0;
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.inner.clear();
+    }
+}
+
+/// Three-way hash join `(a ⋈ b) ⋈ c` in one operator: hash tables are
+/// built on `a` (keyed by the inner join's left attributes) and on `b`
+/// (keyed by the outer join's left attributes); each probe tuple from
+/// `c` cascades through the `b` table into the `a` table, and the
+/// intermediate `a ⋈ b` tuples are never constructed.
+pub struct MultiWayHash {
+    a: BoxedOperator,
+    b: BoxedOperator,
+    c: BoxedOperator,
+    /// Key positions of the inner join: in `a` and in `b`.
+    inner_a: Vec<usize>,
+    inner_b: Vec<usize>,
+    /// Key positions of the outer join: in `b` and in `c`.
+    outer_b: Vec<usize>,
+    outer_c: Vec<usize>,
+    table_a: HashMap<Vec<Value>, Vec<Tuple>>,
+    table_b: HashMap<Vec<Value>, Vec<Tuple>>,
+    probe: Option<Tuple>,
+    /// Pending (b-match index, a-match index) cursor for the current
+    /// probe tuple.
+    b_matches: Vec<Tuple>,
+    b_idx: usize,
+    a_idx: usize,
+}
+
+impl MultiWayHash {
+    /// Build the operator.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        a: BoxedOperator,
+        b: BoxedOperator,
+        c: BoxedOperator,
+        inner_a: Vec<usize>,
+        inner_b: Vec<usize>,
+        outer_b: Vec<usize>,
+        outer_c: Vec<usize>,
+    ) -> Self {
+        assert_eq!(inner_a.len(), inner_b.len());
+        assert_eq!(outer_b.len(), outer_c.len());
+        assert!(!inner_a.is_empty() && !outer_b.is_empty());
+        MultiWayHash {
+            a,
+            b,
+            c,
+            inner_a,
+            inner_b,
+            outer_b,
+            outer_c,
+            table_a: HashMap::new(),
+            table_b: HashMap::new(),
+            probe: None,
+            b_matches: Vec::new(),
+            b_idx: 0,
+            a_idx: 0,
+        }
+    }
+}
+
+impl Operator for MultiWayHash {
+    fn open(&mut self) {
+        self.a.open();
+        self.table_a.clear();
+        while let Some(t) = self.a.next() {
+            let k = key_of(&t, &self.inner_a);
+            if !k.iter().any(Value::is_null) {
+                self.table_a.entry(k).or_default().push(t);
+            }
+        }
+        self.a.close();
+        self.b.open();
+        self.table_b.clear();
+        while let Some(t) = self.b.next() {
+            let k = key_of(&t, &self.outer_b);
+            if !k.iter().any(Value::is_null) {
+                self.table_b.entry(k).or_default().push(t);
+            }
+        }
+        self.b.close();
+        self.c.open();
+        self.probe = None;
+        self.b_matches.clear();
+        self.b_idx = 0;
+        self.a_idx = 0;
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if let Some(p) = &self.probe {
+                while self.b_idx < self.b_matches.len() {
+                    let brow = &self.b_matches[self.b_idx];
+                    let akey = key_of(brow, &self.inner_b);
+                    if let Some(amatches) = self.table_a.get(&akey) {
+                        if self.a_idx < amatches.len() {
+                            let arow = &amatches[self.a_idx];
+                            self.a_idx += 1;
+                            let mut out = arow.clone();
+                            out.extend(brow.iter().cloned());
+                            out.extend(p.iter().cloned());
+                            return Some(out);
+                        }
+                    }
+                    self.b_idx += 1;
+                    self.a_idx = 0;
+                }
+            }
+            // Fetch the next probe tuple.
+            let p = self.c.next()?;
+            let ck = key_of(&p, &self.outer_c);
+            self.b_matches = if ck.iter().any(Value::is_null) {
+                Vec::new()
+            } else {
+                self.table_b.get(&ck).cloned().unwrap_or_default()
+            };
+            self.b_idx = 0;
+            self.a_idx = 0;
+            self.probe = Some(p);
+        }
+    }
+
+    fn close(&mut self) {
+        self.c.close();
+        self.table_a.clear();
+        self.table_b.clear();
+        self.b_matches.clear();
+    }
+}

@@ -1,0 +1,23 @@
+//! The physical operators of the execution engine.
+
+pub mod aggregate;
+pub mod exchange;
+pub mod external_sort;
+pub mod filter;
+pub mod index_scan;
+pub mod joins;
+pub mod project;
+pub mod scan;
+pub mod set_ops;
+pub mod sort;
+
+pub use aggregate::{HashAggregate, StreamAggregate};
+pub use exchange::Exchange;
+pub use external_sort::ExternalSort;
+pub use filter::{CompiledPred, Filter};
+pub use index_scan::IndexScan;
+pub use joins::{HashJoin, MergeJoin, MultiWayHash, NestedLoops};
+pub use project::Project;
+pub use scan::TableScan;
+pub use set_ops::{HashSetOp, MergeSetOp, SetOpKind};
+pub use sort::Sort;

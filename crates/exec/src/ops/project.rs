@@ -1,0 +1,33 @@
+//! Column projection (no duplicate removal); order-preserving.
+
+use volcano_rel::value::Tuple;
+
+use crate::iterator::{BoxedOperator, Operator};
+
+/// Keeps the listed input positions, in order.
+pub struct Project {
+    child: BoxedOperator,
+    positions: Vec<usize>,
+}
+
+impl Project {
+    /// Project `child` onto `positions`.
+    pub fn new(child: BoxedOperator, positions: Vec<usize>) -> Self {
+        Project { child, positions }
+    }
+}
+
+impl Operator for Project {
+    fn open(&mut self) {
+        self.child.open();
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        let t = self.child.next()?;
+        Some(self.positions.iter().map(|&i| t[i].clone()).collect())
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}

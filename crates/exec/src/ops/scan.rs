@@ -1,0 +1,96 @@
+//! Sequential table scan, optionally with a fused predicate (the
+//! `filter_scan` algorithm of the multi-operator implementation rule).
+
+use std::sync::Arc;
+
+use volcano_rel::value::Tuple;
+use volcano_store::{HeapFile, PageId};
+
+use crate::database::decode_row;
+use crate::iterator::Operator;
+use crate::ops::filter::CompiledPred;
+
+/// Page-at-a-time heap-file scan.
+pub struct TableScan {
+    heap: Arc<HeapFile>,
+    /// Fused predicate for the `filter_scan` algorithm (`None` = plain
+    /// scan).
+    pred: Option<CompiledPred>,
+    pages: Vec<PageId>,
+    page_idx: usize,
+    buffer: Vec<Tuple>,
+    buffer_idx: usize,
+    opened: bool,
+}
+
+impl TableScan {
+    /// A plain scan.
+    pub fn new(heap: Arc<HeapFile>) -> Self {
+        Self::with_pred(heap, None)
+    }
+
+    /// A scan with a fused predicate.
+    pub fn with_pred(heap: Arc<HeapFile>, pred: Option<CompiledPred>) -> Self {
+        TableScan {
+            heap,
+            pred,
+            pages: Vec::new(),
+            page_idx: 0,
+            buffer: Vec::new(),
+            buffer_idx: 0,
+            opened: false,
+        }
+    }
+
+    fn fill_buffer(&mut self) -> bool {
+        while self.page_idx < self.pages.len() {
+            let page = self.pages[self.page_idx];
+            self.page_idx += 1;
+            let mut rows: Vec<Tuple> = self
+                .heap
+                .page_records(page)
+                .iter()
+                .map(|b| decode_row(b))
+                .collect();
+            if let Some(pred) = &self.pred {
+                rows.retain(|r| pred.eval(r));
+            }
+            if !rows.is_empty() {
+                self.buffer = rows;
+                self.buffer_idx = 0;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Operator for TableScan {
+    fn open(&mut self) {
+        self.pages = self.heap.pages();
+        self.page_idx = 0;
+        self.buffer.clear();
+        self.buffer_idx = 0;
+        self.opened = true;
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        assert!(self.opened, "next() before open()");
+        loop {
+            if self.buffer_idx < self.buffer.len() {
+                let t = std::mem::take(&mut self.buffer[self.buffer_idx]);
+                self.buffer_idx += 1;
+                return Some(t);
+            }
+            if !self.fill_buffer() {
+                return None;
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.buffer.clear();
+        self.pages.clear();
+        self.opened = false;
+    }
+}

@@ -1,0 +1,220 @@
+//! Set operations: union (bag), intersection and difference (set
+//! semantics), each in a hash-based and a merge-based variant.
+
+use std::collections::HashSet;
+
+use volcano_rel::value::Tuple;
+
+use crate::iterator::{BoxedOperator, Operator};
+
+/// Which set operation an operator performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOpKind {
+    /// Bag union (UNION ALL): concatenation.
+    Union,
+    /// Set intersection with duplicate elimination.
+    Intersect,
+    /// Set difference (left \ right) with duplicate elimination.
+    Difference,
+}
+
+/// Hash-based set operation; output unordered.
+pub struct HashSetOp {
+    kind: SetOpKind,
+    left: BoxedOperator,
+    right: BoxedOperator,
+    /// For intersect/difference: the right side as a set, and the keys
+    /// already emitted (duplicate elimination).
+    right_set: HashSet<Tuple>,
+    emitted: HashSet<Tuple>,
+    /// For union: which phase we're in.
+    left_done: bool,
+}
+
+impl HashSetOp {
+    /// Build the operator.
+    pub fn new(kind: SetOpKind, left: BoxedOperator, right: BoxedOperator) -> Self {
+        HashSetOp {
+            kind,
+            left,
+            right,
+            right_set: HashSet::new(),
+            emitted: HashSet::new(),
+            left_done: false,
+        }
+    }
+}
+
+impl Operator for HashSetOp {
+    fn open(&mut self) {
+        self.left.open();
+        self.left_done = false;
+        self.emitted.clear();
+        self.right_set.clear();
+        match self.kind {
+            SetOpKind::Union => {
+                // Right side is opened lazily after the left drains.
+            }
+            SetOpKind::Intersect | SetOpKind::Difference => {
+                self.right.open();
+                while let Some(t) = self.right.next() {
+                    self.right_set.insert(t);
+                }
+                self.right.close();
+            }
+        }
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        match self.kind {
+            SetOpKind::Union => {
+                if !self.left_done {
+                    if let Some(t) = self.left.next() {
+                        return Some(t);
+                    }
+                    self.left_done = true;
+                    self.right.open();
+                }
+                self.right.next()
+            }
+            SetOpKind::Intersect => loop {
+                let t = self.left.next()?;
+                if self.right_set.contains(&t) && self.emitted.insert(t.clone()) {
+                    return Some(t);
+                }
+            },
+            SetOpKind::Difference => loop {
+                let t = self.left.next()?;
+                if !self.right_set.contains(&t) && self.emitted.insert(t.clone()) {
+                    return Some(t);
+                }
+            },
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        if self.kind == SetOpKind::Union && self.left_done {
+            self.right.close();
+        }
+        self.right_set.clear();
+        self.emitted.clear();
+    }
+}
+
+/// Merge-based set operation over inputs consistently sorted on all
+/// columns ("an algorithm very similar to merge-join", §3); preserves
+/// the sort order.
+pub struct MergeSetOp {
+    kind: SetOpKind,
+    left: BoxedOperator,
+    right: BoxedOperator,
+    lcur: Option<Tuple>,
+    rcur: Option<Tuple>,
+}
+
+impl MergeSetOp {
+    /// Build the operator.
+    pub fn new(kind: SetOpKind, left: BoxedOperator, right: BoxedOperator) -> Self {
+        MergeSetOp {
+            kind,
+            left,
+            right,
+            lcur: None,
+            rcur: None,
+        }
+    }
+
+    /// Advance `lcur` past duplicates of `t` (set semantics).
+    fn skip_left_dups(&mut self, t: &Tuple) {
+        loop {
+            self.lcur = self.left.next();
+            match &self.lcur {
+                Some(l) if l == t => continue,
+                _ => break,
+            }
+        }
+    }
+}
+
+impl Operator for MergeSetOp {
+    fn open(&mut self) {
+        self.left.open();
+        self.right.open();
+        self.lcur = self.left.next();
+        self.rcur = self.right.next();
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        match self.kind {
+            SetOpKind::Union => {
+                // Bag union of two sorted streams, preserving order.
+                match (&self.lcur, &self.rcur) {
+                    (None, None) => None,
+                    (Some(_), None) => {
+                        let t = self.lcur.take();
+                        self.lcur = self.left.next();
+                        t
+                    }
+                    (None, Some(_)) => {
+                        let t = self.rcur.take();
+                        self.rcur = self.right.next();
+                        t
+                    }
+                    (Some(l), Some(r)) => {
+                        if l <= r {
+                            let t = self.lcur.take();
+                            self.lcur = self.left.next();
+                            t
+                        } else {
+                            let t = self.rcur.take();
+                            self.rcur = self.right.next();
+                            t
+                        }
+                    }
+                }
+            }
+            SetOpKind::Intersect => loop {
+                let l = self.lcur.clone()?;
+                let r = match &self.rcur {
+                    Some(r) => r.clone(),
+                    None => return None,
+                };
+                match l.cmp(&r) {
+                    std::cmp::Ordering::Less => self.skip_left_dups(&l),
+                    std::cmp::Ordering::Greater => self.rcur = self.right.next(),
+                    std::cmp::Ordering::Equal => {
+                        self.skip_left_dups(&l);
+                        return Some(l);
+                    }
+                }
+            },
+            SetOpKind::Difference => loop {
+                let l = self.lcur.clone()?;
+                match &self.rcur {
+                    None => {
+                        self.skip_left_dups(&l);
+                        return Some(l);
+                    }
+                    Some(r) => match l.cmp(r) {
+                        std::cmp::Ordering::Less => {
+                            self.skip_left_dups(&l);
+                            return Some(l);
+                        }
+                        std::cmp::Ordering::Greater => {
+                            self.rcur = self.right.next();
+                        }
+                        std::cmp::Ordering::Equal => {
+                            self.skip_left_dups(&l);
+                        }
+                    },
+                }
+            },
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+    }
+}

@@ -1,0 +1,141 @@
+//! The sort enforcer as an executable operator.
+//!
+//! Sorting is the canonical *stop point* of the iterator model: `open`
+//! drains the input, forms sorted runs, and merges them (a single merge
+//! level, as assumed by the cost model); `next` then streams the sorted
+//! result.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use volcano_rel::value::Tuple;
+
+use crate::iterator::{BoxedOperator, Operator};
+
+/// Number of tuples per in-memory run before a run boundary is forced.
+/// Small enough to exercise the merge path in tests, large enough to be
+/// irrelevant for performance at this scale.
+const RUN_SIZE: usize = 64 * 1024;
+
+/// Sorts its input by the given key positions (ascending,
+/// NULLs-first per `Value`'s total order).
+pub struct Sort {
+    child: BoxedOperator,
+    keys: Vec<usize>,
+    runs: Vec<Vec<Tuple>>,
+    heap: BinaryHeap<HeapEntry>,
+    opened: bool,
+}
+
+/// Min-heap entry: (key of head tuple, run index, offset into run).
+struct HeapEntry {
+    key: Vec<volcano_rel::Value>,
+    run: usize,
+    offset: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.run == other.run
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on key (tie-break on run for stability).
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.run.cmp(&self.run))
+    }
+}
+
+impl Sort {
+    /// Sort `child` by `keys`.
+    pub fn new(child: BoxedOperator, keys: Vec<usize>) -> Self {
+        Sort {
+            child,
+            keys,
+            runs: Vec::new(),
+            heap: BinaryHeap::new(),
+            opened: false,
+        }
+    }
+}
+
+impl Operator for Sort {
+    fn open(&mut self) {
+        self.child.open();
+        self.runs.clear();
+        self.heap.clear();
+        // Run formation.
+        let mut run: Vec<Tuple> = Vec::new();
+        while let Some(t) = self.child.next() {
+            run.push(t);
+            if run.len() >= RUN_SIZE {
+                self.finish_run(&mut run);
+            }
+        }
+        if !run.is_empty() {
+            self.finish_run(&mut run);
+        }
+        self.child.close();
+        // Single-level merge: seed the heap with each run's head.
+        for (i, r) in self.runs.iter().enumerate() {
+            if !r.is_empty() {
+                self.heap.push(HeapEntry {
+                    key: self.keys.iter().map(|&k| r[0][k].clone()).collect(),
+                    run: i,
+                    offset: 0,
+                });
+            }
+        }
+        self.opened = true;
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        assert!(self.opened, "next() before open()");
+        let entry = self.heap.pop()?;
+        let tuple = self.runs[entry.run][entry.offset].clone();
+        let next_off = entry.offset + 1;
+        if next_off < self.runs[entry.run].len() {
+            let t = &self.runs[entry.run][next_off];
+            self.heap.push(HeapEntry {
+                key: self.keys.iter().map(|&k| t[k].clone()).collect(),
+                run: entry.run,
+                offset: next_off,
+            });
+        }
+        Some(tuple)
+    }
+
+    fn close(&mut self) {
+        self.runs.clear();
+        self.heap.clear();
+        self.opened = false;
+    }
+}
+
+impl Sort {
+    fn finish_run(&mut self, run: &mut Vec<Tuple>) {
+        let keys = self.keys.clone();
+        run.sort_by(|a, b| {
+            for &k in &keys {
+                match a[k].cmp(&b[k]) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            Ordering::Equal
+        });
+        self.runs.push(std::mem::take(run));
+    }
+}

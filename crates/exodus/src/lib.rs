@@ -1,0 +1,44 @@
+//! # exodus — the EXODUS optimizer generator baseline
+//!
+//! A reimplementation of the EXODUS optimizer generator's search engine
+//! [Graefe & DeWitt, SIGMOD 1987] as characterized in §4 of the Volcano
+//! paper, used as the comparison baseline for the Figure 4 reproduction.
+//! It optimizes the *same* logical algebra (`volcano_rel::RelOp`) against
+//! the *same* catalog, cost constants, and selectivity estimators — "we
+//! specified the data model descriptions as similarly as possible for the
+//! EXODUS and Volcano optimizer generators" (§4.2) — but with the EXODUS
+//! search strategy and its documented weaknesses:
+//!
+//! 1. **One node type.** A MESH node carries a logical operator *and* its
+//!    analyzed algorithm choices; "to retain equivalent plans using
+//!    merge-join and hybrid hash join, the logical expression had to be
+//!    kept twice, resulting in a large number of nodes in MESH" — every
+//!    (re-)analysis appends plan records to the node, and the memory
+//!    accounting charges all of them.
+//! 2. **Haphazard physical properties.** There is no property-driven
+//!    search: each node greedily picks its cheapest algorithm; "the cost
+//!    of enforcers had to be included in the cost function of other
+//!    algorithms such as merge-join" — merge join folds the sorts it
+//!    needs into its own cost, and a useful sort order is exploited only
+//!    "if the algorithm with the lowest cost happened to deliver results
+//!    with useful physical properties".
+//! 3. **Forward chaining with reanalysis.** Transformations are applied
+//!    in order of *expected cost improvement* (a per-rule factor times
+//!    the current cost of the matched node), which prefers nodes "at the
+//!    top of the expression"; whenever a class's best plan changes, all
+//!    consumer nodes above are reanalyzed — "for larger queries, most of
+//!    the time was spent reanalyzing existing plans".
+//! 4. **Memory appetite.** The optimizer aborts when its MESH estimate
+//!    exceeds a budget, mirroring "the EXODUS optimizer generator aborted
+//!    due to lack of memory" on complex queries.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod mesh;
+pub mod optimizer;
+pub mod stats;
+
+pub use mesh::{ClassId, Mesh, NodeId};
+pub use optimizer::{ExodusAbort, ExodusOptimizer, ExodusOutcome, RuleFactors};
+pub use stats::ExodusStats;

@@ -1,0 +1,329 @@
+//! The MESH data structure: "the hash table called MESH, which held all
+//! logical and physical algebra expressions explored so far" (§4.1).
+//!
+//! Unlike the Volcano memo, a MESH node mixes the logical operator with
+//! its analyzed algorithm choices ("only one type of node existed"), and
+//! superseded plan records are retained — that is the paper's "large
+//! number of nodes in MESH", and it is what the memory accounting
+//! charges.
+
+use std::collections::HashMap;
+use std::mem::size_of;
+
+use volcano_core::model::Model;
+use volcano_rel::{AttrId, RelAlg, RelCost, RelLogical, RelModel, RelOp};
+
+/// Identifier of a MESH equivalence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+impl ClassId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a MESH node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One analysis record: an algorithm choice with its cost and the sort
+/// order its output happens to deliver. EXODUS keeps every record ever
+/// produced ("the logical expression had to be kept twice" to retain both
+/// merge-join and hash-join plans).
+#[derive(Debug, Clone)]
+pub struct PlanRecord {
+    /// The chosen algorithm.
+    pub alg: RelAlg,
+    /// Local cost including any implicit enforcer costs folded in (e.g.
+    /// the sorts a merge join needs).
+    pub local: RelCost,
+    /// Total cost including the inputs' current best plans.
+    pub total: RelCost,
+    /// Sort order the output happens to have (exploited only by luck:
+    /// "if the algorithm with the lowest cost happened to deliver results
+    /// with useful physical properties, this was recorded in MESH").
+    pub order: Vec<AttrId>,
+    /// Which inputs need an implicit sort under this algorithm.
+    pub input_sorts: Vec<bool>,
+}
+
+/// A MESH node: logical operator + accumulated plan records.
+pub struct NodeData {
+    /// The logical operator.
+    pub op: RelOp,
+    /// Input classes.
+    pub inputs: Vec<ClassId>,
+    /// Owning class.
+    pub class: ClassId,
+    /// All analysis records ever produced for this node (last = current).
+    pub records: Vec<PlanRecord>,
+    /// Index of the currently best record.
+    pub best: Option<usize>,
+    /// Retired by a merge cascade.
+    pub dead: bool,
+}
+
+/// A MESH equivalence class.
+pub struct ClassData {
+    /// Member nodes.
+    pub nodes: Vec<NodeId>,
+    /// Logical properties (same derivation as the Volcano side).
+    pub logical: RelLogical,
+    /// Consumer nodes that take this class as an input.
+    pub parents: Vec<NodeId>,
+    /// The cheapest analyzed member and its current total cost + order.
+    pub best: Option<(NodeId, RelCost, Vec<AttrId>)>,
+}
+
+/// The MESH.
+pub struct Mesh {
+    nodes: Vec<NodeData>,
+    classes: Vec<ClassData>,
+    parent: Vec<u32>,
+    index: HashMap<(RelOp, Vec<ClassId>), NodeId>,
+    /// Total plan records ever appended (memory statistic).
+    pub records_appended: u64,
+}
+
+impl Mesh {
+    /// An empty MESH.
+    pub fn new() -> Self {
+        Mesh {
+            nodes: Vec::new(),
+            classes: Vec::new(),
+            parent: Vec::new(),
+            index: HashMap::new(),
+            records_appended: 0,
+        }
+    }
+
+    /// Union–find representative of a class.
+    pub fn repr(&self, c: ClassId) -> ClassId {
+        let mut i = c.0;
+        while self.parent[i as usize] != i {
+            i = self.parent[i as usize];
+        }
+        ClassId(i)
+    }
+
+    /// Number of nodes (including retired ones).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of class slots allocated.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, n: NodeId) -> &NodeData {
+        &self.nodes[n.index()]
+    }
+
+    /// Mutable node accessor.
+    pub fn node_mut(&mut self, n: NodeId) -> &mut NodeData {
+        &mut self.nodes[n.index()]
+    }
+
+    /// Class accessor (resolves representatives).
+    pub fn class(&self, c: ClassId) -> &ClassData {
+        &self.classes[self.repr(c).index()]
+    }
+
+    /// Mutable class accessor (resolves representatives).
+    pub fn class_mut(&mut self, c: ClassId) -> &mut ClassData {
+        let r = self.repr(c);
+        &mut self.classes[r.index()]
+    }
+
+    /// Live member nodes of a class.
+    pub fn class_nodes(&self, c: ClassId) -> Vec<NodeId> {
+        self.class(c)
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&n| !self.nodes[n.index()].dead)
+            .collect()
+    }
+
+    /// Live consumer nodes of a class.
+    pub fn class_parents(&self, c: ClassId) -> Vec<NodeId> {
+        self.class(c)
+            .parents
+            .iter()
+            .copied()
+            .filter(|&n| !self.nodes[n.index()].dead)
+            .collect()
+    }
+
+    /// Find or create the node `(op, inputs)`. With a `target` class, a
+    /// hit in a different class merges the two. Returns the node, its
+    /// (canonical) class, and whether the node is new.
+    pub fn intern(
+        &mut self,
+        model: &RelModel,
+        op: RelOp,
+        inputs: Vec<ClassId>,
+        target: Option<ClassId>,
+    ) -> (NodeId, ClassId, bool) {
+        let inputs: Vec<ClassId> = inputs.iter().map(|&c| self.repr(c)).collect();
+        let key = (op.clone(), inputs.clone());
+        if let Some(&existing) = self.index.get(&key) {
+            let ec = self.repr(self.nodes[existing.index()].class);
+            if let Some(t) = target {
+                let t = self.repr(t);
+                if t != ec {
+                    self.merge(t, ec);
+                }
+            }
+            let ec = self.repr(ec);
+            return (existing, ec, false);
+        }
+
+        let logical = {
+            let input_props: Vec<&RelLogical> =
+                inputs.iter().map(|&c| &self.class(c).logical).collect();
+            model.derive_logical_props(&op, &input_props)
+        };
+
+        let class = match target {
+            Some(t) => self.repr(t),
+            None => {
+                let c = ClassId(self.classes.len() as u32);
+                self.classes.push(ClassData {
+                    nodes: Vec::new(),
+                    logical,
+                    parents: Vec::new(),
+                    best: None,
+                });
+                self.parent.push(c.0);
+                c
+            }
+        };
+
+        let nid = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            op,
+            inputs: inputs.clone(),
+            class,
+            records: Vec::new(),
+            best: None,
+            dead: false,
+        });
+        self.classes[class.index()].nodes.push(nid);
+        for &i in &inputs {
+            let r = self.repr(i);
+            self.classes[r.index()].parents.push(nid);
+        }
+        self.index.insert(key, nid);
+        (nid, class, true)
+    }
+
+    /// Merge two classes proven equal, cascading re-canonicalization.
+    pub fn merge(&mut self, a: ClassId, b: ClassId) {
+        let mut pending = vec![(a, b)];
+        while let Some((a, b)) = pending.pop() {
+            let ra = self.repr(a);
+            let rb = self.repr(b);
+            if ra == rb {
+                continue;
+            }
+            let (keep, gone) = if ra.0 < rb.0 { (ra, rb) } else { (rb, ra) };
+            self.parent[gone.index()] = keep.0;
+            let gone_nodes = std::mem::take(&mut self.classes[gone.index()].nodes);
+            let gone_parents = std::mem::take(&mut self.classes[gone.index()].parents);
+            self.classes[keep.index()].nodes.extend(gone_nodes);
+            self.classes[keep.index()].parents.extend(gone_parents);
+            let gone_best = self.classes[gone.index()].best.take();
+            if let Some((n, c, o)) = gone_best {
+                let better = match &self.classes[keep.index()].best {
+                    None => true,
+                    Some((_, kc, _)) => {
+                        use volcano_core::cost::Cost;
+                        c.cheaper_than(kc)
+                    }
+                };
+                if better {
+                    self.classes[keep.index()].best = Some((n, c, o));
+                }
+            }
+            pending.extend(self.rebuild_index());
+        }
+    }
+
+    fn rebuild_index(&mut self) -> Vec<(ClassId, ClassId)> {
+        self.index.clear();
+        let mut merges = Vec::new();
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].dead {
+                continue;
+            }
+            let inputs: Vec<ClassId> = self.nodes[i].inputs.iter().map(|&c| self.repr(c)).collect();
+            let class = self.repr(self.nodes[i].class);
+            self.nodes[i].inputs = inputs.clone();
+            self.nodes[i].class = class;
+            let key = (self.nodes[i].op.clone(), inputs);
+            match self.index.get(&key) {
+                None => {
+                    self.index.insert(key, NodeId(i as u32));
+                }
+                Some(&prev) => {
+                    let pc = self.repr(self.nodes[prev.index()].class);
+                    if pc != class {
+                        merges.push((pc, class));
+                    } else {
+                        self.nodes[i].dead = true;
+                    }
+                }
+            }
+        }
+        merges
+    }
+
+    /// Rough memory estimate in bytes: nodes, accumulated plan records,
+    /// class membership and parent lists, and the hash index.
+    pub fn memory_estimate(&self) -> usize {
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                size_of::<NodeData>()
+                    + n.inputs.len() * size_of::<ClassId>()
+                    + n.records
+                        .iter()
+                        .map(|r| {
+                            size_of::<PlanRecord>()
+                                + r.order.len() * size_of::<AttrId>()
+                                + r.input_sorts.len()
+                        })
+                        .sum::<usize>()
+            })
+            .sum();
+        let class_bytes: usize = self
+            .classes
+            .iter()
+            .map(|c| {
+                size_of::<ClassData>()
+                    + c.nodes.len() * size_of::<NodeId>()
+                    + c.parents.len() * size_of::<NodeId>()
+            })
+            .sum();
+        let index_bytes = self.index.len()
+            * (size_of::<(RelOp, Vec<ClassId>)>() + size_of::<NodeId>() + 2 * size_of::<ClassId>());
+        node_bytes + class_bytes + index_bytes
+    }
+}
+
+impl Default for Mesh {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,60 @@
+//! Statistics for the EXODUS baseline, shaped to line up with
+//! `volcano_core::SearchStats` in the Figure 4 tables.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters accumulated over one EXODUS optimization.
+#[derive(Debug, Clone, Default)]
+pub struct ExodusStats {
+    /// MESH nodes created.
+    pub nodes: usize,
+    /// Equivalence classes created.
+    pub classes: usize,
+    /// Transformations applied (pattern matched + substitute built).
+    pub transformations: u64,
+    /// Node analyses performed (initial + reanalyses).
+    pub analyses: u64,
+    /// Reanalyses of existing consumer nodes after a best-plan change —
+    /// the EXODUS time sink.
+    pub reanalyses: u64,
+    /// Plan records accumulated in MESH (every analysis appends records;
+    /// EXODUS kept superseded plans around).
+    pub mesh_records: u64,
+    /// Estimated MESH memory footprint in bytes.
+    pub mesh_bytes: usize,
+    /// Wall-clock optimization time.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for ExodusStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "mesh: {} nodes, {} classes, {} records, ~{} bytes",
+            self.nodes, self.classes, self.mesh_records, self.mesh_bytes
+        )?;
+        write!(
+            f,
+            "work: {} transformations, {} analyses ({} reanalyses), elapsed {:?}",
+            self.transformations, self.analyses, self.reanalyses, self.elapsed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_counters() {
+        let s = ExodusStats {
+            nodes: 5,
+            reanalyses: 7,
+            ..ExodusStats::default()
+        };
+        let t = s.to_string();
+        assert!(t.contains("5 nodes"));
+        assert!(t.contains("7 reanalyses"));
+    }
+}

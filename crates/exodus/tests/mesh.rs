@@ -1,0 +1,94 @@
+//! Unit tests of the MESH data structure itself: interning, class
+//! merging, record accounting, and the memory estimate.
+
+use exodus::mesh::Mesh;
+use volcano_rel::{Catalog, ColumnDef, JoinPred, Pred, RelModel, RelOp};
+
+fn model() -> RelModel {
+    let mut c = Catalog::new();
+    c.add_table(
+        "r",
+        100.0,
+        vec![ColumnDef::int("a", 100.0), ColumnDef::int("b", 10.0)],
+    );
+    c.add_table("s", 200.0, vec![ColumnDef::int("a", 200.0)]);
+    RelModel::with_defaults(c)
+}
+
+#[test]
+fn interning_deduplicates() {
+    let m = model();
+    let mut mesh = Mesh::new();
+    let r = m.catalog().table_by_name("r").unwrap().id;
+    let (n1, c1, new1) = mesh.intern(&m, RelOp::Get(r), vec![], None);
+    let (n2, c2, new2) = mesh.intern(&m, RelOp::Get(r), vec![], None);
+    assert!(new1);
+    assert!(!new2);
+    assert_eq!(n1, n2);
+    assert_eq!(c1, c2);
+    assert_eq!(mesh.num_nodes(), 1);
+}
+
+#[test]
+fn logical_properties_derive_through_classes() {
+    let m = model();
+    let mut mesh = Mesh::new();
+    let r = m.catalog().table_by_name("r").unwrap().id;
+    let (_, rc, _) = mesh.intern(&m, RelOp::Get(r), vec![], None);
+    assert_eq!(mesh.class(rc).logical.card, 100.0);
+    let (_, sc, _) = mesh.intern(
+        &m,
+        RelOp::Select(Pred::single(volcano_rel::Cmp::lt(
+            m.catalog().attr("r", "a"),
+            5i64,
+        ))),
+        vec![rc],
+        None,
+    );
+    // Range selectivity 1/3.
+    assert!((mesh.class(sc).logical.card - 100.0 / 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn merging_unifies_classes_and_parents() {
+    let m = model();
+    let mut mesh = Mesh::new();
+    let r = m.catalog().table_by_name("r").unwrap().id;
+    let s = m.catalog().table_by_name("s").unwrap().id;
+    let (_, rc, _) = mesh.intern(&m, RelOp::Get(r), vec![], None);
+    let (_, sc, _) = mesh.intern(&m, RelOp::Get(s), vec![], None);
+    let ra = m.catalog().attr("r", "a");
+    let sa = m.catalog().attr("s", "a");
+    let (_, j1, _) = mesh.intern(&m, RelOp::Join(JoinPred::eq(ra, sa)), vec![rc, sc], None);
+    // Interning the same join with a target class that differs forces a
+    // merge of the target with j1's class.
+    let (_, extra, _) = mesh.intern(&m, RelOp::Get(r), vec![], None);
+    let _ = extra;
+    let (_, j2_class, _) = mesh.intern(
+        &m,
+        RelOp::Join(JoinPred::eq(ra, sa)),
+        vec![rc, sc],
+        Some(sc),
+    );
+    // The join already existed in j1; providing target sc merges sc and
+    // j1's class.
+    assert_eq!(mesh.repr(j1), mesh.repr(j2_class));
+    assert_eq!(mesh.repr(j1), mesh.repr(sc));
+}
+
+#[test]
+fn memory_estimate_grows_with_records() {
+    let m = model();
+    let mut mesh = Mesh::new();
+    let r = m.catalog().table_by_name("r").unwrap().id;
+    let (node, _, _) = mesh.intern(&m, RelOp::Get(r), vec![], None);
+    let before = mesh.memory_estimate();
+    mesh.node_mut(node).records.push(exodus::mesh::PlanRecord {
+        alg: volcano_rel::RelAlg::FileScan(r),
+        local: volcano_rel::RelCost::new(1.0, 1.0),
+        total: volcano_rel::RelCost::new(1.0, 1.0),
+        order: vec![],
+        input_sorts: vec![],
+    });
+    assert!(mesh.memory_estimate() > before);
+}

@@ -1,0 +1,509 @@
+//! The interpreted backend: a [`DynModel`] implements
+//! `volcano_core::Model` directly from a parsed [`ModelSpec`], so a
+//! specification can be loaded and used at run time without generating
+//! and compiling source code.
+//!
+//! Rule and operator names live for the process lifetime (they are leaked
+//! once per model construction) because the core rule traits expose
+//! `&'static str` names — the compiled-rule-set design (§2.1 decision 4)
+//! leaks through here, deliberately.
+
+use std::sync::Arc;
+
+use volcano_core::expr::SubstExpr;
+use volcano_core::ids::GroupId;
+use volcano_core::model::{Algorithm, Model, Operator};
+use volcano_core::pattern::{Binding, BindingChild, Pattern};
+use volcano_core::props::PhysicalProps;
+use volcano_core::rules::{
+    AlgApplication, Enforcer, EnforcerApplication, ImplementationRule, RuleCtx, TransformationRule,
+};
+use volcano_core::ExprTree;
+
+use crate::expr::EvalCtx;
+use crate::spec::{ModelSpec, PatNode, PropSet};
+
+/// A logical operator instance of a dynamic model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DynOp {
+    /// Operator index in the spec.
+    pub op: usize,
+    /// Arity (duplicated from the spec so `Operator::arity` needs no
+    /// spec access).
+    pub arity: usize,
+    /// Operator name (shared).
+    pub name: Arc<str>,
+    /// Per-leaf base cardinality for 0-ary operators, as IEEE-754 bits
+    /// (so the operator stays `Eq + Hash`).
+    pub table_bits: u64,
+}
+
+impl DynOp {
+    /// The leaf cardinality.
+    pub fn table(&self) -> f64 {
+        f64::from_bits(self.table_bits)
+    }
+}
+
+impl Operator for DynOp {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A physical operator of a dynamic model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DynAlg {
+    /// Algorithm or enforcer name.
+    pub name: Arc<str>,
+}
+
+impl Algorithm for DynAlg {
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Physical property vector: a bitmask over the spec's boolean
+/// properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DynProps(pub u32);
+
+impl PhysicalProps for DynProps {
+    fn any() -> Self {
+        DynProps(0)
+    }
+
+    fn satisfies(&self, required: &Self) -> bool {
+        self.0 & required.0 == required.0
+    }
+}
+
+/// Logical properties: estimated cardinality.
+#[derive(Debug, Clone, Copy)]
+pub struct DynLogical {
+    /// Estimated rows/objects.
+    pub card: f64,
+}
+
+fn leak(s: &str) -> &'static str {
+    Box::leak(s.to_string().into_boxed_str())
+}
+
+/// Collect `variable → group` bindings by walking a pattern and its
+/// binding in lockstep.
+fn collect_vars(pat: &PatNode, child: &BindingChild<DynModel>, out: &mut Vec<(String, GroupId)>) {
+    match (pat, child) {
+        (PatNode::Var(v), BindingChild::Group(g)) => out.push((v.clone(), *g)),
+        (PatNode::Op { inputs, .. }, BindingChild::Bound(b)) => {
+            for (p, c) in inputs.iter().zip(b.children.iter()) {
+                collect_vars(p, c, out);
+            }
+        }
+        _ => panic!("pattern and binding shapes diverged"),
+    }
+}
+
+struct DynTransform {
+    name: &'static str,
+    lhs: PatNode,
+    rhs: PatNode,
+    pattern: Pattern<DynModel>,
+    /// `(index, arity, name)` per spec operator, for substitute
+    /// construction.
+    ops_table: Vec<(usize, usize, Arc<str>)>,
+}
+
+impl DynTransform {
+    fn build_subst(
+        &self,
+        node: &PatNode,
+        vars: &[(String, GroupId)],
+        ops: &[(usize, usize, Arc<str>)],
+    ) -> SubstExpr<DynModel> {
+        match node {
+            PatNode::Var(v) => {
+                let g = vars
+                    .iter()
+                    .find(|(name, _)| name == v)
+                    .map(|(_, g)| *g)
+                    .expect("validated: rhs variables bound on lhs");
+                SubstExpr::group(g)
+            }
+            PatNode::Op { op, inputs } => {
+                let (idx, arity, name) = &ops[*op];
+                SubstExpr::node(
+                    DynOp {
+                        op: *idx,
+                        arity: *arity,
+                        name: name.clone(),
+                        table_bits: 0,
+                    },
+                    inputs
+                        .iter()
+                        .map(|i| self.build_subst(i, vars, ops))
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+impl TransformationRule<DynModel> for DynTransform {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn pattern(&self) -> &Pattern<DynModel> {
+        &self.pattern
+    }
+
+    fn apply(
+        &self,
+        b: &Binding<DynModel>,
+        ctx: &RuleCtx<'_, DynModel>,
+    ) -> Vec<SubstExpr<DynModel>> {
+        let _ = ctx;
+        let mut vars = Vec::new();
+        let PatNode::Op { inputs, .. } = &self.lhs else {
+            unreachable!("validated: lhs is an operator")
+        };
+        for (p, c) in inputs.iter().zip(b.children.iter()) {
+            collect_vars(p, c, &mut vars);
+        }
+        // The ops table is reconstructed lazily from the spec via the
+        // model; the transform itself carries it (set at construction).
+        vec![self.build_subst(&self.rhs, &vars, &self.ops_table)]
+    }
+}
+
+struct DynImpl {
+    name: &'static str,
+    pattern: Pattern<DynModel>,
+    requires: Vec<PropSet>,
+    delivers: PropSet,
+    cost: crate::expr::Expr,
+    alg_name: Arc<str>,
+}
+
+impl ImplementationRule<DynModel> for DynImpl {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn pattern(&self) -> &Pattern<DynModel> {
+        &self.pattern
+    }
+
+    fn applies(
+        &self,
+        _b: &Binding<DynModel>,
+        required: &DynProps,
+        _ctx: &RuleCtx<'_, DynModel>,
+    ) -> Vec<AlgApplication<DynModel>> {
+        let resolve = |ps: &PropSet| match ps {
+            PropSet::None => DynProps(0),
+            PropSet::Pass => *required,
+            PropSet::Prop(p) => DynProps(1 << p),
+        };
+        let delivers = resolve(&self.delivers);
+        if !delivers.satisfies(required) {
+            return vec![];
+        }
+        vec![AlgApplication {
+            alg: DynAlg {
+                name: self.alg_name.clone(),
+            },
+            input_props: self.requires.iter().map(resolve).collect(),
+            delivers,
+        }]
+    }
+
+    fn cost(
+        &self,
+        _app: &AlgApplication<DynModel>,
+        b: &Binding<DynModel>,
+        ctx: &RuleCtx<'_, DynModel>,
+    ) -> f64 {
+        let inputs: Vec<f64> = b
+            .leaf_groups()
+            .iter()
+            .map(|&g| ctx.logical_props(g).card)
+            .collect();
+        let output = ctx.memo().logical_props(ctx.memo().group_of(b.expr)).card;
+        self.cost.eval(&EvalCtx {
+            inputs: &inputs,
+            output,
+            table: b.op.table(),
+        })
+    }
+}
+
+struct DynEnforcer {
+    name: &'static str,
+    prop: usize,
+    cost: crate::expr::Expr,
+    alg_name: Arc<str>,
+}
+
+impl Enforcer<DynModel> for DynEnforcer {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn applies(
+        &self,
+        required: &DynProps,
+        _group: GroupId,
+        _ctx: &RuleCtx<'_, DynModel>,
+    ) -> Vec<EnforcerApplication<DynModel>> {
+        let bit = 1u32 << self.prop;
+        if required.0 & bit == 0 {
+            return vec![];
+        }
+        vec![EnforcerApplication {
+            alg: DynAlg {
+                name: self.alg_name.clone(),
+            },
+            relaxed: DynProps(required.0 & !bit),
+            excluded: DynProps(bit),
+            delivers: *required,
+        }]
+    }
+
+    fn cost(
+        &self,
+        _app: &EnforcerApplication<DynModel>,
+        group: GroupId,
+        ctx: &RuleCtx<'_, DynModel>,
+    ) -> f64 {
+        let card = ctx.logical_props(group).card;
+        self.cost.eval(&EvalCtx {
+            inputs: &[card],
+            output: card,
+            table: 0.0,
+        })
+    }
+}
+
+/// An interpreted model: the generated optimizer without the compile
+/// step.
+pub struct DynModel {
+    spec: Arc<ModelSpec>,
+    op_names: Vec<Arc<str>>,
+    transforms: Vec<Box<dyn TransformationRule<DynModel>>>,
+    impls: Vec<Box<dyn ImplementationRule<DynModel>>>,
+    enforcers: Vec<Box<dyn Enforcer<DynModel>>>,
+}
+
+impl DynModel {
+    /// Build an interpreted model from a validated specification.
+    pub fn new(spec: ModelSpec) -> Self {
+        assert!(
+            spec.properties.len() <= 32,
+            "at most 32 boolean properties supported"
+        );
+        let spec = Arc::new(spec);
+        let op_names: Vec<Arc<str>> = spec
+            .operators
+            .iter()
+            .map(|o| Arc::<str>::from(o.name.as_str()))
+            .collect();
+        let ops_table: Vec<(usize, usize, Arc<str>)> = spec
+            .operators
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (i, o.arity, op_names[i].clone()))
+            .collect();
+
+        let transforms = spec
+            .transforms
+            .iter()
+            .map(|t| {
+                Box::new(DynTransform {
+                    name: leak(&t.name),
+                    lhs: t.lhs.clone(),
+                    rhs: t.rhs.clone(),
+                    pattern: build_pattern(&t.lhs, &op_names),
+                    ops_table: ops_table.clone(),
+                }) as Box<dyn TransformationRule<DynModel>>
+            })
+            .collect();
+
+        let impls = spec
+            .impls
+            .iter()
+            .map(|i| {
+                let opspec = &spec.operators[i.op];
+                Box::new(DynImpl {
+                    name: leak(&format!("{}_to_{}", opspec.name, i.algorithm)),
+                    pattern: build_pattern(
+                        &PatNode::Op {
+                            op: i.op,
+                            inputs: (0..opspec.arity)
+                                .map(|_| PatNode::Var("_".to_string()))
+                                .collect(),
+                        },
+                        &op_names,
+                    ),
+                    requires: i.requires.clone(),
+                    delivers: i.delivers,
+                    cost: i.cost.clone(),
+                    alg_name: Arc::<str>::from(i.algorithm.as_str()),
+                }) as Box<dyn ImplementationRule<DynModel>>
+            })
+            .collect();
+
+        let enforcers = spec
+            .enforcers
+            .iter()
+            .map(|e| {
+                Box::new(DynEnforcer {
+                    name: leak(&e.name),
+                    prop: e.enforces,
+                    cost: e.cost.clone(),
+                    alg_name: Arc::<str>::from(e.name.as_str()),
+                }) as Box<dyn Enforcer<DynModel>>
+            })
+            .collect();
+
+        DynModel {
+            spec,
+            op_names,
+            transforms,
+            impls,
+            enforcers,
+        }
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Property vector with the named properties set.
+    pub fn props(&self, names: &[&str]) -> DynProps {
+        let mut bits = 0u32;
+        for n in names {
+            let i = self
+                .spec
+                .prop_by_name(n)
+                .unwrap_or_else(|| panic!("unknown property {n:?}"));
+            bits |= 1 << i;
+        }
+        DynProps(bits)
+    }
+}
+
+fn build_pattern(p: &PatNode, op_names: &[Arc<str>]) -> Pattern<DynModel> {
+    match p {
+        PatNode::Var(_) => Pattern::Any,
+        PatNode::Op { op, inputs } => {
+            let idx = *op;
+            Pattern::op(
+                leak(&op_names[idx]),
+                move |o: &DynOp| o.op == idx,
+                inputs.iter().map(|i| build_pattern(i, op_names)).collect(),
+            )
+        }
+    }
+}
+
+impl Model for DynModel {
+    type Op = DynOp;
+    type Alg = DynAlg;
+    type LogicalProps = DynLogical;
+    type PhysProps = DynProps;
+    type Cost = f64;
+
+    fn derive_logical_props(&self, op: &DynOp, inputs: &[&DynLogical]) -> DynLogical {
+        let spec_op = &self.spec.operators[op.op];
+        let input_cards: Vec<f64> = inputs.iter().map(|l| l.card).collect();
+        let card = match &spec_op.card {
+            Some(e) => e.eval(&EvalCtx {
+                inputs: &input_cards,
+                output: 0.0,
+                table: op.table(),
+            }),
+            None => {
+                if op.arity == 0 {
+                    op.table()
+                } else {
+                    input_cards[0]
+                }
+            }
+        };
+        DynLogical { card }
+    }
+
+    fn assert_logical_props_consistent(&self, existing: &DynLogical, derived: &DynLogical) {
+        debug_assert!(
+            (existing.card - derived.card).abs() <= 1e-6 * existing.card.max(1.0),
+            "equivalent expressions derived different cardinalities: {} vs {}",
+            existing.card,
+            derived.card
+        );
+    }
+
+    fn transformations(&self) -> &[Box<dyn TransformationRule<Self>>] {
+        &self.transforms
+    }
+
+    fn implementations(&self) -> &[Box<dyn ImplementationRule<Self>>] {
+        &self.impls
+    }
+
+    fn enforcers(&self) -> &[Box<dyn Enforcer<Self>>] {
+        &self.enforcers
+    }
+}
+
+/// Convenience builder for dynamic-model queries.
+pub struct DynQueryBuilder<'m> {
+    model: &'m DynModel,
+}
+
+impl<'m> DynQueryBuilder<'m> {
+    /// Builder for a model.
+    pub fn new(model: &'m DynModel) -> Self {
+        DynQueryBuilder { model }
+    }
+
+    /// A 0-ary operator leaf with a base cardinality.
+    pub fn leaf(&self, op: &str, card: f64) -> ExprTree<DynModel> {
+        let idx = self
+            .model
+            .spec
+            .op_by_name(op)
+            .unwrap_or_else(|| panic!("unknown operator {op:?}"));
+        assert_eq!(self.model.spec.operators[idx].arity, 0);
+        ExprTree::leaf(DynOp {
+            op: idx,
+            arity: 0,
+            name: self.model.op_names[idx].clone(),
+            table_bits: card.to_bits(),
+        })
+    }
+
+    /// An interior operator node.
+    pub fn node(&self, op: &str, inputs: Vec<ExprTree<DynModel>>) -> ExprTree<DynModel> {
+        let idx = self
+            .model
+            .spec
+            .op_by_name(op)
+            .unwrap_or_else(|| panic!("unknown operator {op:?}"));
+        ExprTree::new(
+            DynOp {
+                op: idx,
+                arity: self.model.spec.operators[idx].arity,
+                name: self.model.op_names[idx].clone(),
+                table_bits: 0,
+            },
+            inputs,
+        )
+    }
+}

@@ -1,0 +1,421 @@
+//! The compiled backend: translate a model specification into Rust
+//! source code implementing the `volcano_core` traits — the paper's
+//! "optimizer source code" output (Figure 1). The emitted module is
+//! self-contained apart from its `volcano_core` dependency and is meant
+//! to be placed in the optimizer implementor's crate and compiled by
+//! `rustc`, exactly like the generator's C output in 1993.
+
+use std::fmt::Write as _;
+
+use crate::spec::{ModelSpec, PatNode, PropSet};
+
+fn camel(name: &str) -> String {
+    let mut out = String::new();
+    let mut up = true;
+    for c in name.chars() {
+        if c == '_' {
+            up = true;
+        } else if up {
+            out.extend(c.to_uppercase());
+            up = false;
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn emit_pattern(p: &PatNode, spec: &ModelSpec, out: &mut String) {
+    match p {
+        PatNode::Var(_) => out.push_str("Pattern::Any"),
+        PatNode::Op { op, inputs } => {
+            let name = &spec.operators[*op].name;
+            let variant = camel(name);
+            let _ = write!(
+                out,
+                "Pattern::op({name:?}, |op: &Op| matches!(op, Op::{variant} {{ .. }}), vec!["
+            );
+            for (i, input) in inputs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                emit_pattern(input, spec, out);
+            }
+            out.push_str("])");
+        }
+    }
+}
+
+fn emit_subst(p: &PatNode, spec: &ModelSpec, vars: &[String], out: &mut String) {
+    match p {
+        PatNode::Var(v) => {
+            let idx = vars.iter().position(|x| x == v).expect("bound var");
+            let _ = write!(out, "SubstExpr::group(vars[{idx}])");
+        }
+        PatNode::Op { op, inputs } => {
+            let variant = camel(&spec.operators[*op].name);
+            let _ = write!(out, "SubstExpr::node(Op::{variant}, vec![");
+            for (i, input) in inputs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                emit_subst(input, spec, vars, out);
+            }
+            out.push_str("])");
+        }
+    }
+}
+
+/// Emit collection of `vars[i]` group bindings by structural walk over
+/// the lhs.
+fn emit_var_collection(lhs: &PatNode, out: &mut String) {
+    // Walk: for each child position produce either a Group extraction or
+    // a nested walk.
+    fn walk(p: &PatNode, path: &str, out: &mut String) {
+        match p {
+            PatNode::Var(_) => {
+                let _ = writeln!(out, "        vars.push({path}.clone().into_group());");
+            }
+            PatNode::Op { inputs, .. } => {
+                for (i, child) in inputs.iter().enumerate() {
+                    let child_path = format!("{path}.nested_or_child({i})");
+                    match child {
+                        PatNode::Var(_) => {
+                            let _ = writeln!(
+                                out,
+                                "        vars.push(binding_child_group({path}, {i}));"
+                            );
+                        }
+                        PatNode::Op { .. } => {
+                            let _ =
+                                writeln!(out, "        // nested operator at input {i} of {path}");
+                            walk(child, &child_path, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // The generated code uses a small runtime helper (emitted below) that
+    // resolves child `i` of a binding path expression.
+    match lhs {
+        PatNode::Op { inputs, .. } => {
+            for (i, child) in inputs.iter().enumerate() {
+                match child {
+                    PatNode::Var(_) => {
+                        let _ = writeln!(out, "        vars.push(b.input_group({i}));");
+                    }
+                    PatNode::Op { .. } => {
+                        let _ = writeln!(out, "        {{ let nb = b.nested({i});");
+                        emit_var_collection_nested(child, "nb", out);
+                        let _ = writeln!(out, "        }}");
+                    }
+                }
+            }
+        }
+        PatNode::Var(_) => unreachable!("validated"),
+    }
+    let _ = walk; // silence: top-level handled explicitly
+}
+
+fn emit_var_collection_nested(p: &PatNode, var: &str, out: &mut String) {
+    if let PatNode::Op { inputs, .. } = p {
+        for (i, child) in inputs.iter().enumerate() {
+            match child {
+                PatNode::Var(_) => {
+                    let _ = writeln!(out, "            vars.push({var}.input_group({i}));");
+                }
+                PatNode::Op { .. } => {
+                    let _ = writeln!(out, "            {{ let nb2 = {var}.nested({i});");
+                    emit_var_collection_nested(child, "nb2", out);
+                    let _ = writeln!(out, "            }}");
+                }
+            }
+        }
+    }
+}
+
+/// Generate a self-contained Rust module implementing the specification.
+pub fn emit_rust(spec: &ModelSpec) -> String {
+    let mut s = String::new();
+    let model = camel(&spec.name);
+    let _ = writeln!(
+        s,
+        "//! GENERATED by the Volcano optimizer generator (volcano-gen).\n\
+         //! Model specification: `{}`. Do not edit by hand.\n",
+        spec.name
+    );
+    s.push_str(
+        "use volcano_core::expr::SubstExpr;\n\
+         use volcano_core::ids::GroupId;\n\
+         use volcano_core::model::{Algorithm, Model, Operator};\n\
+         use volcano_core::pattern::{Binding, Pattern};\n\
+         use volcano_core::props::PhysicalProps;\n\
+         use volcano_core::rules::{\n\
+             AlgApplication, Enforcer, EnforcerApplication, ImplementationRule, RuleCtx,\n\
+             TransformationRule,\n\
+         };\n\n",
+    );
+
+    // Operators.
+    s.push_str("/// Logical operators (generated).\n#[derive(Debug, Clone, PartialEq, Eq, Hash)]\npub enum Op {\n");
+    for o in &spec.operators {
+        if o.arity == 0 {
+            let _ = writeln!(
+                s,
+                "    /// `{0}` (leaf; carries its base cardinality as bits).\n    {1}(u64),",
+                o.name,
+                camel(&o.name)
+            );
+        } else {
+            let _ = writeln!(s, "    /// `{0}`.\n    {1},", o.name, camel(&o.name));
+        }
+    }
+    s.push_str(
+        "}\n\nimpl Operator for Op {\n    fn arity(&self) -> usize {\n        match self {\n",
+    );
+    for o in &spec.operators {
+        let pat = if o.arity == 0 {
+            format!("Op::{}(_)", camel(&o.name))
+        } else {
+            format!("Op::{}", camel(&o.name))
+        };
+        let _ = writeln!(s, "            {pat} => {},", o.arity);
+    }
+    s.push_str("        }\n    }\n\n    fn name(&self) -> &str {\n        match self {\n");
+    for o in &spec.operators {
+        let pat = if o.arity == 0 {
+            format!("Op::{}(_)", camel(&o.name))
+        } else {
+            format!("Op::{}", camel(&o.name))
+        };
+        let _ = writeln!(s, "            {pat} => {:?},", o.name);
+    }
+    s.push_str("        }\n    }\n}\n\n");
+
+    // Algorithms.
+    s.push_str("/// Physical operators (generated).\n#[derive(Debug, Clone, PartialEq, Eq, Hash)]\npub enum Alg {\n");
+    for i in &spec.impls {
+        let _ = writeln!(
+            s,
+            "    /// `{0}`.\n    {1},",
+            i.algorithm,
+            camel(&i.algorithm)
+        );
+    }
+    for e in &spec.enforcers {
+        let _ = writeln!(
+            s,
+            "    /// Enforcer `{0}`.\n    {1},",
+            e.name,
+            camel(&e.name)
+        );
+    }
+    s.push_str(
+        "}\n\nimpl Algorithm for Alg {\n    fn name(&self) -> &str {\n        match self {\n",
+    );
+    for i in &spec.impls {
+        let _ = writeln!(
+            s,
+            "            Alg::{} => {:?},",
+            camel(&i.algorithm),
+            i.algorithm
+        );
+    }
+    for e in &spec.enforcers {
+        let _ = writeln!(s, "            Alg::{} => {:?},", camel(&e.name), e.name);
+    }
+    s.push_str("        }\n    }\n}\n\n");
+
+    // Properties.
+    s.push_str(
+        "/// Physical property vector: one bit per declared property.\n\
+         #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]\n\
+         pub struct Props(pub u32);\n\n",
+    );
+    for (i, p) in spec.properties.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "/// Bit for property `{p}`.\npub const {}: u32 = 1 << {i};",
+            p.to_uppercase()
+        );
+    }
+    s.push_str(
+        "\nimpl PhysicalProps for Props {\n    fn any() -> Self {\n        Props(0)\n    }\n\n\
+         \x20   fn satisfies(&self, required: &Self) -> bool {\n        self.0 & required.0 == required.0\n    }\n}\n\n\
+         /// Logical properties: estimated cardinality.\n\
+         #[derive(Debug, Clone, Copy)]\npub struct Logical {\n    /// Estimated rows.\n    pub card: f64,\n}\n\n",
+    );
+
+    // Transformations.
+    for t in &spec.transforms {
+        let vars = t.lhs.vars();
+        let strukt = camel(&t.name);
+        let _ = writeln!(s, "/// Transformation `{}`.\npub struct {strukt} {{\n    pattern: Pattern<{model}>,\n}}\n", t.name);
+        let mut pat = String::new();
+        emit_pattern(&t.lhs, spec, &mut pat);
+        let _ = writeln!(
+            s,
+            "impl {strukt} {{\n    /// Construct the rule.\n    pub fn new() -> Self {{\n        {strukt} {{ pattern: {pat} }}\n    }}\n}}\n"
+        );
+        let mut collect = String::new();
+        emit_var_collection(&t.lhs, &mut collect);
+        let mut subst = String::new();
+        emit_subst(&t.rhs, spec, &vars, &mut subst);
+        let _ = writeln!(
+            s,
+            "impl TransformationRule<{model}> for {strukt} {{\n\
+             \x20   fn name(&self) -> &'static str {{\n        {:?}\n    }}\n\n\
+             \x20   fn pattern(&self) -> &Pattern<{model}> {{\n        &self.pattern\n    }}\n\n\
+             \x20   fn apply(&self, b: &Binding<{model}>, _ctx: &RuleCtx<'_, {model}>) -> Vec<SubstExpr<{model}>> {{\n\
+             \x20       let mut vars: Vec<GroupId> = Vec::new();\n{collect}\
+             \x20       vec![{subst}]\n    }}\n}}\n",
+            t.name
+        );
+    }
+
+    // Implementation rules.
+    for (idx, i) in spec.impls.iter().enumerate() {
+        let opspec = &spec.operators[i.op];
+        let strukt = format!("{}Rule", camel(&i.algorithm));
+        let rule_name = format!("{}_to_{}", opspec.name, i.algorithm);
+        let op_variant = camel(&opspec.name);
+        let op_match = if opspec.arity == 0 {
+            format!("Op::{op_variant}(_)")
+        } else {
+            format!("Op::{op_variant}")
+        };
+        let anys = vec!["Pattern::Any"; opspec.arity].join(", ");
+        let resolve = |ps: &PropSet| match ps {
+            PropSet::None => "Props(0)".to_string(),
+            PropSet::Pass => "*required".to_string(),
+            PropSet::Prop(p) => format!("Props({})", spec.properties[*p].to_uppercase()),
+        };
+        let requires: Vec<String> = i.requires.iter().map(resolve).collect();
+        let delivers = resolve(&i.delivers);
+        let _ = writeln!(
+            s,
+            "/// Implementation rule {idx}: `{rule_name}`.\npub struct {strukt} {{\n    pattern: Pattern<{model}>,\n}}\n\n\
+             impl {strukt} {{\n    /// Construct the rule.\n    pub fn new() -> Self {{\n\
+             \x20       {strukt} {{ pattern: Pattern::op({:?}, |op: &Op| matches!(op, {op_match}), vec![{anys}]) }}\n    }}\n}}\n",
+            opspec.name
+        );
+        let _ = writeln!(
+            s,
+            "impl ImplementationRule<{model}> for {strukt} {{\n\
+             \x20   fn name(&self) -> &'static str {{\n        {rule_name:?}\n    }}\n\n\
+             \x20   fn pattern(&self) -> &Pattern<{model}> {{\n        &self.pattern\n    }}\n\n\
+             \x20   fn applies(&self, _b: &Binding<{model}>, required: &Props, _ctx: &RuleCtx<'_, {model}>) -> Vec<AlgApplication<{model}>> {{\n\
+             \x20       let delivers = {delivers};\n\
+             \x20       if !delivers.satisfies(required) {{\n            return vec![];\n        }}\n\
+             \x20       vec![AlgApplication {{\n            alg: Alg::{alg},\n            input_props: vec![{reqs}],\n            delivers,\n        }}]\n    }}\n\n\
+             \x20   fn cost(&self, _app: &AlgApplication<{model}>, b: &Binding<{model}>, ctx: &RuleCtx<'_, {model}>) -> f64 {{\n\
+             \x20       let inputs: Vec<f64> = b.leaf_groups().iter().map(|&g| ctx.logical_props(g).card).collect();\n\
+             \x20       let output = ctx.memo().logical_props(ctx.memo().group_of(b.expr)).card;\n\
+             \x20       let table = leaf_card(&b.op);\n\
+             \x20       let _ = (&inputs, output, table);\n\
+             \x20       {cost}\n    }}\n}}\n",
+            alg = camel(&i.algorithm),
+            reqs = requires.join(", "),
+            cost = i.cost.to_rust(),
+        );
+    }
+
+    // Enforcers.
+    for e in &spec.enforcers {
+        let strukt = format!("{}Enforcer", camel(&e.name));
+        let bit = spec.properties[e.enforces].to_uppercase();
+        let _ = writeln!(
+            s,
+            "/// Enforcer `{name}` for property `{prop}`.\npub struct {strukt};\n\n\
+             impl Enforcer<{model}> for {strukt} {{\n\
+             \x20   fn name(&self) -> &'static str {{\n        {name:?}\n    }}\n\n\
+             \x20   fn applies(&self, required: &Props, _group: GroupId, _ctx: &RuleCtx<'_, {model}>) -> Vec<EnforcerApplication<{model}>> {{\n\
+             \x20       if required.0 & {bit} == 0 {{\n            return vec![];\n        }}\n\
+             \x20       vec![EnforcerApplication {{\n\
+             \x20           alg: Alg::{alg},\n\
+             \x20           relaxed: Props(required.0 & !{bit}),\n\
+             \x20           excluded: Props({bit}),\n\
+             \x20           delivers: *required,\n        }}]\n    }}\n\n\
+             \x20   fn cost(&self, _app: &EnforcerApplication<{model}>, group: GroupId, ctx: &RuleCtx<'_, {model}>) -> f64 {{\n\
+             \x20       let card = ctx.logical_props(group).card;\n\
+             \x20       let inputs = [card];\n        let output = card;\n        let table = 0.0f64;\n\
+             \x20       let _ = (&inputs, output, table);\n\
+             \x20       {cost}\n    }}\n}}\n",
+            name = e.name,
+            prop = spec.properties[e.enforces],
+            alg = camel(&e.name),
+            cost = e.cost.to_rust(),
+        );
+    }
+
+    // Leaf-card helper + cardinality derivation + the model itself.
+    s.push_str("fn leaf_card(op: &Op) -> f64 {\n    match op {\n");
+    for o in &spec.operators {
+        if o.arity == 0 {
+            let _ = writeln!(
+                s,
+                "        Op::{}(bits) => f64::from_bits(*bits),",
+                camel(&o.name)
+            );
+        }
+    }
+    s.push_str("        _ => 0.0,\n    }\n}\n\n");
+
+    let _ = writeln!(
+        s,
+        "/// The generated model: operators, rules, ADTs, assembled.\npub struct {model} {{\n\
+         \x20   transforms: Vec<Box<dyn TransformationRule<{model}>>>,\n\
+         \x20   impls: Vec<Box<dyn ImplementationRule<{model}>>>,\n\
+         \x20   enforcers: Vec<Box<dyn Enforcer<{model}>>>,\n}}\n"
+    );
+    s.push_str(&format!(
+        "impl {model} {{\n    /// Assemble the generated optimizer model.\n    pub fn new() -> Self {{\n        {model} {{\n"
+    ));
+    s.push_str("            transforms: vec![");
+    for t in &spec.transforms {
+        let _ = write!(s, "Box::new({}::new()), ", camel(&t.name));
+    }
+    s.push_str("],\n            impls: vec![");
+    for i in &spec.impls {
+        let _ = write!(s, "Box::new({}Rule::new()), ", camel(&i.algorithm));
+    }
+    s.push_str("],\n            enforcers: vec![");
+    for e in &spec.enforcers {
+        let _ = write!(s, "Box::new({}Enforcer), ", camel(&e.name));
+    }
+    s.push_str("],\n        }\n    }\n}\n\n");
+
+    let _ = writeln!(
+        s,
+        "impl Model for {model} {{\n\
+         \x20   type Op = Op;\n    type Alg = Alg;\n    type LogicalProps = Logical;\n\
+         \x20   type PhysProps = Props;\n    type Cost = f64;\n\n\
+         \x20   fn derive_logical_props(&self, op: &Op, input_props: &[&Logical]) -> Logical {{\n\
+         \x20       let inputs: Vec<f64> = input_props.iter().map(|l| l.card).collect();\n\
+         \x20       let table = leaf_card(op);\n\
+         \x20       let output = 0.0f64;\n\
+         \x20       let _ = (&inputs, table, output);\n\
+         \x20       let card = match op {{"
+    );
+    for o in &spec.operators {
+        let pat = if o.arity == 0 {
+            format!("Op::{}(_)", camel(&o.name))
+        } else {
+            format!("Op::{}", camel(&o.name))
+        };
+        let body = match &o.card {
+            Some(e) => e.to_rust(),
+            None if o.arity == 0 => "table".to_string(),
+            None => "inputs[0]".to_string(),
+        };
+        let _ = writeln!(s, "            {pat} => {body},");
+    }
+    s.push_str(
+        "        };\n        Logical { card }\n    }\n\n\
+         \x20   fn transformations(&self) -> &[Box<dyn TransformationRule<Self>>] {\n        &self.transforms\n    }\n\n\
+         \x20   fn implementations(&self) -> &[Box<dyn ImplementationRule<Self>>] {\n        &self.impls\n    }\n\n\
+         \x20   fn enforcers(&self) -> &[Box<dyn Enforcer<Self>>] {\n        &self.enforcers\n    }\n}\n",
+    );
+    s
+}

@@ -1,0 +1,148 @@
+//! Arithmetic expressions over cardinalities, used by cost and
+//! cardinality rules in model specifications.
+
+use std::fmt;
+
+/// An arithmetic expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Cardinality of the i-th input (`in0`, `in1`, ...).
+    Input(usize),
+    /// Cardinality of the output (`out`).
+    Output,
+    /// Per-leaf base cardinality (`table`), for 0-ary operators.
+    Table,
+    /// `a + b`.
+    Add(Box<Expr>, Box<Expr>),
+    /// `a - b`.
+    Sub(Box<Expr>, Box<Expr>),
+    /// `a * b`.
+    Mul(Box<Expr>, Box<Expr>),
+    /// `a / b`.
+    Div(Box<Expr>, Box<Expr>),
+    /// `log2(a)` (clamped below at 1 so empty inputs stay finite).
+    Log2(Box<Expr>),
+    /// `min(a, b)`.
+    Min(Box<Expr>, Box<Expr>),
+    /// `max(a, b)`.
+    Max(Box<Expr>, Box<Expr>),
+}
+
+/// Evaluation context: input cardinalities, output cardinality, and the
+/// per-leaf base cardinality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalCtx<'a> {
+    /// Input cardinalities.
+    pub inputs: &'a [f64],
+    /// Output cardinality.
+    pub output: f64,
+    /// `table` value for 0-ary operators.
+    pub table: f64,
+}
+
+impl Expr {
+    /// Evaluate against a context.
+    pub fn eval(&self, ctx: &EvalCtx<'_>) -> f64 {
+        match self {
+            Expr::Num(x) => *x,
+            Expr::Input(i) => *ctx.inputs.get(*i).unwrap_or_else(|| {
+                panic!(
+                    "expression references in{i} but operator has {} inputs",
+                    ctx.inputs.len()
+                )
+            }),
+            Expr::Output => ctx.output,
+            Expr::Table => ctx.table,
+            Expr::Add(a, b) => a.eval(ctx) + b.eval(ctx),
+            Expr::Sub(a, b) => a.eval(ctx) - b.eval(ctx),
+            Expr::Mul(a, b) => a.eval(ctx) * b.eval(ctx),
+            Expr::Div(a, b) => a.eval(ctx) / b.eval(ctx),
+            Expr::Log2(a) => a.eval(ctx).max(1.0).log2(),
+            Expr::Min(a, b) => a.eval(ctx).min(b.eval(ctx)),
+            Expr::Max(a, b) => a.eval(ctx).max(b.eval(ctx)),
+        }
+    }
+
+    /// Render as Rust source for the emitted optimizer.
+    pub fn to_rust(&self) -> String {
+        match self {
+            Expr::Num(x) => format!("{x:?}f64"),
+            Expr::Input(i) => format!("inputs[{i}]"),
+            Expr::Output => "output".to_string(),
+            Expr::Table => "table".to_string(),
+            Expr::Add(a, b) => format!("({} + {})", a.to_rust(), b.to_rust()),
+            Expr::Sub(a, b) => format!("({} - {})", a.to_rust(), b.to_rust()),
+            Expr::Mul(a, b) => format!("({} * {})", a.to_rust(), b.to_rust()),
+            Expr::Div(a, b) => format!("({} / {})", a.to_rust(), b.to_rust()),
+            Expr::Log2(a) => format!("({}).max(1.0).log2()", a.to_rust()),
+            Expr::Min(a, b) => format!("({}).min({})", a.to_rust(), b.to_rust()),
+            Expr::Max(a, b) => format!("({}).max({})", a.to_rust(), b.to_rust()),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(x) => write!(f, "{x}"),
+            Expr::Input(i) => write!(f, "in{i}"),
+            Expr::Output => write!(f, "out"),
+            Expr::Table => write!(f, "table"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+            Expr::Log2(a) => write!(f, "log2({a})"),
+            Expr::Min(a, b) => write!(f, "min({a}, {b})"),
+            Expr::Max(a, b) => write!(f, "max({a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(inputs: &'a [f64], output: f64) -> EvalCtx<'a> {
+        EvalCtx {
+            inputs,
+            output,
+            table: 0.0,
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::Add(
+            Box::new(Expr::Mul(
+                Box::new(Expr::Input(0)),
+                Box::new(Expr::Num(2.0)),
+            )),
+            Box::new(Expr::Input(1)),
+        );
+        assert_eq!(e.eval(&ctx(&[10.0, 3.0], 0.0)), 23.0);
+        assert_eq!(e.to_string(), "((in0 * 2) + in1)");
+    }
+
+    #[test]
+    fn log2_clamps() {
+        let e = Expr::Log2(Box::new(Expr::Num(0.0)));
+        assert_eq!(e.eval(&ctx(&[], 0.0)), 0.0);
+        let e = Expr::Log2(Box::new(Expr::Num(8.0)));
+        assert_eq!(e.eval(&ctx(&[], 0.0)), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "references in2")]
+    fn out_of_range_input_panics() {
+        Expr::Input(2).eval(&ctx(&[1.0], 0.0));
+    }
+
+    #[test]
+    fn rust_rendering() {
+        let e = Expr::Div(Box::new(Expr::Output), Box::new(Expr::Num(4.0)));
+        assert_eq!(e.to_rust(), "(output / 4.0f64)");
+    }
+}

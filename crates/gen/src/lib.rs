@@ -1,0 +1,57 @@
+//! # volcano-gen — the optimizer generator
+//!
+//! The literal Figure 1 paradigm: "a model specification is translated
+//! into optimizer source code, which is then compiled and linked with the
+//! other DBMS software".
+//!
+//! * [`spec`] — the intermediate representation of a model specification:
+//!   operators, boolean physical properties, transformation rules
+//!   (pattern → substitute), implementation rules with applicability
+//!   (required/delivered property sets) and cost expressions, enforcers,
+//!   and cardinality rules.
+//! * [`parse`] — the specification language. Example:
+//!
+//!   ```text
+//!   model toy;
+//!   operator get 0;     operator select 1;    operator join 2;
+//!   prop sorted;
+//!
+//!   card get = table;
+//!   card select = in0 * 0.5;
+//!   card join = in0 * in1 * 0.01;
+//!
+//!   transform commute: join(?a, ?b) -> join(?b, ?a);
+//!   transform assoc: join(join(?a, ?b), ?c) -> join(?a, join(?b, ?c));
+//!
+//!   impl get -> file_scan { requires; delivers none; cost out; }
+//!   impl select -> filter { requires pass; delivers pass; cost in0; }
+//!   impl join -> hash_join { requires any, any; delivers none;
+//!                            cost in0 * 2 + in1; }
+//!   impl join -> merge_join { requires sorted, sorted; delivers sorted;
+//!                             cost in0 + in1; }
+//!   enforcer sort { enforces sorted; cost in0 * log2(in0); }
+//!   ```
+//!
+//! * [`dynamic`] — the *interpreted* backend: a [`dynamic::DynModel`]
+//!   implements `volcano_core::Model` directly from the IR, so a freshly
+//!   parsed specification optimizes queries without a compile step (the
+//!   paper's interpretation-vs-compilation trade-off, §2.1 decision 4,
+//!   made available in both flavours).
+//! * [`emit`] — the *compiled* backend: emits Rust source implementing
+//!   the same model against the `volcano-core` traits, for inclusion in a
+//!   build (golden-tested; compiling the output is the user's build
+//!   system's job, exactly as in the paper's paradigm).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dynamic;
+pub mod emit;
+pub mod expr;
+pub mod parse;
+pub mod spec;
+
+pub use dynamic::{DynModel, DynOp, DynQueryBuilder};
+pub use emit::emit_rust;
+pub use parse::{parse_spec, SpecError};
+pub use spec::ModelSpec;

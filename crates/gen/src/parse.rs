@@ -1,0 +1,545 @@
+//! Parser for the model-specification language.
+
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::spec::{
+    EnforcerSpec, ImplSpec, ModelSpec, OperatorSpec, PatNode, PropSet, TransformSpec,
+};
+
+/// Specification errors (lexical, syntactic, or semantic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError {
+        message: message.into(),
+    })
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Var(String),
+    Semi,
+    Comma,
+    Colon,
+    Arrow,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Eq,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, SpecError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ';' => {
+                out.push(Tok::Semi);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            ':' => {
+                out.push(Tok::Colon);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '{' => {
+                out.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Tok::RBrace);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            '-' if chars.get(i + 1) == Some(&'>') => {
+                out.push(Tok::Arrow);
+                i += 2;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '?' => {
+                i += 1;
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                if start == i {
+                    return err("expected variable name after '?'");
+                }
+                out.push(Tok::Var(chars[start..i].iter().collect()));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                match text.parse() {
+                    Ok(n) => out.push(Tok::Num(n)),
+                    Err(_) => return err(format!("bad number {text:?}")),
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(chars[start..i].iter().collect()));
+            }
+            other => return err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<(), SpecError> {
+        if self.peek() == Some(&t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SpecError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Parse a model specification.
+pub fn parse_spec(input: &str) -> Result<ModelSpec, SpecError> {
+    let toks = lex(input)?;
+    let mut p = P { toks, pos: 0 };
+    let mut spec = ModelSpec::default();
+
+    if !p.eat_ident("model") {
+        return err("specification must start with `model <name>;`");
+    }
+    spec.name = p.ident("model name")?;
+    p.expect(Tok::Semi, "';'")?;
+
+    while let Some(tok) = p.peek().cloned() {
+        let Tok::Ident(kw) = tok else {
+            return err(format!("expected a declaration, found {tok:?}"));
+        };
+        p.pos += 1;
+        match kw.as_str() {
+            "operator" => {
+                let name = p.ident("operator name")?;
+                let arity = match p.bump() {
+                    Some(Tok::Num(n)) if n >= 0.0 && n.fract() == 0.0 => n as usize,
+                    other => return err(format!("expected arity, found {other:?}")),
+                };
+                p.expect(Tok::Semi, "';'")?;
+                if spec.op_by_name(&name).is_some() {
+                    return err(format!("duplicate operator {name:?}"));
+                }
+                spec.operators.push(OperatorSpec {
+                    name,
+                    arity,
+                    card: None,
+                });
+            }
+            "prop" => {
+                let name = p.ident("property name")?;
+                p.expect(Tok::Semi, "';'")?;
+                if spec.prop_by_name(&name).is_some() {
+                    return err(format!("duplicate property {name:?}"));
+                }
+                spec.properties.push(name);
+            }
+            "card" => {
+                let name = p.ident("operator name")?;
+                let op = spec.op_by_name(&name).ok_or_else(|| SpecError {
+                    message: format!("card rule for unknown operator {name:?}"),
+                })?;
+                p.expect(Tok::Eq, "'='")?;
+                let e = parse_expr(&mut p)?;
+                p.expect(Tok::Semi, "';'")?;
+                spec.operators[op].card = Some(e);
+            }
+            "transform" => {
+                let name = p.ident("rule name")?;
+                p.expect(Tok::Colon, "':'")?;
+                let lhs = parse_pattern(&mut p, &spec)?;
+                p.expect(Tok::Arrow, "'->'")?;
+                let rhs = parse_pattern(&mut p, &spec)?;
+                p.expect(Tok::Semi, "';'")?;
+                spec.transforms.push(TransformSpec { name, lhs, rhs });
+            }
+            "impl" => {
+                let opname = p.ident("operator name")?;
+                let op = spec.op_by_name(&opname).ok_or_else(|| SpecError {
+                    message: format!("impl for unknown operator {opname:?}"),
+                })?;
+                p.expect(Tok::Arrow, "'->'")?;
+                let algorithm = p.ident("algorithm name")?;
+                p.expect(Tok::LBrace, "'{'")?;
+                let mut requires = Vec::new();
+                let mut delivers = PropSet::None;
+                let mut cost = None;
+                while p.peek() != Some(&Tok::RBrace) {
+                    let field = p.ident("impl field (requires/delivers/cost)")?;
+                    match field.as_str() {
+                        "requires" => {
+                            if p.peek() != Some(&Tok::Semi) {
+                                requires.push(parse_propset(&mut p, &spec)?);
+                                while p.peek() == Some(&Tok::Comma) {
+                                    p.pos += 1;
+                                    requires.push(parse_propset(&mut p, &spec)?);
+                                }
+                            }
+                            p.expect(Tok::Semi, "';'")?;
+                        }
+                        "delivers" => {
+                            delivers = parse_propset(&mut p, &spec)?;
+                            p.expect(Tok::Semi, "';'")?;
+                        }
+                        "cost" => {
+                            cost = Some(parse_expr(&mut p)?);
+                            p.expect(Tok::Semi, "';'")?;
+                        }
+                        other => return err(format!("unknown impl field {other:?}")),
+                    }
+                }
+                p.expect(Tok::RBrace, "'}'")?;
+                spec.impls.push(ImplSpec {
+                    op,
+                    algorithm,
+                    requires,
+                    delivers,
+                    cost: cost.ok_or_else(|| SpecError {
+                        message: "impl block needs a cost".to_string(),
+                    })?,
+                });
+            }
+            "enforcer" => {
+                let name = p.ident("enforcer name")?;
+                p.expect(Tok::LBrace, "'{'")?;
+                let mut enforces = None;
+                let mut cost = None;
+                while p.peek() != Some(&Tok::RBrace) {
+                    let field = p.ident("enforcer field (enforces/cost)")?;
+                    match field.as_str() {
+                        "enforces" => {
+                            let prop = p.ident("property name")?;
+                            enforces = Some(spec.prop_by_name(&prop).ok_or_else(|| SpecError {
+                                message: format!("unknown property {prop:?}"),
+                            })?);
+                            p.expect(Tok::Semi, "';'")?;
+                        }
+                        "cost" => {
+                            cost = Some(parse_expr(&mut p)?);
+                            p.expect(Tok::Semi, "';'")?;
+                        }
+                        other => return err(format!("unknown enforcer field {other:?}")),
+                    }
+                }
+                p.expect(Tok::RBrace, "'}'")?;
+                spec.enforcers.push(EnforcerSpec {
+                    name,
+                    enforces: enforces.ok_or_else(|| SpecError {
+                        message: "enforcer needs an `enforces` clause".to_string(),
+                    })?,
+                    cost: cost.ok_or_else(|| SpecError {
+                        message: "enforcer needs a cost".to_string(),
+                    })?,
+                });
+            }
+            other => return err(format!("unknown declaration {other:?}")),
+        }
+    }
+
+    spec.validate().map_err(|m| SpecError { message: m })?;
+    Ok(spec)
+}
+
+fn parse_propset(p: &mut P, spec: &ModelSpec) -> Result<PropSet, SpecError> {
+    let name = p.ident("property set (any/none/pass/<property>)")?;
+    match name.as_str() {
+        "any" | "none" => Ok(PropSet::None),
+        "pass" => Ok(PropSet::Pass),
+        other => spec
+            .prop_by_name(other)
+            .map(PropSet::Prop)
+            .ok_or_else(|| SpecError {
+                message: format!("unknown property {other:?}"),
+            }),
+    }
+}
+
+fn parse_pattern(p: &mut P, spec: &ModelSpec) -> Result<PatNode, SpecError> {
+    match p.bump() {
+        Some(Tok::Var(v)) => Ok(PatNode::Var(v)),
+        Some(Tok::Ident(name)) => {
+            let op = spec.op_by_name(&name).ok_or_else(|| SpecError {
+                message: format!("unknown operator {name:?} in pattern"),
+            })?;
+            let mut inputs = Vec::new();
+            if p.peek() == Some(&Tok::LParen) {
+                p.pos += 1;
+                if p.peek() != Some(&Tok::RParen) {
+                    inputs.push(parse_pattern(p, spec)?);
+                    while p.peek() == Some(&Tok::Comma) {
+                        p.pos += 1;
+                        inputs.push(parse_pattern(p, spec)?);
+                    }
+                }
+                p.expect(Tok::RParen, "')'")?;
+            }
+            Ok(PatNode::Op { op, inputs })
+        }
+        other => err(format!("expected a pattern, found {other:?}")),
+    }
+}
+
+fn parse_expr(p: &mut P) -> Result<Expr, SpecError> {
+    parse_add(p)
+}
+
+fn parse_add(p: &mut P) -> Result<Expr, SpecError> {
+    let mut left = parse_mul(p)?;
+    loop {
+        match p.peek() {
+            Some(Tok::Plus) => {
+                p.pos += 1;
+                let right = parse_mul(p)?;
+                left = Expr::Add(Box::new(left), Box::new(right));
+            }
+            Some(Tok::Minus) => {
+                p.pos += 1;
+                let right = parse_mul(p)?;
+                left = Expr::Sub(Box::new(left), Box::new(right));
+            }
+            _ => return Ok(left),
+        }
+    }
+}
+
+fn parse_mul(p: &mut P) -> Result<Expr, SpecError> {
+    let mut left = parse_atom(p)?;
+    loop {
+        match p.peek() {
+            Some(Tok::Star) => {
+                p.pos += 1;
+                let right = parse_atom(p)?;
+                left = Expr::Mul(Box::new(left), Box::new(right));
+            }
+            Some(Tok::Slash) => {
+                p.pos += 1;
+                let right = parse_atom(p)?;
+                left = Expr::Div(Box::new(left), Box::new(right));
+            }
+            _ => return Ok(left),
+        }
+    }
+}
+
+fn parse_atom(p: &mut P) -> Result<Expr, SpecError> {
+    match p.bump() {
+        Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+        Some(Tok::LParen) => {
+            let e = parse_expr(p)?;
+            p.expect(Tok::RParen, "')'")?;
+            Ok(e)
+        }
+        Some(Tok::Ident(name)) => match name.as_str() {
+            "out" => Ok(Expr::Output),
+            "table" => Ok(Expr::Table),
+            _ if name.starts_with("in") => {
+                let idx: usize = name[2..].parse().map_err(|_| SpecError {
+                    message: format!("bad input reference {name:?}"),
+                })?;
+                Ok(Expr::Input(idx))
+            }
+            "log2" | "min" | "max" => {
+                p.expect(Tok::LParen, "'('")?;
+                let a = parse_expr(p)?;
+                let e = if name == "log2" {
+                    Expr::Log2(Box::new(a))
+                } else {
+                    p.expect(Tok::Comma, "','")?;
+                    let b = parse_expr(p)?;
+                    if name == "min" {
+                        Expr::Min(Box::new(a), Box::new(b))
+                    } else {
+                        Expr::Max(Box::new(a), Box::new(b))
+                    }
+                };
+                p.expect(Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            other => err(format!("unknown name {other:?} in expression")),
+        },
+        other => err(format!("expected an expression, found {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The toy model of `volcano_core::toy`, as a specification file.
+    pub const TOY_SPEC: &str = r#"
+        model toy;
+        operator get 0;
+        operator select 1;
+        operator join 2;
+        prop sorted;
+
+        card get = table;
+        card select = in0 * 0.5;
+        card join = in0 * in1 * 0.01;
+
+        transform commute: join(?a, ?b) -> join(?b, ?a);
+        transform assoc: join(join(?a, ?b), ?c) -> join(?a, join(?b, ?c));
+
+        impl get -> file_scan { requires; delivers none; cost out; }
+        impl select -> filter { requires pass; delivers pass; cost in0; }
+        impl join -> hash_join { requires any, any; delivers none; cost in0 * 2 + in1; }
+        impl join -> merge_join { requires sorted, sorted; delivers sorted; cost in0 + in1; }
+        enforcer sort { enforces sorted; cost out * log2(out); }
+    "#;
+
+    #[test]
+    fn parses_the_toy_spec() {
+        let spec = parse_spec(TOY_SPEC).unwrap();
+        assert_eq!(spec.name, "toy");
+        assert_eq!(spec.operators.len(), 3);
+        assert_eq!(spec.properties, vec!["sorted"]);
+        assert_eq!(spec.transforms.len(), 2);
+        assert_eq!(spec.impls.len(), 4);
+        assert_eq!(spec.enforcers.len(), 1);
+        assert_eq!(spec.transforms[1].lhs.vars(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let spec =
+            parse_spec("model m; # a comment\noperator t 0; // another\ncard t = table;").unwrap();
+        assert_eq!(spec.operators.len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_in_pattern_rejected() {
+        let e = parse_spec("model m; operator j 2; transform bad: j(?a) -> j(?a);").unwrap_err();
+        assert!(e.message.contains("arity"), "{e}");
+    }
+
+    #[test]
+    fn unbound_rhs_variable_rejected() {
+        let e = parse_spec("model m; operator j 2; transform bad: j(?a, ?b) -> j(?a, ?c);")
+            .unwrap_err();
+        assert!(e.message.contains("unbound"), "{e}");
+    }
+
+    #[test]
+    fn requires_count_checked() {
+        let e = parse_spec(
+            "model m; operator j 2; impl j -> x { requires any; delivers none; cost 1; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("requirements"), "{e}");
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        assert!(parse_spec("model m; card nope = 1;").is_err());
+        assert!(parse_spec(
+            "model m; operator t 0; impl t -> s { requires; delivers wat; cost 1; }"
+        )
+        .is_err());
+        assert!(parse_spec("model m; enforcer e { enforces ghost; cost 1; }").is_err());
+    }
+}

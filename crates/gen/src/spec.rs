@@ -1,0 +1,207 @@
+//! The intermediate representation of a model specification — the
+//! structured form of the generator's input file.
+
+use crate::expr::Expr;
+
+/// A pattern tree in a transformation rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatNode {
+    /// A variable (`?a`) binding an equivalence class.
+    Var(String),
+    /// An operator node with sub-patterns.
+    Op {
+        /// Operator index into [`ModelSpec::operators`].
+        op: usize,
+        /// Sub-patterns, one per input.
+        inputs: Vec<PatNode>,
+    },
+}
+
+impl PatNode {
+    /// All variable names, in left-to-right order of first occurrence.
+    pub fn vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            PatNode::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            PatNode::Op { inputs, .. } => {
+                for i in inputs {
+                    i.collect_vars(out);
+                }
+            }
+        }
+    }
+}
+
+/// A logical operator declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorSpec {
+    /// Operator name.
+    pub name: String,
+    /// Number of inputs.
+    pub arity: usize,
+    /// Output cardinality rule (defaults to `in0` for unary, `table` for
+    /// 0-ary, product-based otherwise if unspecified).
+    pub card: Option<Expr>,
+}
+
+/// A transformation rule: `lhs -> rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformSpec {
+    /// Rule name.
+    pub name: String,
+    /// The matched pattern.
+    pub lhs: PatNode,
+    /// The substitute (same variables).
+    pub rhs: PatNode,
+}
+
+/// What an implementation rule requires of one input or delivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropSet {
+    /// No requirements / delivers nothing (`any` / `none`).
+    None,
+    /// The required vector is passed through (`pass`): the input must
+    /// satisfy exactly what the goal requires, and the same is delivered.
+    Pass,
+    /// A specific property (index into [`ModelSpec::properties`]).
+    Prop(usize),
+}
+
+/// An implementation rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImplSpec {
+    /// Implemented operator (index).
+    pub op: usize,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Required input properties, one entry per input.
+    pub requires: Vec<PropSet>,
+    /// Delivered properties.
+    pub delivers: PropSet,
+    /// Local cost expression.
+    pub cost: Expr,
+}
+
+/// An enforcer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnforcerSpec {
+    /// Enforcer name.
+    pub name: String,
+    /// The property it enforces (index).
+    pub enforces: usize,
+    /// Cost expression (`in0` = the enforced stream's cardinality).
+    pub cost: Expr,
+}
+
+/// A complete model specification.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModelSpec {
+    /// Model name.
+    pub name: String,
+    /// Logical operators.
+    pub operators: Vec<OperatorSpec>,
+    /// Boolean physical properties.
+    pub properties: Vec<String>,
+    /// Transformation rules.
+    pub transforms: Vec<TransformSpec>,
+    /// Implementation rules.
+    pub impls: Vec<ImplSpec>,
+    /// Enforcers.
+    pub enforcers: Vec<EnforcerSpec>,
+}
+
+impl ModelSpec {
+    /// Operator index by name.
+    pub fn op_by_name(&self, name: &str) -> Option<usize> {
+        self.operators.iter().position(|o| o.name == name)
+    }
+
+    /// Property index by name.
+    pub fn prop_by_name(&self, name: &str) -> Option<usize> {
+        self.properties.iter().position(|p| p == name)
+    }
+
+    /// Basic well-formedness checks (arity of patterns, pass usage,
+    /// variable preservation); returns a description of the first
+    /// problem.
+    pub fn validate(&self) -> Result<(), String> {
+        for t in &self.transforms {
+            self.check_pattern(&t.lhs, &t.name)?;
+            self.check_pattern(&t.rhs, &t.name)?;
+            self.check_no_leaf_ops(&t.rhs, &t.name)?;
+            let lv = t.lhs.vars();
+            for v in t.rhs.vars() {
+                if !lv.contains(&v) {
+                    return Err(format!(
+                        "rule {}: variable ?{v} on the right side is unbound",
+                        t.name
+                    ));
+                }
+            }
+            if matches!(t.lhs, PatNode::Var(_)) {
+                return Err(format!("rule {}: left side must be an operator", t.name));
+            }
+        }
+        for i in &self.impls {
+            let arity = self.operators[i.op].arity;
+            if i.requires.len() != arity {
+                return Err(format!(
+                    "impl {}: {} requirements for arity-{arity} operator",
+                    i.algorithm,
+                    i.requires.len()
+                ));
+            }
+            if i.delivers == PropSet::Pass && !i.requires.contains(&PropSet::Pass) {
+                return Err(format!(
+                    "impl {}: `delivers pass` needs a `requires pass` input",
+                    i.algorithm
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// 0-ary operators carry per-instance data (base cardinality), so a
+    /// substitute cannot synthesize them — it may only *reference* bound
+    /// classes.
+    fn check_no_leaf_ops(&self, p: &PatNode, rule: &str) -> Result<(), String> {
+        if let PatNode::Op { op, inputs } = p {
+            if self.operators[*op].arity == 0 {
+                return Err(format!(
+                    "rule {rule}: substitute may not create 0-ary operator {}",
+                    self.operators[*op].name
+                ));
+            }
+            for i in inputs {
+                self.check_no_leaf_ops(i, rule)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_pattern(&self, p: &PatNode, rule: &str) -> Result<(), String> {
+        if let PatNode::Op { op, inputs } = p {
+            let arity = self.operators[*op].arity;
+            if inputs.len() != arity {
+                return Err(format!(
+                    "rule {rule}: operator {} used with {} inputs, arity is {arity}",
+                    self.operators[*op].name,
+                    inputs.len()
+                ));
+            }
+            for i in inputs {
+                self.check_pattern(i, rule)?;
+            }
+        }
+        Ok(())
+    }
+}

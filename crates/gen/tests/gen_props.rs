@@ -1,0 +1,130 @@
+//! Property test: the interpreted (DSL-specified) toy model and the
+//! hand-written `volcano_core::toy` model are observationally equivalent
+//! — same optimal plan cost for every query shape, sorted or not.
+
+use proptest::prelude::*;
+use volcano_core::toy::{ToyModel, ToyOp, ToyProps};
+use volcano_core::{ExprTree, Optimizer, PhysicalProps, SearchOptions};
+use volcano_gen::dynamic::DynProps;
+use volcano_gen::{parse_spec, DynModel, DynQueryBuilder};
+
+const TOY_SPEC: &str = r#"
+    model toy;
+    operator get 0;
+    operator select 1;
+    operator join 2;
+    prop sorted;
+
+    card get = table;
+    card select = in0 * 0.5;
+    card join = in0 * in1 * 0.01;
+
+    transform commute: join(?a, ?b) -> join(?b, ?a);
+    transform assoc: join(join(?a, ?b), ?c) -> join(?a, join(?b, ?c));
+
+    impl get -> file_scan { requires; delivers none; cost out; }
+    impl select -> filter { requires pass; delivers pass; cost in0; }
+    impl join -> hash_join { requires any, any; delivers none; cost in0 * 2 + in1; }
+    impl join -> merge_join { requires sorted, sorted; delivers sorted; cost in0 + in1; }
+    enforcer sort { enforces sorted; cost out * log2(max(out, 2)) + 0; }
+"#;
+
+/// A tree shape: leaf index or (shape, shape), with optional select
+/// wrappers encoded by a bool per node.
+#[derive(Debug, Clone)]
+enum Shape {
+    Leaf(usize, bool),
+    Join(Box<Shape>, Box<Shape>, bool),
+}
+
+fn shape(leaves: usize) -> impl Strategy<Value = Shape> {
+    let leaf = (0..leaves, any::<bool>()).prop_map(|(i, s)| Shape::Leaf(i, s));
+    leaf.prop_recursive(3, 8, 2, |inner| {
+        (inner.clone(), inner, any::<bool>())
+            .prop_map(|(l, r, s)| Shape::Join(Box::new(l), Box::new(r), *Box::new(s).as_ref()))
+    })
+}
+
+fn to_toy(s: &Shape, cards: &[u64]) -> ExprTree<ToyModel> {
+    match s {
+        Shape::Leaf(i, sel) => {
+            let g = ExprTree::leaf(ToyOp::Get(format!("t{}", i % cards.len())));
+            if *sel {
+                ExprTree::new(ToyOp::Select, vec![g])
+            } else {
+                g
+            }
+        }
+        Shape::Join(l, r, sel) => {
+            let j = ExprTree::new(ToyOp::Join, vec![to_toy(l, cards), to_toy(r, cards)]);
+            if *sel {
+                ExprTree::new(ToyOp::Select, vec![j])
+            } else {
+                j
+            }
+        }
+    }
+}
+
+fn to_dyn(s: &Shape, cards: &[u64], b: &DynQueryBuilder<'_>) -> ExprTree<DynModel> {
+    match s {
+        Shape::Leaf(i, sel) => {
+            let g = b.leaf("get", cards[i % cards.len()] as f64);
+            if *sel {
+                b.node("select", vec![g])
+            } else {
+                g
+            }
+        }
+        Shape::Join(l, r, sel) => {
+            let j = b.node("join", vec![to_dyn(l, cards, b), to_dyn(r, cards, b)]);
+            if *sel {
+                b.node("select", vec![j])
+            } else {
+                j
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dynamic_and_handwritten_toy_agree(
+        s in shape(3),
+        cards in proptest::collection::vec(10u64..5000, 3),
+        sorted in any::<bool>(),
+    ) {
+        // Hand-written model.
+        let refs: Vec<(String, u64)> = cards
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (format!("t{i}"), c))
+            .collect();
+        let table_refs: Vec<(&str, u64)> = refs.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+        let hand_model = ToyModel::with_tables(&table_refs);
+        let hand_query = to_toy(&s, &cards);
+        let mut hopt = Optimizer::new(&hand_model, SearchOptions::default());
+        let hroot = hopt.insert_tree(&hand_query);
+        let hprops = if sorted { ToyProps::sorted() } else { ToyProps::any() };
+        let hand = hopt.find_best_plan(hroot, hprops, None).unwrap();
+
+        // Interpreted model from the DSL.
+        let dyn_model = DynModel::new(parse_spec(TOY_SPEC).unwrap());
+        let b = DynQueryBuilder::new(&dyn_model);
+        let dyn_query = to_dyn(&s, &cards, &b);
+        let mut dopt = Optimizer::new(&dyn_model, SearchOptions::default());
+        let droot = dopt.insert_tree(&dyn_query);
+        let dprops = if sorted { dyn_model.props(&["sorted"]) } else { DynProps::any() };
+        let dynamic = dopt.find_best_plan(droot, dprops, None).unwrap();
+
+        prop_assert!(
+            (hand.cost - dynamic.cost).abs() <= 1e-6 * hand.cost.max(1.0),
+            "handwritten {} vs interpreted {} for {:?}",
+            hand.cost, dynamic.cost, s
+        );
+        // And the searches covered the same space.
+        prop_assert_eq!(hopt.memo().num_groups(), dopt.memo().num_groups());
+    }
+}

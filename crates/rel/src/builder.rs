@@ -1,0 +1,127 @@
+//! Ergonomic construction of logical algebra expressions.
+//!
+//! "The translation from a user interface into a logical algebra
+//! expression must be performed by the parser" (§2.2); `volcano-sql` is
+//! such a parser, and this builder is the programmatic equivalent used by
+//! examples, tests, and benchmarks.
+
+use crate::catalog::Catalog;
+use crate::ids::AttrId;
+use crate::ops::{AggSpec, RelOp};
+use crate::predicate::{Cmp, JoinPred, Pred};
+use crate::RelExpr;
+
+/// Builds [`RelExpr`] trees against a catalog.
+pub struct QueryBuilder<'c> {
+    catalog: &'c Catalog,
+}
+
+impl<'c> QueryBuilder<'c> {
+    /// Create a builder for a catalog.
+    pub fn new(catalog: &'c Catalog) -> Self {
+        QueryBuilder { catalog }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &'c Catalog {
+        self.catalog
+    }
+
+    /// `GET table`.
+    pub fn scan(&self, table: &str) -> RelExpr {
+        let t = self
+            .catalog
+            .table_by_name(table)
+            .unwrap_or_else(|| panic!("unknown table {table:?}"));
+        RelExpr::leaf(RelOp::Get(t.id))
+    }
+
+    /// Resolve `table.column` to its attribute id.
+    pub fn attr(&self, table: &str, column: &str) -> AttrId {
+        self.catalog.attr(table, column)
+    }
+}
+
+/// `σ_pred(input)`.
+pub fn select(input: RelExpr, pred: Pred) -> RelExpr {
+    RelExpr::new(RelOp::Select(pred), vec![input])
+}
+
+/// `σ_{single comparison}(input)`.
+pub fn select_one(input: RelExpr, cmp: Cmp) -> RelExpr {
+    select(input, Pred::single(cmp))
+}
+
+/// `left ⋈_pred right`.
+pub fn join(left: RelExpr, right: RelExpr, pred: JoinPred) -> RelExpr {
+    RelExpr::new(RelOp::Join(pred), vec![left, right])
+}
+
+/// `left ⋈_{l = r} right`.
+pub fn join_on(left: RelExpr, right: RelExpr, l: AttrId, r: AttrId) -> RelExpr {
+    join(left, right, JoinPred::eq(l, r))
+}
+
+/// `π_attrs(input)` (no duplicate removal).
+pub fn project(input: RelExpr, attrs: Vec<AttrId>) -> RelExpr {
+    RelExpr::new(RelOp::Project(attrs), vec![input])
+}
+
+/// `left UNION ALL right` (positional schemas).
+pub fn union(left: RelExpr, right: RelExpr) -> RelExpr {
+    RelExpr::new(RelOp::Union, vec![left, right])
+}
+
+/// `left INTERSECT right`.
+pub fn intersect(left: RelExpr, right: RelExpr) -> RelExpr {
+    RelExpr::new(RelOp::Intersect, vec![left, right])
+}
+
+/// `left EXCEPT right`.
+pub fn difference(left: RelExpr, right: RelExpr) -> RelExpr {
+    RelExpr::new(RelOp::Difference, vec![left, right])
+}
+
+/// `GROUP BY group_by` with aggregates.
+pub fn aggregate(input: RelExpr, spec: AggSpec) -> RelExpr {
+    RelExpr::new(RelOp::Aggregate(spec), vec![input])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ColumnDef;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "r",
+            100.0,
+            vec![ColumnDef::int("a", 100.0), ColumnDef::int("b", 10.0)],
+        );
+        c.add_table("s", 200.0, vec![ColumnDef::int("a", 200.0)]);
+        c
+    }
+
+    #[test]
+    fn builds_trees_with_correct_shapes() {
+        let c = catalog();
+        let q = QueryBuilder::new(&c);
+        let e = join_on(
+            select_one(q.scan("r"), Cmp::eq(q.attr("r", "b"), 3i64)),
+            q.scan("s"),
+            q.attr("r", "a"),
+            q.attr("s", "a"),
+        );
+        assert_eq!(e.node_count(), 4);
+        assert_eq!(e.display(), "join(select(get), get)");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown table")]
+    fn unknown_table_panics() {
+        let c = catalog();
+        let q = QueryBuilder::new(&c);
+        let _ = q.scan("nope");
+    }
+}

@@ -1,0 +1,60 @@
+//! Integer identifiers for catalog entities.
+//!
+//! Attributes carry *globally unique* ids assigned by the catalog, so an
+//! attribute keeps its identity as it flows through joins and projections
+//! — which is what makes sort orders, join predicates, and selectivity
+//! estimation composable without name resolution during search.
+
+use std::fmt;
+
+/// Identifier of a stored table in the catalog.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl TableId {
+    /// Raw index into the catalog's table arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Globally unique identifier of an attribute (column).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// Raw value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(format!("{:?}", TableId(3)), "T3");
+        assert_eq!(format!("{:?}", AttrId(9)), "a9");
+        assert_eq!(format!("{}", AttrId(9)), "a9");
+    }
+}

@@ -1,0 +1,164 @@
+//! The logical algebra: operators consuming and producing bulk types.
+//!
+//! "The set of logical operators is declared in the model specification
+//! and compiled into the optimizer during generation" (§2.2). Operator
+//! values carry their arguments (table, predicate, projection list, ...)
+//! and must be `Eq + Hash`: the memo keys expressions by operator value
+//! plus input classes.
+
+use std::fmt;
+
+use volcano_core::model::Operator;
+
+use crate::ids::{AttrId, TableId};
+use crate::predicate::{JoinPred, Pred};
+
+/// Aggregate functions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `SUM(attr)`.
+    Sum(AttrId),
+    /// `MIN(attr)`.
+    Min(AttrId),
+    /// `MAX(attr)`.
+    Max(AttrId),
+    /// `AVG(attr)`.
+    Avg(AttrId),
+}
+
+impl AggFunc {
+    /// The input attribute, if any.
+    pub fn input_attr(&self) -> Option<AttrId> {
+        match self {
+            AggFunc::CountStar => None,
+            AggFunc::Sum(a) | AggFunc::Min(a) | AggFunc::Max(a) | AggFunc::Avg(a) => Some(*a),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::CountStar => "count",
+            AggFunc::Sum(_) => "sum",
+            AggFunc::Min(_) => "min",
+            AggFunc::Max(_) => "max",
+            AggFunc::Avg(_) => "avg",
+        }
+    }
+}
+
+/// A grouping + aggregation specification.
+///
+/// Each aggregate is paired with a fresh output [`AttrId`] (allocated via
+/// [`crate::Catalog::fresh_attr`]) so downstream operators can reference
+/// aggregate results like any other attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggSpec {
+    /// Grouping attributes.
+    pub group_by: Vec<AttrId>,
+    /// Aggregates and their output attribute ids.
+    pub aggs: Vec<(AggFunc, AttrId)>,
+}
+
+/// The logical operators of the relational algebra.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RelOp {
+    /// Scan a stored table (arity 0).
+    Get(TableId),
+    /// Filter rows by a conjunction (arity 1).
+    Select(Pred),
+    /// Keep only the listed attributes, no duplicate removal (arity 1).
+    Project(Vec<AttrId>),
+    /// Inner equi-join; an empty predicate is a Cartesian product
+    /// (arity 2).
+    Join(JoinPred),
+    /// Bag union of schema-compatible inputs (arity 2).
+    Union,
+    /// Set intersection of schema-compatible inputs (arity 2).
+    Intersect,
+    /// Set difference `left \ right` (arity 2).
+    Difference,
+    /// Group-by + aggregation (arity 1).
+    Aggregate(AggSpec),
+}
+
+impl Operator for RelOp {
+    fn arity(&self) -> usize {
+        match self {
+            RelOp::Get(_) => 0,
+            RelOp::Select(_) | RelOp::Project(_) | RelOp::Aggregate(_) => 1,
+            RelOp::Join(_) | RelOp::Union | RelOp::Intersect | RelOp::Difference => 2,
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            RelOp::Get(_) => "get",
+            RelOp::Select(_) => "select",
+            RelOp::Project(_) => "project",
+            RelOp::Join(_) => "join",
+            RelOp::Union => "union",
+            RelOp::Intersect => "intersect",
+            RelOp::Difference => "difference",
+            RelOp::Aggregate(_) => "aggregate",
+        }
+    }
+}
+
+impl fmt::Display for RelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelOp::Get(t) => write!(f, "get({t:?})"),
+            RelOp::Select(p) => write!(f, "select[{p}]"),
+            RelOp::Project(attrs) => write!(f, "project{attrs:?}"),
+            RelOp::Join(p) => write!(f, "join[{p}]"),
+            RelOp::Union => write!(f, "union"),
+            RelOp::Intersect => write!(f, "intersect"),
+            RelOp::Difference => write!(f, "difference"),
+            RelOp::Aggregate(s) => {
+                write!(
+                    f,
+                    "aggregate[group={:?}, {} aggs]",
+                    s.group_by,
+                    s.aggs.len()
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(RelOp::Get(TableId(0)).arity(), 0);
+        assert_eq!(RelOp::Select(Pred::default()).arity(), 1);
+        assert_eq!(RelOp::Join(JoinPred::cross()).arity(), 2);
+        assert_eq!(RelOp::Union.arity(), 2);
+        assert_eq!(
+            RelOp::Aggregate(AggSpec {
+                group_by: vec![],
+                aggs: vec![]
+            })
+            .arity(),
+            1
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(RelOp::Get(TableId(1)).to_string(), "get(T1)");
+        assert_eq!(RelOp::Union.to_string(), "union");
+    }
+
+    #[test]
+    fn agg_func_input_attr() {
+        assert_eq!(AggFunc::CountStar.input_attr(), None);
+        assert_eq!(AggFunc::Sum(AttrId(3)).input_attr(), Some(AttrId(3)));
+        assert_eq!(AggFunc::Avg(AttrId(4)).name(), "avg");
+    }
+}

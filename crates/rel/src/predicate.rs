@@ -1,0 +1,322 @@
+//! Selection and join predicates.
+//!
+//! Predicates appear *inside* logical operators, so they must be cheap to
+//! clone, `Eq`, and `Hash` — the memo keys expressions by operator value.
+//! Selections carry a conjunction of simple comparisons; joins carry a set
+//! of equality pairs (kept sorted for canonical hashing), which is what
+//! the associativity rule needs to split and recombine predicates
+//! correctly.
+
+use std::fmt;
+
+use crate::ids::AttrId;
+use crate::value::Value;
+
+/// Comparison operators in selection predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate against a comparison result.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// One comparison: `attr op literal`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cmp {
+    /// The attribute compared.
+    pub attr: AttrId,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The literal compared against.
+    pub value: Value,
+}
+
+impl Cmp {
+    /// Build a comparison.
+    pub fn new(attr: AttrId, op: CmpOp, value: impl Into<Value>) -> Self {
+        Cmp {
+            attr,
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// `attr = value`.
+    pub fn eq(attr: AttrId, value: impl Into<Value>) -> Self {
+        Cmp::new(attr, CmpOp::Eq, value)
+    }
+
+    /// `attr < value`.
+    pub fn lt(attr: AttrId, value: impl Into<Value>) -> Self {
+        Cmp::new(attr, CmpOp::Lt, value)
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.attr, self.op.symbol(), self.value)
+    }
+}
+
+/// A conjunction of comparisons (the selection predicate).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Pred {
+    /// The conjuncts; kept sorted by attribute for canonical hashing.
+    terms: Vec<Cmp>,
+}
+
+impl Pred {
+    /// A conjunction of the given comparisons.
+    pub fn conj(mut terms: Vec<Cmp>) -> Self {
+        terms.sort_by(|a, b| {
+            (a.attr, a.op as u8)
+                .cmp(&(b.attr, b.op as u8))
+                .then_with(|| a.value.cmp(&b.value))
+        });
+        terms.dedup();
+        Pred { terms }
+    }
+
+    /// A single-comparison predicate.
+    pub fn single(c: Cmp) -> Self {
+        Pred::conj(vec![c])
+    }
+
+    /// The conjuncts.
+    pub fn terms(&self) -> &[Cmp] {
+        &self.terms
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Is the predicate trivially true?
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// All attributes referenced.
+    pub fn attrs(&self) -> Vec<AttrId> {
+        let mut v: Vec<AttrId> = self.terms.iter().map(|c| c.attr).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Split into the conjuncts whose attribute satisfies `pred` and the
+    /// rest — the workhorse of selection push-down.
+    pub fn partition(&self, pred: impl Fn(AttrId) -> bool) -> (Pred, Pred) {
+        let (yes, no): (Vec<Cmp>, Vec<Cmp>) =
+            self.terms.iter().cloned().partition(|c| pred(c.attr));
+        (Pred::conj(yes), Pred::conj(no))
+    }
+
+    /// Conjoin two predicates.
+    pub fn and(&self, other: &Pred) -> Pred {
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().cloned());
+        Pred::conj(terms)
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "true");
+        }
+        let parts: Vec<String> = self.terms.iter().map(Cmp::to_string).collect();
+        write!(f, "{}", parts.join(" AND "))
+    }
+}
+
+/// An equi-join predicate: a set of attribute equality pairs
+/// `left.a = right.b`, kept sorted for canonical hashing. An empty set is
+/// a Cartesian product.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct JoinPred {
+    pairs: Vec<(AttrId, AttrId)>,
+}
+
+impl JoinPred {
+    /// Build from equality pairs `(left attr, right attr)`.
+    pub fn on(mut pairs: Vec<(AttrId, AttrId)>) -> Self {
+        pairs.sort();
+        pairs.dedup();
+        JoinPred { pairs }
+    }
+
+    /// A single equality pair.
+    pub fn eq(l: AttrId, r: AttrId) -> Self {
+        JoinPred::on(vec![(l, r)])
+    }
+
+    /// The Cartesian product (no predicate).
+    pub fn cross() -> Self {
+        JoinPred::default()
+    }
+
+    /// The equality pairs.
+    pub fn pairs(&self) -> &[(AttrId, AttrId)] {
+        &self.pairs
+    }
+
+    /// Is this a Cartesian product?
+    pub fn is_cross(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Left-side attributes, in pair order (the natural delivered sort
+    /// order of a merge join).
+    pub fn left_attrs(&self) -> Vec<AttrId> {
+        self.pairs.iter().map(|&(l, _)| l).collect()
+    }
+
+    /// Right-side attributes, in pair order.
+    pub fn right_attrs(&self) -> Vec<AttrId> {
+        self.pairs.iter().map(|&(_, r)| r).collect()
+    }
+
+    /// Swap the sides (for join commutativity).
+    pub fn flipped(&self) -> JoinPred {
+        JoinPred::on(self.pairs.iter().map(|&(l, r)| (r, l)).collect())
+    }
+
+    /// Split the pairs by a predicate on *both* endpoints' membership:
+    /// `classify(l, r)` returns `true` to keep the pair in the first
+    /// result. Used by associativity to re-route predicates.
+    pub fn partition(&self, classify: impl Fn(AttrId, AttrId) -> bool) -> (JoinPred, JoinPred) {
+        let (yes, no): (Vec<_>, Vec<_>) = self
+            .pairs
+            .iter()
+            .copied()
+            .partition(|&(l, r)| classify(l, r));
+        (JoinPred::on(yes), JoinPred::on(no))
+    }
+
+    /// Merge two predicates into one.
+    pub fn and(&self, other: &JoinPred) -> JoinPred {
+        let mut pairs = self.pairs.clone();
+        pairs.extend(other.pairs.iter().copied());
+        JoinPred::on(pairs)
+    }
+
+    /// All attributes referenced on either side.
+    pub fn attrs(&self) -> Vec<AttrId> {
+        let mut v: Vec<AttrId> = self.pairs.iter().flat_map(|&(l, r)| [l, r]).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+impl fmt::Display for JoinPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pairs.is_empty() {
+            return write!(f, "cross");
+        }
+        let parts: Vec<String> = self
+            .pairs
+            .iter()
+            .map(|(l, r)| format!("{l} = {r}"))
+            .collect();
+        write!(f, "{}", parts.join(" AND "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.eval(Equal));
+        assert!(!CmpOp::Eq.eval(Less));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Le.eval(Less));
+        assert!(CmpOp::Ne.eval(Greater));
+        assert!(CmpOp::Ge.eval(Greater));
+        assert!(!CmpOp::Gt.eval(Equal));
+        assert!(CmpOp::Lt.eval(Less));
+    }
+
+    #[test]
+    fn pred_canonical_order_makes_equal_hashes() {
+        let p1 = Pred::conj(vec![Cmp::eq(a(2), 5i64), Cmp::lt(a(1), 9i64)]);
+        let p2 = Pred::conj(vec![Cmp::lt(a(1), 9i64), Cmp::eq(a(2), 5i64)]);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn pred_partition_splits_by_attr() {
+        let p = Pred::conj(vec![Cmp::eq(a(1), 1i64), Cmp::eq(a(5), 2i64)]);
+        let (lo, hi) = p.partition(|x| x.0 < 3);
+        assert_eq!(lo.attrs(), vec![a(1)]);
+        assert_eq!(hi.attrs(), vec![a(5)]);
+    }
+
+    #[test]
+    fn join_pred_flip_roundtrip() {
+        let p = JoinPred::on(vec![(a(1), a(10)), (a(2), a(11))]);
+        assert_eq!(p.flipped().flipped(), p);
+        assert_eq!(p.left_attrs(), vec![a(1), a(2)]);
+        assert_eq!(p.flipped().left_attrs(), vec![a(10), a(11)]);
+    }
+
+    #[test]
+    fn join_pred_cross_detection() {
+        assert!(JoinPred::cross().is_cross());
+        assert!(!JoinPred::eq(a(0), a(1)).is_cross());
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Pred::conj(vec![Cmp::eq(a(1), 5i64)]);
+        assert_eq!(p.to_string(), "a1 = 5");
+        assert_eq!(Pred::default().to_string(), "true");
+        assert_eq!(JoinPred::eq(a(1), a(2)).to_string(), "a1 = a2");
+        assert_eq!(JoinPred::cross().to_string(), "cross");
+    }
+}

@@ -1,0 +1,57 @@
+//! The sort enforcer.
+//!
+//! "There are some operators in the physical algebra that do not
+//! correspond to any operator in the logical algebra, for example
+//! sorting ... The purpose of these operators is not to perform any
+//! logical data manipulation but to enforce physical properties in their
+//! outputs" (§2.2).
+
+use volcano_core::ids::GroupId;
+use volcano_core::{Enforcer, EnforcerApplication, PhysicalProps, RuleCtx};
+
+use crate::alg::RelAlg;
+use crate::cost::{formulas, RelCost};
+use crate::model::RelModel;
+use crate::props::RelProps;
+
+/// Enforces a required sort order by sorting its input.
+///
+/// The application relaxes the requirement to "no order" for the input
+/// and passes the enforced order down as the *excluding* property vector,
+/// so order-producing algorithms (merge join, nested loops delegating
+/// order) are not considered redundantly below the sort (§3).
+pub struct SortEnforcer;
+
+impl Enforcer<RelModel> for SortEnforcer {
+    fn name(&self) -> &'static str {
+        "sort"
+    }
+
+    fn applies(
+        &self,
+        required: &RelProps,
+        _group: GroupId,
+        _ctx: &RuleCtx<'_, RelModel>,
+    ) -> Vec<EnforcerApplication<RelModel>> {
+        if !required.is_sorted() {
+            return vec![];
+        }
+        vec![EnforcerApplication {
+            alg: RelAlg::Sort(required.sort.clone()),
+            relaxed: RelProps::any(),
+            excluded: required.clone(),
+            delivers: required.clone(),
+        }]
+    }
+
+    fn cost(
+        &self,
+        _app: &EnforcerApplication<RelModel>,
+        group: GroupId,
+        ctx: &RuleCtx<'_, RelModel>,
+    ) -> RelCost {
+        // "Sorting costs were calculated based on a single-level merge"
+        // (§4.2): write sorted runs, read them back for one merge pass.
+        formulas::sort(ctx.logical_props(group))
+    }
+}

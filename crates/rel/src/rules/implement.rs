@@ -1,0 +1,938 @@
+//! Implementation rules: cost-based mapping of logical operators to
+//! algorithms (§2.2).
+//!
+//! Each rule supplies the paper's per-algorithm *applicability function*
+//! (can this algorithm deliver the required physical properties, and what
+//! must its inputs satisfy?) and *cost function*. `FilterScanRule` is a
+//! multi-operator rule (`Select(Get)` → one physical operator); the merge
+//! join and merge set-operation rules demonstrate *alternative* input
+//! property vectors (§3).
+
+use volcano_core::{AlgApplication, Binding, ImplementationRule, Pattern, PhysicalProps, RuleCtx};
+
+use crate::alg::RelAlg;
+use crate::cost::{formulas, RelCost};
+use crate::ids::AttrId;
+use crate::model::RelModel;
+use crate::ops::RelOp;
+use crate::props::{RelLogical, RelProps};
+
+type App = AlgApplication<RelModel>;
+type Ctx<'a> = RuleCtx<'a, RelModel>;
+type Bind = Binding<RelModel>;
+
+fn out_props<'a>(ctx: &Ctx<'a>, b: &Bind) -> &'a RelLogical {
+    ctx.memo().logical_props(ctx.memo().group_of(b.expr))
+}
+
+fn input_props<'a>(ctx: &Ctx<'a>, b: &Bind, i: usize) -> &'a RelLogical {
+    ctx.logical_props(b.input_group(i))
+}
+
+/// Generate the pair orderings a merge-based binary operator should try:
+/// the declared order always, plus the order with the first two keys
+/// swapped when the model asks for alternatives. This is the §3 facility
+/// for binary operators where "the actual physical properties of the
+/// inputs are not as important as the consistency of physical properties
+/// among the inputs".
+fn key_orders(nkeys: usize, variants: usize) -> Vec<Vec<usize>> {
+    let identity: Vec<usize> = (0..nkeys).collect();
+    let mut orders = vec![identity.clone()];
+    if variants >= 2 && nkeys >= 2 {
+        let mut swapped = identity;
+        swapped.swap(0, 1);
+        orders.push(swapped);
+    }
+    orders
+}
+
+fn permute(attrs: &[AttrId], order: &[usize]) -> Vec<AttrId> {
+    order.iter().map(|&i| attrs[i]).collect()
+}
+
+// ---------------------------------------------------------------------
+// Scans.
+// ---------------------------------------------------------------------
+
+/// `Get(t)` → `FileScan(t)`.
+pub struct FileScanRule {
+    pattern: Pattern<RelModel>,
+}
+
+impl FileScanRule {
+    /// Construct the rule.
+    pub fn new() -> Self {
+        FileScanRule {
+            pattern: Pattern::op("get", |op: &RelOp| matches!(op, RelOp::Get(_)), vec![]),
+        }
+    }
+}
+
+impl Default for FileScanRule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ImplementationRule<RelModel> for FileScanRule {
+    fn name(&self) -> &'static str {
+        "get_to_file_scan"
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
+        if required.is_sorted() {
+            // A heap scan cannot deliver any ordering.
+            return vec![];
+        }
+        let RelOp::Get(t) = &b.op else { unreachable!() };
+        vec![App {
+            alg: RelAlg::FileScan(*t),
+            input_props: vec![],
+            delivers: RelProps::any(),
+        }]
+    }
+
+    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        formulas::file_scan(out_props(ctx, b))
+    }
+}
+
+/// `Get(t)` → `IndexScan(t, attr)` for each indexed column: an access
+/// path that delivers the sort order `[attr]` as a physical property, at
+/// a modest cost premium over the heap scan. This is where *interesting
+/// orders* enter the plan space without any enforcer.
+pub struct IndexScanRule {
+    pattern: Pattern<RelModel>,
+    catalog: crate::Catalog,
+}
+
+impl IndexScanRule {
+    /// Construct the rule over the model's catalog.
+    pub fn new(catalog: crate::Catalog) -> Self {
+        IndexScanRule {
+            pattern: Pattern::op("get", |op: &RelOp| matches!(op, RelOp::Get(_)), vec![]),
+            catalog,
+        }
+    }
+}
+
+impl ImplementationRule<RelModel> for IndexScanRule {
+    fn name(&self) -> &'static str {
+        "get_to_index_scan"
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
+        let RelOp::Get(t) = &b.op else { unreachable!() };
+        self.catalog
+            .table(*t)
+            .columns
+            .iter()
+            .filter(|c| c.indexed)
+            .filter_map(|c| {
+                let delivers = RelProps::sorted(vec![c.attr]);
+                if !delivers.satisfies(required) {
+                    return None;
+                }
+                Some(App {
+                    alg: RelAlg::IndexScan(*t, c.attr),
+                    input_props: vec![],
+                    delivers,
+                })
+            })
+            .collect()
+    }
+
+    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        formulas::index_scan(out_props(ctx, b))
+    }
+}
+
+/// `Select(Get(t))` → `FilterScan(t, pred)`: a multi-operator
+/// implementation rule mapping two logical operators onto one physical
+/// operator.
+pub struct FilterScanRule {
+    pattern: Pattern<RelModel>,
+}
+
+impl FilterScanRule {
+    /// Construct the rule.
+    pub fn new() -> Self {
+        FilterScanRule {
+            pattern: Pattern::op(
+                "select",
+                |op: &RelOp| matches!(op, RelOp::Select(_)),
+                vec![Pattern::op(
+                    "get",
+                    |op: &RelOp| matches!(op, RelOp::Get(_)),
+                    vec![],
+                )],
+            ),
+        }
+    }
+}
+
+impl Default for FilterScanRule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ImplementationRule<RelModel> for FilterScanRule {
+    fn name(&self) -> &'static str {
+        "select_get_to_filter_scan"
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
+        if required.is_sorted() {
+            return vec![];
+        }
+        let RelOp::Select(p) = &b.op else {
+            unreachable!()
+        };
+        let RelOp::Get(t) = &b.nested(0).op else {
+            unreachable!()
+        };
+        vec![App {
+            alg: RelAlg::FilterScan(*t, p.clone()),
+            input_props: vec![],
+            delivers: RelProps::any(),
+        }]
+    }
+
+    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        let RelOp::Select(p) = &b.op else {
+            unreachable!()
+        };
+        let table = ctx
+            .memo()
+            .logical_props(ctx.memo().group_of(b.nested(0).expr));
+        // One pass over the stored table, evaluating the predicate on the
+        // fly: the whole point of fusing the two logical operators.
+        formulas::filter_scan(table, p.len())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Filters and projections.
+// ---------------------------------------------------------------------
+
+/// `Select(X)` → `Filter`; order-preserving.
+pub struct FilterRule {
+    pattern: Pattern<RelModel>,
+}
+
+impl FilterRule {
+    /// Construct the rule.
+    pub fn new() -> Self {
+        FilterRule {
+            pattern: Pattern::op(
+                "select",
+                |op: &RelOp| matches!(op, RelOp::Select(_)),
+                vec![Pattern::Any],
+            ),
+        }
+    }
+}
+
+impl Default for FilterRule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ImplementationRule<RelModel> for FilterRule {
+    fn name(&self) -> &'static str {
+        "select_to_filter"
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
+        let RelOp::Select(p) = &b.op else {
+            unreachable!()
+        };
+        // Filter passes tuples through unchanged: it can deliver any
+        // ordering by demanding the same ordering of its input.
+        vec![App {
+            alg: RelAlg::Filter(p.clone()),
+            input_props: vec![required.clone()],
+            delivers: required.clone(),
+        }]
+    }
+
+    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        let RelOp::Select(p) = &b.op else {
+            unreachable!()
+        };
+        formulas::filter(input_props(ctx, b, 0), p.len())
+    }
+}
+
+/// `Project(X)` → `ProjectOp`; order-preserving for orders over the
+/// retained attributes.
+pub struct ProjectRule {
+    pattern: Pattern<RelModel>,
+}
+
+impl ProjectRule {
+    /// Construct the rule.
+    pub fn new() -> Self {
+        ProjectRule {
+            pattern: Pattern::op(
+                "project",
+                |op: &RelOp| matches!(op, RelOp::Project(_)),
+                vec![Pattern::Any],
+            ),
+        }
+    }
+}
+
+impl Default for ProjectRule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ImplementationRule<RelModel> for ProjectRule {
+    fn name(&self) -> &'static str {
+        "project_to_project"
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
+        let RelOp::Project(attrs) = &b.op else {
+            unreachable!()
+        };
+        // An ordering can survive projection only if its attributes are
+        // retained.
+        if !required.sort.iter().all(|a| attrs.contains(a)) {
+            return vec![];
+        }
+        vec![App {
+            alg: RelAlg::ProjectOp(attrs.clone()),
+            input_props: vec![required.clone()],
+            delivers: required.clone(),
+        }]
+    }
+
+    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        formulas::project(input_props(ctx, b, 0))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Joins.
+// ---------------------------------------------------------------------
+
+/// `Join(A, B)` → `MergeJoin`; requires consistently sorted inputs,
+/// delivers the left key order.
+pub struct MergeJoinRule {
+    pattern: Pattern<RelModel>,
+    variants: usize,
+}
+
+impl MergeJoinRule {
+    /// Construct the rule; `variants >= 2` also offers the key order with
+    /// the first two join attributes swapped.
+    pub fn new(variants: usize) -> Self {
+        MergeJoinRule {
+            pattern: Pattern::op(
+                "join",
+                |op: &RelOp| matches!(op, RelOp::Join(_)),
+                vec![Pattern::Any, Pattern::Any],
+            ),
+            variants,
+        }
+    }
+}
+
+impl ImplementationRule<RelModel> for MergeJoinRule {
+    fn name(&self) -> &'static str {
+        "join_to_merge_join"
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
+        let RelOp::Join(p) = &b.op else {
+            unreachable!()
+        };
+        if p.is_cross() {
+            return vec![];
+        }
+        let left = p.left_attrs();
+        let right = p.right_attrs();
+        let mut apps = Vec::new();
+        for order in key_orders(p.pairs().len(), self.variants) {
+            // The output is sorted on the left keys AND, because the keys
+            // are pairwise equal, equivalently on the right keys: declare
+            // both, so an order requirement phrased in terms of either
+            // side's attributes is satisfied (attribute equivalence, the
+            // classic interesting-orders subtlety).
+            for delivers in [
+                RelProps::sorted(permute(&left, &order)),
+                RelProps::sorted(permute(&right, &order)),
+            ] {
+                if !delivers.satisfies(required) {
+                    continue;
+                }
+                apps.push(App {
+                    alg: RelAlg::MergeJoin(p.clone()),
+                    input_props: vec![
+                        RelProps::sorted(permute(&left, &order)),
+                        RelProps::sorted(permute(&right, &order)),
+                    ],
+                    delivers,
+                });
+                // One application per key order suffices when both
+                // deliveries satisfy the requirement (they share inputs
+                // and cost).
+                break;
+            }
+        }
+        apps
+    }
+
+    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        formulas::merge_join(
+            input_props(ctx, b, 0),
+            input_props(ctx, b, 1),
+            out_props(ctx, b),
+        )
+    }
+}
+
+/// `Join(A, B)` → `HybridHashJoin`; unordered output, builds on the left.
+/// The cost is a function of the memory made available at optimizer
+/// generation time (§4.1's memory-dependent cost ADT).
+pub struct HashJoinRule {
+    pattern: Pattern<RelModel>,
+    memory_bytes: f64,
+}
+
+impl HashJoinRule {
+    /// Construct the rule with the memory available per hash join.
+    pub fn new(memory_bytes: f64) -> Self {
+        HashJoinRule {
+            pattern: Pattern::op(
+                "join",
+                |op: &RelOp| matches!(op, RelOp::Join(_)),
+                vec![Pattern::Any, Pattern::Any],
+            ),
+            memory_bytes,
+        }
+    }
+}
+
+impl Default for HashJoinRule {
+    fn default() -> Self {
+        Self::new(f64::INFINITY)
+    }
+}
+
+impl ImplementationRule<RelModel> for HashJoinRule {
+    fn name(&self) -> &'static str {
+        "join_to_hybrid_hash_join"
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
+        let RelOp::Join(p) = &b.op else {
+            unreachable!()
+        };
+        if p.is_cross() || required.is_sorted() {
+            // "When optimizing a join expression whose result should be
+            // sorted on the join attribute, hybrid hash join does not
+            // qualify" (§2.2).
+            return vec![];
+        }
+        vec![App {
+            alg: RelAlg::HybridHashJoin(p.clone()),
+            input_props: vec![RelProps::any(), RelProps::any()],
+            delivers: RelProps::any(),
+        }]
+    }
+
+    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        // With infinite memory: in-memory build + probe, no partition
+        // files (§4.2). With finite memory the overflow spills.
+        formulas::hash_join_with_memory(
+            input_props(ctx, b, 0),
+            input_props(ctx, b, 1),
+            out_props(ctx, b),
+            self.memory_bytes,
+        )
+    }
+}
+
+/// `Join(Join(A, B), C)` → a single `MultiWayHashJoin`: the paper's §6
+/// extensibility claim, made concrete — adding "a new, non-trivial
+/// algorithm such as a multi-way join" is exactly one multi-operator
+/// implementation rule; no other part of the optimizer changes.
+///
+/// The condition code restricts the rule to the cascade shape the
+/// operator implements efficiently: the outer predicate's left attributes
+/// must all come from `B`, so the probe cascades c → B-table → A-table.
+pub struct MultiWayJoinRule {
+    pattern: Pattern<RelModel>,
+}
+
+impl MultiWayJoinRule {
+    /// Construct the rule.
+    pub fn new() -> Self {
+        let is_join = |op: &RelOp| matches!(op, RelOp::Join(_));
+        MultiWayJoinRule {
+            pattern: Pattern::op(
+                "join",
+                is_join,
+                vec![
+                    Pattern::op("join", is_join, vec![Pattern::Any, Pattern::Any]),
+                    Pattern::Any,
+                ],
+            ),
+        }
+    }
+}
+
+impl Default for MultiWayJoinRule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ImplementationRule<RelModel> for MultiWayJoinRule {
+    fn name(&self) -> &'static str {
+        "join_join_to_multiway_hash_join"
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn condition(&self, b: &Bind, ctx: &Ctx<'_>) -> bool {
+        let RelOp::Join(outer) = &b.op else {
+            return false;
+        };
+        let RelOp::Join(inner) = &b.nested(0).op else {
+            return false;
+        };
+        if inner.is_cross() || outer.is_cross() {
+            return false;
+        }
+        // Probe cascade: every outer-left attribute must live in B.
+        let b_props = ctx.logical_props(b.nested(0).input_group(1));
+        outer.left_attrs().iter().all(|&a| b_props.has_attr(a))
+    }
+
+    fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
+        if required.is_sorted() {
+            return vec![];
+        }
+        let RelOp::Join(outer) = &b.op else {
+            unreachable!()
+        };
+        let RelOp::Join(inner) = &b.nested(0).op else {
+            unreachable!()
+        };
+        vec![App {
+            alg: RelAlg::MultiWayHashJoin {
+                inner: inner.clone(),
+                outer: outer.clone(),
+            },
+            input_props: vec![RelProps::any(), RelProps::any(), RelProps::any()],
+            delivers: RelProps::any(),
+        }]
+    }
+
+    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        let inner_binding = b.nested(0);
+        let a = ctx.logical_props(inner_binding.input_group(0));
+        let bb = ctx.logical_props(inner_binding.input_group(1));
+        let c = ctx.logical_props(b.input_group(1));
+        let mid = ctx
+            .memo()
+            .logical_props(ctx.memo().group_of(inner_binding.expr));
+        formulas::multiway_hash_join(a, bb, c, mid, out_props(ctx, b))
+    }
+}
+
+/// `Join(A, B)` → `NestedLoops`; handles any predicate (including
+/// Cartesian products) and preserves the outer order.
+pub struct NestedLoopsRule {
+    pattern: Pattern<RelModel>,
+}
+
+impl NestedLoopsRule {
+    /// Construct the rule.
+    pub fn new() -> Self {
+        NestedLoopsRule {
+            pattern: Pattern::op(
+                "join",
+                |op: &RelOp| matches!(op, RelOp::Join(_)),
+                vec![Pattern::Any, Pattern::Any],
+            ),
+        }
+    }
+}
+
+impl Default for NestedLoopsRule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ImplementationRule<RelModel> for NestedLoopsRule {
+    fn name(&self) -> &'static str {
+        "join_to_nested_loops"
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn applies(&self, b: &Bind, required: &RelProps, ctx: &Ctx<'_>) -> Vec<App> {
+        // Nested loops preserve the outer order, so a sort requirement can
+        // be delegated to the left input — but only if those attributes
+        // exist on the left.
+        let lprops = ctx.logical_props(b.input_group(0));
+        if !required.sort.iter().all(|&a| lprops.has_attr(a)) {
+            return vec![];
+        }
+        let RelOp::Join(p) = &b.op else {
+            unreachable!()
+        };
+        vec![App {
+            alg: RelAlg::NestedLoops(p.clone()),
+            input_props: vec![required.clone(), RelProps::any()],
+            delivers: required.clone(),
+        }]
+    }
+
+    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        let RelOp::Join(p) = &b.op else {
+            unreachable!()
+        };
+        formulas::nested_loops(
+            input_props(ctx, b, 0),
+            input_props(ctx, b, 1),
+            out_props(ctx, b),
+            p.pairs().len(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Set operations.
+// ---------------------------------------------------------------------
+
+/// Which logical set operation a set-operation rule implements.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum SetOpKind {
+    /// `UNION`.
+    Union,
+    /// `INTERSECT`.
+    Intersect,
+    /// `EXCEPT`.
+    Difference,
+}
+
+impl SetOpKind {
+    fn matches(self, op: &RelOp) -> bool {
+        matches!(
+            (self, op),
+            (SetOpKind::Union, RelOp::Union)
+                | (SetOpKind::Intersect, RelOp::Intersect)
+                | (SetOpKind::Difference, RelOp::Difference)
+        )
+    }
+
+    fn merge_alg(self) -> RelAlg {
+        match self {
+            SetOpKind::Union => RelAlg::MergeUnion,
+            SetOpKind::Intersect => RelAlg::MergeIntersect,
+            SetOpKind::Difference => RelAlg::MergeDifference,
+        }
+    }
+
+    fn hash_alg(self) -> RelAlg {
+        match self {
+            SetOpKind::Union => RelAlg::HashUnion,
+            SetOpKind::Intersect => RelAlg::HashIntersect,
+            SetOpKind::Difference => RelAlg::HashDifference,
+        }
+    }
+}
+
+/// Merge-based implementation of a set operation: "for a sort-based
+/// implementation of intersection ... any sort order of the two inputs
+/// will suffice as long as the two inputs are sorted in the same way"
+/// (§3). The applicability function offers the identity column order and,
+/// when the model asks for alternatives, the order with the first two
+/// columns swapped — both inputs always consistently.
+pub struct MergeSetOpRule {
+    pattern: Pattern<RelModel>,
+    kind: SetOpKind,
+    variants: usize,
+    name: &'static str,
+}
+
+impl MergeSetOpRule {
+    /// Construct the rule for one set operation.
+    pub fn new(kind: SetOpKind, variants: usize) -> Self {
+        let (name, pname): (&'static str, &'static str) = match kind {
+            SetOpKind::Union => ("union_to_merge_union", "union"),
+            SetOpKind::Intersect => ("intersect_to_merge_intersect", "intersect"),
+            SetOpKind::Difference => ("difference_to_merge_difference", "difference"),
+        };
+        MergeSetOpRule {
+            pattern: Pattern::op(
+                pname,
+                move |op: &RelOp| kind.matches(op),
+                vec![Pattern::Any, Pattern::Any],
+            ),
+            kind,
+            variants,
+            name,
+        }
+    }
+}
+
+impl ImplementationRule<RelModel> for MergeSetOpRule {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn applies(&self, b: &Bind, required: &RelProps, ctx: &Ctx<'_>) -> Vec<App> {
+        let lcols: Vec<AttrId> = ctx
+            .logical_props(b.input_group(0))
+            .cols
+            .iter()
+            .map(|c| c.attr)
+            .collect();
+        let rcols: Vec<AttrId> = ctx
+            .logical_props(b.input_group(1))
+            .cols
+            .iter()
+            .map(|c| c.attr)
+            .collect();
+        if lcols.is_empty() || lcols.len() != rcols.len() {
+            return vec![];
+        }
+        let mut apps = Vec::new();
+        for order in key_orders(lcols.len(), self.variants) {
+            let delivers = RelProps::sorted(permute(&lcols, &order));
+            if !delivers.satisfies(required) {
+                continue;
+            }
+            apps.push(App {
+                alg: self.kind.merge_alg(),
+                input_props: vec![
+                    RelProps::sorted(permute(&lcols, &order)),
+                    RelProps::sorted(permute(&rcols, &order)),
+                ],
+                delivers,
+            });
+        }
+        apps
+    }
+
+    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        formulas::merge_set_op(
+            input_props(ctx, b, 0),
+            input_props(ctx, b, 1),
+            out_props(ctx, b),
+        )
+    }
+}
+
+/// Hash-based implementation of a set operation; unordered output.
+pub struct HashSetOpRule {
+    pattern: Pattern<RelModel>,
+    kind: SetOpKind,
+    name: &'static str,
+}
+
+impl HashSetOpRule {
+    /// Construct the rule for one set operation.
+    pub fn new(kind: SetOpKind) -> Self {
+        let (name, pname): (&'static str, &'static str) = match kind {
+            SetOpKind::Union => ("union_to_hash_union", "union"),
+            SetOpKind::Intersect => ("intersect_to_hash_intersect", "intersect"),
+            SetOpKind::Difference => ("difference_to_hash_difference", "difference"),
+        };
+        HashSetOpRule {
+            pattern: Pattern::op(
+                pname,
+                move |op: &RelOp| kind.matches(op),
+                vec![Pattern::Any, Pattern::Any],
+            ),
+            kind,
+            name,
+        }
+    }
+}
+
+impl ImplementationRule<RelModel> for HashSetOpRule {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn applies(&self, _b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
+        if required.is_sorted() {
+            return vec![];
+        }
+        vec![App {
+            alg: self.kind.hash_alg(),
+            input_props: vec![RelProps::any(), RelProps::any()],
+            delivers: RelProps::any(),
+        }]
+    }
+
+    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        formulas::hash_set_op(
+            input_props(ctx, b, 0),
+            input_props(ctx, b, 1),
+            out_props(ctx, b),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Aggregation.
+// ---------------------------------------------------------------------
+
+/// `Aggregate` → `StreamAggregate`; requires input sorted on the grouping
+/// attributes, delivers that order.
+pub struct StreamAggRule {
+    pattern: Pattern<RelModel>,
+}
+
+impl StreamAggRule {
+    /// Construct the rule.
+    pub fn new() -> Self {
+        StreamAggRule {
+            pattern: Pattern::op(
+                "aggregate",
+                |op: &RelOp| matches!(op, RelOp::Aggregate(_)),
+                vec![Pattern::Any],
+            ),
+        }
+    }
+}
+
+impl Default for StreamAggRule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ImplementationRule<RelModel> for StreamAggRule {
+    fn name(&self) -> &'static str {
+        "aggregate_to_stream_aggregate"
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
+        let RelOp::Aggregate(spec) = &b.op else {
+            unreachable!()
+        };
+        let delivers = RelProps::sorted(spec.group_by.clone());
+        if !delivers.satisfies(required) {
+            return vec![];
+        }
+        vec![App {
+            alg: RelAlg::StreamAggregate(spec.clone()),
+            input_props: vec![RelProps::sorted(spec.group_by.clone())],
+            delivers,
+        }]
+    }
+
+    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        formulas::stream_agg(input_props(ctx, b, 0), out_props(ctx, b))
+    }
+}
+
+/// `Aggregate` → `HashAggregate`; unordered input and output.
+pub struct HashAggRule {
+    pattern: Pattern<RelModel>,
+}
+
+impl HashAggRule {
+    /// Construct the rule.
+    pub fn new() -> Self {
+        HashAggRule {
+            pattern: Pattern::op(
+                "aggregate",
+                |op: &RelOp| matches!(op, RelOp::Aggregate(_)),
+                vec![Pattern::Any],
+            ),
+        }
+    }
+}
+
+impl Default for HashAggRule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ImplementationRule<RelModel> for HashAggRule {
+    fn name(&self) -> &'static str {
+        "aggregate_to_hash_aggregate"
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
+        if required.is_sorted() {
+            return vec![];
+        }
+        let RelOp::Aggregate(spec) = &b.op else {
+            unreachable!()
+        };
+        vec![App {
+            alg: RelAlg::HashAggregate(spec.clone()),
+            input_props: vec![RelProps::any()],
+            delivers: RelProps::any(),
+        }]
+    }
+
+    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        formulas::hash_agg(input_props(ctx, b, 0), out_props(ctx, b))
+    }
+}

@@ -1,0 +1,16 @@
+//! The relational rule set: transformation rules, implementation rules,
+//! and enforcers.
+//!
+//! Rules "are translated independently from one another and are combined
+//! only by the search engine when optimizing a query" (§2.1): each rule
+//! here is a self-contained struct implementing one of the `volcano-core`
+//! rule traits; [`crate::RelModel`] assembles the set according to its
+//! options.
+
+pub mod enforce;
+pub mod implement;
+pub mod transform;
+
+pub use enforce::SortEnforcer;
+pub use implement::*;
+pub use transform::*;

@@ -1,0 +1,206 @@
+//! Runtime and literal values.
+//!
+//! A single [`Value`] type serves both as predicate literal in the
+//! optimizer (where it must be `Eq + Hash` so operators can key the memo)
+//! and as tuple field in the execution engine (where it must be `Ord` so
+//! sort and merge algorithms work). Floats are stored in a totally
+//! ordered bit representation to keep both uses sound.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A totally ordered, hashable `f64` wrapper.
+///
+/// NaN is banned at construction, which makes `Eq`/`Ord`/`Hash` lawful.
+#[derive(Clone, Copy, Debug)]
+pub struct F64(f64);
+
+impl F64 {
+    /// Wrap a finite float; panics on NaN.
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "NaN values are not permitted");
+        F64(v)
+    }
+
+    /// The wrapped float.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0 || (self.0 == 0.0 && other.0 == 0.0)
+    }
+}
+
+impl Eq for F64 {}
+
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN banned at construction")
+    }
+}
+
+impl Hash for F64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Normalize -0.0 to 0.0 so Hash agrees with Eq.
+        let v = if self.0 == 0.0 { 0.0f64 } else { self.0 };
+        v.to_bits().hash(state);
+    }
+}
+
+/// A database value: tuple field at run time, literal in predicates.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// SQL NULL. Ordered lowest so sorted streams put NULLs first.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// Finite 64-bit float.
+    Float(F64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Integer constructor.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Float constructor (panics on NaN).
+    pub fn float(v: f64) -> Self {
+        Value::Float(F64::new(v))
+    }
+
+    /// String constructor.
+    pub fn str(v: impl Into<String>) -> Self {
+        Value::Str(v.into())
+    }
+
+    /// Is this SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL-style comparison: NULL compares equal/ordered to nothing
+    /// (`None`), everything else by the derived total order. Cross-type
+    /// numeric comparisons coerce Int to Float.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(&b.get()),
+            (Value::Float(a), Value::Int(b)) => a.get().partial_cmp(&(*b as f64)),
+            (a, b) => Some(a.cmp(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{}", x.get()),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+
+/// A tuple: one row of an intermediate or stored relation.
+pub type Tuple = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &impl Hash) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn f64_total_order_and_hash() {
+        assert!(F64::new(1.0) < F64::new(2.0));
+        assert_eq!(F64::new(0.0), F64::new(-0.0));
+        assert_eq!(hash_of(&F64::new(0.0)), hash_of(&F64::new(-0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = F64::new(f64::NAN);
+    }
+
+    #[test]
+    fn value_ordering() {
+        assert!(Value::Null < Value::int(0));
+        assert!(Value::int(1) < Value::int(2));
+        assert!(Value::str("a") < Value::str("b"));
+    }
+
+    #[test]
+    fn sql_cmp_null_semantics() {
+        assert_eq!(Value::Null.sql_cmp(&Value::int(1)), None);
+        assert_eq!(Value::int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::int(1).sql_cmp(&Value::int(1)), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn sql_cmp_coerces_numerics() {
+        assert_eq!(
+            Value::int(2).sql_cmp(&Value::float(1.5)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::float(1.5).sql_cmp(&Value::int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::int(7).to_string(), "7");
+        assert_eq!(Value::str("x").to_string(), "'x'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

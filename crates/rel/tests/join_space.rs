@@ -1,0 +1,125 @@
+//! Left-deep vs. bushy search spaces: the Starburst parameter (§5)
+//! expressed Volcano-style as a rule-set choice.
+
+use volcano_core::{PhysicalProps, SearchOptions};
+use volcano_rel::builder::join;
+use volcano_rel::{
+    Catalog, ColumnDef, JoinPred, JoinSpace, QueryBuilder, RelAlg, RelModel, RelModelOptions,
+    RelOptimizer, RelPlan, RelProps,
+};
+
+fn chain_catalog(n: usize) -> Catalog {
+    let mut c = Catalog::new();
+    for i in 0..n {
+        c.add_table(
+            &format!("t{i}"),
+            1_000.0 + 700.0 * i as f64,
+            vec![ColumnDef::int("a", 80.0), ColumnDef::int("b", 80.0)],
+        );
+    }
+    c
+}
+
+fn chain_query(model: &RelModel, n: usize) -> volcano_rel::RelExpr {
+    let q = QueryBuilder::new(model.catalog());
+    let mut e = q.scan("t0");
+    for i in 1..n {
+        e = join(
+            e,
+            q.scan(&format!("t{i}")),
+            JoinPred::eq(
+                q.attr(&format!("t{}", i - 1), "b"),
+                q.attr(&format!("t{i}"), "a"),
+            ),
+        );
+    }
+    e
+}
+
+fn optimize(n: usize, space: JoinSpace) -> (RelPlan, usize, usize) {
+    let opts = RelModelOptions {
+        join_space: space,
+        ..RelModelOptions::paper_fig4()
+    };
+    let model = RelModel::new(chain_catalog(n), opts);
+    let expr = chain_query(&model, n);
+    let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+    let root = opt.insert_tree(&expr);
+    let plan = opt.find_best_plan(root, RelProps::any(), None).unwrap();
+    let stats = opt.stats();
+    (plan, stats.exprs_created, stats.groups_created)
+}
+
+/// Is every join node's right input join-free (a base-relation access
+/// path)?
+fn is_left_deep(plan: &RelPlan) -> bool {
+    plan.nodes().iter().all(|n| {
+        if n.alg.is_join() {
+            let right = n.inputs.last().expect("joins have inputs");
+            right.nodes().iter().all(|m| !m.alg.is_join())
+        } else {
+            true
+        }
+    })
+}
+
+#[test]
+fn left_deep_plans_really_are_left_deep() {
+    for n in 3..=6 {
+        let (plan, _, _) = optimize(n, JoinSpace::LeftDeep);
+        assert!(
+            is_left_deep(&plan),
+            "n={n}: composite inner in a left-deep-only space:\n{}",
+            plan.explain()
+        );
+        assert_eq!(plan.count_algs(RelAlg::is_join), n - 1, "all joins present");
+    }
+}
+
+#[test]
+fn left_deep_space_is_smaller() {
+    for n in [4usize, 5, 6] {
+        let (_, bushy_exprs, _) = optimize(n, JoinSpace::Bushy);
+        let (_, ld_exprs, _) = optimize(n, JoinSpace::LeftDeep);
+        assert!(
+            ld_exprs < bushy_exprs,
+            "n={n}: left-deep {ld_exprs} must explore fewer expressions than bushy {bushy_exprs}"
+        );
+    }
+}
+
+#[test]
+fn bushy_never_worse_than_left_deep() {
+    for n in 3..=6 {
+        let (bushy, _, _) = optimize(n, JoinSpace::Bushy);
+        let (ld, _, _) = optimize(n, JoinSpace::LeftDeep);
+        assert!(
+            bushy.cost.total() <= ld.cost.total() + 1e-6,
+            "n={n}: the bushy space contains every left-deep plan \
+             (bushy {} vs left-deep {})",
+            bushy.cost,
+            ld.cost
+        );
+    }
+}
+
+#[test]
+fn left_deep_enumerates_all_orders() {
+    // For a 3-relation chain the left-deep space has 3! = 6 orders but
+    // only connected ones survive without cross products; the root class
+    // must contain several alternatives (exchange + bottom commute).
+    let opts = RelModelOptions {
+        join_space: JoinSpace::LeftDeep,
+        ..RelModelOptions::paper_fig4()
+    };
+    let model = RelModel::new(chain_catalog(3), opts);
+    let expr = chain_query(&model, 3);
+    let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+    let root = opt.insert_tree(&expr);
+    let _ = opt.find_best_plan(root, RelProps::any(), None).unwrap();
+    let root_exprs = opt.memo().group_exprs(opt.memo().repr(root)).len();
+    assert!(
+        root_exprs >= 2,
+        "exchange must generate alternative left-deep orders, got {root_exprs}"
+    );
+}

@@ -1,0 +1,94 @@
+//! Memory-dependent cost: the paper's cost-as-a-function-of-memory
+//! facility (§4.1). Regenerating the optimizer with different memory
+//! parameters flips plans between hash- and sort-based strategies —
+//! the basis for "dynamic plans for incompletely specified queries" (§1).
+
+use volcano_core::{PhysicalProps, SearchOptions};
+use volcano_rel::builder::join;
+use volcano_rel::{
+    Catalog, ColumnDef, JoinPred, QueryBuilder, RelAlg, RelModel, RelModelOptions, RelOptimizer,
+    RelPlan, RelProps,
+};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    // ~1.5 MB build side (15,000 rows × 100 bytes).
+    c.add_table(
+        "build",
+        15_000.0,
+        vec![
+            ColumnDef::int("k", 1_500.0),
+            ColumnDef::str("pad", 92, 15_000.0),
+        ],
+    );
+    c.add_table(
+        "probe",
+        15_000.0,
+        vec![
+            ColumnDef::int("k", 1_500.0),
+            ColumnDef::str("pad", 92, 15_000.0),
+        ],
+    );
+    c
+}
+
+fn optimize(memory_bytes: f64) -> RelPlan {
+    let opts = RelModelOptions {
+        hash_join_memory_bytes: memory_bytes,
+        ..RelModelOptions::default()
+    };
+    let model = RelModel::new(catalog(), opts);
+    let q = QueryBuilder::new(model.catalog());
+    let expr = join(
+        q.scan("build"),
+        q.scan("probe"),
+        JoinPred::eq(q.attr("build", "k"), q.attr("probe", "k")),
+    );
+    let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+    let root = opt.insert_tree(&expr);
+    opt.find_best_plan(root, RelProps::any(), None).unwrap()
+}
+
+#[test]
+fn infinite_memory_prefers_hash_join() {
+    let plan = optimize(f64::INFINITY);
+    assert_eq!(
+        plan.count_algs(|a| matches!(a, RelAlg::HybridHashJoin(_))),
+        1,
+        "{}",
+        plan.explain()
+    );
+}
+
+#[test]
+fn plenty_of_memory_behaves_like_infinite() {
+    let infinite = optimize(f64::INFINITY);
+    let plenty = optimize(64.0 * 1024.0 * 1024.0);
+    assert!((infinite.cost.total() - plenty.cost.total()).abs() < 1e-9);
+}
+
+#[test]
+fn tight_memory_flips_to_sort_based_plan() {
+    // 64 KiB: almost the whole build side spills; merge join with sorts
+    // becomes the better plan.
+    let plan = optimize(64.0 * 1024.0);
+    assert_eq!(
+        plan.count_algs(|a| matches!(a, RelAlg::MergeJoin(_))),
+        1,
+        "expected a sort-based plan under memory pressure:\n{}",
+        plan.explain()
+    );
+}
+
+#[test]
+fn cost_is_monotone_in_memory_pressure() {
+    let mut last = optimize(f64::INFINITY).cost.total();
+    for mem in [8.0e6, 2.0e6, 1.0e6, 256.0e3, 64.0e3] {
+        let cost = optimize(mem).cost.total();
+        assert!(
+            cost + 1e-9 >= last,
+            "less memory can never make the optimum cheaper ({mem} bytes: {cost} < {last})"
+        );
+        last = cost;
+    }
+}

@@ -1,0 +1,391 @@
+//! End-to-end optimization tests for the relational model: logical
+//! algebra in, physical plan out, checked for shape, properties, and cost.
+
+use volcano_core::{OptimizeError, PhysicalProps, SearchOptions};
+use volcano_rel::builder::{aggregate, difference, intersect, join_on, project, select_one, union};
+use volcano_rel::{
+    AggFunc, AggSpec, Catalog, Cmp, ColumnDef, QueryBuilder, RelAlg, RelModel, RelModelOptions,
+    RelOptimizer, RelPlan, RelProps,
+};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "emp",
+        10_000.0,
+        vec![
+            ColumnDef::int("id", 10_000.0),
+            ColumnDef::int("dept", 100.0),
+            ColumnDef::int("salary", 1_000.0),
+        ],
+    );
+    c.add_table(
+        "dept",
+        100.0,
+        vec![ColumnDef::int("id", 100.0), ColumnDef::int("region", 10.0)],
+    );
+    c.add_table(
+        "region",
+        10.0,
+        vec![ColumnDef::int("id", 10.0), ColumnDef::str("name", 16, 10.0)],
+    );
+    c
+}
+
+fn optimize(model: &RelModel, expr: &volcano_rel::RelExpr, props: RelProps) -> RelPlan {
+    let mut opt = RelOptimizer::new(model, SearchOptions::default());
+    let root = opt.insert_tree(expr);
+    opt.find_best_plan(root, props, None).expect("plan")
+}
+
+#[test]
+fn single_table_scan() {
+    let model = RelModel::with_defaults(catalog());
+    let q = QueryBuilder::new(model.catalog());
+    let plan = optimize(&model, &q.scan("emp"), RelProps::any());
+    assert!(matches!(plan.alg, RelAlg::FileScan(_)));
+    assert!(plan.cost.io > 0.0);
+}
+
+#[test]
+fn filter_scan_fuses_select_over_get() {
+    // The multi-operator implementation rule must beat filter-over-scan.
+    let model = RelModel::with_defaults(catalog());
+    let q = QueryBuilder::new(model.catalog());
+    let expr = select_one(q.scan("emp"), Cmp::eq(q.attr("emp", "dept"), 7i64));
+    let plan = optimize(&model, &expr, RelProps::any());
+    assert!(
+        matches!(plan.alg, RelAlg::FilterScan(_, _)),
+        "expected fused filter_scan, got {}",
+        plan.compact()
+    );
+    assert_eq!(plan.inputs.len(), 0);
+}
+
+#[test]
+fn without_filter_scan_rule_a_filter_tree_wins() {
+    let opts = RelModelOptions {
+        enable_filter_scan: false,
+        ..RelModelOptions::default()
+    };
+    let model = RelModel::new(catalog(), opts);
+    let q = QueryBuilder::new(model.catalog());
+    let expr = select_one(q.scan("emp"), Cmp::eq(q.attr("emp", "dept"), 7i64));
+    let plan = optimize(&model, &expr, RelProps::any());
+    assert!(matches!(plan.alg, RelAlg::Filter(_)));
+    assert!(matches!(plan.inputs[0].alg, RelAlg::FileScan(_)));
+}
+
+#[test]
+fn join_order_follows_cost() {
+    let model = RelModel::with_defaults(catalog());
+    let q = QueryBuilder::new(model.catalog());
+    // emp ⋈ dept: hash join should build on the small side (dept).
+    let expr = join_on(
+        q.scan("emp"),
+        q.scan("dept"),
+        q.attr("emp", "dept"),
+        q.attr("dept", "id"),
+    );
+    let plan = optimize(&model, &expr, RelProps::any());
+    let join_node = plan
+        .nodes()
+        .into_iter()
+        .find(|n| n.alg.is_join())
+        .expect("a join in the plan");
+    if let RelAlg::HybridHashJoin(_) = &join_node.alg {
+        // Left (build) input must be the small relation.
+        let left_card_cost = join_node.inputs[0].cost.total();
+        let right_card_cost = join_node.inputs[1].cost.total();
+        assert!(
+            left_card_cost <= right_card_cost,
+            "build side should be the cheap/small one"
+        );
+    }
+}
+
+#[test]
+fn sorted_output_requirement_is_enforced_and_verified() {
+    let model = RelModel::with_defaults(catalog());
+    let q = QueryBuilder::new(model.catalog());
+    let emp_dept = q.attr("emp", "dept");
+    let expr = join_on(
+        q.scan("emp"),
+        q.scan("dept"),
+        emp_dept,
+        q.attr("dept", "id"),
+    );
+    let plan = optimize(&model, &expr, RelProps::sorted(vec![emp_dept]));
+    assert!(plan.delivered.satisfies(&RelProps::sorted(vec![emp_dept])));
+}
+
+#[test]
+fn merge_join_is_not_placed_directly_under_sort() {
+    let model = RelModel::with_defaults(catalog());
+    let q = QueryBuilder::new(model.catalog());
+    let emp_dept = q.attr("emp", "dept");
+    let expr = join_on(
+        q.scan("emp"),
+        q.scan("dept"),
+        emp_dept,
+        q.attr("dept", "id"),
+    );
+    let plan = optimize(&model, &expr, RelProps::sorted(vec![emp_dept]));
+    for node in plan.nodes() {
+        if matches!(node.alg, RelAlg::Sort(_)) {
+            assert!(
+                !matches!(node.inputs[0].alg, RelAlg::MergeJoin(_)),
+                "excluding property vector violated: sort directly over merge join"
+            );
+        }
+    }
+}
+
+#[test]
+fn three_way_join_beats_naive_order() {
+    // region (10) ⋈ dept (100) ⋈ emp (10000), written worst-first: the
+    // optimizer must reorder via commutativity/associativity.
+    let model = RelModel::with_defaults(catalog());
+    let q = QueryBuilder::new(model.catalog());
+    let naive = join_on(
+        join_on(
+            q.scan("emp"),
+            q.scan("dept"),
+            q.attr("emp", "dept"),
+            q.attr("dept", "id"),
+        ),
+        q.scan("region"),
+        q.attr("dept", "region"),
+        q.attr("region", "id"),
+    );
+    let plan = optimize(&model, &naive, RelProps::any());
+    // The plan must be valid and carry all three scans.
+    let scans = plan.count_algs(|a| matches!(a, RelAlg::FileScan(_)));
+    assert_eq!(scans, 3);
+
+    // Disabling transformations (empty exploration) would cost more; here
+    // simply sanity-check the cost is positive and plan depth reasonable.
+    assert!(plan.cost.total() > 0.0);
+    assert!(plan.depth() >= 3);
+}
+
+#[test]
+fn select_pushdown_reduces_cost() {
+    let base = catalog();
+    let q_catalog = base.clone();
+    let q = QueryBuilder::new(&q_catalog);
+    // Selection written ABOVE the join; push-down should move it below.
+    let expr = select_one(
+        join_on(
+            q.scan("emp"),
+            q.scan("dept"),
+            q.attr("emp", "dept"),
+            q.attr("dept", "id"),
+        ),
+        Cmp::eq(q.attr("emp", "salary"), 42i64),
+    );
+
+    let with = RelModel::new(base.clone(), RelModelOptions::default());
+    let p_with = optimize(&with, &expr, RelProps::any());
+
+    let opts = RelModelOptions {
+        enable_select_pushdown: false,
+        enable_filter_scan: false,
+        ..RelModelOptions::default()
+    };
+    let without = RelModel::new(base, opts);
+    let p_without = optimize(&without, &expr, RelProps::any());
+
+    assert!(
+        p_with.cost.total() < p_without.cost.total(),
+        "pushdown {} should beat no-pushdown {}",
+        p_with.cost,
+        p_without.cost
+    );
+}
+
+#[test]
+fn projection_preserves_usable_orders() {
+    let model = RelModel::with_defaults(catalog());
+    let q = QueryBuilder::new(model.catalog());
+    let id = q.attr("emp", "id");
+    let dept = q.attr("emp", "dept");
+    let expr = project(q.scan("emp"), vec![id, dept]);
+    let plan = optimize(&model, &expr, RelProps::sorted(vec![id]));
+    assert!(plan.delivered.satisfies(&RelProps::sorted(vec![id])));
+    // A projection dropping `id` cannot deliver an order on it: the sort
+    // must happen above the projection.
+    let expr2 = project(q.scan("emp"), vec![dept]);
+    let plan2 = optimize(&model, &expr2, RelProps::sorted(vec![dept]));
+    assert!(plan2.delivered.satisfies(&RelProps::sorted(vec![dept])));
+}
+
+#[test]
+fn union_intersect_difference_all_plan() {
+    let mut c = Catalog::new();
+    c.add_table("r", 1000.0, vec![ColumnDef::int("x", 500.0)]);
+    c.add_table("s", 800.0, vec![ColumnDef::int("x", 400.0)]);
+    let model = RelModel::with_defaults(c);
+    let q = QueryBuilder::new(model.catalog());
+
+    for (expr, kinds) in [
+        (
+            union(q.scan("r"), q.scan("s")),
+            vec![RelAlg::HashUnion, RelAlg::MergeUnion],
+        ),
+        (
+            intersect(q.scan("r"), q.scan("s")),
+            vec![RelAlg::HashIntersect, RelAlg::MergeIntersect],
+        ),
+        (
+            difference(q.scan("r"), q.scan("s")),
+            vec![RelAlg::HashDifference, RelAlg::MergeDifference],
+        ),
+    ] {
+        let plan = optimize(&model, &expr, RelProps::any());
+        assert!(
+            kinds.contains(&plan.alg),
+            "unexpected set-op algorithm {:?}",
+            plan.alg
+        );
+    }
+}
+
+#[test]
+fn sorted_set_op_uses_merge_variant() {
+    let mut c = Catalog::new();
+    c.add_table("r", 1000.0, vec![ColumnDef::int("x", 500.0)]);
+    c.add_table("s", 800.0, vec![ColumnDef::int("x", 400.0)]);
+    let x = c.attr("r", "x");
+    let model = RelModel::with_defaults(c);
+    let q = QueryBuilder::new(model.catalog());
+    let plan = optimize(
+        &model,
+        &intersect(q.scan("r"), q.scan("s")),
+        RelProps::sorted(vec![x]),
+    );
+    assert!(plan.delivered.satisfies(&RelProps::sorted(vec![x])));
+}
+
+#[test]
+fn aggregation_chooses_between_hash_and_stream() {
+    let mut c = Catalog::new();
+    c.add_table(
+        "sales",
+        50_000.0,
+        vec![
+            ColumnDef::int("cust", 200.0),
+            ColumnDef::int("amount", 10_000.0),
+        ],
+    );
+    let cust = c.attr("sales", "cust");
+    let amount = c.attr("sales", "amount");
+    let out = c.fresh_attr();
+    let model = RelModel::with_defaults(c);
+    let q = QueryBuilder::new(model.catalog());
+    let expr = aggregate(
+        q.scan("sales"),
+        AggSpec {
+            group_by: vec![cust],
+            aggs: vec![(AggFunc::Sum(amount), out)],
+        },
+    );
+    // Unordered goal: hash aggregation should win (no sort needed).
+    let plan = optimize(&model, &expr, RelProps::any());
+    assert!(matches!(plan.alg, RelAlg::HashAggregate(_)));
+    // Ordered goal: stream aggregate over sorted input, or sort on top of
+    // hash — either way the property must hold.
+    let plan2 = optimize(&model, &expr, RelProps::sorted(vec![cust]));
+    assert!(plan2.delivered.satisfies(&RelProps::sorted(vec![cust])));
+}
+
+#[test]
+fn impossible_requirement_fails_cleanly() {
+    let model = RelModel::with_defaults(catalog());
+    let q = QueryBuilder::new(model.catalog());
+    // Require an order on an attribute that is projected away: no plan
+    // can deliver it (sort enforcer also lives above the projection whose
+    // schema lacks the attribute — the sort *can* still sort by a column
+    // not in the schema? No: the requirement refers to an attribute that
+    // exists nowhere in the output).
+    let dept = q.attr("emp", "dept");
+    let id = q.attr("emp", "id");
+    let expr = project(q.scan("emp"), vec![id]);
+    // Note: the sort enforcer will happily claim to sort by `dept`; the
+    // model does not forbid it (sorting by an absent column is a model
+    // refinement, not an engine concern). What must hold is that a plan is
+    // produced only if its delivered properties satisfy the goal.
+    let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+    let root = opt.insert_tree(&expr);
+    match opt.find_best_plan(root, RelProps::sorted(vec![dept]), None) {
+        Ok(plan) => assert!(plan.delivered.satisfies(&RelProps::sorted(vec![dept]))),
+        Err(OptimizeError::NoPlan) => {}
+        Err(e) => panic!("unexpected error {e:?}"),
+    }
+}
+
+#[test]
+fn cost_limit_failure_then_success() {
+    let model = RelModel::with_defaults(catalog());
+    let q = QueryBuilder::new(model.catalog());
+    let expr = join_on(
+        q.scan("emp"),
+        q.scan("dept"),
+        q.attr("emp", "dept"),
+        q.attr("dept", "id"),
+    );
+    let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+    let root = opt.insert_tree(&expr);
+    let tiny = volcano_rel::RelCost::new(0.0, 0.001);
+    assert!(matches!(
+        opt.find_best_plan(root, RelProps::any(), Some(tiny)),
+        Err(OptimizeError::LimitExceeded)
+    ));
+    let plan = opt.find_best_plan(root, RelProps::any(), None).unwrap();
+    assert!(plan.cost.total() > 0.001);
+}
+
+#[test]
+fn alternative_sort_orders_for_multi_key_merge_join() {
+    // Few distinct values make the join output much larger than the
+    // inputs, so sorting the inputs (merge join path) is far cheaper than
+    // sorting the output (sort-over-hash-join path).
+    let mut c = Catalog::new();
+    c.add_table(
+        "l",
+        5_000.0,
+        vec![ColumnDef::int("a", 5.0), ColumnDef::int("b", 2.0)],
+    );
+    c.add_table(
+        "r",
+        5_000.0,
+        vec![ColumnDef::int("a", 5.0), ColumnDef::int("b", 2.0)],
+    );
+    let la = c.attr("l", "a");
+    let lb = c.attr("l", "b");
+    let ra = c.attr("r", "a");
+    let rb = c.attr("r", "b");
+
+    let opts = RelModelOptions {
+        sort_order_variants: 2,
+        ..RelModelOptions::default()
+    };
+    let model = RelModel::new(c, opts);
+    let q = QueryBuilder::new(model.catalog());
+    let expr = volcano_rel::builder::join(
+        q.scan("l"),
+        q.scan("r"),
+        volcano_rel::JoinPred::on(vec![(la, ra), (lb, rb)]),
+    );
+    // Ask for the *swapped* key order (b, a): only the alternative
+    // application can satisfy it without a final sort.
+    let plan = optimize(&model, &expr, RelProps::sorted(vec![lb, la]));
+    assert!(plan.delivered.satisfies(&RelProps::sorted(vec![lb, la])));
+    // With variants enabled, a merge join delivering (b, a) directly
+    // avoids the top-level sort.
+    assert!(
+        matches!(plan.alg, RelAlg::MergeJoin(_)),
+        "expected merge join delivering the alternative order, got {}",
+        plan.compact()
+    );
+}

@@ -1,0 +1,77 @@
+//! Abstract syntax tree for the SQL subset.
+
+use volcano_rel::{CmpOp, Value};
+
+/// A column reference, optionally table-qualified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Table name (resolution searches all FROM tables when absent).
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// An aggregate function call in the select list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggCall {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `SUM(col)`.
+    Sum(ColRef),
+    /// `MIN(col)`.
+    Min(ColRef),
+    /// `MAX(col)`.
+    Max(ColRef),
+    /// `AVG(col)`.
+    Avg(ColRef),
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// `*`.
+    Star,
+    /// A plain column.
+    Col(ColRef),
+    /// An aggregate call.
+    Agg(AggCall),
+}
+
+/// One conjunct of the WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `col = col` (an equi-join or self-equality predicate).
+    ColEqCol(ColRef, ColRef),
+    /// `col op literal`.
+    ColLit(ColRef, CmpOp, Value),
+}
+
+/// A single SELECT block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`: eliminate duplicate result rows.
+    pub distinct: bool,
+    /// Select list.
+    pub projection: Vec<SelectItem>,
+    /// FROM tables, in order.
+    pub from: Vec<String>,
+    /// WHERE conjuncts.
+    pub conditions: Vec<Condition>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColRef>,
+    /// ORDER BY columns (ascending).
+    pub order_by: Vec<ColRef>,
+}
+
+/// A full query: one block, or a set operation between two.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// A single SELECT block.
+    Select(SelectStmt),
+    /// `left UNION right` (bag semantics / UNION ALL).
+    Union(Box<Query>, Box<Query>),
+    /// `left INTERSECT right`.
+    Intersect(Box<Query>, Box<Query>),
+    /// `left EXCEPT right`.
+    Except(Box<Query>, Box<Query>),
+}

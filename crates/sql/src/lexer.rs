@@ -1,0 +1,251 @@
+//! Tokenizer for the SQL subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (identifiers keep their original case;
+    /// keyword comparison is case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Token {
+    /// Is this token the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// Lexer error: an unexpected character with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// The offending character.
+    pub ch: char,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unexpected character {:?} at byte {}",
+            self.ch, self.offset
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize an input string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some('=') => {
+                        out.push(Token::Le);
+                        i += 2;
+                    }
+                    Some('>') => {
+                        out.push(Token::Ne);
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Lt);
+                        i += 1;
+                    }
+                };
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                while i < bytes.len() && bytes[i] != '\'' {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        ch: '\'',
+                        offset: input.len(),
+                    });
+                }
+                i += 1; // closing quote
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    out.push(Token::Float(text.parse().expect("valid float")));
+                } else {
+                    out.push(Token::Int(text.parse().expect("valid int")));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => {
+                return Err(LexError {
+                    ch: other,
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("SELECT a.b, * FROM t WHERE x <= -5 AND s = 'hi'").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Int(-5)));
+        assert!(toks.contains(&Token::Str("hi".into())));
+    }
+
+    #[test]
+    fn floats_and_comparisons() {
+        let toks = tokenize("1.5 <> 2 >= 3").unwrap();
+        assert_eq!(toks[0], Token::Float(1.5));
+        assert_eq!(toks[1], Token::Ne);
+        assert_eq!(toks[3], Token::Ge);
+    }
+
+    #[test]
+    fn unterminated_string_fails() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn bad_char_fails_with_offset() {
+        let err = tokenize("a ; b").unwrap_err();
+        assert_eq!(err.ch, ';');
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = tokenize("select SeLeCt SELECT").unwrap();
+        assert!(toks.iter().all(|t| t.is_kw("select")));
+    }
+}

@@ -1,0 +1,462 @@
+//! Lowering: AST → `volcano-rel` logical algebra.
+//!
+//! Single-table predicates become selections directly above the scans;
+//! column equalities become equi-join edges; the join tree is built
+//! greedily along connected edges (falling back to Cartesian products
+//! only when the query is disconnected). The optimizer then has full
+//! freedom to reorder — lowering fixes only the *logical* content.
+
+use std::fmt;
+
+use volcano_rel::builder;
+use volcano_rel::{AggFunc, AggSpec, AttrId, Catalog, Cmp, JoinPred, Pred, RelExpr, RelOp};
+
+use crate::ast::{AggCall, ColRef, Condition, Query as AstQuery, SelectItem, SelectStmt};
+
+/// A lowered query: the logical expression plus the requested output
+/// order (the physical property the optimizer goal carries — "physical
+/// properties as requested by the user, for example, sort order as in the
+/// ORDER BY clause of SQL", §3).
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The logical algebra expression.
+    pub expr: RelExpr,
+    /// ORDER BY attributes (empty = no requirement).
+    pub order_by: Vec<AttrId>,
+}
+
+/// Semantic errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// FROM references an unknown table.
+    UnknownTable(String),
+    /// A column could not be resolved.
+    UnknownColumn(String),
+    /// An unqualified column name matched several FROM tables.
+    AmbiguousColumn(String),
+    /// `a.x = a.y` within one table is not expressible as a selection.
+    SameTableEquality(String, String),
+    /// A projected column is neither grouped nor aggregated.
+    NotGrouped(String),
+    /// Set operation between queries with different column counts.
+    ColumnCountMismatch(usize, usize),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            LowerError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            LowerError::AmbiguousColumn(c) => write!(f, "ambiguous column {c:?}"),
+            LowerError::SameTableEquality(a, b) => {
+                write!(
+                    f,
+                    "column equality within one table ({a} = {b}) is unsupported"
+                )
+            }
+            LowerError::NotGrouped(c) => {
+                write!(f, "column {c:?} must appear in GROUP BY or an aggregate")
+            }
+            LowerError::ColumnCountMismatch(l, r) => {
+                write!(f, "set operation column counts differ: {l} vs {r}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lower a parsed query against a catalog. The catalog is mutable because
+/// aggregate outputs allocate fresh attribute ids.
+pub fn lower(query: &AstQuery, catalog: &mut Catalog) -> Result<Query, LowerError> {
+    match query {
+        AstQuery::Select(s) => lower_select(s, catalog),
+        AstQuery::Union(l, r) => lower_set(l, r, RelOp::Union, catalog),
+        AstQuery::Intersect(l, r) => lower_set(l, r, RelOp::Intersect, catalog),
+        AstQuery::Except(l, r) => lower_set(l, r, RelOp::Difference, catalog),
+    }
+}
+
+fn lower_set(
+    l: &AstQuery,
+    r: &AstQuery,
+    op: RelOp,
+    catalog: &mut Catalog,
+) -> Result<Query, LowerError> {
+    let lq = lower(l, catalog)?;
+    let rq = lower(r, catalog)?;
+    let lcols = output_width(&lq.expr, catalog);
+    let rcols = output_width(&rq.expr, catalog);
+    if lcols != rcols {
+        return Err(LowerError::ColumnCountMismatch(lcols, rcols));
+    }
+    Ok(Query {
+        expr: RelExpr::new(op, vec![lq.expr, rq.expr]),
+        order_by: vec![],
+    })
+}
+
+/// Number of output columns of a lowered expression (for set-op checks).
+fn output_width(e: &RelExpr, catalog: &Catalog) -> usize {
+    match &e.op {
+        RelOp::Get(t) => catalog.table(*t).columns.len(),
+        RelOp::Select(_) => output_width(&e.inputs[0], catalog),
+        RelOp::Project(attrs) => attrs.len(),
+        RelOp::Join(_) => output_width(&e.inputs[0], catalog) + output_width(&e.inputs[1], catalog),
+        RelOp::Union | RelOp::Intersect | RelOp::Difference => output_width(&e.inputs[0], catalog),
+        RelOp::Aggregate(s) => s.group_by.len() + s.aggs.len(),
+    }
+}
+
+struct Scope {
+    /// (table name, table index in FROM, column name, attr).
+    columns: Vec<(String, usize, String, AttrId)>,
+}
+
+impl Scope {
+    fn build(from: &[String], catalog: &Catalog) -> Result<Self, LowerError> {
+        let mut columns = Vec::new();
+        for (idx, name) in from.iter().enumerate() {
+            let table = catalog
+                .table_by_name(name)
+                .ok_or_else(|| LowerError::UnknownTable(name.clone()))?;
+            for c in &table.columns {
+                columns.push((name.clone(), idx, c.name.clone(), c.attr));
+            }
+        }
+        Ok(Scope { columns })
+    }
+
+    fn resolve(&self, c: &ColRef) -> Result<(usize, AttrId), LowerError> {
+        let matches: Vec<&(String, usize, String, AttrId)> = self
+            .columns
+            .iter()
+            .filter(|(t, _, col, _)| {
+                col == &c.column && c.table.as_ref().is_none_or(|want| want == t)
+            })
+            .collect();
+        match matches.len() {
+            0 => Err(LowerError::UnknownColumn(display_col(c))),
+            1 => Ok((matches[0].1, matches[0].3)),
+            _ => Err(LowerError::AmbiguousColumn(display_col(c))),
+        }
+    }
+}
+
+fn display_col(c: &ColRef) -> String {
+    match &c.table {
+        Some(t) => format!("{t}.{}", c.column),
+        None => c.column.clone(),
+    }
+}
+
+fn lower_select(s: &SelectStmt, catalog: &mut Catalog) -> Result<Query, LowerError> {
+    let scope = Scope::build(&s.from, catalog)?;
+    let n = s.from.len();
+
+    // Partition conditions into per-table selections and join edges.
+    let mut table_preds: Vec<Vec<Cmp>> = vec![Vec::new(); n];
+    let mut edges: Vec<(usize, AttrId, usize, AttrId)> = Vec::new();
+    for cond in &s.conditions {
+        match cond {
+            Condition::ColLit(c, op, v) => {
+                let (t, attr) = scope.resolve(c)?;
+                table_preds[t].push(Cmp::new(attr, *op, v.clone()));
+            }
+            Condition::ColEqCol(a, b) => {
+                let (ta, aa) = scope.resolve(a)?;
+                let (tb, ab) = scope.resolve(b)?;
+                if ta == tb {
+                    return Err(LowerError::SameTableEquality(
+                        display_col(a),
+                        display_col(b),
+                    ));
+                }
+                edges.push((ta, aa, tb, ab));
+            }
+        }
+    }
+
+    // Leaves: scan + selection.
+    let mut leaves: Vec<Option<RelExpr>> = s
+        .from
+        .iter()
+        .zip(table_preds)
+        .map(|(name, preds)| {
+            let t = catalog.table_by_name(name).expect("validated above").id;
+            let scan = RelExpr::leaf(RelOp::Get(t));
+            Some(if preds.is_empty() {
+                scan
+            } else {
+                builder::select(scan, Pred::conj(preds))
+            })
+        })
+        .collect();
+
+    // Greedy connected join-tree construction.
+    let mut in_tree = vec![false; n];
+    let mut expr = leaves[0].take().expect("first leaf");
+    in_tree[0] = true;
+    let mut remaining: usize = n - 1;
+    while remaining > 0 {
+        // Find a not-yet-joined table connected to the tree.
+        let next = (0..n).find(|&i| {
+            !in_tree[i]
+                && edges
+                    .iter()
+                    .any(|&(ta, _, tb, _)| (in_tree[ta] && tb == i) || (in_tree[tb] && ta == i))
+        });
+        let (i, pred) = match next {
+            Some(i) => {
+                // Collect ALL edges between the tree and table i.
+                let pairs: Vec<(AttrId, AttrId)> = edges
+                    .iter()
+                    .filter_map(|&(ta, aa, tb, ab)| {
+                        if in_tree[ta] && tb == i {
+                            Some((aa, ab))
+                        } else if in_tree[tb] && ta == i {
+                            Some((ab, aa))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                (i, JoinPred::on(pairs))
+            }
+            None => {
+                // Disconnected query: Cartesian product with the next
+                // remaining table.
+                let i = (0..n).find(|&i| !in_tree[i]).expect("remaining > 0");
+                (i, JoinPred::cross())
+            }
+        };
+        expr = builder::join(expr, leaves[i].take().expect("unjoined leaf"), pred);
+        in_tree[i] = true;
+        remaining -= 1;
+    }
+
+    // Aggregation.
+    let has_aggs = s.projection.iter().any(|i| matches!(i, SelectItem::Agg(_)));
+    let mut projection_attrs: Vec<AttrId> = Vec::new();
+    let mut star = false;
+
+    if has_aggs || !s.group_by.is_empty() {
+        let group_by: Vec<AttrId> = s
+            .group_by
+            .iter()
+            .map(|c| scope.resolve(c).map(|(_, a)| a))
+            .collect::<Result<_, _>>()?;
+        let mut aggs: Vec<(AggFunc, AttrId)> = Vec::new();
+        for item in &s.projection {
+            match item {
+                SelectItem::Star => {
+                    return Err(LowerError::NotGrouped("*".to_string()));
+                }
+                SelectItem::Col(c) => {
+                    let (_, attr) = scope.resolve(c)?;
+                    if !group_by.contains(&attr) {
+                        return Err(LowerError::NotGrouped(display_col(c)));
+                    }
+                    projection_attrs.push(attr);
+                }
+                SelectItem::Agg(call) => {
+                    let func = match call {
+                        AggCall::CountStar => AggFunc::CountStar,
+                        AggCall::Sum(c) => AggFunc::Sum(scope.resolve(c)?.1),
+                        AggCall::Min(c) => AggFunc::Min(scope.resolve(c)?.1),
+                        AggCall::Max(c) => AggFunc::Max(scope.resolve(c)?.1),
+                        AggCall::Avg(c) => AggFunc::Avg(scope.resolve(c)?.1),
+                    };
+                    let out = catalog.fresh_attr();
+                    aggs.push((func, out));
+                    projection_attrs.push(out);
+                }
+            }
+        }
+        expr = builder::aggregate(expr, AggSpec { group_by, aggs });
+    } else {
+        for item in &s.projection {
+            match item {
+                SelectItem::Star => star = true,
+                SelectItem::Col(c) => projection_attrs.push(scope.resolve(c)?.1),
+                SelectItem::Agg(_) => unreachable!("handled above"),
+            }
+        }
+    }
+
+    if !star {
+        expr = builder::project(expr, projection_attrs.clone());
+    }
+
+    // SELECT DISTINCT: duplicate elimination is a grouping on the full
+    // output schema with no aggregates; the optimizer then picks a
+    // hash- or sort-based implementation by cost.
+    if s.distinct {
+        let dedup_on: Vec<AttrId> = if star {
+            scope.columns.iter().map(|(_, _, _, a)| *a).collect()
+        } else {
+            projection_attrs.clone()
+        };
+        expr = builder::aggregate(
+            expr,
+            AggSpec {
+                group_by: dedup_on,
+                aggs: vec![],
+            },
+        );
+    }
+
+    let order_by: Vec<AttrId> = s
+        .order_by
+        .iter()
+        .map(|c| scope.resolve(c).map(|(_, a)| a))
+        .collect::<Result<_, _>>()?;
+
+    Ok(Query { expr, order_by })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use volcano_rel::ColumnDef;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "emp",
+            1000.0,
+            vec![
+                ColumnDef::int("id", 1000.0),
+                ColumnDef::int("dept", 20.0),
+                ColumnDef::int("salary", 100.0),
+            ],
+        );
+        c.add_table("dept", 20.0, vec![ColumnDef::int("id", 20.0)]);
+        c
+    }
+
+    fn lower_sql(sql: &str) -> Result<Query, LowerError> {
+        let mut c = catalog();
+        lower(&parse(sql).unwrap(), &mut c)
+    }
+
+    #[test]
+    fn select_star_has_no_project() {
+        let q = lower_sql("SELECT * FROM emp").unwrap();
+        assert_eq!(q.expr.display(), "get");
+    }
+
+    #[test]
+    fn selections_are_pushed_onto_scans() {
+        let q = lower_sql("SELECT * FROM emp WHERE salary > 10 AND dept = 3").unwrap();
+        assert_eq!(q.expr.display(), "select(get)");
+        let RelOp::Select(p) = &q.expr.op else {
+            panic!()
+        };
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn join_edges_become_join_predicates() {
+        let q = lower_sql("SELECT * FROM emp, dept WHERE emp.dept = dept.id").unwrap();
+        assert_eq!(q.expr.display(), "join(get, get)");
+        let RelOp::Join(p) = &q.expr.op else { panic!() };
+        assert_eq!(p.pairs().len(), 1);
+    }
+
+    #[test]
+    fn disconnected_tables_cross_join() {
+        let q = lower_sql("SELECT * FROM emp, dept").unwrap();
+        let RelOp::Join(p) = &q.expr.op else { panic!() };
+        assert!(p.is_cross());
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let q = lower_sql("SELECT dept, COUNT(*), SUM(salary) FROM emp GROUP BY dept").unwrap();
+        assert_eq!(q.expr.display(), "project(aggregate(get))");
+    }
+
+    #[test]
+    fn order_by_becomes_physical_property() {
+        let q = lower_sql("SELECT * FROM emp ORDER BY salary, id").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        assert!(matches!(
+            lower_sql("SELECT * FROM nope"),
+            Err(LowerError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            lower_sql("SELECT wat FROM emp"),
+            Err(LowerError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            lower_sql("SELECT id FROM emp, dept"),
+            Err(LowerError::AmbiguousColumn(_))
+        ));
+        assert!(matches!(
+            lower_sql("SELECT salary FROM emp GROUP BY dept"),
+            Err(LowerError::NotGrouped(_))
+        ));
+    }
+
+    #[test]
+    fn set_ops_check_column_counts() {
+        assert!(matches!(
+            lower_sql("SELECT id FROM emp UNION SELECT * FROM emp"),
+            Err(LowerError::ColumnCountMismatch(1, 3))
+        ));
+        let ok = lower_sql("SELECT id FROM emp UNION SELECT id FROM dept").unwrap();
+        assert_eq!(ok.expr.display(), "union(project(get), project(get))");
+    }
+}
+
+#[cfg(test)]
+mod distinct_tests {
+    use super::*;
+    use crate::parser::parse;
+    use volcano_rel::ColumnDef;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "emp",
+            100.0,
+            vec![ColumnDef::int("id", 100.0), ColumnDef::int("dept", 5.0)],
+        );
+        c
+    }
+
+    #[test]
+    fn distinct_wraps_in_dedup_aggregate() {
+        let mut c = catalog();
+        let q = lower(&parse("SELECT DISTINCT dept FROM emp").unwrap(), &mut c).unwrap();
+        assert_eq!(q.expr.display(), "aggregate(project(get))");
+        let RelOp::Aggregate(spec) = &q.expr.op else {
+            panic!()
+        };
+        assert_eq!(spec.group_by.len(), 1);
+        assert!(spec.aggs.is_empty());
+    }
+
+    #[test]
+    fn distinct_star_groups_on_all_columns() {
+        let mut c = catalog();
+        let q = lower(&parse("SELECT DISTINCT * FROM emp").unwrap(), &mut c).unwrap();
+        let RelOp::Aggregate(spec) = &q.expr.op else {
+            panic!()
+        };
+        assert_eq!(spec.group_by.len(), 2);
+    }
+
+    #[test]
+    fn plain_select_has_no_aggregate() {
+        let mut c = catalog();
+        let q = lower(&parse("SELECT dept FROM emp").unwrap(), &mut c).unwrap();
+        assert_eq!(q.expr.display(), "project(get)");
+    }
+}

@@ -1,0 +1,359 @@
+//! Recursive-descent parser for the SQL subset.
+
+use std::fmt;
+
+use volcano_rel::{CmpOp, Value};
+
+use crate::ast::{AggCall, ColRef, Condition, Query, SelectItem, SelectStmt};
+use crate::lexer::{tokenize, LexError, Token};
+
+/// Syntax error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Lexical error.
+    Lex(LexError),
+    /// Unexpected token (or end of input) with a description of what was
+    /// expected.
+    Unexpected {
+        /// What the parser found (`None` = end of input).
+        found: Option<Token>,
+        /// What it expected.
+        expected: String,
+    },
+    /// Input continued after a complete query.
+    TrailingTokens(Token),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { found, expected } => match found {
+                Some(t) => write!(f, "expected {expected}, found {t}"),
+                None => write!(f, "expected {expected}, found end of input"),
+            },
+            ParseError::TrailingTokens(t) => write!(f, "unexpected trailing token {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse a query (one SELECT block, or blocks combined with
+/// UNION/INTERSECT/EXCEPT).
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input).map_err(ParseError::Lex)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if let Some(t) = p.peek() {
+        return Err(ParseError::TrailingTokens(t.clone()));
+    }
+    Ok(q)
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("keyword {kw}")))
+        }
+    }
+
+    fn expect(&mut self, tok: &Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::Unexpected {
+            found: self.peek().cloned(),
+            expected: expected.to_string(),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(_)) => match self.bump() {
+                Some(Token::Ident(s)) => Ok(s),
+                _ => unreachable!(),
+            },
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let left = Query::Select(self.select_stmt()?);
+        if self.eat_kw("union") {
+            // Accept an optional ALL (semantics are bag union either way).
+            let _ = self.eat_kw("all");
+            let right = self.query()?;
+            return Ok(Query::Union(Box::new(left), Box::new(right)));
+        }
+        if self.eat_kw("intersect") {
+            let right = self.query()?;
+            return Ok(Query::Intersect(Box::new(left), Box::new(right)));
+        }
+        if self.eat_kw("except") {
+            let right = self.query()?;
+            return Ok(Query::Except(Box::new(left), Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn select_stmt(&mut self) -> Result<SelectStmt, ParseError> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut projection = vec![self.select_item()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            projection.push(self.select_item()?);
+        }
+
+        self.expect_kw("from")?;
+        let mut from = vec![self.ident("table name")?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            from.push(self.ident("table name")?);
+        }
+
+        let mut conditions = Vec::new();
+        if self.eat_kw("where") {
+            conditions.push(self.condition()?);
+            while self.eat_kw("and") {
+                conditions.push(self.condition()?);
+            }
+        }
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.col_ref()?);
+            while self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                group_by.push(self.col_ref()?);
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            order_by.push(self.col_ref()?);
+            while self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                order_by.push(self.col_ref()?);
+            }
+        }
+
+        Ok(SelectStmt {
+            distinct,
+            projection,
+            from,
+            conditions,
+            group_by,
+            order_by,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            return Ok(SelectItem::Star);
+        }
+        // Aggregate calls: IDENT '(' ... ')'.
+        if let Some(Token::Ident(name)) = self.peek().cloned() {
+            let lower = name.to_ascii_lowercase();
+            if matches!(lower.as_str(), "count" | "sum" | "min" | "max" | "avg")
+                && self.tokens.get(self.pos + 1) == Some(&Token::LParen)
+            {
+                self.pos += 2; // name + '('
+                let agg = if lower == "count" {
+                    self.expect(&Token::Star, "* in COUNT(*)")?;
+                    AggCall::CountStar
+                } else {
+                    let col = self.col_ref()?;
+                    match lower.as_str() {
+                        "sum" => AggCall::Sum(col),
+                        "min" => AggCall::Min(col),
+                        "max" => AggCall::Max(col),
+                        "avg" => AggCall::Avg(col),
+                        _ => unreachable!(),
+                    }
+                };
+                self.expect(&Token::RParen, "closing parenthesis")?;
+                return Ok(SelectItem::Agg(agg));
+            }
+        }
+        Ok(SelectItem::Col(self.col_ref()?))
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef, ParseError> {
+        let first = self.ident("column reference")?;
+        if self.peek() == Some(&Token::Dot) {
+            self.pos += 1;
+            let column = self.ident("column name")?;
+            Ok(ColRef {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn condition(&mut self) -> Result<Condition, ParseError> {
+        let left = self.col_ref()?;
+        let op = match self.bump() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            other => {
+                return Err(ParseError::Unexpected {
+                    found: other,
+                    expected: "comparison operator".to_string(),
+                })
+            }
+        };
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Condition::ColLit(left, op, Value::Int(i)))
+            }
+            Some(Token::Float(x)) => {
+                self.pos += 1;
+                Ok(Condition::ColLit(left, op, Value::float(x)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Condition::ColLit(left, op, Value::Str(s)))
+            }
+            Some(Token::Ident(_)) => {
+                if op != CmpOp::Eq {
+                    return Err(self.unexpected("literal (only = is supported between columns)"));
+                }
+                let right = self.col_ref()?;
+                Ok(Condition::ColEqCol(left, right))
+            }
+            _ => Err(self.unexpected("literal or column reference")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let q = parse("SELECT * FROM emp").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(s.projection, vec![SelectItem::Star]);
+        assert_eq!(s.from, vec!["emp"]);
+        assert!(s.conditions.is_empty());
+    }
+
+    #[test]
+    fn join_with_conditions_and_order() {
+        let q = parse(
+            "SELECT emp.id, dept.id FROM emp, dept \
+             WHERE emp.dept = dept.id AND emp.salary >= 100 ORDER BY emp.id",
+        )
+        .unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.conditions.len(), 2);
+        assert!(matches!(s.conditions[0], Condition::ColEqCol(_, _)));
+        assert!(matches!(
+            s.conditions[1],
+            Condition::ColLit(_, CmpOp::Ge, _)
+        ));
+        assert_eq!(s.order_by.len(), 1);
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let q = parse("SELECT dept, COUNT(*), AVG(salary) FROM emp GROUP BY dept").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(s.projection.len(), 3);
+        assert!(matches!(
+            s.projection[1],
+            SelectItem::Agg(AggCall::CountStar)
+        ));
+        assert!(matches!(s.projection[2], SelectItem::Agg(AggCall::Avg(_))));
+        assert_eq!(s.group_by.len(), 1);
+    }
+
+    #[test]
+    fn set_operations_parse() {
+        assert!(matches!(
+            parse("SELECT x FROM a UNION SELECT x FROM b").unwrap(),
+            Query::Union(_, _)
+        ));
+        assert!(matches!(
+            parse("SELECT x FROM a INTERSECT SELECT x FROM b").unwrap(),
+            Query::Intersect(_, _)
+        ));
+        assert!(matches!(
+            parse("SELECT x FROM a EXCEPT SELECT x FROM b").unwrap(),
+            Query::Except(_, _)
+        ));
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        // `FROM` lexes as an identifier, so it is taken as the projected
+        // column and the parser trips on the missing FROM keyword.
+        let e = parse("SELECT FROM t").unwrap_err();
+        assert!(matches!(e, ParseError::Unexpected { .. }), "{e}");
+        let e = parse("SELECT * FROM t WHERE").unwrap_err();
+        assert!(e.to_string().contains("column reference"), "{e}");
+        let e = parse("SELECT * FROM t extra junk").unwrap_err();
+        assert!(matches!(e, ParseError::TrailingTokens(_)), "{e}");
+    }
+
+    #[test]
+    fn string_literals() {
+        let q = parse("SELECT * FROM t WHERE name = 'bob'").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert!(matches!(
+            &s.conditions[0],
+            Condition::ColLit(_, CmpOp::Eq, Value::Str(v)) if v == "bob"
+        ));
+    }
+}

@@ -1,0 +1,363 @@
+//! Top-level statements for the CLI: DDL, data generation, EXPLAIN, and
+//! queries.
+//!
+//! ```text
+//! CREATE TABLE emp (id INT, dept INT DISTINCT 20, name STRING WIDTH 24) CARD 1000;
+//! GENERATE SEED 42;
+//! EXPLAIN SELECT * FROM emp WHERE id < 10;
+//! SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept;
+//! ```
+
+use crate::ast::Query;
+use crate::lexer::{tokenize, Token};
+use crate::parser::{parse, ParseError};
+
+/// A column in a CREATE TABLE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSpec {
+    /// Column name.
+    pub name: String,
+    /// Type name: `INT`, `FLOAT`, `STRING`, or `BOOL`.
+    pub ty: String,
+    /// Byte width (defaults per type).
+    pub width: Option<u32>,
+    /// Distinct-value estimate (defaults to the table cardinality).
+    pub distinct: Option<f64>,
+    /// Maintain a B+tree index on this column.
+    pub indexed: bool,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (cols...) [CARD n]`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Columns.
+        columns: Vec<ColumnSpec>,
+        /// Estimated row count (default 1000).
+        card: f64,
+    },
+    /// `GENERATE [SEED n]`: populate all tables synthetically.
+    Generate {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `SET COST LIMIT n | SET COST LIMIT OFF`: the §3 user-interface
+    /// facility to "catch" unreasonable queries — subsequent queries fail
+    /// when no plan fits the limit (cost-model milliseconds).
+    SetCostLimit(Option<f64>),
+    /// `EXPLAIN [ANALYZE] <query>`: show the logical expression and the
+    /// chosen plan; with ANALYZE, also execute and report per-operator
+    /// actual row counts.
+    Explain {
+        /// The query.
+        query: Query,
+        /// Execute and report actual row counts?
+        analyze: bool,
+    },
+    /// A query to optimize and execute.
+    Query(Query),
+}
+
+/// Parse a `;`-separated script into statements. The split respects
+/// string literals, so `'a;b'` stays inside one statement.
+pub fn parse_script(input: &str) -> Result<Vec<Statement>, ParseError> {
+    let mut stmts = Vec::new();
+    for piece in split_statements(input) {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        stmts.push(parse_statement(piece)?);
+    }
+    Ok(stmts)
+}
+
+/// Split on `;` outside single-quoted strings.
+fn split_statements(input: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in input.chars() {
+        match c {
+            '\'' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ';' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse one statement (no trailing semicolon).
+pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
+    let trimmed = input.trim_start();
+    let head = trimmed
+        .split_whitespace()
+        .next()
+        .unwrap_or("")
+        .to_ascii_uppercase();
+    match head.as_str() {
+        "CREATE" => parse_create(trimmed),
+        "GENERATE" => parse_generate(trimmed),
+        "SET" => parse_set(trimmed),
+        "EXPLAIN" => {
+            let rest = trimmed[7..].trim_start();
+            let (rest, analyze) = match rest.get(..7) {
+                Some(head) if head.eq_ignore_ascii_case("analyze") => (&rest[7..], true),
+                _ => (rest, false),
+            };
+            Ok(Statement::Explain {
+                query: parse(rest)?,
+                analyze,
+            })
+        }
+        _ => Ok(Statement::Query(parse(trimmed)?)),
+    }
+}
+
+fn unexpected(expected: &str, found: Option<Token>) -> ParseError {
+    ParseError::Unexpected {
+        found,
+        expected: expected.to_string(),
+    }
+}
+
+fn parse_create(input: &str) -> Result<Statement, ParseError> {
+    let toks = tokenize(input).map_err(ParseError::Lex)?;
+    let mut i = 0;
+    let kw = |toks: &[Token], i: &mut usize, kw: &str| -> Result<(), ParseError> {
+        match toks.get(*i) {
+            Some(t) if t.is_kw(kw) => {
+                *i += 1;
+                Ok(())
+            }
+            other => Err(unexpected(&format!("keyword {kw}"), other.cloned())),
+        }
+    };
+    kw(&toks, &mut i, "create")?;
+    kw(&toks, &mut i, "table")?;
+    let name = match toks.get(i) {
+        Some(Token::Ident(s)) => {
+            i += 1;
+            s.clone()
+        }
+        other => return Err(unexpected("table name", other.cloned())),
+    };
+    match toks.get(i) {
+        Some(Token::LParen) => i += 1,
+        other => return Err(unexpected("'('", other.cloned())),
+    }
+    let mut columns = Vec::new();
+    loop {
+        let col_name = match toks.get(i) {
+            Some(Token::Ident(s)) => {
+                i += 1;
+                s.clone()
+            }
+            other => return Err(unexpected("column name", other.cloned())),
+        };
+        let ty = match toks.get(i) {
+            Some(Token::Ident(s)) => {
+                i += 1;
+                s.to_ascii_uppercase()
+            }
+            other => return Err(unexpected("column type", other.cloned())),
+        };
+        let mut width = None;
+        let mut distinct = None;
+        let mut indexed = false;
+        loop {
+            match toks.get(i) {
+                Some(t) if t.is_kw("indexed") => {
+                    i += 1;
+                    indexed = true;
+                }
+                Some(t) if t.is_kw("width") => {
+                    i += 1;
+                    match toks.get(i) {
+                        Some(Token::Int(n)) => {
+                            width = Some(*n as u32);
+                            i += 1;
+                        }
+                        other => return Err(unexpected("width value", other.cloned())),
+                    }
+                }
+                Some(t) if t.is_kw("distinct") => {
+                    i += 1;
+                    match toks.get(i) {
+                        Some(Token::Int(n)) => {
+                            distinct = Some(*n as f64);
+                            i += 1;
+                        }
+                        other => return Err(unexpected("distinct value", other.cloned())),
+                    }
+                }
+                _ => break,
+            }
+        }
+        columns.push(ColumnSpec {
+            name: col_name,
+            ty,
+            width,
+            distinct,
+            indexed,
+        });
+        match toks.get(i) {
+            Some(Token::Comma) => i += 1,
+            Some(Token::RParen) => {
+                i += 1;
+                break;
+            }
+            other => return Err(unexpected("',' or ')'", other.cloned())),
+        }
+    }
+    let mut card = 1000.0;
+    if matches!(toks.get(i), Some(t) if t.is_kw("card")) {
+        i += 1;
+        match toks.get(i) {
+            Some(Token::Int(n)) => {
+                card = *n as f64;
+                i += 1;
+            }
+            other => return Err(unexpected("cardinality", other.cloned())),
+        }
+    }
+    if let Some(t) = toks.get(i) {
+        return Err(unexpected("end of statement", Some(t.clone())));
+    }
+    Ok(Statement::CreateTable {
+        name,
+        columns,
+        card,
+    })
+}
+
+fn parse_set(input: &str) -> Result<Statement, ParseError> {
+    let toks = tokenize(input).map_err(ParseError::Lex)?;
+    match toks.as_slice() {
+        [s, c, l, Token::Int(n)]
+            if s.is_kw("set") && c.is_kw("cost") && l.is_kw("limit") && *n >= 0 =>
+        {
+            Ok(Statement::SetCostLimit(Some(*n as f64)))
+        }
+        [s, c, l, Token::Float(x)]
+            if s.is_kw("set") && c.is_kw("cost") && l.is_kw("limit") && *x >= 0.0 =>
+        {
+            Ok(Statement::SetCostLimit(Some(*x)))
+        }
+        [s, c, l, off]
+            if s.is_kw("set") && c.is_kw("cost") && l.is_kw("limit") && off.is_kw("off") =>
+        {
+            Ok(Statement::SetCostLimit(None))
+        }
+        _ => Err(unexpected("SET COST LIMIT <n|OFF>", toks.get(1).cloned())),
+    }
+}
+
+fn parse_generate(input: &str) -> Result<Statement, ParseError> {
+    let toks = tokenize(input).map_err(ParseError::Lex)?;
+    let mut seed = 0u64;
+    match toks.as_slice() {
+        [t] if t.is_kw("generate") => {}
+        [t, s, Token::Int(n)] if t.is_kw("generate") && s.is_kw("seed") && *n >= 0 => {
+            seed = *n as u64;
+        }
+        _ => return Err(unexpected("GENERATE [SEED n]", toks.get(1).cloned())),
+    }
+    Ok(Statement::Generate { seed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_full() {
+        let s = parse_statement(
+            "CREATE TABLE emp (id INT, dept INT DISTINCT 20, name STRING WIDTH 24 DISTINCT 900) CARD 1000",
+        )
+        .unwrap();
+        let Statement::CreateTable {
+            name,
+            columns,
+            card,
+        } = s
+        else {
+            panic!()
+        };
+        assert_eq!(name, "emp");
+        assert_eq!(card, 1000.0);
+        assert_eq!(columns.len(), 3);
+        assert_eq!(columns[1].distinct, Some(20.0));
+        assert_eq!(columns[2].width, Some(24));
+        assert_eq!(columns[2].ty, "STRING");
+    }
+
+    #[test]
+    fn generate_with_and_without_seed() {
+        assert_eq!(
+            parse_statement("GENERATE").unwrap(),
+            Statement::Generate { seed: 0 }
+        );
+        assert_eq!(
+            parse_statement("GENERATE SEED 7").unwrap(),
+            Statement::Generate { seed: 7 }
+        );
+    }
+
+    #[test]
+    fn set_cost_limit() {
+        assert_eq!(
+            parse_statement("SET COST LIMIT 5000").unwrap(),
+            Statement::SetCostLimit(Some(5000.0))
+        );
+        assert_eq!(
+            parse_statement("SET COST LIMIT OFF").unwrap(),
+            Statement::SetCostLimit(None)
+        );
+        assert!(parse_statement("SET COST").is_err());
+    }
+
+    #[test]
+    fn explain_and_query() {
+        assert!(matches!(
+            parse_statement("EXPLAIN SELECT * FROM t").unwrap(),
+            Statement::Explain { analyze: false, .. }
+        ));
+        assert!(matches!(
+            parse_statement("EXPLAIN ANALYZE SELECT * FROM t").unwrap(),
+            Statement::Explain { analyze: true, .. }
+        ));
+        assert!(matches!(
+            parse_statement("SELECT * FROM t").unwrap(),
+            Statement::Query(_)
+        ));
+    }
+
+    #[test]
+    fn script_splits_on_semicolons_outside_strings() {
+        let stmts = parse_script(
+            "CREATE TABLE t (x INT) CARD 10; SELECT * FROM t WHERE s = 'a;b'; GENERATE;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(stmts[1], Statement::Query(_)));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_statement("CREATE TABLE").is_err());
+        assert!(parse_statement("CREATE TABLE t x INT").is_err());
+        assert!(parse_statement("GENERATE SEED x").is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Robustness: the lexer, parser and lowering must never panic on
+//! arbitrary input — they either produce a result or a typed error.
+
+use proptest::prelude::*;
+use volcano_rel::{Catalog, ColumnDef};
+use volcano_sql::{parse, parse_script, plan_query};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "t",
+        100.0,
+        vec![ColumnDef::int("a", 100.0), ColumnDef::int("b", 10.0)],
+    );
+    c.add_table("u", 50.0, vec![ColumnDef::int("a", 50.0)]);
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary strings never panic the parser.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse(&input);
+        let _ = parse_script(&input);
+    }
+
+    /// SQL-shaped garbage never panics the whole pipeline.
+    #[test]
+    fn sql_shaped_garbage_never_panics(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()),
+                Just("FROM".to_string()),
+                Just("WHERE".to_string()),
+                Just("GROUP".to_string()),
+                Just("BY".to_string()),
+                Just("ORDER".to_string()),
+                Just("AND".to_string()),
+                Just("DISTINCT".to_string()),
+                Just("UNION".to_string()),
+                Just("*".to_string()),
+                Just(",".to_string()),
+                Just("=".to_string()),
+                Just("<".to_string()),
+                Just("t".to_string()),
+                Just("u".to_string()),
+                Just("a".to_string()),
+                Just("b".to_string()),
+                Just("t.a".to_string()),
+                Just("u.a".to_string()),
+                Just("5".to_string()),
+                Just("'x'".to_string()),
+                Just("COUNT".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+            ],
+            0..25,
+        )
+    ) {
+        let input = words.join(" ");
+        let mut c = catalog();
+        // Must not panic; errors are fine.
+        let _ = plan_query(&input, &mut c);
+    }
+
+    /// Every *valid* single-table query round-trips through lowering.
+    #[test]
+    fn valid_queries_always_lower(
+        cols in proptest::collection::vec(prop_oneof![Just("a"), Just("b")], 1..3),
+        lit in 0i64..100,
+        order in any::<bool>(),
+        distinct in any::<bool>(),
+    ) {
+        let mut sql = String::from("SELECT ");
+        if distinct {
+            sql.push_str("DISTINCT ");
+        }
+        sql.push_str(&cols.join(", "));
+        sql.push_str(" FROM t WHERE a < ");
+        sql.push_str(&lit.to_string());
+        if order {
+            sql.push_str(" ORDER BY ");
+            sql.push_str(cols[0]);
+        }
+        let mut c = catalog();
+        let q = plan_query(&sql, &mut c);
+        prop_assert!(q.is_ok(), "query {sql:?} failed: {:?}", q.err().map(|e| e.to_string()));
+    }
+}

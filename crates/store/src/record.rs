@@ -1,0 +1,183 @@
+//! Record serialization: a compact, self-describing byte encoding for
+//! rows of typed values, independent of any schema registry.
+//!
+//! Encoding per field: 1 tag byte, then
+//! * `0` NULL — nothing
+//! * `1` Bool — 1 byte
+//! * `2` Int — 8 bytes little-endian
+//! * `3` Float — 8 bytes IEEE-754 little-endian
+//! * `4` Str — u32 length + UTF-8 bytes
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// A field value as stored on a page. Mirrors `volcano_rel::Value`
+/// structurally without depending on it (the storage crate stays below
+/// the model crates in the dependency graph).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+/// Errors from [`decode_record`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes mid-field.
+    Truncated,
+    /// Unknown tag byte.
+    BadTag(u8),
+    /// String field is not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "record truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown field tag {t}"),
+            DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode a row into bytes.
+pub fn encode_record(fields: &[Field]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(fields.len() * 9);
+    buf.put_u16_le(fields.len() as u16);
+    for f in fields {
+        match f {
+            Field::Null => buf.put_u8(0),
+            Field::Bool(b) => {
+                buf.put_u8(1);
+                buf.put_u8(*b as u8);
+            }
+            Field::Int(i) => {
+                buf.put_u8(2);
+                buf.put_i64_le(*i);
+            }
+            Field::Float(x) => {
+                buf.put_u8(3);
+                buf.put_f64_le(*x);
+            }
+            Field::Str(s) => {
+                buf.put_u8(4);
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+        }
+    }
+    buf.to_vec()
+}
+
+/// Decode a row from bytes.
+pub fn decode_record(mut bytes: &[u8]) -> Result<Vec<Field>, DecodeError> {
+    if bytes.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let n = bytes.get_u16_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if bytes.remaining() < 1 {
+            return Err(DecodeError::Truncated);
+        }
+        let tag = bytes.get_u8();
+        let field = match tag {
+            0 => Field::Null,
+            1 => {
+                if bytes.remaining() < 1 {
+                    return Err(DecodeError::Truncated);
+                }
+                Field::Bool(bytes.get_u8() != 0)
+            }
+            2 => {
+                if bytes.remaining() < 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                Field::Int(bytes.get_i64_le())
+            }
+            3 => {
+                if bytes.remaining() < 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                Field::Float(bytes.get_f64_le())
+            }
+            4 => {
+                if bytes.remaining() < 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let len = bytes.get_u32_le() as usize;
+                if bytes.remaining() < len {
+                    return Err(DecodeError::Truncated);
+                }
+                let s = std::str::from_utf8(&bytes[..len])
+                    .map_err(|_| DecodeError::BadUtf8)?
+                    .to_string();
+                bytes.advance(len);
+                Field::Str(s)
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        out.push(field);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let row = vec![
+            Field::Null,
+            Field::Bool(true),
+            Field::Int(-42),
+            Field::Float(2.5),
+            Field::Str("héllo".to_string()),
+        ];
+        let bytes = encode_record(&row);
+        assert_eq!(decode_record(&bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn empty_row() {
+        let bytes = encode_record(&[]);
+        assert_eq!(decode_record(&bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncated_fails() {
+        let bytes = encode_record(&[Field::Int(1)]);
+        assert_eq!(
+            decode_record(&bytes[..bytes.len() - 1]),
+            Err(DecodeError::Truncated)
+        );
+        assert_eq!(decode_record(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_tag_fails() {
+        let mut bytes = encode_record(&[Field::Int(1)]);
+        bytes[2] = 99;
+        assert_eq!(decode_record(&bytes), Err(DecodeError::BadTag(99)));
+    }
+
+    #[test]
+    fn bad_utf8_fails() {
+        let mut bytes = encode_record(&[Field::Str("ab".into())]);
+        let n = bytes.len();
+        bytes[n - 1] = 0xFF;
+        bytes[n - 2] = 0xFE;
+        assert_eq!(decode_record(&bytes), Err(DecodeError::BadUtf8));
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: define a catalog, build a query in the logical algebra,
+//! optimize it, and inspect the chosen plan.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use volcano::core::{PhysicalProps, SearchOptions};
+use volcano::rel::builder::{join_on, select_one};
+use volcano::rel::{Catalog, Cmp, ColumnDef, QueryBuilder, RelModel, RelOptimizer, RelProps};
+
+fn main() {
+    // 1. Describe the stored data: tables, cardinalities, column
+    //    statistics. This is what the cost model consumes.
+    let mut catalog = Catalog::new();
+    catalog.add_table(
+        "orders",
+        1_000_000.0,
+        vec![
+            ColumnDef::int("id", 1_000_000.0),
+            ColumnDef::int("customer", 50_000.0),
+            ColumnDef::int("amount", 10_000.0),
+        ],
+    );
+    catalog.add_table(
+        "customers",
+        50_000.0,
+        vec![
+            ColumnDef::int("id", 50_000.0),
+            ColumnDef::int("country", 50.0),
+        ],
+    );
+
+    // 2. "Generate" the optimizer: assemble the relational model
+    //    specification (operators, rules, cost functions) for this
+    //    catalog. rustc compiled the rule set; the model instance binds
+    //    the statistics.
+    let model = RelModel::with_defaults(catalog);
+    let q = QueryBuilder::new(model.catalog());
+
+    // 3. State the query as a logical algebra expression:
+    //    SELECT ... FROM orders, customers
+    //    WHERE orders.customer = customers.id AND customers.country = 7
+    let query = join_on(
+        q.scan("orders"),
+        select_one(
+            q.scan("customers"),
+            Cmp::eq(q.attr("customers", "country"), 7i64),
+        ),
+        q.attr("orders", "customer"),
+        q.attr("customers", "id"),
+    );
+    println!("logical query:  {}\n", query.display());
+
+    // 4. Optimize — once without ordering requirements, once with an
+    //    ORDER BY customer goal, to see physical properties drive the
+    //    plan choice.
+    let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+    let root = opt.insert_tree(&query);
+
+    let plan = opt.find_best_plan(root, RelProps::any(), None).unwrap();
+    println!("=== no ordering required ===");
+    println!("{}", plan.explain());
+
+    let by_customer = RelProps::sorted(vec![q.attr("orders", "customer")]);
+    let sorted_plan = opt.find_best_plan(root, by_customer.clone(), None).unwrap();
+    println!("=== ORDER BY orders.customer ===");
+    println!("{}", sorted_plan.explain());
+    assert!(sorted_plan.delivered.satisfies(&by_customer));
+
+    // 5. The search statistics: how much work the memo saved.
+    println!("=== search statistics ===\n{}", opt.stats());
+}

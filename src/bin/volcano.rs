@@ -1,0 +1,201 @@
+//! `volcano` — a small command-line shell over the whole stack.
+//!
+//! Reads a `;`-separated script from a file argument or stdin:
+//!
+//! ```text
+//! CREATE TABLE emp (id INT, dept INT DISTINCT 20, salary INT DISTINCT 100) CARD 2000;
+//! CREATE TABLE dept (id INT DISTINCT 20, region INT DISTINCT 4) CARD 20;
+//! GENERATE SEED 42;
+//! EXPLAIN SELECT emp.id FROM emp, dept WHERE emp.dept = dept.id ORDER BY emp.id;
+//! SELECT dept, COUNT(*) FROM emp GROUP BY dept;
+//! ```
+//!
+//! Usage: `volcano [script.sql]` (defaults to stdin), or
+//! `cargo run --bin volcano -- script.sql`.
+
+use std::io::Read;
+
+use volcano::core::SearchOptions;
+use volcano::exec::Database;
+use volcano::rel::catalog::ColType;
+use volcano::rel::{
+    explain_expr, explain_plan, Catalog, ColumnDef, RelModel, RelOptimizer, RelProps,
+};
+use volcano::sql::{lower, parse_script, Statement};
+
+struct Shell {
+    catalog: Catalog,
+    db: Option<Database>,
+    /// User-supplied cost limit (§3): queries whose best plan exceeds it
+    /// are rejected instead of executed.
+    cost_limit: Option<f64>,
+}
+
+impl Shell {
+    fn new() -> Self {
+        Shell {
+            catalog: Catalog::new(),
+            db: None,
+            cost_limit: None,
+        }
+    }
+
+    /// The database is created lazily so all CREATE TABLE statements can
+    /// precede it.
+    fn db(&mut self) -> &Database {
+        if self.db.is_none() {
+            self.db = Some(Database::in_memory(self.catalog.clone()));
+        }
+        self.db.as_ref().expect("just created")
+    }
+
+    fn run(&mut self, stmt: Statement) -> Result<(), String> {
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                card,
+            } => {
+                if self.db.is_some() {
+                    return Err(
+                        "CREATE TABLE must precede GENERATE / queries in this shell".to_string()
+                    );
+                }
+                let cols: Vec<ColumnDef> = columns
+                    .into_iter()
+                    .map(|c| {
+                        let ty = match c.ty.as_str() {
+                            "INT" | "INTEGER" => ColType::Int,
+                            "FLOAT" | "DOUBLE" => ColType::Float,
+                            "STRING" | "TEXT" | "VARCHAR" => ColType::Str,
+                            "BOOL" | "BOOLEAN" => ColType::Bool,
+                            other => return Err(format!("unknown type {other}")),
+                        };
+                        let width = c.width.unwrap_or(match ty {
+                            ColType::Str => 16,
+                            _ => 8,
+                        });
+                        if c.indexed && ty != ColType::Int {
+                            return Err(format!(
+                                "column {}: only INT columns can be INDEXED",
+                                c.name
+                            ));
+                        }
+                        Ok(ColumnDef {
+                            name: c.name,
+                            ty,
+                            width,
+                            distinct: c.distinct.unwrap_or(card),
+                            indexed: c.indexed,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?;
+                self.catalog.add_table(&name, card, cols);
+                println!("created table {name} (card {card})");
+                Ok(())
+            }
+            Statement::SetCostLimit(limit) => {
+                self.cost_limit = limit;
+                match limit {
+                    Some(l) => println!("cost limit set to {l} ms"),
+                    None => println!("cost limit off"),
+                }
+                Ok(())
+            }
+            Statement::Generate { seed } => {
+                self.db().generate(seed);
+                println!(
+                    "generated data for {} table(s)",
+                    self.catalog.tables().len()
+                );
+                Ok(())
+            }
+            Statement::Explain {
+                query: ast,
+                analyze,
+            } => {
+                let mut catalog = self.catalog.clone();
+                let q = lower(&ast, &mut catalog).map_err(|e| e.to_string())?;
+                println!("-- logical algebra --");
+                print!("{}", explain_expr(&catalog, &q.expr));
+                let model = RelModel::with_defaults(catalog.clone());
+                let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+                let root = opt.insert_tree(&q.expr);
+                let goal = RelProps::sorted(q.order_by.clone());
+                let plan = opt
+                    .find_best_plan(root, goal, None)
+                    .map_err(|e| e.to_string())?;
+                println!("-- physical plan --");
+                print!("{}", explain_plan(&catalog, &plan));
+                println!(
+                    "-- search: {} goals, {} moves, memo ~{} KB --",
+                    opt.stats().goals_optimized,
+                    opt.stats().total_moves(),
+                    opt.stats().memo_bytes / 1024
+                );
+                if analyze {
+                    let db = self.db();
+                    let analyzed = volcano::exec::execute_analyzed(db, &catalog, &plan);
+                    println!("-- analyze ({} result rows) --", analyzed.rows.len());
+                    print!("{}", analyzed.report());
+                }
+                Ok(())
+            }
+            Statement::Query(ast) => {
+                // Lowering may allocate aggregate attrs: the execution
+                // catalog must match the planning catalog.
+                let mut catalog = self.catalog.clone();
+                let q = lower(&ast, &mut catalog).map_err(|e| e.to_string())?;
+                let cost_limit = self.cost_limit;
+                let db = self.db();
+                let model = RelModel::with_defaults(catalog.clone());
+                let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+                let root = opt.insert_tree(&q.expr);
+                let goal = RelProps::sorted(q.order_by.clone());
+                let limit = cost_limit.map(|l| volcano::rel::RelCost::new(0.0, l));
+                let plan = opt
+                    .find_best_plan(root, goal, limit)
+                    .map_err(|e| match cost_limit {
+                        Some(l) => format!("{e} (cost limit {l} ms)"),
+                        None => e.to_string(),
+                    })?;
+                let rows = db.execute(&plan);
+                for row in &rows {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("{}", cells.join(" | "));
+                }
+                println!("({} rows)", rows.len());
+                Ok(())
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut input = String::new();
+    match std::env::args().nth(1) {
+        Some(path) => {
+            input = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        }
+        None => {
+            std::io::stdin()
+                .read_to_string(&mut input)
+                .expect("read stdin");
+        }
+    }
+    let stmts = match parse_script(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut shell = Shell::new();
+    for stmt in stmts {
+        if let Err(e) = shell.run(stmt) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

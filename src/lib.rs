@@ -1,0 +1,28 @@
+//! # volcano — facade crate
+//!
+//! Re-exports the public API of the Volcano optimizer generator
+//! reproduction so that examples, integration tests, and downstream users
+//! can depend on a single crate.
+//!
+//! * [`core`] — the data-model-independent search engine (memo, rules,
+//!   directed dynamic programming).
+//! * [`rel`] — the relational model specification (operators, algorithms,
+//!   enforcers, cost model, catalog).
+//! * [`exodus`] — the EXODUS optimizer generator baseline used by the
+//!   paper's Figure 4 comparison.
+//! * [`exec`] — the Volcano demand-driven iterator execution engine.
+//! * [`store`] — paged heap-file storage with a buffer pool.
+//! * [`sql`] — a small SQL-like front end lowering to the logical algebra.
+//! * [`gen`] — the optimizer generator: model-spec DSL, Rust code emitter,
+//!   and interpreted dynamic models.
+//! * [`oodb`] — an object algebra model demonstrating data-model
+//!   independence (materialize operator, assembly enforcer).
+
+pub use exodus;
+pub use volcano_core as core;
+pub use volcano_exec as exec;
+pub use volcano_gen as gen;
+pub use volcano_oodb as oodb;
+pub use volcano_rel as rel;
+pub use volcano_sql as sql;
+pub use volcano_store as store;

@@ -1,0 +1,132 @@
+//! Integration test of the `volcano` CLI binary: script in, plans and
+//! rows out.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_volcano"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn volcano CLI");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn full_session() {
+    let (stdout, stderr, ok) = run_script(
+        "CREATE TABLE emp (id INT, dept INT DISTINCT 10) CARD 500;\
+         CREATE TABLE dept (id INT DISTINCT 10) CARD 10;\
+         GENERATE SEED 1;\
+         EXPLAIN SELECT emp.id FROM emp, dept WHERE emp.dept = dept.id;\
+         SELECT dept, COUNT(*) FROM emp GROUP BY dept;",
+    );
+    assert!(ok, "CLI failed: {stderr}");
+    assert!(stdout.contains("created table emp"), "{stdout}");
+    assert!(stdout.contains("physical plan"), "{stdout}");
+    assert!(
+        stdout.contains("hybrid_hash_join") || stdout.contains("merge_join"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("(10 rows)"), "{stdout}");
+}
+
+#[test]
+fn order_by_output_is_sorted() {
+    let (stdout, _, ok) = run_script(
+        "CREATE TABLE t (x INT DISTINCT 50) CARD 100;\
+         GENERATE SEED 2;\
+         SELECT x FROM t WHERE x < 10 ORDER BY x;",
+    );
+    assert!(ok);
+    let values: Vec<i64> = stdout
+        .lines()
+        .filter(|l| !l.starts_with('(') && !l.starts_with("generated") && !l.starts_with("created"))
+        .filter_map(|l| l.trim().parse().ok())
+        .collect();
+    assert!(!values.is_empty());
+    for w in values.windows(2) {
+        assert!(w[0] <= w[1], "output not sorted: {values:?}");
+    }
+}
+
+#[test]
+fn parse_errors_exit_nonzero() {
+    let (_, stderr, ok) = run_script("SELECT FROM FROM;");
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn semantic_errors_exit_nonzero() {
+    let (_, stderr, ok) =
+        run_script("CREATE TABLE t (x INT) CARD 10; GENERATE; SELECT ghost FROM t;");
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn indexed_column_enables_sort_free_order_by() {
+    let (stdout, stderr, ok) = run_script(
+        "CREATE TABLE t (k INT DISTINCT 20 INDEXED, v INT) CARD 200;\
+         GENERATE SEED 1;\
+         EXPLAIN SELECT * FROM t ORDER BY k;",
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("index_scan"), "{stdout}");
+    assert!(!stdout.contains("sort["), "no sort needed: {stdout}");
+}
+
+#[test]
+fn explain_analyze_reports_actual_rows() {
+    let (stdout, stderr, ok) = run_script(
+        "CREATE TABLE t (x INT DISTINCT 10) CARD 100;\
+         GENERATE SEED 4;\
+         EXPLAIN ANALYZE SELECT * FROM t WHERE x < 5;",
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("-- analyze"), "{stdout}");
+    assert!(stdout.contains("actual"), "{stdout}");
+}
+
+#[test]
+fn cost_limit_catches_unreasonable_queries() {
+    // §3: "the user interface may permit users to set their own limits
+    // to 'catch' unreasonable queries".
+    let (_, stderr, ok) = run_script(
+        "CREATE TABLE a (x INT DISTINCT 5) CARD 50000;\
+         CREATE TABLE b (x INT DISTINCT 5) CARD 50000;\
+         GENERATE SEED 1;\
+         SET COST LIMIT 1;\
+         SELECT COUNT(*) FROM a, b WHERE a.x = b.x;",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("cost limit"), "{stderr}");
+
+    // Turning the limit off lets the same query plan again (we only
+    // EXPLAIN to keep the test fast — execution of the cross-heavy join
+    // is the expensive part).
+    let (stdout, stderr2, ok2) = run_script(
+        "CREATE TABLE a (x INT DISTINCT 5) CARD 50000;\
+         CREATE TABLE b (x INT DISTINCT 5) CARD 50000;\
+         GENERATE SEED 1;\
+         SET COST LIMIT 1;\
+         SET COST LIMIT OFF;\
+         EXPLAIN SELECT COUNT(*) FROM a, b WHERE a.x = b.x;",
+    );
+    assert!(ok2, "{stderr2}");
+    assert!(stdout.contains("cost limit off"), "{stdout}");
+}

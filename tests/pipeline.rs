@@ -1,0 +1,115 @@
+//! Cross-crate integration: SQL text through parser, optimizer, and
+//! execution engine, validated against the naive evaluator.
+
+use volcano::core::{PhysicalProps, SearchOptions};
+use volcano::exec::{assert_same_rows, evaluate_logical, Database};
+use volcano::rel::{Catalog, ColumnDef, RelModel, RelOptimizer, RelProps, Value};
+use volcano::sql::plan_query;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "emp",
+        300.0,
+        vec![
+            ColumnDef::int("id", 300.0),
+            ColumnDef::int("dept", 12.0),
+            ColumnDef::int("salary", 40.0),
+        ],
+    );
+    c.add_table(
+        "dept",
+        12.0,
+        vec![ColumnDef::int("id", 12.0), ColumnDef::int("region", 4.0)],
+    );
+    c.add_table(
+        "region",
+        4.0,
+        vec![ColumnDef::int("id", 4.0), ColumnDef::str("name", 8, 4.0)],
+    );
+    c
+}
+
+/// Run a SQL query through the whole stack; return (rows, oracle rows
+/// aligned to the same schema).
+fn run_sql(sql: &str) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+    let mut cat = catalog();
+    let query = plan_query(sql, &mut cat).expect("valid SQL");
+    let db = Database::in_memory(cat.clone());
+    db.generate(99);
+    let model = RelModel::with_defaults(cat);
+    let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+    let root = opt.insert_tree(&query.expr);
+    let goal = RelProps::sorted(query.order_by.clone());
+    let plan = opt.find_best_plan(root, goal.clone(), None).expect("plan");
+    assert!(plan.delivered.satisfies(&goal));
+
+    let compiled = volcano::exec::compile(&db, &plan);
+    let phys_schema = compiled.schema.clone();
+    let mut op = compiled.operator;
+    let raw = volcano::exec::collect(op.as_mut());
+    let oracle = evaluate_logical(&db, &query.expr);
+    let positions: Vec<usize> = oracle
+        .schema
+        .iter()
+        .map(|a| phys_schema.iter().position(|b| b == a).expect("attr"))
+        .collect();
+    let aligned: Vec<Vec<Value>> = raw
+        .into_iter()
+        .map(|t| positions.iter().map(|&i| t[i].clone()).collect())
+        .collect();
+    (aligned, oracle.rows)
+}
+
+#[test]
+fn select_project_order() {
+    let (got, want) = run_sql("SELECT id, salary FROM emp WHERE salary < 20 ORDER BY salary");
+    assert!(!got.is_empty());
+    assert_same_rows(got, want);
+}
+
+#[test]
+fn three_way_join_through_sql() {
+    let (got, want) = run_sql(
+        "SELECT emp.id, region.name FROM emp, dept, region \
+         WHERE emp.dept = dept.id AND dept.region = region.id AND emp.salary >= 5",
+    );
+    assert!(!got.is_empty());
+    assert_same_rows(got, want);
+}
+
+#[test]
+fn aggregation_through_sql() {
+    let (got, want) =
+        run_sql("SELECT dept, COUNT(*), MIN(salary), MAX(salary) FROM emp GROUP BY dept");
+    assert_eq!(got.len(), 12);
+    assert_same_rows(got, want);
+}
+
+#[test]
+fn set_op_through_sql() {
+    let (got, want) = run_sql(
+        "SELECT dept FROM emp WHERE salary < 10 \
+         INTERSECT SELECT dept FROM emp WHERE salary >= 10",
+    );
+    assert_same_rows(got, want);
+}
+
+#[test]
+fn order_by_is_really_sorted() {
+    let (got, _) = run_sql("SELECT id, salary FROM emp ORDER BY salary, id");
+    for w in got.windows(2) {
+        assert!(
+            (&w[0][1], &w[0][0]) <= (&w[1][1], &w[1][0]),
+            "violated ORDER BY salary, id"
+        );
+    }
+}
+
+#[test]
+fn sql_errors_surface() {
+    let mut cat = catalog();
+    assert!(plan_query("SELECT * FROM ghost", &mut cat).is_err());
+    assert!(plan_query("SELECT nope FROM emp", &mut cat).is_err());
+    assert!(plan_query("SELECT FROM FROM", &mut cat).is_err());
+}
