@@ -13,12 +13,13 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use volcano_bench::{generate_query, run_exodus, run_volcano, WorkloadConfig};
-use volcano_core::SearchOptions;
+use volcano_core::{SearchOptions, SearchStats};
 
 struct Args {
     queries: usize,
     max_rel: usize,
     csv: Option<String>,
+    json: Option<String>,
     exodus_budget: usize,
 }
 
@@ -27,6 +28,7 @@ fn parse_args() -> Args {
         queries: 50,
         max_rel: 8,
         csv: Some("fig4.csv".to_string()),
+        json: Some("BENCH_fig4.json".to_string()),
         exodus_budget: 16 << 20,
     };
     let mut it = std::env::args().skip(1);
@@ -36,6 +38,8 @@ fn parse_args() -> Args {
             "--max-rel" => args.max_rel = it.next().expect("--max-rel M").parse().expect("number"),
             "--csv" => args.csv = Some(it.next().expect("--csv PATH")),
             "--no-csv" => args.csv = None,
+            "--json" => args.json = Some(it.next().expect("--json PATH")),
+            "--no-json" => args.json = None,
             "--exodus-budget-mb" => {
                 args.exodus_budget = it
                     .next()
@@ -64,6 +68,15 @@ fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
+/// JSON has no NaN/Infinity literal; absent aggregates export as 0.
+fn j(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
 fn main() {
     let args = parse_args();
     let started = Instant::now();
@@ -71,6 +84,7 @@ fn main() {
         "relations,queries,volcano_opt_s,exodus_opt_s,volcano_exec_ms,exodus_exec_ms,\
          volcano_memo_kb,exodus_mesh_kb,exodus_aborts,time_ratio,exec_ratio\n",
     );
+    let mut json_levels: Vec<String> = Vec::new();
 
     println!("Figure 4 reproduction: exhaustive optimization performance");
     println!(
@@ -100,12 +114,14 @@ fn main() {
         let mut v_mem = Vec::new();
         let mut e_mem = Vec::new();
         let mut aborts = 0usize;
+        let mut level_stats = SearchStats::default();
 
         for q in 0..args.queries {
             let seed = (n as u64) * 10_000 + q as u64;
             let query = generate_query(&WorkloadConfig::relations(n), seed);
             let v = run_volcano(&query, SearchOptions::default());
             let e = run_exodus(&query, args.exodus_budget);
+            level_stats.merge(&v.stats);
             v_opt.push(v.opt_seconds);
             v_mem.push(v.memo_bytes as f64);
             e_mem.push(e.mesh_bytes as f64);
@@ -147,11 +163,41 @@ fn main() {
             eo / vo,
             ee / ve
         );
+        json_levels.push(format!(
+            concat!(
+                "{{\"relations\":{},\"queries\":{},",
+                "\"volcano_opt_s\":{},\"exodus_opt_s\":{},",
+                "\"volcano_exec_ms\":{},\"exodus_exec_ms\":{},",
+                "\"volcano_memo_kb\":{},\"exodus_mesh_kb\":{},",
+                "\"exodus_aborts\":{},\"search\":{}}}"
+            ),
+            n,
+            args.queries,
+            j(vo),
+            j(eo),
+            j(ve),
+            j(ee),
+            j(vm),
+            j(em),
+            aborts,
+            level_stats.to_json()
+        ));
     }
 
     if let Some(path) = &args.csv {
         std::fs::write(path, csv).expect("write csv");
         println!("\nCSV written to {path}");
+    }
+    if let Some(path) = &args.json {
+        // Search statistics are summed across a level's queries; the
+        // harness-level aggregates mirror the printed table.
+        let json = format!(
+            "{{\"benchmark\":\"fig4\",\"queries_per_level\":{},\"levels\":[{}]}}\n",
+            args.queries,
+            json_levels.join(",")
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("JSON written to {path}");
     }
     println!(
         "total harness time: {:.1}s",

@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use exodus::ExodusOptimizer;
-use volcano_core::{PhysicalProps, SearchOptions};
+use volcano_core::{PhysicalProps, SearchOptions, SearchStats};
 use volcano_rel::{RelModel, RelModelOptions, RelOptimizer, RelProps};
 
 use crate::workload::GeneratedQuery;
@@ -22,6 +22,8 @@ pub struct VolcanoMeasurement {
     pub exprs: usize,
     /// Equivalence classes created during the search.
     pub groups: usize,
+    /// Full search statistics for the run (exported to BENCH_*.json).
+    pub stats: SearchStats,
 }
 
 /// Measurements from one EXODUS optimization (`None` cost = aborted).
@@ -54,6 +56,7 @@ pub fn run_volcano(query: &GeneratedQuery, options: SearchOptions) -> VolcanoMea
         memo_bytes: opt.stats().memo_bytes,
         exprs: opt.stats().exprs_created,
         groups: opt.stats().groups_created,
+        stats: opt.stats().clone(),
     }
 }
 

@@ -106,4 +106,7 @@ pub use rules::{
 };
 pub use search::{Optimizer, SearchOptions};
 pub use stats::SearchStats;
-pub use trace::{TraceEvent, Tracer};
+pub use trace::{
+    build_span_tree, CollectingTracer, MetricsSnapshot, MetricsTracer, NullTracer, Span, SpanTree,
+    TraceEvent, Tracer,
+};

@@ -31,7 +31,7 @@ use crate::plan::Plan;
 use crate::props::PhysicalProps;
 use crate::rules::{AlgApplication, EnforcerApplication, RuleCtx};
 use crate::stats::SearchStats;
-use crate::trace::{NullTracer, TraceEvent, Tracer};
+use crate::trace::{MemoHitKind, NullTracer, TraceEvent, Tracer};
 
 /// Version sentinel for "this (expression, rule) pair has never matched".
 const NEVER: u64 = u64::MAX;
@@ -173,6 +173,7 @@ impl<'m, M: Model> Optimizer<'m, M> {
     pub fn explore(&mut self) {
         let model = self.model;
         let rules = model.transformations();
+        let traced = self.tracer.enabled();
         loop {
             self.stats.explore_passes += 1;
             let mut changed = false;
@@ -204,11 +205,15 @@ impl<'m, M: Model> Optimizer<'m, M> {
                         for b in &bindings {
                             if rule.condition(b, &ctx) {
                                 self.stats.transform_fired += 1;
-                                self.tracer.event(TraceEvent::RuleFired {
-                                    rule: rule.name(),
-                                    expr: e,
-                                });
-                                products.extend(rule.apply(b, &ctx));
+                                let subs = rule.apply(b, &ctx);
+                                if traced {
+                                    self.tracer.event(TraceEvent::RuleFired {
+                                        rule: rule.name(),
+                                        expr: e,
+                                        substitutes: subs.len() as u64,
+                                    });
+                                }
+                                products.extend(subs);
                             }
                         }
                     }
@@ -316,6 +321,15 @@ impl<'m, M: Model> Optimizer<'m, M> {
                 self.stats.transform_matches += 1;
                 self.stats.transform_fired += fired;
                 self.stats.substitutes_produced += produced;
+                if fired > 0 && self.tracer.enabled() {
+                    // One event per (expression, rule) batch: the parallel
+                    // workers don't stream per-binding events.
+                    self.tracer.event(TraceEvent::RuleFired {
+                        rule: rules[ri].name(),
+                        expr: e,
+                        substitutes: produced,
+                    });
+                }
                 self.watermarks[e.index()][ri] = version_before;
                 if !subs.is_empty() && self.memo.is_live(e) {
                     let target = self.memo.group_of(e);
@@ -408,15 +422,34 @@ impl<'m, M: Model> Optimizer<'m, M> {
                     // definitive either way.
                     return if limit.admits(&p.total_cost) {
                         self.stats.winner_hits += 1;
-                        Ok(p.total_cost.clone())
+                        let cost = p.total_cost.clone();
+                        if self.tracer.enabled() {
+                            self.tracer.event(TraceEvent::MemoHit {
+                                group,
+                                kind: MemoHitKind::Winner,
+                            });
+                        }
+                        Ok(cost)
                     } else {
                         self.stats.failure_hits += 1;
+                        if self.tracer.enabled() {
+                            self.tracer.event(TraceEvent::MemoHit {
+                                group,
+                                kind: MemoHitKind::Failure,
+                            });
+                        }
                         Err(GoalFailure { memoizable: true })
                     };
                 }
                 Winner::Failure { tried } => {
                     if tried.at_least_as_permissive_as(&limit) {
                         self.stats.failure_hits += 1;
+                        if self.tracer.enabled() {
+                            self.tracer.event(TraceEvent::MemoHit {
+                                group,
+                                kind: MemoHitKind::Failure,
+                            });
+                        }
                         return Err(GoalFailure { memoizable: true });
                     }
                     // A more permissive budget than any tried before:
@@ -433,10 +466,14 @@ impl<'m, M: Model> Optimizer<'m, M> {
         }
         self.in_progress.insert(key.clone());
         self.stats.goals_optimized += 1;
-        self.tracer.event(TraceEvent::GoalBegin {
-            group,
-            required: format!("{:?}", goal.required),
-        });
+        let traced = self.tracer.enabled();
+        let goal_start = traced.then(Instant::now);
+        if traced {
+            self.tracer.event(TraceEvent::GoalBegin {
+                group,
+                required: format!("{:?}", goal.required),
+            });
+        }
 
         let mut moves = self.generate_moves(group, &goal);
         if self.opts.promise_ordering {
@@ -452,6 +489,7 @@ impl<'m, M: Model> Optimizer<'m, M> {
             // "for the most promising moves": heuristic move selection.
             moves.truncate(k);
         }
+        let moves_pursued = moves.len() as u64;
 
         let mut best: Option<WinnerPlan<M>> = None;
         let mut bound = limit.clone();
@@ -516,13 +554,17 @@ impl<'m, M: Model> Optimizer<'m, M> {
             }
         };
 
-        self.tracer.event(TraceEvent::GoalEnd {
-            group,
-            outcome: match &outcome {
-                Ok(c) => format!("optimal cost {c:?}"),
-                Err(_) => "failure".to_string(),
-            },
-        });
+        if traced {
+            self.tracer.event(TraceEvent::GoalEnd {
+                group,
+                outcome: match &outcome {
+                    Ok(c) => format!("optimal cost {c:?}"),
+                    Err(_) => "failure".to_string(),
+                },
+                elapsed: goal_start.map(|s| s.elapsed()).unwrap_or_default(),
+                moves: moves_pursued,
+            });
+        }
         outcome
     }
 
@@ -532,6 +574,7 @@ impl<'m, M: Model> Optimizer<'m, M> {
         let mut moves = Vec::new();
         let exclude_active = !goal.excluded.is_any();
         let mut excluded_count = 0u64;
+        let traced = self.tracer.enabled();
 
         {
             let ctx = RuleCtx::new(&self.memo);
@@ -557,6 +600,16 @@ impl<'m, M: Model> Optimizer<'m, M> {
                             // explored again" below an enforcer.
                             if exclude_active && app.delivers.satisfies(&goal.excluded) {
                                 excluded_count += 1;
+                                if traced {
+                                    self.tracer.event(TraceEvent::MoveExcluded {
+                                        group,
+                                        reason: format!(
+                                            "{} delivers {:?}, already enforced",
+                                            rule.name(),
+                                            app.delivers
+                                        ),
+                                    });
+                                }
                                 continue;
                             }
                             let promise = rule.promise(&app, &binding, &ctx);
@@ -576,6 +629,16 @@ impl<'m, M: Model> Optimizer<'m, M> {
                 for app in enf.applies(&goal.required, group, &ctx) {
                     if exclude_active && app.delivers.satisfies(&goal.excluded) {
                         excluded_count += 1;
+                        if traced {
+                            self.tracer.event(TraceEvent::MoveExcluded {
+                                group,
+                                reason: format!(
+                                    "enforcer {} delivers {:?}, already enforced",
+                                    enf.name(),
+                                    app.delivers
+                                ),
+                            });
+                        }
                         continue;
                     }
                     let promise = enf.promise(&app, group, &ctx);
@@ -610,10 +673,13 @@ impl<'m, M: Model> Optimizer<'m, M> {
             let ctx = RuleCtx::new(&self.memo);
             rule.cost(&app, binding, &ctx)
         };
-        self.tracer.event(TraceEvent::MoveCosted {
-            group,
-            description: format!("{} via {:?}", rule.name(), app.alg),
-        });
+        let traced = self.tracer.enabled();
+        if traced {
+            self.tracer.event(TraceEvent::MoveCosted {
+                group,
+                description: format!("{} via {:?}", rule.name(), app.alg),
+            });
+        }
 
         let leaves = binding.leaf_groups();
         assert_eq!(
@@ -632,6 +698,17 @@ impl<'m, M: Model> Optimizer<'m, M> {
         for (g, props) in leaves.iter().zip(app.input_props.iter()) {
             if self.opts.pruning && !bound.admits(&total) {
                 self.stats.moves_pruned += 1;
+                if traced {
+                    self.tracer.event(TraceEvent::MovePruned {
+                        group,
+                        reason: format!(
+                            "{} via {:?}: accumulated cost {:?} over limit",
+                            rule.name(),
+                            app.alg,
+                            total
+                        ),
+                    });
+                }
                 return Err(false);
             }
             let child_goal = Goal {
@@ -688,13 +765,27 @@ impl<'m, M: Model> Optimizer<'m, M> {
             let ctx = RuleCtx::new(&self.memo);
             enf.cost(&app, group, &ctx)
         };
-        self.tracer.event(TraceEvent::MoveCosted {
-            group,
-            description: format!("enforcer {} as {:?}", enf.name(), app.alg),
-        });
+        let traced = self.tracer.enabled();
+        if traced {
+            self.tracer.event(TraceEvent::MoveCosted {
+                group,
+                description: format!("enforcer {} as {:?}", enf.name(), app.alg),
+            });
+        }
 
         if self.opts.pruning && !bound.admits(&local) {
             self.stats.moves_pruned += 1;
+            if traced {
+                self.tracer.event(TraceEvent::MovePruned {
+                    group,
+                    reason: format!(
+                        "enforcer {} as {:?}: local cost {:?} over limit",
+                        enf.name(),
+                        app.alg,
+                        local
+                    ),
+                });
+            }
             return Err(false);
         }
         let child_goal = Goal {

@@ -60,6 +60,70 @@ impl SearchStats {
     pub fn total_moves(&self) -> u64 {
         self.alg_moves + self.enforcer_moves
     }
+
+    /// Accumulate another run's counters into this one. Used by the
+    /// benchmark harness to aggregate per-complexity-level totals;
+    /// `elapsed` and `memo_bytes` become sums over the merged runs.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.groups_created += other.groups_created;
+        self.exprs_created += other.exprs_created;
+        self.group_merges += other.group_merges;
+        self.dead_exprs += other.dead_exprs;
+        self.transform_matches += other.transform_matches;
+        self.transform_fired += other.transform_fired;
+        self.substitutes_produced += other.substitutes_produced;
+        self.explore_passes += other.explore_passes;
+        self.goals_optimized += other.goals_optimized;
+        self.winner_hits += other.winner_hits;
+        self.failure_hits += other.failure_hits;
+        self.alg_moves += other.alg_moves;
+        self.enforcer_moves += other.enforcer_moves;
+        self.moves_pruned += other.moves_pruned;
+        self.moves_excluded += other.moves_excluded;
+        self.winners_recorded += other.winners_recorded;
+        self.failures_recorded += other.failures_recorded;
+        self.elapsed += other.elapsed;
+        self.memo_bytes += other.memo_bytes;
+    }
+
+    /// Render the counters as a JSON object (hand-rolled: every field is
+    /// numeric, so no escaping is needed). Consumed by `EXPLAIN ANALYZE`'s
+    /// JSON export and the benchmark harness.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"groups_created\":{},\"exprs_created\":{},",
+                "\"group_merges\":{},\"dead_exprs\":{},",
+                "\"transform_matches\":{},\"transform_fired\":{},",
+                "\"substitutes_produced\":{},\"explore_passes\":{},",
+                "\"goals_optimized\":{},\"winner_hits\":{},",
+                "\"failure_hits\":{},\"alg_moves\":{},",
+                "\"enforcer_moves\":{},\"moves_pruned\":{},",
+                "\"moves_excluded\":{},\"winners_recorded\":{},",
+                "\"failures_recorded\":{},\"elapsed_us\":{},",
+                "\"memo_bytes\":{}}}"
+            ),
+            self.groups_created,
+            self.exprs_created,
+            self.group_merges,
+            self.dead_exprs,
+            self.transform_matches,
+            self.transform_fired,
+            self.substitutes_produced,
+            self.explore_passes,
+            self.goals_optimized,
+            self.winner_hits,
+            self.failure_hits,
+            self.alg_moves,
+            self.enforcer_moves,
+            self.moves_pruned,
+            self.moves_excluded,
+            self.winners_recorded,
+            self.failures_recorded,
+            self.elapsed.as_micros(),
+            self.memo_bytes
+        )
+    }
 }
 
 impl fmt::Display for SearchStats {
@@ -114,5 +178,23 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("3 algorithm"));
         assert!(text.contains("2 enforcer"));
+    }
+
+    #[test]
+    fn stats_to_json_is_well_formed() {
+        let s = SearchStats {
+            alg_moves: 3,
+            memo_bytes: 1024,
+            elapsed: Duration::from_micros(250),
+            ..SearchStats::default()
+        };
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"alg_moves\":3"));
+        assert!(json.contains("\"memo_bytes\":1024"));
+        assert!(json.contains("\"elapsed_us\":250"));
+        // Balanced quotes and no trailing commas.
+        assert_eq!(json.matches('"').count() % 2, 0);
+        assert!(!json.contains(",}"));
     }
 }

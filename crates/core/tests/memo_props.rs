@@ -4,7 +4,8 @@
 use proptest::prelude::*;
 use volcano_core::cost::Limit;
 use volcano_core::toy::{ToyModel, ToyOp, ToyProps};
-use volcano_core::{ExprTree, Optimizer, PhysicalProps, SearchOptions};
+use volcano_core::trace::MetricsTracer;
+use volcano_core::{ExprTree, Optimizer, PhysicalProps, Plan, SearchOptions};
 
 type Tree = ExprTree<ToyModel>;
 
@@ -113,6 +114,60 @@ proptest! {
         let lb = Limit::at_most(b);
         prop_assert_eq!(la.at_least_as_permissive_as(&lb), a >= b);
         prop_assert!(Limit::<f64>::unlimited().at_least_as_permissive_as(&la));
+    }
+
+    /// The winner's reported cost is exactly the cost of the plan it
+    /// hands back: recomputing bottom-up from per-node local costs
+    /// reproduces `plan.cost` at every node. A drift here would mean the
+    /// search compared plans on different numbers than it returns.
+    #[test]
+    fn winner_cost_equals_bottom_up_recomputation(t in join_tree(4), sorted in any::<bool>()) {
+        fn recompute(p: &Plan<ToyModel>) -> f64 {
+            p.local_cost + p.inputs.iter().map(recompute).sum::<f64>()
+        }
+        fn check_node(p: &Plan<ToyModel>) {
+            let r = recompute(p);
+            assert!(
+                (p.cost - r).abs() <= 1e-9 * p.cost.abs().max(1.0),
+                "node {:?}: reported {} != recomputed {}",
+                p.alg, p.cost, r
+            );
+            for i in &p.inputs {
+                check_node(i);
+            }
+        }
+        let m = model(4);
+        let mut opt = Optimizer::new(&m, SearchOptions::default());
+        let root = opt.insert_tree(&t);
+        let goal = if sorted { ToyProps::sorted() } else { ToyProps::any() };
+        let plan = opt.find_best_plan(root, goal, None).unwrap();
+        check_node(&plan);
+    }
+
+    /// The aggregating tracer and the engine's own statistics are two
+    /// independent observers of the same search; their totals must agree
+    /// on every shared counter, for any tree shape and either goal.
+    #[test]
+    fn metrics_tracer_totals_reconcile_with_stats(t in join_tree(4), sorted in any::<bool>()) {
+        let m = model(4);
+        let tracer = std::rc::Rc::new(MetricsTracer::new());
+        let mut opt = Optimizer::new(&m, SearchOptions::default());
+        opt.set_tracer(Box::new(tracer.clone()));
+        let root = opt.insert_tree(&t);
+        let goal = if sorted { ToyProps::sorted() } else { ToyProps::any() };
+        let _ = opt.find_best_plan(root, goal, None).unwrap();
+        let snap = tracer.snapshot();
+        let s = opt.stats();
+        prop_assert_eq!(snap.totals.goals, s.goals_optimized);
+        prop_assert_eq!(snap.totals.memo_hits, s.winner_hits + s.failure_hits);
+        prop_assert_eq!(snap.totals.moves_costed, s.alg_moves + s.enforcer_moves);
+        prop_assert_eq!(snap.totals.moves_pruned, s.moves_pruned);
+        prop_assert_eq!(snap.totals.moves_excluded, s.moves_excluded);
+        prop_assert_eq!(snap.totals.rules_fired, s.transform_fired);
+        prop_assert_eq!(snap.totals.substitutes, s.substitutes_produced);
+        prop_assert_eq!(snap.goal_latency.count(), s.goals_optimized);
+        let per_group: u64 = snap.per_group.values().map(|g| g.goals).sum();
+        prop_assert_eq!(per_group, s.goals_optimized);
     }
 
     /// Cost-limit boundary on the toy model: limits strictly below the

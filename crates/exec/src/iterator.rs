@@ -21,6 +21,19 @@ pub trait Operator: Send {
 
     /// Release resources.
     fn close(&mut self);
+
+    /// Short algorithm name for diagnostics (e.g. `"hash_join"`).
+    fn name(&self) -> &'static str {
+        "operator"
+    }
+
+    /// Operator-specific counters for `EXPLAIN ANALYZE` — `(label,
+    /// value)` pairs such as `("build_rows", 1000)`. Counters accumulate
+    /// across re-opens (nested-loops inners) and must remain readable
+    /// after `close`.
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// A boxed operator tree.

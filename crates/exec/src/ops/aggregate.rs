@@ -115,6 +115,10 @@ pub struct HashAggregate {
     aggs: Vec<CompiledAgg>,
     results: Vec<Tuple>,
     idx: usize,
+    /// Input rows aggregated (cumulative across re-opens).
+    rows_in: u64,
+    /// Groups produced (cumulative).
+    groups_out: u64,
 }
 
 impl HashAggregate {
@@ -126,6 +130,8 @@ impl HashAggregate {
             aggs,
             results: Vec::new(),
             idx: 0,
+            rows_in: 0,
+            groups_out: 0,
         }
     }
 }
@@ -137,6 +143,7 @@ impl Operator for HashAggregate {
         let mut any_row = false;
         while let Some(t) = self.child.next() {
             any_row = true;
+            self.rows_in += 1;
             let key: Vec<Value> = self.group.iter().map(|&i| t[i].clone()).collect();
             let accs = table
                 .entry(key)
@@ -154,6 +161,7 @@ impl Operator for HashAggregate {
             .into_iter()
             .map(|(k, accs)| output_row(k, accs))
             .collect();
+        self.groups_out += self.results.len() as u64;
         self.idx = 0;
     }
 
@@ -170,6 +178,14 @@ impl Operator for HashAggregate {
     fn close(&mut self) {
         self.results.clear();
     }
+
+    fn name(&self) -> &'static str {
+        "hash_aggregate"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![("rows_in", self.rows_in), ("groups_out", self.groups_out)]
+    }
 }
 
 /// Streaming aggregation over input sorted on the grouping positions;
@@ -182,6 +198,10 @@ pub struct StreamAggregate {
     accs: Vec<Acc>,
     done: bool,
     produced_any: bool,
+    /// Input rows aggregated (cumulative across re-opens).
+    rows_in: u64,
+    /// Groups produced (cumulative).
+    groups_out: u64,
 }
 
 impl StreamAggregate {
@@ -195,6 +215,8 @@ impl StreamAggregate {
             accs: Vec::new(),
             done: false,
             produced_any: false,
+            rows_in: 0,
+            groups_out: 0,
         }
     }
 }
@@ -217,11 +239,13 @@ impl Operator for StreamAggregate {
                     self.done = true;
                     self.child.close();
                     if let Some(k) = self.current_key.take() {
+                        self.groups_out += 1;
                         return Some(output_row(k, std::mem::take(&mut self.accs)));
                     }
                     // Grand total over empty input.
                     if self.group.is_empty() && !self.produced_any {
                         self.produced_any = true;
+                        self.groups_out += 1;
                         return Some(output_row(
                             vec![],
                             self.aggs.iter().map(CompiledAgg::init).collect(),
@@ -230,6 +254,7 @@ impl Operator for StreamAggregate {
                     return None;
                 }
                 Some(t) => {
+                    self.rows_in += 1;
                     let key: Vec<Value> = self.group.iter().map(|&i| t[i].clone()).collect();
                     match &self.current_key {
                         Some(cur) if *cur != key => {
@@ -244,6 +269,7 @@ impl Operator for StreamAggregate {
                                 update(acc, agg, &t);
                             }
                             self.produced_any = true;
+                            self.groups_out += 1;
                             return Some(output_row(finished, accs));
                         }
                         Some(_) => {
@@ -268,5 +294,13 @@ impl Operator for StreamAggregate {
         if !self.done {
             self.child.close();
         }
+    }
+
+    fn name(&self) -> &'static str {
+        "stream_aggregate"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![("rows_in", self.rows_in), ("groups_out", self.groups_out)]
     }
 }

@@ -8,6 +8,9 @@
 //! execution-side realization; the optimizer model treats parallelism as
 //! out of scope for the Figure 4 experiments.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crossbeam::channel::{bounded, Receiver};
 
 use volcano_rel::value::Tuple;
@@ -21,6 +24,8 @@ pub struct Exchange {
     rx: Option<Receiver<Tuple>>,
     handle: Option<std::thread::JoinHandle<BoxedOperator>>,
     capacity: usize,
+    /// Tuples the producer thread pushed into the channel (cumulative).
+    sent: Arc<AtomicU64>,
 }
 
 impl Exchange {
@@ -31,6 +36,7 @@ impl Exchange {
             rx: None,
             handle: None,
             capacity: capacity.max(1),
+            sent: Arc::new(AtomicU64::new(0)),
         }
     }
 }
@@ -40,6 +46,7 @@ impl Operator for Exchange {
         let mut child = self.child.take().expect("exchange re-opened before close");
         let (tx, rx) = bounded::<Tuple>(self.capacity);
         self.rx = Some(rx);
+        let sent = self.sent.clone();
         self.handle = Some(std::thread::spawn(move || {
             child.open();
             while let Some(t) = child.next() {
@@ -47,6 +54,7 @@ impl Operator for Exchange {
                 if tx.send(t).is_err() {
                     break;
                 }
+                sent.fetch_add(1, Ordering::Relaxed);
             }
             child.close();
             child
@@ -64,5 +72,13 @@ impl Operator for Exchange {
             let child = h.join().expect("exchange producer panicked");
             self.child = Some(child);
         }
+    }
+
+    fn name(&self) -> &'static str {
+        "exchange"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![("tuples_sent", self.sent.load(Ordering::Relaxed))]
     }
 }

@@ -107,6 +107,10 @@ pub struct ExternalSort {
     pool: Arc<BufferPool>,
     memory_rows: usize,
     source: Source,
+    /// Input rows sorted (cumulative across re-opens).
+    rows_sorted: u64,
+    /// Runs spilled to heap files (cumulative).
+    runs_spilled: u64,
 }
 
 impl ExternalSort {
@@ -123,6 +127,8 @@ impl ExternalSort {
             pool,
             memory_rows: memory_rows.max(2),
             source: Source::Empty,
+            rows_sorted: 0,
+            runs_spilled: 0,
         }
     }
 
@@ -150,6 +156,7 @@ impl Operator for ExternalSort {
         let mut spilled: Vec<HeapFile> = Vec::new();
         while let Some(t) = self.child.next() {
             run.push(t);
+            self.rows_sorted += 1;
             if run.len() >= self.memory_rows {
                 // Spill the sorted run.
                 Self::sort_run(&self.keys, &mut run);
@@ -158,6 +165,7 @@ impl Operator for ExternalSort {
                     file.insert(&encode_row(&t));
                 }
                 spilled.push(file);
+                self.runs_spilled += 1;
             }
         }
         self.child.close();
@@ -174,6 +182,7 @@ impl Operator for ExternalSort {
                     file.insert(&encode_row(&t));
                 }
                 spilled.push(file);
+                self.runs_spilled += 1;
             }
             let mut readers: Vec<RunReader> = spilled.into_iter().map(RunReader::new).collect();
             let mut heads = BinaryHeap::new();
@@ -218,6 +227,17 @@ impl Operator for ExternalSort {
 
     fn close(&mut self) {
         self.source = Source::Empty;
+    }
+
+    fn name(&self) -> &'static str {
+        "external_sort"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("rows_sorted", self.rows_sorted),
+            ("runs_spilled", self.runs_spilled),
+        ]
     }
 }
 

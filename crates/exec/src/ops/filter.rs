@@ -43,12 +43,18 @@ impl CompiledPred {
 pub struct Filter {
     child: BoxedOperator,
     pred: CompiledPred,
+    /// Input rows examined (cumulative across re-opens).
+    rows_in: u64,
 }
 
 impl Filter {
     /// Filter `child` by `pred`.
     pub fn new(child: BoxedOperator, pred: CompiledPred) -> Self {
-        Filter { child, pred }
+        Filter {
+            child,
+            pred,
+            rows_in: 0,
+        }
     }
 }
 
@@ -60,6 +66,7 @@ impl Operator for Filter {
     fn next(&mut self) -> Option<Tuple> {
         loop {
             let t = self.child.next()?;
+            self.rows_in += 1;
             if self.pred.eval(&t) {
                 return Some(t);
             }
@@ -68,6 +75,14 @@ impl Operator for Filter {
 
     fn close(&mut self) {
         self.child.close();
+    }
+
+    fn name(&self) -> &'static str {
+        "filter"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![("rows_in", self.rows_in)]
     }
 }
 

@@ -17,6 +17,10 @@ pub struct IndexScan {
     rids: Vec<RecordId>,
     idx: usize,
     opened: bool,
+    /// Index entries visited (cumulative across re-opens).
+    entries_visited: u64,
+    /// Dangling index entries skipped (cumulative).
+    dangling_skipped: u64,
 }
 
 impl IndexScan {
@@ -28,6 +32,8 @@ impl IndexScan {
             rids: Vec::new(),
             idx: 0,
             opened: false,
+            entries_visited: 0,
+            dangling_skipped: 0,
         }
     }
 }
@@ -46,11 +52,13 @@ impl Operator for IndexScan {
         while self.idx < self.rids.len() {
             let rid = self.rids[self.idx];
             self.idx += 1;
+            self.entries_visited += 1;
             // Deleted rows leave dangling index entries in this simple
             // build; skip them.
             if let Some(bytes) = self.heap.get(rid) {
                 return Some(decode_row(&bytes));
             }
+            self.dangling_skipped += 1;
         }
         None
     }
@@ -58,5 +66,16 @@ impl Operator for IndexScan {
     fn close(&mut self) {
         self.rids.clear();
         self.opened = false;
+    }
+
+    fn name(&self) -> &'static str {
+        "index_scan"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("entries_visited", self.entries_visited),
+            ("dangling_skipped", self.dangling_skipped),
+        ]
     }
 }

@@ -33,6 +33,10 @@ pub struct MergeJoin {
     group_key: Vec<Value>,
     emit_idx: usize,
     emitting: bool,
+    /// Key groups buffered from the right input (cumulative).
+    groups_buffered: u64,
+    /// Largest right group buffered at once.
+    max_group_rows: u64,
 }
 
 impl MergeJoin {
@@ -56,6 +60,8 @@ impl MergeJoin {
             group_key: Vec::new(),
             emit_idx: 0,
             emitting: false,
+            groups_buffered: 0,
+            max_group_rows: 0,
         }
     }
 }
@@ -121,6 +127,8 @@ impl Operator for MergeJoin {
                             _ => break,
                         }
                     }
+                    self.groups_buffered += 1;
+                    self.max_group_rows = self.max_group_rows.max(self.right_group.len() as u64);
                     self.emit_idx = 0;
                     self.emitting = true;
                 }
@@ -132,6 +140,17 @@ impl Operator for MergeJoin {
         self.left.close();
         self.right.close();
         self.right_group.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "merge_join"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("groups_buffered", self.groups_buffered),
+            ("max_group_rows", self.max_group_rows),
+        ]
     }
 }
 
@@ -145,6 +164,10 @@ pub struct HashJoin {
     table: HashMap<Vec<Value>, Vec<Tuple>>,
     probe: Option<Tuple>,
     match_idx: usize,
+    /// Rows hashed into the build table (cumulative across re-opens).
+    build_rows: u64,
+    /// Probe rows consumed from the right input (cumulative).
+    probe_rows: u64,
 }
 
 impl HashJoin {
@@ -165,6 +188,8 @@ impl HashJoin {
             table: HashMap::new(),
             probe: None,
             match_idx: 0,
+            build_rows: 0,
+            probe_rows: 0,
         }
     }
 }
@@ -179,6 +204,7 @@ impl Operator for HashJoin {
             if k.iter().any(Value::is_null) {
                 continue;
             }
+            self.build_rows += 1;
             self.table.entry(k).or_default().push(t);
         }
         self.left.close();
@@ -200,6 +226,7 @@ impl Operator for HashJoin {
                 }
             }
             self.probe = Some(self.right.next()?);
+            self.probe_rows += 1;
             self.match_idx = 0;
             if self
                 .probe
@@ -216,6 +243,17 @@ impl Operator for HashJoin {
         self.right.close();
         self.table.clear();
     }
+
+    fn name(&self) -> &'static str {
+        "hash_join"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("build_rows", self.build_rows),
+            ("probe_rows", self.probe_rows),
+        ]
+    }
 }
 
 /// Tuple-at-a-time nested loops with an arbitrary equi-predicate
@@ -230,6 +268,10 @@ pub struct NestedLoops {
     inner: Vec<Tuple>,
     outer: Option<Tuple>,
     inner_idx: usize,
+    /// Outer rows consumed (cumulative across re-opens).
+    outer_rows: u64,
+    /// Predicate evaluations over (outer, inner) pairs (cumulative).
+    comparisons: u64,
 }
 
 impl NestedLoops {
@@ -242,6 +284,8 @@ impl NestedLoops {
             inner: Vec::new(),
             outer: None,
             inner_idx: 0,
+            outer_rows: 0,
+            comparisons: 0,
         }
     }
 }
@@ -265,6 +309,7 @@ impl Operator for NestedLoops {
                 while self.inner_idx < self.inner.len() {
                     let i = &self.inner[self.inner_idx];
                     self.inner_idx += 1;
+                    self.comparisons += 1;
                     let matches = self.pairs.iter().all(|&(lp, rp)| {
                         o[lp]
                             .sql_cmp(&i[rp])
@@ -277,6 +322,7 @@ impl Operator for NestedLoops {
                 }
             }
             self.outer = Some(self.left.next()?);
+            self.outer_rows += 1;
             self.inner_idx = 0;
         }
     }
@@ -284,6 +330,17 @@ impl Operator for NestedLoops {
     fn close(&mut self) {
         self.left.close();
         self.inner.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "nested_loops"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("outer_rows", self.outer_rows),
+            ("comparisons", self.comparisons),
+        ]
     }
 }
 
@@ -310,6 +367,12 @@ pub struct MultiWayHash {
     b_matches: Vec<Tuple>,
     b_idx: usize,
     a_idx: usize,
+    /// Rows hashed into the `a` table (cumulative across re-opens).
+    build_a_rows: u64,
+    /// Rows hashed into the `b` table (cumulative).
+    build_b_rows: u64,
+    /// Probe rows consumed from `c` (cumulative).
+    probe_rows: u64,
 }
 
 impl MultiWayHash {
@@ -341,6 +404,9 @@ impl MultiWayHash {
             b_matches: Vec::new(),
             b_idx: 0,
             a_idx: 0,
+            build_a_rows: 0,
+            build_b_rows: 0,
+            probe_rows: 0,
         }
     }
 }
@@ -352,6 +418,7 @@ impl Operator for MultiWayHash {
         while let Some(t) = self.a.next() {
             let k = key_of(&t, &self.inner_a);
             if !k.iter().any(Value::is_null) {
+                self.build_a_rows += 1;
                 self.table_a.entry(k).or_default().push(t);
             }
         }
@@ -361,6 +428,7 @@ impl Operator for MultiWayHash {
         while let Some(t) = self.b.next() {
             let k = key_of(&t, &self.outer_b);
             if !k.iter().any(Value::is_null) {
+                self.build_b_rows += 1;
                 self.table_b.entry(k).or_default().push(t);
             }
         }
@@ -394,6 +462,7 @@ impl Operator for MultiWayHash {
             }
             // Fetch the next probe tuple.
             let p = self.c.next()?;
+            self.probe_rows += 1;
             let ck = key_of(&p, &self.outer_c);
             self.b_matches = if ck.iter().any(Value::is_null) {
                 Vec::new()
@@ -411,5 +480,17 @@ impl Operator for MultiWayHash {
         self.table_a.clear();
         self.table_b.clear();
         self.b_matches.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "multiway_hash_join"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("build_a_rows", self.build_a_rows),
+            ("build_b_rows", self.build_b_rows),
+            ("probe_rows", self.probe_rows),
+        ]
     }
 }

@@ -30,4 +30,8 @@ impl Operator for Project {
     fn close(&mut self) {
         self.child.close();
     }
+
+    fn name(&self) -> &'static str {
+        "project"
+    }
 }

@@ -21,6 +21,10 @@ pub struct TableScan {
     buffer: Vec<Tuple>,
     buffer_idx: usize,
     opened: bool,
+    /// Heap pages visited (cumulative across re-opens).
+    pages_read: u64,
+    /// Rows decoded before the fused predicate (cumulative).
+    rows_scanned: u64,
 }
 
 impl TableScan {
@@ -39,6 +43,8 @@ impl TableScan {
             buffer: Vec::new(),
             buffer_idx: 0,
             opened: false,
+            pages_read: 0,
+            rows_scanned: 0,
         }
     }
 
@@ -46,12 +52,14 @@ impl TableScan {
         while self.page_idx < self.pages.len() {
             let page = self.pages[self.page_idx];
             self.page_idx += 1;
+            self.pages_read += 1;
             let mut rows: Vec<Tuple> = self
                 .heap
                 .page_records(page)
                 .iter()
                 .map(|b| decode_row(b))
                 .collect();
+            self.rows_scanned += rows.len() as u64;
             if let Some(pred) = &self.pred {
                 rows.retain(|r| pred.eval(r));
             }
@@ -92,5 +100,20 @@ impl Operator for TableScan {
         self.buffer.clear();
         self.pages.clear();
         self.opened = false;
+    }
+
+    fn name(&self) -> &'static str {
+        if self.pred.is_some() {
+            "filter_scan"
+        } else {
+            "file_scan"
+        }
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("pages_read", self.pages_read),
+            ("rows_scanned", self.rows_scanned),
+        ]
     }
 }

@@ -29,6 +29,8 @@ pub struct HashSetOp {
     emitted: HashSet<Tuple>,
     /// For union: which phase we're in.
     left_done: bool,
+    /// Rows materialized from the right input (cumulative).
+    right_rows: u64,
 }
 
 impl HashSetOp {
@@ -41,6 +43,7 @@ impl HashSetOp {
             right_set: HashSet::new(),
             emitted: HashSet::new(),
             left_done: false,
+            right_rows: 0,
         }
     }
 }
@@ -58,6 +61,7 @@ impl Operator for HashSetOp {
             SetOpKind::Intersect | SetOpKind::Difference => {
                 self.right.open();
                 while let Some(t) = self.right.next() {
+                    self.right_rows += 1;
                     self.right_set.insert(t);
                 }
                 self.right.close();
@@ -99,6 +103,18 @@ impl Operator for HashSetOp {
         }
         self.right_set.clear();
         self.emitted.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            SetOpKind::Union => "hash_union",
+            SetOpKind::Intersect => "hash_intersect",
+            SetOpKind::Difference => "hash_difference",
+        }
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![("right_rows", self.right_rows)]
     }
 }
 
@@ -216,5 +232,13 @@ impl Operator for MergeSetOp {
     fn close(&mut self) {
         self.left.close();
         self.right.close();
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            SetOpKind::Union => "merge_union",
+            SetOpKind::Intersect => "merge_intersect",
+            SetOpKind::Difference => "merge_difference",
+        }
     }
 }

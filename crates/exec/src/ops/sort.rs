@@ -25,6 +25,10 @@ pub struct Sort {
     runs: Vec<Vec<Tuple>>,
     heap: BinaryHeap<HeapEntry>,
     opened: bool,
+    /// Rows sorted (cumulative across re-opens).
+    rows_sorted: u64,
+    /// Runs formed (cumulative).
+    runs_formed: u64,
 }
 
 /// Min-heap entry: (key of head tuple, run index, offset into run).
@@ -67,6 +71,8 @@ impl Sort {
             runs: Vec::new(),
             heap: BinaryHeap::new(),
             opened: false,
+            rows_sorted: 0,
+            runs_formed: 0,
         }
     }
 }
@@ -122,10 +128,23 @@ impl Operator for Sort {
         self.heap.clear();
         self.opened = false;
     }
+
+    fn name(&self) -> &'static str {
+        "sort"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("rows_sorted", self.rows_sorted),
+            ("runs_formed", self.runs_formed),
+        ]
+    }
 }
 
 impl Sort {
     fn finish_run(&mut self, run: &mut Vec<Tuple>) {
+        self.rows_sorted += run.len() as u64;
+        self.runs_formed += 1;
         let keys = self.keys.clone();
         run.sort_by(|a, b| {
             for &k in &keys {

@@ -1,0 +1,204 @@
+//! Per-node row estimates for *physical* plans.
+//!
+//! The memo attaches logical properties (including estimated cardinality)
+//! to equivalence classes, but an extracted [`RelPlan`] carries only
+//! algorithms and costs. `EXPLAIN ANALYZE` wants the optimizer's estimate
+//! next to each operator's actual row count, so this module recomputes
+//! the estimates bottom-up over the physical tree with the same
+//! selectivity model the optimizer used — by construction the numbers
+//! match what the search saw.
+
+use std::sync::Arc;
+
+use crate::alg::RelAlg;
+use crate::catalog::{Catalog, ColType};
+use crate::ids::TableId;
+use crate::ops::AggFunc;
+use crate::predicate::JoinPred;
+use crate::props::{ColInfo, RelLogical};
+use crate::selectivity::{join_selectivity, pred_selectivity};
+use crate::RelPlan;
+
+fn table_logical(catalog: &Catalog, t: TableId) -> RelLogical {
+    let table = catalog.table(t);
+    RelLogical {
+        card: table.card,
+        cols: Arc::new(
+            table
+                .columns
+                .iter()
+                .map(|c| ColInfo {
+                    attr: c.attr,
+                    ty: c.ty,
+                    width: c.width,
+                    distinct: c.distinct,
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn join(l: &RelLogical, r: &RelLogical, p: &JoinPred) -> RelLogical {
+    let mut cols: Vec<ColInfo> = l.cols.as_ref().clone();
+    cols.extend(r.cols.iter().copied());
+    RelLogical {
+        card: l.card * r.card * join_selectivity(p, l, r),
+        cols: Arc::new(cols),
+    }
+}
+
+/// Estimated logical properties of a physical plan node, recomputed
+/// bottom-up from the catalog with the optimizer's selectivity model.
+pub fn estimated_logical(catalog: &Catalog, plan: &RelPlan) -> RelLogical {
+    let inputs: Vec<RelLogical> = plan
+        .inputs
+        .iter()
+        .map(|c| estimated_logical(catalog, c))
+        .collect();
+    match &plan.alg {
+        RelAlg::FileScan(t) | RelAlg::IndexScan(t, _) => table_logical(catalog, *t),
+        RelAlg::FilterScan(t, pred) => {
+            let base = table_logical(catalog, *t);
+            RelLogical {
+                card: base.card * pred_selectivity(pred, &base),
+                cols: base.cols.clone(),
+            }
+        }
+        RelAlg::Filter(pred) => {
+            let input = &inputs[0];
+            RelLogical {
+                card: input.card * pred_selectivity(pred, input),
+                cols: input.cols.clone(),
+            }
+        }
+        RelAlg::ProjectOp(attrs) => {
+            let input = &inputs[0];
+            RelLogical {
+                card: input.card,
+                cols: Arc::new(
+                    attrs
+                        .iter()
+                        .map(|a| {
+                            *input.col(*a).unwrap_or_else(|| {
+                                panic!("projection references unknown attribute {a:?}")
+                            })
+                        })
+                        .collect(),
+                ),
+            }
+        }
+        RelAlg::MergeJoin(p) | RelAlg::HybridHashJoin(p) | RelAlg::NestedLoops(p) => {
+            join(&inputs[0], &inputs[1], p)
+        }
+        RelAlg::MultiWayHashJoin { inner, outer } => {
+            let ab = join(&inputs[0], &inputs[1], inner);
+            join(&ab, &inputs[2], outer)
+        }
+        RelAlg::MergeUnion | RelAlg::HashUnion => RelLogical {
+            card: inputs[0].card + inputs[1].card,
+            cols: inputs[0].cols.clone(),
+        },
+        RelAlg::MergeIntersect | RelAlg::HashIntersect => RelLogical {
+            card: inputs[0].card.min(inputs[1].card) * 0.5,
+            cols: inputs[0].cols.clone(),
+        },
+        RelAlg::MergeDifference | RelAlg::HashDifference => RelLogical {
+            card: inputs[0].card * 0.5,
+            cols: inputs[0].cols.clone(),
+        },
+        RelAlg::StreamAggregate(spec) | RelAlg::HashAggregate(spec) => {
+            let input = &inputs[0];
+            let groups = if spec.group_by.is_empty() {
+                1.0
+            } else {
+                spec.group_by
+                    .iter()
+                    .map(|a| input.distinct(*a))
+                    .product::<f64>()
+                    .min(input.card)
+                    .max(1.0)
+            };
+            let mut cols: Vec<ColInfo> = spec
+                .group_by
+                .iter()
+                .map(|a| {
+                    *input
+                        .col(*a)
+                        .unwrap_or_else(|| panic!("group-by references unknown attribute {a:?}"))
+                })
+                .collect();
+            for (func, out) in &spec.aggs {
+                let ty = match func {
+                    AggFunc::CountStar => ColType::Int,
+                    AggFunc::Avg(_) => ColType::Float,
+                    AggFunc::Sum(a) | AggFunc::Min(a) | AggFunc::Max(a) => {
+                        input.col(*a).map(|c| c.ty).unwrap_or(ColType::Int)
+                    }
+                };
+                cols.push(ColInfo {
+                    attr: *out,
+                    ty,
+                    width: 8,
+                    distinct: groups,
+                });
+            }
+            RelLogical {
+                card: groups,
+                cols: Arc::new(cols),
+            }
+        }
+        RelAlg::Sort(_) => inputs[0].clone(),
+    }
+}
+
+/// Estimated output rows of a physical plan node.
+pub fn estimated_rows(catalog: &Catalog, plan: &RelPlan) -> f64 {
+    estimated_logical(catalog, plan).card
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{join_on, select_one};
+    use crate::model::RelModel;
+    use crate::predicate::Cmp;
+    use crate::{ColumnDef, QueryBuilder, RelProps};
+    use volcano_core::{Optimizer, PhysicalProps, SearchOptions};
+
+    #[test]
+    fn physical_estimates_match_logical_derivation() {
+        let mut c = Catalog::new();
+        c.add_table(
+            "emp",
+            1000.0,
+            vec![ColumnDef::int("id", 1000.0), ColumnDef::int("dept", 20.0)],
+        );
+        c.add_table("dept", 20.0, vec![ColumnDef::int("id", 20.0)]);
+        let model = RelModel::with_defaults(c.clone());
+        let q = QueryBuilder::new(model.catalog());
+        let expr = join_on(
+            select_one(q.scan("emp"), Cmp::lt(q.attr("emp", "id"), 100i64)),
+            q.scan("dept"),
+            q.attr("emp", "dept"),
+            q.attr("dept", "id"),
+        );
+        let mut opt = Optimizer::new(&model, SearchOptions::default());
+        let root = opt.insert_tree(&expr);
+        let plan = opt.find_best_plan(root, RelProps::any(), None).unwrap();
+
+        // Root estimate: 1000 × 1/3 (range) × 20 × 1/20 (join) = 333.3…
+        let est = estimated_rows(&c, &plan);
+        assert!(
+            (est - 1000.0 / 3.0).abs() < 1e-6,
+            "unexpected root estimate {est}"
+        );
+        // Every node has a positive estimate.
+        fn walk(catalog: &Catalog, p: &RelPlan) {
+            assert!(estimated_rows(catalog, p) > 0.0);
+            for c in &p.inputs {
+                walk(catalog, c);
+            }
+        }
+        walk(&c, &plan);
+    }
+}

@@ -34,6 +34,7 @@ pub mod alg;
 pub mod builder;
 pub mod catalog;
 pub mod cost;
+pub mod estimate;
 pub mod explain;
 pub mod ids;
 pub mod model;
@@ -48,6 +49,7 @@ pub use alg::RelAlg;
 pub use builder::QueryBuilder;
 pub use catalog::{Catalog, ColumnDef, TableDef};
 pub use cost::RelCost;
+pub use estimate::{estimated_logical, estimated_rows};
 pub use explain::{explain_expr, explain_plan};
 pub use ids::{AttrId, TableId};
 pub use model::{JoinSpace, RelModel, RelModelOptions};

@@ -1,0 +1,125 @@
+//! Golden-plan regression tests: snapshot the `EXPLAIN` rendering of
+//! representative queries against a fixed catalog. Any change to the
+//! cost model, the rule set, promise ordering, or the plan renderer
+//! shows up here as a diff — deliberate changes update the goldens,
+//! accidental ones fail the build.
+
+use volcano_core::SearchOptions;
+use volcano_rel::{explain_plan, Catalog, ColumnDef, RelModel, RelOptimizer, RelProps};
+use volcano_sql::plan_query;
+
+/// The fixed catalog all goldens plan against: the emp/dept/region
+/// schema used throughout the README examples.
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "emp",
+        2000.0,
+        vec![
+            ColumnDef::int("id", 2000.0),
+            ColumnDef::int("dept", 20.0),
+            ColumnDef::int("salary", 100.0),
+        ],
+    );
+    c.add_table(
+        "dept",
+        20.0,
+        vec![ColumnDef::int("id", 20.0), ColumnDef::int("region", 4.0)],
+    );
+    c.add_table("region", 4.0, vec![ColumnDef::int("id", 4.0)]);
+    c
+}
+
+/// Parse, lower, optimize, and render `sql`'s chosen physical plan.
+fn plan_text(sql: &str) -> String {
+    let mut catalog = catalog();
+    let q = plan_query(sql, &mut catalog).expect("golden query must parse");
+    let model = RelModel::with_defaults(catalog.clone());
+    let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+    let root = opt.insert_tree(&q.expr);
+    let plan = opt
+        .find_best_plan(root, RelProps::sorted(q.order_by.clone()), None)
+        .expect("golden query must be satisfiable");
+    explain_plan(&catalog, &plan)
+}
+
+#[track_caller]
+fn check(sql: &str, golden: &str) {
+    let actual = plan_text(sql);
+    assert_eq!(
+        actual.trim_end(),
+        golden.trim(),
+        "\nplan drifted for {sql:?}\n-- actual --\n{actual}\n-- golden --\n{golden}\n"
+    );
+}
+
+#[test]
+fn golden_filtered_scan_with_sort() {
+    check(
+        "SELECT emp.id FROM emp WHERE emp.salary < 50 ORDER BY emp.id",
+        r#"
+sort[emp.id]  (cost 93.48ms (io 42.97 + cpu 50.51))  [sorted: emp.id]
+  project[emp.id]  (cost 66.49ms (io 35.16 + cpu 31.33))
+    filter_scan(emp, emp.salary < 50)  (cost 63.16ms (io 35.16 + cpu 28.00))
+"#,
+    );
+}
+
+#[test]
+fn golden_two_way_join() {
+    check(
+        "SELECT emp.id FROM emp, dept WHERE emp.dept = dept.id",
+        r#"
+project[emp.id]  (cost 120.88ms (io 38.16 + cpu 82.72))
+  hybrid_hash_join[dept.id = emp.dept]  (cost 110.88ms (io 38.16 + cpu 72.72))
+    file_scan(dept)  (cost 3.20ms (io 3.00 + cpu 0.20))
+    file_scan(emp)  (cost 55.16ms (io 35.16 + cpu 20.00))
+"#,
+    );
+}
+
+#[test]
+fn golden_three_way_join_with_selection() {
+    check(
+        "SELECT emp.id FROM emp, dept, region \
+         WHERE emp.dept = dept.id AND dept.region = region.id AND emp.salary < 50 \
+         ORDER BY emp.id",
+        r#"
+sort[emp.id]  (cost 118.09ms (io 48.97 + cpu 69.12))  [sorted: emp.id]
+  project[emp.id]  (cost 91.10ms (io 41.16 + cpu 49.95))
+    hybrid_hash_join[dept.id = emp.dept]  (cost 87.77ms (io 41.16 + cpu 46.61))
+      nested_loops[dept.region = region.id]  (cost 6.76ms (io 6.00 + cpu 0.76))
+        file_scan(dept)  (cost 3.20ms (io 3.00 + cpu 0.20))
+        file_scan(region)  (cost 3.04ms (io 3.00 + cpu 0.04))
+      filter_scan(emp, emp.salary < 50)  (cost 63.16ms (io 35.16 + cpu 28.00))
+"#,
+    );
+}
+
+#[test]
+fn golden_group_by_aggregate() {
+    check(
+        "SELECT emp.dept, COUNT(*) FROM emp GROUP BY emp.dept ORDER BY emp.dept",
+        r#"
+project[emp.dept, a6]  (cost 113.83ms (io 41.16 + cpu 72.67))  [sorted: emp.dept]
+  sort[emp.dept]  (cost 113.73ms (io 41.16 + cpu 72.57))  [sorted: emp.dept]
+    hash_aggregate  (cost 107.36ms (io 35.16 + cpu 72.20))
+      file_scan(emp)  (cost 55.16ms (io 35.16 + cpu 20.00))
+"#,
+    );
+}
+
+#[test]
+fn golden_union() {
+    check(
+        "SELECT emp.dept FROM emp WHERE emp.salary < 50 \
+         UNION SELECT dept.id FROM dept",
+        r#"
+hash_union  (cost 94.31ms (io 38.16 + cpu 56.15))
+  project[emp.dept]  (cost 66.49ms (io 35.16 + cpu 31.33))
+    filter_scan(emp, emp.salary < 50)  (cost 63.16ms (io 35.16 + cpu 28.00))
+  project[dept.id]  (cost 3.30ms (io 3.00 + cpu 0.30))
+    file_scan(dept)  (cost 3.20ms (io 3.00 + cpu 0.20))
+"#,
+    );
+}

@@ -1,0 +1,506 @@
+//! Value-generation strategies.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (reference-counted, cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Build recursive structures: `recurse` receives a strategy for the
+    /// substructure and returns the strategy for one level above it.
+    /// `depth` bounds the recursion; the size hints are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut cur = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(cur).boxed();
+            cur = Union::new(vec![base.clone(), deeper]).boxed();
+        }
+        cur
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Object-safe mirror of [`Strategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among strategies of one value type (`prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Choose uniformly among `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! of nothing");
+        Union(options)
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union(self.0.clone())
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+/// Types with a default "anything goes" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The default strategy for `T` (`any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly ASCII, sometimes any scalar value.
+        if rng.below(4) < 3 {
+            (0x20 + rng.below(0x5F) as u32) as u8 as char
+        } else {
+            char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+/// Numeric types whose ranges can serve as strategies.
+pub trait RangeValue: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`.
+    fn draw_half_open(rng: &mut TestRng, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn draw_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn draw_half_open(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range strategy");
+                let span = (high as i128 - low as i128) as u64;
+                (low as i128 + rng.below(span) as i128) as $t
+            }
+
+            fn draw_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty range strategy");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (low as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RangeValue for f64 {
+    fn draw_half_open(rng: &mut TestRng, low: Self, high: Self) -> Self {
+        assert!(low < high, "empty range strategy");
+        low + rng.unit_f64() * (high - low)
+    }
+
+    fn draw_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self {
+        assert!(low <= high, "empty range strategy");
+        low + rng.unit_f64() * (high - low)
+    }
+}
+
+impl RangeValue for f32 {
+    fn draw_half_open(rng: &mut TestRng, low: Self, high: Self) -> Self {
+        f64::draw_half_open(rng, low as f64, high as f64) as f32
+    }
+
+    fn draw_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self {
+        f64::draw_inclusive(rng, low as f64, high as f64) as f32
+    }
+}
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::draw_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::draw_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_tuple! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// String literals are regex-subset strategies: a sequence of atoms
+/// (`.`, `[class]`, or a literal character), each optionally repeated
+/// with `{m,n}` or `{m}`. This covers the patterns used in this
+/// workspace (e.g. `".{0,200}"`, `"[a-zA-Z0-9 _-]{0,40}"`).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (set, min, max) in &atoms {
+            let n = if min == max {
+                *min
+            } else {
+                *min + rng.below((*max - *min + 1) as u64) as usize
+            };
+            for _ in 0..n {
+                out.push(set.draw(rng));
+            }
+        }
+        out
+    }
+}
+
+/// One regex atom's character set.
+enum CharSet {
+    /// `.` — any scalar value except `\n` (mostly printable ASCII here).
+    Any,
+    /// `[...]` — union of inclusive ranges.
+    Set(Vec<(char, char)>),
+}
+
+impl CharSet {
+    fn draw(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Any => loop {
+                // Mostly printable ASCII with occasional arbitrary
+                // scalar values, like a fuzzer would want.
+                let c = if rng.below(8) < 7 {
+                    (0x20 + rng.below(0x5F) as u32) as u8 as char
+                } else {
+                    match char::from_u32(rng.below(0x11_0000) as u32) {
+                        Some(c) => c,
+                        None => continue,
+                    }
+                };
+                if c != '\n' {
+                    return c;
+                }
+            },
+            CharSet::Set(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(a, b)| (b as u64) - (a as u64) + 1)
+                    .sum();
+                let mut i = rng.below(total);
+                for &(a, b) in ranges {
+                    let span = (b as u64) - (a as u64) + 1;
+                    if i < span {
+                        return char::from_u32(a as u32 + i as u32).unwrap_or(a);
+                    }
+                    i -= span;
+                }
+                unreachable!("draw index within total span")
+            }
+        }
+    }
+}
+
+/// Parse the regex subset into (set, min-reps, max-reps) atoms.
+fn parse_pattern(pattern: &str) -> Vec<(CharSet, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let mut out = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '.' => CharSet::Any,
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut pending: Option<char> = None;
+                while let Some(d) = chars.next() {
+                    if d == ']' {
+                        break;
+                    }
+                    if d == '-' {
+                        // Range if something is pending and a bound
+                        // follows; a trailing '-' is a literal.
+                        match (pending.take(), chars.peek()) {
+                            (Some(lo), Some(&hi)) if hi != ']' => {
+                                chars.next();
+                                ranges.push((lo, hi));
+                            }
+                            (lo, _) => {
+                                if let Some(lo) = lo {
+                                    ranges.push((lo, lo));
+                                }
+                                ranges.push(('-', '-'));
+                            }
+                        }
+                    } else {
+                        if let Some(p) = pending.replace(d) {
+                            ranges.push((p, p));
+                        }
+                    }
+                }
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                CharSet::Set(ranges)
+            }
+            '\\' => {
+                let escaped = chars.next().expect("dangling escape");
+                CharSet::Set(vec![(escaped, escaped)])
+            }
+            lit => CharSet::Set(vec![(lit, lit)]),
+        };
+        // Optional {m,n} / {m} quantifier.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut digits = String::new();
+            let mut min = None;
+            for d in chars.by_ref() {
+                match d {
+                    '}' => break,
+                    ',' => min = Some(std::mem::take(&mut digits)),
+                    d => digits.push(d),
+                }
+            }
+            let hi: usize = digits.parse().expect("quantifier bound");
+            match min {
+                Some(lo) => (lo.parse().expect("quantifier bound"), hi),
+                None => (hi, hi),
+            }
+        } else {
+            (1, 1)
+        };
+        out.push((set, min, max));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn just_and_map_and_union() {
+        let mut rng = TestRng::from_seed(1);
+        let s = Just(3usize).prop_map(|x| x * 2);
+        assert_eq!(s.generate(&mut rng), 6);
+        let u = Union::new(vec![Just(1).boxed(), Just(2).boxed()]);
+        for _ in 0..20 {
+            assert!(matches!(u.generate(&mut rng), 1 | 2));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let v = (0u32..8).generate(&mut rng);
+            assert!(v < 8);
+            let (a, b) = (0usize..3, any::<bool>()).generate(&mut rng);
+            assert!(a < 3);
+            let _ = b;
+            let f = (1.0f64..2.0).generate(&mut rng);
+            assert!((1.0..2.0).contains(&f));
+            let i = (5i64..=7).generate(&mut rng);
+            assert!((5..=7).contains(&i));
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let s = ".{0,200}".generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.contains('\n'));
+            let t = "[a-zA-Z0-9 _-]{0,40}".generate(&mut rng);
+            assert!(t.chars().count() <= 40);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '_' || c == '-'));
+            let lit = "ab".generate(&mut rng);
+            assert_eq!(lit, "ab");
+        }
+    }
+
+    #[test]
+    fn recursion_is_depth_bounded() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf,
+            Node(Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(i) => 1 + depth(i),
+            }
+        }
+        let strat =
+            Just(T::Leaf).prop_recursive(3, 8, 1, |inner| inner.prop_map(|t| T::Node(Box::new(t))));
+        let mut rng = TestRng::from_seed(4);
+        let mut max = 0;
+        for _ in 0..200 {
+            max = max.max(depth(&strat.generate(&mut rng)));
+        }
+        assert!(max >= 1, "recursion actually recurses");
+        assert!(max <= 3, "depth bound respected, got {max}");
+    }
+}

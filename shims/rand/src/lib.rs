@@ -1,0 +1,210 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! A deterministic SplitMix64 generator behind the `rand 0.8` API subset
+//! this workspace uses: `StdRng::seed_from_u64`, `gen_range` over
+//! half-open and inclusive integer ranges, `gen_bool`, and `gen` for a
+//! few primitives. Not cryptographic; statistically fine for workload
+//! generation and tests.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A type with a canonical uniform distribution over a range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[low, high]` (both inclusive).
+    fn sample_inclusive(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty sampling range");
+                let span = (high as i128) - (low as i128); // span >= 0, fits u64 for all $t
+                if span >= u64::MAX as i128 {
+                    return rng() as $t;
+                }
+                let span = span as u64 + 1;
+                // Multiply-shift bounded sampling (Lemire); bias is
+                // negligible for the spans used here.
+                let v = ((rng() as u128 * span as u128) >> 64) as u64;
+                ((low as i128) + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+        assert!(low <= high, "empty sampling range");
+        let unit = (rng() >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_inclusive(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+        f64::sample_inclusive(rng, low as f64, high as f64) as f32
+    }
+}
+
+/// Ranges `gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Uniform draw from the range.
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform + One> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T {
+        assert!(self.start < self.end, "empty sampling range");
+        T::sample_inclusive(rng, self.start, self.end.minus_ulp())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Helper for turning a half-open bound into an inclusive one.
+pub trait One: Sized {
+    /// The largest value strictly below `self` (integers: `self - 1`;
+    /// floats: `self` itself, since the draw never hits the upper bound).
+    fn minus_ulp(self) -> Self;
+}
+
+macro_rules! impl_one_int {
+    ($($t:ty),*) => {$(
+        impl One for $t {
+            fn minus_ulp(self) -> Self { self - 1 }
+        }
+    )*};
+}
+
+impl_one_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl One for f64 {
+    fn minus_ulp(self) -> Self {
+        self
+    }
+}
+
+impl One for f32 {
+    fn minus_ulp(self) -> Self {
+        self
+    }
+}
+
+/// The user-facing sampling interface.
+pub trait Rng: RngCore {
+    /// Uniform draw from a range (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut f = || self.next_u64();
+        range.sample(&mut f)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The default generator: SplitMix64 (deterministic, fast, decent
+    /// equidistribution — not the upstream ChaCha, and not compatible
+    /// with upstream `StdRng` streams).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_their_bounds_only() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.gen_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..5 drawn");
+        for _ in 0..500 {
+            let v = rng.gen_range(10i64..=12);
+            assert!((10..=12).contains(&v));
+        }
+        for _ in 0..100 {
+            let x = rng.gen_range(1.0f64..2.0);
+            assert!((1.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.8)).count();
+        assert!((7_500..8_500).contains(&hits), "got {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn negative_and_wide_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+        }
+    }
+}

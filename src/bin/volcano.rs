@@ -134,10 +134,19 @@ impl Shell {
                     opt.stats().memo_bytes / 1024
                 );
                 if analyze {
+                    let stats_json = opt.stats().to_json();
                     let db = self.db();
                     let analyzed = volcano::exec::execute_analyzed(db, &catalog, &plan);
                     println!("-- analyze ({} result rows) --", analyzed.rows.len());
                     print!("{}", analyzed.report());
+                    // Machine-readable export: per-operator measurements
+                    // plus the search statistics, one JSON object.
+                    println!("-- json --");
+                    println!(
+                        "{{\"analyze\":{},\"search\":{}}}",
+                        analyzed.to_json(),
+                        stats_json
+                    );
                 }
                 Ok(())
             }
