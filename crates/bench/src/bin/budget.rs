@@ -1,0 +1,220 @@
+//! Budget sweep: how does plan quality degrade as the optimizer's search
+//! budget shrinks? For each generated query we first run unbudgeted
+//! (recording the goal count G and the optimal cost), then re-run under
+//! goal caps at fixed fractions of G and under fixed wall-clock
+//! deadlines, recording the cost ratio (budgeted / optimal, always ≥ 1
+//! by the anytime guarantee) and how many runs actually degraded.
+//!
+//! Usage:
+//!   cargo run -p volcano-bench --release --bin budget \
+//!     [-- --queries N] [--relations R] [--json PATH]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use volcano_bench::{generate_query, run_volcano, WorkloadConfig};
+use volcano_core::{BudgetOutcome, SearchBudget, SearchOptions};
+
+const GOAL_FRACTIONS: [f64; 6] = [0.05, 0.1, 0.25, 0.5, 0.75, 1.0];
+const DEADLINES_MS: [u64; 4] = [1, 5, 20, 100];
+
+struct Args {
+    queries: usize,
+    relations: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        queries: 10,
+        relations: 8,
+        json: Some("BENCH_budget.json".to_string()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--queries" => args.queries = it.next().expect("--queries N").parse().expect("number"),
+            "--relations" => {
+                args.relations = it.next().expect("--relations R").parse().expect("number")
+            }
+            "--json" => args.json = Some(it.next().expect("--json PATH")),
+            "--no-json" => args.json = None,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+fn budgeted(budget: SearchBudget) -> SearchOptions {
+    SearchOptions {
+        budget,
+        ..SearchOptions::default()
+    }
+}
+
+/// Aggregates for one sweep point.
+#[derive(Default)]
+struct Point {
+    degraded: usize,
+    ratios: Vec<f64>,
+    opt_secs: Vec<f64>,
+}
+
+impl Point {
+    fn record(&mut self, cost: f64, optimal: f64, opt_seconds: f64, outcome: BudgetOutcome) {
+        if outcome.is_degraded() {
+            self.degraded += 1;
+        }
+        self.ratios.push(cost / optimal);
+        self.opt_secs.push(opt_seconds);
+    }
+
+    fn mean_ratio(&self) -> f64 {
+        self.ratios.iter().sum::<f64>() / self.ratios.len().max(1) as f64
+    }
+
+    fn max_ratio(&self) -> f64 {
+        self.ratios.iter().copied().fold(1.0, f64::max)
+    }
+
+    fn mean_opt_s(&self) -> f64 {
+        self.opt_secs.iter().sum::<f64>() / self.opt_secs.len().max(1) as f64
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let started = Instant::now();
+
+    println!(
+        "Budget sweep: {} queries over {} relations (paper fig4 workload)",
+        args.queries, args.relations
+    );
+
+    // Unbudgeted baselines: optimal cost and total goal count per query.
+    let queries: Vec<_> = (0..args.queries)
+        .map(|q| {
+            generate_query(
+                &WorkloadConfig::relations(args.relations),
+                (args.relations as u64) * 10_000 + q as u64,
+            )
+        })
+        .collect();
+    let baselines: Vec<_> = queries
+        .iter()
+        .map(|q| run_volcano(q, SearchOptions::default()))
+        .collect();
+    for b in &baselines {
+        assert_eq!(
+            b.stats.outcome,
+            BudgetOutcome::Exhaustive,
+            "baseline must be exhaustive"
+        );
+    }
+
+    println!(
+        "\n{:>10} | {:>9} | {:>10} {:>10} | {:>10}",
+        "goal cap", "degraded", "mean ratio", "max ratio", "mean opt"
+    );
+    let mut goal_points = Vec::new();
+    for frac in GOAL_FRACTIONS {
+        let mut pt = Point::default();
+        for (q, base) in queries.iter().zip(&baselines) {
+            let cap = ((base.stats.goals_optimized as f64 * frac).ceil() as u64).max(1);
+            let v = run_volcano(q, budgeted(SearchBudget::default().with_max_goals(cap)));
+            pt.record(
+                v.est_exec_ms,
+                base.est_exec_ms,
+                v.opt_seconds,
+                v.stats.outcome,
+            );
+        }
+        println!(
+            "{:>9.0}% | {:>5}/{:<3} | {:>10.3} {:>10.3} | {:>9.4}s",
+            frac * 100.0,
+            pt.degraded,
+            args.queries,
+            pt.mean_ratio(),
+            pt.max_ratio(),
+            pt.mean_opt_s()
+        );
+        goal_points.push((frac, pt));
+    }
+
+    println!(
+        "\n{:>10} | {:>9} | {:>10} {:>10} | {:>10}",
+        "deadline", "degraded", "mean ratio", "max ratio", "mean opt"
+    );
+    let mut deadline_points = Vec::new();
+    for ms in DEADLINES_MS {
+        let mut pt = Point::default();
+        for (q, base) in queries.iter().zip(&baselines) {
+            let v = run_volcano(
+                q,
+                budgeted(SearchBudget::default().with_deadline(Duration::from_millis(ms))),
+            );
+            pt.record(
+                v.est_exec_ms,
+                base.est_exec_ms,
+                v.opt_seconds,
+                v.stats.outcome,
+            );
+        }
+        println!(
+            "{:>8}ms | {:>5}/{:<3} | {:>10.3} {:>10.3} | {:>9.4}s",
+            ms,
+            pt.degraded,
+            args.queries,
+            pt.mean_ratio(),
+            pt.max_ratio(),
+            pt.mean_opt_s()
+        );
+        deadline_points.push((ms, pt));
+    }
+
+    if let Some(path) = &args.json {
+        let mut goal_json = String::new();
+        for (i, (frac, pt)) in goal_points.iter().enumerate() {
+            if i > 0 {
+                goal_json.push(',');
+            }
+            let _ = write!(
+                goal_json,
+                "{{\"fraction\":{},\"degraded\":{},\"mean_cost_ratio\":{},\
+                 \"max_cost_ratio\":{},\"mean_opt_s\":{}}}",
+                frac,
+                pt.degraded,
+                pt.mean_ratio(),
+                pt.max_ratio(),
+                pt.mean_opt_s()
+            );
+        }
+        let mut deadline_json = String::new();
+        for (i, (ms, pt)) in deadline_points.iter().enumerate() {
+            if i > 0 {
+                deadline_json.push(',');
+            }
+            let _ = write!(
+                deadline_json,
+                "{{\"deadline_ms\":{},\"degraded\":{},\"mean_cost_ratio\":{},\
+                 \"max_cost_ratio\":{},\"mean_opt_s\":{}}}",
+                ms,
+                pt.degraded,
+                pt.mean_ratio(),
+                pt.max_ratio(),
+                pt.mean_opt_s()
+            );
+        }
+        let json = format!(
+            "{{\"benchmark\":\"budget\",\"queries\":{},\"relations\":{},\
+             \"goal_sweep\":[{}],\"deadline_sweep\":[{}]}}\n",
+            args.queries, args.relations, goal_json, deadline_json
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("\nJSON written to {path}");
+    }
+    println!(
+        "total harness time: {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+}

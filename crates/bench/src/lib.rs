@@ -13,8 +13,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod jsonv;
 pub mod runner;
 pub mod workload;
 
+pub use jsonv::{parse_json, Json, JsonError};
 pub use runner::{run_exodus, run_volcano, ExodusMeasurement, VolcanoMeasurement};
 pub use workload::{generate_query, GeneratedQuery, WorkloadConfig};

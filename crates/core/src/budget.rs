@@ -1,0 +1,226 @@
+//! Resource budgets for the search engine: the *anytime* layer.
+//!
+//! The paper's search is exhaustive — "the Volcano search strategy uses
+//! dynamic programming for all possible plans" — and §4.2 shows memo and
+//! goal counts growing super-linearly with query size. A production
+//! optimizer serving heavy traffic cannot spend unbounded time or memory
+//! per query, so [`SearchBudget`] bounds a search along four axes (wall
+//! clock, memo expressions, memo groups, goals optimized) and adds a
+//! cooperative [`CancelToken`] for external aborts.
+//!
+//! Tripping a budget never turns into an error. The engine instead
+//! switches to a *greedy, promise-first completion pass*: every in-flight
+//! goal is finished with the first feasible move (no further enumeration),
+//! so `find_best_plan` still returns a valid, executable plan whose cost
+//! is an upper bound on the true optimum — the anytime property. The
+//! outcome — [`BudgetOutcome::Exhaustive`] or
+//! [`BudgetOutcome::Degraded`] with its [`TripReason`] — is surfaced
+//! through [`crate::SearchStats`], [`crate::TraceEvent::BudgetTripped`],
+//! `EXPLAIN ANALYZE`, and the CLI.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A cooperative cancellation token.
+///
+/// Clone it, hand one clone to the optimizer via
+/// [`SearchBudget::cancel`], and keep the other; calling
+/// [`CancelToken::cancel`] from any thread makes the search degrade to
+/// greedy completion at the next goal or move boundary.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Resource limits for one optimizer. The default is unlimited on every
+/// axis, which reproduces the paper's exhaustive search exactly.
+#[derive(Debug, Clone, Default)]
+pub struct SearchBudget {
+    /// Wall-clock deadline, armed at each [`crate::Optimizer::find_best_plan`]
+    /// (or standalone exploration) entry.
+    pub deadline: Option<Duration>,
+    /// Maximum memo expressions (live + retired) before degrading.
+    pub max_exprs: Option<usize>,
+    /// Maximum memo equivalence classes allocated before degrading.
+    pub max_groups: Option<usize>,
+    /// Maximum optimization goals entered (memo hits excluded) before
+    /// degrading.
+    pub max_goals: Option<u64>,
+    /// Cooperative cancellation token, polled at goal and move
+    /// boundaries.
+    pub cancel: Option<CancelToken>,
+}
+
+impl SearchBudget {
+    /// The unlimited budget (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Is every axis unlimited? (Fast-path check: an unlimited budget
+    /// costs the engine one branch per check site.)
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_exprs.is_none()
+            && self.max_groups.is_none()
+            && self.max_goals.is_none()
+            && self.cancel.is_none()
+    }
+
+    /// Builder: set a wall-clock deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Builder: cap memo expressions.
+    pub fn with_max_exprs(mut self, n: usize) -> Self {
+        self.max_exprs = Some(n);
+        self
+    }
+
+    /// Builder: cap memo groups.
+    pub fn with_max_groups(mut self, n: usize) -> Self {
+        self.max_groups = Some(n);
+        self
+    }
+
+    /// Builder: cap optimization goals.
+    pub fn with_max_goals(mut self, n: u64) -> Self {
+        self.max_goals = Some(n);
+        self
+    }
+
+    /// Builder: attach a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// Which budget axis tripped first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The memo exceeded its expression cap.
+    ExprLimit,
+    /// The memo exceeded its group cap.
+    GroupLimit,
+    /// The goal count exceeded its cap.
+    GoalLimit,
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+impl TripReason {
+    /// Stable lowercase identifier, used in JSON exports and EXPLAIN.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TripReason::Deadline => "deadline",
+            TripReason::ExprLimit => "expr-limit",
+            TripReason::GroupLimit => "group-limit",
+            TripReason::GoalLimit => "goal-limit",
+            TripReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for TripReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a search ended with respect to its budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetOutcome {
+    /// The budget never tripped: the search was the paper's exhaustive
+    /// search and the returned plan is optimal.
+    #[default]
+    Exhaustive,
+    /// The budget tripped: the remaining goals were completed greedily
+    /// (first feasible move, promise order) and the returned plan is a
+    /// valid upper bound on the optimum.
+    Degraded(TripReason),
+}
+
+impl BudgetOutcome {
+    /// Did the budget trip?
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, BudgetOutcome::Degraded(_))
+    }
+
+    /// Stable identifier used in JSON exports: `"exhaustive"` or
+    /// `"degraded:<reason>"`.
+    pub fn as_token(&self) -> String {
+        match self {
+            BudgetOutcome::Exhaustive => "exhaustive".to_string(),
+            BudgetOutcome::Degraded(r) => format!("degraded:{r}"),
+        }
+    }
+}
+
+impl fmt::Display for BudgetOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetOutcome::Exhaustive => f.write_str("exhaustive"),
+            BudgetOutcome::Degraded(r) => write!(f, "degraded ({r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        assert!(SearchBudget::default().is_unlimited());
+        assert!(!SearchBudget::default().with_max_goals(10).is_unlimited());
+        assert!(!SearchBudget::default()
+            .with_deadline(Duration::from_millis(5))
+            .is_unlimited());
+    }
+
+    #[test]
+    fn cancel_token_is_shared() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn outcome_tokens() {
+        assert_eq!(BudgetOutcome::Exhaustive.as_token(), "exhaustive");
+        assert_eq!(
+            BudgetOutcome::Degraded(TripReason::Deadline).as_token(),
+            "degraded:deadline"
+        );
+        assert!(!BudgetOutcome::Exhaustive.is_degraded());
+        assert!(BudgetOutcome::Degraded(TripReason::GoalLimit).is_degraded());
+        assert_eq!(
+            BudgetOutcome::Degraded(TripReason::ExprLimit).to_string(),
+            "degraded (expr-limit)"
+        );
+    }
+}

@@ -77,6 +77,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod budget;
 pub mod cost;
 pub mod error;
 pub mod expr;
@@ -92,6 +93,7 @@ pub mod stats;
 pub mod toy;
 pub mod trace;
 
+pub use budget::{BudgetOutcome, CancelToken, SearchBudget, TripReason};
 pub use cost::Cost;
 pub use error::OptimizeError;
 pub use expr::{ExprTree, SubstExpr};

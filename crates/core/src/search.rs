@@ -16,10 +16,26 @@
 //! plans are derived "only for those partial queries that are considered
 //! as parts of larger subqueries, not all equivalent expressions and plans
 //! that are feasible or seem interesting by their sort order".
+//!
+//! ## Resource governance
+//!
+//! The search honors a [`SearchBudget`] (wall-clock deadline, memo caps,
+//! goal cap, cancellation), polled at goal entries, move boundaries, and
+//! exploration tasks. When the budget trips the engine does **not** error
+//! out: exploration stops, and every in-flight goal completes *greedily* —
+//! the first feasible move in promise order wins, with no further
+//! enumeration — so `find_best_plan` still returns a valid plan whose cost
+//! is an upper bound on the optimum. Failures observed while degraded are
+//! never memoized (they may be artifacts of greedy completion, not proven
+//! facts). The outcome is reported via [`crate::SearchStats::outcome`] and
+//! a [`TraceEvent::BudgetTripped`] event.
 
+use std::cell::RefCell;
 use std::collections::HashSet;
+use std::rc::Rc;
 use std::time::Instant;
 
+use crate::budget::{BudgetOutcome, CancelToken, SearchBudget, TripReason};
 use crate::cost::{Cost, Limit};
 use crate::error::OptimizeError;
 use crate::expr::{ExprTree, SubstExpr};
@@ -29,16 +45,29 @@ use crate::model::Model;
 use crate::pattern::{match_pattern, Binding};
 use crate::plan::Plan;
 use crate::props::PhysicalProps;
-use crate::rules::{AlgApplication, EnforcerApplication, RuleCtx};
+use crate::rules::{AlgApplication, EnforcerApplication, RuleCtx, TransformationRule};
 use crate::stats::SearchStats;
 use crate::trace::{MemoHitKind, NullTracer, TraceEvent, Tracer};
 
 /// Version sentinel for "this (expression, rule) pair has never matched".
 const NEVER: u64 = u64::MAX;
 
-/// One unit of parallel exploration output: the matched expression, the
-/// rule index, the substitutes produced, and the fired/produced counts.
-type ExploreProduct<M> = (ExprId, usize, Vec<SubstExpr<M>>, u64, u64);
+/// One unit of exploration output: everything a single (expression,
+/// transformation rule) match task produced, ready for serial installation.
+struct ExploreProduct<M: Model> {
+    /// The matched expression.
+    expr: ExprId,
+    /// Index of the transformation rule that matched.
+    rule_idx: usize,
+    /// Substitute count per fired binding, in binding order (drives one
+    /// `RuleFired` event per firing, matching the serial path).
+    firings: Vec<u64>,
+    /// All substitutes produced, concatenated in binding order.
+    subs: Vec<SubstExpr<M>>,
+}
+
+/// Goals currently being optimized, shared with RAII cycle guards.
+type InProgressSet<M> = Rc<RefCell<HashSet<(GroupId, Goal<M>)>>>;
 
 /// Knobs controlling the search strategy.
 ///
@@ -61,6 +90,10 @@ pub struct SearchOptions {
     /// Pursue only the `k` most promising moves per goal (heuristic,
     /// sacrifices optimality). `None` = exhaustive.
     pub move_limit: Option<usize>,
+    /// Resource budget. The default is unlimited (the paper's exhaustive
+    /// search); any finite axis makes the search *anytime* — see the
+    /// module documentation.
+    pub budget: SearchBudget,
 }
 
 impl Default for SearchOptions {
@@ -70,6 +103,7 @@ impl Default for SearchOptions {
             failure_memo: true,
             promise_ordering: true,
             move_limit: None,
+            budget: SearchBudget::default(),
         }
     }
 }
@@ -78,7 +112,8 @@ impl Default for SearchOptions {
 struct GoalFailure {
     /// `true` when the failure is a proven fact for this goal and limit
     /// (safe to memoize); `false` when it is an artifact of cycle
-    /// breaking ("in progress" marks) and must not poison the memo.
+    /// breaking ("in progress" marks) or of greedy completion under a
+    /// tripped budget, and must not poison the memo.
     memoizable: bool,
 }
 
@@ -106,6 +141,71 @@ impl<M: Model> Move<M> {
     }
 }
 
+/// RAII "in progress" mark: inserts the (group, goal) key on construction
+/// and removes it on drop, so *every* exit path — straight-line returns,
+/// `?` propagation, and budget-degraded early breaks — unwinds the mark.
+/// A leaked mark would permanently poison its key: all later requests for
+/// that goal would report a (non-memoizable) cycle failure.
+struct CycleGuard<M: Model> {
+    set: InProgressSet<M>,
+    key: (GroupId, Goal<M>),
+}
+
+impl<M: Model> CycleGuard<M> {
+    fn mark(set: &InProgressSet<M>, key: (GroupId, Goal<M>)) -> Self {
+        set.borrow_mut().insert(key.clone());
+        CycleGuard {
+            set: Rc::clone(set),
+            key,
+        }
+    }
+}
+
+impl<M: Model> Drop for CycleGuard<M> {
+    fn drop(&mut self) {
+        self.set.borrow_mut().remove(&self.key);
+    }
+}
+
+/// Match one (expression, transformation rule) task against a memo
+/// snapshot and collect its products. Read-only over the memo; both the
+/// serial and the parallel exploration run exactly this per task, so the
+/// two paths produce identical memos and statistics by construction.
+fn run_explore_task<M: Model>(
+    memo: &Memo<M>,
+    rule: &dyn TransformationRule<M>,
+    e: ExprId,
+    ri: usize,
+) -> ExploreProduct<M> {
+    let ctx = RuleCtx::new(memo);
+    let mut firings = Vec::new();
+    let mut subs = Vec::new();
+    for b in match_pattern(memo, rule.pattern(), e) {
+        if rule.condition(&b, &ctx) {
+            let s = rule.apply(&b, &ctx);
+            firings.push(s.len() as u64);
+            subs.extend(s);
+        }
+    }
+    ExploreProduct {
+        expr: e,
+        rule_idx: ri,
+        firings,
+        subs,
+    }
+}
+
+/// Render a caught panic payload (rule condition/apply code) for an error.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// A generated optimizer: the search engine instantiated for one model.
 pub struct Optimizer<'m, M: Model> {
     model: &'m M,
@@ -113,13 +213,22 @@ pub struct Optimizer<'m, M: Model> {
     opts: SearchOptions,
     stats: SearchStats,
     /// Goals currently being optimized, for cycle detection among
-    /// mutually inverse transformation derivations.
-    in_progress: HashSet<(GroupId, Goal<M>)>,
+    /// mutually inverse transformation derivations. Shared (`Rc`) with
+    /// the RAII guards that unwind the marks.
+    in_progress: InProgressSet<M>,
     /// Per-expression, per-transformation-rule memo version at the last
     /// pattern match (`NEVER` = not yet matched).
     watermarks: Vec<Vec<u64>>,
     /// Transformation pattern depths, cached from the model.
     rule_depths: Vec<usize>,
+    /// Absolute deadline, armed from the budget at each public entry
+    /// point (`find_best_plan`, `explore`, `explore_parallel`).
+    deadline: Option<Instant>,
+    /// First budget trip, if any. Sticky: once a budget trips, this
+    /// optimizer stays in greedy mode (its memo may hold greedy winners,
+    /// which are upper bounds, not optima). Use a fresh optimizer for a
+    /// fresh budget.
+    tripped: Option<TripReason>,
     tracer: Box<dyn Tracer>,
 }
 
@@ -136,9 +245,11 @@ impl<'m, M: Model> Optimizer<'m, M> {
             memo: Memo::new(),
             opts,
             stats: SearchStats::default(),
-            in_progress: HashSet::new(),
+            in_progress: Rc::new(RefCell::new(HashSet::new())),
             watermarks: Vec::new(),
             rule_depths,
+            deadline: None,
+            tripped: None,
             tracer: Box::new(NullTracer),
         }
     }
@@ -164,6 +275,58 @@ impl<'m, M: Model> Optimizer<'m, M> {
         &self.stats
     }
 
+    /// The first budget trip, if the budget has tripped.
+    pub fn tripped(&self) -> Option<TripReason> {
+        self.tripped
+    }
+
+    /// Arm the wall-clock deadline for a fresh top-level call.
+    fn arm_deadline(&mut self) {
+        self.deadline = self.opts.budget.deadline.map(|d| Instant::now() + d);
+    }
+
+    /// Poll the budget; on the first violation, record the trip (sticky)
+    /// and emit a [`TraceEvent::BudgetTripped`]. An unlimited budget
+    /// costs one branch.
+    fn check_budget(&mut self) {
+        if self.tripped.is_some() {
+            return;
+        }
+        let b = &self.opts.budget;
+        if b.is_unlimited() {
+            return;
+        }
+        let reason = if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            Some(TripReason::Deadline)
+        } else if b.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            Some(TripReason::Cancelled)
+        } else if b.max_exprs.is_some_and(|m| self.memo.num_exprs() > m) {
+            Some(TripReason::ExprLimit)
+        } else if b
+            .max_groups
+            .is_some_and(|m| self.memo.num_allocated_groups() > m)
+        {
+            Some(TripReason::GroupLimit)
+        } else if b.max_goals.is_some_and(|m| self.stats.goals_optimized > m) {
+            Some(TripReason::GoalLimit)
+        } else {
+            None
+        };
+        if let Some(r) = reason {
+            self.trip(r);
+        }
+    }
+
+    fn trip(&mut self, reason: TripReason) {
+        self.tripped = Some(reason);
+        self.stats.outcome = BudgetOutcome::Degraded(reason);
+        if self.tracer.enabled() {
+            self.tracer.event(TraceEvent::BudgetTripped {
+                reason: reason.as_str(),
+            });
+        }
+    }
+
     /// Run the transformation exploration fixpoint without any costing —
     /// the paper's "extreme case" where "a logical expression is
     /// transformed on the logical algebra level without optimizing its
@@ -171,62 +334,37 @@ impl<'m, M: Model> Optimizer<'m, M> {
     /// analysis" (§4.1): Starburst's query-rewrite level as a *choice*,
     /// not a mandatory layer.
     pub fn explore(&mut self) {
+        self.arm_deadline();
+        self.explore_fixpoint();
+    }
+
+    /// The serial exploration fixpoint. Each pass snapshots the pending
+    /// (expression, rule) tasks, matches them all against the frozen
+    /// memo, then installs the products — the same pass structure the
+    /// parallel path uses, so both produce identical memos and stats.
+    fn explore_fixpoint(&mut self) {
         let model = self.model;
         let rules = model.transformations();
-        let traced = self.tracer.enabled();
         loop {
-            self.stats.explore_passes += 1;
-            let mut changed = false;
-            let mut i = 0;
-            while i < self.memo.num_exprs() {
-                let e = ExprId::from_index(i);
-                i += 1;
-                if !self.memo.is_live(e) {
-                    continue;
-                }
-                for (ri, rule) in rules.iter().enumerate() {
-                    self.ensure_watermarks(e);
-                    let wm = self.watermarks[e.index()][ri];
-                    // Depth-1 patterns see only this expression's own
-                    // operator: matching them once is exhaustive. Deeper
-                    // patterns must be re-matched when the memo grows,
-                    // because input classes may have gained members.
-                    let needs_match =
-                        wm == NEVER || (self.rule_depths[ri] > 1 && self.memo.version() > wm);
-                    if !needs_match {
-                        continue;
-                    }
-                    let version_before = self.memo.version();
-                    self.stats.transform_matches += 1;
-                    let bindings = match_pattern(&self.memo, rule.pattern(), e);
-                    let mut products = Vec::new();
-                    {
-                        let ctx = RuleCtx::new(&self.memo);
-                        for b in &bindings {
-                            if rule.condition(b, &ctx) {
-                                self.stats.transform_fired += 1;
-                                let subs = rule.apply(b, &ctx);
-                                if traced {
-                                    self.tracer.event(TraceEvent::RuleFired {
-                                        rule: rule.name(),
-                                        expr: e,
-                                        substitutes: subs.len() as u64,
-                                    });
-                                }
-                                products.extend(subs);
-                            }
-                        }
-                    }
-                    self.watermarks[e.index()][ri] = version_before;
-                    if !products.is_empty() {
-                        let target = self.memo.group_of(e);
-                        for p in &products {
-                            self.stats.substitutes_produced += 1;
-                            changed |= self.memo.insert_subst(model, p, target);
-                        }
-                    }
-                }
+            self.check_budget();
+            if self.tripped.is_some() {
+                break;
             }
+            self.stats.explore_passes += 1;
+            let tasks = self.collect_explore_tasks();
+            if tasks.is_empty() {
+                break;
+            }
+            let version_before = self.memo.version();
+            let mut products = Vec::with_capacity(tasks.len());
+            for &(e, ri) in &tasks {
+                self.check_budget();
+                if self.tripped.is_some() {
+                    break;
+                }
+                products.push(run_explore_task(&self.memo, rules[ri].as_ref(), e, ri));
+            }
+            let changed = self.install_products(version_before, products);
             if !changed {
                 break;
             }
@@ -240,11 +378,17 @@ impl<'m, M: Model> Optimizer<'m, M> {
     /// Each fixpoint pass fans the pattern matching, condition code, and
     /// substitute construction — all read-only over the memo — across
     /// `threads` scoped threads; the produced substitutes are installed
-    /// serially (the memo's hash table and union–find stay
-    /// single-writer). Equivalent to [`Optimizer::explore`] in outcome;
-    /// call it explicitly before [`Optimizer::find_best_plan`] to
-    /// front-load the exploration in parallel.
-    pub fn explore_parallel(&mut self, threads: usize)
+    /// serially in task order (the memo's hash table and union–find stay
+    /// single-writer). Identical to [`Optimizer::explore`] in resulting
+    /// memo *and statistics*; call it explicitly before
+    /// [`Optimizer::find_best_plan`] to front-load the exploration in
+    /// parallel.
+    ///
+    /// A panic in a rule's condition/apply code is caught per task and
+    /// surfaced as [`OptimizeError::RulePanicked`] instead of aborting
+    /// the process; the pass that panicked installs nothing, so the memo
+    /// retains only fully-installed passes.
+    pub fn explore_parallel(&mut self, threads: usize) -> Result<(), OptimizeError>
     where
         M: Sync,
         M::Op: Send + Sync,
@@ -253,95 +397,158 @@ impl<'m, M: Model> Optimizer<'m, M> {
         M::PhysProps: Send + Sync,
         M::Cost: Sync,
     {
+        self.arm_deadline();
         let threads = threads.max(1);
         let model = self.model;
         let rules = model.transformations();
         loop {
-            self.stats.explore_passes += 1;
-
-            // Collect the (expression, rule) pairs that need matching in
-            // this pass.
-            let mut tasks: Vec<(ExprId, usize)> = Vec::new();
-            for i in 0..self.memo.num_exprs() {
-                let e = ExprId::from_index(i);
-                if !self.memo.is_live(e) {
-                    continue;
-                }
-                self.ensure_watermarks(e);
-                for ri in 0..rules.len() {
-                    let wm = self.watermarks[e.index()][ri];
-                    let needs =
-                        wm == NEVER || (self.rule_depths[ri] > 1 && self.memo.version() > wm);
-                    if needs {
-                        tasks.push((e, ri));
-                    }
-                }
+            self.check_budget();
+            if self.tripped.is_some() {
+                break;
             }
+            self.stats.explore_passes += 1;
+            let tasks = self.collect_explore_tasks();
             if tasks.is_empty() {
                 break;
             }
             let version_before = self.memo.version();
+            let deadline = self.deadline;
+            let cancel: Option<CancelToken> = self.opts.budget.cancel.clone();
 
-            // Fan the read-only work out over scoped threads.
+            // Fan the read-only work out over scoped threads. Workers
+            // poll the deadline and cancellation token between tasks so a
+            // budgeted exploration stops promptly; completed products are
+            // still returned and installed.
             let memo = &self.memo;
-            let chunk = tasks.len().div_ceil(threads);
-            let mut products: Vec<ExploreProduct<M>> = std::thread::scope(|scope| {
+            let chunk = tasks.len().div_ceil(threads).max(1);
+            let mut products: Vec<ExploreProduct<M>> = Vec::with_capacity(tasks.len());
+            let mut worker_error: Option<OptimizeError> = None;
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = tasks
-                    .chunks(chunk.max(1))
+                    .chunks(chunk)
                     .map(|chunk_tasks| {
-                        scope.spawn(move || {
-                            let ctx = RuleCtx::new(memo);
+                        let cancel = cancel.clone();
+                        scope.spawn(move || -> Result<Vec<ExploreProduct<M>>, OptimizeError> {
                             let mut out = Vec::with_capacity(chunk_tasks.len());
                             for &(e, ri) in chunk_tasks {
-                                let rule = &rules[ri];
-                                let mut fired = 0u64;
-                                let mut subs = Vec::new();
-                                for b in match_pattern(memo, rule.pattern(), e) {
-                                    if rule.condition(&b, &ctx) {
-                                        fired += 1;
-                                        subs.extend(rule.apply(&b, &ctx));
+                                if deadline.is_some_and(|d| Instant::now() >= d)
+                                    || cancel.as_ref().is_some_and(|c| c.is_cancelled())
+                                {
+                                    break;
+                                }
+                                let rule = rules[ri].as_ref();
+                                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    run_explore_task(memo, rule, e, ri)
+                                })) {
+                                    Ok(p) => out.push(p),
+                                    Err(payload) => {
+                                        return Err(OptimizeError::RulePanicked {
+                                            rule: rule.name().to_string(),
+                                            message: panic_message(payload.as_ref()),
+                                        })
                                     }
                                 }
-                                let produced = subs.len() as u64;
-                                out.push((e, ri, subs, fired, produced));
                             }
-                            out
+                            Ok(out)
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("exploration worker panicked"))
-                    .collect()
-            });
-
-            // Serial install phase.
-            let mut changed = false;
-            for (e, ri, subs, fired, produced) in products.drain(..) {
-                self.stats.transform_matches += 1;
-                self.stats.transform_fired += fired;
-                self.stats.substitutes_produced += produced;
-                if fired > 0 && self.tracer.enabled() {
-                    // One event per (expression, rule) batch: the parallel
-                    // workers don't stream per-binding events.
-                    self.tracer.event(TraceEvent::RuleFired {
-                        rule: rules[ri].name(),
-                        expr: e,
-                        substitutes: produced,
-                    });
-                }
-                self.watermarks[e.index()][ri] = version_before;
-                if !subs.is_empty() && self.memo.is_live(e) {
-                    let target = self.memo.group_of(e);
-                    for p in &subs {
-                        changed |= self.memo.insert_subst(model, p, target);
+                for h in handles {
+                    match h.join() {
+                        Ok(Ok(chunk_products)) => products.extend(chunk_products),
+                        Ok(Err(e)) => {
+                            worker_error.get_or_insert(e);
+                        }
+                        Err(payload) => {
+                            worker_error.get_or_insert(OptimizeError::RulePanicked {
+                                rule: "<worker>".to_string(),
+                                message: panic_message(payload.as_ref()),
+                            });
+                        }
                     }
                 }
+            });
+            if let Some(e) = worker_error {
+                return Err(e);
             }
+            let changed = self.install_products(version_before, products);
             if !changed {
                 break;
             }
         }
+        Ok(())
+    }
+
+    /// Collect the (expression, rule) pairs whose watermarks require a
+    /// (re-)match in this pass. Depth-1 patterns see only the
+    /// expression's own operator, so matching them once is exhaustive;
+    /// deeper patterns must re-match whenever the memo has grown, because
+    /// input classes may have gained members.
+    fn collect_explore_tasks(&mut self) -> Vec<(ExprId, usize)> {
+        let nrules = self.rule_depths.len();
+        let version = self.memo.version();
+        let mut tasks = Vec::new();
+        for i in 0..self.memo.num_exprs() {
+            let e = ExprId::from_index(i);
+            if !self.memo.is_live(e) {
+                continue;
+            }
+            self.ensure_watermarks(e);
+            for ri in 0..nrules {
+                let wm = self.watermarks[e.index()][ri];
+                if wm == NEVER || (self.rule_depths[ri] > 1 && version > wm) {
+                    tasks.push((e, ri));
+                }
+            }
+        }
+        tasks
+    }
+
+    /// Serial install phase shared by both exploration paths: count,
+    /// trace, stamp watermarks, and insert substitutes, in task order.
+    /// Expressions retired by a group merge earlier in the same install
+    /// phase are skipped entirely — no counts, no events, no watermark —
+    /// because their live twin (same operator, same canonical inputs)
+    /// yields the same substitutes.
+    fn install_products(&mut self, version_before: u64, products: Vec<ExploreProduct<M>>) -> bool {
+        let model = self.model;
+        let rules = model.transformations();
+        let traced = self.tracer.enabled();
+        let mut changed = false;
+        for p in products {
+            self.check_budget();
+            if self.tripped.is_some() {
+                // Stop growing the memo; unstamped tasks simply never ran.
+                break;
+            }
+            if !self.memo.is_live(p.expr) {
+                continue;
+            }
+            self.stats.transform_matches += 1;
+            self.stats.transform_fired += p.firings.len() as u64;
+            if traced {
+                for &n in &p.firings {
+                    self.tracer.event(TraceEvent::RuleFired {
+                        rule: rules[p.rule_idx].name(),
+                        expr: p.expr,
+                        substitutes: n,
+                    });
+                }
+            }
+            self.ensure_watermarks(p.expr);
+            // Pass-start version: conservative for a snapshot match — the
+            // pass may install expressions this task never saw, so a
+            // deeper pattern must be allowed to re-match against them.
+            self.watermarks[p.expr.index()][p.rule_idx] = version_before;
+            if !p.subs.is_empty() {
+                let target = self.memo.group_of(p.expr);
+                for s in &p.subs {
+                    self.stats.substitutes_produced += 1;
+                    changed |= self.memo.insert_subst(model, s, target);
+                }
+            }
+        }
+        changed
     }
 
     fn ensure_watermarks(&mut self, e: ExprId) {
@@ -354,7 +561,9 @@ impl<'m, M: Model> Optimizer<'m, M> {
     /// Optimize `root` for the required physical properties under an
     /// optional cost limit ("typically infinity for a user query, but the
     /// user interface may permit users to set their own limits to 'catch'
-    /// unreasonable queries", §3) and return the optimal plan.
+    /// unreasonable queries", §3) and return the optimal plan — or, when
+    /// the [`SearchBudget`] trips mid-search, the best plan greedy
+    /// completion produced (a valid upper bound; see the module docs).
     pub fn find_best_plan(
         &mut self,
         root: GroupId,
@@ -362,7 +571,8 @@ impl<'m, M: Model> Optimizer<'m, M> {
         limit: Option<M::Cost>,
     ) -> Result<Plan<M>, OptimizeError> {
         let start = Instant::now();
-        self.explore();
+        self.arm_deadline();
+        self.explore_fixpoint();
         let goal = Goal {
             required,
             excluded: M::PhysProps::any(),
@@ -375,6 +585,10 @@ impl<'m, M: Model> Optimizer<'m, M> {
         self.stats.group_merges = self.memo.merge_count();
         self.stats.dead_exprs = self.memo.dead_expr_count();
         self.stats.memo_bytes = self.memo.memory_estimate();
+        self.stats.outcome = match self.tripped {
+            None => BudgetOutcome::Exhaustive,
+            Some(r) => BudgetOutcome::Degraded(r),
+        };
         match res {
             Ok(_) => Ok(self
                 .extract_plan(root, &goal)
@@ -459,13 +673,15 @@ impl<'m, M: Model> Optimizer<'m, M> {
         }
 
         // "the current expression and physical property vector is marked
-        // as 'in progress'" — cycle breaking for inverse rules.
+        // as 'in progress'" — cycle breaking for inverse rules. The RAII
+        // guard removes the mark on every exit path.
         let key = (group, goal.clone());
-        if self.in_progress.contains(&key) {
+        if self.in_progress.borrow().contains(&key) {
             return Err(GoalFailure { memoizable: false });
         }
-        self.in_progress.insert(key.clone());
+        let _cycle_mark = CycleGuard::mark(&self.in_progress, key);
         self.stats.goals_optimized += 1;
+        self.check_budget();
         let traced = self.tracer.enabled();
         let goal_start = traced.then(Instant::now);
         if traced {
@@ -496,6 +712,13 @@ impl<'m, M: Model> Optimizer<'m, M> {
         let mut nonmemoizable_failure = false;
 
         for mv in moves {
+            self.check_budget();
+            if self.tripped.is_some() && best.is_some() {
+                // Greedy completion: the budget is exhausted and a
+                // feasible plan is in hand — take the first success in
+                // promise order instead of enumerating the rest.
+                break;
+            }
             match mv {
                 Move::Alg {
                     rule_idx,
@@ -517,8 +740,6 @@ impl<'m, M: Model> Optimizer<'m, M> {
             }
         }
 
-        self.in_progress.remove(&key);
-
         let outcome = match best {
             Some(plan) => {
                 let cost = plan.total_cost.clone();
@@ -529,6 +750,9 @@ impl<'m, M: Model> Optimizer<'m, M> {
                     goal.required
                 );
                 self.stats.winners_recorded += 1;
+                if self.tripped.is_some() {
+                    self.stats.greedy_goals += 1;
+                }
                 self.memo
                     .set_winner(group, goal.clone(), Winner::Optimal(plan));
                 if limit.admits(&cost) {
@@ -538,7 +762,12 @@ impl<'m, M: Model> Optimizer<'m, M> {
                 }
             }
             None => {
-                if !nonmemoizable_failure && self.opts.failure_memo {
+                // A failure observed while the budget is tripped may be
+                // an artifact of greedy completion (an input's greedy
+                // plan overshooting a limit an optimal plan would meet),
+                // not a proven fact — never memoize it.
+                let memoizable = !nonmemoizable_failure && self.tripped.is_none();
+                if memoizable && self.opts.failure_memo {
                     self.stats.failures_recorded += 1;
                     self.memo.set_winner(
                         group,
@@ -548,9 +777,7 @@ impl<'m, M: Model> Optimizer<'m, M> {
                         },
                     );
                 }
-                Err(GoalFailure {
-                    memoizable: !nonmemoizable_failure,
-                })
+                Err(GoalFailure { memoizable })
             }
         };
 

@@ -8,6 +8,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::budget::BudgetOutcome;
+
 /// Counters accumulated over one `find_best_plan` invocation (they keep
 /// accumulating if the same optimizer instance is reused, mirroring the
 /// paper's note that partial results currently live for a single query).
@@ -49,6 +51,12 @@ pub struct SearchStats {
     pub winners_recorded: u64,
     /// Failure entries recorded.
     pub failures_recorded: u64,
+    /// Goals completed greedily (first feasible move) after the budget
+    /// tripped. Zero for an exhaustive search.
+    pub greedy_goals: u64,
+    /// Whether the search ran to exhaustion or degraded under its
+    /// [`crate::SearchBudget`].
+    pub outcome: BudgetOutcome,
     /// Wall-clock time spent inside `find_best_plan`.
     pub elapsed: Duration,
     /// Memo memory footprint estimate after the search, in bytes.
@@ -82,8 +90,38 @@ impl SearchStats {
         self.moves_excluded += other.moves_excluded;
         self.winners_recorded += other.winners_recorded;
         self.failures_recorded += other.failures_recorded;
+        self.greedy_goals += other.greedy_goals;
+        if other.outcome.is_degraded() && !self.outcome.is_degraded() {
+            self.outcome = other.outcome;
+        }
         self.elapsed += other.elapsed;
         self.memo_bytes += other.memo_bytes;
+    }
+
+    /// Counter-for-counter equality, ignoring wall-clock time (`elapsed`
+    /// is the only nondeterministic field). Used by the differential
+    /// (serial vs parallel exploration) and determinism tests.
+    pub fn counters_eq(&self, other: &SearchStats) -> bool {
+        self.groups_created == other.groups_created
+            && self.exprs_created == other.exprs_created
+            && self.group_merges == other.group_merges
+            && self.dead_exprs == other.dead_exprs
+            && self.transform_matches == other.transform_matches
+            && self.transform_fired == other.transform_fired
+            && self.substitutes_produced == other.substitutes_produced
+            && self.explore_passes == other.explore_passes
+            && self.goals_optimized == other.goals_optimized
+            && self.winner_hits == other.winner_hits
+            && self.failure_hits == other.failure_hits
+            && self.alg_moves == other.alg_moves
+            && self.enforcer_moves == other.enforcer_moves
+            && self.moves_pruned == other.moves_pruned
+            && self.moves_excluded == other.moves_excluded
+            && self.winners_recorded == other.winners_recorded
+            && self.failures_recorded == other.failures_recorded
+            && self.greedy_goals == other.greedy_goals
+            && self.outcome == other.outcome
+            && self.memo_bytes == other.memo_bytes
     }
 
     /// Render the counters as a JSON object (hand-rolled: every field is
@@ -100,7 +138,8 @@ impl SearchStats {
                 "\"failure_hits\":{},\"alg_moves\":{},",
                 "\"enforcer_moves\":{},\"moves_pruned\":{},",
                 "\"moves_excluded\":{},\"winners_recorded\":{},",
-                "\"failures_recorded\":{},\"elapsed_us\":{},",
+                "\"failures_recorded\":{},\"greedy_goals\":{},",
+                "\"outcome\":\"{}\",\"elapsed_us\":{},",
                 "\"memo_bytes\":{}}}"
             ),
             self.groups_created,
@@ -120,6 +159,8 @@ impl SearchStats {
             self.moves_excluded,
             self.winners_recorded,
             self.failures_recorded,
+            self.greedy_goals,
+            self.outcome.as_token(),
             self.elapsed.as_micros(),
             self.memo_bytes
         )
@@ -157,8 +198,12 @@ impl fmt::Display for SearchStats {
         )?;
         write!(
             f,
-            "results: {} winners, {} failures, elapsed {:?}",
-            self.winners_recorded, self.failures_recorded, self.elapsed
+            "results: {} winners ({} greedy), {} failures, {}, elapsed {:?}",
+            self.winners_recorded,
+            self.greedy_goals,
+            self.failures_recorded,
+            self.outcome,
+            self.elapsed
         )
     }
 }

@@ -499,6 +499,13 @@ impl ToyModel {
         }
     }
 
+    /// Append a custom transformation rule. Test support: inject
+    /// adversarial rules (e.g. panicking condition/apply code) without
+    /// defining a whole model.
+    pub fn push_transformation(&mut self, rule: Box<dyn TransformationRule<ToyModel>>) {
+        self.transforms.push(rule);
+    }
+
     /// Cardinality of a named table.
     pub fn table_card(&self, name: &str) -> f64 {
         *self

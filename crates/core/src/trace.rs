@@ -95,6 +95,13 @@ pub enum TraceEvent {
         /// Whether the hit produced a plan or a proven failure.
         kind: MemoHitKind,
     },
+    /// The search budget tripped; from here on the engine completes
+    /// in-flight goals greedily (first feasible move, promise order).
+    BudgetTripped {
+        /// Which budget axis tripped (`deadline`, `expr-limit`,
+        /// `group-limit`, `goal-limit`, or `cancelled`).
+        reason: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -102,7 +109,7 @@ impl TraceEvent {
     /// expression, not group).
     pub fn group(&self) -> Option<GroupId> {
         match self {
-            TraceEvent::RuleFired { .. } => None,
+            TraceEvent::RuleFired { .. } | TraceEvent::BudgetTripped { .. } => None,
             TraceEvent::GoalBegin { group, .. }
             | TraceEvent::GoalEnd { group, .. }
             | TraceEvent::MoveCosted { group, .. }
@@ -557,6 +564,9 @@ impl Tracer for MetricsTracer {
                 inner.totals.memo_hits += 1;
                 inner.per_group.entry(*group).or_default().memo_hits += 1;
             }
+            // Budget trips are not per-group counters; SearchStats carries
+            // the outcome.
+            TraceEvent::BudgetTripped { .. } => {}
         }
     }
 }

@@ -1,0 +1,309 @@
+//! The anytime layer: budgets trip, the search degrades to greedy
+//! completion, and `find_best_plan` still returns a valid plan whose cost
+//! is an upper bound on the unbudgeted optimum.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use volcano_core::toy::{ToyModel, ToyOp, ToyProps};
+use volcano_core::trace::TraceEvent;
+use volcano_core::{
+    BudgetOutcome, CancelToken, ExprTree, Optimizer, PhysicalProps, Plan, SearchBudget,
+    SearchOptions, TripReason,
+};
+
+type Tree = ExprTree<ToyModel>;
+
+fn chain(n: usize) -> (ToyModel, Tree) {
+    let tables: Vec<(String, u64)> = (0..n)
+        .map(|i| (format!("t{i}"), 100 + 137 * i as u64))
+        .collect();
+    let refs: Vec<(&str, u64)> = tables.iter().map(|(s, c)| (s.as_str(), *c)).collect();
+    let model = ToyModel::with_tables(&refs);
+    let mut e = Tree::leaf(ToyOp::Get("t0".into()));
+    for i in 1..n {
+        e = Tree::new(
+            ToyOp::Join,
+            vec![e, Tree::leaf(ToyOp::Get(format!("t{i}")))],
+        );
+    }
+    (model, e)
+}
+
+fn budgeted(budget: SearchBudget) -> SearchOptions {
+    SearchOptions {
+        budget,
+        ..SearchOptions::default()
+    }
+}
+
+/// Reported plan cost must equal the bottom-up sum of local costs at
+/// every node — greedy or not.
+fn assert_costs_consistent(p: &Plan<ToyModel>) {
+    fn recompute(p: &Plan<ToyModel>) -> f64 {
+        p.local_cost + p.inputs.iter().map(recompute).sum::<f64>()
+    }
+    let r = recompute(p);
+    assert!(
+        (p.cost - r).abs() <= 1e-9 * p.cost.abs().max(1.0),
+        "node {:?}: reported {} != recomputed {}",
+        p.alg,
+        p.cost,
+        r
+    );
+    for i in &p.inputs {
+        assert_costs_consistent(i);
+    }
+}
+
+fn unbudgeted_optimum(n: usize) -> f64 {
+    let (model, query) = chain(n);
+    let mut opt = Optimizer::new(&model, SearchOptions::default());
+    let root = opt.insert_tree(&query);
+    opt.find_best_plan(root, ToyProps::any(), None)
+        .unwrap()
+        .cost
+}
+
+#[test]
+fn unlimited_budget_is_exhaustive() {
+    let (model, query) = chain(5);
+    let mut opt = Optimizer::new(&model, SearchOptions::default());
+    let root = opt.insert_tree(&query);
+    let _ = opt.find_best_plan(root, ToyProps::any(), None).unwrap();
+    assert_eq!(opt.stats().outcome, BudgetOutcome::Exhaustive);
+    assert_eq!(opt.stats().greedy_goals, 0);
+    assert_eq!(opt.tripped(), None);
+}
+
+#[test]
+fn goal_cap_degrades_but_still_plans() {
+    let optimum = unbudgeted_optimum(7);
+    let (model, query) = chain(7);
+    let mut opt = Optimizer::new(&model, budgeted(SearchBudget::default().with_max_goals(3)));
+    let root = opt.insert_tree(&query);
+    let plan = opt.find_best_plan(root, ToyProps::any(), None).unwrap();
+    assert_eq!(
+        opt.stats().outcome,
+        BudgetOutcome::Degraded(TripReason::GoalLimit)
+    );
+    assert!(opt.stats().greedy_goals > 0);
+    assert_costs_consistent(&plan);
+    assert!(
+        plan.cost + 1e-9 >= optimum,
+        "greedy plan {} cheaper than the optimum {optimum}",
+        plan.cost
+    );
+}
+
+#[test]
+fn expr_cap_degrades_but_still_plans() {
+    let (model, query) = chain(6);
+    let mut opt = Optimizer::new(&model, budgeted(SearchBudget::default().with_max_exprs(15)));
+    let root = opt.insert_tree(&query);
+    let plan = opt.find_best_plan(root, ToyProps::any(), None).unwrap();
+    assert_eq!(
+        opt.stats().outcome,
+        BudgetOutcome::Degraded(TripReason::ExprLimit)
+    );
+    assert_costs_consistent(&plan);
+}
+
+#[test]
+fn group_cap_degrades_but_still_plans() {
+    let (model, query) = chain(6);
+    let mut opt = Optimizer::new(&model, budgeted(SearchBudget::default().with_max_groups(8)));
+    let root = opt.insert_tree(&query);
+    let plan = opt.find_best_plan(root, ToyProps::any(), None).unwrap();
+    assert_eq!(
+        opt.stats().outcome,
+        BudgetOutcome::Degraded(TripReason::GroupLimit)
+    );
+    assert_costs_consistent(&plan);
+}
+
+#[test]
+fn zero_deadline_trips_immediately_and_returns_fast() {
+    let (model, query) = chain(8);
+    let mut opt = Optimizer::new(
+        &model,
+        budgeted(SearchBudget::default().with_deadline(Duration::ZERO)),
+    );
+    let root = opt.insert_tree(&query);
+    let start = Instant::now();
+    let plan = opt.find_best_plan(root, ToyProps::any(), None).unwrap();
+    let took = start.elapsed();
+    assert_eq!(
+        opt.stats().outcome,
+        BudgetOutcome::Degraded(TripReason::Deadline)
+    );
+    assert_costs_consistent(&plan);
+    // The acceptance bar: a tripped deadline is honored within 50 ms —
+    // greedy completion must not enumerate.
+    assert!(
+        took < Duration::from_millis(50),
+        "greedy completion took {took:?}"
+    );
+}
+
+#[test]
+fn short_deadline_on_long_chain_is_honored_within_50ms() {
+    let deadline = Duration::from_millis(5);
+    let (model, query) = chain(9);
+    let mut opt = Optimizer::new(
+        &model,
+        budgeted(SearchBudget::default().with_deadline(deadline)),
+    );
+    let root = opt.insert_tree(&query);
+    let start = Instant::now();
+    let plan = opt.find_best_plan(root, ToyProps::any(), None).unwrap();
+    let took = start.elapsed();
+    assert_costs_consistent(&plan);
+    if opt.stats().outcome.is_degraded() {
+        assert!(
+            took < deadline + Duration::from_millis(50),
+            "deadline {deadline:?} overshot: {took:?}"
+        );
+    }
+}
+
+#[test]
+fn cancellation_degrades_search() {
+    let token = CancelToken::new();
+    token.cancel();
+    let (model, query) = chain(6);
+    let mut opt = Optimizer::new(
+        &model,
+        budgeted(SearchBudget::default().with_cancel(token.clone())),
+    );
+    let root = opt.insert_tree(&query);
+    let plan = opt.find_best_plan(root, ToyProps::any(), None).unwrap();
+    assert_eq!(
+        opt.stats().outcome,
+        BudgetOutcome::Degraded(TripReason::Cancelled)
+    );
+    assert_costs_consistent(&plan);
+}
+
+#[test]
+fn budget_trip_emits_trace_event() {
+    let tracer = std::rc::Rc::new(volcano_core::CollectingTracer::new());
+    let (model, query) = chain(6);
+    let mut opt = Optimizer::new(&model, budgeted(SearchBudget::default().with_max_goals(2)));
+    opt.set_tracer(Box::new(tracer.clone()));
+    let root = opt.insert_tree(&query);
+    let _ = opt.find_best_plan(root, ToyProps::any(), None).unwrap();
+    let events = tracer.take();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::BudgetTripped { reason } if *reason == "goal-limit")),
+        "no BudgetTripped event in {} events",
+        events.len()
+    );
+}
+
+/// Degraded searches must satisfy required physical properties exactly
+/// like exhaustive ones: the greedy pass picks the first *feasible* move,
+/// never an infeasible shortcut.
+#[test]
+fn degraded_plan_still_satisfies_sorted_goal() {
+    let (model, query) = chain(6);
+    let mut opt = Optimizer::new(&model, budgeted(SearchBudget::default().with_max_goals(2)));
+    let root = opt.insert_tree(&query);
+    let plan = opt.find_best_plan(root, ToyProps::sorted(), None).unwrap();
+    assert!(plan.delivered.satisfies(&ToyProps::sorted()));
+    assert!(opt.stats().outcome.is_degraded());
+}
+
+/// Budget aborts must not leak "in progress" cycle marks: the same
+/// optimizer answers a *different* goal afterwards (a leaked mark would
+/// surface as a spurious cycle failure).
+#[test]
+fn no_cycle_mark_leak_after_degraded_search() {
+    let (model, query) = chain(6);
+    let mut opt = Optimizer::new(&model, budgeted(SearchBudget::default().with_max_goals(2)));
+    let root = opt.insert_tree(&query);
+    let _ = opt.find_best_plan(root, ToyProps::any(), None).unwrap();
+    let sorted = opt.find_best_plan(root, ToyProps::sorted(), None).unwrap();
+    assert!(sorted.delivered.satisfies(&ToyProps::sorted()));
+}
+
+fn join_tree(n: usize) -> impl Strategy<Value = Tree> {
+    (proptest::collection::vec(any::<u8>(), n - 1), Just(n)).prop_map(|(splits, n)| {
+        fn build(leaves: &[usize], splits: &mut impl Iterator<Item = u8>) -> Tree {
+            if leaves.len() == 1 {
+                return Tree::leaf(ToyOp::Get(format!("t{}", leaves[0])));
+            }
+            let s = (splits.next().unwrap_or(0) as usize % (leaves.len() - 1)) + 1;
+            let (l, r) = leaves.split_at(s);
+            Tree::new(ToyOp::Join, vec![build(l, splits), build(r, splits)])
+        }
+        let leaves: Vec<usize> = (0..n).collect();
+        build(&leaves, &mut splits.into_iter())
+    })
+}
+
+fn model(n: usize) -> ToyModel {
+    let tables: Vec<(String, u64)> = (0..n)
+        .map(|i| (format!("t{i}"), 100 + 137 * i as u64))
+        .collect();
+    let refs: Vec<(&str, u64)> = tables.iter().map(|(s, c)| (s.as_str(), *c)).collect();
+    ToyModel::with_tables(&refs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The anytime property, for any tree shape and any trip point: the
+    /// budgeted plan is structurally valid (costs recompute bottom-up),
+    /// satisfies its goal, and never beats the unbudgeted optimum.
+    #[test]
+    fn anytime_property(t in join_tree(5), cap in 1u64..40, sorted in any::<bool>()) {
+        let goal = if sorted { ToyProps::sorted() } else { ToyProps::any() };
+        let m = model(5);
+
+        let mut base = Optimizer::new(&m, SearchOptions::default());
+        let broot = base.insert_tree(&t);
+        let optimum = base.find_best_plan(broot, goal, None).unwrap().cost;
+
+        let mut opt = Optimizer::new(&m, budgeted(SearchBudget::default().with_max_goals(cap)));
+        let root = opt.insert_tree(&t);
+        let plan = opt.find_best_plan(root, goal, None).unwrap();
+
+        assert_costs_consistent(&plan);
+        prop_assert!(plan.delivered.satisfies(&goal));
+        prop_assert!(
+            plan.cost + 1e-9 >= optimum,
+            "budgeted plan {} cheaper than optimum {}", plan.cost, optimum
+        );
+        match opt.stats().outcome {
+            BudgetOutcome::Exhaustive => {
+                prop_assert!((plan.cost - optimum).abs() < 1e-9);
+                prop_assert_eq!(opt.stats().greedy_goals, 0);
+            }
+            BudgetOutcome::Degraded(r) => prop_assert_eq!(r, TripReason::GoalLimit),
+        }
+    }
+
+    /// Budgeted search is deterministic: the same query under the same
+    /// goal cap yields the identical plan and identical counters.
+    #[test]
+    fn budgeted_search_is_deterministic(t in join_tree(5), cap in 1u64..30) {
+        let m = model(5);
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut opt =
+                Optimizer::new(&m, budgeted(SearchBudget::default().with_max_goals(cap)));
+            let root = opt.insert_tree(&t);
+            let plan = opt.find_best_plan(root, ToyProps::any(), None).unwrap();
+            runs.push((plan.compact(), plan.cost, opt.stats().clone()));
+        }
+        prop_assert_eq!(&runs[0].0, &runs[1].0, "plans diverged across identical runs");
+        prop_assert_eq!(runs[0].1, runs[1].1);
+        prop_assert!(
+            runs[0].2.counters_eq(&runs[1].2),
+            "stats diverged across identical runs:\n{:?}\n{:?}", runs[0].2, runs[1].2
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Differential tests: serial and parallel exploration must be
+//! indistinguishable — identical memos and identical statistics on the
+//! same input — and a panicking rule inside a parallel worker must
+//! surface as an [`OptimizeError::RulePanicked`], not abort the process.
+
+use volcano_core::toy::{ToyModel, ToyOp, ToyProps};
+use volcano_core::{
+    Binding, ExprTree, OptimizeError, Optimizer, Pattern, PhysicalProps, RuleCtx, SearchOptions,
+    SubstExpr, TransformationRule,
+};
+
+type Tree = ExprTree<ToyModel>;
+
+fn chain(n: usize) -> (ToyModel, Tree) {
+    let tables: Vec<(String, u64)> = (0..n)
+        .map(|i| (format!("t{i}"), 100 + 211 * i as u64))
+        .collect();
+    let refs: Vec<(&str, u64)> = tables.iter().map(|(s, c)| (s.as_str(), *c)).collect();
+    let model = ToyModel::with_tables(&refs);
+    let mut e = Tree::leaf(ToyOp::Get("t0".into()));
+    for i in 1..n {
+        e = Tree::new(
+            ToyOp::Join,
+            vec![e, Tree::leaf(ToyOp::Get(format!("t{i}")))],
+        );
+    }
+    (model, e)
+}
+
+/// Serial and parallel exploration run the same snapshot-pass algorithm,
+/// so the resulting memos and *every* statistic (not just live contents)
+/// must agree, for any thread count and either goal.
+#[test]
+fn parallel_exploration_stats_match_serial_exactly() {
+    for n in [3usize, 4, 5, 6] {
+        for sorted in [false, true] {
+            let goal = if sorted {
+                ToyProps::sorted()
+            } else {
+                ToyProps::any()
+            };
+            let (model, query) = chain(n);
+
+            let mut seq = Optimizer::new(&model, SearchOptions::default());
+            let sroot = seq.insert_tree(&query);
+            seq.explore();
+            let splan = seq.find_best_plan(sroot, goal, None).unwrap();
+
+            for threads in [1usize, 2, 4, 8] {
+                let (model, query) = chain(n);
+                let mut par = Optimizer::new(&model, SearchOptions::default());
+                let proot = par.insert_tree(&query);
+                par.explore_parallel(threads).unwrap();
+                let pplan = par.find_best_plan(proot, goal, None).unwrap();
+
+                assert_eq!(
+                    splan.compact(),
+                    pplan.compact(),
+                    "n={n} threads={threads} sorted={sorted}: plans diverged"
+                );
+                assert!(
+                    (splan.cost - pplan.cost).abs() < 1e-12,
+                    "n={n} threads={threads} sorted={sorted}: costs diverged"
+                );
+                assert_eq!(seq.memo().num_exprs(), par.memo().num_exprs());
+                assert_eq!(seq.memo().num_groups(), par.memo().num_groups());
+                assert_eq!(seq.memo().dead_expr_count(), par.memo().dead_expr_count());
+                assert!(
+                    seq.stats().counters_eq(par.stats()),
+                    "n={n} threads={threads} sorted={sorted}: stats diverged\n\
+                     serial:   {:?}\nparallel: {:?}",
+                    seq.stats(),
+                    par.stats()
+                );
+            }
+        }
+    }
+}
+
+/// A transformation rule whose condition or apply code panics, injected
+/// into the toy model to exercise worker panic handling.
+struct PanicOnJoin {
+    pattern: Pattern<ToyModel>,
+    in_condition: bool,
+}
+
+impl PanicOnJoin {
+    fn new(in_condition: bool) -> Self {
+        PanicOnJoin {
+            pattern: Pattern::op(
+                "join",
+                |op: &ToyOp| matches!(op, ToyOp::Join),
+                vec![Pattern::Any, Pattern::Any],
+            ),
+            in_condition,
+        }
+    }
+}
+
+impl TransformationRule<ToyModel> for PanicOnJoin {
+    fn name(&self) -> &'static str {
+        "panic_on_join"
+    }
+
+    fn pattern(&self) -> &Pattern<ToyModel> {
+        &self.pattern
+    }
+
+    fn condition(&self, _b: &Binding<ToyModel>, _ctx: &RuleCtx<'_, ToyModel>) -> bool {
+        if self.in_condition {
+            panic!("deliberate panic in condition code");
+        }
+        true
+    }
+
+    fn apply(
+        &self,
+        _b: &Binding<ToyModel>,
+        _ctx: &RuleCtx<'_, ToyModel>,
+    ) -> Vec<SubstExpr<ToyModel>> {
+        panic!("deliberate panic in apply code");
+    }
+}
+
+#[test]
+fn worker_panic_in_apply_becomes_error() {
+    let (mut model, query) = chain(4);
+    model.push_transformation(Box::new(PanicOnJoin::new(false)));
+    let mut opt = Optimizer::new(&model, SearchOptions::default());
+    opt.insert_tree(&query);
+    match opt.explore_parallel(4) {
+        Err(OptimizeError::RulePanicked { rule, message }) => {
+            assert_eq!(rule, "panic_on_join");
+            assert!(message.contains("deliberate panic in apply"), "{message}");
+        }
+        other => panic!("expected RulePanicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn worker_panic_in_condition_becomes_error() {
+    let (mut model, query) = chain(3);
+    model.push_transformation(Box::new(PanicOnJoin::new(true)));
+    let mut opt = Optimizer::new(&model, SearchOptions::default());
+    opt.insert_tree(&query);
+    let err = opt.explore_parallel(2).unwrap_err();
+    assert!(
+        matches!(&err, OptimizeError::RulePanicked { rule, .. } if rule == "panic_on_join"),
+        "expected RulePanicked, got {err:?}"
+    );
+    assert!(err.to_string().contains("panicked during exploration"));
+}
+
+/// After a caught worker panic the process — and the optimizer's memo —
+/// must remain usable: a healthy optimizer on the same model still plans.
+#[test]
+fn process_survives_worker_panic() {
+    let (mut model, query) = chain(3);
+    model.push_transformation(Box::new(PanicOnJoin::new(false)));
+    let mut opt = Optimizer::new(&model, SearchOptions::default());
+    opt.insert_tree(&query);
+    assert!(opt.explore_parallel(2).is_err());
+
+    let (clean_model, clean_query) = chain(3);
+    let mut clean = Optimizer::new(&clean_model, SearchOptions::default());
+    let root = clean.insert_tree(&clean_query);
+    let plan = clean.find_best_plan(root, ToyProps::any(), None).unwrap();
+    assert!(plan.cost > 0.0);
+}

@@ -38,7 +38,7 @@ fn parallel_explore_matches_sequential() {
         for threads in [1usize, 2, 4, 8] {
             let mut par = Optimizer::new(&model, SearchOptions::default());
             let proot = par.insert_tree(&query);
-            par.explore_parallel(threads);
+            par.explore_parallel(threads).unwrap();
             let pcost = par
                 .find_best_plan(proot, ToyProps::any(), None)
                 .unwrap()
@@ -52,14 +52,17 @@ fn parallel_explore_matches_sequential() {
                 par.memo().num_groups(),
                 "n={n} threads={threads}: group counts diverged"
             );
-            // Parallel passes match against a per-pass snapshot, so they
-            // may allocate duplicates that merge cascades retire; the
-            // *live* contents must agree exactly.
-            let live_seq = seq.memo().num_exprs() as u64 - seq.memo().dead_expr_count();
-            let live_par = par.memo().num_exprs() as u64 - par.memo().dead_expr_count();
+            // Both paths install per-pass snapshots in task order, so not
+            // just the live contents but the raw allocation counts agree.
             assert_eq!(
-                live_seq, live_par,
-                "n={n} threads={threads}: live expression counts diverged"
+                seq.memo().num_exprs(),
+                par.memo().num_exprs(),
+                "n={n} threads={threads}: expression counts diverged"
+            );
+            assert_eq!(
+                seq.memo().dead_expr_count(),
+                par.memo().dead_expr_count(),
+                "n={n} threads={threads}: dead expression counts diverged"
             );
         }
     }
@@ -70,7 +73,7 @@ fn parallel_explore_then_optimize_sorted_goal() {
     let (model, query) = chain(5);
     let mut par = Optimizer::new(&model, SearchOptions::default());
     let root = par.insert_tree(&query);
-    par.explore_parallel(4);
+    par.explore_parallel(4).unwrap();
     let plan = par.find_best_plan(root, ToyProps::sorted(), None).unwrap();
     assert!(plan.delivered.satisfies(&ToyProps::sorted()));
 
@@ -85,9 +88,9 @@ fn parallel_explore_is_idempotent() {
     let (model, query) = chain(4);
     let mut opt = Optimizer::new(&model, SearchOptions::default());
     let root = opt.insert_tree(&query);
-    opt.explore_parallel(4);
+    opt.explore_parallel(4).unwrap();
     let exprs = opt.memo().num_exprs();
-    opt.explore_parallel(4);
+    opt.explore_parallel(4).unwrap();
     opt.explore();
     assert_eq!(opt.memo().num_exprs(), exprs, "fixpoint reached once");
     let _ = opt.find_best_plan(root, ToyProps::any(), None).unwrap();

@@ -1,0 +1,72 @@
+//! Serial vs parallel exploration on the real relational model: both
+//! paths must produce identical memos, identical plans, and identical
+//! search statistics on the paper's fig4 join-chain workload.
+
+use volcano_core::{PhysicalProps, SearchOptions};
+use volcano_rel::builder::join;
+use volcano_rel::{
+    Catalog, ColumnDef, JoinPred, QueryBuilder, RelModel, RelModelOptions, RelOptimizer, RelProps,
+};
+
+fn chain_catalog(n: usize) -> Catalog {
+    let mut c = Catalog::new();
+    for i in 0..n {
+        c.add_table(
+            &format!("t{i}"),
+            1_000.0 + 700.0 * i as f64,
+            vec![ColumnDef::int("a", 80.0), ColumnDef::int("b", 80.0)],
+        );
+    }
+    c
+}
+
+fn chain_query(model: &RelModel, n: usize) -> volcano_rel::RelExpr {
+    let q = QueryBuilder::new(model.catalog());
+    let mut e = q.scan("t0");
+    for i in 1..n {
+        e = join(
+            e,
+            q.scan(&format!("t{i}")),
+            JoinPred::eq(
+                q.attr(&format!("t{}", i - 1), "b"),
+                q.attr(&format!("t{i}"), "a"),
+            ),
+        );
+    }
+    e
+}
+
+#[test]
+fn parallel_exploration_matches_serial_on_rel_model() {
+    for n in [3usize, 4, 5] {
+        let model = RelModel::new(chain_catalog(n), RelModelOptions::paper_fig4());
+        let expr = chain_query(&model, n);
+
+        let mut seq = RelOptimizer::new(&model, SearchOptions::default());
+        let sroot = seq.insert_tree(&expr);
+        seq.explore();
+        let splan = seq.find_best_plan(sroot, RelProps::any(), None).unwrap();
+
+        for threads in [2usize, 4] {
+            let mut par = RelOptimizer::new(&model, SearchOptions::default());
+            let proot = par.insert_tree(&expr);
+            par.explore_parallel(threads).unwrap();
+            let pplan = par.find_best_plan(proot, RelProps::any(), None).unwrap();
+
+            assert_eq!(
+                splan.compact(),
+                pplan.compact(),
+                "n={n} threads={threads}: plans diverged"
+            );
+            assert_eq!(seq.memo().num_exprs(), par.memo().num_exprs());
+            assert_eq!(seq.memo().num_groups(), par.memo().num_groups());
+            assert_eq!(seq.memo().dead_expr_count(), par.memo().dead_expr_count());
+            assert!(
+                seq.stats().counters_eq(par.stats()),
+                "n={n} threads={threads}: stats diverged\nserial:   {:?}\nparallel: {:?}",
+                seq.stats(),
+                par.stats()
+            );
+        }
+    }
+}

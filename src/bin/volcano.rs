@@ -15,13 +15,15 @@
 
 use std::io::Read;
 
-use volcano::core::SearchOptions;
+use std::time::Duration;
+
+use volcano::core::{SearchBudget, SearchOptions};
 use volcano::exec::Database;
 use volcano::rel::catalog::ColType;
 use volcano::rel::{
     explain_expr, explain_plan, Catalog, ColumnDef, RelModel, RelOptimizer, RelProps,
 };
-use volcano::sql::{lower, parse_script, Statement};
+use volcano::sql::{lower, parse_script, BudgetSetting, Statement};
 
 struct Shell {
     catalog: Catalog,
@@ -29,6 +31,9 @@ struct Shell {
     /// User-supplied cost limit (§3): queries whose best plan exceeds it
     /// are rejected instead of executed.
     cost_limit: Option<f64>,
+    /// Search budget for subsequent queries; tripped budgets degrade to
+    /// greedy completion instead of failing.
+    budget: SearchBudget,
 }
 
 impl Shell {
@@ -37,6 +42,14 @@ impl Shell {
             catalog: Catalog::new(),
             db: None,
             cost_limit: None,
+            budget: SearchBudget::default(),
+        }
+    }
+
+    fn search_options(&self) -> SearchOptions {
+        SearchOptions {
+            budget: self.budget.clone(),
+            ..SearchOptions::default()
         }
     }
 
@@ -102,6 +115,31 @@ impl Shell {
                 }
                 Ok(())
             }
+            Statement::SetBudget(setting) => {
+                match setting {
+                    BudgetSetting::TimeoutMs(ms) => {
+                        self.budget.deadline = Some(Duration::from_millis(ms));
+                        println!("budget: timeout {ms} ms");
+                    }
+                    BudgetSetting::Goals(n) => {
+                        self.budget.max_goals = Some(n);
+                        println!("budget: max {n} goals");
+                    }
+                    BudgetSetting::Exprs(n) => {
+                        self.budget.max_exprs = Some(n);
+                        println!("budget: max {n} memo expressions");
+                    }
+                    BudgetSetting::Groups(n) => {
+                        self.budget.max_groups = Some(n);
+                        println!("budget: max {n} memo groups");
+                    }
+                    BudgetSetting::Off => {
+                        self.budget = SearchBudget::default();
+                        println!("budget off (exhaustive search)");
+                    }
+                }
+                Ok(())
+            }
             Statement::Generate { seed } => {
                 self.db().generate(seed);
                 println!(
@@ -119,7 +157,7 @@ impl Shell {
                 println!("-- logical algebra --");
                 print!("{}", explain_expr(&catalog, &q.expr));
                 let model = RelModel::with_defaults(catalog.clone());
-                let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+                let mut opt = RelOptimizer::new(&model, self.search_options());
                 let root = opt.insert_tree(&q.expr);
                 let goal = RelProps::sorted(q.order_by.clone());
                 let plan = opt
@@ -128,10 +166,11 @@ impl Shell {
                 println!("-- physical plan --");
                 print!("{}", explain_plan(&catalog, &plan));
                 println!(
-                    "-- search: {} goals, {} moves, memo ~{} KB --",
+                    "-- search: {} goals, {} moves, memo ~{} KB, {} --",
                     opt.stats().goals_optimized,
                     opt.stats().total_moves(),
-                    opt.stats().memo_bytes / 1024
+                    opt.stats().memo_bytes / 1024,
+                    opt.stats().outcome
                 );
                 if analyze {
                     let stats_json = opt.stats().to_json();
@@ -156,9 +195,10 @@ impl Shell {
                 let mut catalog = self.catalog.clone();
                 let q = lower(&ast, &mut catalog).map_err(|e| e.to_string())?;
                 let cost_limit = self.cost_limit;
+                let options = self.search_options();
                 let db = self.db();
                 let model = RelModel::with_defaults(catalog.clone());
-                let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+                let mut opt = RelOptimizer::new(&model, options);
                 let root = opt.insert_tree(&q.expr);
                 let goal = RelProps::sorted(q.order_by.clone());
                 let limit = cost_limit.map(|l| volcano::rel::RelCost::new(0.0, l));
@@ -168,6 +208,12 @@ impl Shell {
                         Some(l) => format!("{e} (cost limit {l} ms)"),
                         None => e.to_string(),
                     })?;
+                if opt.stats().outcome.is_degraded() {
+                    println!(
+                        "-- note: search budget tripped; plan is {} --",
+                        opt.stats().outcome
+                    );
+                }
                 let rows = db.execute(&plan);
                 for row in &rows {
                     let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
