@@ -145,12 +145,77 @@ fn check_budget(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn check_search_hotpath(v: &Json) -> Result<(), String> {
+    num(v, "queries_per_level")?;
+    let reps = num(v, "reps")?;
+    if reps < 1.0 {
+        return Err(format!("reps {reps} < 1"));
+    }
+    let levels = v
+        .get("levels")
+        .and_then(Json::as_arr)
+        .ok_or("missing levels array")?;
+    if levels.is_empty() {
+        return Err("levels array is empty".to_string());
+    }
+    for (i, level) in levels.iter().enumerate() {
+        let ctx = |e: String| format!("levels[{i}]: {e}");
+        let rels = num(level, "relations").map_err(ctx)?;
+        if rels < 2.0 {
+            return Err(format!("levels[{i}]: relations {rels} < 2"));
+        }
+        for key in [
+            "queries",
+            "opt_s_mean",
+            "probe_ns",
+            "moves_per_s",
+            "goals_per_s",
+            "peak_memo_bytes",
+            "cost_checksum",
+        ] {
+            let x = num(level, key).map_err(ctx)?;
+            if x < 0.0 {
+                return Err(format!("levels[{i}]: {key} is negative ({x})"));
+            }
+        }
+        let search = level
+            .get("search")
+            .ok_or(format!("levels[{i}]: missing search"))?;
+        check_search_stats(search).map_err(ctx)?;
+    }
+    // The speedup block is optional (present only with --baseline), but
+    // when it exists the factors must be positive and the geomean sane.
+    if let Some(speedup) = v.get("speedup") {
+        let per = speedup
+            .get("per_level")
+            .and_then(Json::as_arr)
+            .ok_or("speedup: missing per_level array")?;
+        if per.is_empty() {
+            return Err("speedup.per_level is empty".to_string());
+        }
+        for (i, pt) in per.iter().enumerate() {
+            let ctx = |e: String| format!("speedup.per_level[{i}]: {e}");
+            num(pt, "relations").map_err(ctx)?;
+            let s = num(pt, "speedup").map_err(ctx)?;
+            if s <= 0.0 {
+                return Err(format!("speedup.per_level[{i}]: factor {s} <= 0"));
+            }
+        }
+        let g = num(speedup, "geomean").map_err(|e| format!("speedup: {e}"))?;
+        if g <= 0.0 {
+            return Err(format!("speedup.geomean {g} <= 0"));
+        }
+    }
+    Ok(())
+}
+
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
     let v = parse_json(&text).map_err(|e| e.to_string())?;
     match v.get("benchmark").and_then(Json::as_str) {
         Some("fig4") => check_fig4(&v),
         Some("budget") => check_budget(&v),
+        Some("search_hotpath") => check_search_hotpath(&v),
         Some(other) => Err(format!("unknown benchmark tag {other:?}")),
         None => Err("missing \"benchmark\" tag".to_string()),
     }

@@ -1,0 +1,279 @@
+//! Search-engine hot-path microbenchmark.
+//!
+//! Quantifies the mechanisms the hot-path overhaul targets (operator-
+//! indexed rule dispatch, goal interning, allocation-free move
+//! generation) on the fig4 select–join workload:
+//!
+//! * **end-to-end optimization time** per complexity level (best-of-reps
+//!   per query, so transient noise does not inflate the mean),
+//! * **winner-table probe latency** (`best_cost` in a tight loop over
+//!   every group of the final memo — the memo-probe hot path),
+//! * **move and goal throughput** derived from `SearchStats`,
+//! * **peak memo `memory_estimate`** across the level's queries.
+//!
+//! Usage:
+//!   search_hotpath [--queries N] [--reps R] [--min-rel A] [--max-rel B]
+//!                  [--json PATH] [--baseline PATH]
+//!
+//! With `--baseline` (a previous `BENCH_search.json`, e.g. one recorded
+//! before a change), the export adds per-level `speedup` factors and
+//! their geometric mean so regressions and wins are machine-checkable.
+
+use std::time::Instant;
+
+use volcano_bench::{generate_query, parse_json, Json, WorkloadConfig};
+use volcano_core::{PhysicalProps, SearchOptions, SearchStats};
+use volcano_rel::{RelModel, RelModelOptions, RelOptimizer, RelProps};
+
+struct Args {
+    queries: usize,
+    reps: usize,
+    min_rel: usize,
+    max_rel: usize,
+    json: Option<String>,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        queries: 12,
+        reps: 3,
+        min_rel: 4,
+        max_rel: 8,
+        json: Some("BENCH_search.json".to_string()),
+        baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--queries" => args.queries = it.next().expect("--queries N").parse().expect("number"),
+            "--reps" => args.reps = it.next().expect("--reps R").parse().expect("number"),
+            "--min-rel" => args.min_rel = it.next().expect("--min-rel A").parse().expect("number"),
+            "--max-rel" => args.max_rel = it.next().expect("--max-rel B").parse().expect("number"),
+            "--json" => args.json = Some(it.next().expect("--json PATH")),
+            "--no-json" => args.json = None,
+            "--baseline" => args.baseline = Some(it.next().expect("--baseline PATH")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// One complexity level's aggregated measurements.
+struct LevelResult {
+    relations: usize,
+    /// Mean per-query optimization time (best of reps), seconds.
+    opt_s_mean: f64,
+    /// Winner-table probe latency, nanoseconds per probe.
+    probe_ns: f64,
+    /// Algorithm + enforcer moves costed per second of search time.
+    moves_per_s: f64,
+    /// Goals optimized per second of search time.
+    goals_per_s: f64,
+    /// Largest memo memory estimate seen at this level, bytes.
+    peak_memo_bytes: usize,
+    /// Summed search statistics over the level's queries (one rep).
+    stats: SearchStats,
+    /// Plan-cost checksum over the level (sum of estimated costs):
+    /// byte-identical plans across engine variants must agree on it.
+    cost_checksum: f64,
+}
+
+fn run_level(relations: usize, queries: usize, reps: usize) -> LevelResult {
+    let mut per_query_best = Vec::with_capacity(queries);
+    let mut level_stats = SearchStats::default();
+    let mut peak_memo = 0usize;
+    let mut probe_ns_samples = Vec::new();
+    let mut cost_checksum = 0.0f64;
+
+    for q in 0..queries {
+        let seed = (relations as u64) * 10_000 + q as u64;
+        let query = generate_query(&WorkloadConfig::relations(relations), seed);
+        let model = RelModel::new(query.catalog.clone(), RelModelOptions::paper_fig4());
+        let mut best = f64::INFINITY;
+        for rep in 0..reps.max(1) {
+            let start = Instant::now();
+            let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+            let root = opt.insert_tree(&query.expr);
+            let plan = opt
+                .find_best_plan(root, RelProps::any(), None)
+                .expect("fig4 workload is always satisfiable");
+            best = best.min(start.elapsed().as_secs_f64());
+            if rep == 0 {
+                level_stats.merge(opt.stats());
+                peak_memo = peak_memo.max(opt.stats().memo_bytes);
+                cost_checksum += plan.cost.total();
+                // Probe bench: hammer the winner table through the public
+                // `best_cost` lookup for every group in the memo.
+                let groups = opt.memo().group_ids();
+                let any = RelProps::any();
+                let probes = 200usize;
+                let t = Instant::now();
+                let mut hits = 0usize;
+                for _ in 0..probes {
+                    for &g in &groups {
+                        if opt.best_cost(g, &any).is_some() {
+                            hits += 1;
+                        }
+                    }
+                }
+                let total = probes * groups.len();
+                std::hint::black_box(hits);
+                if total > 0 {
+                    probe_ns_samples.push(t.elapsed().as_nanos() as f64 / total as f64);
+                }
+            }
+        }
+        per_query_best.push(best);
+    }
+
+    let opt_s_mean = per_query_best.iter().sum::<f64>() / per_query_best.len().max(1) as f64;
+    let search_s = level_stats.elapsed.as_secs_f64().max(1e-12);
+    LevelResult {
+        relations,
+        opt_s_mean,
+        probe_ns: geomean(&probe_ns_samples),
+        moves_per_s: level_stats.total_moves() as f64 / search_s,
+        goals_per_s: level_stats.goals_optimized as f64 / search_s,
+        peak_memo_bytes: peak_memo,
+        stats: level_stats,
+        cost_checksum,
+    }
+}
+
+/// Pull `opt_s_mean` per level out of a previous export for speedups.
+fn baseline_levels(path: &str) -> Vec<(usize, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let v = parse_json(&text).unwrap_or_else(|e| panic!("baseline {path}: {e}"));
+    let levels = v
+        .get("levels")
+        .and_then(Json::as_arr)
+        .expect("baseline missing levels");
+    levels
+        .iter()
+        .map(|l| {
+            let n = l
+                .get("relations")
+                .and_then(Json::as_num)
+                .expect("baseline level missing relations") as usize;
+            let s = l
+                .get("opt_s_mean")
+                .and_then(Json::as_num)
+                .expect("baseline level missing opt_s_mean");
+            (n, s)
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let started = Instant::now();
+    println!("search hot-path benchmark: fig4 workload, exhaustive search");
+    println!(
+        "{} queries/level, best of {} reps, {}-{} relations\n",
+        args.queries, args.reps, args.min_rel, args.max_rel
+    );
+    println!(
+        "{:>4} | {:>11} {:>9} {:>12} {:>12} {:>10}",
+        "rels", "opt mean", "probe ns", "moves/s", "goals/s", "memo KB"
+    );
+
+    let mut levels = Vec::new();
+    for n in args.min_rel..=args.max_rel {
+        let lvl = run_level(n, args.queries, args.reps);
+        println!(
+            "{:>4} | {:>10.4}s {:>9.1} {:>12.0} {:>12.0} {:>10}",
+            lvl.relations,
+            lvl.opt_s_mean,
+            lvl.probe_ns,
+            lvl.moves_per_s,
+            lvl.goals_per_s,
+            lvl.peak_memo_bytes / 1024
+        );
+        levels.push(lvl);
+    }
+
+    let speedups: Option<Vec<(usize, f64)>> = args.baseline.as_deref().map(|path| {
+        let base = baseline_levels(path);
+        levels
+            .iter()
+            .filter_map(|l| {
+                base.iter()
+                    .find(|(n, _)| *n == l.relations)
+                    .map(|(n, s)| (*n, s / l.opt_s_mean.max(1e-12)))
+            })
+            .collect()
+    });
+    if let Some(sp) = &speedups {
+        println!(
+            "\nspeedup vs baseline ({}):",
+            args.baseline.as_deref().unwrap()
+        );
+        for (n, s) in sp {
+            println!("  {n} relations: {s:.2}x");
+        }
+        let g = geomean(&sp.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+        println!("  geometric mean: {g:.2}x");
+    }
+
+    if let Some(path) = &args.json {
+        let mut level_json: Vec<String> = Vec::new();
+        for l in &levels {
+            level_json.push(format!(
+                concat!(
+                    "{{\"relations\":{},\"queries\":{},\"opt_s_mean\":{},",
+                    "\"probe_ns\":{},\"moves_per_s\":{},\"goals_per_s\":{},",
+                    "\"peak_memo_bytes\":{},\"cost_checksum\":{},\"search\":{}}}"
+                ),
+                l.relations,
+                args.queries,
+                l.opt_s_mean,
+                l.probe_ns,
+                l.moves_per_s,
+                l.goals_per_s,
+                l.peak_memo_bytes,
+                l.cost_checksum,
+                l.stats.to_json()
+            ));
+        }
+        let speedup_json = match &speedups {
+            None => String::new(),
+            Some(sp) => {
+                let per: Vec<String> = sp
+                    .iter()
+                    .map(|(n, s)| format!("{{\"relations\":{n},\"speedup\":{s}}}"))
+                    .collect();
+                let g = geomean(&sp.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+                format!(
+                    ",\"speedup\":{{\"per_level\":[{}],\"geomean\":{}}}",
+                    per.join(","),
+                    g
+                )
+            }
+        };
+        let json = format!(
+            concat!(
+                "{{\"benchmark\":\"search_hotpath\",\"queries_per_level\":{},",
+                "\"reps\":{},\"levels\":[{}]{}}}\n"
+            ),
+            args.queries,
+            args.reps,
+            level_json.join(","),
+            speedup_json
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("\nJSON written to {path}");
+    }
+    println!(
+        "total harness time: {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+}

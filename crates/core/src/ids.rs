@@ -71,9 +71,52 @@ impl fmt::Display for ExprId {
     }
 }
 
+/// Identifier of an interned optimization goal (a `(required, excluded)`
+/// physical-property pair) in the [`crate::Memo`]'s goal table.
+///
+/// Goal ids are memo-global, not per-group, so group merges never need to
+/// remap them; two goals with equal property vectors always intern to the
+/// same id, making winner-table probes and cycle checks integer
+/// comparisons instead of property-vector hashes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GoalId(pub(crate) u32);
+
+impl GoalId {
+    /// Raw index value (stable for the lifetime of the memo).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index. Intended for tests and serialization.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        GoalId(i as u32)
+    }
+}
+
+impl fmt::Debug for GoalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+impl fmt::Display for GoalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn goal_id_roundtrip() {
+        let q = GoalId::from_index(3);
+        assert_eq!(q.index(), 3);
+        assert_eq!(format!("{q:?}"), "Q3");
+    }
 
     #[test]
     fn group_id_roundtrip() {

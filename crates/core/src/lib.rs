@@ -81,12 +81,14 @@ pub mod budget;
 pub mod cost;
 pub mod error;
 pub mod expr;
+pub mod fxhash;
 pub mod ids;
 pub mod memo;
 pub mod model;
 pub mod pattern;
 pub mod plan;
 pub mod props;
+pub mod rule_index;
 pub mod rules;
 pub mod search;
 pub mod stats;
@@ -97,12 +99,13 @@ pub use budget::{BudgetOutcome, CancelToken, SearchBudget, TripReason};
 pub use cost::Cost;
 pub use error::OptimizeError;
 pub use expr::{ExprTree, SubstExpr};
-pub use ids::{ExprId, GroupId};
+pub use ids::{ExprId, GoalId, GroupId};
 pub use memo::Memo;
 pub use model::Model;
-pub use pattern::{Binding, BindingChild, OpMatcher, Pattern};
+pub use pattern::{match_pattern, match_pattern_with, Binding, BindingChild, OpMatcher, Pattern};
 pub use plan::Plan;
 pub use props::PhysicalProps;
+pub use rule_index::RuleIndex;
 pub use rules::{
     AlgApplication, Enforcer, EnforcerApplication, ImplementationRule, RuleCtx, TransformationRule,
 };

@@ -18,12 +18,13 @@
 //! *merged* through a union–find structure; expression keys are then
 //! re-canonicalized, which can cascade into further merges.
 
-use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::mem::size_of;
 
 use crate::cost::Limit;
 use crate::expr::{ExprTree, SubstExpr};
-use crate::ids::{ExprId, GroupId};
+use crate::fxhash::{FxHashMap, FxHasher};
+use crate::ids::{ExprId, GoalId, GroupId};
 use crate::model::Model;
 
 /// An optimization goal fragment: the property vectors a plan for some
@@ -73,24 +74,17 @@ impl<M: Model> std::fmt::Debug for Goal<M> {
 
 /// Reference to the sub-goal an optimal plan's input was optimized for.
 /// Plans are materialized from these references at extraction time, so the
-/// memo stores each best sub-plan exactly once.
-pub struct InputGoal<M: Model> {
+/// memo stores each best sub-plan exactly once. Eight bytes: the property
+/// vectors live once in the memo's goal table, referenced by [`GoalId`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct InputGoal {
     /// The input equivalence class.
     pub group: GroupId,
-    /// The goal it was optimized for.
-    pub goal: Goal<M>,
+    /// The interned goal it was optimized for.
+    pub goal: GoalId,
 }
 
-impl<M: Model> Clone for InputGoal<M> {
-    fn clone(&self) -> Self {
-        InputGoal {
-            group: self.group,
-            goal: self.goal.clone(),
-        }
-    }
-}
-
-impl<M: Model> std::fmt::Debug for InputGoal<M> {
+impl std::fmt::Debug for InputGoal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "InputGoal({:?}, {:?})", self.group, self.goal)
     }
@@ -107,7 +101,7 @@ pub struct WinnerPlan<M: Model> {
     /// Cost including all inputs.
     pub total_cost: M::Cost,
     /// Input sub-goals, one per operator input.
-    pub inputs: Vec<InputGoal<M>>,
+    pub inputs: Vec<InputGoal>,
     /// The logical expression implemented, if the operator is an
     /// algorithm; `None` for enforcers, which implement the whole class.
     pub expr: Option<ExprId>,
@@ -192,8 +186,8 @@ pub(crate) struct GroupData<M: Model> {
     /// "the logical properties are determined based on the logical
     /// expression, before any optimization is performed" (§2.2).
     pub logical: M::LogicalProps,
-    /// Best plans and failures per goal.
-    pub winners: HashMap<Goal<M>, Winner<M>>,
+    /// Best plans and failures per interned goal.
+    pub winners: FxHashMap<GoalId, Winner<M>>,
     /// Memo version at the last structural change to this group.
     pub version: u64,
 }
@@ -204,14 +198,42 @@ pub struct Memo<M: Model> {
     groups: Vec<GroupData<M>>,
     /// Union–find parents over group indices.
     parent: Vec<u32>,
-    /// Duplicate detection: canonical `(op, input groups)` → expression.
-    index: HashMap<(M::Op, Vec<GroupId>), ExprId>,
+    /// Duplicate detection: hash of the canonical `(op, input groups)`
+    /// pair → member expressions with that hash. Keying by precomputed
+    /// hash instead of by owned `(op, inputs)` pairs means a probe never
+    /// clones the operator or the input vector; equality is re-checked
+    /// against the expression arena, so collisions are benign.
+    index: FxHashMap<u64, Vec<ExprId>>,
     /// Monotone structural version counter.
     version: u64,
     /// Number of group merges performed (statistic).
     merges: u64,
     /// Number of expressions marked dead by merge cascades (statistic).
     dead_exprs: u64,
+    /// Interned optimization goals, indexed by [`GoalId`]. Memo-global
+    /// (not per-group), so group merges never remap goal ids.
+    goals: Vec<Goal<M>>,
+    /// Interner buckets: property-vector hash → candidate goal ids.
+    /// Equality is re-checked on probe, so hash collisions are benign.
+    goal_buckets: FxHashMap<u64, Vec<GoalId>>,
+}
+
+/// Hash a `(required, excluded)` pair without constructing a `Goal`.
+/// Must agree with `Goal`'s `Hash` impl field order.
+fn goal_hash<M: Model>(required: &M::PhysProps, excluded: &M::PhysProps) -> u64 {
+    let mut h = FxHasher::default();
+    required.hash(&mut h);
+    excluded.hash(&mut h);
+    h.finish()
+}
+
+/// Hash a canonical `(op, input groups)` pair for the duplicate-detection
+/// index.
+fn expr_hash<M: Model>(op: &M::Op, inputs: &[GroupId]) -> u64 {
+    let mut h = FxHasher::default();
+    op.hash(&mut h);
+    inputs.hash(&mut h);
+    h.finish()
 }
 
 impl<M: Model> Default for Memo<M> {
@@ -227,11 +249,57 @@ impl<M: Model> Memo<M> {
             exprs: Vec::new(),
             groups: Vec::new(),
             parent: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             version: 0,
             merges: 0,
             dead_exprs: 0,
+            goals: Vec::new(),
+            goal_buckets: FxHashMap::default(),
         }
+    }
+
+    /// Intern a `(required, excluded)` goal, returning its stable id.
+    /// Property vectors are cloned only the first time a goal is seen;
+    /// every later probe is a hash of references plus an `Eq` check.
+    pub fn intern_goal(&mut self, required: &M::PhysProps, excluded: &M::PhysProps) -> GoalId {
+        let h = goal_hash::<M>(required, excluded);
+        if let Some(ids) = self.goal_buckets.get(&h) {
+            for &id in ids {
+                let g = &self.goals[id.index()];
+                if g.required == *required && g.excluded == *excluded {
+                    return id;
+                }
+            }
+        }
+        let id = GoalId::from_index(self.goals.len());
+        self.goals.push(Goal {
+            required: required.clone(),
+            excluded: excluded.clone(),
+        });
+        self.goal_buckets.entry(h).or_default().push(id);
+        id
+    }
+
+    /// Look up an already-interned goal without interning it (read-only
+    /// probes such as [`crate::Optimizer::best_cost`]): `None` means the
+    /// goal was never optimized, so it cannot have a winner either.
+    pub fn find_goal(&self, required: &M::PhysProps, excluded: &M::PhysProps) -> Option<GoalId> {
+        let h = goal_hash::<M>(required, excluded);
+        let ids = self.goal_buckets.get(&h)?;
+        ids.iter().copied().find(|id| {
+            let g = &self.goals[id.index()];
+            g.required == *required && g.excluded == *excluded
+        })
+    }
+
+    /// The property vectors of an interned goal.
+    pub fn goal(&self, id: GoalId) -> &Goal<M> {
+        &self.goals[id.index()]
+    }
+
+    /// Number of distinct goals interned so far.
+    pub fn num_goals(&self) -> usize {
+        self.goals.len()
     }
 
     /// Resolve a group id to its union–find representative.
@@ -298,14 +366,14 @@ impl<M: Model> Memo<M> {
         self.repr(self.exprs[e.index()].group)
     }
 
-    /// Live member expressions of a group.
-    pub fn group_exprs(&self, g: GroupId) -> Vec<ExprId> {
+    /// Live member expressions of a group, as a borrowing iterator (no
+    /// allocation — this runs inside every pattern-match inner loop).
+    pub fn group_exprs(&self, g: GroupId) -> impl Iterator<Item = ExprId> + '_ {
         self.groups[self.repr(g).index()]
             .exprs
             .iter()
             .copied()
-            .filter(|&e| !self.exprs[e.index()].dead)
-            .collect()
+            .filter(move |&e| !self.exprs[e.index()].dead)
     }
 
     /// Logical properties of a group.
@@ -313,9 +381,9 @@ impl<M: Model> Memo<M> {
         &self.groups[self.repr(g).index()].logical
     }
 
-    /// Look up the memoized outcome for a goal.
-    pub fn winner(&self, g: GroupId, goal: &Goal<M>) -> Option<&Winner<M>> {
-        self.groups[self.repr(g).index()].winners.get(goal)
+    /// Look up the memoized outcome for an interned goal.
+    pub fn winner(&self, g: GroupId, goal: GoalId) -> Option<&Winner<M>> {
+        self.groups[self.repr(g).index()].winners.get(&goal)
     }
 
     /// Record (or replace) the memoized outcome for a goal.
@@ -323,7 +391,7 @@ impl<M: Model> Memo<M> {
     /// Invariant: an `Optimal` winner is never replaced by a strictly more
     /// expensive one (debug-asserted) — dynamic programming would be
     /// unsound otherwise.
-    pub fn set_winner(&mut self, g: GroupId, goal: Goal<M>, w: Winner<M>) {
+    pub fn set_winner(&mut self, g: GroupId, goal: GoalId, w: Winner<M>) {
         let gi = self.repr(g).index();
         #[cfg(debug_assertions)]
         {
@@ -333,7 +401,8 @@ impl<M: Model> Memo<M> {
             {
                 debug_assert!(
                     new.total_cost.cheaper_or_equal(&old.total_cost),
-                    "winner for {goal:?} regressed from {:?} to {:?}",
+                    "winner for {:?} regressed from {:?} to {:?}",
+                    self.goals[goal.index()],
                     old.total_cost,
                     new.total_cost
                 );
@@ -442,8 +511,14 @@ impl<M: Model> Memo<M> {
         target: Option<GroupId>,
     ) -> (GroupId, bool) {
         let inputs: Vec<GroupId> = inputs.iter().map(|&g| self.repr(g)).collect();
-        let key = (op.clone(), inputs.clone());
-        if let Some(&existing) = self.index.get(&key) {
+        let h = expr_hash::<M>(&op, &inputs);
+        let existing = self.index.get(&h).and_then(|bucket| {
+            bucket.iter().copied().find(|&e| {
+                let d = &self.exprs[e.index()];
+                d.op == op && d.inputs == inputs
+            })
+        });
+        if let Some(existing) = existing {
             let eg = self.group_of(existing);
             return match target {
                 Some(t) if self.repr(t) != eg => {
@@ -472,7 +547,7 @@ impl<M: Model> Memo<M> {
                 self.groups.push(GroupData {
                     exprs: Vec::new(),
                     logical: derived,
-                    winners: HashMap::new(),
+                    winners: FxHashMap::default(),
                     version: 0,
                 });
                 self.parent.push(gid.0);
@@ -482,13 +557,13 @@ impl<M: Model> Memo<M> {
 
         let eid = ExprId(self.exprs.len() as u32);
         self.exprs.push(ExprData {
-            op: op.clone(),
-            inputs: inputs.clone(),
+            op,
+            inputs,
             group,
             dead: false,
         });
         self.groups[group.index()].exprs.push(eid);
-        self.index.insert(key, eid);
+        self.index.entry(h).or_default().push(eid);
         self.version += 1;
         self.groups[group.index()].version = self.version;
         (group, true)
@@ -523,8 +598,9 @@ impl<M: Model> Memo<M> {
     }
 
     /// Merge a winner entry from an absorbed group, keeping the better
-    /// fact for each goal.
-    fn merge_winner(&mut self, g: GroupId, goal: Goal<M>, incoming: Winner<M>) {
+    /// fact for each goal. Goal ids are memo-global, so entries transfer
+    /// without remapping.
+    fn merge_winner(&mut self, g: GroupId, goal: GoalId, incoming: Winner<M>) {
         use crate::cost::Cost;
         let gi = g.index();
         let merged = match (self.groups[gi].winners.remove(&goal), incoming) {
@@ -560,14 +636,20 @@ impl<M: Model> Memo<M> {
             }
             let inputs: Vec<GroupId> = self.exprs[i].inputs.iter().map(|&g| self.repr(g)).collect();
             let group = self.repr(self.exprs[i].group);
-            self.exprs[i].inputs = inputs.clone();
+            self.exprs[i].inputs = inputs;
             self.exprs[i].group = group;
-            let key = (self.exprs[i].op.clone(), inputs);
-            match self.index.get(&key) {
+            let h = expr_hash::<M>(&self.exprs[i].op, &self.exprs[i].inputs);
+            let prev = self.index.get(&h).and_then(|bucket| {
+                bucket.iter().copied().find(|&e| {
+                    let d = &self.exprs[e.index()];
+                    d.op == self.exprs[i].op && d.inputs == self.exprs[i].inputs
+                })
+            });
+            match prev {
                 None => {
-                    self.index.insert(key, ExprId(i as u32));
+                    self.index.entry(h).or_default().push(ExprId(i as u32));
                 }
-                Some(&prev) => {
+                Some(prev) => {
                     let pg = self.repr(self.exprs[prev.index()].group);
                     if pg != group {
                         // Two identical expressions in different classes:
@@ -599,18 +681,22 @@ impl<M: Model> Memo<M> {
             .map(|g| {
                 size_of::<GroupData<M>>()
                     + g.exprs.len() * size_of::<ExprId>()
-                    + g.winners.len() * (size_of::<Goal<M>>() + size_of::<Winner<M>>())
+                    + g.winners.len() * (size_of::<GoalId>() + size_of::<Winner<M>>())
                     + g.winners
                         .values()
                         .map(|w| match w {
-                            Winner::Optimal(p) => p.inputs.len() * size_of::<InputGoal<M>>(),
+                            Winner::Optimal(p) => p.inputs.len() * size_of::<InputGoal>(),
                             Winner::Failure { .. } => 0,
                         })
                         .sum::<usize>()
             })
             .sum();
-        let index_bytes = self.index.len()
-            * (size_of::<(M::Op, Vec<GroupId>)>() + size_of::<ExprId>() + 2 * size_of::<GroupId>());
-        expr_bytes + group_bytes + index_bytes + self.parent.len() * size_of::<u32>()
+        let index_entries: usize = self.index.values().map(Vec::len).sum();
+        let index_bytes = index_entries * (size_of::<u64>() + size_of::<ExprId>());
+        // Each interned goal stores its property vectors once, plus its
+        // bucket entry (hash key amortized over the bucket's ids).
+        let goal_bytes =
+            self.goals.len() * (size_of::<Goal<M>>() + size_of::<GoalId>() + size_of::<u64>());
+        expr_bytes + group_bytes + index_bytes + goal_bytes + self.parent.len() * size_of::<u32>()
     }
 }

@@ -86,6 +86,20 @@ pub trait Model: Sized {
     ) {
     }
 
+    /// Cheap, total *discriminant* of a logical operator, used by the
+    /// operator-indexed rule dispatch ([`crate::RuleIndex`]): rules whose
+    /// root [`crate::OpMatcher`] declares the discriminants it accepts are
+    /// tried only against expressions whose operator carries one of them.
+    ///
+    /// The default returns `None` — "unindexable", meaning every rule is
+    /// tried against every expression exactly as before — so existing and
+    /// custom models keep working unchanged. Models that override it must
+    /// return the same value for operators that are `==` (the value is a
+    /// pure function of the enum variant, never of operator arguments).
+    fn op_discriminant(&self, _op: &Self::Op) -> Option<usize> {
+        None
+    }
+
     /// The transformation rules of the logical algebra.
     fn transformations(&self) -> &[Box<dyn TransformationRule<Self>>];
 

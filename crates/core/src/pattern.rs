@@ -24,6 +24,10 @@ type OpPred<M> = Box<dyn Fn(&<M as Model>::Op) -> bool + Send + Sync>;
 pub struct OpMatcher<M: Model> {
     name: &'static str,
     pred: OpPred<M>,
+    /// Operator discriminants (see [`Model::op_discriminant`]) the
+    /// predicate can possibly accept. `None` = undeclared: the matcher
+    /// must be tried against every operator.
+    discriminants: Option<Vec<usize>>,
 }
 
 impl<M: Model> OpMatcher<M> {
@@ -32,6 +36,29 @@ impl<M: Model> OpMatcher<M> {
         OpMatcher {
             name,
             pred: Box::new(pred),
+            discriminants: None,
+        }
+    }
+
+    /// Build a matcher that additionally *declares* the operator
+    /// discriminants its predicate can accept, enabling the
+    /// operator-indexed rule dispatch ([`crate::RuleIndex`]) to skip the
+    /// rule entirely for operators outside the set.
+    ///
+    /// Soundness contract: for every operator `op` with
+    /// `model.op_discriminant(op) == Some(d)`, if `pred(op)` can return
+    /// `true` then `d` must be in `discriminants`. Declaring too much is
+    /// merely wasted work; declaring too little silently loses plans (the
+    /// `RuleIndex` completeness proptest guards the shipped models).
+    pub fn with_discriminants(
+        name: &'static str,
+        discriminants: Vec<usize>,
+        pred: impl Fn(&M::Op) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        OpMatcher {
+            name,
+            pred: Box::new(pred),
+            discriminants: Some(discriminants),
         }
     }
 
@@ -43,6 +70,11 @@ impl<M: Model> OpMatcher<M> {
     /// The matcher's display name.
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// The declared discriminant set, if any.
+    pub fn discriminants(&self) -> Option<&[usize]> {
+        self.discriminants.as_deref()
     }
 }
 
@@ -82,6 +114,39 @@ impl<M: Model> Pattern<M> {
         Pattern::Op {
             matcher: OpMatcher::new(name, pred),
             inputs,
+        }
+    }
+
+    /// Convenience constructor for an interior node with a declared
+    /// discriminant set (see [`OpMatcher::with_discriminants`]).
+    pub fn op_disc(
+        name: &'static str,
+        discriminants: Vec<usize>,
+        pred: impl Fn(&M::Op) -> bool + Send + Sync + 'static,
+        inputs: Vec<Pattern<M>>,
+    ) -> Self {
+        Pattern::Op {
+            matcher: OpMatcher::with_discriminants(name, discriminants, pred),
+            inputs,
+        }
+    }
+
+    /// The matcher at the pattern root, if the root is an `Op` node.
+    pub fn root_matcher(&self) -> Option<&OpMatcher<M>> {
+        match self {
+            Pattern::Any => None,
+            Pattern::Op { matcher, .. } => Some(matcher),
+        }
+    }
+
+    /// Does the pattern root accept `op`? A top-level wildcard binds
+    /// nothing useful (rules must have an operator at the root), so `Any`
+    /// answers `false` — consistent with [`match_pattern`] producing no
+    /// bindings for it.
+    pub fn root_matches(&self, op: &M::Op) -> bool {
+        match self {
+            Pattern::Any => false,
+            Pattern::Op { matcher, .. } => matcher.matches(op),
         }
     }
 
@@ -209,80 +274,90 @@ impl<M: Model> Binding<M> {
     }
 }
 
-/// Enumerate all bindings of `pattern` rooted at expression `expr`.
+/// Stream every binding of `pattern` rooted at expression `expr` into the
+/// visitor `f`, in the same lexicographic order [`match_pattern`] returns
+/// (child 0 varies slowest; within a child, member-expression order, then
+/// that member's own binding order).
 ///
 /// Interior pattern nodes quantify over every live member expression of
-/// the corresponding input group, so the result is the full cross product
-/// — exactly the "several different ways" in which an algebraic
+/// the corresponding input group, so the enumeration covers the full cross
+/// product — exactly the "several different ways" in which an algebraic
 /// transformation system can derive the same expression, which the memo's
-/// duplicate detection then collapses.
+/// duplicate detection then collapses. Streaming means the cross product
+/// is never materialized: the children accumulator is a single backtracked
+/// stack, and each emitted [`Binding`] is built only when a complete match
+/// exists. Caveat: alternatives of a child are re-enumerated for each
+/// combination of earlier children, which only costs extra work for
+/// patterns with two or more nested `Op` children — none of the shipped
+/// models have one.
+pub fn match_pattern_with<M: Model>(
+    memo: &Memo<M>,
+    pattern: &Pattern<M>,
+    expr: ExprId,
+    f: &mut dyn FnMut(Binding<M>),
+) {
+    // A top-level wildcard binds nothing useful; rules must have an
+    // operator at the root.
+    let Pattern::Op { matcher, inputs } = pattern else {
+        return;
+    };
+    let (op, expr_inputs) = memo.expr(expr);
+    if !matcher.matches(op) || inputs.len() != expr_inputs.len() {
+        return;
+    }
+    let op = op.clone();
+    let mut acc: Vec<BindingChild<M>> = Vec::with_capacity(inputs.len());
+    fill_children(memo, inputs, expr_inputs, &mut acc, &mut |children| {
+        f(Binding {
+            expr,
+            op: op.clone(),
+            children: children.to_vec(),
+        })
+    });
+}
+
+/// Backtracking recursion over child positions: `acc` holds bindings for
+/// positions `0..acc.len()`; once every position is bound, `emit` fires.
+fn fill_children<M: Model>(
+    memo: &Memo<M>,
+    pats: &[Pattern<M>],
+    groups: &[GroupId],
+    acc: &mut Vec<BindingChild<M>>,
+    emit: &mut dyn FnMut(&[BindingChild<M>]),
+) {
+    let i = acc.len();
+    if i == pats.len() {
+        emit(acc);
+        return;
+    }
+    match &pats[i] {
+        Pattern::Any => {
+            acc.push(BindingChild::Group(memo.repr(groups[i])));
+            fill_children(memo, pats, groups, acc, emit);
+            acc.pop();
+        }
+        nested => {
+            for eid in memo.group_exprs(groups[i]) {
+                match_pattern_with(memo, nested, eid, &mut |b| {
+                    acc.push(BindingChild::Bound(b));
+                    fill_children(memo, pats, groups, acc, emit);
+                    acc.pop();
+                });
+            }
+        }
+    }
+}
+
+/// Enumerate all bindings of `pattern` rooted at expression `expr` as a
+/// materialized vector. Convenience wrapper over [`match_pattern_with`]
+/// for tests and callers that genuinely need the whole set; the search
+/// engine's hot paths use the streaming form.
 pub fn match_pattern<M: Model>(
     memo: &Memo<M>,
     pattern: &Pattern<M>,
     expr: ExprId,
 ) -> Vec<Binding<M>> {
-    match pattern {
-        // A top-level wildcard binds nothing useful; rules must have an
-        // operator at the root.
-        Pattern::Any => Vec::new(),
-        Pattern::Op { matcher, inputs } => {
-            let (op, expr_inputs) = memo.expr(expr);
-            if !matcher.matches(op) || inputs.len() != expr_inputs.len() {
-                return Vec::new();
-            }
-            // Match each child pattern, then take the cross product.
-            let mut per_child: Vec<Vec<BindingChild<M>>> = Vec::with_capacity(inputs.len());
-            for (pat, gid) in inputs.iter().zip(expr_inputs.iter()) {
-                let alts = match_group(memo, pat, *gid);
-                if alts.is_empty() {
-                    return Vec::new();
-                }
-                per_child.push(alts);
-            }
-            let op = op.clone();
-            cross_product(&per_child)
-                .into_iter()
-                .map(|children| Binding {
-                    expr,
-                    op: op.clone(),
-                    children,
-                })
-                .collect()
-        }
-    }
-}
-
-fn match_group<M: Model>(
-    memo: &Memo<M>,
-    pattern: &Pattern<M>,
-    group: GroupId,
-) -> Vec<BindingChild<M>> {
-    match pattern {
-        Pattern::Any => vec![BindingChild::Group(memo.repr(group))],
-        Pattern::Op { .. } => {
-            let mut out = Vec::new();
-            for eid in memo.group_exprs(group) {
-                for b in match_pattern(memo, pattern, eid) {
-                    out.push(BindingChild::Bound(b));
-                }
-            }
-            out
-        }
-    }
-}
-
-fn cross_product<M: Model>(per_child: &[Vec<BindingChild<M>>]) -> Vec<Vec<BindingChild<M>>> {
-    let mut acc: Vec<Vec<BindingChild<M>>> = vec![Vec::new()];
-    for alts in per_child {
-        let mut next = Vec::with_capacity(acc.len() * alts.len());
-        for prefix in &acc {
-            for alt in alts {
-                let mut row = prefix.clone();
-                row.push(alt.clone());
-                next.push(row);
-            }
-        }
-        acc = next;
-    }
-    acc
+    let mut out = Vec::new();
+    match_pattern_with(memo, pattern, expr, &mut |b| out.push(b));
+    out
 }

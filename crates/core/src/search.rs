@@ -31,7 +31,6 @@
 //! a [`TraceEvent::BudgetTripped`] event.
 
 use std::cell::RefCell;
-use std::collections::HashSet;
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -39,12 +38,14 @@ use crate::budget::{BudgetOutcome, CancelToken, SearchBudget, TripReason};
 use crate::cost::{Cost, Limit};
 use crate::error::OptimizeError;
 use crate::expr::{ExprTree, SubstExpr};
-use crate::ids::{ExprId, GroupId};
-use crate::memo::{Goal, InputGoal, Memo, Winner, WinnerPlan};
+use crate::fxhash::FxHashSet;
+use crate::ids::{ExprId, GoalId, GroupId};
+use crate::memo::{InputGoal, Memo, Winner, WinnerPlan};
 use crate::model::Model;
-use crate::pattern::{match_pattern, Binding};
+use crate::pattern::{match_pattern_with, Binding};
 use crate::plan::Plan;
 use crate::props::PhysicalProps;
+use crate::rule_index::RuleIndex;
 use crate::rules::{AlgApplication, EnforcerApplication, RuleCtx, TransformationRule};
 use crate::stats::SearchStats;
 use crate::trace::{MemoHitKind, NullTracer, TraceEvent, Tracer};
@@ -59,6 +60,12 @@ struct ExploreProduct<M: Model> {
     expr: ExprId,
     /// Index of the transformation rule that matched.
     rule_idx: usize,
+    /// Whether the expression's root operator satisfied the rule's root
+    /// matcher. Drives the `transform_matches` counter, which is defined
+    /// over root-matcher hits precisely so it is invariant under the
+    /// operator-indexed dispatch (a sound index only skips tasks whose
+    /// root matcher would have rejected the operator).
+    root_matched: bool,
     /// Substitute count per fired binding, in binding order (drives one
     /// `RuleFired` event per firing, matching the serial path).
     firings: Vec<u64>,
@@ -66,8 +73,9 @@ struct ExploreProduct<M: Model> {
     subs: Vec<SubstExpr<M>>,
 }
 
-/// Goals currently being optimized, shared with RAII cycle guards.
-type InProgressSet<M> = Rc<RefCell<HashSet<(GroupId, Goal<M>)>>>;
+/// Goals currently being optimized, shared with RAII cycle guards. Keys
+/// are `(group, interned goal)` — two `u32`s, no property hashing.
+type InProgressSet = Rc<RefCell<FxHashSet<(GroupId, GoalId)>>>;
 
 /// Knobs controlling the search strategy.
 ///
@@ -94,6 +102,17 @@ pub struct SearchOptions {
     /// search); any finite axis makes the search *anytime* — see the
     /// module documentation.
     pub budget: SearchBudget,
+    /// Consult the operator-indexed [`RuleIndex`] when collecting
+    /// exploration tasks and generating moves, skipping rules whose root
+    /// matcher cannot accept the expression's operator. Sound indexes do
+    /// not change plans, costs, or statistics; the flag exists as an
+    /// ablation/debug escape hatch (the differential test runs both ways).
+    pub rule_index: bool,
+    /// Use interned [`GoalId`]s directly. When disabled, every goal entry
+    /// re-derives its id from freshly cloned property vectors — the
+    /// legacy clone + full-hash cost profile — with provably identical
+    /// results. Ablation/debug escape hatch, matching `rule_index`.
+    pub goal_interning: bool,
 }
 
 impl Default for SearchOptions {
@@ -104,6 +123,8 @@ impl Default for SearchOptions {
             promise_ordering: true,
             move_limit: None,
             budget: SearchBudget::default(),
+            rule_index: true,
+            goal_interning: true,
         }
     }
 }
@@ -122,7 +143,10 @@ struct GoalFailure {
 enum Move<M: Model> {
     Alg {
         rule_idx: usize,
-        binding: Binding<M>,
+        /// Index into the per-goal binding arena built alongside the move
+        /// list — bindings are stored once and shared, never cloned per
+        /// move.
+        binding: u32,
         app: AlgApplication<M>,
         promise: f64,
     },
@@ -146,14 +170,14 @@ impl<M: Model> Move<M> {
 /// `?` propagation, and budget-degraded early breaks — unwinds the mark.
 /// A leaked mark would permanently poison its key: all later requests for
 /// that goal would report a (non-memoizable) cycle failure.
-struct CycleGuard<M: Model> {
-    set: InProgressSet<M>,
-    key: (GroupId, Goal<M>),
+struct CycleGuard {
+    set: InProgressSet,
+    key: (GroupId, GoalId),
 }
 
-impl<M: Model> CycleGuard<M> {
-    fn mark(set: &InProgressSet<M>, key: (GroupId, Goal<M>)) -> Self {
-        set.borrow_mut().insert(key.clone());
+impl CycleGuard {
+    fn mark(set: &InProgressSet, key: (GroupId, GoalId)) -> Self {
+        set.borrow_mut().insert(key);
         CycleGuard {
             set: Rc::clone(set),
             key,
@@ -161,7 +185,7 @@ impl<M: Model> CycleGuard<M> {
     }
 }
 
-impl<M: Model> Drop for CycleGuard<M> {
+impl Drop for CycleGuard {
     fn drop(&mut self) {
         self.set.borrow_mut().remove(&self.key);
     }
@@ -178,18 +202,23 @@ fn run_explore_task<M: Model>(
     ri: usize,
 ) -> ExploreProduct<M> {
     let ctx = RuleCtx::new(memo);
+    let pattern = rule.pattern();
+    let root_matched = pattern.root_matches(memo.expr(e).0);
     let mut firings = Vec::new();
     let mut subs = Vec::new();
-    for b in match_pattern(memo, rule.pattern(), e) {
-        if rule.condition(&b, &ctx) {
-            let s = rule.apply(&b, &ctx);
-            firings.push(s.len() as u64);
-            subs.extend(s);
-        }
+    if root_matched {
+        match_pattern_with(memo, pattern, e, &mut |b| {
+            if rule.condition(&b, &ctx) {
+                let s = rule.apply(&b, &ctx);
+                firings.push(s.len() as u64);
+                subs.extend(s);
+            }
+        });
     }
     ExploreProduct {
         expr: e,
         rule_idx: ri,
+        root_matched,
         firings,
         subs,
     }
@@ -215,7 +244,10 @@ pub struct Optimizer<'m, M: Model> {
     /// Goals currently being optimized, for cycle detection among
     /// mutually inverse transformation derivations. Shared (`Rc`) with
     /// the RAII guards that unwind the marks.
-    in_progress: InProgressSet<M>,
+    in_progress: InProgressSet,
+    /// Operator-discriminant → candidate-rule dispatch index, built once
+    /// from the model's rule sets.
+    rule_index: RuleIndex,
     /// Per-expression, per-transformation-rule memo version at the last
     /// pattern match (`NEVER` = not yet matched).
     watermarks: Vec<Vec<u64>>,
@@ -245,7 +277,8 @@ impl<'m, M: Model> Optimizer<'m, M> {
             memo: Memo::new(),
             opts,
             stats: SearchStats::default(),
-            in_progress: Rc::new(RefCell::new(HashSet::new())),
+            in_progress: Rc::new(RefCell::new(FxHashSet::default())),
+            rule_index: RuleIndex::new(model),
             watermarks: Vec::new(),
             rule_depths,
             deadline: None,
@@ -268,6 +301,12 @@ impl<'m, M: Model> Optimizer<'m, M> {
     /// The memo, for inspection and testing.
     pub fn memo(&self) -> &Memo<M> {
         &self.memo
+    }
+
+    /// The operator-indexed rule dispatch table, for inspection and the
+    /// completeness proptest.
+    pub fn rule_index(&self) -> &RuleIndex {
+        &self.rule_index
     }
 
     /// Search statistics accumulated so far.
@@ -485,7 +524,6 @@ impl<'m, M: Model> Optimizer<'m, M> {
     /// deeper patterns must re-match whenever the memo has grown, because
     /// input classes may have gained members.
     fn collect_explore_tasks(&mut self) -> Vec<(ExprId, usize)> {
-        let nrules = self.rule_depths.len();
         let version = self.memo.version();
         let mut tasks = Vec::new();
         for i in 0..self.memo.num_exprs() {
@@ -494,7 +532,16 @@ impl<'m, M: Model> Optimizer<'m, M> {
                 continue;
             }
             self.ensure_watermarks(e);
-            for ri in 0..nrules {
+            // Candidate rules for this operator: the full list without
+            // the index (disc `None` maps to "all"), the indexed subset —
+            // same rules in the same ascending order minus guaranteed
+            // root-matcher rejections — with it.
+            let disc = if self.opts.rule_index {
+                self.model.op_discriminant(self.memo.expr(e).0)
+            } else {
+                None
+            };
+            for &ri in self.rule_index.transform_candidates(disc) {
                 let wm = self.watermarks[e.index()][ri];
                 if wm == NEVER || (self.rule_depths[ri] > 1 && version > wm) {
                     tasks.push((e, ri));
@@ -524,7 +571,9 @@ impl<'m, M: Model> Optimizer<'m, M> {
             if !self.memo.is_live(p.expr) {
                 continue;
             }
-            self.stats.transform_matches += 1;
+            if p.root_matched {
+                self.stats.transform_matches += 1;
+            }
             self.stats.transform_fired += p.firings.len() as u64;
             if traced {
                 for &n in &p.firings {
@@ -573,12 +622,9 @@ impl<'m, M: Model> Optimizer<'m, M> {
         let start = Instant::now();
         self.arm_deadline();
         self.explore_fixpoint();
-        let goal = Goal {
-            required,
-            excluded: M::PhysProps::any(),
-        };
+        let goal = self.memo.intern_goal(&required, &M::PhysProps::any());
         let had_limit = limit.is_some();
-        let res = self.optimize_goal(root, goal.clone(), Limit(limit));
+        let res = self.optimize_goal(root, goal, Limit(limit));
         self.stats.elapsed += start.elapsed();
         self.stats.exprs_created = self.memo.num_exprs();
         self.stats.groups_created = self.memo.num_allocated_groups();
@@ -591,7 +637,7 @@ impl<'m, M: Model> Optimizer<'m, M> {
         };
         match res {
             Ok(_) => Ok(self
-                .extract_plan(root, &goal)
+                .extract_plan(root, goal)
                 .expect("winner recorded for successful goal")),
             Err(_) => {
                 // With an unlimited budget the failure is structural (the
@@ -606,13 +652,12 @@ impl<'m, M: Model> Optimizer<'m, M> {
         }
     }
 
-    /// The optimal cost memoized for a goal, if any.
+    /// The optimal cost memoized for a goal, if any. Read-only: probes
+    /// the goal interner without cloning the property vectors (a goal
+    /// that was never interned was never optimized, so it has no winner).
     pub fn best_cost(&self, group: GroupId, required: &M::PhysProps) -> Option<M::Cost> {
-        let goal = Goal {
-            required: required.clone(),
-            excluded: M::PhysProps::any(),
-        };
-        match self.memo.winner(self.memo.repr(group), &goal) {
+        let goal = self.memo.find_goal(required, &M::PhysProps::any())?;
+        match self.memo.winner(self.memo.repr(group), goal) {
             Some(Winner::Optimal(p)) => Some(p.total_cost.clone()),
             _ => None,
         }
@@ -622,13 +667,22 @@ impl<'m, M: Model> Optimizer<'m, M> {
     fn optimize_goal(
         &mut self,
         group: GroupId,
-        goal: Goal<M>,
+        goal: GoalId,
         limit: Limit<M::Cost>,
     ) -> Result<M::Cost, GoalFailure> {
         let group = self.memo.repr(group);
+        // Ablation escape hatch: with interning disabled, re-derive the
+        // goal id from freshly cloned property vectors on every entry —
+        // the legacy clone + full-hash cost profile, identical results.
+        let goal = if self.opts.goal_interning {
+            goal
+        } else {
+            let g = self.memo.goal(goal).clone();
+            self.memo.intern_goal(&g.required, &g.excluded)
+        };
 
         // "if the pair LogExpr and PhysProp is in the look-up table ..."
-        if let Some(w) = self.memo.winner(group, &goal) {
+        if let Some(w) = self.memo.winner(group, goal) {
             match w {
                 Winner::Optimal(p) => {
                     // Optimal entries are true optima (branch-and-bound
@@ -675,7 +729,7 @@ impl<'m, M: Model> Optimizer<'m, M> {
         // "the current expression and physical property vector is marked
         // as 'in progress'" — cycle breaking for inverse rules. The RAII
         // guard removes the mark on every exit path.
-        let key = (group, goal.clone());
+        let key = (group, goal);
         if self.in_progress.borrow().contains(&key) {
             return Err(GoalFailure { memoizable: false });
         }
@@ -687,19 +741,17 @@ impl<'m, M: Model> Optimizer<'m, M> {
         if traced {
             self.tracer.event(TraceEvent::GoalBegin {
                 group,
-                required: format!("{:?}", goal.required),
+                required: format!("{:?}", self.memo.goal(goal).required),
             });
         }
 
-        let mut moves = self.generate_moves(group, &goal);
+        let (mut moves, bindings) = self.generate_moves(group, goal);
         if self.opts.promise_ordering {
             // Stable sort by descending promise: "order the set of moves
-            // by promise".
-            moves.sort_by(|a, b| {
-                b.promise()
-                    .partial_cmp(&a.promise())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            // by promise". `total_cmp` gives NaN a fixed position (after
+            // every finite promise in descending order), so a NaN promise
+            // can no longer scramble move order between runs.
+            moves.sort_by(|a, b| b.promise().total_cmp(&a.promise()));
         }
         if let Some(k) = self.opts.move_limit {
             // "for the most promising moves": heuristic move selection.
@@ -726,9 +778,14 @@ impl<'m, M: Model> Optimizer<'m, M> {
                     app,
                     ..
                 } => {
-                    if let Err(nm) =
-                        self.pursue_alg(group, rule_idx, &binding, app, &mut best, &mut bound)
-                    {
+                    if let Err(nm) = self.pursue_alg(
+                        group,
+                        rule_idx,
+                        &bindings[binding as usize],
+                        app,
+                        &mut best,
+                        &mut bound,
+                    ) {
                         nonmemoizable_failure |= nm;
                     }
                 }
@@ -744,17 +801,16 @@ impl<'m, M: Model> Optimizer<'m, M> {
             Some(plan) => {
                 let cost = plan.total_cost.clone();
                 debug_assert!(
-                    plan.delivered.satisfies(&goal.required),
+                    plan.delivered.satisfies(&self.memo.goal(goal).required),
                     "chosen plan's physical properties {:?} do not satisfy the goal {:?}",
                     plan.delivered,
-                    goal.required
+                    self.memo.goal(goal).required
                 );
                 self.stats.winners_recorded += 1;
                 if self.tripped.is_some() {
                     self.stats.greedy_goals += 1;
                 }
-                self.memo
-                    .set_winner(group, goal.clone(), Winner::Optimal(plan));
+                self.memo.set_winner(group, goal, Winner::Optimal(plan));
                 if limit.admits(&cost) {
                     Ok(cost)
                 } else {
@@ -771,7 +827,7 @@ impl<'m, M: Model> Optimizer<'m, M> {
                     self.stats.failures_recorded += 1;
                     self.memo.set_winner(
                         group,
-                        goal.clone(),
+                        goal,
                         Winner::Failure {
                             tried: limit.clone(),
                         },
@@ -795,90 +851,115 @@ impl<'m, M: Model> Optimizer<'m, M> {
         outcome
     }
 
-    /// Generate the algorithm and enforcer moves for a goal.
-    fn generate_moves(&mut self, group: GroupId, goal: &Goal<M>) -> Vec<Move<M>> {
-        let model = self.model;
-        let mut moves = Vec::new();
+    /// Generate the algorithm and enforcer moves for a goal, plus the
+    /// binding arena `Move::Alg` entries index into. Bindings stream
+    /// straight out of the matcher into the arena — no intermediate
+    /// `Vec<Binding>` per (expression, rule) pair, no per-move clones; a
+    /// binding is stored only if at least one move uses it, and shared by
+    /// all of that binding's applications.
+    fn generate_moves(&mut self, group: GroupId, goal: GoalId) -> (Vec<Move<M>>, Vec<Binding<M>>) {
+        // Disjoint field borrows: the matcher callback reads `memo` while
+        // mutating the tracer, move list, and arena.
+        let Optimizer {
+            ref memo,
+            model,
+            ref mut tracer,
+            ref opts,
+            ref rule_index,
+            ..
+        } = *self;
+        let mut moves: Vec<Move<M>> = Vec::new();
+        let mut bindings: Vec<Binding<M>> = Vec::new();
+        let goal = memo.goal(goal);
         let exclude_active = !goal.excluded.is_any();
         let mut excluded_count = 0u64;
-        let traced = self.tracer.enabled();
+        let traced = tracer.enabled();
 
-        {
-            let ctx = RuleCtx::new(&self.memo);
-            // "there might be some algorithms that can deliver the logical
-            // expression with the desired physical properties".
-            for expr in self.memo.group_exprs(group) {
-                for (ri, rule) in model.implementations().iter().enumerate() {
-                    for binding in match_pattern(&self.memo, rule.pattern(), expr) {
-                        if !rule.condition(&binding, &ctx) {
+        let ctx = RuleCtx::new(memo);
+        // "there might be some algorithms that can deliver the logical
+        // expression with the desired physical properties".
+        for expr in memo.group_exprs(group) {
+            let disc = if opts.rule_index {
+                model.op_discriminant(memo.expr(expr).0)
+            } else {
+                None
+            };
+            for &ri in rule_index.impl_candidates(disc) {
+                let rule = &model.implementations()[ri];
+                match_pattern_with(memo, rule.pattern(), expr, &mut |binding| {
+                    if !rule.condition(&binding, &ctx) {
+                        return;
+                    }
+                    let mut used = false;
+                    for app in rule.applies(&binding, &goal.required, &ctx) {
+                        debug_assert!(
+                            app.delivers.satisfies(&goal.required),
+                            "applicability function of {} produced properties {:?} that \
+                             do not satisfy {:?}",
+                            rule.name(),
+                            app.delivers,
+                            goal.required
+                        );
+                        // "algorithms that already applied before
+                        // relaxing the physical properties must not be
+                        // explored again" below an enforcer.
+                        if exclude_active && app.delivers.satisfies(&goal.excluded) {
+                            excluded_count += 1;
+                            if traced {
+                                tracer.event(TraceEvent::MoveExcluded {
+                                    group,
+                                    reason: format!(
+                                        "{} delivers {:?}, already enforced",
+                                        rule.name(),
+                                        app.delivers
+                                    ),
+                                });
+                            }
                             continue;
                         }
-                        for app in rule.applies(&binding, &goal.required, &ctx) {
-                            debug_assert!(
-                                app.delivers.satisfies(&goal.required),
-                                "applicability function of {} produced properties {:?} that \
-                                 do not satisfy {:?}",
-                                rule.name(),
-                                app.delivers,
-                                goal.required
-                            );
-                            // "algorithms that already applied before
-                            // relaxing the physical properties must not be
-                            // explored again" below an enforcer.
-                            if exclude_active && app.delivers.satisfies(&goal.excluded) {
-                                excluded_count += 1;
-                                if traced {
-                                    self.tracer.event(TraceEvent::MoveExcluded {
-                                        group,
-                                        reason: format!(
-                                            "{} delivers {:?}, already enforced",
-                                            rule.name(),
-                                            app.delivers
-                                        ),
-                                    });
-                                }
-                                continue;
-                            }
-                            let promise = rule.promise(&app, &binding, &ctx);
-                            moves.push(Move::Alg {
-                                rule_idx: ri,
-                                binding: binding.clone(),
-                                app,
-                                promise,
-                            });
-                        }
+                        let promise = rule.promise(&app, &binding, &ctx);
+                        moves.push(Move::Alg {
+                            rule_idx: ri,
+                            binding: bindings.len() as u32,
+                            app,
+                            promise,
+                        });
+                        used = true;
                     }
-                }
+                    if used {
+                        bindings.push(binding);
+                    }
+                });
             }
-            // "an enforcer might be useful to permit additional algorithm
-            // choices".
-            for (ei, enf) in model.enforcers().iter().enumerate() {
-                for app in enf.applies(&goal.required, group, &ctx) {
-                    if exclude_active && app.delivers.satisfies(&goal.excluded) {
-                        excluded_count += 1;
-                        if traced {
-                            self.tracer.event(TraceEvent::MoveExcluded {
-                                group,
-                                reason: format!(
-                                    "enforcer {} delivers {:?}, already enforced",
-                                    enf.name(),
-                                    app.delivers
-                                ),
-                            });
-                        }
-                        continue;
+        }
+        // "an enforcer might be useful to permit additional algorithm
+        // choices".
+        for (ei, enf) in model.enforcers().iter().enumerate() {
+            for app in enf.applies(&goal.required, group, &ctx) {
+                if exclude_active && app.delivers.satisfies(&goal.excluded) {
+                    excluded_count += 1;
+                    if traced {
+                        tracer.event(TraceEvent::MoveExcluded {
+                            group,
+                            reason: format!(
+                                "enforcer {} delivers {:?}, already enforced",
+                                enf.name(),
+                                app.delivers
+                            ),
+                        });
                     }
-                    let promise = enf.promise(&app, group, &ctx);
-                    moves.push(Move::Enf {
-                        enf_idx: ei,
-                        app,
-                        promise,
-                    });
+                    continue;
                 }
+                let promise = enf.promise(&app, group, &ctx);
+                moves.push(Move::Enf {
+                    enf_idx: ei,
+                    app,
+                    promise,
+                });
             }
         }
         self.stats.moves_excluded += excluded_count;
-        moves
+        (moves, bindings)
     }
 
     /// Pursue an algorithm move: cost the algorithm, then optimize each
@@ -920,6 +1001,7 @@ impl<'m, M: Model> Optimizer<'m, M> {
 
         // "TotalCost := cost of the algorithm; for each input I while
         // TotalCost < Limit ..."
+        let any = M::PhysProps::any();
         let mut total = local.clone();
         let mut input_goals = Vec::with_capacity(leaves.len());
         for (g, props) in leaves.iter().zip(app.input_props.iter()) {
@@ -938,16 +1020,15 @@ impl<'m, M: Model> Optimizer<'m, M> {
                 }
                 return Err(false);
             }
-            let child_goal = Goal {
-                required: props.clone(),
-                excluded: M::PhysProps::any(),
-            };
+            // Interning clones the property vector only the first time
+            // this (required, any) combination is ever requested.
+            let child_goal = self.memo.intern_goal(props, &any);
             let child_limit = if self.opts.pruning {
                 bound.spend(&total)
             } else {
                 Limit::unlimited()
             };
-            match self.optimize_goal(*g, child_goal.clone(), child_limit) {
+            match self.optimize_goal(*g, child_goal, child_limit) {
                 Ok(c) => {
                     total = total.add(&c);
                     input_goals.push(InputGoal {
@@ -1015,16 +1096,13 @@ impl<'m, M: Model> Optimizer<'m, M> {
             }
             return Err(false);
         }
-        let child_goal = Goal {
-            required: app.relaxed.clone(),
-            excluded: app.excluded.clone(),
-        };
+        let child_goal = self.memo.intern_goal(&app.relaxed, &app.excluded);
         let child_limit = if self.opts.pruning {
             bound.spend(&local)
         } else {
             Limit::unlimited()
         };
-        match self.optimize_goal(group, child_goal.clone(), child_limit) {
+        match self.optimize_goal(group, child_goal, child_limit) {
             Ok(c) => {
                 self.consider_candidate(
                     WinnerPlan {
@@ -1070,7 +1148,7 @@ impl<'m, M: Model> Optimizer<'m, M> {
     }
 
     /// Materialize the memoized optimal plan for a goal.
-    fn extract_plan(&self, group: GroupId, goal: &Goal<M>) -> Option<Plan<M>> {
+    fn extract_plan(&self, group: GroupId, goal: GoalId) -> Option<Plan<M>> {
         let group = self.memo.repr(group);
         match self.memo.winner(group, goal)? {
             Winner::Failure { .. } => None,
@@ -1080,16 +1158,16 @@ impl<'m, M: Model> Optimizer<'m, M> {
                 // really do satisfy the physical property vector given as
                 // part of the optimization goal" (§2.2).
                 assert!(
-                    p.delivered.satisfies(&goal.required),
+                    p.delivered.satisfies(&self.memo.goal(goal).required),
                     "plan properties {:?} violate goal {:?}",
                     p.delivered,
-                    goal.required
+                    self.memo.goal(goal).required
                 );
                 let inputs = p
                     .inputs
                     .iter()
                     .map(|ig| {
-                        self.extract_plan(ig.group, &ig.goal)
+                        self.extract_plan(ig.group, ig.goal)
                             .expect("input goal of a winner must itself have a winner")
                     })
                     .collect();

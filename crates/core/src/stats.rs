@@ -23,7 +23,11 @@ pub struct SearchStats {
     pub group_merges: u64,
     /// Expressions retired as duplicates by merge cascades.
     pub dead_exprs: u64,
-    /// Transformation-rule pattern match attempts.
+    /// Transformation (expression, rule) exploration tasks whose root
+    /// operator satisfied the rule's root matcher. Counting root-matcher
+    /// hits (rather than raw task attempts) makes the counter invariant
+    /// under the operator-indexed rule dispatch, which only skips tasks
+    /// whose root matcher was guaranteed to reject the operator.
     pub transform_matches: u64,
     /// Transformation-rule firings (pattern + condition succeeded).
     pub transform_fired: u64,

@@ -34,6 +34,28 @@ pub enum ToyOp {
     Join,
 }
 
+/// Operator discriminants for the rule-dispatch index (see
+/// [`Model::op_discriminant`]). Pure variant tags, never argument values.
+pub mod toy_disc {
+    /// `ToyOp::Get(_)`.
+    pub const GET: usize = 0;
+    /// `ToyOp::Select`.
+    pub const SELECT: usize = 1;
+    /// `ToyOp::Join`.
+    pub const JOIN: usize = 2;
+}
+
+impl ToyOp {
+    /// The operator's dispatch discriminant (see [`toy_disc`]).
+    pub fn discriminant(&self) -> usize {
+        match self {
+            ToyOp::Get(_) => toy_disc::GET,
+            ToyOp::Select => toy_disc::SELECT,
+            ToyOp::Join => toy_disc::JOIN,
+        }
+    }
+}
+
 impl Operator for ToyOp {
     fn arity(&self) -> usize {
         match self {
@@ -126,8 +148,9 @@ struct JoinCommute {
 impl JoinCommute {
     fn new() -> Self {
         JoinCommute {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "join",
+                vec![toy_disc::JOIN],
                 |op: &ToyOp| matches!(op, ToyOp::Join),
                 vec![Pattern::Any, Pattern::Any],
             ),
@@ -166,12 +189,14 @@ struct JoinAssoc {
 impl JoinAssoc {
     fn new() -> Self {
         JoinAssoc {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "join",
+                vec![toy_disc::JOIN],
                 |op: &ToyOp| matches!(op, ToyOp::Join),
                 vec![
-                    Pattern::op(
+                    Pattern::op_disc(
                         "join",
+                        vec![toy_disc::JOIN],
                         |op: &ToyOp| matches!(op, ToyOp::Join),
                         vec![Pattern::Any, Pattern::Any],
                     ),
@@ -223,7 +248,12 @@ struct GetToScan {
 impl GetToScan {
     fn new() -> Self {
         GetToScan {
-            pattern: Pattern::op("get", |op: &ToyOp| matches!(op, ToyOp::Get(_)), vec![]),
+            pattern: Pattern::op_disc(
+                "get",
+                vec![toy_disc::GET],
+                |op: &ToyOp| matches!(op, ToyOp::Get(_)),
+                vec![],
+            ),
         }
     }
 }
@@ -275,8 +305,9 @@ struct SelectToFilter {
 impl SelectToFilter {
     fn new() -> Self {
         SelectToFilter {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "select",
+                vec![toy_disc::SELECT],
                 |op: &ToyOp| matches!(op, ToyOp::Select),
                 vec![Pattern::Any],
             ),
@@ -326,8 +357,9 @@ struct JoinToHash {
 impl JoinToHash {
     fn new() -> Self {
         JoinToHash {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "join",
+                vec![toy_disc::JOIN],
                 |op: &ToyOp| matches!(op, ToyOp::Join),
                 vec![Pattern::Any, Pattern::Any],
             ),
@@ -384,8 +416,9 @@ struct JoinToMerge {
 impl JoinToMerge {
     fn new() -> Self {
         JoinToMerge {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "join",
+                vec![toy_disc::JOIN],
                 |op: &ToyOp| matches!(op, ToyOp::Join),
                 vec![Pattern::Any, Pattern::Any],
             ),
@@ -540,6 +573,10 @@ impl Model for ToyModel {
         );
     }
 
+    fn op_discriminant(&self, op: &ToyOp) -> Option<usize> {
+        Some(op.discriminant())
+    }
+
     fn transformations(&self) -> &[Box<dyn TransformationRule<Self>>] {
         &self.transforms
     }
@@ -656,7 +693,7 @@ mod tests {
         // Each pair group holds both commuted joins; the root holds
         // 3 (pairs) * 2 (commutations) = 6 join expressions.
         let root_exprs = opt.memo().group_exprs(opt.memo().repr(root));
-        assert_eq!(root_exprs.len(), 6);
+        assert_eq!(root_exprs.count(), 6);
     }
 
     #[test]

@@ -151,7 +151,7 @@ fn dynamic_exploration_is_exhaustive() {
         .unwrap();
     // Same shape as the hand-written model: 7 groups, 6 root joins.
     assert_eq!(opt.memo().num_groups(), 7);
-    assert_eq!(opt.memo().group_exprs(opt.memo().repr(root)).len(), 6);
+    assert_eq!(opt.memo().group_exprs(opt.memo().repr(root)).count(), 6);
 }
 
 #[test]

@@ -340,6 +340,10 @@ impl Model for RelModel {
         );
     }
 
+    fn op_discriminant(&self, op: &RelOp) -> Option<usize> {
+        Some(op.discriminant())
+    }
+
     fn transformations(&self) -> &[Box<dyn TransformationRule<Self>>] {
         &self.transforms
     }

@@ -84,6 +84,44 @@ pub enum RelOp {
     Aggregate(AggSpec),
 }
 
+/// Operator discriminants for the rule-dispatch index (see
+/// `volcano_core::Model::op_discriminant`). Pure variant tags — never a
+/// function of operator arguments such as predicates or column lists.
+pub mod rel_disc {
+    /// `RelOp::Get(_)`.
+    pub const GET: usize = 0;
+    /// `RelOp::Select(_)`.
+    pub const SELECT: usize = 1;
+    /// `RelOp::Project(_)`.
+    pub const PROJECT: usize = 2;
+    /// `RelOp::Join(_)`.
+    pub const JOIN: usize = 3;
+    /// `RelOp::Union`.
+    pub const UNION: usize = 4;
+    /// `RelOp::Intersect`.
+    pub const INTERSECT: usize = 5;
+    /// `RelOp::Difference`.
+    pub const DIFFERENCE: usize = 6;
+    /// `RelOp::Aggregate(_)`.
+    pub const AGGREGATE: usize = 7;
+}
+
+impl RelOp {
+    /// The operator's dispatch discriminant (see [`rel_disc`]).
+    pub fn discriminant(&self) -> usize {
+        match self {
+            RelOp::Get(_) => rel_disc::GET,
+            RelOp::Select(_) => rel_disc::SELECT,
+            RelOp::Project(_) => rel_disc::PROJECT,
+            RelOp::Join(_) => rel_disc::JOIN,
+            RelOp::Union => rel_disc::UNION,
+            RelOp::Intersect => rel_disc::INTERSECT,
+            RelOp::Difference => rel_disc::DIFFERENCE,
+            RelOp::Aggregate(_) => rel_disc::AGGREGATE,
+        }
+    }
+}
+
 impl Operator for RelOp {
     fn arity(&self) -> usize {
         match self {

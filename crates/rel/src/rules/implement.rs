@@ -14,7 +14,7 @@ use crate::alg::RelAlg;
 use crate::cost::{formulas, RelCost};
 use crate::ids::AttrId;
 use crate::model::RelModel;
-use crate::ops::RelOp;
+use crate::ops::{rel_disc, RelOp};
 use crate::props::{RelLogical, RelProps};
 
 type App = AlgApplication<RelModel>;
@@ -63,7 +63,12 @@ impl FileScanRule {
     /// Construct the rule.
     pub fn new() -> Self {
         FileScanRule {
-            pattern: Pattern::op("get", |op: &RelOp| matches!(op, RelOp::Get(_)), vec![]),
+            pattern: Pattern::op_disc(
+                "get",
+                vec![rel_disc::GET],
+                |op: &RelOp| matches!(op, RelOp::Get(_)),
+                vec![],
+            ),
         }
     }
 }
@@ -114,7 +119,12 @@ impl IndexScanRule {
     /// Construct the rule over the model's catalog.
     pub fn new(catalog: crate::Catalog) -> Self {
         IndexScanRule {
-            pattern: Pattern::op("get", |op: &RelOp| matches!(op, RelOp::Get(_)), vec![]),
+            pattern: Pattern::op_disc(
+                "get",
+                vec![rel_disc::GET],
+                |op: &RelOp| matches!(op, RelOp::Get(_)),
+                vec![],
+            ),
             catalog,
         }
     }
@@ -166,11 +176,13 @@ impl FilterScanRule {
     /// Construct the rule.
     pub fn new() -> Self {
         FilterScanRule {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "select",
+                vec![rel_disc::SELECT],
                 |op: &RelOp| matches!(op, RelOp::Select(_)),
-                vec![Pattern::op(
+                vec![Pattern::op_disc(
                     "get",
+                    vec![rel_disc::GET],
                     |op: &RelOp| matches!(op, RelOp::Get(_)),
                     vec![],
                 )],
@@ -237,8 +249,9 @@ impl FilterRule {
     /// Construct the rule.
     pub fn new() -> Self {
         FilterRule {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "select",
+                vec![rel_disc::SELECT],
                 |op: &RelOp| matches!(op, RelOp::Select(_)),
                 vec![Pattern::Any],
             ),
@@ -292,8 +305,9 @@ impl ProjectRule {
     /// Construct the rule.
     pub fn new() -> Self {
         ProjectRule {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "project",
+                vec![rel_disc::PROJECT],
                 |op: &RelOp| matches!(op, RelOp::Project(_)),
                 vec![Pattern::Any],
             ),
@@ -353,8 +367,9 @@ impl MergeJoinRule {
     /// the first two join attributes swapped.
     pub fn new(variants: usize) -> Self {
         MergeJoinRule {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "join",
+                vec![rel_disc::JOIN],
                 |op: &RelOp| matches!(op, RelOp::Join(_)),
                 vec![Pattern::Any, Pattern::Any],
             ),
@@ -433,8 +448,9 @@ impl HashJoinRule {
     /// Construct the rule with the memory available per hash join.
     pub fn new(memory_bytes: f64) -> Self {
         HashJoinRule {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "join",
+                vec![rel_disc::JOIN],
                 |op: &RelOp| matches!(op, RelOp::Join(_)),
                 vec![Pattern::Any, Pattern::Any],
             ),
@@ -504,11 +520,17 @@ impl MultiWayJoinRule {
     pub fn new() -> Self {
         let is_join = |op: &RelOp| matches!(op, RelOp::Join(_));
         MultiWayJoinRule {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "join",
+                vec![rel_disc::JOIN],
                 is_join,
                 vec![
-                    Pattern::op("join", is_join, vec![Pattern::Any, Pattern::Any]),
+                    Pattern::op_disc(
+                        "join",
+                        vec![rel_disc::JOIN],
+                        is_join,
+                        vec![Pattern::Any, Pattern::Any],
+                    ),
                     Pattern::Any,
                 ],
             ),
@@ -588,8 +610,9 @@ impl NestedLoopsRule {
     /// Construct the rule.
     pub fn new() -> Self {
         NestedLoopsRule {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "join",
+                vec![rel_disc::JOIN],
                 |op: &RelOp| matches!(op, RelOp::Join(_)),
                 vec![Pattern::Any, Pattern::Any],
             ),
@@ -668,6 +691,14 @@ impl SetOpKind {
         )
     }
 
+    fn discriminant(self) -> usize {
+        match self {
+            SetOpKind::Union => rel_disc::UNION,
+            SetOpKind::Intersect => rel_disc::INTERSECT,
+            SetOpKind::Difference => rel_disc::DIFFERENCE,
+        }
+    }
+
     fn merge_alg(self) -> RelAlg {
         match self {
             SetOpKind::Union => RelAlg::MergeUnion,
@@ -707,8 +738,9 @@ impl MergeSetOpRule {
             SetOpKind::Difference => ("difference_to_merge_difference", "difference"),
         };
         MergeSetOpRule {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 pname,
+                vec![kind.discriminant()],
                 move |op: &RelOp| kind.matches(op),
                 vec![Pattern::Any, Pattern::Any],
             ),
@@ -787,8 +819,9 @@ impl HashSetOpRule {
             SetOpKind::Difference => ("difference_to_hash_difference", "difference"),
         };
         HashSetOpRule {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 pname,
+                vec![kind.discriminant()],
                 move |op: &RelOp| kind.matches(op),
                 vec![Pattern::Any, Pattern::Any],
             ),
@@ -841,8 +874,9 @@ impl StreamAggRule {
     /// Construct the rule.
     pub fn new() -> Self {
         StreamAggRule {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "aggregate",
+                vec![rel_disc::AGGREGATE],
                 |op: &RelOp| matches!(op, RelOp::Aggregate(_)),
                 vec![Pattern::Any],
             ),
@@ -894,8 +928,9 @@ impl HashAggRule {
     /// Construct the rule.
     pub fn new() -> Self {
         HashAggRule {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "aggregate",
+                vec![rel_disc::AGGREGATE],
                 |op: &RelOp| matches!(op, RelOp::Aggregate(_)),
                 vec![Pattern::Any],
             ),

@@ -12,7 +12,7 @@
 use volcano_core::{Binding, Pattern, RuleCtx, SubstExpr, TransformationRule};
 
 use crate::model::RelModel;
-use crate::ops::RelOp;
+use crate::ops::{rel_disc, RelOp};
 use crate::predicate::Pred;
 
 type Subst = SubstExpr<RelModel>;
@@ -34,7 +34,12 @@ impl JoinCommute {
     /// Construct the rule.
     pub fn new() -> Self {
         JoinCommute {
-            pattern: Pattern::op("join", is_join, vec![Pattern::Any, Pattern::Any]),
+            pattern: Pattern::op_disc(
+                "join",
+                vec![rel_disc::JOIN],
+                is_join,
+                vec![Pattern::Any, Pattern::Any],
+            ),
         }
     }
 }
@@ -86,11 +91,17 @@ impl JoinAssoc {
     /// Cartesian products.
     pub fn new(allow_cross: bool) -> Self {
         JoinAssoc {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "join",
+                vec![rel_disc::JOIN],
                 is_join,
                 vec![
-                    Pattern::op("join", is_join, vec![Pattern::Any, Pattern::Any]),
+                    Pattern::op_disc(
+                        "join",
+                        vec![rel_disc::JOIN],
+                        is_join,
+                        vec![Pattern::Any, Pattern::Any],
+                    ),
                     Pattern::Any,
                 ],
             ),
@@ -157,11 +168,17 @@ impl JoinLeftExchange {
     /// Cartesian products.
     pub fn new(allow_cross: bool) -> Self {
         JoinLeftExchange {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "join",
+                vec![rel_disc::JOIN],
                 is_join,
                 vec![
-                    Pattern::op("join", is_join, vec![Pattern::Any, Pattern::Any]),
+                    Pattern::op_disc(
+                        "join",
+                        vec![rel_disc::JOIN],
+                        is_join,
+                        vec![Pattern::Any, Pattern::Any],
+                    ),
                     Pattern::Any,
                 ],
             ),
@@ -223,7 +240,12 @@ impl BottomJoinCommute {
     /// Construct the rule.
     pub fn new() -> Self {
         BottomJoinCommute {
-            pattern: Pattern::op("join", is_join, vec![Pattern::Any, Pattern::Any]),
+            pattern: Pattern::op_disc(
+                "join",
+                vec![rel_disc::JOIN],
+                is_join,
+                vec![Pattern::Any, Pattern::Any],
+            ),
         }
     }
 }
@@ -249,8 +271,7 @@ impl TransformationRule<RelModel> for BottomJoinCommute {
         let memo = ctx.memo();
         [b.input_group(0), b.input_group(1)].iter().all(|&g| {
             memo.group_exprs(g)
-                .iter()
-                .all(|&e| !matches!(memo.expr(e).0, RelOp::Join(_)))
+                .all(|e| !matches!(memo.expr(e).0, RelOp::Join(_)))
         })
     }
 
@@ -278,11 +299,13 @@ impl SelectPushdown {
     /// Construct the rule.
     pub fn new() -> Self {
         SelectPushdown {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "select",
+                vec![rel_disc::SELECT],
                 is_select,
-                vec![Pattern::op(
+                vec![Pattern::op_disc(
                     "join",
+                    vec![rel_disc::JOIN],
                     is_join,
                     vec![Pattern::Any, Pattern::Any],
                 )],
@@ -350,10 +373,16 @@ impl SelectMerge {
     /// Construct the rule.
     pub fn new() -> Self {
         SelectMerge {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "select",
+                vec![rel_disc::SELECT],
                 is_select,
-                vec![Pattern::op("select", is_select, vec![Pattern::Any])],
+                vec![Pattern::op_disc(
+                    "select",
+                    vec![rel_disc::SELECT],
+                    is_select,
+                    vec![Pattern::Any],
+                )],
             ),
         }
     }
@@ -400,8 +429,9 @@ impl SetOpCommute {
     /// Commutativity of `UNION`.
     pub fn union() -> Self {
         SetOpCommute {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "union",
+                vec![rel_disc::UNION],
                 |op: &RelOp| matches!(op, RelOp::Union),
                 vec![Pattern::Any, Pattern::Any],
             ),
@@ -413,8 +443,9 @@ impl SetOpCommute {
     /// Commutativity of `INTERSECT`.
     pub fn intersect() -> Self {
         SetOpCommute {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "intersect",
+                vec![rel_disc::INTERSECT],
                 |op: &RelOp| matches!(op, RelOp::Intersect),
                 vec![Pattern::Any, Pattern::Any],
             ),
@@ -463,11 +494,17 @@ impl SetOpAssoc {
     pub fn union() -> Self {
         let m = |op: &RelOp| matches!(op, RelOp::Union);
         SetOpAssoc {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "union",
+                vec![rel_disc::UNION],
                 m,
                 vec![
-                    Pattern::op("union", m, vec![Pattern::Any, Pattern::Any]),
+                    Pattern::op_disc(
+                        "union",
+                        vec![rel_disc::UNION],
+                        m,
+                        vec![Pattern::Any, Pattern::Any],
+                    ),
                     Pattern::Any,
                 ],
             ),
@@ -480,11 +517,17 @@ impl SetOpAssoc {
     pub fn intersect() -> Self {
         let m = |op: &RelOp| matches!(op, RelOp::Intersect);
         SetOpAssoc {
-            pattern: Pattern::op(
+            pattern: Pattern::op_disc(
                 "intersect",
+                vec![rel_disc::INTERSECT],
                 m,
                 vec![
-                    Pattern::op("intersect", m, vec![Pattern::Any, Pattern::Any]),
+                    Pattern::op_disc(
+                        "intersect",
+                        vec![rel_disc::INTERSECT],
+                        m,
+                        vec![Pattern::Any, Pattern::Any],
+                    ),
                     Pattern::Any,
                 ],
             ),

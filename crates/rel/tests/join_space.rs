@@ -117,7 +117,7 @@ fn left_deep_enumerates_all_orders() {
     let mut opt = RelOptimizer::new(&model, SearchOptions::default());
     let root = opt.insert_tree(&expr);
     let _ = opt.find_best_plan(root, RelProps::any(), None).unwrap();
-    let root_exprs = opt.memo().group_exprs(opt.memo().repr(root)).len();
+    let root_exprs = opt.memo().group_exprs(opt.memo().repr(root)).count();
     assert!(
         root_exprs >= 2,
         "exchange must generate alternative left-deep orders, got {root_exprs}"

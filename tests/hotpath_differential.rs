@@ -1,0 +1,297 @@
+//! Differential tests for the search-engine hot-path machinery.
+//!
+//! The operator-indexed rule dispatch and the goal interner are pure
+//! engineering: with either (or both) force-disabled through their
+//! [`SearchOptions`] escape hatches, the optimizer must produce *exactly*
+//! the same plans, costs, and search statistics — on the toy model, on
+//! the fig4 relational workload, on the SQL golden-plan queries, and
+//! under both serial and parallel exploration. A completeness property
+//! test additionally verifies the soundness contract of the declared
+//! discriminant sets for both shipped models.
+
+use proptest::prelude::*;
+use volcano_bench::workload::{generate_query, WorkloadConfig};
+use volcano_core::toy::{ToyModel, ToyOp, ToyProps};
+use volcano_core::{ExprTree, Model, Optimizer, PhysicalProps, SearchOptions, SearchStats};
+use volcano_rel::{
+    explain_plan, Catalog, ColumnDef, RelModel, RelModelOptions, RelOptimizer, RelProps,
+};
+use volcano_sql::plan_query;
+
+/// All four {rule_index, goal_interning} ablation configurations. The
+/// first entry is the production default; the rest must be observationally
+/// identical to it.
+fn configs() -> [SearchOptions; 4] {
+    let mk = |rule_index: bool, goal_interning: bool| SearchOptions {
+        rule_index,
+        goal_interning,
+        ..SearchOptions::default()
+    };
+    [
+        mk(true, true),
+        mk(false, true),
+        mk(true, false),
+        mk(false, false),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Toy model.
+// ---------------------------------------------------------------------
+
+fn toy_chain(n: usize) -> (ToyModel, ExprTree<ToyModel>) {
+    let tables: Vec<(String, u64)> = (0..n)
+        .map(|i| (format!("t{i}"), 100 + 211 * i as u64))
+        .collect();
+    let refs: Vec<(&str, u64)> = tables.iter().map(|(s, c)| (s.as_str(), *c)).collect();
+    let model = ToyModel::with_tables(&refs);
+    let mut e = ExprTree::leaf(ToyOp::Get("t0".into()));
+    for i in 1..n {
+        e = ExprTree::new(
+            ToyOp::Join,
+            vec![e, ExprTree::leaf(ToyOp::Get(format!("t{i}")))],
+        );
+    }
+    (model, e)
+}
+
+/// Optimize the toy chain under one configuration; return the observable
+/// outcome (plan shape, cost, counters).
+fn toy_outcome(
+    n: usize,
+    sorted: bool,
+    opts: SearchOptions,
+    parallel: bool,
+) -> (String, f64, SearchStats) {
+    let goal = if sorted {
+        ToyProps::sorted()
+    } else {
+        ToyProps::any()
+    };
+    let (model, query) = toy_chain(n);
+    let mut opt = Optimizer::new(&model, opts);
+    let root = opt.insert_tree(&query);
+    if parallel {
+        opt.explore_parallel(2).unwrap();
+    }
+    let plan = opt.find_best_plan(root, goal, None).unwrap();
+    (plan.compact(), plan.cost, opt.stats().clone())
+}
+
+#[test]
+fn toy_ablations_are_observationally_identical() {
+    for n in [3usize, 4, 5, 6] {
+        for sorted in [false, true] {
+            for parallel in [false, true] {
+                let (bplan, bcost, bstats) = toy_outcome(n, sorted, configs()[0].clone(), parallel);
+                for opts in &configs()[1..] {
+                    let (plan, cost, stats) = toy_outcome(n, sorted, opts.clone(), parallel);
+                    let tag = format!(
+                        "n={n} sorted={sorted} parallel={parallel} \
+                         rule_index={} goal_interning={}",
+                        opts.rule_index, opts.goal_interning
+                    );
+                    assert_eq!(bplan, plan, "{tag}: plans diverged");
+                    assert!((bcost - cost).abs() < 1e-12, "{tag}: costs diverged");
+                    assert!(
+                        bstats.counters_eq(&stats),
+                        "{tag}: stats diverged\nbaseline: {bstats:?}\nablation: {stats:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Relational model: fig4 workload.
+// ---------------------------------------------------------------------
+
+/// Optimize one generated fig4 query; return the explained plan (which
+/// embeds operator choices and costs), the plan cost, and the counters.
+fn fig4_outcome(n: usize, seed: u64, opts: SearchOptions, parallel: bool) -> (String, SearchStats) {
+    let q = generate_query(&WorkloadConfig::relations(n), seed);
+    let model = RelModel::new(q.catalog.clone(), RelModelOptions::paper_fig4());
+    let mut opt = RelOptimizer::new(&model, opts);
+    let root = opt.insert_tree(&q.expr);
+    if parallel {
+        opt.explore_parallel(2).unwrap();
+    }
+    let plan = opt.find_best_plan(root, RelProps::any(), None).unwrap();
+    (explain_plan(&q.catalog, &plan), opt.stats().clone())
+}
+
+#[test]
+fn fig4_ablations_are_observationally_identical() {
+    for n in [2usize, 3, 4, 5] {
+        for seed in 0..3u64 {
+            for parallel in [false, true] {
+                let (bplan, bstats) = fig4_outcome(n, seed, configs()[0].clone(), parallel);
+                for opts in &configs()[1..] {
+                    let (plan, stats) = fig4_outcome(n, seed, opts.clone(), parallel);
+                    let tag = format!(
+                        "n={n} seed={seed} parallel={parallel} \
+                         rule_index={} goal_interning={}",
+                        opts.rule_index, opts.goal_interning
+                    );
+                    assert_eq!(bplan, plan, "{tag}: plans diverged");
+                    assert!(
+                        bstats.counters_eq(&stats),
+                        "{tag}: stats diverged\nbaseline: {bstats:?}\nablation: {stats:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Relational model: SQL golden-plan queries (full default rule set,
+// including selections, projections, set operations, and aggregation).
+// ---------------------------------------------------------------------
+
+fn sql_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "emp",
+        2000.0,
+        vec![
+            ColumnDef::int("id", 2000.0),
+            ColumnDef::int("dept", 20.0),
+            ColumnDef::int("salary", 100.0),
+        ],
+    );
+    c.add_table(
+        "dept",
+        20.0,
+        vec![ColumnDef::int("id", 20.0), ColumnDef::int("region", 4.0)],
+    );
+    c.add_table("region", 4.0, vec![ColumnDef::int("id", 4.0)]);
+    c
+}
+
+const SQL_QUERIES: &[&str] = &[
+    "SELECT emp.id FROM emp WHERE emp.salary < 50 ORDER BY emp.id",
+    "SELECT emp.id FROM emp, dept WHERE emp.dept = dept.id",
+    "SELECT emp.id FROM emp, dept, region \
+     WHERE emp.dept = dept.id AND dept.region = region.id AND emp.salary < 50 \
+     ORDER BY emp.id",
+    "SELECT emp.dept, COUNT(*) FROM emp GROUP BY emp.dept ORDER BY emp.dept",
+    "SELECT emp.dept FROM emp WHERE emp.salary < 50 UNION SELECT dept.id FROM dept",
+];
+
+fn sql_outcome(sql: &str, opts: SearchOptions) -> (String, SearchStats) {
+    let mut catalog = sql_catalog();
+    let q = plan_query(sql, &mut catalog).expect("query must parse");
+    let model = RelModel::with_defaults(catalog.clone());
+    let mut opt = RelOptimizer::new(&model, opts);
+    let root = opt.insert_tree(&q.expr);
+    let plan = opt
+        .find_best_plan(root, RelProps::sorted(q.order_by.clone()), None)
+        .expect("query must be satisfiable");
+    (explain_plan(&catalog, &plan), opt.stats().clone())
+}
+
+#[test]
+fn sql_golden_queries_ablations_are_observationally_identical() {
+    for sql in SQL_QUERIES {
+        let (bplan, bstats) = sql_outcome(sql, configs()[0].clone());
+        for opts in &configs()[1..] {
+            let (plan, stats) = sql_outcome(sql, opts.clone());
+            let tag = format!(
+                "{sql:?} rule_index={} goal_interning={}",
+                opts.rule_index, opts.goal_interning
+            );
+            assert_eq!(bplan, plan, "{tag}: plans diverged");
+            assert!(
+                bstats.counters_eq(&stats),
+                "{tag}: stats diverged\nbaseline: {bstats:?}\nablation: {stats:?}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// RuleIndex completeness: for any operator the index must offer every
+// rule whose root matcher accepts it (the soundness contract of
+// `OpMatcher::with_discriminants` — under-declared discriminants would
+// silently lose plans).
+// ---------------------------------------------------------------------
+
+/// Assert the candidate lists for `op` cover every root-matching rule.
+fn assert_index_complete<M: Model>(model: &M, op: &M::Op, tag: &str) {
+    let opt = Optimizer::new(model, SearchOptions::default());
+    let disc = model.op_discriminant(op);
+    let tcands = opt.rule_index().transform_candidates(disc);
+    for (i, rule) in model.transformations().iter().enumerate() {
+        if rule.pattern().root_matches(op) {
+            assert!(
+                tcands.contains(&i),
+                "{tag}: transformation {:?} matches {op:?} but is not indexed \
+                 under discriminant {disc:?} (candidates {tcands:?})",
+                rule.name()
+            );
+        }
+    }
+    let icands = opt.rule_index().impl_candidates(disc);
+    for (i, rule) in model.implementations().iter().enumerate() {
+        if rule.pattern().root_matches(op) {
+            assert!(
+                icands.contains(&i),
+                "{tag}: implementation {:?} matches {op:?} but is not indexed \
+                 under discriminant {disc:?} (candidates {icands:?})",
+                rule.name()
+            );
+        }
+    }
+}
+
+/// Every `RelOp` variant, with representative arguments drawn from a
+/// planned query so predicates and specs reference real attributes.
+fn rel_ops_universe() -> (RelModel, Vec<volcano_rel::RelOp>) {
+    let mut catalog = sql_catalog();
+    let mut ops = Vec::new();
+    for sql in SQL_QUERIES {
+        let q = plan_query(sql, &mut catalog).expect("query must parse");
+        collect_ops(&q.expr, &mut ops);
+    }
+    let model = RelModel::with_defaults(catalog);
+    (model, ops)
+}
+
+fn collect_ops(e: &volcano_rel::RelExpr, out: &mut Vec<volcano_rel::RelOp>) {
+    out.push(e.op.clone());
+    for i in &e.inputs {
+        collect_ops(i, out);
+    }
+}
+
+#[test]
+fn rel_rule_index_is_complete_for_all_query_operators() {
+    let (model, ops) = rel_ops_universe();
+    // The SQL set exercises Get, Select, Project, Join, Union, and
+    // Aggregate; add the remaining set operations by hand.
+    let mut ops = ops;
+    ops.push(volcano_rel::RelOp::Intersect);
+    ops.push(volcano_rel::RelOp::Difference);
+    for op in &ops {
+        assert_index_complete(&model, op, "rel");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Toy-model completeness over randomly named scans and both
+    /// structural operators.
+    #[test]
+    fn toy_rule_index_is_complete(table in "t[0-9]{1,2}", which in 0usize..3) {
+        let (model, _) = toy_chain(3);
+        let op = match which {
+            0 => ToyOp::Get(table),
+            1 => ToyOp::Select,
+            _ => ToyOp::Join,
+        };
+        assert_index_complete(&model, &op, "toy");
+    }
+}
