@@ -209,6 +209,68 @@ fn check_search_hotpath(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn check_exec_workloads(v: &Json, name: &str) -> Result<(), String> {
+    let workloads = v
+        .get(name)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing {name} array"))?;
+    if workloads.is_empty() {
+        return Err(format!("{name} array is empty"));
+    }
+    for (i, w) in workloads.iter().enumerate() {
+        let ctx = |e: String| format!("{name}[{i}]: {e}");
+        w.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{name}[{i}]: missing name"))?;
+        w.get("class")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{name}[{i}]: missing class"))?;
+        num(w, "rows").map_err(ctx)?;
+        for key in ["tuple_ms", "batch_ms", "speedup"] {
+            let x = num(w, key).map_err(ctx)?;
+            if x <= 0.0 {
+                return Err(format!("{name}[{i}]: {key} {x} <= 0"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_exec(v: &Json) -> Result<(), String> {
+    for key in ["card", "reps", "batch_size"] {
+        let x = num(v, key)?;
+        if x < 1.0 {
+            return Err(format!("{key} {x} < 1"));
+        }
+    }
+    let smoke = match v.get("smoke") {
+        Some(&Json::Bool(b)) => b,
+        _ => return Err("missing or non-boolean field \"smoke\"".to_string()),
+    };
+    check_exec_workloads(v, "workloads")?;
+    check_exec_workloads(v, "adapter_workloads")?;
+    let g = num(v, "geomean_speedup")?;
+    if g <= 0.0 {
+        return Err(format!("geomean_speedup {g} <= 0"));
+    }
+    // The acceptance gate: on a full (non-smoke) run the batch engine
+    // must beat the tuple engine by >= 2x geomean on the vectorized
+    // workloads. Smoke runs (tiny cards, debug builds) are exempt.
+    if !smoke && g < 2.0 {
+        return Err(format!(
+            "geomean_speedup {g:.2} < 2.0 on a full run (batch engine regression)"
+        ));
+    }
+    if let Some(vs) = v.get("vs_baseline") {
+        let b = num(vs, "baseline_geomean").map_err(|e| format!("vs_baseline: {e}"))?;
+        let r = num(vs, "ratio").map_err(|e| format!("vs_baseline: {e}"))?;
+        if b <= 0.0 || r <= 0.0 {
+            return Err(format!("vs_baseline: non-positive values ({b}, {r})"));
+        }
+    }
+    Ok(())
+}
+
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
     let v = parse_json(&text).map_err(|e| e.to_string())?;
@@ -216,6 +278,7 @@ fn check_file(path: &str) -> Result<(), String> {
         Some("fig4") => check_fig4(&v),
         Some("budget") => check_budget(&v),
         Some("search_hotpath") => check_search_hotpath(&v),
+        Some("exec_batch") => check_exec(&v),
         Some(other) => Err(format!("unknown benchmark tag {other:?}")),
         None => Err("missing \"benchmark\" tag".to_string()),
     }

@@ -12,7 +12,8 @@ use std::time::{Duration, Instant};
 use volcano_rel::value::Tuple;
 use volcano_rel::{Catalog, RelPlan};
 
-use crate::compile::compile_node;
+use crate::batch::{collect_batches, Batch, BatchOperator, BoxedBatchOperator};
+use crate::compile::{compile_batch_node, compile_node, BatchConfig, Built};
 use crate::database::Database;
 use crate::iterator::{collect, BoxedOperator, Operator};
 
@@ -69,6 +70,73 @@ impl Operator for Instrumented {
         // that are closed more than once just overwrite with the latest
         // (cumulative) values.
         *self.cell.extra.lock().unwrap() = self.child.metrics();
+    }
+
+    fn name(&self) -> &'static str {
+        self.child.name()
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        self.child.metrics()
+    }
+}
+
+/// Pass-through batch operator measuring the batch operator beneath it.
+/// Counts *live* rows (so `actual_rows` is comparable across engines)
+/// and, at close, appends batch-shape statistics — batches produced,
+/// average rows per batch, selection-vector density — ahead of the
+/// operator's own kernel counters.
+struct InstrumentedBatch {
+    child: BoxedBatchOperator,
+    cell: Arc<Cell>,
+    batches: u64,
+    live_rows: u64,
+    physical_rows: u64,
+}
+
+impl BatchOperator for InstrumentedBatch {
+    fn open(&mut self) {
+        let start = Instant::now();
+        self.child.open();
+        self.cell.opens.fetch_add(1, Ordering::Relaxed);
+        self.cell
+            .elapsed_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn next_batch(&mut self, out: &mut Batch) -> bool {
+        let start = Instant::now();
+        let more = self.child.next_batch(out);
+        self.cell.next_calls.fetch_add(1, Ordering::Relaxed);
+        if more {
+            self.batches += 1;
+            self.live_rows += out.live_rows() as u64;
+            self.physical_rows += out.physical_rows() as u64;
+            self.cell
+                .rows
+                .fetch_add(out.live_rows() as u64, Ordering::Relaxed);
+        }
+        self.cell
+            .elapsed_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        more
+    }
+
+    fn close(&mut self) {
+        let start = Instant::now();
+        self.child.close();
+        self.cell
+            .elapsed_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let mut extra = vec![("batches", self.batches)];
+        if let Some(avg) = self.live_rows.checked_div(self.batches) {
+            extra.push(("avg_batch_rows", avg));
+        }
+        if let Some(pct) = (self.live_rows * 100).checked_div(self.physical_rows) {
+            extra.push(("sel_density_pct", pct));
+        }
+        extra.extend(self.child.metrics());
+        *self.cell.extra.lock().unwrap() = extra;
     }
 
     fn name(&self) -> &'static str {
@@ -271,12 +339,8 @@ fn instrument(
     Box::new(Instrumented { child: op, cell })
 }
 
-/// Execute a plan with per-operator instrumentation.
-pub fn execute_analyzed(db: &Database, catalog: &Catalog, plan: &RelPlan) -> Analyzed {
-    let mut counters = Vec::new();
-    let mut op = instrument(db, catalog, plan, 0, &mut counters);
-    let rows = collect(op.as_mut());
-    let nodes = counters
+fn drain_counters(counters: Vec<(NodeMeasurement, Arc<Cell>)>) -> Vec<NodeMeasurement> {
+    counters
         .into_iter()
         .map(|(mut m, cell)| {
             m.actual_rows = cell.rows.load(Ordering::Relaxed);
@@ -286,8 +350,92 @@ pub fn execute_analyzed(db: &Database, catalog: &Catalog, plan: &RelPlan) -> Ana
             m.extra = std::mem::take(&mut cell.extra.lock().unwrap());
             m
         })
+        .collect()
+}
+
+/// Execute a plan with per-operator instrumentation.
+pub fn execute_analyzed(db: &Database, catalog: &Catalog, plan: &RelPlan) -> Analyzed {
+    let mut counters = Vec::new();
+    let mut op = instrument(db, catalog, plan, 0, &mut counters);
+    let rows = collect(op.as_mut());
+    Analyzed {
+        rows,
+        nodes: drain_counters(counters),
+    }
+}
+
+/// Build the instrumented batch tree, mirroring [`instrument`] over the
+/// batch lowering. Each plan node is wrapped in the instrumentation
+/// matching its engine (batch or tuple); the adapters the lowering
+/// inserts at engine boundaries are not themselves plan nodes, so their
+/// cost lands in the parent's self time.
+fn instrument_batch(
+    db: &Database,
+    catalog: &Catalog,
+    plan: &RelPlan,
+    depth: usize,
+    cfg: BatchConfig,
+    counters: &mut Vec<(NodeMeasurement, Arc<Cell>)>,
+) -> Built {
+    let cell = Arc::new(Cell::default());
+    let slot = counters.len();
+    counters.push((
+        NodeMeasurement {
+            description: volcano_rel::explain::alg_description(catalog, &plan.alg),
+            operator: "",
+            depth,
+            est_rows: volcano_rel::estimate::estimated_rows(catalog, plan),
+            est_cost: plan.cost.total(),
+            actual_rows: 0,
+            opens: 0,
+            next_calls: 0,
+            elapsed: Duration::ZERO,
+            extra: Vec::new(),
+        },
+        cell.clone(),
+    ));
+    let children: Vec<Built> = plan
+        .inputs
+        .iter()
+        .map(|c| instrument_batch(db, catalog, c, depth + 1, cfg, counters))
         .collect();
-    Analyzed { rows, nodes }
+    match compile_batch_node(db, plan, children, cfg) {
+        Built::B(op) => {
+            counters[slot].0.operator = op.name();
+            Built::B(Box::new(InstrumentedBatch {
+                child: op,
+                cell,
+                batches: 0,
+                live_rows: 0,
+                physical_rows: 0,
+            }))
+        }
+        Built::T(op) => {
+            counters[slot].0.operator = op.name();
+            Built::T(Box::new(Instrumented { child: op, cell }))
+        }
+    }
+}
+
+/// Execute a plan on the batch engine with per-operator
+/// instrumentation. Node measurements carry batch-shape metrics
+/// (batches, average rows per batch, selection-vector density) and
+/// per-kernel timings alongside the estimated-vs-actual columns.
+pub fn execute_analyzed_batch(
+    db: &Database,
+    catalog: &Catalog,
+    plan: &RelPlan,
+    cfg: BatchConfig,
+) -> Analyzed {
+    let mut counters = Vec::new();
+    let schema_len = crate::compile::schema_of(db, plan).len();
+    let mut op = instrument_batch(db, catalog, plan, 0, cfg, &mut counters)
+        .into_batch(schema_len, cfg.batch_size);
+    let rows = collect_batches(op.as_mut());
+    Analyzed {
+        rows,
+        nodes: drain_counters(counters),
+    }
 }
 
 #[cfg(test)]

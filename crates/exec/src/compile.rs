@@ -7,13 +7,16 @@
 //! EXPLAIN-ANALYZE instrumentation uses to interpose row counters at
 //! every operator boundary.
 
+use volcano_rel::catalog::ColType;
 use volcano_rel::{AttrId, Pred, RelAlg, RelPlan, TableId};
 
+use crate::batch::{BoxedBatchOperator, DEFAULT_BATCH_SIZE};
 use crate::database::Database;
 use crate::iterator::BoxedOperator;
 use crate::ops::{
-    aggregate::CompiledAgg, CompiledPred, Filter, HashAggregate, HashJoin, MergeJoin, NestedLoops,
-    Project, StreamAggregate, TableScan,
+    aggregate::CompiledAgg, BatchFilter, BatchHashJoin, BatchProject, BatchScan, BatchSource,
+    CompiledPred, Filter, HashAggregate, HashJoin, MergeJoin, NestedLoops, Project,
+    StreamAggregate, TableScan, TupleSource,
 };
 use crate::ops::{HashSetOp, MergeSetOp, SetOpKind};
 
@@ -22,6 +25,38 @@ pub struct Compiled {
     /// The root operator.
     pub operator: BoxedOperator,
     /// Output attribute ids, in tuple position order.
+    pub schema: Vec<AttrId>,
+}
+
+/// Configuration of the vectorized executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Rows per batch.
+    pub batch_size: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Config with a specific batch size (clamped to ≥ 1).
+    pub fn with_batch_size(batch_size: usize) -> Self {
+        BatchConfig {
+            batch_size: batch_size.max(1),
+        }
+    }
+}
+
+/// An executable *batch* operator tree plus its output schema.
+pub struct CompiledBatch {
+    /// The root batch operator.
+    pub operator: BoxedBatchOperator,
+    /// Output attribute ids, in column position order.
     pub schema: Vec<AttrId>,
 }
 
@@ -282,4 +317,128 @@ pub fn compile(db: &Database, plan: &RelPlan) -> Compiled {
         operator: compile_node(db, plan, children),
         schema: schema_of(db, plan),
     }
+}
+
+// ---------------------------------------------------------------------
+// Batch-engine compilation.
+// ---------------------------------------------------------------------
+
+/// A subtree built for the batch engine: natively vectorized, or a
+/// tuple operator awaiting an adapter. Keeping both forms during
+/// compilation lets the lowering insert at most one adapter per engine
+/// boundary instead of sandwiching every operator.
+pub(crate) enum Built {
+    /// Natively vectorized subtree.
+    B(BoxedBatchOperator),
+    /// Tuple-at-a-time subtree.
+    T(BoxedOperator),
+}
+
+impl Built {
+    /// Coerce to a batch operator (adapting a tuple subtree).
+    pub(crate) fn into_batch(self, arity: usize, batch_size: usize) -> BoxedBatchOperator {
+        match self {
+            Built::B(op) => op,
+            Built::T(op) => Box::new(TupleSource::new(op, arity, batch_size)),
+        }
+    }
+
+    /// Coerce to a tuple operator (adapting a batch subtree).
+    pub(crate) fn into_tuple(self) -> BoxedOperator {
+        match self {
+            Built::B(op) => Box::new(BatchSource::new(op)),
+            Built::T(op) => op,
+        }
+    }
+}
+
+fn table_col_types(db: &Database, t: TableId) -> Vec<ColType> {
+    db.catalog().table(t).columns.iter().map(|c| c.ty).collect()
+}
+
+/// Build the batch-engine operator for `plan`'s root over pre-built
+/// `children`, vectorizing scan, filter, projection, and hash join
+/// natively and falling back to the tuple operator (sort, aggregate,
+/// set ops, merge/nested/multiway joins, index scan) behind adapters. A
+/// non-scan node is vectorized only when its inputs already are, so
+/// adapters appear exactly at the engine boundaries of the plan.
+pub(crate) fn compile_batch_node(
+    db: &Database,
+    plan: &RelPlan,
+    mut children: Vec<Built>,
+    cfg: BatchConfig,
+) -> Built {
+    let bs = cfg.batch_size;
+    let child_schemas: Vec<Vec<AttrId>> = plan.inputs.iter().map(|c| schema_of(db, c)).collect();
+    match &plan.alg {
+        RelAlg::FileScan(t) => Built::B(Box::new(BatchScan::new(
+            db.table(*t).clone(),
+            table_col_types(db, *t),
+            None,
+            bs,
+        ))),
+        RelAlg::FilterScan(t, pred) => {
+            let schema = table_schema(db, *t);
+            let cp = compile_pred(&schema, pred);
+            Built::B(Box::new(BatchScan::new(
+                db.table(*t).clone(),
+                table_col_types(db, *t),
+                Some(cp),
+                bs,
+            )))
+        }
+        RelAlg::Filter(pred) if matches!(children[0], Built::B(_)) => {
+            let cp = compile_pred(&child_schemas[0], pred);
+            let child = children.remove(0).into_batch(child_schemas[0].len(), bs);
+            Built::B(Box::new(BatchFilter::new(child, cp)))
+        }
+        RelAlg::ProjectOp(attrs) if matches!(children[0], Built::B(_)) => {
+            let positions = attrs
+                .iter()
+                .map(|&a| position(&child_schemas[0], a))
+                .collect();
+            let child = children.remove(0).into_batch(child_schemas[0].len(), bs);
+            Built::B(Box::new(BatchProject::new(child, positions)))
+        }
+        RelAlg::HybridHashJoin(p)
+            if matches!(children[0], Built::B(_)) && matches!(children[1], Built::B(_)) =>
+        {
+            let lkeys = p
+                .pairs()
+                .iter()
+                .map(|&(la, _)| position(&child_schemas[0], la))
+                .collect();
+            let rkeys = p
+                .pairs()
+                .iter()
+                .map(|&(_, ra)| position(&child_schemas[1], ra))
+                .collect();
+            let right = children.remove(1).into_batch(child_schemas[1].len(), bs);
+            let left = children.remove(0).into_batch(child_schemas[0].len(), bs);
+            Built::B(Box::new(BatchHashJoin::new(left, right, lkeys, rkeys, bs)))
+        }
+        // Everything else executes tuple-at-a-time; batch subtrees are
+        // lowered through one adapter each.
+        _ => {
+            let tuple_children: Vec<BoxedOperator> =
+                children.into_iter().map(Built::into_tuple).collect();
+            Built::T(compile_node(db, plan, tuple_children))
+        }
+    }
+}
+
+fn build_batch_tree(db: &Database, plan: &RelPlan, cfg: BatchConfig) -> Built {
+    let children: Vec<Built> = plan
+        .inputs
+        .iter()
+        .map(|c| build_batch_tree(db, c, cfg))
+        .collect();
+    compile_batch_node(db, plan, children, cfg)
+}
+
+/// Compile a plan for the batch engine.
+pub fn compile_batch(db: &Database, plan: &RelPlan, cfg: BatchConfig) -> CompiledBatch {
+    let schema = schema_of(db, plan);
+    let operator = build_batch_tree(db, plan, cfg).into_batch(schema.len(), cfg.batch_size);
+    CompiledBatch { operator, schema }
 }

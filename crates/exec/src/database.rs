@@ -9,7 +9,8 @@ use volcano_rel::{AttrId, Catalog, RelPlan, TableId, Value};
 use volcano_store::record::{decode_record, encode_record, Field};
 use volcano_store::{BTree, BufferPool, DiskManager, FileDisk, HeapFile, MemDisk};
 
-use crate::compile::compile;
+use crate::batch::collect_batches;
+use crate::compile::{compile, compile_batch, BatchConfig};
 use crate::iterator::collect;
 
 fn value_to_field(v: &Value) -> Field {
@@ -199,6 +200,14 @@ impl Database {
     pub fn execute(&self, plan: &RelPlan) -> Vec<Tuple> {
         let mut op = compile(self, plan).operator;
         collect(op.as_mut())
+    }
+
+    /// Execute a plan on the vectorized batch engine. Produces the same
+    /// rows in the same order as [`Database::execute`] (the differential
+    /// suite enforces this).
+    pub fn execute_batch(&self, plan: &RelPlan, cfg: BatchConfig) -> Vec<Tuple> {
+        let mut op = compile_batch(self, plan, cfg).operator;
+        collect_batches(op.as_mut())
     }
 
     /// Physical page reads/writes observed so far.

@@ -1,0 +1,13 @@
+//! Vectorized kernels: tight column-at-a-time loops shared by the batch
+//! operators.
+//!
+//! Each kernel takes whole columns (plus an optional selection vector)
+//! and produces a new selection vector or gathered output, so the
+//! per-row work is a handful of machine instructions with no virtual
+//! dispatch and no per-row allocation.
+
+pub mod hash;
+pub mod pred;
+
+pub use hash::hash_join_keys;
+pub use pred::apply_pred;

@@ -1,0 +1,193 @@
+//! Vectorized predicate evaluation.
+//!
+//! A [`CompiledPred`] conjunction is applied one conjunct at a time:
+//! each conjunct narrows the selection vector by comparing one column
+//! against one literal in a tight loop. The typed column × literal
+//! combinations the storage layer actually produces (Int/Float/Str/Bool
+//! columns) run on primitive slices; anything else falls back to
+//! [`Value::sql_cmp`] per row, which keeps semantics identical to the
+//! tuple engine's [`CompiledPred::eval`] by construction: a comparison
+//! involving NULL rejects the row.
+
+use volcano_rel::{CmpOp, Value};
+
+use crate::batch::{Batch, Column};
+use crate::ops::filter::CompiledPred;
+
+/// Narrow one selection vector by `column <op> literal`, appending the
+/// surviving indices to `out`.
+fn filter_term(col: &Column, op: CmpOp, lit: &Value, sel: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(sel.len());
+    match (col, lit) {
+        (Column::Int { data, valid }, Value::Int(l)) => {
+            for &i in sel {
+                let i = i as usize;
+                if valid[i] && op.eval(data[i].cmp(l)) {
+                    out.push(i as u32);
+                }
+            }
+        }
+        (Column::Int { data, valid }, Value::Float(l)) => {
+            let l = l.get();
+            for &i in sel {
+                let i = i as usize;
+                if valid[i] {
+                    if let Some(ord) = (data[i] as f64).partial_cmp(&l) {
+                        if op.eval(ord) {
+                            out.push(i as u32);
+                        }
+                    }
+                }
+            }
+        }
+        (Column::Float { data, valid }, Value::Int(l)) => {
+            let l = *l as f64;
+            for &i in sel {
+                let i = i as usize;
+                if valid[i] {
+                    if let Some(ord) = data[i].partial_cmp(&l) {
+                        if op.eval(ord) {
+                            out.push(i as u32);
+                        }
+                    }
+                }
+            }
+        }
+        (Column::Float { data, valid }, Value::Float(l)) => {
+            let l = l.get();
+            for &i in sel {
+                let i = i as usize;
+                if valid[i] {
+                    if let Some(ord) = data[i].partial_cmp(&l) {
+                        if op.eval(ord) {
+                            out.push(i as u32);
+                        }
+                    }
+                }
+            }
+        }
+        (Column::Str { data, valid }, Value::Str(l)) => {
+            for &i in sel {
+                let i = i as usize;
+                if valid[i] && op.eval(data[i].as_str().cmp(l.as_str())) {
+                    out.push(i as u32);
+                }
+            }
+        }
+        (Column::Bool { data, valid }, Value::Bool(l)) => {
+            for &i in sel {
+                let i = i as usize;
+                if valid[i] && op.eval(data[i].cmp(l)) {
+                    out.push(i as u32);
+                }
+            }
+        }
+        // NULL literal: SQL comparison with NULL is unknown — rejects
+        // every row, exactly as `sql_cmp` returning `None` does.
+        (_, Value::Null) => {}
+        // Mixed or demoted columns: per-row values through sql_cmp.
+        (col, lit) => {
+            for &i in sel {
+                let v = col.value_at(i as usize);
+                if v.sql_cmp(lit).map(|ord| op.eval(ord)).unwrap_or(false) {
+                    out.push(i);
+                }
+            }
+        }
+    }
+}
+
+/// Apply a compiled conjunction to `batch`, replacing its selection
+/// vector with the surviving rows. `scratch` is reused across calls to
+/// keep the kernel allocation-free in steady state. Returns the number
+/// of surviving rows.
+pub fn apply_pred(pred: &CompiledPred, batch: &mut Batch, scratch: &mut Vec<u32>) -> usize {
+    for &(pos, op, ref lit) in pred.terms() {
+        if batch.live_rows() == 0 {
+            break;
+        }
+        // Current selection: the batch's own vector, or all rows.
+        match batch.sel.take() {
+            Some(sel) => {
+                filter_term(&batch.columns[pos], op, lit, &sel, scratch);
+                batch.sel = Some(std::mem::take(scratch));
+                *scratch = sel; // recycle the old allocation
+            }
+            None => {
+                let all: Vec<u32> = (0..batch.physical_rows() as u32).collect();
+                filter_term(&batch.columns[pos], op, lit, &all, scratch);
+                batch.sel = Some(std::mem::take(scratch));
+                *scratch = all;
+            }
+        }
+    }
+    batch.live_rows()
+}
+
+/// Ordering helper kept for symmetry with the scalar path (used in
+/// tests to cross-check kernel decisions).
+#[cfg(test)]
+fn scalar_accept(v: &Value, op: CmpOp, lit: &Value) -> bool {
+    v.sql_cmp(lit).map(|ord| op.eval(ord)).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col(vals: &[Option<i64>]) -> Column {
+        let mut c = Column::with_type(volcano_rel::catalog::ColType::Int);
+        for v in vals {
+            match v {
+                Some(i) => c.push_value(Value::Int(*i)),
+                None => c.push_null(),
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn kernel_matches_scalar_semantics() {
+        let col = int_col(&[Some(1), None, Some(5), Some(10), Some(-3)]);
+        let lits = [Value::Int(5), Value::float(4.5), Value::Null];
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
+        let sel: Vec<u32> = (0..col.len() as u32).collect();
+        let mut out = Vec::new();
+        for lit in &lits {
+            for &op in &ops {
+                filter_term(&col, op, lit, &sel, &mut out);
+                let expect: Vec<u32> = sel
+                    .iter()
+                    .copied()
+                    .filter(|&i| scalar_accept(&col.value_at(i as usize), op, lit))
+                    .collect();
+                assert_eq!(out, expect, "op={op:?} lit={lit:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_pred_narrows_in_conjunct_order() {
+        let mut b = Batch::with_columns(2);
+        for i in 0..100i64 {
+            b.push_row(vec![Value::Int(i), Value::Int(i % 7)]);
+        }
+        let pred = CompiledPred::new(vec![
+            (0, CmpOp::Lt, Value::Int(50)),
+            (1, CmpOp::Eq, Value::Int(3)),
+        ]);
+        let mut scratch = Vec::new();
+        let n = apply_pred(&pred, &mut b, &mut scratch);
+        let expect: Vec<u32> = (0..100u32).filter(|i| i < &50 && i % 7 == 3).collect();
+        assert_eq!(n, expect.len());
+        assert_eq!(b.sel.as_deref(), Some(expect.as_slice()));
+    }
+}

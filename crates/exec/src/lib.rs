@@ -14,6 +14,11 @@
 //!   generation that honours the catalog's statistics.
 //! * [`compile()`] — lowers an optimized [`volcano_rel::RelPlan`] to an
 //!   executable operator tree, resolving attributes to positions.
+//! * [`batch`] / [`kernels`] — a second, vectorized executor over the
+//!   same physical plans: columnar batches with selection vectors,
+//!   column-at-a-time kernels, and tuple↔batch adapters so every plan
+//!   runs end-to-end under either engine with identical results
+//!   ([`compile_batch()`]).
 //! * [`naive`] — a direct evaluator for *logical* algebra expressions:
 //!   the correctness oracle that every optimized-and-executed plan is
 //!   tested against.
@@ -22,14 +27,19 @@
 #![warn(rust_2018_idioms)]
 
 pub mod analyze;
+pub mod batch;
 pub mod compile;
 pub mod database;
 pub mod iterator;
+pub mod kernels;
 pub mod naive;
 pub mod ops;
 
-pub use analyze::{execute_analyzed, Analyzed};
-pub use compile::{compile, compile_node, schema_of, Compiled};
+pub use analyze::{execute_analyzed, execute_analyzed_batch, Analyzed};
+pub use batch::{collect_batches, Batch, BatchOperator, BoxedBatchOperator, Column};
+pub use compile::{
+    compile, compile_batch, compile_node, schema_of, BatchConfig, Compiled, CompiledBatch,
+};
 pub use database::Database;
 pub use iterator::{collect, BoxedOperator, Operator};
 pub use naive::{assert_same_rows, evaluate_logical, Evaluated};

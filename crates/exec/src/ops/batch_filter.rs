@@ -1,0 +1,62 @@
+//! Standalone vectorized filter: narrows the child's selection vector
+//! in place via the predicate kernel (no row movement at all).
+
+use std::time::Instant;
+
+use crate::batch::{Batch, BatchOperator, BoxedBatchOperator};
+use crate::kernels::apply_pred;
+use crate::ops::filter::CompiledPred;
+
+/// The vectorized counterpart of [`crate::ops::Filter`];
+/// order-preserving.
+pub struct BatchFilter {
+    child: BoxedBatchOperator,
+    pred: CompiledPred,
+    scratch: Vec<u32>,
+    /// Input rows examined (cumulative across re-opens).
+    rows_in: u64,
+    /// Nanoseconds in the predicate kernel (cumulative).
+    pred_ns: u64,
+}
+
+impl BatchFilter {
+    /// Filter `child` by `pred`.
+    pub fn new(child: BoxedBatchOperator, pred: CompiledPred) -> Self {
+        BatchFilter {
+            child,
+            pred,
+            scratch: Vec::new(),
+            rows_in: 0,
+            pred_ns: 0,
+        }
+    }
+}
+
+impl BatchOperator for BatchFilter {
+    fn open(&mut self) {
+        self.child.open();
+    }
+
+    fn next_batch(&mut self, out: &mut Batch) -> bool {
+        if !self.child.next_batch(out) {
+            return false;
+        }
+        self.rows_in += out.live_rows() as u64;
+        let t0 = Instant::now();
+        apply_pred(&self.pred, out, &mut self.scratch);
+        self.pred_ns += t0.elapsed().as_nanos() as u64;
+        true
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn name(&self) -> &'static str {
+        "batch_filter"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![("rows_in", self.rows_in), ("pred_kernel_ns", self.pred_ns)]
+    }
+}

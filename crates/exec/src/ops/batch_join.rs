@@ -1,0 +1,257 @@
+//! Vectorized hash join: build and probe over column vectors.
+//!
+//! The build side is drained into a set of compacted column vectors plus
+//! a hash table keyed by a precomputed 64-bit key hash, mapping to build
+//! row indices (`FxHashMap<u64, Vec<u32>>`). Probing hashes a whole
+//! batch of keys at once, walks the candidate buckets verifying exact
+//! key equality with [`Column::rows_eq`], accumulates matching
+//! `(build row, probe row)` index pairs, and materializes the output
+//! with two column gathers — the per-row `Vec<Value>` key and the
+//! per-row output allocation of the tuple join both disappear.
+//!
+//! Semantics mirror [`crate::ops::HashJoin`] exactly: NULL keys never
+//! join on either side, key equality is `Value` equality (so
+//! `Int(1) != Float(1.0)`), output columns are build ++ probe, and the
+//! output order is probe order with per-key build-insertion order.
+
+use std::time::Instant;
+
+use volcano_core::fxhash::FxHashMap;
+
+use crate::batch::{Batch, BatchOperator, BoxedBatchOperator, Column};
+use crate::kernels::hash_join_keys;
+
+/// The vectorized counterpart of [`crate::ops::HashJoin`].
+pub struct BatchHashJoin {
+    build: BoxedBatchOperator,
+    probe: BoxedBatchOperator,
+    lkeys: Vec<usize>,
+    rkeys: Vec<usize>,
+    batch_size: usize,
+    /// Compacted build-side columns (non-NULL-keyed rows only).
+    build_cols: Vec<Column>,
+    build_count: u32,
+    /// Key hash → build row indices, in build order.
+    buckets: FxHashMap<u64, Vec<u32>>,
+    /// Current probe batch and the cursor into it.
+    probe_batch: Batch,
+    probe_hashes: Vec<Option<u64>>,
+    /// Physical index per live probe row (parallel to `probe_hashes`).
+    probe_phys: Vec<u32>,
+    probe_pos: usize,
+    /// Resume point inside the current probe row's bucket.
+    bucket_idx: usize,
+    probe_done: bool,
+    /// Scratch pair lists reused across calls.
+    pairs_build: Vec<u32>,
+    pairs_probe: Vec<u32>,
+    scratch: Vec<u32>,
+    /// Rows hashed into the build table (cumulative across re-opens).
+    build_rows: u64,
+    /// Probe rows consumed (cumulative).
+    probe_rows: u64,
+    /// Nanoseconds building the hash table (cumulative).
+    build_ns: u64,
+    /// Nanoseconds hashing/probing/gathering output (cumulative).
+    probe_ns: u64,
+}
+
+impl BatchHashJoin {
+    /// Join `build` (left) and `probe` (right) on the key positions.
+    pub fn new(
+        build: BoxedBatchOperator,
+        probe: BoxedBatchOperator,
+        lkeys: Vec<usize>,
+        rkeys: Vec<usize>,
+        batch_size: usize,
+    ) -> Self {
+        assert_eq!(lkeys.len(), rkeys.len());
+        assert!(!lkeys.is_empty(), "hash join needs at least one key");
+        BatchHashJoin {
+            build,
+            probe,
+            lkeys,
+            rkeys,
+            batch_size: batch_size.max(1),
+            build_cols: Vec::new(),
+            build_count: 0,
+            buckets: FxHashMap::default(),
+            probe_batch: Batch::default(),
+            probe_hashes: Vec::new(),
+            probe_phys: Vec::new(),
+            probe_pos: 0,
+            bucket_idx: 0,
+            probe_done: false,
+            pairs_build: Vec::new(),
+            pairs_probe: Vec::new(),
+            scratch: Vec::new(),
+            build_rows: 0,
+            probe_rows: 0,
+            build_ns: 0,
+            probe_ns: 0,
+        }
+    }
+
+    /// Does build row `b` have exactly the key of live probe row `p`?
+    fn keys_match(&self, b: u32, p: u32) -> bool {
+        self.lkeys.iter().zip(&self.rkeys).all(|(&lk, &rk)| {
+            self.build_cols[lk].rows_eq(b as usize, &self.probe_batch.columns[rk], p as usize)
+        })
+    }
+
+    /// Fetch the next probe batch; `false` when the probe side is done.
+    fn refill_probe(&mut self) -> bool {
+        loop {
+            if !self.probe.next_batch(&mut self.probe_batch) {
+                return false;
+            }
+            self.probe_rows += self.probe_batch.live_rows() as u64;
+            if self.probe_batch.live_rows() == 0 {
+                continue;
+            }
+            let t0 = Instant::now();
+            hash_join_keys(
+                &self.probe_batch,
+                &self.rkeys,
+                &mut self.probe_hashes,
+                &mut self.scratch,
+            );
+            self.probe_phys.clear();
+            self.probe_phys
+                .extend_from_slice(self.probe_batch.live_indices(&mut self.scratch));
+            self.probe_ns += t0.elapsed().as_nanos() as u64;
+            self.probe_pos = 0;
+            self.bucket_idx = 0;
+            return true;
+        }
+    }
+}
+
+impl BatchOperator for BatchHashJoin {
+    fn open(&mut self) {
+        self.build.open();
+        self.build_cols.clear();
+        self.buckets.clear();
+        self.build_count = 0;
+        let t0 = Instant::now();
+        let mut batch = Batch::default();
+        let mut hashes: Vec<Option<u64>> = Vec::new();
+        let mut keep: Vec<u32> = Vec::new();
+        while self.build.next_batch(&mut batch) {
+            if batch.live_rows() == 0 {
+                continue;
+            }
+            if self.build_cols.is_empty() {
+                self.build_cols = batch.columns.iter().map(Column::empty_like).collect();
+            }
+            hash_join_keys(&batch, &self.lkeys, &mut hashes, &mut self.scratch);
+            // Keep only rows whose key has no NULLs, preserving order.
+            keep.clear();
+            let live = batch.live_indices(&mut self.scratch);
+            for (pos, h) in hashes.iter().enumerate() {
+                if let Some(h) = *h {
+                    keep.push(live[pos]);
+                    self.buckets
+                        .entry(h)
+                        .or_default()
+                        .push(self.build_count + keep.len() as u32 - 1);
+                }
+            }
+            for (dst, src) in self.build_cols.iter_mut().zip(&batch.columns) {
+                dst.gather_from(src, Some(&keep));
+            }
+            self.build_count += keep.len() as u32;
+            self.build_rows += keep.len() as u64;
+        }
+        self.build_ns += t0.elapsed().as_nanos() as u64;
+        self.build.close();
+        self.probe.open();
+        self.probe_batch.clear();
+        self.probe_hashes.clear();
+        self.probe_phys.clear();
+        self.probe_pos = 0;
+        self.bucket_idx = 0;
+        self.probe_done = false;
+    }
+
+    fn next_batch(&mut self, out: &mut Batch) -> bool {
+        let build_ncols = self.build_cols.len();
+        self.pairs_build.clear();
+        self.pairs_probe.clear();
+        // Accumulate matching index pairs, up to batch_size, without
+        // crossing a probe-batch boundary (the pair lists index into the
+        // *current* probe batch).
+        loop {
+            if self.probe_pos >= self.probe_hashes.len() {
+                if !self.pairs_build.is_empty() {
+                    break; // flush before switching probe batches
+                }
+                if self.probe_done || !self.refill_probe() {
+                    self.probe_done = true;
+                    return false;
+                }
+                continue;
+            }
+            let t0 = Instant::now();
+            while self.probe_pos < self.probe_hashes.len()
+                && self.pairs_build.len() < self.batch_size
+            {
+                let Some(h) = self.probe_hashes[self.probe_pos] else {
+                    self.probe_pos += 1;
+                    self.bucket_idx = 0;
+                    continue;
+                };
+                let phys = self.probe_phys[self.probe_pos];
+                let bucket = self.buckets.get(&h).map(Vec::as_slice).unwrap_or(&[]);
+                while self.bucket_idx < bucket.len() && self.pairs_build.len() < self.batch_size {
+                    let b = bucket[self.bucket_idx];
+                    self.bucket_idx += 1;
+                    if self.keys_match(b, phys) {
+                        self.pairs_build.push(b);
+                        self.pairs_probe.push(phys);
+                    }
+                }
+                if self.bucket_idx >= bucket.len() {
+                    self.probe_pos += 1;
+                    self.bucket_idx = 0;
+                }
+            }
+            self.probe_ns += t0.elapsed().as_nanos() as u64;
+            if self.pairs_build.len() >= self.batch_size {
+                break;
+            }
+        }
+        // Materialize: build columns ++ probe columns, two gathers.
+        let t0 = Instant::now();
+        out.reset_columns(build_ncols + self.probe_batch.columns.len());
+        for (o, src) in self.build_cols.iter().enumerate() {
+            out.columns[o].gather_from(src, Some(&self.pairs_build));
+        }
+        for (j, src) in self.probe_batch.columns.iter().enumerate() {
+            out.columns[build_ncols + j].gather_from(src, Some(&self.pairs_probe));
+        }
+        out.set_physical_rows(self.pairs_build.len());
+        self.probe_ns += t0.elapsed().as_nanos() as u64;
+        true
+    }
+
+    fn close(&mut self) {
+        self.probe.close();
+        self.build_cols.clear();
+        self.buckets.clear();
+        self.probe_batch.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "batch_hash_join"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("build_rows", self.build_rows),
+            ("probe_rows", self.probe_rows),
+            ("build_kernel_ns", self.build_ns),
+            ("probe_kernel_ns", self.probe_ns),
+        ]
+    }
+}

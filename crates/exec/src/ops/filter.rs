@@ -28,6 +28,12 @@ impl CompiledPred {
         })
     }
 
+    /// The `(position, op, literal)` conjuncts, for vectorized
+    /// evaluation by the batch engine's predicate kernel.
+    pub fn terms(&self) -> &[(usize, CmpOp, Value)] {
+        &self.terms
+    }
+
     /// Number of conjuncts.
     pub fn len(&self) -> usize {
         self.terms.len()

@@ -1,6 +1,11 @@
 //! The physical operators of the execution engine.
 
 pub mod aggregate;
+pub mod batch_adapter;
+pub mod batch_filter;
+pub mod batch_join;
+pub mod batch_project;
+pub mod batch_scan;
 pub mod exchange;
 pub mod external_sort;
 pub mod filter;
@@ -12,6 +17,11 @@ pub mod set_ops;
 pub mod sort;
 
 pub use aggregate::{HashAggregate, StreamAggregate};
+pub use batch_adapter::{BatchSource, TupleSource};
+pub use batch_filter::BatchFilter;
+pub use batch_join::BatchHashJoin;
+pub use batch_project::BatchProject;
+pub use batch_scan::BatchScan;
 pub use exchange::Exchange;
 pub use external_sort::ExternalSort;
 pub use filter::{CompiledPred, Filter};

@@ -1,6 +1,7 @@
 //! Column projection (no duplicate removal); order-preserving.
 
 use volcano_rel::value::Tuple;
+use volcano_rel::Value;
 
 use crate::iterator::{BoxedOperator, Operator};
 
@@ -8,12 +9,23 @@ use crate::iterator::{BoxedOperator, Operator};
 pub struct Project {
     child: BoxedOperator,
     positions: Vec<usize>,
+    /// No position repeats, so values can be *moved* out of the input
+    /// tuple instead of cloned (decided once at construction).
+    dup_free: bool,
 }
 
 impl Project {
     /// Project `child` onto `positions`.
     pub fn new(child: BoxedOperator, positions: Vec<usize>) -> Self {
-        Project { child, positions }
+        let mut seen = positions.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        let dup_free = seen.len() == positions.len();
+        Project {
+            child,
+            positions,
+            dup_free,
+        }
     }
 }
 
@@ -23,8 +35,24 @@ impl Operator for Project {
     }
 
     fn next(&mut self) -> Option<Tuple> {
-        let t = self.child.next()?;
-        Some(self.positions.iter().map(|&i| t[i].clone()).collect())
+        let mut t = self.child.next()?;
+        if self.dup_free {
+            // Identity projection: pass the tuple through untouched.
+            if self.positions.len() == t.len()
+                && self.positions.iter().enumerate().all(|(i, &p)| i == p)
+            {
+                return Some(t);
+            }
+            // Move the kept values out; the dropped ones free with `t`.
+            Some(
+                self.positions
+                    .iter()
+                    .map(|&i| std::mem::replace(&mut t[i], Value::Null))
+                    .collect(),
+            )
+        } else {
+            Some(self.positions.iter().map(|&i| t[i].clone()).collect())
+        }
     }
 
     fn close(&mut self) {
@@ -33,5 +61,67 @@ impl Operator for Project {
 
     fn name(&self) -> &'static str {
         "project"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A canned-rows test source.
+    struct Rows(Vec<Tuple>, usize);
+
+    impl Operator for Rows {
+        fn open(&mut self) {
+            self.1 = 0;
+        }
+        fn next(&mut self) -> Option<Tuple> {
+            let t = self.0.get(self.1).cloned();
+            self.1 += 1;
+            t
+        }
+        fn close(&mut self) {}
+    }
+
+    fn run(positions: Vec<usize>) -> Vec<Tuple> {
+        let rows = vec![
+            vec![Value::Int(1), Value::str("a"), Value::Null],
+            vec![Value::Int(2), Value::str("b"), Value::Int(9)],
+        ];
+        let mut p = Project::new(Box::new(Rows(rows, 0)), positions);
+        crate::iterator::collect(&mut p)
+    }
+
+    #[test]
+    fn narrowing_projection_moves_values() {
+        assert_eq!(
+            run(vec![2, 0]),
+            vec![
+                vec![Value::Null, Value::Int(1)],
+                vec![Value::Int(9), Value::Int(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_positions_still_clone() {
+        assert_eq!(
+            run(vec![1, 1]),
+            vec![
+                vec![Value::str("a"), Value::str("a")],
+                vec![Value::str("b"), Value::str("b")],
+            ]
+        );
+    }
+
+    #[test]
+    fn identity_projection_is_pass_through() {
+        assert_eq!(
+            run(vec![0, 1, 2]),
+            vec![
+                vec![Value::Int(1), Value::str("a"), Value::Null],
+                vec![Value::Int(2), Value::str("b"), Value::Int(9)],
+            ]
+        );
     }
 }

@@ -1,0 +1,183 @@
+//! Differential tests: the vectorized batch engine must be observably
+//! identical to the tuple engine on every plan the optimizer produces.
+//!
+//! Every SQL golden-plan query and a sweep of fig4-style generated
+//! select–join queries are optimized once (with a serial-vs-parallel
+//! exploration drift guard: both must pick the same plan) and executed
+//! under the tuple engine and under the batch engine at batch sizes 1,
+//! 4, and 1024. The engines must produce identical *multisets* of rows
+//! always, and the identical row *sequence* whenever the root plan
+//! carries a sort property. Batch size 1 is the degenerate case whose
+//! behaviour must collapse to tuple-at-a-time semantics.
+
+use volcano_bench::workload::{generate_query, WorkloadConfig};
+use volcano_core::{PhysicalProps, SearchOptions};
+use volcano_exec::{BatchConfig, Database};
+use volcano_rel::value::Tuple;
+use volcano_rel::{
+    explain_plan, Catalog, ColumnDef, RelModel, RelModelOptions, RelOptimizer, RelPlan, RelProps,
+};
+use volcano_sql::plan_query;
+
+const BATCH_SIZES: [usize; 3] = [1, 4, 1024];
+
+/// Optimize under the goal, asserting serial and parallel exploration
+/// agree on the winning plan (engine-independent plan choice).
+fn optimize_drift_guarded(
+    model: &RelModel,
+    expr: &volcano_rel::RelExpr,
+    goal: RelProps,
+    catalog: &Catalog,
+    tag: &str,
+) -> RelPlan {
+    let mut serial = RelOptimizer::new(model, SearchOptions::default());
+    let root = serial.insert_tree(expr);
+    let plan = serial
+        .find_best_plan(root, goal.clone(), None)
+        .unwrap_or_else(|e| panic!("{tag}: serial optimization failed: {e}"));
+
+    let mut parallel = RelOptimizer::new(model, SearchOptions::default());
+    let root = parallel.insert_tree(expr);
+    parallel.explore_parallel(2).unwrap();
+    let pplan = parallel
+        .find_best_plan(root, goal, None)
+        .unwrap_or_else(|e| panic!("{tag}: parallel optimization failed: {e}"));
+
+    assert_eq!(
+        explain_plan(catalog, &plan),
+        explain_plan(catalog, &pplan),
+        "{tag}: serial and parallel exploration chose different plans"
+    );
+    plan
+}
+
+fn sorted_copy(rows: &[Tuple]) -> Vec<Tuple> {
+    let mut s = rows.to_vec();
+    s.sort();
+    s
+}
+
+/// Execute `plan` under both engines and every batch size; assert the
+/// outputs agree.
+fn assert_engines_agree(db: &Database, plan: &RelPlan, tag: &str) {
+    let tuple_rows = db.execute(plan);
+    let ordered = !plan.delivered.sort.is_empty();
+    let tuple_sorted = sorted_copy(&tuple_rows);
+    for bs in BATCH_SIZES {
+        let batch_rows = db.execute_batch(plan, BatchConfig::with_batch_size(bs));
+        if ordered {
+            assert_eq!(
+                tuple_rows, batch_rows,
+                "{tag}: batch_size={bs}: ordered output diverged"
+            );
+        } else {
+            assert_eq!(
+                tuple_sorted,
+                sorted_copy(&batch_rows),
+                "{tag}: batch_size={bs}: row multisets diverged"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SQL golden-plan queries (same catalog and query list as the golden
+// plan and hotpath differential suites).
+// ---------------------------------------------------------------------
+
+fn sql_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "emp",
+        2000.0,
+        vec![
+            ColumnDef::int("id", 2000.0),
+            ColumnDef::int("dept", 20.0),
+            ColumnDef::int("salary", 100.0),
+        ],
+    );
+    c.add_table(
+        "dept",
+        20.0,
+        vec![ColumnDef::int("id", 20.0), ColumnDef::int("region", 4.0)],
+    );
+    c.add_table("region", 4.0, vec![ColumnDef::int("id", 4.0)]);
+    c
+}
+
+const SQL_QUERIES: &[&str] = &[
+    "SELECT emp.id FROM emp WHERE emp.salary < 50 ORDER BY emp.id",
+    "SELECT emp.id FROM emp, dept WHERE emp.dept = dept.id",
+    "SELECT emp.id FROM emp, dept, region \
+     WHERE emp.dept = dept.id AND dept.region = region.id AND emp.salary < 50 \
+     ORDER BY emp.id",
+    "SELECT emp.dept, COUNT(*) FROM emp GROUP BY emp.dept ORDER BY emp.dept",
+    "SELECT emp.dept FROM emp WHERE emp.salary < 50 UNION SELECT dept.id FROM dept",
+];
+
+#[test]
+fn sql_golden_queries_agree_across_engines() {
+    for sql in SQL_QUERIES {
+        let mut catalog = sql_catalog();
+        let q = plan_query(sql, &mut catalog).expect("query must parse");
+        let model = RelModel::with_defaults(catalog.clone());
+        let plan = optimize_drift_guarded(
+            &model,
+            &q.expr,
+            RelProps::sorted(q.order_by.clone()),
+            &catalog,
+            sql,
+        );
+        let db = Database::in_memory(catalog);
+        db.generate(42);
+        assert_engines_agree(&db, &plan, sql);
+    }
+}
+
+// ---------------------------------------------------------------------
+// fig4-style generated select–join queries (paper §4.2 workload).
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig4_generated_plans_agree_across_engines() {
+    for n in [2usize, 3] {
+        for seed in 0..3u64 {
+            let q = generate_query(&WorkloadConfig::relations(n), seed);
+            let model = RelModel::new(q.catalog.clone(), RelModelOptions::paper_fig4());
+            let tag = format!("fig4 n={n} seed={seed}");
+            let plan = optimize_drift_guarded(&model, &q.expr, RelProps::any(), &q.catalog, &tag);
+            let db = Database::in_memory(q.catalog.clone());
+            db.generate(seed);
+            assert_engines_agree(&db, &plan, &tag);
+        }
+    }
+}
+
+/// The same fig4 workload, but demanding a sorted result: the root plan
+/// carries a sort property, so the engines must agree on exact row
+/// order (not just the multiset).
+#[test]
+fn fig4_sorted_goal_agrees_across_engines() {
+    for seed in 0..2u64 {
+        let q = generate_query(&WorkloadConfig::relations(2), seed);
+        // Sort on the first output attribute of the join's left input.
+        let table = q.catalog.table_by_name("t0").unwrap();
+        let key = table.columns[0].attr;
+        let model = RelModel::new(q.catalog.clone(), RelModelOptions::paper_fig4());
+        let tag = format!("fig4-sorted seed={seed}");
+        let plan = optimize_drift_guarded(
+            &model,
+            &q.expr,
+            RelProps::sorted(vec![key]),
+            &q.catalog,
+            &tag,
+        );
+        assert!(
+            !plan.delivered.sort.is_empty(),
+            "{tag}: expected a sort-delivering plan"
+        );
+        let db = Database::in_memory(q.catalog.clone());
+        db.generate(seed);
+        assert_engines_agree(&db, &plan, &tag);
+    }
+}

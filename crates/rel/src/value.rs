@@ -95,6 +95,43 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// The integer payload, if this is `Value::Int`.
+    ///
+    /// The typed accessors (`as_int` / `as_float` / `as_bool` /
+    /// `as_str`) are strict: they do not coerce across types, so the
+    /// columnar execution engine can rely on them to detect exactly the
+    /// values its typed column vectors can hold.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if this is `Value::Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(x.get()),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is `Value::Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is `Value::Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
     /// SQL-style comparison: NULL compares equal/ordered to nothing
     /// (`None`), everything else by the derived total order. Cross-type
     /// numeric comparisons coerce Int to Float.
@@ -195,6 +232,18 @@ mod tests {
             Value::float(1.5).sql_cmp(&Value::int(2)),
             Some(Ordering::Less)
         );
+    }
+
+    #[test]
+    fn typed_accessors_are_strict() {
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::float(7.0).as_int(), None);
+        assert_eq!(Value::float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::int(2).as_float(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Null.as_int(), None);
+        assert_eq!(Value::Null.as_str(), None);
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub mod stmt;
 pub use ast::{Query as AstQuery, SelectStmt};
 pub use lower::{lower, LowerError, Query};
 pub use parser::{parse, ParseError};
-pub use stmt::{parse_script, parse_statement, BudgetSetting, ColumnSpec, Statement};
+pub use stmt::{
+    parse_script, parse_statement, BudgetSetting, ColumnSpec, ExecutorSetting, Statement,
+};
 
 /// Parse and lower in one step.
 pub fn plan_query(sql: &str, catalog: &mut volcano_rel::Catalog) -> Result<Query, QueryError> {

@@ -50,6 +50,25 @@ pub enum BudgetSetting {
     Off,
 }
 
+/// The execution engine choice, as set from the CLI.
+///
+/// ```text
+/// SET EXECUTOR TUPLE;       -- classic tuple-at-a-time iterators
+/// SET EXECUTOR BATCH;       -- vectorized engine, default batch size
+/// SET EXECUTOR BATCH 4096;  -- vectorized engine, explicit batch size
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorSetting {
+    /// The tuple-at-a-time iterator engine.
+    Tuple,
+    /// The vectorized batch engine, with an optional batch size
+    /// (`None` = the engine default).
+    Batch {
+        /// Rows per batch, if given explicitly.
+        batch_size: Option<usize>,
+    },
+}
+
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
@@ -75,6 +94,10 @@ pub enum Statement {
     /// search effort; tripped budgets degrade to greedy completion and
     /// still return a valid (if possibly suboptimal) plan.
     SetBudget(BudgetSetting),
+    /// `SET EXECUTOR TUPLE | BATCH [n]`: choose the execution engine
+    /// for subsequent queries (results are engine-invariant; only the
+    /// unit of transfer between operators changes).
+    SetExecutor(ExecutorSetting),
     /// `EXPLAIN [ANALYZE] <query>`: show the logical expression and the
     /// chosen plan; with ANALYZE, also execute and report per-operator
     /// actual row counts.
@@ -274,6 +297,9 @@ fn parse_set(input: &str) -> Result<Statement, ParseError> {
     if matches!(toks.get(1), Some(t) if t.is_kw("budget")) {
         return parse_set_budget(&toks);
     }
+    if matches!(toks.get(1), Some(t) if t.is_kw("executor")) {
+        return parse_set_executor(&toks);
+    }
     match toks.as_slice() {
         [s, c, l, Token::Int(n)]
             if s.is_kw("set") && c.is_kw("cost") && l.is_kw("limit") && *n >= 0 =>
@@ -321,6 +347,23 @@ fn parse_set_budget(toks: &[Token]) -> Result<Statement, ParseError> {
         }
     };
     Ok(Statement::SetBudget(setting))
+}
+
+fn parse_set_executor(toks: &[Token]) -> Result<Statement, ParseError> {
+    let setting = match toks {
+        [_, _, t] if t.is_kw("tuple") => ExecutorSetting::Tuple,
+        [_, _, t] if t.is_kw("batch") => ExecutorSetting::Batch { batch_size: None },
+        [_, _, t, Token::Int(n)] if t.is_kw("batch") && *n >= 1 => ExecutorSetting::Batch {
+            batch_size: Some(*n as usize),
+        },
+        _ => {
+            return Err(unexpected(
+                "SET EXECUTOR <TUPLE|BATCH [n]>",
+                toks.get(2).cloned(),
+            ))
+        }
+    };
+    Ok(Statement::SetExecutor(setting))
 }
 
 fn parse_generate(input: &str) -> Result<Statement, ParseError> {
@@ -412,6 +455,27 @@ mod tests {
         assert!(parse_statement("SET BUDGET").is_err());
         assert!(parse_statement("SET BUDGET MOVES 5").is_err());
         assert!(parse_statement("SET BUDGET TIMEOUT x").is_err());
+    }
+
+    #[test]
+    fn set_executor() {
+        assert_eq!(
+            parse_statement("SET EXECUTOR TUPLE").unwrap(),
+            Statement::SetExecutor(ExecutorSetting::Tuple)
+        );
+        assert_eq!(
+            parse_statement("set executor batch").unwrap(),
+            Statement::SetExecutor(ExecutorSetting::Batch { batch_size: None })
+        );
+        assert_eq!(
+            parse_statement("SET EXECUTOR BATCH 4096").unwrap(),
+            Statement::SetExecutor(ExecutorSetting::Batch {
+                batch_size: Some(4096)
+            })
+        );
+        assert!(parse_statement("SET EXECUTOR").is_err());
+        assert!(parse_statement("SET EXECUTOR ROW").is_err());
+        assert!(parse_statement("SET EXECUTOR BATCH 0").is_err());
     }
 
     #[test]

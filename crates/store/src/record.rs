@@ -80,12 +80,27 @@ pub fn encode_record(fields: &[Field]) -> Vec<u8> {
 }
 
 /// Decode a row from bytes.
-pub fn decode_record(mut bytes: &[u8]) -> Result<Vec<Field>, DecodeError> {
+pub fn decode_record(bytes: &[u8]) -> Result<Vec<Field>, DecodeError> {
+    let mut out = Vec::new();
+    decode_record_fields(bytes, |f| out.push(f))?;
+    Ok(out)
+}
+
+/// Decode a row field by field, invoking `emit` once per field in
+/// position order, and return the field count.
+///
+/// This is the allocation-free entry point for columnar consumers: a
+/// caller that routes each field straight into a typed column vector
+/// never materializes the intermediate `Vec<Field>` row that
+/// [`decode_record`] builds.
+pub fn decode_record_fields(
+    mut bytes: &[u8],
+    mut emit: impl FnMut(Field),
+) -> Result<usize, DecodeError> {
     if bytes.remaining() < 2 {
         return Err(DecodeError::Truncated);
     }
     let n = bytes.get_u16_le() as usize;
-    let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         if bytes.remaining() < 1 {
             return Err(DecodeError::Truncated);
@@ -127,9 +142,9 @@ pub fn decode_record(mut bytes: &[u8]) -> Result<Vec<Field>, DecodeError> {
             }
             t => return Err(DecodeError::BadTag(t)),
         };
-        out.push(field);
+        emit(field);
     }
-    Ok(out)
+    Ok(n)
 }
 
 #[cfg(test)]
@@ -147,6 +162,22 @@ mod tests {
         ];
         let bytes = encode_record(&row);
         assert_eq!(decode_record(&bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn streaming_decode_matches_vec_decode() {
+        let row = vec![
+            Field::Int(5),
+            Field::Null,
+            Field::Str("abc".to_string()),
+            Field::Float(-1.5),
+        ];
+        let bytes = encode_record(&row);
+        let mut streamed = Vec::new();
+        let n = decode_record_fields(&bytes, |f| streamed.push(f)).unwrap();
+        assert_eq!(n, row.len());
+        assert_eq!(streamed, row);
+        assert!(decode_record_fields(&bytes[..1], |_| {}).is_err());
     }
 
     #[test]

@@ -18,12 +18,12 @@ use std::io::Read;
 use std::time::Duration;
 
 use volcano::core::{SearchBudget, SearchOptions};
-use volcano::exec::Database;
+use volcano::exec::{BatchConfig, Database};
 use volcano::rel::catalog::ColType;
 use volcano::rel::{
     explain_expr, explain_plan, Catalog, ColumnDef, RelModel, RelOptimizer, RelProps,
 };
-use volcano::sql::{lower, parse_script, BudgetSetting, Statement};
+use volcano::sql::{lower, parse_script, BudgetSetting, ExecutorSetting, Statement};
 
 struct Shell {
     catalog: Catalog,
@@ -34,6 +34,9 @@ struct Shell {
     /// Search budget for subsequent queries; tripped budgets degrade to
     /// greedy completion instead of failing.
     budget: SearchBudget,
+    /// Execution engine for subsequent queries: `None` = tuple engine,
+    /// `Some(cfg)` = vectorized batch engine.
+    executor: Option<BatchConfig>,
 }
 
 impl Shell {
@@ -43,6 +46,7 @@ impl Shell {
             db: None,
             cost_limit: None,
             budget: SearchBudget::default(),
+            executor: None,
         }
     }
 
@@ -140,6 +144,23 @@ impl Shell {
                 }
                 Ok(())
             }
+            Statement::SetExecutor(setting) => {
+                match setting {
+                    ExecutorSetting::Tuple => {
+                        self.executor = None;
+                        println!("executor: tuple-at-a-time");
+                    }
+                    ExecutorSetting::Batch { batch_size } => {
+                        let cfg = match batch_size {
+                            Some(n) => BatchConfig::with_batch_size(n),
+                            None => BatchConfig::default(),
+                        };
+                        self.executor = Some(cfg);
+                        println!("executor: batch (batch size {})", cfg.batch_size);
+                    }
+                }
+                Ok(())
+            }
             Statement::Generate { seed } => {
                 self.db().generate(seed);
                 println!(
@@ -174,8 +195,14 @@ impl Shell {
                 );
                 if analyze {
                     let stats_json = opt.stats().to_json();
+                    let executor = self.executor;
                     let db = self.db();
-                    let analyzed = volcano::exec::execute_analyzed(db, &catalog, &plan);
+                    let analyzed = match executor {
+                        Some(cfg) => {
+                            volcano::exec::execute_analyzed_batch(db, &catalog, &plan, cfg)
+                        }
+                        None => volcano::exec::execute_analyzed(db, &catalog, &plan),
+                    };
                     println!("-- analyze ({} result rows) --", analyzed.rows.len());
                     print!("{}", analyzed.report());
                     // Machine-readable export: per-operator measurements
@@ -196,6 +223,7 @@ impl Shell {
                 let q = lower(&ast, &mut catalog).map_err(|e| e.to_string())?;
                 let cost_limit = self.cost_limit;
                 let options = self.search_options();
+                let executor = self.executor;
                 let db = self.db();
                 let model = RelModel::with_defaults(catalog.clone());
                 let mut opt = RelOptimizer::new(&model, options);
@@ -214,7 +242,10 @@ impl Shell {
                         opt.stats().outcome
                     );
                 }
-                let rows = db.execute(&plan);
+                let rows = match executor {
+                    Some(cfg) => db.execute_batch(&plan, cfg),
+                    None => db.execute(&plan),
+                };
                 for row in &rows {
                     let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
                     println!("{}", cells.join(" | "));
