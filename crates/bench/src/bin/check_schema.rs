@@ -271,6 +271,80 @@ fn check_exec(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn check_plan_cache_workloads(v: &Json, name: &str) -> Result<(), String> {
+    let workloads = v
+        .get(name)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing {name} array"))?;
+    if workloads.is_empty() {
+        return Err(format!("{name} array is empty"));
+    }
+    for (i, w) in workloads.iter().enumerate() {
+        let ctx = |e: String| format!("{name}[{i}]: {e}");
+        w.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{name}[{i}]: missing name"))?;
+        w.get("class")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{name}[{i}]: missing class"))?;
+        num(w, "rows").map_err(ctx)?;
+        for key in ["cold_ms", "warm_ms", "speedup"] {
+            let x = num(w, key).map_err(ctx)?;
+            if x <= 0.0 {
+                return Err(format!("{name}[{i}]: {key} {x} <= 0"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_plan_cache(v: &Json) -> Result<(), String> {
+    for key in ["card", "reps"] {
+        let x = num(v, key)?;
+        if x < 1.0 {
+            return Err(format!("{key} {x} < 1"));
+        }
+    }
+    let smoke = match v.get("smoke") {
+        Some(&Json::Bool(b)) => b,
+        _ => return Err("missing or non-boolean field \"smoke\"".to_string()),
+    };
+    check_plan_cache_workloads(v, "workloads")?;
+    check_plan_cache_workloads(v, "short_workloads")?;
+    let g = num(v, "geomean_speedup")?;
+    if g <= 0.0 {
+        return Err(format!("geomean_speedup {g} <= 0"));
+    }
+    // The acceptance gate: on a full (non-smoke) run, warm-cache serving
+    // must beat cold planning by >= 5x geomean on the join-order-bound
+    // workloads. Smoke runs (tiny cards, debug builds) are exempt.
+    if !smoke && g < 5.0 {
+        return Err(format!(
+            "geomean_speedup {g:.2} < 5.0 on a full run (plan cache regression)"
+        ));
+    }
+    let stats = v
+        .get("cache_stats")
+        .ok_or_else(|| "missing cache_stats".to_string())?;
+    let mut parts = [0.0; 4];
+    for (slot, key) in ["lookups", "hits", "misses", "invalidations"]
+        .iter()
+        .enumerate()
+    {
+        parts[slot] = num(stats, key).map_err(|e| format!("cache_stats: {e}"))?;
+    }
+    if parts[0] != parts[1] + parts[2] + parts[3] {
+        return Err(format!(
+            "cache_stats do not reconcile: {} lookups != {} hits + {} misses + {} invalidations",
+            parts[0], parts[1], parts[2], parts[3]
+        ));
+    }
+    if parts[1] <= 0.0 {
+        return Err("cache_stats: a benchmark run must record hits".to_string());
+    }
+    Ok(())
+}
+
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
     let v = parse_json(&text).map_err(|e| e.to_string())?;
@@ -279,6 +353,7 @@ fn check_file(path: &str) -> Result<(), String> {
         Some("budget") => check_budget(&v),
         Some("search_hotpath") => check_search_hotpath(&v),
         Some("exec_batch") => check_exec(&v),
+        Some("plan_cache") => check_plan_cache(&v),
         Some(other) => Err(format!("unknown benchmark tag {other:?}")),
         None => Err("missing \"benchmark\" tag".to_string()),
     }

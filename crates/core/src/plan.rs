@@ -82,6 +82,21 @@ impl<M: Model> Plan<M> {
         self.nodes().into_iter().filter(|n| pred(&n.alg)).count()
     }
 
+    /// Rebuild the plan with each algorithm mapped through `f`,
+    /// preserving structure, costs, and properties. This is how a cached
+    /// plan template is re-bound to fresh parameter values: the mapping
+    /// must not change any algorithm's shape, only embedded constants.
+    pub fn map_algs(&self, f: &mut impl FnMut(&M::Alg) -> M::Alg) -> Plan<M> {
+        Plan {
+            alg: f(&self.alg),
+            delivered: self.delivered.clone(),
+            local_cost: self.local_cost.clone(),
+            cost: self.cost.clone(),
+            group: self.group,
+            inputs: self.inputs.iter().map(|i| i.map_algs(f)).collect(),
+        }
+    }
+
     /// Render the plan as an indented tree with per-node costs and
     /// delivered properties.
     pub fn explain(&self) -> String {

@@ -102,6 +102,17 @@ pub enum TraceEvent {
         /// `group-limit`, `goal-limit`, or `cancelled`).
         reason: &'static str,
     },
+    /// The cross-query plan cache was consulted for a query shape. Emitted
+    /// by the serving layer (not the search engine), before any
+    /// optimization work: a `hit` outcome means `find_best_plan` was
+    /// skipped entirely.
+    PlanCacheLookup {
+        /// The canonical shape key that was probed.
+        shape: u64,
+        /// `hit`, `miss`, `invalidated` (epoch/drift forced
+        /// re-optimization), or `bypass` (cache disabled).
+        outcome: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -109,7 +120,9 @@ impl TraceEvent {
     /// expression, not group).
     pub fn group(&self) -> Option<GroupId> {
         match self {
-            TraceEvent::RuleFired { .. } | TraceEvent::BudgetTripped { .. } => None,
+            TraceEvent::RuleFired { .. }
+            | TraceEvent::BudgetTripped { .. }
+            | TraceEvent::PlanCacheLookup { .. } => None,
             TraceEvent::GoalBegin { group, .. }
             | TraceEvent::GoalEnd { group, .. }
             | TraceEvent::MoveCosted { group, .. }
@@ -564,9 +577,9 @@ impl Tracer for MetricsTracer {
                 inner.totals.memo_hits += 1;
                 inner.per_group.entry(*group).or_default().memo_hits += 1;
             }
-            // Budget trips are not per-group counters; SearchStats carries
-            // the outcome.
-            TraceEvent::BudgetTripped { .. } => {}
+            // Budget trips are not per-group counters (SearchStats carries
+            // the outcome), and cache lookups precede any search.
+            TraceEvent::BudgetTripped { .. } | TraceEvent::PlanCacheLookup { .. } => {}
         }
     }
 }

@@ -1,17 +1,28 @@
 //! Tables as heap files behind a buffer pool.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use volcano_core::trace::{TraceEvent, Tracer};
+use volcano_core::{SearchOptions, SearchStats};
 use volcano_rel::catalog::ColType;
 use volcano_rel::value::Tuple;
-use volcano_rel::{AttrId, Catalog, RelPlan, TableId, Value};
+use volcano_rel::{
+    AttrId, Catalog, RelCost, RelModel, RelOptimizer, RelPlan, RelProps, TableId, Value,
+};
+use volcano_sql::{
+    lower_with_params, parameterize, parse, shape_key, AstQuery, BindError, LowerError, ParamQuery,
+    ParseError,
+};
 use volcano_store::record::{decode_record, encode_record, Field};
 use volcano_store::{BTree, BufferPool, DiskManager, FileDisk, HeapFile, MemDisk};
 
 use crate::batch::collect_batches;
 use crate::compile::{compile, compile_batch, BatchConfig};
 use crate::iterator::collect;
+use crate::plan_cache::{drift_validation, rebind_plan, CacheEntry, CacheOutcome, PlanCache};
 
 fn value_to_field(v: &Value) -> Field {
     match v {
@@ -48,6 +59,71 @@ pub fn decode_row(bytes: &[u8]) -> Tuple {
         .collect()
 }
 
+/// Default plan-cache entry capacity.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// Default cost-drift tolerance: a stale entry whose re-estimated cost
+/// exceeds its recorded cost by more than this factor is re-optimized.
+pub const DEFAULT_DRIFT_FACTOR: f64 = 2.0;
+
+/// A statement prepared against a [`Database`]: the parameterized query
+/// shape plus the constants extracted from its text. Cheap to clone;
+/// holds no plan — plans live in the shared [`PlanCache`].
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
+    param: ParamQuery,
+}
+
+impl PreparedStatement {
+    /// Number of `$n` values the caller must supply per execution.
+    pub fn param_count(&self) -> usize {
+        self.param.auto_base as usize
+    }
+}
+
+/// Why preparing or executing a prepared statement failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrepareError {
+    /// The statement text did not parse.
+    Parse(ParseError),
+    /// The statement did not lower against the current catalog (unknown
+    /// table/column — including tables dropped since `prepare`).
+    Lower(LowerError),
+    /// The parameter vector had the wrong arity.
+    Bind(BindError),
+    /// Optimization found no plan (cost limit, empty search space).
+    Plan(String),
+}
+
+impl fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrepareError::Parse(e) => write!(f, "{e}"),
+            PrepareError::Lower(e) => write!(f, "{e}"),
+            PrepareError::Bind(e) => write!(f, "{e}"),
+            PrepareError::Plan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+/// The result of one prepared execution, with enough evidence to audit
+/// the cache's behaviour: whether the plan came from the cache, and the
+/// search statistics when (and only when) an optimization actually ran.
+#[derive(Debug)]
+pub struct PreparedOutcome {
+    /// Result rows.
+    pub rows: Vec<Tuple>,
+    /// `hit`, `miss`, `invalidated`, or `bypass` (cache disabled).
+    pub cache: &'static str,
+    /// Search statistics of the optimization this execution ran;
+    /// `None` exactly when the plan was served from the cache.
+    pub search: Option<SearchStats>,
+    /// Estimated cost of the executed plan.
+    pub cost: RelCost,
+}
+
 /// A database instance: a catalog plus stored tables and their indexes.
 pub struct Database {
     catalog: Catalog,
@@ -57,6 +133,17 @@ pub struct Database {
     indexes: HashMap<(TableId, AttrId), Arc<BTree>>,
     /// Tuples an external sort may hold in memory before spilling runs.
     sort_memory_rows: usize,
+    /// Monotone counter bumped by every statistics-relevant change:
+    /// data loads, DDL, stats refreshes. Cached plans record the epoch
+    /// they were optimized under.
+    stats_epoch: AtomicU64,
+    /// The cross-query plan cache.
+    plan_cache: PlanCache,
+    /// Whether prepared executions consult the cache at all.
+    cache_enabled: AtomicBool,
+    /// Cost-drift tolerance (see [`DEFAULT_DRIFT_FACTOR`]), stored as
+    /// `f64` bits so it can sit in an atomic next to the epoch.
+    drift_factor: AtomicU64,
 }
 
 impl Database {
@@ -106,6 +193,10 @@ impl Database {
             tables,
             indexes,
             sort_memory_rows: 1 << 20,
+            stats_epoch: AtomicU64::new(0),
+            plan_cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
+            cache_enabled: AtomicBool::new(true),
+            drift_factor: AtomicU64::new(DEFAULT_DRIFT_FACTOR.to_bits()),
         }
     }
 
@@ -159,6 +250,8 @@ impl Database {
                 self.indexes[&(table, c.attr)].insert(key, rid);
             }
         }
+        // Data changed: cached plans must re-justify themselves.
+        self.bump_epoch();
     }
 
     /// Populate every table with synthetic rows honouring its statistics:
@@ -167,6 +260,11 @@ impl Database {
     pub fn generate(&self, seed: u64) {
         use rand_like::Lcg;
         for t in self.catalog.tables() {
+            // Dropped tables keep their catalog slot (ids are positional)
+            // but have no heap file any more.
+            if !self.tables.contains_key(&t.id) {
+                continue;
+            }
             let mut rng = Lcg::new(seed ^ (t.id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             for _ in 0..t.card as u64 {
                 let row: Vec<Value> = t
@@ -208,6 +306,241 @@ impl Database {
     pub fn execute_batch(&self, plan: &RelPlan, cfg: BatchConfig) -> Vec<Tuple> {
         let mut op = compile_batch(self, plan, cfg).operator;
         collect_batches(op.as_mut())
+    }
+
+    // -----------------------------------------------------------------
+    // Prepared statements and the plan cache.
+
+    /// The current stats epoch.
+    pub fn epoch(&self) -> u64 {
+        self.stats_epoch.load(Ordering::Acquire)
+    }
+
+    /// Bump the stats epoch (data loads, DDL, stats refreshes call this
+    /// internally; exposed for tests and external loaders). Returns the
+    /// new value.
+    pub fn bump_epoch(&self) -> u64 {
+        self.stats_epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The plan cache (counters, capacity, clearing).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// Enable or disable the plan cache; disabling clears it.
+    pub fn set_plan_cache_enabled(&self, on: bool) {
+        self.cache_enabled.store(on, Ordering::Release);
+        if !on {
+            self.plan_cache.clear();
+        }
+    }
+
+    /// Resize the plan cache (existing entries trim lazily).
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        self.plan_cache.set_capacity(capacity);
+    }
+
+    /// Whether prepared executions consult the plan cache.
+    pub fn plan_cache_enabled(&self) -> bool {
+        self.cache_enabled.load(Ordering::Acquire)
+    }
+
+    /// Set the cost-drift tolerance factor (values < 1 make every stale
+    /// entry re-optimize).
+    pub fn set_drift_factor(&self, factor: f64) {
+        self.drift_factor.store(factor.to_bits(), Ordering::Release);
+    }
+
+    /// The cost-drift tolerance factor.
+    pub fn drift_factor(&self) -> f64 {
+        f64::from_bits(self.drift_factor.load(Ordering::Acquire))
+    }
+
+    /// Prepare a SQL statement: parse, then auto-parameterize every
+    /// WHERE-clause literal (explicit `$n` placeholders keep their
+    /// slots). Name resolution happens at execution time, so preparing
+    /// does not pin the catalog.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement, PrepareError> {
+        Ok(self.prepare_ast(&parse(sql).map_err(PrepareError::Parse)?))
+    }
+
+    /// Prepare an already-parsed query (the CLI's `PREPARE name AS ...`).
+    pub fn prepare_ast(&self, ast: &AstQuery) -> PreparedStatement {
+        PreparedStatement {
+            param: parameterize(ast),
+        }
+    }
+
+    /// Execute a prepared statement, returning only the rows. See
+    /// [`Database::execute_prepared_traced`] for the audited form.
+    pub fn execute_prepared(
+        &self,
+        stmt: &PreparedStatement,
+        params: &[Value],
+        engine: Option<BatchConfig>,
+    ) -> Result<Vec<Tuple>, PrepareError> {
+        self.execute_prepared_traced(stmt, params, engine, None)
+            .map(|o| o.rows)
+    }
+
+    /// Execute a prepared statement through the plan cache.
+    ///
+    /// The flow per execution: bind the full parameter vector, lower the
+    /// shape (cheap — no search), compute the shape key, and probe the
+    /// cache. A valid entry is re-bound to the new constants and executed
+    /// with **no optimizer involvement**; the returned outcome carries
+    /// `search: None` as evidence. A miss (or an entry killed by the
+    /// epoch/drift guard) optimizes as usual and caches the result.
+    ///
+    /// `tracer` receives one [`TraceEvent::PlanCacheLookup`] per call.
+    pub fn execute_prepared_traced(
+        &self,
+        stmt: &PreparedStatement,
+        params: &[Value],
+        engine: Option<BatchConfig>,
+        tracer: Option<&dyn Tracer>,
+    ) -> Result<PreparedOutcome, PrepareError> {
+        let full = stmt.param.bind(params).map_err(PrepareError::Bind)?;
+        // Lowering re-resolves names against the current catalog: a shape
+        // over a dropped table fails here, before any cache probe, so a
+        // stale plan can never be served for it.
+        let mut catalog = self.catalog.clone();
+        let q = lower_with_params(&stmt.param.shape, &mut catalog, &full)
+            .map_err(PrepareError::Lower)?;
+        let goal = RelProps::sorted(q.order_by.clone());
+        let shape = shape_key(&q.expr, &q.order_by);
+
+        if !self.plan_cache_enabled() {
+            if let Some(t) = tracer {
+                t.event(TraceEvent::PlanCacheLookup {
+                    shape,
+                    outcome: "bypass",
+                });
+            }
+            let (plan, stats) = self.optimize(&catalog, &q.expr, goal)?;
+            return Ok(PreparedOutcome {
+                rows: self.run(&plan, engine),
+                cache: "bypass",
+                cost: plan.cost,
+                search: Some(stats),
+            });
+        }
+
+        let epoch = self.epoch();
+        let drift = self.drift_factor();
+        let options = RelModel::with_defaults(Catalog::new()).options().clone();
+        let outcome = self.plan_cache.lookup(shape, &goal, |entry| {
+            if entry.epoch == epoch {
+                crate::plan_cache::Validation::Valid
+            } else {
+                drift_validation(entry, &self.catalog, &options, &full, epoch, drift)
+            }
+        });
+        if let Some(t) = tracer {
+            t.event(TraceEvent::PlanCacheLookup {
+                shape,
+                outcome: outcome.label(),
+            });
+        }
+        match outcome {
+            CacheOutcome::Hit(entry) => {
+                let plan = rebind_plan(&entry.plan, &full);
+                Ok(PreparedOutcome {
+                    rows: self.run(&plan, engine),
+                    cache: "hit",
+                    cost: entry.cost,
+                    search: None,
+                })
+            }
+            CacheOutcome::Miss | CacheOutcome::Invalidated => {
+                let label = outcome.label();
+                let (plan, stats) = self.optimize(&catalog, &q.expr, goal.clone())?;
+                self.plan_cache.insert(
+                    shape,
+                    goal,
+                    CacheEntry {
+                        plan: plan.clone(),
+                        cost: plan.cost,
+                        epoch,
+                    },
+                );
+                Ok(PreparedOutcome {
+                    rows: self.run(&plan, engine),
+                    cache: label,
+                    cost: plan.cost,
+                    search: Some(stats),
+                })
+            }
+        }
+    }
+
+    fn optimize(
+        &self,
+        catalog: &Catalog,
+        expr: &volcano_rel::RelExpr,
+        goal: RelProps,
+    ) -> Result<(RelPlan, SearchStats), PrepareError> {
+        let model = RelModel::with_defaults(catalog.clone());
+        let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+        let root = opt.insert_tree(expr);
+        let plan = opt
+            .find_best_plan(root, goal, None)
+            .map_err(|e| PrepareError::Plan(e.to_string()))?;
+        Ok((plan, opt.stats().clone()))
+    }
+
+    fn run(&self, plan: &RelPlan, engine: Option<BatchConfig>) -> Vec<Tuple> {
+        match engine {
+            Some(cfg) => self.execute_batch(plan, cfg),
+            None => self.execute(plan),
+        }
+    }
+
+    /// Drop a table: unregister it from the catalog (SQL over it fails
+    /// from now on), free its heap file and indexes, clear the plan
+    /// cache, and bump the stats epoch. Returns `false` if no such table.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        let Some(id) = self.catalog.drop_table(name) else {
+            return false;
+        };
+        self.tables.remove(&id);
+        self.indexes.retain(|(t, _), _| *t != id);
+        self.plan_cache.clear();
+        self.bump_epoch();
+        true
+    }
+
+    /// Recompute catalog statistics (row counts and per-column distinct
+    /// estimates) from the stored data, then bump the stats epoch so
+    /// cached plans are re-judged under the new numbers.
+    pub fn refresh_stats(&mut self) {
+        use std::collections::HashSet;
+        let live: Vec<TableId> = self
+            .catalog
+            .tables()
+            .iter()
+            .map(|t| t.id)
+            .filter(|id| self.tables.contains_key(id))
+            .collect();
+        for id in live {
+            let rows: Vec<Tuple> = self.tables[&id]
+                .scan_all()
+                .iter()
+                .map(|b| decode_row(b))
+                .collect();
+            let cols = self.catalog.table(id).columns.len();
+            let mut distinct: Vec<HashSet<Value>> = vec![HashSet::new(); cols];
+            for row in &rows {
+                for (set, v) in distinct.iter_mut().zip(row) {
+                    set.insert(v.clone());
+                }
+            }
+            let estimates: Vec<Option<f64>> =
+                distinct.iter().map(|s| Some(s.len() as f64)).collect();
+            self.catalog.update_stats(id, rows.len() as f64, &estimates);
+        }
+        self.bump_epoch();
     }
 
     /// Physical page reads/writes observed so far.
@@ -309,6 +642,151 @@ mod tests {
         let id = c.table_by_name("t").unwrap().id;
         let db = Database::in_memory(c);
         db.insert(id, vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn warm_prepared_execution_skips_the_optimizer() {
+        let db = Database::in_memory(catalog());
+        db.generate(11);
+        let epoch = db.epoch(); // generate() bumps per insert
+        assert!(epoch > 0);
+        let stmt = db.prepare("SELECT a FROM t WHERE a < 4").unwrap();
+        // Auto-parameterized: the literal 4 became a slot with a default.
+        assert_eq!(stmt.param_count(), 0);
+        let cold = db.execute_prepared_traced(&stmt, &[], None, None).unwrap();
+        assert_eq!(cold.cache, "miss");
+        assert!(cold.search.is_some(), "cold run must optimize");
+        let warm = db.execute_prepared_traced(&stmt, &[], None, None).unwrap();
+        assert_eq!(warm.cache, "hit");
+        assert!(warm.search.is_none(), "warm run must not optimize");
+        assert_eq!(cold.rows, warm.rows);
+        let s = db.plan_cache().stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.lookups, s.hits + s.misses + s.invalidations);
+    }
+
+    #[test]
+    fn lookups_emit_trace_events() {
+        use volcano_core::trace::CollectingTracer;
+        let db = Database::in_memory(catalog());
+        db.generate(13);
+        let stmt = db.prepare("SELECT a FROM t WHERE a < 4").unwrap();
+        let tracer = CollectingTracer::new();
+        db.execute_prepared_traced(&stmt, &[], None, Some(&tracer))
+            .unwrap();
+        db.execute_prepared_traced(&stmt, &[], None, Some(&tracer))
+            .unwrap();
+        let lookups: Vec<(u64, &'static str)> = tracer
+            .take()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::PlanCacheLookup { shape, outcome } => Some((shape, outcome)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lookups.len(), 2);
+        assert_eq!(lookups[0].1, "miss");
+        assert_eq!(lookups[1].1, "hit");
+        // Both lookups probed the same canonical shape.
+        assert_eq!(lookups[0].0, lookups[1].0);
+    }
+
+    #[test]
+    fn explicit_params_rebind_without_reoptimizing() {
+        let db = Database::in_memory(catalog());
+        db.generate(3);
+        let stmt = db.prepare("SELECT a FROM t WHERE a < $0").unwrap();
+        assert_eq!(stmt.param_count(), 1);
+        let oracle = |bound: i64| {
+            let mut rows = db
+                .execute_prepared(&stmt, &[Value::Int(bound)], None)
+                .unwrap();
+            rows.sort();
+            rows
+        };
+        let lt4 = oracle(4);
+        let lt9 = oracle(9);
+        assert!(lt4.len() < lt9.len(), "selectivity must track the binding");
+        for r in &lt4 {
+            assert!(lt9.contains(r));
+        }
+        // First call missed, both later calls hit with different bindings.
+        let s = db.plan_cache().stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn epoch_mismatch_revalidates_or_reoptimizes() {
+        let db = Database::in_memory(catalog());
+        db.generate(5);
+        let stmt = db.prepare("SELECT a FROM t WHERE a < 6").unwrap();
+        db.execute_prepared(&stmt, &[], None).unwrap();
+        let before = db.epoch();
+        db.bump_epoch();
+        assert_eq!(db.epoch(), before + 1);
+        // Stats unchanged: the drift guard revalidates in place, still a hit.
+        let out = db.execute_prepared_traced(&stmt, &[], None, None).unwrap();
+        assert_eq!(out.cache, "hit");
+        assert!(out.search.is_none());
+        // Force every stale entry to re-optimize.
+        db.set_drift_factor(0.0);
+        db.bump_epoch();
+        let out = db.execute_prepared_traced(&stmt, &[], None, None).unwrap();
+        assert_eq!(out.cache, "invalidated");
+        assert!(out.search.is_some());
+        let s = db.plan_cache().stats();
+        assert_eq!(s.lookups, s.hits + s.misses + s.invalidations);
+    }
+
+    #[test]
+    fn dropping_a_table_unplans_it() {
+        let mut db = Database::in_memory(catalog());
+        db.generate(2);
+        let stmt = db.prepare("SELECT a FROM t WHERE a < 5").unwrap();
+        db.execute_prepared(&stmt, &[], None).unwrap();
+        assert_eq!(db.plan_cache().len(), 1);
+        assert!(db.drop_table("t"));
+        assert!(!db.drop_table("t"));
+        assert_eq!(db.plan_cache().len(), 0);
+        // Lowering now fails before any cache probe.
+        let err = db.execute_prepared(&stmt, &[], None).unwrap_err();
+        assert!(matches!(err, PrepareError::Lower(_)), "{err}");
+        assert_eq!(db.plan_cache().stats().lookups, 1);
+    }
+
+    #[test]
+    fn refresh_stats_measures_the_data() {
+        let mut db = Database::in_memory(catalog());
+        let id = db.catalog().table_by_name("t").unwrap().id;
+        for i in 0..30 {
+            db.insert(id, vec![Value::Int(i % 3), Value::Str("s".into())]);
+        }
+        let before = db.epoch();
+        db.refresh_stats();
+        assert!(db.epoch() > before);
+        let t = db.catalog().table(id);
+        assert_eq!(t.card, 30.0);
+        assert_eq!(t.columns[0].distinct, 3.0);
+        assert_eq!(t.columns[1].distinct, 1.0);
+    }
+
+    #[test]
+    fn disabling_the_cache_bypasses_and_clears() {
+        let db = Database::in_memory(catalog());
+        db.generate(9);
+        let stmt = db.prepare("SELECT a FROM t WHERE a < 5").unwrap();
+        db.execute_prepared(&stmt, &[], None).unwrap();
+        assert_eq!(db.plan_cache().len(), 1);
+        db.set_plan_cache_enabled(false);
+        assert_eq!(db.plan_cache().len(), 0);
+        let out = db.execute_prepared_traced(&stmt, &[], None, None).unwrap();
+        assert_eq!(out.cache, "bypass");
+        assert!(out.search.is_some());
+        // Bypassed lookups touch no counters.
+        assert_eq!(db.plan_cache().stats().lookups, 1);
     }
 }
 

@@ -34,12 +34,17 @@ pub mod iterator;
 pub mod kernels;
 pub mod naive;
 pub mod ops;
+pub mod plan_cache;
 
 pub use analyze::{execute_analyzed, execute_analyzed_batch, Analyzed};
 pub use batch::{collect_batches, Batch, BatchOperator, BoxedBatchOperator, Column};
 pub use compile::{
     compile, compile_batch, compile_node, schema_of, BatchConfig, Compiled, CompiledBatch,
 };
-pub use database::Database;
+pub use database::{
+    Database, PrepareError, PreparedOutcome, PreparedStatement, DEFAULT_DRIFT_FACTOR,
+    DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use iterator::{collect, BoxedOperator, Operator};
 pub use naive::{assert_same_rows, evaluate_logical, Evaluated};
+pub use plan_cache::{rebind_plan, CacheOutcome, PlanCache, PlanCacheStats};

@@ -161,6 +161,44 @@ impl Catalog {
         id
     }
 
+    /// Unregister a table by name, returning its id. The [`TableDef`]
+    /// stays in the id-indexed slot (ids are positional, so later tables
+    /// keep theirs), but name resolution — and therefore SQL lowering —
+    /// can no longer reach it.
+    pub fn drop_table(&mut self, name: &str) -> Option<TableId> {
+        self.by_name.remove(name)
+    }
+
+    /// Is the table id still reachable by name (i.e. not dropped)?
+    pub fn is_live(&self, id: TableId) -> bool {
+        self.tables
+            .get(id.index())
+            .is_some_and(|t| self.by_name.contains_key(&t.name))
+    }
+
+    /// Replace a table's statistics: row count and per-column
+    /// distinct-value estimates (`None` entries keep the old estimate).
+    /// Panics if `distinct` does not match the column count.
+    pub fn update_stats(&mut self, id: TableId, card: f64, distinct: &[Option<f64>]) {
+        let t = &mut self.tables[id.index()];
+        assert_eq!(
+            distinct.len(),
+            t.columns.len(),
+            "distinct estimates for {} columns, table {:?} has {}",
+            distinct.len(),
+            t.name,
+            t.columns.len()
+        );
+        t.card = card;
+        for (col, d) in t.columns.iter_mut().zip(distinct) {
+            if let Some(d) = d {
+                col.distinct = d.min(card).max(1.0);
+            } else {
+                col.distinct = col.distinct.min(card).max(1.0);
+            }
+        }
+    }
+
     /// Allocate a fresh attribute id outside any stored table (used for
     /// aggregate result columns).
     pub fn fresh_attr(&mut self) -> AttrId {
@@ -247,6 +285,36 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table("t", 10.0, vec![ColumnDef::int("x", 1000.0)]);
         assert_eq!(c.table_by_name("t").unwrap().columns[0].distinct, 10.0);
+    }
+
+    #[test]
+    fn drop_table_keeps_ids_stable() {
+        let mut c = sample();
+        let emp = c.table_by_name("emp").unwrap().id;
+        let dept = c.table_by_name("dept").unwrap().id;
+        assert!(c.is_live(emp));
+        assert_eq!(c.drop_table("emp"), Some(emp));
+        assert_eq!(c.drop_table("emp"), None);
+        assert!(c.table_by_name("emp").is_none());
+        assert!(!c.is_live(emp));
+        // The id-indexed slot survives so later ids keep resolving.
+        assert_eq!(c.table(dept).name, "dept");
+        assert!(c.is_live(dept));
+    }
+
+    #[test]
+    fn update_stats_recaps_distinct() {
+        let mut c = sample();
+        let emp = c.table_by_name("emp").unwrap().id;
+        c.update_stats(emp, 10.0, &[None, Some(500.0), None]);
+        let t = c.table(emp);
+        assert_eq!(t.card, 10.0);
+        // Both the explicit estimate and the untouched ones re-cap at the
+        // new cardinality.
+        assert_eq!(t.columns[0].distinct, 10.0);
+        assert_eq!(t.columns[1].distinct, 10.0);
+        c.update_stats(emp, 2000.0, &[Some(1500.0), None, None]);
+        assert_eq!(c.table(emp).columns[0].distinct, 1500.0);
     }
 
     #[test]

@@ -10,9 +10,13 @@
 
 use std::sync::Arc;
 
+use volcano_core::cost::Cost as _;
+
 use crate::alg::RelAlg;
 use crate::catalog::{Catalog, ColType};
+use crate::cost::{formulas, RelCost};
 use crate::ids::TableId;
+use crate::model::RelModelOptions;
 use crate::ops::AggFunc;
 use crate::predicate::JoinPred;
 use crate::props::{ColInfo, RelLogical};
@@ -55,7 +59,11 @@ pub fn estimated_logical(catalog: &Catalog, plan: &RelPlan) -> RelLogical {
         .iter()
         .map(|c| estimated_logical(catalog, c))
         .collect();
-    match &plan.alg {
+    logical_from_inputs(catalog, &plan.alg, &inputs)
+}
+
+fn logical_from_inputs(catalog: &Catalog, alg: &RelAlg, inputs: &[RelLogical]) -> RelLogical {
+    match alg {
         RelAlg::FileScan(t) | RelAlg::IndexScan(t, _) => table_logical(catalog, *t),
         RelAlg::FilterScan(t, pred) => {
             let base = table_logical(catalog, *t);
@@ -156,6 +164,71 @@ pub fn estimated_rows(catalog: &Catalog, plan: &RelPlan) -> f64 {
     estimated_logical(catalog, plan).card
 }
 
+/// Re-estimate the total cost of an already-extracted physical plan under
+/// the *current* catalog statistics, applying the same per-algorithm
+/// formulas the implementation rules used during search.
+///
+/// This is the plan cache's cost-drift guard: a cached template was
+/// optimal under the statistics at optimization time, but after data
+/// loads or stats refreshes its true cost may have drifted. Re-costing
+/// the frozen tree is far cheaper than re-optimizing, and comparing the
+/// result against the entry's recorded cost decides which to do.
+pub fn estimated_plan_cost(
+    catalog: &Catalog,
+    options: &RelModelOptions,
+    plan: &RelPlan,
+) -> RelCost {
+    plan_cost_rec(catalog, options, plan).1
+}
+
+fn plan_cost_rec(
+    catalog: &Catalog,
+    options: &RelModelOptions,
+    plan: &RelPlan,
+) -> (RelLogical, RelCost) {
+    let children: Vec<(RelLogical, RelCost)> = plan
+        .inputs
+        .iter()
+        .map(|c| plan_cost_rec(catalog, options, c))
+        .collect();
+    let inputs: Vec<RelLogical> = children.iter().map(|(l, _)| l.clone()).collect();
+    let out = logical_from_inputs(catalog, &plan.alg, &inputs);
+    let local = match &plan.alg {
+        RelAlg::FileScan(_) => formulas::file_scan(&out),
+        RelAlg::IndexScan(_, _) => formulas::index_scan(&out),
+        RelAlg::FilterScan(t, pred) => {
+            formulas::filter_scan(&table_logical(catalog, *t), pred.len())
+        }
+        RelAlg::Filter(pred) => formulas::filter(&inputs[0], pred.len()),
+        RelAlg::ProjectOp(_) => formulas::project(&inputs[0]),
+        RelAlg::MergeJoin(_) => formulas::merge_join(&inputs[0], &inputs[1], &out),
+        RelAlg::HybridHashJoin(_) => formulas::hash_join_with_memory(
+            &inputs[0],
+            &inputs[1],
+            &out,
+            options.hash_join_memory_bytes,
+        ),
+        RelAlg::NestedLoops(p) => {
+            formulas::nested_loops(&inputs[0], &inputs[1], &out, p.pairs().len())
+        }
+        RelAlg::MultiWayHashJoin { inner, .. } => {
+            let mid = join(&inputs[0], &inputs[1], inner);
+            formulas::multiway_hash_join(&inputs[0], &inputs[1], &inputs[2], &mid, &out)
+        }
+        RelAlg::MergeUnion | RelAlg::MergeIntersect | RelAlg::MergeDifference => {
+            formulas::merge_set_op(&inputs[0], &inputs[1], &out)
+        }
+        RelAlg::HashUnion | RelAlg::HashIntersect | RelAlg::HashDifference => {
+            formulas::hash_set_op(&inputs[0], &inputs[1], &out)
+        }
+        RelAlg::StreamAggregate(_) => formulas::stream_agg(&inputs[0], &out),
+        RelAlg::HashAggregate(_) => formulas::hash_agg(&inputs[0], &out),
+        RelAlg::Sort(_) => formulas::sort(&inputs[0]),
+    };
+    let total = children.iter().fold(local, |acc, (_, c)| acc.add(c));
+    (out, total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +273,49 @@ mod tests {
             }
         }
         walk(&c, &plan);
+    }
+
+    #[test]
+    fn recosting_matches_search_under_unchanged_stats() {
+        let mut c = Catalog::new();
+        c.add_table(
+            "emp",
+            2000.0,
+            vec![
+                ColumnDef::int("id", 2000.0),
+                ColumnDef::int("dept", 20.0),
+                ColumnDef::int("salary", 100.0),
+            ],
+        );
+        c.add_table("dept", 20.0, vec![ColumnDef::int("id", 20.0)]);
+        let model = RelModel::with_defaults(c.clone());
+        let q = QueryBuilder::new(model.catalog());
+        let expr = join_on(
+            select_one(q.scan("emp"), Cmp::lt(q.attr("emp", "salary"), 50i64)),
+            q.scan("dept"),
+            q.attr("emp", "dept"),
+            q.attr("dept", "id"),
+        );
+        let mut opt = Optimizer::new(&model, SearchOptions::default());
+        let root = opt.insert_tree(&expr);
+        for props in [RelProps::any(), RelProps::sorted(vec![q.attr("emp", "id")])] {
+            let plan = opt.find_best_plan(root, props, None).unwrap();
+            let re = estimated_plan_cost(&c, model.options(), &plan);
+            assert!(
+                (re.total() - plan.cost.total()).abs() < 1e-6,
+                "re-cost {re:?} != search cost {:?} for plan\n{}",
+                plan.cost,
+                plan.explain()
+            );
+        }
+
+        // After a stats change the re-cost must move in the same
+        // direction as the data: 10x the rows, strictly costlier.
+        let mut grown = c.clone();
+        let emp = grown.table_by_name("emp").unwrap().id;
+        grown.update_stats(emp, 20_000.0, &[None, None, None]);
+        let plan = opt.find_best_plan(root, RelProps::any(), None).unwrap();
+        let re = estimated_plan_cost(&grown, model.options(), &plan);
+        assert!(re.total() > plan.cost.total() * 2.0, "{re:?}");
     }
 }

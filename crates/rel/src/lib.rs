@@ -49,7 +49,7 @@ pub use alg::RelAlg;
 pub use builder::QueryBuilder;
 pub use catalog::{Catalog, ColumnDef, TableDef};
 pub use cost::RelCost;
-pub use estimate::{estimated_logical, estimated_rows};
+pub use estimate::{estimated_logical, estimated_plan_cost, estimated_rows};
 pub use explain::{explain_expr, explain_plan};
 pub use ids::{AttrId, TableId};
 pub use model::{JoinSpace, RelModel, RelModelOptions};

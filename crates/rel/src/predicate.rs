@@ -65,6 +65,13 @@ pub struct Cmp {
     pub op: CmpOp,
     /// The literal compared against.
     pub value: Value,
+    /// Prepared-statement parameter slot this literal was bound from.
+    /// Identity (`Eq`/`Hash`) includes the slot, so two conjuncts that
+    /// momentarily carry equal values but come from distinct parameters
+    /// (`a < $0 AND a < $1` with both bound to 5) never collapse under
+    /// [`Pred::conj`]'s dedup — rebinding a cached plan by slot stays
+    /// structurally exact. `None` for ordinary literals.
+    pub param: Option<u32>,
 }
 
 impl Cmp {
@@ -74,6 +81,17 @@ impl Cmp {
             attr,
             op,
             value: value.into(),
+            param: None,
+        }
+    }
+
+    /// Build a comparison whose literal is bound from parameter `slot`.
+    pub fn with_param(attr: AttrId, op: CmpOp, value: impl Into<Value>, slot: u32) -> Self {
+        Cmp {
+            attr,
+            op,
+            value: value.into(),
+            param: Some(slot),
         }
     }
 
@@ -86,11 +104,36 @@ impl Cmp {
     pub fn lt(attr: AttrId, value: impl Into<Value>) -> Self {
         Cmp::new(attr, CmpOp::Lt, value)
     }
+
+    /// The same comparison with the literal replaced by the value of its
+    /// parameter slot in `params` (identity for unparameterized terms).
+    pub fn rebound(&self, params: &[Value]) -> Cmp {
+        match self.param {
+            Some(slot) => Cmp {
+                value: params
+                    .get(slot as usize)
+                    .unwrap_or_else(|| panic!("parameter ${slot} not bound"))
+                    .clone(),
+                ..self.clone()
+            },
+            None => self.clone(),
+        }
+    }
 }
 
 impl fmt::Display for Cmp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {}", self.attr, self.op.symbol(), self.value)
+        match self.param {
+            Some(slot) => write!(
+                f,
+                "{} {} ${}={}",
+                self.attr,
+                self.op.symbol(),
+                slot,
+                self.value
+            ),
+            None => write!(f, "{} {} {}", self.attr, self.op.symbol(), self.value),
+        }
     }
 }
 
@@ -103,10 +146,17 @@ pub struct Pred {
 
 impl Pred {
     /// A conjunction of the given comparisons.
+    ///
+    /// The parameter slot sorts *before* the literal value so that a
+    /// parameterized conjunction keeps the same term order (and hence the
+    /// same canonical shape) no matter which values the slots are bound
+    /// to — a cached plan template rebound to fresh parameters is
+    /// term-for-term identical to re-lowering under those parameters.
     pub fn conj(mut terms: Vec<Cmp>) -> Self {
         terms.sort_by(|a, b| {
             (a.attr, a.op as u8)
                 .cmp(&(b.attr, b.op as u8))
+                .then_with(|| a.param.cmp(&b.param))
                 .then_with(|| a.value.cmp(&b.value))
         });
         terms.dedup();
@@ -154,6 +204,13 @@ impl Pred {
         let mut terms = self.terms.clone();
         terms.extend(other.terms.iter().cloned());
         Pred::conj(terms)
+    }
+
+    /// The predicate with every parameterized term rebound to the value
+    /// of its slot in `params` (plan-template rebinding for prepared
+    /// statements). Panics if a referenced slot is out of range.
+    pub fn rebound(&self, params: &[Value]) -> Pred {
+        Pred::conj(self.terms.iter().map(|c| c.rebound(params)).collect())
     }
 }
 
@@ -309,6 +366,43 @@ mod tests {
     fn join_pred_cross_detection() {
         assert!(JoinPred::cross().is_cross());
         assert!(!JoinPred::eq(a(0), a(1)).is_cross());
+    }
+
+    #[test]
+    fn distinct_param_slots_never_dedup() {
+        // `a < $0 AND a < $1` with both slots bound to 5: value-identical
+        // terms from distinct parameters must survive as two conjuncts,
+        // else rebinding to unequal values would be unsound.
+        let p = Pred::conj(vec![
+            Cmp::with_param(a(1), CmpOp::Lt, 5i64, 0),
+            Cmp::with_param(a(1), CmpOp::Lt, 5i64, 1),
+        ]);
+        assert_eq!(p.len(), 2);
+        // Identical slot + value still dedups.
+        let q = Pred::conj(vec![
+            Cmp::with_param(a(1), CmpOp::Lt, 5i64, 0),
+            Cmp::with_param(a(1), CmpOp::Lt, 5i64, 0),
+        ]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn rebinding_is_order_stable() {
+        // The term order (hence shape) must not depend on bound values.
+        let mk = |v0: i64, v1: i64| {
+            Pred::conj(vec![
+                Cmp::with_param(a(1), CmpOp::Lt, v0, 0),
+                Cmp::with_param(a(1), CmpOp::Lt, v1, 1),
+            ])
+        };
+        let p = mk(2, 9);
+        let rebound = p.rebound(&[Value::Int(9), Value::Int(2)]);
+        assert_eq!(rebound, mk(9, 2));
+        assert_eq!(rebound.terms()[0].param, Some(0));
+        assert_eq!(rebound.terms()[1].param, Some(1));
+        // Unparameterized terms pass through untouched.
+        let plain = Pred::single(Cmp::eq(a(2), 7i64));
+        assert_eq!(plain.rebound(&[]), plain);
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub enum Condition {
     ColEqCol(ColRef, ColRef),
     /// `col op literal`.
     ColLit(ColRef, CmpOp, Value),
+    /// `col op $n`: a prepared-statement parameter placeholder, written
+    /// explicitly (`PREPARE ... WHERE x < $0`) or produced by the
+    /// auto-parameterization pass ([`crate::param::parameterize`]).
+    ColParam(ColRef, CmpOp, u32),
 }
 
 /// A single SELECT block.

@@ -14,6 +14,8 @@ pub enum Token {
     Float(f64),
     /// Single-quoted string literal.
     Str(String),
+    /// Prepared-statement parameter placeholder `$n`.
+    Param(u32),
     /// `,`
     Comma,
     /// `.`
@@ -52,6 +54,7 @@ impl fmt::Display for Token {
             Token::Int(i) => write!(f, "{i}"),
             Token::Float(x) => write!(f, "{x}"),
             Token::Str(s) => write!(f, "'{s}'"),
+            Token::Param(i) => write!(f, "${i}"),
             Token::Comma => write!(f, ","),
             Token::Dot => write!(f, "."),
             Token::LParen => write!(f, "("),
@@ -150,6 +153,30 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
             }
+            '$' => {
+                let start = i;
+                i += 1;
+                let digits_start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i == digits_start {
+                    return Err(LexError {
+                        ch: '$',
+                        offset: start,
+                    });
+                }
+                let text: String = bytes[digits_start..i].iter().collect();
+                match text.parse() {
+                    Ok(n) => out.push(Token::Param(n)),
+                    Err(_) => {
+                        return Err(LexError {
+                            ch: '$',
+                            offset: start,
+                        })
+                    }
+                }
+            }
             '\'' => {
                 let mut s = String::new();
                 i += 1;
@@ -234,6 +261,15 @@ mod tests {
     #[test]
     fn unterminated_string_fails() {
         assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn parameter_placeholders() {
+        let toks = tokenize("x < $0 AND y = $12").unwrap();
+        assert!(toks.contains(&Token::Param(0)));
+        assert!(toks.contains(&Token::Param(12)));
+        assert!(tokenize("x < $").is_err());
+        assert!(tokenize("x < $x").is_err());
     }
 
     #[test]

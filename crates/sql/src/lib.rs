@@ -43,14 +43,17 @@
 pub mod ast;
 pub mod lexer;
 pub mod lower;
+pub mod param;
 pub mod parser;
 pub mod stmt;
 
 pub use ast::{Query as AstQuery, SelectStmt};
-pub use lower::{lower, LowerError, Query};
+pub use lower::{lower, lower_with_params, LowerError, Query};
+pub use param::{parameterize, shape_key, BindError, ParamQuery};
 pub use parser::{parse, ParseError};
 pub use stmt::{
-    parse_script, parse_statement, BudgetSetting, ColumnSpec, ExecutorSetting, Statement,
+    parse_script, parse_statement, BudgetSetting, ColumnSpec, ExecutorSetting, PlanCacheSetting,
+    Statement,
 };
 
 /// Parse and lower in one step.

@@ -9,7 +9,7 @@
 use std::fmt;
 
 use volcano_rel::builder;
-use volcano_rel::{AggFunc, AggSpec, AttrId, Catalog, Cmp, JoinPred, Pred, RelExpr, RelOp};
+use volcano_rel::{AggFunc, AggSpec, AttrId, Catalog, Cmp, JoinPred, Pred, RelExpr, RelOp, Value};
 
 use crate::ast::{AggCall, ColRef, Condition, Query as AstQuery, SelectItem, SelectStmt};
 
@@ -40,6 +40,8 @@ pub enum LowerError {
     NotGrouped(String),
     /// Set operation between queries with different column counts.
     ColumnCountMismatch(usize, usize),
+    /// A `$n` placeholder with no value in the supplied parameter vector.
+    UnboundParameter(u32),
 }
 
 impl fmt::Display for LowerError {
@@ -60,6 +62,9 @@ impl fmt::Display for LowerError {
             LowerError::ColumnCountMismatch(l, r) => {
                 write!(f, "set operation column counts differ: {l} vs {r}")
             }
+            LowerError::UnboundParameter(slot) => {
+                write!(f, "parameter ${slot} is not bound")
+            }
         }
     }
 }
@@ -68,12 +73,29 @@ impl std::error::Error for LowerError {}
 
 /// Lower a parsed query against a catalog. The catalog is mutable because
 /// aggregate outputs allocate fresh attribute ids.
+///
+/// Queries containing `$n` placeholders fail with
+/// [`LowerError::UnboundParameter`]; supply values via
+/// [`lower_with_params`].
 pub fn lower(query: &AstQuery, catalog: &mut Catalog) -> Result<Query, LowerError> {
+    lower_with_params(query, catalog, &[])
+}
+
+/// Lower a parameterized query, binding each `$n` placeholder to
+/// `params[n]`. The resulting predicates carry their parameter slot
+/// ([`Cmp::with_param`]), so a plan optimized from this query is a
+/// *template*: rebinding the slots to fresh values reproduces exactly the
+/// predicate structure this lowering would produce under those values.
+pub fn lower_with_params(
+    query: &AstQuery,
+    catalog: &mut Catalog,
+    params: &[Value],
+) -> Result<Query, LowerError> {
     match query {
-        AstQuery::Select(s) => lower_select(s, catalog),
-        AstQuery::Union(l, r) => lower_set(l, r, RelOp::Union, catalog),
-        AstQuery::Intersect(l, r) => lower_set(l, r, RelOp::Intersect, catalog),
-        AstQuery::Except(l, r) => lower_set(l, r, RelOp::Difference, catalog),
+        AstQuery::Select(s) => lower_select(s, catalog, params),
+        AstQuery::Union(l, r) => lower_set(l, r, RelOp::Union, catalog, params),
+        AstQuery::Intersect(l, r) => lower_set(l, r, RelOp::Intersect, catalog, params),
+        AstQuery::Except(l, r) => lower_set(l, r, RelOp::Difference, catalog, params),
     }
 }
 
@@ -82,9 +104,10 @@ fn lower_set(
     r: &AstQuery,
     op: RelOp,
     catalog: &mut Catalog,
+    params: &[Value],
 ) -> Result<Query, LowerError> {
-    let lq = lower(l, catalog)?;
-    let rq = lower(r, catalog)?;
+    let lq = lower_with_params(l, catalog, params)?;
+    let rq = lower_with_params(r, catalog, params)?;
     let lcols = output_width(&lq.expr, catalog);
     let rcols = output_width(&rq.expr, catalog);
     if lcols != rcols {
@@ -150,7 +173,11 @@ fn display_col(c: &ColRef) -> String {
     }
 }
 
-fn lower_select(s: &SelectStmt, catalog: &mut Catalog) -> Result<Query, LowerError> {
+fn lower_select(
+    s: &SelectStmt,
+    catalog: &mut Catalog,
+    params: &[Value],
+) -> Result<Query, LowerError> {
     let scope = Scope::build(&s.from, catalog)?;
     let n = s.from.len();
 
@@ -162,6 +189,13 @@ fn lower_select(s: &SelectStmt, catalog: &mut Catalog) -> Result<Query, LowerErr
             Condition::ColLit(c, op, v) => {
                 let (t, attr) = scope.resolve(c)?;
                 table_preds[t].push(Cmp::new(attr, *op, v.clone()));
+            }
+            Condition::ColParam(c, op, slot) => {
+                let (t, attr) = scope.resolve(c)?;
+                let v = params
+                    .get(*slot as usize)
+                    .ok_or(LowerError::UnboundParameter(*slot))?;
+                table_preds[t].push(Cmp::with_param(attr, *op, v.clone(), *slot));
             }
             Condition::ColEqCol(a, b) => {
                 let (ta, aa) = scope.resolve(a)?;
@@ -345,6 +379,29 @@ mod tests {
     fn select_star_has_no_project() {
         let q = lower_sql("SELECT * FROM emp").unwrap();
         assert_eq!(q.expr.display(), "get");
+    }
+
+    #[test]
+    fn parameters_bind_and_tag_slots() {
+        let mut c = catalog();
+        let ast = parse("SELECT * FROM emp WHERE salary > $0 AND dept = $1").unwrap();
+        let q = lower_with_params(&ast, &mut c, &[Value::Int(10), Value::Int(3)]).unwrap();
+        let RelOp::Select(p) = &q.expr.op else {
+            panic!()
+        };
+        assert_eq!(p.len(), 2);
+        let slots: Vec<_> = p.terms().iter().map(|t| t.param).collect();
+        assert!(
+            slots.contains(&Some(0)) && slots.contains(&Some(1)),
+            "{slots:?}"
+        );
+        // Unbound slot is an error, and plain `lower` binds nothing.
+        let e = lower_with_params(&ast, &mut c, &[Value::Int(10)]).unwrap_err();
+        assert!(matches!(e, LowerError::UnboundParameter(1)), "{e}");
+        assert!(matches!(
+            lower(&ast, &mut c),
+            Err(LowerError::UnboundParameter(0))
+        ));
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Auto-parameterization and canonical query shapes for the plan cache.
+//!
+//! Two queries that differ only in the literal constants of their WHERE
+//! clause optimize to the same plan *template*; the plan cache exploits
+//! this by keying entries on the query's **shape** — the operator tree
+//! with every parameterized constant replaced by its slot number — so a
+//! single optimization serves the whole family.
+//!
+//! [`parameterize`] rewrites an AST, hoisting each `col op literal`
+//! conjunct into a fresh `$n` placeholder and collecting the extracted
+//! values. Placeholders the user wrote explicitly (`PREPARE ... WHERE x
+//! < $0`) keep their slots; auto slots are allocated after them.
+//! [`shape_key`] then hashes the *lowered* algebra, skipping the bound
+//! value of every parameter-tagged comparison, so rebinding a template
+//! never changes its key.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use volcano_core::fxhash::FxHasher;
+use volcano_rel::{AttrId, RelExpr, RelOp, Value};
+
+use crate::ast::{Condition, Query as AstQuery, SelectStmt};
+
+/// A query rewritten into shape + extracted constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamQuery {
+    /// The rewritten AST: every `col op literal` is now `col op $n`.
+    pub shape: AstQuery,
+    /// Number of leading slots the caller must supply at execute time
+    /// (one past the highest explicit `$n` in the source; 0 if none).
+    pub auto_base: u32,
+    /// Values extracted by the rewrite, for slots `auto_base..`.
+    pub auto_values: Vec<Value>,
+}
+
+/// Parameter-vector construction error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindError {
+    /// Slots the statement requires from the caller.
+    pub expected: usize,
+    /// Values actually supplied.
+    pub got: usize,
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "statement takes {} parameter(s), {} supplied",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for BindError {}
+
+impl ParamQuery {
+    /// Build the full parameter vector: the caller's values for slots
+    /// `0..auto_base`, then the extracted constants.
+    pub fn bind(&self, user: &[Value]) -> Result<Vec<Value>, BindError> {
+        if user.len() != self.auto_base as usize {
+            return Err(BindError {
+                expected: self.auto_base as usize,
+                got: user.len(),
+            });
+        }
+        let mut v = Vec::with_capacity(user.len() + self.auto_values.len());
+        v.extend_from_slice(user);
+        v.extend_from_slice(&self.auto_values);
+        Ok(v)
+    }
+}
+
+/// Rewrite a query so every WHERE-clause literal becomes a `$n`
+/// placeholder, returning the shape and the extracted values.
+pub fn parameterize(q: &AstQuery) -> ParamQuery {
+    let auto_base = max_explicit_slot(q).map_or(0, |s| s + 1);
+    let mut next = auto_base;
+    let mut values = Vec::new();
+    let shape = rewrite_query(q, &mut next, &mut values);
+    ParamQuery {
+        shape,
+        auto_base,
+        auto_values: values,
+    }
+}
+
+fn max_explicit_slot(q: &AstQuery) -> Option<u32> {
+    match q {
+        AstQuery::Select(s) => s
+            .conditions
+            .iter()
+            .filter_map(|c| match c {
+                Condition::ColParam(_, _, slot) => Some(*slot),
+                _ => None,
+            })
+            .max(),
+        AstQuery::Union(l, r) | AstQuery::Intersect(l, r) | AstQuery::Except(l, r) => {
+            max_explicit_slot(l).max(max_explicit_slot(r))
+        }
+    }
+}
+
+fn rewrite_query(q: &AstQuery, next: &mut u32, values: &mut Vec<Value>) -> AstQuery {
+    match q {
+        AstQuery::Select(s) => AstQuery::Select(rewrite_select(s, next, values)),
+        AstQuery::Union(l, r) => AstQuery::Union(
+            Box::new(rewrite_query(l, next, values)),
+            Box::new(rewrite_query(r, next, values)),
+        ),
+        AstQuery::Intersect(l, r) => AstQuery::Intersect(
+            Box::new(rewrite_query(l, next, values)),
+            Box::new(rewrite_query(r, next, values)),
+        ),
+        AstQuery::Except(l, r) => AstQuery::Except(
+            Box::new(rewrite_query(l, next, values)),
+            Box::new(rewrite_query(r, next, values)),
+        ),
+    }
+}
+
+fn rewrite_select(s: &SelectStmt, next: &mut u32, values: &mut Vec<Value>) -> SelectStmt {
+    let mut out = s.clone();
+    for cond in &mut out.conditions {
+        if let Condition::ColLit(c, op, v) = cond {
+            let slot = *next;
+            *next += 1;
+            values.push(v.clone());
+            *cond = Condition::ColParam(c.clone(), *op, slot);
+        }
+    }
+    out
+}
+
+/// Hash the canonical shape of a lowered query: the operator tree plus
+/// the delivery requirement, with parameter-tagged comparison *values*
+/// omitted (their slot number is hashed instead). Deterministic across
+/// runs and platforms ([`FxHasher`] is unseeded).
+pub fn shape_key(expr: &RelExpr, order_by: &[AttrId]) -> u64 {
+    let mut h = FxHasher::default();
+    hash_expr(expr, &mut h);
+    0x0ddeu64.hash(&mut h); // separator: expression | delivery requirement
+    order_by.hash(&mut h);
+    h.finish()
+}
+
+fn hash_expr(e: &RelExpr, h: &mut FxHasher) {
+    h.write_usize(e.op.discriminant());
+    match &e.op {
+        RelOp::Get(t) => t.hash(h),
+        RelOp::Select(p) => {
+            h.write_usize(p.len());
+            for term in p.terms() {
+                term.attr.hash(h);
+                h.write_u8(term.op as u8);
+                match term.param {
+                    Some(slot) => {
+                        h.write_u8(1);
+                        h.write_u32(slot);
+                    }
+                    None => {
+                        h.write_u8(0);
+                        term.value.hash(h);
+                    }
+                }
+            }
+        }
+        RelOp::Project(attrs) => attrs.hash(h),
+        RelOp::Join(p) => p.hash(h),
+        RelOp::Union | RelOp::Intersect | RelOp::Difference => {}
+        RelOp::Aggregate(spec) => spec.hash(h),
+    }
+    h.write_usize(e.inputs.len());
+    for input in &e.inputs {
+        hash_expr(input, h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_with_params;
+    use crate::parser::parse;
+    use volcano_rel::{Catalog, ColumnDef};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "emp",
+            1000.0,
+            vec![
+                ColumnDef::int("id", 1000.0),
+                ColumnDef::int("dept", 20.0),
+                ColumnDef::int("salary", 100.0),
+            ],
+        );
+        c.add_table("dept", 20.0, vec![ColumnDef::int("id", 20.0)]);
+        c
+    }
+
+    fn key_of(sql: &str) -> u64 {
+        let pq = parameterize(&parse(sql).unwrap());
+        let params = pq.bind(&[]).unwrap();
+        let mut c = catalog();
+        let q = lower_with_params(&pq.shape, &mut c, &params).unwrap();
+        shape_key(&q.expr, &q.order_by)
+    }
+
+    #[test]
+    fn literals_are_extracted_in_order() {
+        let pq = parameterize(&parse("SELECT * FROM emp WHERE salary > 10 AND dept = 3").unwrap());
+        assert_eq!(pq.auto_base, 0);
+        assert_eq!(pq.auto_values, vec![Value::Int(10), Value::Int(3)]);
+        let AstQuery::Select(s) = &pq.shape else {
+            panic!()
+        };
+        assert!(s
+            .conditions
+            .iter()
+            .all(|c| matches!(c, Condition::ColParam(_, _, _))));
+    }
+
+    #[test]
+    fn explicit_slots_are_preserved() {
+        let pq = parameterize(&parse("SELECT * FROM emp WHERE salary > $0 AND dept = 3").unwrap());
+        assert_eq!(pq.auto_base, 1);
+        assert_eq!(pq.auto_values, vec![Value::Int(3)]);
+        // The caller supplies slot 0; the extracted literal fills slot 1.
+        assert_eq!(
+            pq.bind(&[Value::Int(50)]).unwrap(),
+            vec![Value::Int(50), Value::Int(3)]
+        );
+        let e = pq.bind(&[]).unwrap_err();
+        assert_eq!((e.expected, e.got), (1, 0));
+    }
+
+    #[test]
+    fn shape_key_ignores_literal_values() {
+        let a = key_of("SELECT * FROM emp WHERE salary > 10");
+        let b = key_of("SELECT * FROM emp WHERE salary > 9999");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shape_key_sees_structure() {
+        let base = key_of("SELECT * FROM emp WHERE salary > 10");
+        assert_ne!(base, key_of("SELECT * FROM emp WHERE salary < 10"));
+        assert_ne!(base, key_of("SELECT * FROM emp WHERE dept > 10"));
+        assert_ne!(base, key_of("SELECT * FROM emp"));
+        assert_ne!(
+            base,
+            key_of("SELECT * FROM emp WHERE salary > 10 ORDER BY id")
+        );
+        assert_ne!(
+            key_of("SELECT id FROM emp UNION SELECT id FROM dept"),
+            key_of("SELECT id FROM emp EXCEPT SELECT id FROM dept")
+        );
+    }
+
+    #[test]
+    fn join_queries_share_shapes() {
+        let a = key_of(
+            "SELECT emp.id FROM emp, dept \
+             WHERE emp.dept = dept.id AND emp.salary >= 100",
+        );
+        let b = key_of(
+            "SELECT emp.id FROM emp, dept \
+             WHERE emp.dept = dept.id AND emp.salary >= 7",
+        );
+        assert_eq!(a, b);
+    }
+}

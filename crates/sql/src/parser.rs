@@ -263,6 +263,10 @@ impl Parser {
                 self.pos += 1;
                 Ok(Condition::ColLit(left, op, Value::Str(s)))
             }
+            Some(Token::Param(slot)) => {
+                self.pos += 1;
+                Ok(Condition::ColParam(left, op, slot))
+            }
             Some(Token::Ident(_)) => {
                 if op != CmpOp::Eq {
                     return Err(self.unexpected("literal (only = is supported between columns)"));
@@ -345,6 +349,33 @@ mod tests {
         assert!(e.to_string().contains("column reference"), "{e}");
         let e = parse("SELECT * FROM t extra junk").unwrap_err();
         assert!(matches!(e, ParseError::TrailingTokens(_)), "{e}");
+    }
+
+    #[test]
+    fn parameter_placeholders_parse() {
+        let q = parse("SELECT * FROM t WHERE x < $0 AND y = $1").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(
+            s.conditions,
+            vec![
+                Condition::ColParam(
+                    ColRef {
+                        table: None,
+                        column: "x".into()
+                    },
+                    CmpOp::Lt,
+                    0
+                ),
+                Condition::ColParam(
+                    ColRef {
+                        table: None,
+                        column: "y".into()
+                    },
+                    CmpOp::Eq,
+                    1
+                ),
+            ]
+        );
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept;
 //! ```
 
+use volcano_rel::Value;
+
 use crate::ast::Query;
 use crate::lexer::{tokenize, Token};
 use crate::parser::{parse, ParseError};
@@ -69,6 +71,23 @@ pub enum ExecutorSetting {
     },
 }
 
+/// The plan-cache switch, as set from the CLI.
+///
+/// ```text
+/// SET PLAN_CACHE ON;     -- enable (default capacity)
+/// SET PLAN_CACHE OFF;    -- disable and clear
+/// SET PLAN_CACHE 256;    -- enable with an entry capacity
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanCacheSetting {
+    /// Enable with the default capacity.
+    On,
+    /// Disable and clear.
+    Off,
+    /// Enable with an explicit entry capacity.
+    Capacity(usize),
+}
+
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
@@ -106,6 +125,30 @@ pub enum Statement {
         query: Query,
         /// Execute and report actual row counts?
         analyze: bool,
+    },
+    /// `DROP TABLE name`: remove a table; bumps the stats epoch so
+    /// cached plans over it can never be served again.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `SET PLAN_CACHE ON | OFF | <capacity>`.
+    SetPlanCache(PlanCacheSetting),
+    /// `PREPARE name AS <query>`: parameterize and remember a statement
+    /// under a name for later `EXECUTE`.
+    Prepare {
+        /// Statement name.
+        name: String,
+        /// The (possibly `$n`-parameterized) query.
+        query: Query,
+    },
+    /// `EXECUTE name [(v, ...)]`: run a prepared statement with the
+    /// given parameter values.
+    Execute {
+        /// Statement name.
+        name: String,
+        /// Values for the statement's explicit `$n` slots.
+        params: Vec<Value>,
     },
     /// A query to optimize and execute.
     Query(Query),
@@ -158,7 +201,10 @@ pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
         .to_ascii_uppercase();
     match head.as_str() {
         "CREATE" => parse_create(trimmed),
+        "DROP" => parse_drop(trimmed),
         "GENERATE" => parse_generate(trimmed),
+        "PREPARE" => parse_prepare(trimmed),
+        "EXECUTE" => parse_execute(trimmed),
         "SET" => parse_set(trimmed),
         "EXPLAIN" => {
             let rest = trimmed[7..].trim_start();
@@ -292,6 +338,92 @@ fn parse_create(input: &str) -> Result<Statement, ParseError> {
     })
 }
 
+fn parse_drop(input: &str) -> Result<Statement, ParseError> {
+    let toks = tokenize(input).map_err(ParseError::Lex)?;
+    match toks.as_slice() {
+        [d, t, Token::Ident(name)] if d.is_kw("drop") && t.is_kw("table") => {
+            Ok(Statement::DropTable { name: name.clone() })
+        }
+        _ => Err(unexpected("DROP TABLE <name>", toks.get(1).cloned())),
+    }
+}
+
+fn parse_prepare(input: &str) -> Result<Statement, ParseError> {
+    // PREPARE <name> AS <query> — the tail is handed to the query parser
+    // verbatim, so it may contain $n placeholders.
+    let rest = input["PREPARE".len()..].trim_start();
+    let name_len = rest
+        .find(char::is_whitespace)
+        .ok_or_else(|| unexpected("PREPARE <name> AS <query>", None))?;
+    let (name, rest) = rest.split_at(name_len);
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(unexpected(
+            "prepared statement name",
+            Some(Token::Ident(name.to_string())),
+        ));
+    }
+    let rest = rest.trim_start();
+    let Some(query_text) = rest
+        .get(..2)
+        .filter(|h| h.eq_ignore_ascii_case("as"))
+        .map(|_| &rest[2..])
+        .filter(|t| t.starts_with(char::is_whitespace))
+    else {
+        return Err(unexpected(
+            "keyword AS",
+            Some(Token::Ident(
+                rest.split_whitespace().next().unwrap_or("").to_string(),
+            )),
+        ));
+    };
+    Ok(Statement::Prepare {
+        name: name.to_string(),
+        query: parse(query_text)?,
+    })
+}
+
+fn parse_execute(input: &str) -> Result<Statement, ParseError> {
+    let toks = tokenize(input).map_err(ParseError::Lex)?;
+    let name = match (toks.first(), toks.get(1)) {
+        (Some(e), Some(Token::Ident(name))) if e.is_kw("execute") => name.clone(),
+        _ => {
+            return Err(unexpected(
+                "EXECUTE <name> [(v, ...)]",
+                toks.get(1).cloned(),
+            ))
+        }
+    };
+    let mut params = Vec::new();
+    let mut i = 2;
+    if i < toks.len() {
+        match toks.get(i) {
+            Some(Token::LParen) => i += 1,
+            other => return Err(unexpected("'('", other.cloned())),
+        }
+        loop {
+            match toks.get(i) {
+                Some(Token::Int(n)) => params.push(Value::Int(*n)),
+                Some(Token::Float(x)) => params.push(Value::float(*x)),
+                Some(Token::Str(s)) => params.push(Value::Str(s.clone())),
+                other => return Err(unexpected("parameter literal", other.cloned())),
+            }
+            i += 1;
+            match toks.get(i) {
+                Some(Token::Comma) => i += 1,
+                Some(Token::RParen) => {
+                    i += 1;
+                    break;
+                }
+                other => return Err(unexpected("',' or ')'", other.cloned())),
+            }
+        }
+        if let Some(t) = toks.get(i) {
+            return Err(unexpected("end of statement", Some(t.clone())));
+        }
+    }
+    Ok(Statement::Execute { name, params })
+}
+
 fn parse_set(input: &str) -> Result<Statement, ParseError> {
     let toks = tokenize(input).map_err(ParseError::Lex)?;
     if matches!(toks.get(1), Some(t) if t.is_kw("budget")) {
@@ -299,6 +431,20 @@ fn parse_set(input: &str) -> Result<Statement, ParseError> {
     }
     if matches!(toks.get(1), Some(t) if t.is_kw("executor")) {
         return parse_set_executor(&toks);
+    }
+    if matches!(toks.get(1), Some(t) if t.is_kw("plan_cache")) {
+        let setting = match toks.as_slice() {
+            [_, _, t] if t.is_kw("on") => PlanCacheSetting::On,
+            [_, _, t] if t.is_kw("off") => PlanCacheSetting::Off,
+            [_, _, Token::Int(n)] if *n >= 1 => PlanCacheSetting::Capacity(*n as usize),
+            _ => {
+                return Err(unexpected(
+                    "SET PLAN_CACHE <ON|OFF|capacity>",
+                    toks.get(2).cloned(),
+                ))
+            }
+        };
+        return Ok(Statement::SetPlanCache(setting));
     }
     match toks.as_slice() {
         [s, c, l, Token::Int(n)]
@@ -382,6 +528,7 @@ fn parse_generate(input: &str) -> Result<Statement, ParseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::Condition;
 
     #[test]
     fn create_table_full() {
@@ -476,6 +623,65 @@ mod tests {
         assert!(parse_statement("SET EXECUTOR").is_err());
         assert!(parse_statement("SET EXECUTOR ROW").is_err());
         assert!(parse_statement("SET EXECUTOR BATCH 0").is_err());
+    }
+
+    #[test]
+    fn set_plan_cache() {
+        assert_eq!(
+            parse_statement("SET PLAN_CACHE ON").unwrap(),
+            Statement::SetPlanCache(PlanCacheSetting::On)
+        );
+        assert_eq!(
+            parse_statement("set plan_cache off").unwrap(),
+            Statement::SetPlanCache(PlanCacheSetting::Off)
+        );
+        assert_eq!(
+            parse_statement("SET PLAN_CACHE 256").unwrap(),
+            Statement::SetPlanCache(PlanCacheSetting::Capacity(256))
+        );
+        assert!(parse_statement("SET PLAN_CACHE 0").is_err());
+        assert!(parse_statement("SET PLAN_CACHE maybe").is_err());
+    }
+
+    #[test]
+    fn drop_table() {
+        assert_eq!(
+            parse_statement("DROP TABLE emp").unwrap(),
+            Statement::DropTable { name: "emp".into() }
+        );
+        assert!(parse_statement("DROP emp").is_err());
+        assert!(parse_statement("DROP TABLE").is_err());
+    }
+
+    #[test]
+    fn prepare_and_execute() {
+        let s = parse_statement("PREPARE q1 AS SELECT * FROM emp WHERE salary > $0").unwrap();
+        let Statement::Prepare { name, query } = s else {
+            panic!()
+        };
+        assert_eq!(name, "q1");
+        let Query::Select(sel) = query else { panic!() };
+        assert!(matches!(sel.conditions[0], Condition::ColParam(_, _, 0)));
+
+        assert_eq!(
+            parse_statement("EXECUTE q1 (5, 1.5, 'x')").unwrap(),
+            Statement::Execute {
+                name: "q1".into(),
+                params: vec![Value::Int(5), Value::float(1.5), Value::Str("x".into())],
+            }
+        );
+        assert_eq!(
+            parse_statement("execute q1").unwrap(),
+            Statement::Execute {
+                name: "q1".into(),
+                params: vec![],
+            }
+        );
+        assert!(parse_statement("PREPARE q1 SELECT * FROM emp").is_err());
+        assert!(parse_statement("PREPARE q1").is_err());
+        assert!(parse_statement("EXECUTE q1 (").is_err());
+        assert!(parse_statement("EXECUTE q1 (1,)").is_err());
+        assert!(parse_statement("EXECUTE q1 (1) extra").is_err());
     }
 
     #[test]

@@ -13,17 +13,20 @@
 //! Usage: `volcano [script.sql]` (defaults to stdin), or
 //! `cargo run --bin volcano -- script.sql`.
 
+use std::collections::HashMap;
 use std::io::Read;
 
 use std::time::Duration;
 
 use volcano::core::{SearchBudget, SearchOptions};
-use volcano::exec::{BatchConfig, Database};
+use volcano::exec::{BatchConfig, Database, PreparedStatement};
 use volcano::rel::catalog::ColType;
 use volcano::rel::{
     explain_expr, explain_plan, Catalog, ColumnDef, RelModel, RelOptimizer, RelProps,
 };
-use volcano::sql::{lower, parse_script, BudgetSetting, ExecutorSetting, Statement};
+use volcano::sql::{
+    lower, parse_script, BudgetSetting, ExecutorSetting, PlanCacheSetting, Statement,
+};
 
 struct Shell {
     catalog: Catalog,
@@ -37,6 +40,8 @@ struct Shell {
     /// Execution engine for subsequent queries: `None` = tuple engine,
     /// `Some(cfg)` = vectorized batch engine.
     executor: Option<BatchConfig>,
+    /// Statements registered with `PREPARE name AS ...`.
+    prepared: HashMap<String, PreparedStatement>,
 }
 
 impl Shell {
@@ -47,6 +52,7 @@ impl Shell {
             cost_limit: None,
             budget: SearchBudget::default(),
             executor: None,
+            prepared: HashMap::new(),
         }
     }
 
@@ -64,6 +70,11 @@ impl Shell {
             self.db = Some(Database::in_memory(self.catalog.clone()));
         }
         self.db.as_ref().expect("just created")
+    }
+
+    fn db_mut(&mut self) -> &mut Database {
+        self.db();
+        self.db.as_mut().expect("just created")
     }
 
     fn run(&mut self, stmt: Statement) -> Result<(), String> {
@@ -206,12 +217,14 @@ impl Shell {
                     println!("-- analyze ({} result rows) --", analyzed.rows.len());
                     print!("{}", analyzed.report());
                     // Machine-readable export: per-operator measurements
-                    // plus the search statistics, one JSON object.
+                    // plus the search and plan-cache statistics, one JSON
+                    // object.
                     println!("-- json --");
                     println!(
-                        "{{\"analyze\":{},\"search\":{}}}",
+                        "{{\"analyze\":{},\"search\":{},\"plan_cache\":{}}}",
                         analyzed.to_json(),
-                        stats_json
+                        stats_json,
+                        db.plan_cache().stats().to_json()
                     );
                 }
                 Ok(())
@@ -251,6 +264,60 @@ impl Shell {
                     println!("{}", cells.join(" | "));
                 }
                 println!("({} rows)", rows.len());
+                Ok(())
+            }
+            Statement::DropTable { name } => {
+                if self.catalog.drop_table(&name).is_none() {
+                    return Err(format!("unknown table {name}"));
+                }
+                if self.db.is_some() {
+                    self.db_mut().drop_table(&name);
+                }
+                println!("dropped table {name}");
+                Ok(())
+            }
+            Statement::SetPlanCache(setting) => {
+                let db = self.db();
+                match setting {
+                    PlanCacheSetting::On => {
+                        db.set_plan_cache_enabled(true);
+                        println!("plan cache on (capacity {})", db.plan_cache().capacity());
+                    }
+                    PlanCacheSetting::Off => {
+                        db.set_plan_cache_enabled(false);
+                        println!("plan cache off");
+                    }
+                    PlanCacheSetting::Capacity(n) => {
+                        db.set_plan_cache_capacity(n);
+                        db.set_plan_cache_enabled(true);
+                        println!("plan cache on (capacity {})", db.plan_cache().capacity());
+                    }
+                }
+                Ok(())
+            }
+            Statement::Prepare { name, query } => {
+                let stmt = self.db().prepare_ast(&query);
+                let params = stmt.param_count();
+                self.prepared.insert(name.clone(), stmt);
+                println!("prepared {name} ({params} parameter(s))");
+                Ok(())
+            }
+            Statement::Execute { name, params } => {
+                let executor = self.executor;
+                self.db();
+                let db = self.db.as_ref().expect("just created");
+                let stmt = self
+                    .prepared
+                    .get(&name)
+                    .ok_or_else(|| format!("no prepared statement named {name}"))?;
+                let out = db
+                    .execute_prepared_traced(stmt, &params, executor, None)
+                    .map_err(|e| e.to_string())?;
+                for row in &out.rows {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("{}", cells.join(" | "));
+                }
+                println!("({} rows, plan cache {})", out.rows.len(), out.cache);
                 Ok(())
             }
         }
