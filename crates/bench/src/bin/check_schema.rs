@@ -271,6 +271,88 @@ fn check_exec(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn check_exec_parallel(v: &Json) -> Result<(), String> {
+    for key in ["card", "reps", "latency_us", "pool_pages"] {
+        let x = num(v, key)?;
+        if x < 1.0 {
+            return Err(format!("{key} {x} < 1"));
+        }
+    }
+    let smoke = match v.get("smoke") {
+        Some(&Json::Bool(b)) => b,
+        _ => return Err("missing or non-boolean field \"smoke\"".to_string()),
+    };
+    let workloads = v
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing workloads array".to_string())?;
+    if workloads.is_empty() {
+        return Err("workloads array is empty".to_string());
+    }
+    let mut classes = (false, false);
+    for (i, w) in workloads.iter().enumerate() {
+        let ctx = |e: String| format!("workloads[{i}]: {e}");
+        w.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("workloads[{i}]: missing name"))?;
+        match w.get("class").and_then(Json::as_str) {
+            Some("scan") => classes.0 = true,
+            Some("join") => classes.1 = true,
+            other => return Err(format!("workloads[{i}]: bad class {other:?}")),
+        }
+        num(w, "rows").map_err(ctx)?;
+        let serial = num(w, "serial_ms").map_err(ctx)?;
+        if serial <= 0.0 {
+            return Err(format!("workloads[{i}]: serial_ms {serial} <= 0"));
+        }
+        let points = w
+            .get("threads")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("workloads[{i}]: missing threads array"))?;
+        if points.is_empty() {
+            return Err(format!("workloads[{i}]: threads array is empty"));
+        }
+        for (j, p) in points.iter().enumerate() {
+            let ctx = |e: String| format!("workloads[{i}].threads[{j}]: {e}");
+            for key in ["threads", "ms", "speedup"] {
+                let x = num(p, key).map_err(ctx)?;
+                if x <= 0.0 {
+                    return Err(format!("workloads[{i}].threads[{j}]: {key} {x} <= 0"));
+                }
+            }
+        }
+    }
+    if !(classes.0 && classes.1) {
+        return Err("workloads must cover both a scan and a join class".to_string());
+    }
+    let scaling = v
+        .get("scaling")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing scaling array".to_string())?;
+    if scaling.is_empty() {
+        return Err("scaling array is empty".to_string());
+    }
+    for (i, s) in scaling.iter().enumerate() {
+        let ctx = |e: String| format!("scaling[{i}]: {e}");
+        num(s, "threads").map_err(ctx)?;
+        num(s, "geomean_speedup").map_err(ctx)?;
+    }
+    let g = num(v, "geomean_8")?;
+    if g <= 0.0 {
+        return Err(format!("geomean_8 {g} <= 0"));
+    }
+    // The acceptance gate: on a full (non-smoke) run, 8 parallel workers
+    // must deliver >= 3x geomean speedup over the serial baseline across
+    // the scan-heavy and join-heavy workloads. Smoke runs (tiny cards
+    // that fit the buffer pool, debug builds) are exempt.
+    if !smoke && g < 3.0 {
+        return Err(format!(
+            "geomean_8 {g:.2} < 3.0 on a full run (parallel scaling regression)"
+        ));
+    }
+    Ok(())
+}
+
 fn check_plan_cache_workloads(v: &Json, name: &str) -> Result<(), String> {
     let workloads = v
         .get(name)
@@ -353,6 +435,7 @@ fn check_file(path: &str) -> Result<(), String> {
         Some("budget") => check_budget(&v),
         Some("search_hotpath") => check_search_hotpath(&v),
         Some("exec_batch") => check_exec(&v),
+        Some("exec_parallel") => check_exec_parallel(&v),
         Some("plan_cache") => check_plan_cache(&v),
         Some(other) => Err(format!("unknown benchmark tag {other:?}")),
         None => Err("missing \"benchmark\" tag".to_string()),

@@ -113,6 +113,17 @@ pub enum TraceEvent {
         /// re-optimization), or `bypass` (cache disabled).
         outcome: &'static str,
     },
+    /// One morsel-driven parallel phase finished executing. Emitted by the
+    /// execution layer (not the search engine) after a `gather(n)` region
+    /// drains, summarizing how work was distributed across its workers.
+    MorselPhase {
+        /// Worker threads the phase ran on.
+        workers: u32,
+        /// Morsels dispatched across all of the phase's pipelines.
+        morsels: u64,
+        /// Morsels a worker stole from another worker's local queue.
+        steals: u64,
+    },
 }
 
 impl TraceEvent {
@@ -122,7 +133,8 @@ impl TraceEvent {
         match self {
             TraceEvent::RuleFired { .. }
             | TraceEvent::BudgetTripped { .. }
-            | TraceEvent::PlanCacheLookup { .. } => None,
+            | TraceEvent::PlanCacheLookup { .. }
+            | TraceEvent::MorselPhase { .. } => None,
             TraceEvent::GoalBegin { group, .. }
             | TraceEvent::GoalEnd { group, .. }
             | TraceEvent::MoveCosted { group, .. }
@@ -578,8 +590,11 @@ impl Tracer for MetricsTracer {
                 inner.per_group.entry(*group).or_default().memo_hits += 1;
             }
             // Budget trips are not per-group counters (SearchStats carries
-            // the outcome), and cache lookups precede any search.
-            TraceEvent::BudgetTripped { .. } | TraceEvent::PlanCacheLookup { .. } => {}
+            // the outcome), cache lookups precede any search, and morsel
+            // phases are an execution-time signal.
+            TraceEvent::BudgetTripped { .. }
+            | TraceEvent::PlanCacheLookup { .. }
+            | TraceEvent::MorselPhase { .. } => {}
         }
     }
 }

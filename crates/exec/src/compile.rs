@@ -7,6 +7,8 @@
 //! EXPLAIN-ANALYZE instrumentation uses to interpose row counters at
 //! every operator boundary.
 
+use std::sync::Arc;
+
 use volcano_rel::catalog::ColType;
 use volcano_rel::{AttrId, Pred, RelAlg, RelPlan, TableId};
 
@@ -33,12 +35,21 @@ pub struct Compiled {
 pub struct BatchConfig {
     /// Rows per batch.
     pub batch_size: usize,
+    /// Pages per morsel for parallel pipelines under a `gather` node;
+    /// `None` uses [`crate::morsel::DEFAULT_MORSEL_PAGES`].
+    pub morsel_pages: Option<usize>,
+    /// Fault injection for the chaos suite: panic inside the worker that
+    /// is dispensed the `n`-th morsel (1-based, cumulative across the
+    /// pipelines of one gather). `None` disables injection.
+    pub fail_morsel: Option<u64>,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
         BatchConfig {
             batch_size: DEFAULT_BATCH_SIZE,
+            morsel_pages: None,
+            fail_morsel: None,
         }
     }
 }
@@ -48,7 +59,20 @@ impl BatchConfig {
     pub fn with_batch_size(batch_size: usize) -> Self {
         BatchConfig {
             batch_size: batch_size.max(1),
+            ..BatchConfig::default()
         }
+    }
+
+    /// Set the morsel granularity (pages per morsel, clamped to ≥ 1).
+    pub fn with_morsel_pages(mut self, pages: usize) -> Self {
+        self.morsel_pages = Some(pages.max(1));
+        self
+    }
+
+    /// Inject a panic when the `n`-th morsel is dispensed (chaos tests).
+    pub fn with_fail_morsel(mut self, n: u64) -> Self {
+        self.fail_morsel = Some(n);
+        self
     }
 }
 
@@ -58,16 +82,20 @@ pub struct CompiledBatch {
     pub operator: BoxedBatchOperator,
     /// Output attribute ids, in column position order.
     pub schema: Vec<AttrId>,
+    /// Scheduling counters of each morsel-parallel gather region in the
+    /// tree (empty for serial plans); live while the plan executes, for
+    /// post-run trace reporting.
+    pub gathers: Vec<Arc<crate::morsel::MorselStats>>,
 }
 
-fn position(schema: &[AttrId], attr: AttrId) -> usize {
+pub(crate) fn position(schema: &[AttrId], attr: AttrId) -> usize {
     schema
         .iter()
         .position(|&a| a == attr)
         .unwrap_or_else(|| panic!("attribute {attr:?} not in schema {schema:?}"))
 }
 
-fn compile_pred(schema: &[AttrId], pred: &Pred) -> CompiledPred {
+pub(crate) fn compile_pred(schema: &[AttrId], pred: &Pred) -> CompiledPred {
     CompiledPred::new(
         pred.terms()
             .iter()
@@ -76,7 +104,7 @@ fn compile_pred(schema: &[AttrId], pred: &Pred) -> CompiledPred {
     )
 }
 
-fn table_schema(db: &Database, t: TableId) -> Vec<AttrId> {
+pub(crate) fn table_schema(db: &Database, t: TableId) -> Vec<AttrId> {
     db.catalog()
         .table(t)
         .columns
@@ -91,7 +119,7 @@ pub fn schema_of(db: &Database, plan: &RelPlan) -> Vec<AttrId> {
         RelAlg::FileScan(t) | RelAlg::FilterScan(t, _) | RelAlg::IndexScan(t, _) => {
             table_schema(db, *t)
         }
-        RelAlg::Filter(_) | RelAlg::Sort(_) => schema_of(db, &plan.inputs[0]),
+        RelAlg::Filter(_) | RelAlg::Sort(_) | RelAlg::Gather(_) => schema_of(db, &plan.inputs[0]),
         RelAlg::ProjectOp(attrs) => attrs.clone(),
         RelAlg::MergeJoin(_) | RelAlg::HybridHashJoin(_) | RelAlg::NestedLoops(_) => {
             let mut s = schema_of(db, &plan.inputs[0]);
@@ -151,6 +179,11 @@ pub fn compile_node(
                 .collect();
             Box::new(Project::new(children.remove(0), positions))
         }
+        // The tuple engine has no morsel-parallel path: a gather executes
+        // its subtree serially, which produces the same rows (operators
+        // are degree-agnostic; the degree only matters to the batch
+        // engine's parallel lowering).
+        RelAlg::Gather(_) => children.remove(0),
         RelAlg::Sort(attrs) => {
             let keys = attrs
                 .iter()
@@ -352,7 +385,7 @@ impl Built {
     }
 }
 
-fn table_col_types(db: &Database, t: TableId) -> Vec<ColType> {
+pub(crate) fn table_col_types(db: &Database, t: TableId) -> Vec<ColType> {
     db.catalog().table(t).columns.iter().map(|c| c.ty).collect()
 }
 
@@ -417,6 +450,12 @@ pub(crate) fn compile_batch_node(
             let left = children.remove(0).into_batch(child_schemas[0].len(), bs);
             Built::B(Box::new(BatchHashJoin::new(left, right, lkeys, rkeys, bs)))
         }
+        // A gather over pre-built children is a serial pass-through (the
+        // EXPLAIN ANALYZE path lands here: it instruments every plan node
+        // individually, which a fused parallel pipeline cannot honour).
+        // The morsel-parallel lowering happens in [`build_batch_tree`],
+        // which intercepts gather nodes *before* compiling the subtree.
+        RelAlg::Gather(_) => children.remove(0),
         // Everything else executes tuple-at-a-time; batch subtrees are
         // lowered through one adapter each.
         _ => {
@@ -427,11 +466,30 @@ pub(crate) fn compile_batch_node(
     }
 }
 
-fn build_batch_tree(db: &Database, plan: &RelPlan, cfg: BatchConfig) -> Built {
+fn build_batch_tree(
+    db: &Database,
+    plan: &RelPlan,
+    cfg: BatchConfig,
+    gathers: &mut Vec<Arc<crate::morsel::MorselStats>>,
+) -> Built {
+    // A gather node executes its subtree as morsel-driven parallel
+    // pipelines when the subtree's shape supports it; otherwise (or at
+    // degree 1) it degrades to a serial pass-through with identical
+    // results.
+    if let RelAlg::Gather(n) = &plan.alg {
+        if *n > 1 {
+            if let Some(par) = crate::morsel::compile_parallel(db, &plan.inputs[0]) {
+                let op = crate::morsel::ParallelGather::new(Arc::new(par), *n as usize, cfg);
+                gathers.push(op.stats());
+                return Built::B(Box::new(op));
+            }
+        }
+        return build_batch_tree(db, &plan.inputs[0], cfg, gathers);
+    }
     let children: Vec<Built> = plan
         .inputs
         .iter()
-        .map(|c| build_batch_tree(db, c, cfg))
+        .map(|c| build_batch_tree(db, c, cfg, gathers))
         .collect();
     compile_batch_node(db, plan, children, cfg)
 }
@@ -439,6 +497,12 @@ fn build_batch_tree(db: &Database, plan: &RelPlan, cfg: BatchConfig) -> Built {
 /// Compile a plan for the batch engine.
 pub fn compile_batch(db: &Database, plan: &RelPlan, cfg: BatchConfig) -> CompiledBatch {
     let schema = schema_of(db, plan);
-    let operator = build_batch_tree(db, plan, cfg).into_batch(schema.len(), cfg.batch_size);
-    CompiledBatch { operator, schema }
+    let mut gathers = Vec::new();
+    let operator =
+        build_batch_tree(db, plan, cfg, &mut gathers).into_batch(schema.len(), cfg.batch_size);
+    CompiledBatch {
+        operator,
+        schema,
+        gathers,
+    }
 }

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use volcano_core::trace::{TraceEvent, Tracer};
@@ -10,7 +10,8 @@ use volcano_core::{SearchOptions, SearchStats};
 use volcano_rel::catalog::ColType;
 use volcano_rel::value::Tuple;
 use volcano_rel::{
-    AttrId, Catalog, RelCost, RelModel, RelOptimizer, RelPlan, RelProps, TableId, Value,
+    AttrId, Catalog, RelCost, RelModel, RelModelOptions, RelOptimizer, RelPlan, RelProps, TableId,
+    Value,
 };
 use volcano_sql::{
     lower_with_params, parameterize, parse, shape_key, AstQuery, BindError, LowerError, ParamQuery,
@@ -144,6 +145,9 @@ pub struct Database {
     /// Cost-drift tolerance (see [`DEFAULT_DRIFT_FACTOR`]), stored as
     /// `f64` bits so it can sit in an atomic next to the epoch.
     drift_factor: AtomicU64,
+    /// Worker-pool degree the optimizer's gather enforcer may offer
+    /// (morsel-driven batch execution); `1` = serial planning.
+    parallel_degree: AtomicU32,
 }
 
 impl Database {
@@ -197,7 +201,30 @@ impl Database {
             plan_cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
             cache_enabled: AtomicBool::new(true),
             drift_factor: AtomicU64::new(DEFAULT_DRIFT_FACTOR.to_bits()),
+            parallel_degree: AtomicU32::new(1),
         }
+    }
+
+    /// The worker-pool degree offered to the optimizer (1 = serial).
+    pub fn parallel_degree(&self) -> u32 {
+        self.parallel_degree.load(Ordering::Acquire)
+    }
+
+    /// Set the parallel degree (clamped to ≥ 1). Clears the plan cache:
+    /// cached plans embed gather placements decided under the old
+    /// degree, and the cost model changes with it.
+    pub fn set_parallel_degree(&self, degree: u32) {
+        self.parallel_degree.store(degree.max(1), Ordering::Release);
+        self.plan_cache.clear();
+    }
+
+    /// The model options this database optimizes under — the default
+    /// configuration plus the current parallel degree. Every path that
+    /// builds a [`RelModel`] (optimization, drift validation) must use
+    /// this so cached-plan re-costing sees the same cost model that
+    /// planned the entry.
+    pub fn model_options(&self) -> RelModelOptions {
+        RelModelOptions::default().with_parallel_degree(self.parallel_degree())
     }
 
     /// Restrict external sorts to `rows` in-memory tuples (forces run
@@ -300,12 +327,40 @@ impl Database {
         collect(op.as_mut())
     }
 
-    /// Execute a plan on the vectorized batch engine. Produces the same
-    /// rows in the same order as [`Database::execute`] (the differential
-    /// suite enforces this).
+    /// Execute a plan on the vectorized batch engine. For serial plans
+    /// this produces the same rows in the same order as
+    /// [`Database::execute`]; a plan with `gather(n>1)` regions produces
+    /// the same *multiset* of rows in a nondeterministic interleaving
+    /// (the differential suite enforces both).
     pub fn execute_batch(&self, plan: &RelPlan, cfg: BatchConfig) -> Vec<Tuple> {
-        let mut op = compile_batch(self, plan, cfg).operator;
-        collect_batches(op.as_mut())
+        self.execute_batch_traced(plan, cfg, None)
+    }
+
+    /// [`Database::execute_batch`], plus one
+    /// [`TraceEvent::MorselPhase`] per morsel-parallel gather region in
+    /// the plan, emitted after execution completes (workers aggregate
+    /// their counters lock-free while running).
+    pub fn execute_batch_traced(
+        &self,
+        plan: &RelPlan,
+        cfg: BatchConfig,
+        tracer: Option<&dyn Tracer>,
+    ) -> Vec<Tuple> {
+        let compiled = compile_batch(self, plan, cfg);
+        let mut op = compiled.operator;
+        let rows = collect_batches(op.as_mut());
+        if let Some(t) = tracer {
+            if t.enabled() {
+                for g in &compiled.gathers {
+                    t.event(TraceEvent::MorselPhase {
+                        workers: g.workers(),
+                        morsels: g.dispatched(),
+                        steals: g.stolen(),
+                    });
+                }
+            }
+        }
+        rows
     }
 
     // -----------------------------------------------------------------
@@ -429,7 +484,7 @@ impl Database {
 
         let epoch = self.epoch();
         let drift = self.drift_factor();
-        let options = RelModel::with_defaults(Catalog::new()).options().clone();
+        let options = self.model_options();
         let outcome = self.plan_cache.lookup(shape, &goal, |entry| {
             if entry.epoch == epoch {
                 crate::plan_cache::Validation::Valid
@@ -481,7 +536,7 @@ impl Database {
         expr: &volcano_rel::RelExpr,
         goal: RelProps,
     ) -> Result<(RelPlan, SearchStats), PrepareError> {
-        let model = RelModel::with_defaults(catalog.clone());
+        let model = RelModel::new(catalog.clone(), self.model_options());
         let mut opt = RelOptimizer::new(&model, SearchOptions::default());
         let root = opt.insert_tree(expr);
         let plan = opt

@@ -19,6 +19,10 @@
 //!   column-at-a-time kernels, and tuple↔batch adapters so every plan
 //!   runs end-to-end under either engine with identical results
 //!   ([`compile_batch()`]).
+//! * [`morsel`] — morsel-driven parallel execution of `gather(n)`
+//!   regions: page-range morsels, work-stealing workers, partitioned
+//!   parallel hash joins, results streamed to the consumer over a
+//!   bounded exchange channel.
 //! * [`naive`] — a direct evaluator for *logical* algebra expressions:
 //!   the correctness oracle that every optimized-and-executed plan is
 //!   tested against.
@@ -32,6 +36,7 @@ pub mod compile;
 pub mod database;
 pub mod iterator;
 pub mod kernels;
+pub mod morsel;
 pub mod naive;
 pub mod ops;
 pub mod plan_cache;
@@ -46,5 +51,6 @@ pub use database::{
     DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use iterator::{collect, BoxedOperator, Operator};
+pub use morsel::{MorselStats, ParallelGather};
 pub use naive::{assert_same_rows, evaluate_logical, Evaluated};
 pub use plan_cache::{rebind_plan, CacheOutcome, PlanCache, PlanCacheStats};

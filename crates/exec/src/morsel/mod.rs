@@ -1,0 +1,155 @@
+//! Morsel-driven parallel execution for the batch engine.
+//!
+//! A `gather(n)` node in a physical plan marks its subtree as a
+//! *parallel region*: the optimizer placed the enforcer there because
+//! dividing the subtree's work across `n` workers paid for the worker
+//! startup and row-gathering overhead the cost model charges. This
+//! module is the execution-side counterpart of that promise, in the
+//! style of morsel-driven parallelism (Leis et al., SIGMOD 2014) layered
+//! over Volcano's exchange-based parallelism model: the region is
+//! decomposed into *pipelines* over shared read-only state, each
+//! pipeline's scan is split into page-range **morsels**, and a
+//! work-stealing scheduler hands morsels to a pool of workers that run
+//! the compiled pipeline stages batch-at-a-time.
+//!
+//! The lowering ([`compile_parallel`]) accepts exactly the plan shapes
+//! the optimizer can place under a gather — scans, filters, projections,
+//! and hash joins (everything else bails out of parallel goals during
+//! search) — and produces a [`ParallelPlan`]: a sequence of build
+//! pipelines that fill partitioned hash-join tables, followed by one
+//! output pipeline. [`ParallelGather`] executes it as a
+//! [`crate::batch::BatchOperator`], so a parallel region composes with
+//! the rest of a (serial) operator tree exactly like any other source.
+//!
+//! Ordering: a parallel region delivers rows in a nondeterministic
+//! interleaving (the optimizer models this — `gather` delivers no sort
+//! order, so sorts are planned above it). The *multiset* of rows is
+//! identical to serial execution, which the differential suite checks.
+
+mod exec;
+mod plan;
+mod queue;
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+pub use exec::ParallelGather;
+pub use plan::{compile_parallel, ParallelPlan};
+pub use queue::StealQueue;
+
+/// Pages per morsel when [`crate::compile::BatchConfig`] does not
+/// override it. Small enough to balance skewed filters across workers,
+/// large enough that a morsel amortizes queue traffic over many rows.
+pub const DEFAULT_MORSEL_PAGES: usize = 4;
+
+/// A morsel: a half-open range `[start, end)` of *page indices* into a
+/// heap file's page list — the unit of work-stealing dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// Index of the first page in the range.
+    pub start: usize,
+    /// One past the index of the last page in the range.
+    pub end: usize,
+}
+
+impl Morsel {
+    /// Number of pages in the morsel.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the morsel covers no pages (never produced by
+    /// [`partition_pages`]).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Split `n_pages` pages into morsels of `morsel_pages` pages each (the
+/// last morsel takes the remainder). Invariants, property-tested by the
+/// suite: morsels are contiguous, non-empty, non-overlapping, and their
+/// union is exactly `0..n_pages`; zero pages yield zero morsels.
+pub fn partition_pages(n_pages: usize, morsel_pages: usize) -> Vec<Morsel> {
+    let step = morsel_pages.max(1);
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < n_pages {
+        let end = start.saturating_add(step).min(n_pages);
+        out.push(Morsel { start, end });
+        start = end;
+    }
+    out
+}
+
+/// Shared counters for one parallel region's morsel scheduling,
+/// aggregated lock-free by the workers. One instance spans all of a
+/// gather's pipelines (build and output phases alike), and survives the
+/// operator for `EXPLAIN ANALYZE` / trace reporting.
+#[derive(Debug, Default)]
+pub struct MorselStats {
+    dispatched: AtomicU64,
+    stolen: AtomicU64,
+    workers: AtomicU32,
+}
+
+impl MorselStats {
+    /// Morsels handed to workers so far, across all pipelines.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Morsels a worker took from another worker's local queue.
+    pub fn stolen(&self) -> u64 {
+        self.stolen.load(Ordering::Relaxed)
+    }
+
+    /// Worker-pool degree of the region.
+    pub fn workers(&self) -> u32 {
+        self.workers.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_workers(&self, n: u32) {
+        self.workers.store(n, Ordering::Relaxed);
+    }
+
+    /// Count one dispatch; returns the cumulative dispatch count
+    /// (1-based) for chaos-injection bookkeeping.
+    pub(crate) fn record_dispatch(&self, stolen: bool) -> u64 {
+        if stolen {
+            self.stolen.fetch_add(1, Ordering::Relaxed);
+        }
+        self.dispatched.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_every_page_once() {
+        let ms = partition_pages(10, 4);
+        assert_eq!(
+            ms,
+            vec![
+                Morsel { start: 0, end: 4 },
+                Morsel { start: 4, end: 8 },
+                Morsel { start: 8, end: 10 },
+            ]
+        );
+        assert!(ms.iter().all(|m| !m.is_empty()));
+        assert_eq!(ms.iter().map(Morsel::len).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn partition_edge_cases() {
+        assert!(partition_pages(0, 4).is_empty());
+        // Zero morsel size is clamped to one page per morsel.
+        assert_eq!(partition_pages(3, 0).len(), 3);
+        // A huge morsel size yields a single whole-table morsel and
+        // must not overflow.
+        assert_eq!(
+            partition_pages(7, usize::MAX),
+            vec![Morsel { start: 0, end: 7 }]
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Lowering a gather subtree to parallel pipelines.
+//!
+//! A plan shape the optimizer placed under `gather(n)` consists of the
+//! morsel-parallelizable operators only — scans, filters, projections,
+//! and hash joins; every other implementation rule bails out of parallel
+//! goals during search. Such a tree decomposes, exactly as in
+//! morsel-driven designs, into *pipelines*: each hash join's build side
+//! becomes its own pipeline terminating in a partitioned hash-table
+//! **build sink**, and the probe sides fuse with the scans, filters and
+//! projections around them into chains of [`Stage`]s. The last pipeline
+//! feeds the region's output.
+//!
+//! [`compile_parallel`] returns `None` when the subtree contains any
+//! other operator — the caller then degrades the gather to a serial
+//! pass-through, which is always semantically correct (the degree is a
+//! performance property, not a semantic one).
+
+use std::sync::Arc;
+
+use volcano_rel::catalog::ColType;
+use volcano_rel::{RelAlg, RelPlan};
+use volcano_store::HeapFile;
+
+use crate::compile::{compile_pred, position, schema_of, table_col_types, table_schema};
+use crate::database::Database;
+use crate::ops::CompiledPred;
+
+/// The scan feeding a pipeline: a heap file whose pages are dispensed as
+/// morsels, decoded straight into typed columns, with an optional fused
+/// predicate (mirrors [`crate::ops::BatchScan`]).
+pub(crate) struct ScanSpec {
+    pub(crate) heap: Arc<HeapFile>,
+    pub(crate) col_types: Vec<ColType>,
+    pub(crate) pred: Option<CompiledPred>,
+}
+
+/// One fused vectorized step of a pipeline, applied batch-at-a-time.
+pub(crate) enum Stage {
+    /// Narrow the selection vector with a compiled predicate.
+    Filter(CompiledPred),
+    /// Gather a subset/permutation of columns.
+    Project(Vec<usize>),
+    /// Probe the partitioned hash table built by an earlier pipeline;
+    /// output columns are build ++ probe, as in the serial hash join.
+    Probe {
+        /// Index of the build pipeline (= its table slot).
+        table: usize,
+        /// Probe-side key column positions.
+        keys: Vec<usize>,
+    },
+}
+
+/// Where a pipeline's rows go.
+pub(crate) enum Sink {
+    /// Partition rows by key hash into table slot `table`.
+    Build {
+        /// Table slot this pipeline fills (equals its pipeline index).
+        table: usize,
+        /// Build-side key column positions.
+        keys: Vec<usize>,
+        /// Build-side column count (fixes the output shape even when
+        /// the build side turns out empty).
+        ncols: usize,
+    },
+    /// Rows are the parallel region's output.
+    Output,
+}
+
+/// One pipeline: a morsel-driven scan, a chain of fused stages, a sink.
+pub(crate) struct Pipeline {
+    pub(crate) source: ScanSpec,
+    pub(crate) stages: Vec<Stage>,
+    pub(crate) sink: Sink,
+}
+
+/// A compiled parallel region: build pipelines in dependency order,
+/// then the output pipeline. Shared read-only by all workers.
+pub struct ParallelPlan {
+    pub(crate) pipelines: Vec<Pipeline>,
+}
+
+impl ParallelPlan {
+    /// Number of pipelines (build pipelines plus the output pipeline).
+    pub fn pipeline_count(&self) -> usize {
+        self.pipelines.len()
+    }
+}
+
+/// Lower the subtree under a gather node to parallel pipelines, or
+/// `None` if it contains an operator with no morsel-parallel form (the
+/// caller falls back to serial execution).
+pub fn compile_parallel(db: &Database, plan: &RelPlan) -> Option<ParallelPlan> {
+    let mut pipelines = Vec::new();
+    let (source, stages) = decompose(db, plan, &mut pipelines)?;
+    pipelines.push(Pipeline {
+        source,
+        stages,
+        sink: Sink::Output,
+    });
+    Some(ParallelPlan { pipelines })
+}
+
+/// Post-order decomposition. Hash-join build sides are pushed onto
+/// `pipelines` (their slot index is their pipeline index — every build
+/// pipeline is pushed the moment its slot is assigned, so the two
+/// counters advance in lockstep); the current pipeline's stage chain is
+/// returned and grows as the walk unwinds.
+fn decompose(
+    db: &Database,
+    plan: &RelPlan,
+    pipelines: &mut Vec<Pipeline>,
+) -> Option<(ScanSpec, Vec<Stage>)> {
+    match &plan.alg {
+        RelAlg::FileScan(t) => Some((
+            ScanSpec {
+                heap: db.table(*t).clone(),
+                col_types: table_col_types(db, *t),
+                pred: None,
+            },
+            Vec::new(),
+        )),
+        RelAlg::FilterScan(t, pred) => {
+            let schema = table_schema(db, *t);
+            Some((
+                ScanSpec {
+                    heap: db.table(*t).clone(),
+                    col_types: table_col_types(db, *t),
+                    pred: Some(compile_pred(&schema, pred)),
+                },
+                Vec::new(),
+            ))
+        }
+        RelAlg::Filter(pred) => {
+            let (src, mut stages) = decompose(db, &plan.inputs[0], pipelines)?;
+            let schema = schema_of(db, &plan.inputs[0]);
+            stages.push(Stage::Filter(compile_pred(&schema, pred)));
+            Some((src, stages))
+        }
+        RelAlg::ProjectOp(attrs) => {
+            let (src, mut stages) = decompose(db, &plan.inputs[0], pipelines)?;
+            let schema = schema_of(db, &plan.inputs[0]);
+            stages.push(Stage::Project(
+                attrs.iter().map(|&a| position(&schema, a)).collect(),
+            ));
+            Some((src, stages))
+        }
+        RelAlg::HybridHashJoin(p) if !p.pairs().is_empty() => {
+            // Build side (left) becomes its own pipeline ending in a
+            // partitioned-build sink; the probe side continues the
+            // current chain with a probe stage.
+            let bschema = schema_of(db, &plan.inputs[0]);
+            let (bsrc, bstages) = decompose(db, &plan.inputs[0], pipelines)?;
+            let table = pipelines.len();
+            pipelines.push(Pipeline {
+                source: bsrc,
+                stages: bstages,
+                sink: Sink::Build {
+                    table,
+                    keys: p
+                        .pairs()
+                        .iter()
+                        .map(|&(la, _)| position(&bschema, la))
+                        .collect(),
+                    ncols: bschema.len(),
+                },
+            });
+            let pschema = schema_of(db, &plan.inputs[1]);
+            let (psrc, mut pstages) = decompose(db, &plan.inputs[1], pipelines)?;
+            pstages.push(Stage::Probe {
+                table,
+                keys: p
+                    .pairs()
+                    .iter()
+                    .map(|&(_, ra)| position(&pschema, ra))
+                    .collect(),
+            });
+            Some((psrc, pstages))
+        }
+        // Sorts, aggregates, set ops, merge/nested/multiway joins, index
+        // scans, nested gathers: no morsel-parallel lowering.
+        _ => None,
+    }
+}

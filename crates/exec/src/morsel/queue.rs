@@ -1,0 +1,113 @@
+//! Work-stealing morsel dispenser.
+//!
+//! Morsels are dealt round-robin into per-worker queues up front, so in
+//! the balanced case a worker only ever touches its own queue (one
+//! uncontended lock per morsel). When a worker drains its queue it
+//! steals from the *back* of a peer's queue — the classic deque
+//! discipline: owners consume from the front (preserving page locality),
+//! thieves take from the far end (taking the work the owner would reach
+//! last). There are no producers after construction, so an empty sweep
+//! over every queue means the pipeline's work is exhausted.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use super::{Morsel, MorselStats};
+
+/// A fixed set of morsels dealt across per-worker queues, with stealing.
+pub struct StealQueue {
+    locals: Vec<Mutex<VecDeque<Morsel>>>,
+    stats: Arc<MorselStats>,
+    /// Chaos injection: panic when the cumulative dispatch count (shared
+    /// via `stats`, so it spans a region's earlier pipelines) hits this.
+    fail_at: Option<u64>,
+}
+
+impl StealQueue {
+    /// Deal `morsels` round-robin across `workers` queues.
+    pub fn new(
+        morsels: Vec<Morsel>,
+        workers: usize,
+        stats: Arc<MorselStats>,
+        fail_at: Option<u64>,
+    ) -> Self {
+        let workers = workers.max(1);
+        let mut locals: Vec<VecDeque<Morsel>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, m) in morsels.into_iter().enumerate() {
+            locals[i % workers].push_back(m);
+        }
+        StealQueue {
+            locals: locals.into_iter().map(Mutex::new).collect(),
+            stats,
+            fail_at,
+        }
+    }
+
+    /// Number of worker queues.
+    pub fn workers(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Take the next morsel for `worker`: its own queue first, then a
+    /// steal sweep over its peers. `None` means all work is dispensed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when chaos injection is armed and this dispatch is the
+    /// configured one — simulating a worker dying mid-query.
+    pub fn pop(&self, worker: usize) -> Option<Morsel> {
+        let n = self.locals.len();
+        let mut picked = self.locals[worker]
+            .lock()
+            .unwrap()
+            .pop_front()
+            .map(|m| (m, false));
+        if picked.is_none() {
+            for k in 1..n {
+                let peer = (worker + k) % n;
+                if let Some(m) = self.locals[peer].lock().unwrap().pop_back() {
+                    picked = Some((m, true));
+                    break;
+                }
+            }
+        }
+        let (m, stolen) = picked?;
+        let count = self.stats.record_dispatch(stolen);
+        if self.fail_at == Some(count) {
+            panic!("injected worker failure at morsel {count}");
+        }
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::partition_pages;
+    use super::*;
+
+    #[test]
+    fn every_morsel_dispensed_exactly_once() {
+        let stats = Arc::new(MorselStats::default());
+        let q = StealQueue::new(partition_pages(17, 2), 4, stats.clone(), None);
+        let mut seen = Vec::new();
+        // Worker 3 drains everything: its own queue, then steals.
+        while let Some(m) = q.pop(3) {
+            seen.push(m);
+        }
+        seen.sort_by_key(|m| m.start);
+        assert_eq!(seen, partition_pages(17, 2));
+        assert_eq!(stats.dispatched(), 9);
+        // 9 morsels round-robined over 4 workers put 2 (indices 3 and
+        // 7) in worker 3's own queue; the rest were steals.
+        assert_eq!(stats.stolen(), 9 - 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected worker failure at morsel 2")]
+    fn chaos_injection_fires_on_the_nth_dispatch() {
+        let stats = Arc::new(MorselStats::default());
+        let q = StealQueue::new(partition_pages(8, 2), 1, stats, Some(2));
+        assert!(q.pop(0).is_some());
+        let _ = q.pop(0);
+    }
+}

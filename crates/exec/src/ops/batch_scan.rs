@@ -25,6 +25,9 @@ pub struct BatchScan {
     /// Fused predicate (`None` = plain scan).
     pred: Option<CompiledPred>,
     batch_size: usize,
+    /// When set, scan exactly these pages instead of the whole heap
+    /// (morsel execution drives the scan one page range at a time).
+    fixed_pages: bool,
     pages: Vec<PageId>,
     page_idx: usize,
     /// Raw bytes of the current page's records (reused across pages, so
@@ -56,6 +59,7 @@ impl BatchScan {
             col_types,
             pred,
             batch_size: batch_size.max(1),
+            fixed_pages: false,
             pages: Vec::new(),
             page_idx: 0,
             arena: Vec::new(),
@@ -68,11 +72,40 @@ impl BatchScan {
             pred_ns: 0,
         }
     }
+
+    /// A scan restricted to an explicit page list (a morsel); `open`
+    /// keeps the given pages instead of enumerating the heap.
+    pub fn with_pages(
+        heap: Arc<HeapFile>,
+        col_types: Vec<ColType>,
+        pred: Option<CompiledPred>,
+        batch_size: usize,
+        pages: Vec<PageId>,
+    ) -> Self {
+        let mut s = Self::new(heap, col_types, pred, batch_size);
+        s.fixed_pages = true;
+        s.pages = pages;
+        s
+    }
+
+    /// Swap in a new page list and rewind (used between morsels; only
+    /// meaningful on a scan built with [`BatchScan::with_pages`]).
+    pub fn reset_pages(&mut self, pages: &[PageId]) {
+        debug_assert!(self.fixed_pages, "reset_pages on a whole-heap scan");
+        self.pages.clear();
+        self.pages.extend_from_slice(pages);
+        self.page_idx = 0;
+        self.spans.clear();
+        self.record_idx = 0;
+        self.opened = true;
+    }
 }
 
 impl BatchOperator for BatchScan {
     fn open(&mut self) {
-        self.pages = self.heap.pages();
+        if !self.fixed_pages {
+            self.pages = self.heap.pages();
+        }
         self.page_idx = 0;
         self.spans.clear();
         self.record_idx = 0;
@@ -127,7 +160,9 @@ impl BatchOperator for BatchScan {
     }
 
     fn close(&mut self) {
-        self.pages.clear();
+        if !self.fixed_pages {
+            self.pages.clear();
+        }
         self.arena.clear();
         self.spans.clear();
         self.opened = false;

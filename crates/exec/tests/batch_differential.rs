@@ -9,60 +9,27 @@
 //! always, and the identical row *sequence* whenever the root plan
 //! carries a sort property. Batch size 1 is the degenerate case whose
 //! behaviour must collapse to tuple-at-a-time semantics.
+//!
+//! The catalog, query list, and comparison discipline live in the
+//! shared [`common::testkit`] so the parallel and cache suites compare
+//! against the same goldens.
 
+mod common;
+
+use common::testkit::{assert_same_multiset, optimize_drift_guarded};
 use volcano_bench::workload::{generate_query, WorkloadConfig};
-use volcano_core::{PhysicalProps, SearchOptions};
+use volcano_core::PhysicalProps;
 use volcano_exec::{BatchConfig, Database};
-use volcano_rel::value::Tuple;
-use volcano_rel::{
-    explain_plan, Catalog, ColumnDef, RelModel, RelModelOptions, RelOptimizer, RelPlan, RelProps,
-};
+use volcano_rel::{RelModel, RelModelOptions, RelPlan, RelProps};
 use volcano_sql::plan_query;
 
 const BATCH_SIZES: [usize; 3] = [1, 4, 1024];
-
-/// Optimize under the goal, asserting serial and parallel exploration
-/// agree on the winning plan (engine-independent plan choice).
-fn optimize_drift_guarded(
-    model: &RelModel,
-    expr: &volcano_rel::RelExpr,
-    goal: RelProps,
-    catalog: &Catalog,
-    tag: &str,
-) -> RelPlan {
-    let mut serial = RelOptimizer::new(model, SearchOptions::default());
-    let root = serial.insert_tree(expr);
-    let plan = serial
-        .find_best_plan(root, goal.clone(), None)
-        .unwrap_or_else(|e| panic!("{tag}: serial optimization failed: {e}"));
-
-    let mut parallel = RelOptimizer::new(model, SearchOptions::default());
-    let root = parallel.insert_tree(expr);
-    parallel.explore_parallel(2).unwrap();
-    let pplan = parallel
-        .find_best_plan(root, goal, None)
-        .unwrap_or_else(|e| panic!("{tag}: parallel optimization failed: {e}"));
-
-    assert_eq!(
-        explain_plan(catalog, &plan),
-        explain_plan(catalog, &pplan),
-        "{tag}: serial and parallel exploration chose different plans"
-    );
-    plan
-}
-
-fn sorted_copy(rows: &[Tuple]) -> Vec<Tuple> {
-    let mut s = rows.to_vec();
-    s.sort();
-    s
-}
 
 /// Execute `plan` under both engines and every batch size; assert the
 /// outputs agree.
 fn assert_engines_agree(db: &Database, plan: &RelPlan, tag: &str) {
     let tuple_rows = db.execute(plan);
     let ordered = !plan.delivered.sort.is_empty();
-    let tuple_sorted = sorted_copy(&tuple_rows);
     for bs in BATCH_SIZES {
         let batch_rows = db.execute_batch(plan, BatchConfig::with_batch_size(bs));
         if ordered {
@@ -71,11 +38,7 @@ fn assert_engines_agree(db: &Database, plan: &RelPlan, tag: &str) {
                 "{tag}: batch_size={bs}: ordered output diverged"
             );
         } else {
-            assert_eq!(
-                tuple_sorted,
-                sorted_copy(&batch_rows),
-                "{tag}: batch_size={bs}: row multisets diverged"
-            );
+            assert_same_multiset(&tuple_rows, &batch_rows, &format!("{tag}: batch_size={bs}"));
         }
     }
 }
@@ -85,40 +48,10 @@ fn assert_engines_agree(db: &Database, plan: &RelPlan, tag: &str) {
 // plan and hotpath differential suites).
 // ---------------------------------------------------------------------
 
-fn sql_catalog() -> Catalog {
-    let mut c = Catalog::new();
-    c.add_table(
-        "emp",
-        2000.0,
-        vec![
-            ColumnDef::int("id", 2000.0),
-            ColumnDef::int("dept", 20.0),
-            ColumnDef::int("salary", 100.0),
-        ],
-    );
-    c.add_table(
-        "dept",
-        20.0,
-        vec![ColumnDef::int("id", 20.0), ColumnDef::int("region", 4.0)],
-    );
-    c.add_table("region", 4.0, vec![ColumnDef::int("id", 4.0)]);
-    c
-}
-
-const SQL_QUERIES: &[&str] = &[
-    "SELECT emp.id FROM emp WHERE emp.salary < 50 ORDER BY emp.id",
-    "SELECT emp.id FROM emp, dept WHERE emp.dept = dept.id",
-    "SELECT emp.id FROM emp, dept, region \
-     WHERE emp.dept = dept.id AND dept.region = region.id AND emp.salary < 50 \
-     ORDER BY emp.id",
-    "SELECT emp.dept, COUNT(*) FROM emp GROUP BY emp.dept ORDER BY emp.dept",
-    "SELECT emp.dept FROM emp WHERE emp.salary < 50 UNION SELECT dept.id FROM dept",
-];
-
 #[test]
 fn sql_golden_queries_agree_across_engines() {
-    for sql in SQL_QUERIES {
-        let mut catalog = sql_catalog();
+    for sql in common::testkit::SQL_QUERIES {
+        let mut catalog = common::testkit::diff_catalog();
         let q = plan_query(sql, &mut catalog).expect("query must parse");
         let model = RelModel::with_defaults(catalog.clone());
         let plan = optimize_drift_guarded(

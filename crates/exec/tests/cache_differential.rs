@@ -25,33 +25,16 @@
 //! removed or reduced while the failure reproduces, and the minimal
 //! SQL + parameter vectors are printed.
 
+mod common;
+
+use common::testkit::{diff_catalog as catalog, sorted_copy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use volcano_core::SearchOptions;
 use volcano_exec::{BatchConfig, Database};
 use volcano_rel::value::Tuple;
-use volcano_rel::{Catalog, ColumnDef, RelModel, RelOptimizer, RelProps, Value};
+use volcano_rel::{RelModel, RelOptimizer, RelProps, Value};
 use volcano_sql::{lower_with_params, parse};
-
-fn catalog() -> Catalog {
-    let mut c = Catalog::new();
-    c.add_table(
-        "emp",
-        2000.0,
-        vec![
-            ColumnDef::int("id", 2000.0),
-            ColumnDef::int("dept", 20.0),
-            ColumnDef::int("salary", 100.0),
-        ],
-    );
-    c.add_table(
-        "dept",
-        20.0,
-        vec![ColumnDef::int("id", 20.0), ColumnDef::int("region", 4.0)],
-    );
-    c.add_table("region", 4.0, vec![ColumnDef::int("id", 4.0)]);
-    c
-}
 
 /// Columns the generator may filter on: (qualified name, table depth
 /// needed, value range for parameter draws).
@@ -170,12 +153,6 @@ fn random_case(rng: &mut StdRng) -> Case {
         order_by: rng.gen_bool(0.5),
         value_sets,
     }
-}
-
-fn sorted_copy(rows: &[Tuple]) -> Vec<Tuple> {
-    let mut s = rows.to_vec();
-    s.sort();
-    s
 }
 
 /// The cold, cache-free oracle: parse the literal SQL, lower with the

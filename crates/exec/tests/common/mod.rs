@@ -1,0 +1,7 @@
+//! Shared infrastructure for the differential test suites.
+//!
+//! Each integration test is its own crate and uses a different subset of
+//! the kit, so unused items are expected rather than suspicious.
+#![allow(dead_code)]
+
+pub mod testkit;

@@ -1,0 +1,211 @@
+//! The differential/concurrency test kit.
+//!
+//! Every cross-engine suite (`batch_differential`, `cache_differential`,
+//! `parallel_differential`, ...) compares engines over the same golden
+//! catalog and query list, with the same multiset/order discipline:
+//! row *multisets* must always match, and the row *sequence* must match
+//! whenever the plan delivers a sort property. This module is the single
+//! home for that machinery so new engines (and new axes, like parallel
+//! degree) extend the matrix instead of copying it.
+
+use volcano_bench::workload::{generate_query, WorkloadConfig};
+use volcano_core::{PhysicalProps, SearchOptions};
+use volcano_exec::Database;
+use volcano_rel::value::Tuple;
+use volcano_rel::{
+    explain_plan, Catalog, ColumnDef, RelExpr, RelModel, RelModelOptions, RelOptimizer, RelPlan,
+    RelProps,
+};
+use volcano_sql::plan_query;
+
+/// The golden three-table catalog (emp ⋈ dept ⋈ region) shared by the
+/// SQL-level differential suites.
+pub fn diff_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "emp",
+        2000.0,
+        vec![
+            ColumnDef::int("id", 2000.0),
+            ColumnDef::int("dept", 20.0),
+            ColumnDef::int("salary", 100.0),
+        ],
+    );
+    c.add_table(
+        "dept",
+        20.0,
+        vec![ColumnDef::int("id", 20.0), ColumnDef::int("region", 4.0)],
+    );
+    c.add_table("region", 4.0, vec![ColumnDef::int("id", 4.0)]);
+    c
+}
+
+/// The golden SQL query list: one representative per operator family
+/// (filter+sort, join, 3-way join, aggregate, union).
+pub const SQL_QUERIES: &[&str] = &[
+    "SELECT emp.id FROM emp WHERE emp.salary < 50 ORDER BY emp.id",
+    "SELECT emp.id FROM emp, dept WHERE emp.dept = dept.id",
+    "SELECT emp.id FROM emp, dept, region \
+     WHERE emp.dept = dept.id AND dept.region = region.id AND emp.salary < 50 \
+     ORDER BY emp.id",
+    "SELECT emp.dept, COUNT(*) FROM emp GROUP BY emp.dept ORDER BY emp.dept",
+    "SELECT emp.dept FROM emp WHERE emp.salary < 50 UNION SELECT dept.id FROM dept",
+];
+
+/// A copy of `rows` in canonical (sorted) order, for multiset
+/// comparison.
+pub fn sorted_copy(rows: &[Tuple]) -> Vec<Tuple> {
+    let mut s = rows.to_vec();
+    s.sort();
+    s
+}
+
+/// Assert two row sets are the same multiset (order-insensitive).
+pub fn assert_same_multiset(expected: &[Tuple], actual: &[Tuple], tag: &str) {
+    assert_eq!(
+        sorted_copy(expected),
+        sorted_copy(actual),
+        "{tag}: row multisets diverged"
+    );
+}
+
+/// Optimize `expr` under `goal`, asserting serial and parallel-search
+/// exploration agree on the winning plan (engine-independent plan
+/// choice).
+pub fn optimize_drift_guarded(
+    model: &RelModel,
+    expr: &RelExpr,
+    goal: RelProps,
+    catalog: &Catalog,
+    tag: &str,
+) -> RelPlan {
+    let mut serial = RelOptimizer::new(model, SearchOptions::default());
+    let root = serial.insert_tree(expr);
+    let plan = serial
+        .find_best_plan(root, goal.clone(), None)
+        .unwrap_or_else(|e| panic!("{tag}: serial optimization failed: {e}"));
+
+    let mut parallel = RelOptimizer::new(model, SearchOptions::default());
+    let root = parallel.insert_tree(expr);
+    parallel.explore_parallel(2).unwrap();
+    let pplan = parallel
+        .find_best_plan(root, goal, None)
+        .unwrap_or_else(|e| panic!("{tag}: parallel optimization failed: {e}"));
+
+    assert_eq!(
+        explain_plan(catalog, &plan),
+        explain_plan(catalog, &pplan),
+        "{tag}: serial and parallel exploration chose different plans"
+    );
+    plan
+}
+
+/// Optimize `expr` under `goal` with plain serial search (no drift
+/// guard) — for suites whose subject is execution, not search.
+pub fn optimize_plan(model: &RelModel, expr: &RelExpr, goal: RelProps, tag: &str) -> RelPlan {
+    let mut opt = RelOptimizer::new(model, SearchOptions::default());
+    let root = opt.insert_tree(expr);
+    opt.find_best_plan(root, goal, None)
+        .unwrap_or_else(|e| panic!("{tag}: optimization failed: {e}"))
+}
+
+/// One ready-to-execute differential case: a populated database, the
+/// optimized plan, and a tag for failure messages.
+pub struct DiffCase {
+    pub db: Database,
+    pub plan: RelPlan,
+    pub tag: String,
+}
+
+/// Build every golden SQL query into a [`DiffCase`], optimized with
+/// `options` (e.g. a parallel degree) and goal = the query's ORDER BY.
+pub fn sql_cases(options: RelModelOptions) -> Vec<DiffCase> {
+    SQL_QUERIES
+        .iter()
+        .map(|sql| {
+            let mut catalog = diff_catalog();
+            let q = plan_query(sql, &mut catalog).expect("query must parse");
+            let model = RelModel::new(catalog.clone(), options.clone());
+            let plan = optimize_plan(&model, &q.expr, RelProps::sorted(q.order_by.clone()), sql);
+            let db = Database::in_memory(catalog);
+            db.generate(42);
+            DiffCase {
+                db,
+                plan,
+                tag: (*sql).to_string(),
+            }
+        })
+        .collect()
+}
+
+/// A generated query plus its populated database, *before* any
+/// optimization — for suites that sweep one query across several model
+/// configurations (e.g. parallel degrees). Generating the data once and
+/// re-optimizing per configuration is far cheaper than rebuilding the
+/// whole case each time.
+pub struct ParallelInput {
+    pub catalog: Catalog,
+    pub expr: RelExpr,
+    pub db: Database,
+    pub tag: String,
+    /// The goal to optimize under: `ORDER BY` on t0's first column when
+    /// the suite demands a sort-delivering plan, else "any".
+    pub goal: RelProps,
+}
+
+/// Build fig4-style generated select–join queries (paper §4.2 workload)
+/// into [`ParallelInput`]s, for `n`-relation queries over the given
+/// seeds. When `sorted` is set the goal demands order on the first
+/// column of t0, so every optimized plan delivers a sort property.
+pub fn fig4_inputs(
+    relations: &[usize],
+    seeds: std::ops::Range<u64>,
+    sorted: bool,
+) -> Vec<ParallelInput> {
+    let mut inputs = Vec::new();
+    for &n in relations {
+        for seed in seeds.clone() {
+            let q = generate_query(&WorkloadConfig::relations(n), seed);
+            let goal = if sorted {
+                let table = q.catalog.table_by_name("t0").unwrap();
+                RelProps::sorted(vec![table.columns[0].attr])
+            } else {
+                RelProps::any()
+            };
+            let db = Database::in_memory(q.catalog.clone());
+            db.generate(seed);
+            inputs.push(ParallelInput {
+                catalog: q.catalog,
+                expr: q.expr,
+                db,
+                tag: format!("fig4 n={n} seed={seed} sorted={sorted}"),
+                goal,
+            });
+        }
+    }
+    inputs
+}
+
+/// The parallel degrees a concurrency suite should sweep. Honouring
+/// `VOLCANO_THREADS` lets CI pin a single degree per leg (serial and
+/// heavily parallel legs catch different bugs); unset, the full
+/// {1, 2, 4, 8} ladder runs.
+pub fn thread_counts() -> Vec<u32> {
+    match std::env::var("VOLCANO_THREADS") {
+        Ok(v) => {
+            let n: u32 = v
+                .parse()
+                .unwrap_or_else(|_| panic!("VOLCANO_THREADS must be an integer, got {v:?}"));
+            vec![n.max(1)]
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// The morsel granularities a parallel suite should sweep: one page per
+/// morsel (maximal scheduling pressure), the engine default, and one
+/// morsel spanning the whole table (degenerates to at most one busy
+/// worker per pipeline).
+pub fn morsel_sizes() -> [Option<usize>; 3] {
+    [Some(1), None, Some(usize::MAX)]
+}

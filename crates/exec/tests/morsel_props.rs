@@ -1,0 +1,77 @@
+//! Property-based tests for morsel partitioning and dispensing.
+//!
+//! Whatever the table size, morsel granularity, and worker count, the
+//! work-stealing machinery must hand out *exactly* the pages of the
+//! table, each exactly once — a dropped or duplicated morsel silently
+//! corrupts query results, so these invariants hold unconditionally.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use volcano_exec::morsel::{partition_pages, StealQueue};
+use volcano_exec::MorselStats;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The morsels tile `0..n_pages` exactly: contiguous, ordered,
+    /// non-overlapping, nothing missing — their union is the full scan.
+    #[test]
+    fn partition_tiles_the_table(n_pages in 0usize..5_000, morsel_pages in 0usize..6_000) {
+        let morsels = partition_pages(n_pages, morsel_pages);
+        let mut next = 0usize;
+        for m in &morsels {
+            prop_assert_eq!(m.start, next, "gap or overlap before page {}", next);
+            prop_assert!(m.end > m.start, "empty morsel at {}", m.start);
+            next = m.end;
+        }
+        prop_assert_eq!(next, n_pages, "morsels do not cover the table");
+    }
+
+    /// No morsel exceeds the requested granularity (clamped to ≥ 1),
+    /// and the morsel count is exactly ⌈n_pages / granularity⌉.
+    #[test]
+    fn partition_respects_granularity(n_pages in 0usize..5_000, morsel_pages in 0usize..6_000) {
+        let step = morsel_pages.max(1);
+        let morsels = partition_pages(n_pages, morsel_pages);
+        for m in &morsels {
+            prop_assert!(m.len() <= step, "morsel [{}, {}) exceeds {} pages", m.start, m.end, step);
+        }
+        prop_assert_eq!(morsels.len(), n_pages.div_ceil(step));
+    }
+
+    /// Degenerate granularities are safe: zero clamps to one page per
+    /// morsel, and a huge granularity yields one whole-table morsel.
+    #[test]
+    fn partition_degenerate_granularities(n_pages in 1usize..2_000) {
+        prop_assert_eq!(partition_pages(n_pages, 0).len(), n_pages);
+        let whole = partition_pages(n_pages, usize::MAX);
+        prop_assert_eq!(whole.len(), 1);
+        prop_assert_eq!(whole[0].start, 0);
+        prop_assert_eq!(whole[0].end, n_pages);
+    }
+
+    /// A steal queue dispenses every morsel exactly once, no matter how
+    /// many workers the morsels are dealt across or which single worker
+    /// does the draining (exercising both own-queue pops and steals).
+    #[test]
+    fn steal_queue_dispenses_each_morsel_once(
+        n_pages in 0usize..800,
+        morsel_pages in 0usize..1_000,
+        workers in 1usize..12,
+        drainer_pick in 0usize..12,
+    ) {
+        let expected = partition_pages(n_pages, morsel_pages);
+        let stats = Arc::new(MorselStats::default());
+        let q = StealQueue::new(expected.clone(), workers, stats.clone(), None);
+        let drainer = drainer_pick % q.workers();
+        let mut seen = Vec::new();
+        while let Some(m) = q.pop(drainer) {
+            seen.push(m);
+        }
+        prop_assert!(q.pop(drainer).is_none(), "queue must stay empty once drained");
+        seen.sort_by_key(|m| m.start);
+        prop_assert_eq!(&seen, &expected);
+        prop_assert_eq!(stats.dispatched(), expected.len() as u64);
+        prop_assert!(stats.stolen() <= stats.dispatched());
+    }
+}

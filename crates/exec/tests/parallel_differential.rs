@@ -1,0 +1,160 @@
+//! Differential tests for morsel-driven parallel execution.
+//!
+//! The same golden SQL queries and fig4-style generated plans as the
+//! serial batch differential, but optimized at parallel degrees
+//! {1, 2, 4, 8} (so gather plans appear when the optimizer judges them
+//! cheaper) and executed at morsel granularities of one page, the
+//! engine default, and one whole-table morsel. Whatever the degree and
+//! granularity, the parallel batch engine must produce the identical
+//! row *multiset* as the serial tuple engine — with the exact sequence
+//! at degree 1, and the delivered sort order intact at every degree
+//! (the sort sits above the gather, so parallelism must never leak
+//! through it; only the relative order of sort-key *ties* may differ).
+//!
+//! `VOLCANO_THREADS=<n>` pins the sweep to one degree (used by the CI
+//! serial and 8-way legs).
+
+mod common;
+
+use common::testkit::{
+    assert_same_multiset, fig4_inputs, morsel_sizes, optimize_plan, sql_cases, thread_counts,
+};
+use volcano_exec::{schema_of, BatchConfig, Database};
+use volcano_rel::value::Tuple;
+use volcano_rel::{RelModel, RelModelOptions, RelPlan};
+
+/// Assert `rows` are non-decreasing on the given key column positions.
+fn assert_sorted_on(rows: &[Tuple], key_positions: &[usize], tag: &str) {
+    for pair in rows.windows(2) {
+        let a: Vec<_> = key_positions.iter().map(|&p| &pair[0][p]).collect();
+        let b: Vec<_> = key_positions.iter().map(|&p| &pair[1][p]).collect();
+        assert!(
+            a <= b,
+            "{tag}: output violates the delivered sort order ({a:?} before {b:?})"
+        );
+    }
+}
+
+/// Execute `plan` under the tuple engine (the serial oracle) and the
+/// batch engine at every morsel granularity; assert the multisets
+/// always agree, the sequence agrees at degree 1, and the delivered
+/// sort order holds at every degree.
+fn assert_parallel_agrees(db: &Database, plan: &RelPlan, tag: &str, degree: u32) {
+    // The tuple engine executes a gather as a serial pass-through, so
+    // the same (possibly parallel) plan serves as its own oracle.
+    let tuple_rows = db.execute(plan);
+    let key_positions: Vec<usize> = {
+        let schema = schema_of(db, plan);
+        plan.delivered
+            .sort
+            .iter()
+            .map(|a| {
+                schema
+                    .iter()
+                    .position(|s| s == a)
+                    .unwrap_or_else(|| panic!("{tag}: sort key {a:?} missing from output schema"))
+            })
+            .collect()
+    };
+    // A degree-1 plan contains no gather, so the morsel granularity is
+    // inert: one serial run covers it.
+    let sweep: &[Option<usize>] = if degree == 1 {
+        &[None]
+    } else {
+        &morsel_sizes()
+    };
+    for &morsel in sweep {
+        let cfg = match morsel {
+            Some(pages) => BatchConfig::default().with_morsel_pages(pages),
+            None => BatchConfig::default(),
+        };
+        let rows = db.execute_batch(plan, cfg);
+        let mtag = format!("{tag}: deg={degree} morsel={morsel:?}");
+        assert_same_multiset(&tuple_rows, &rows, &mtag);
+        if !key_positions.is_empty() {
+            assert_sorted_on(&rows, &key_positions, &mtag);
+        }
+        if degree == 1 {
+            assert_eq!(
+                tuple_rows, rows,
+                "{mtag}: serial execution must be sequence-identical to the tuple engine"
+            );
+        }
+    }
+}
+
+fn options(degree: u32) -> RelModelOptions {
+    RelModelOptions::default().with_parallel_degree(degree)
+}
+
+fn fig4_options(degree: u32) -> RelModelOptions {
+    RelModelOptions::paper_fig4().with_parallel_degree(degree)
+}
+
+#[test]
+fn sql_golden_queries_agree_at_every_degree() {
+    for degree in thread_counts() {
+        for case in sql_cases(options(degree)) {
+            assert_parallel_agrees(&case.db, &case.plan, &case.tag, degree);
+        }
+    }
+}
+
+#[test]
+fn fig4_plans_agree_at_every_degree() {
+    // The database is generated once per query and shared across the
+    // degree sweep — only the optimization (and hence the plan's
+    // gather placement) changes with the degree.
+    for input in fig4_inputs(&[2, 3], 0..2, false) {
+        for degree in thread_counts() {
+            let model = RelModel::new(input.catalog.clone(), fig4_options(degree));
+            let tag = format!("{} deg={degree}", input.tag);
+            let plan = optimize_plan(&model, &input.expr, input.goal.clone(), &tag);
+            assert_parallel_agrees(&input.db, &plan, &tag, degree);
+        }
+    }
+}
+
+/// Sorted goals: the gather's nondeterministic interleaving must be
+/// invisible through the sort above it.
+#[test]
+fn fig4_sorted_goals_preserve_order_at_every_degree() {
+    for input in fig4_inputs(&[2], 0..2, true) {
+        for degree in thread_counts() {
+            let model = RelModel::new(input.catalog.clone(), fig4_options(degree));
+            let tag = format!("{} deg={degree}", input.tag);
+            let plan = optimize_plan(&model, &input.expr, input.goal.clone(), &tag);
+            assert!(
+                !plan.delivered.sort.is_empty(),
+                "{tag}: expected a sort-delivering plan"
+            );
+            assert_parallel_agrees(&input.db, &plan, &tag, degree);
+        }
+    }
+}
+
+/// At degree > 1 with default options the optimizer must actually emit
+/// gather plans for at least one golden query — otherwise this suite
+/// silently tests nothing but serial execution.
+#[test]
+fn parallel_degree_produces_gather_plans() {
+    use volcano_rel::RelAlg;
+    fn has_gather(plan: &RelPlan) -> bool {
+        matches!(plan.alg, RelAlg::Gather(_)) || plan.inputs.iter().any(has_gather)
+    }
+    let cases = sql_cases(options(8));
+    let n = cases.iter().filter(|c| has_gather(&c.plan)).count();
+    assert!(
+        n >= 1,
+        "expected at least one gather plan among {} golden queries at degree 8",
+        cases.len()
+    );
+    // And degree 1 must stay bit-identical serial: no gather anywhere.
+    for case in sql_cases(options(1)) {
+        assert!(
+            !has_gather(&case.plan),
+            "{}: degree 1 must never emit a gather",
+            case.tag
+        );
+    }
+}

@@ -72,6 +72,12 @@ pub enum RelAlg {
     /// The sort **enforcer**: performs no logical data manipulation, only
     /// establishes an ordering (§2.2).
     Sort(Vec<AttrId>),
+    /// The gather **enforcer**: merges the `n` partitions of a parallel
+    /// subplan back into one serial stream — the paper's exchange
+    /// operator, restricted to the merge direction. Like `Sort`, it
+    /// performs no logical data manipulation; it only converts the
+    /// parallel-degree physical property from `n` back to 1.
+    Gather(u32),
 }
 
 impl Algorithm for RelAlg {
@@ -95,6 +101,7 @@ impl Algorithm for RelAlg {
             RelAlg::StreamAggregate(_) => "stream_aggregate",
             RelAlg::HashAggregate(_) => "hash_aggregate",
             RelAlg::Sort(_) => "sort",
+            RelAlg::Gather(_) => "gather",
         }
     }
 }
@@ -103,7 +110,7 @@ impl RelAlg {
     /// Is this operator an enforcer rather than a query processing
     /// algorithm?
     pub fn is_enforcer(&self) -> bool {
-        matches!(self, RelAlg::Sort(_))
+        matches!(self, RelAlg::Sort(_) | RelAlg::Gather(_))
     }
 
     /// Is this one of the join algorithms?
@@ -133,6 +140,7 @@ impl fmt::Display for RelAlg {
                 write!(f, "multiway_hash_join[{inner}; {outer}]")
             }
             RelAlg::Sort(attrs) => write!(f, "sort{attrs:?}"),
+            RelAlg::Gather(n) => write!(f, "gather({n})"),
             other => write!(f, "{}", other.name()),
         }
     }

@@ -30,6 +30,12 @@ pub const CPU_CMP_MS: f64 = 0.002;
 pub const CPU_HASH_MS: f64 = 0.016;
 /// CPU milliseconds per predicate-term evaluation.
 pub const CPU_PRED_MS: f64 = 0.004;
+/// Fixed per-worker startup/coordination cost charged by the gather
+/// enforcer (thread dispatch, morsel-queue setup, final drain).
+pub const WORKER_STARTUP_MS: f64 = 0.5;
+/// CPU milliseconds the gather enforcer spends merging one tuple from a
+/// worker's output stream back into the serial stream.
+pub const GATHER_TUPLE_MS: f64 = 0.002;
 
 /// The cost record: estimated I/O and CPU milliseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -112,7 +118,8 @@ impl fmt::Display for RelCost {
 /// algorithm; input plan costs are accumulated by the search engines.
 pub mod formulas {
     use super::{
-        RelCost, CPU_CMP_MS, CPU_HASH_MS, CPU_PRED_MS, CPU_TUPLE_MS, IO_PAGE_MS, PAGE_SIZE,
+        RelCost, CPU_CMP_MS, CPU_HASH_MS, CPU_PRED_MS, CPU_TUPLE_MS, GATHER_TUPLE_MS, IO_PAGE_MS,
+        PAGE_SIZE, WORKER_STARTUP_MS,
     };
     use crate::props::RelLogical;
     use volcano_core::cost::Cost as _;
@@ -240,6 +247,28 @@ pub mod formulas {
     /// Hash aggregation over an unordered `input`.
     pub fn hash_agg(input: &RelLogical, out: &RelLogical) -> RelCost {
         RelCost::cpu(input.card * (CPU_HASH_MS + CPU_TUPLE_MS) + out.card * CPU_TUPLE_MS)
+    }
+
+    /// Scale a local operator cost to its per-worker share under a
+    /// delivered parallel degree. Both I/O and CPU divide by the degree:
+    /// workers process disjoint morsels, and with `degree` outstanding
+    /// page reads the I/O waits overlap. Degree 1 is the identity, so
+    /// serial costing is bit-identical to the pre-parallel model. Used by
+    /// the implementation rules *and* the plan re-coster (`estimate`), so
+    /// the two can never drift.
+    pub fn parallelize(cost: RelCost, degree: u32) -> RelCost {
+        if degree <= 1 {
+            return cost;
+        }
+        let d = degree as f64;
+        RelCost::new(cost.io / d, cost.cpu / d)
+    }
+
+    /// The gather enforcer merging `degree` worker streams carrying
+    /// `out.card` total rows back into one serial stream: per-worker
+    /// startup plus a per-tuple merge charge.
+    pub fn gather(out: &RelLogical, degree: u32) -> RelCost {
+        RelCost::cpu(degree as f64 * WORKER_STARTUP_MS + out.card * GATHER_TUPLE_MS)
     }
 
     /// Sort of `input`: "sorting costs were calculated based on a

@@ -155,7 +155,8 @@ fn logical_from_inputs(catalog: &Catalog, alg: &RelAlg, inputs: &[RelLogical]) -
                 cols: Arc::new(cols),
             }
         }
-        RelAlg::Sort(_) => inputs[0].clone(),
+        // Enforcers manipulate no logical data: output = input.
+        RelAlg::Sort(_) | RelAlg::Gather(_) => inputs[0].clone(),
     }
 }
 
@@ -224,7 +225,13 @@ fn plan_cost_rec(
         RelAlg::StreamAggregate(_) => formulas::stream_agg(&inputs[0], &out),
         RelAlg::HashAggregate(_) => formulas::hash_agg(&inputs[0], &out),
         RelAlg::Sort(_) => formulas::sort(&inputs[0]),
+        RelAlg::Gather(n) => formulas::gather(&inputs[0], *n),
     };
+    // Mirror the implementation rules exactly: a node delivering parallel
+    // degree n was costed at its per-worker share during search, so the
+    // re-coster must apply the same scaling or the drift guard would see
+    // phantom drift on every parallel plan.
+    let local = formulas::parallelize(local, plan.delivered.parallel);
     let total = children.iter().fold(local, |acc, (_, c)| acc.add(c));
     (out, total)
 }

@@ -84,6 +84,7 @@ pub fn alg_description(catalog: &Catalog, alg: &RelAlg) -> String {
             join_pred_name(catalog, outer)
         ),
         RelAlg::Sort(attrs) => format!("sort[{}]", attrs_name(catalog, attrs)),
+        RelAlg::Gather(n) => format!("gather({n})"),
         other => other.name().to_string(),
     }
 }

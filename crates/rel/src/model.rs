@@ -18,7 +18,7 @@ use crate::rules::transform::{
     BottomJoinCommute, JoinAssoc, JoinCommute, JoinLeftExchange, SelectMerge, SelectPushdown,
     SetOpAssoc, SetOpCommute,
 };
-use crate::rules::SortEnforcer;
+use crate::rules::{GatherEnforcer, SortEnforcer};
 use crate::selectivity::{join_selectivity, pred_selectivity};
 
 /// Which join orders the transformation rules enumerate — Starburst's
@@ -78,6 +78,11 @@ pub struct RelModelOptions {
     /// operators offer (1 = declared order only, 2 = also the order with
     /// the first two keys swapped; §3's alternative property vectors).
     pub sort_order_variants: usize,
+    /// Parallel degree the gather enforcer may offer (worker count for
+    /// morsel-driven batch execution). `1` (the default) generates no
+    /// gather enforcer at all, making the model — search space, costs,
+    /// and plans — bit-identical to the serial configuration.
+    pub parallel_degree: u32,
 }
 
 impl Default for RelModelOptions {
@@ -94,6 +99,7 @@ impl Default for RelModelOptions {
             enable_set_op_transforms: true,
             enable_set_op_commute: false,
             sort_order_variants: 1,
+            parallel_degree: 1,
         }
     }
 }
@@ -116,7 +122,15 @@ impl RelModelOptions {
             enable_set_op_transforms: false,
             enable_set_op_commute: false,
             sort_order_variants: 1,
+            parallel_degree: 1,
         }
+    }
+
+    /// This configuration with the gather enforcer offering `degree`-way
+    /// parallelism.
+    pub fn with_parallel_degree(mut self, degree: u32) -> Self {
+        self.parallel_degree = degree.max(1);
+        self
     }
 }
 
@@ -189,12 +203,17 @@ impl RelModel {
         impls.push(Box::new(StreamAggRule::new()));
         impls.push(Box::new(HashAggRule::new()));
 
+        let mut enforcers: Vec<Box<dyn Enforcer<RelModel>>> = vec![Box::new(SortEnforcer)];
+        if options.parallel_degree > 1 {
+            enforcers.push(Box::new(GatherEnforcer::new(options.parallel_degree)));
+        }
+
         RelModel {
             catalog,
             options,
             transforms,
             impls,
-            enforcers: vec![Box::new(SortEnforcer)],
+            enforcers,
         }
     }
 

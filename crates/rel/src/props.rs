@@ -77,37 +77,77 @@ impl RelLogical {
     }
 }
 
-/// The relational physical property vector: an ordering requirement.
+/// The relational physical property vector: an ordering requirement and
+/// a parallel degree.
 ///
 /// `sort` lists attributes major-to-minor. The empty order is the "no
 /// requirement" vector. The cover comparison is prefix-based: a stream
 /// sorted on `(A, B)` satisfies a requirement of "sorted on `(A)`" but not
 /// vice versa.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+///
+/// `parallel` is the number of independent partitions the stream is split
+/// across. `1` means a single serial stream (the default); `n > 1` means
+/// the intermediate result is produced by `n` workers over disjoint
+/// morsels. The cover comparison is *exact*: a serial stream does not
+/// satisfy a parallel requirement (someone must split it) and a parallel
+/// stream does not satisfy a serial one (someone — the Gather enforcer —
+/// must merge it). Parallelism thus follows the paper's exchange-operator
+/// doctrine: it is a physical property chosen by the optimizer and
+/// realized by an enforcer, invisible to the logical algebra.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RelProps {
     /// Required/delivered sort order, major attribute first.
     pub sort: Vec<AttrId>,
+    /// Required/delivered parallel degree (1 = serial).
+    pub parallel: u32,
+}
+
+impl Default for RelProps {
+    fn default() -> Self {
+        RelProps::any()
+    }
 }
 
 impl RelProps {
-    /// A sort requirement.
+    /// A sort requirement (serial, like all sorted streams here).
     pub fn sorted(attrs: Vec<AttrId>) -> Self {
-        RelProps { sort: attrs }
+        RelProps {
+            sort: attrs,
+            parallel: 1,
+        }
+    }
+
+    /// A parallel-partitioning requirement: `n` workers over disjoint
+    /// morsels, no ordering.
+    pub fn parallel(n: u32) -> Self {
+        RelProps {
+            sort: Vec::new(),
+            parallel: n.max(1),
+        }
     }
 
     /// Is a sort requirement present?
     pub fn is_sorted(&self) -> bool {
         !self.sort.is_empty()
     }
+
+    /// Is this a parallel (degree > 1) property vector?
+    pub fn is_parallel(&self) -> bool {
+        self.parallel > 1
+    }
 }
 
 impl PhysicalProps for RelProps {
     fn any() -> Self {
-        RelProps { sort: Vec::new() }
+        RelProps {
+            sort: Vec::new(),
+            parallel: 1,
+        }
     }
 
     fn satisfies(&self, required: &Self) -> bool {
-        required.sort.len() <= self.sort.len()
+        self.parallel == required.parallel
+            && required.sort.len() <= self.sort.len()
             && self.sort[..required.sort.len()] == required.sort[..]
     }
 }
@@ -152,6 +192,19 @@ mod tests {
     fn any_is_no_requirement() {
         assert!(RelProps::any().is_any());
         assert!(!RelProps::sorted(vec![a(1)]).is_any());
+        assert!(!RelProps::parallel(4).is_any());
+    }
+
+    #[test]
+    fn parallel_cover_is_exact() {
+        let serial = RelProps::any();
+        let par4 = RelProps::parallel(4);
+        let par8 = RelProps::parallel(8);
+        assert!(par4.satisfies(&par4));
+        assert!(!par4.satisfies(&serial), "a split stream must be gathered");
+        assert!(!serial.satisfies(&par4), "a serial stream must be split");
+        assert!(!par4.satisfies(&par8));
+        assert_eq!(RelProps::parallel(1), serial);
     }
 
     #[test]

@@ -94,15 +94,21 @@ impl ImplementationRule<RelModel> for FileScanRule {
             return vec![];
         }
         let RelOp::Get(t) = &b.op else { unreachable!() };
+        // A heap scan partitions naturally into page-range morsels, so it
+        // delivers whatever parallel degree is required (`required` is
+        // `any()` under a serial goal, `parallel(n)` below a gather).
         vec![App {
             alg: RelAlg::FileScan(*t),
             input_props: vec![],
-            delivers: RelProps::any(),
+            delivers: required.clone(),
         }]
     }
 
-    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
-        formulas::file_scan(out_props(ctx, b))
+    fn cost(&self, app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        formulas::parallelize(
+            formulas::file_scan(out_props(ctx, b)),
+            app.delivers.parallel,
+        )
     }
 }
 
@@ -216,14 +222,16 @@ impl ImplementationRule<RelModel> for FilterScanRule {
         let RelOp::Get(t) = &b.nested(0).op else {
             unreachable!()
         };
+        // Like the plain heap scan, a fused filter-scan splits into
+        // page-range morsels and can deliver any required parallel degree.
         vec![App {
             alg: RelAlg::FilterScan(*t, p.clone()),
             input_props: vec![],
-            delivers: RelProps::any(),
+            delivers: required.clone(),
         }]
     }
 
-    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+    fn cost(&self, app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
         let RelOp::Select(p) = &b.op else {
             unreachable!()
         };
@@ -232,7 +240,7 @@ impl ImplementationRule<RelModel> for FilterScanRule {
             .logical_props(ctx.memo().group_of(b.nested(0).expr));
         // One pass over the stored table, evaluating the predicate on the
         // fly: the whole point of fusing the two logical operators.
-        formulas::filter_scan(table, p.len())
+        formulas::parallelize(formulas::filter_scan(table, p.len()), app.delivers.parallel)
     }
 }
 
@@ -279,7 +287,8 @@ impl ImplementationRule<RelModel> for FilterRule {
             unreachable!()
         };
         // Filter passes tuples through unchanged: it can deliver any
-        // ordering by demanding the same ordering of its input.
+        // ordering (or parallel degree) by demanding the same of its
+        // input.
         vec![App {
             alg: RelAlg::Filter(p.clone()),
             input_props: vec![required.clone()],
@@ -287,11 +296,14 @@ impl ImplementationRule<RelModel> for FilterRule {
         }]
     }
 
-    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+    fn cost(&self, app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
         let RelOp::Select(p) = &b.op else {
             unreachable!()
         };
-        formulas::filter(input_props(ctx, b, 0), p.len())
+        formulas::parallelize(
+            formulas::filter(input_props(ctx, b, 0), p.len()),
+            app.delivers.parallel,
+        )
     }
 }
 
@@ -346,8 +358,11 @@ impl ImplementationRule<RelModel> for ProjectRule {
         }]
     }
 
-    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
-        formulas::project(input_props(ctx, b, 0))
+    fn cost(&self, app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        formulas::parallelize(
+            formulas::project(input_props(ctx, b, 0)),
+            app.delivers.parallel,
+        )
     }
 }
 
@@ -484,21 +499,30 @@ impl ImplementationRule<RelModel> for HashJoinRule {
             // qualify" (§2.2).
             return vec![];
         }
+        // Under a parallel requirement this is the *partitioned* parallel
+        // hash join: both inputs are demanded at the same degree — the
+        // build side is consumed by n workers partitioning into a shared
+        // read-only table, then n workers probe their own morsels.
+        // `required` is `any()` under a serial goal, so the serial
+        // application is unchanged.
         vec![App {
             alg: RelAlg::HybridHashJoin(p.clone()),
-            input_props: vec![RelProps::any(), RelProps::any()],
-            delivers: RelProps::any(),
+            input_props: vec![required.clone(), required.clone()],
+            delivers: required.clone(),
         }]
     }
 
-    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+    fn cost(&self, app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
         // With infinite memory: in-memory build + probe, no partition
         // files (§4.2). With finite memory the overflow spills.
-        formulas::hash_join_with_memory(
-            input_props(ctx, b, 0),
-            input_props(ctx, b, 1),
-            out_props(ctx, b),
-            self.memory_bytes,
+        formulas::parallelize(
+            formulas::hash_join_with_memory(
+                input_props(ctx, b, 0),
+                input_props(ctx, b, 1),
+                out_props(ctx, b),
+                self.memory_bytes,
+            ),
+            app.delivers.parallel,
         )
     }
 }
@@ -569,7 +593,9 @@ impl ImplementationRule<RelModel> for MultiWayJoinRule {
     }
 
     fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
-        if required.is_sorted() {
+        // The three-way probe cascade has no morsel-parallel execution
+        // path, so it competes only for serial, unsorted goals.
+        if required.is_sorted() || required.is_parallel() {
             return vec![];
         }
         let RelOp::Join(outer) = &b.op else {
@@ -636,6 +662,11 @@ impl ImplementationRule<RelModel> for NestedLoopsRule {
     }
 
     fn applies(&self, b: &Bind, required: &RelProps, ctx: &Ctx<'_>) -> Vec<App> {
+        // A tuple-at-a-time operator with no morsel-parallel execution
+        // path: it cannot deliver a parallel degree.
+        if required.is_parallel() {
+            return vec![];
+        }
         // Nested loops preserve the outer order, so a sort requirement can
         // be delegated to the left input — but only if those attributes
         // exist on the left.
@@ -841,7 +872,8 @@ impl ImplementationRule<RelModel> for HashSetOpRule {
     }
 
     fn applies(&self, _b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
-        if required.is_sorted() {
+        // Set operations execute serially (no morsel-parallel path).
+        if required.is_sorted() || required.is_parallel() {
             return vec![];
         }
         vec![App {
@@ -954,7 +986,8 @@ impl ImplementationRule<RelModel> for HashAggRule {
     }
 
     fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
-        if required.is_sorted() {
+        // Aggregation executes serially (no morsel-parallel path).
+        if required.is_sorted() || required.is_parallel() {
             return vec![];
         }
         let RelOp::Aggregate(spec) = &b.op else {

@@ -11,6 +11,6 @@ pub mod enforce;
 pub mod implement;
 pub mod transform;
 
-pub use enforce::SortEnforcer;
+pub use enforce::{GatherEnforcer, SortEnforcer};
 pub use implement::*;
 pub use transform::*;

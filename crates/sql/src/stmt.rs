@@ -55,9 +55,12 @@ pub enum BudgetSetting {
 /// The execution engine choice, as set from the CLI.
 ///
 /// ```text
-/// SET EXECUTOR TUPLE;       -- classic tuple-at-a-time iterators
-/// SET EXECUTOR BATCH;       -- vectorized engine, default batch size
-/// SET EXECUTOR BATCH 4096;  -- vectorized engine, explicit batch size
+/// SET EXECUTOR TUPLE;                -- classic tuple-at-a-time iterators
+/// SET EXECUTOR BATCH;                -- vectorized engine, default batch size
+/// SET EXECUTOR BATCH 4096;           -- vectorized engine, explicit batch size
+/// SET EXECUTOR BATCH PARALLEL 8;     -- morsel-driven parallel, 8 workers
+/// SET EXECUTOR BATCH 4096 PARALLEL 8; -- both knobs at once
+/// SET EXECUTOR BATCH PARALLEL 1;     -- back to serial batch execution
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutorSetting {
@@ -68,6 +71,10 @@ pub enum ExecutorSetting {
     Batch {
         /// Rows per batch, if given explicitly.
         batch_size: Option<usize>,
+        /// Morsel-driven parallel degree, if given explicitly
+        /// (`None` = leave the current degree unchanged; `Some(1)`
+        /// explicitly reverts to serial execution).
+        parallel: Option<u32>,
     },
 }
 
@@ -498,13 +505,31 @@ fn parse_set_budget(toks: &[Token]) -> Result<Statement, ParseError> {
 fn parse_set_executor(toks: &[Token]) -> Result<Statement, ParseError> {
     let setting = match toks {
         [_, _, t] if t.is_kw("tuple") => ExecutorSetting::Tuple,
-        [_, _, t] if t.is_kw("batch") => ExecutorSetting::Batch { batch_size: None },
+        [_, _, t] if t.is_kw("batch") => ExecutorSetting::Batch {
+            batch_size: None,
+            parallel: None,
+        },
         [_, _, t, Token::Int(n)] if t.is_kw("batch") && *n >= 1 => ExecutorSetting::Batch {
             batch_size: Some(*n as usize),
+            parallel: None,
         },
+        [_, _, t, p, Token::Int(d)] if t.is_kw("batch") && p.is_kw("parallel") && *d >= 1 => {
+            ExecutorSetting::Batch {
+                batch_size: None,
+                parallel: Some(*d as u32),
+            }
+        }
+        [_, _, t, Token::Int(n), p, Token::Int(d)]
+            if t.is_kw("batch") && p.is_kw("parallel") && *n >= 1 && *d >= 1 =>
+        {
+            ExecutorSetting::Batch {
+                batch_size: Some(*n as usize),
+                parallel: Some(*d as u32),
+            }
+        }
         _ => {
             return Err(unexpected(
-                "SET EXECUTOR <TUPLE|BATCH [n]>",
+                "SET EXECUTOR <TUPLE|BATCH [n] [PARALLEL k]>",
                 toks.get(2).cloned(),
             ))
         }
@@ -612,17 +637,37 @@ mod tests {
         );
         assert_eq!(
             parse_statement("set executor batch").unwrap(),
-            Statement::SetExecutor(ExecutorSetting::Batch { batch_size: None })
+            Statement::SetExecutor(ExecutorSetting::Batch {
+                batch_size: None,
+                parallel: None
+            })
         );
         assert_eq!(
             parse_statement("SET EXECUTOR BATCH 4096").unwrap(),
             Statement::SetExecutor(ExecutorSetting::Batch {
-                batch_size: Some(4096)
+                batch_size: Some(4096),
+                parallel: None
+            })
+        );
+        assert_eq!(
+            parse_statement("SET EXECUTOR BATCH PARALLEL 8").unwrap(),
+            Statement::SetExecutor(ExecutorSetting::Batch {
+                batch_size: None,
+                parallel: Some(8)
+            })
+        );
+        assert_eq!(
+            parse_statement("set executor batch 4096 parallel 4").unwrap(),
+            Statement::SetExecutor(ExecutorSetting::Batch {
+                batch_size: Some(4096),
+                parallel: Some(4)
             })
         );
         assert!(parse_statement("SET EXECUTOR").is_err());
         assert!(parse_statement("SET EXECUTOR ROW").is_err());
         assert!(parse_statement("SET EXECUTOR BATCH 0").is_err());
+        assert!(parse_statement("SET EXECUTOR BATCH PARALLEL 0").is_err());
+        assert!(parse_statement("SET EXECUTOR BATCH PARALLEL").is_err());
     }
 
     #[test]

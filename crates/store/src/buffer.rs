@@ -4,7 +4,7 @@
 //! evicted. Dirty pages are written back on eviction and on
 //! [`BufferPool::flush_all`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -22,6 +22,11 @@ struct Frame {
 
 struct PoolState {
     frames: HashMap<PageId, Frame>,
+    /// Pages currently being read from disk with the state lock
+    /// *released*, so concurrent misses on other pages overlap their
+    /// I/O. A second requester of an in-flight page waits for the
+    /// loader instead of issuing a duplicate read.
+    loading: HashSet<PageId>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -44,6 +49,7 @@ impl BufferPool {
             capacity,
             state: Mutex::new(PoolState {
                 frames: HashMap::new(),
+                loading: HashSet::new(),
                 tick: 0,
                 hits: 0,
                 misses: 0,
@@ -81,19 +87,42 @@ impl BufferPool {
     /// The pin is released when `f` returns. `f` receives a mutable page
     /// and a flag it can set to mark the page dirty.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&mut Page, &mut bool) -> R) -> R {
-        // Pin.
+        // Pin. On a miss the disk read happens with the lock released
+        // (the page is marked in `loading` so no one duplicates the
+        // read), which lets concurrent workers overlap their I/O — the
+        // difference between serialized and parallel scans.
         {
             let mut st = self.state.lock();
-            st.tick += 1;
-            let tick = st.tick;
-            if let Some(fr) = st.frames.get_mut(&id) {
-                fr.pins += 1;
-                fr.last_used = tick;
-                st.hits += 1;
-            } else {
+            loop {
+                st.tick += 1;
+                let tick = st.tick;
+                if let Some(fr) = st.frames.get_mut(&id) {
+                    fr.pins += 1;
+                    fr.last_used = tick;
+                    st.hits += 1;
+                    break;
+                }
+                if st.loading.contains(&id) {
+                    // Another thread is reading this very page; retry
+                    // once it lands in the frame table.
+                    drop(st);
+                    std::thread::yield_now();
+                    st = self.state.lock();
+                    continue;
+                }
                 st.misses += 1;
-                Self::make_room(&self.disk, &mut st, self.capacity);
+                st.loading.insert(id);
+                drop(st);
                 let page = self.disk.read(id);
+                st = self.state.lock();
+                st.loading.remove(&id);
+                // A missed page is not in the frame table, so disk was
+                // authoritative during the unlocked window (a dirty copy
+                // can only exist *in* the table, pinned or evicted under
+                // this lock with write-back).
+                Self::make_room(&self.disk, &mut st, self.capacity);
+                st.tick += 1;
+                let tick = st.tick;
                 st.frames.insert(
                     id,
                     Frame {
@@ -103,6 +132,7 @@ impl BufferPool {
                         last_used: tick,
                     },
                 );
+                break;
             }
         }
         // Use. The page is cloned out so user code runs without the pool

@@ -93,6 +93,50 @@ impl DiskManager for MemDisk {
     }
 }
 
+/// A wrapper that adds a fixed latency to every page *read* of an inner
+/// disk manager — a stand-in for storage with real access latency, used
+/// to measure how well parallel execution overlaps I/O. The sleep
+/// happens outside any lock of the wrapper itself, so concurrent readers
+/// genuinely overlap (the buffer pool releases its lock across misses
+/// for exactly this reason). Writes are passed through untouched.
+pub struct LatencyDisk {
+    inner: std::sync::Arc<dyn DiskManager>,
+    read_latency: std::time::Duration,
+}
+
+impl LatencyDisk {
+    /// Wrap `inner`, delaying every read by `read_latency`.
+    pub fn new(inner: std::sync::Arc<dyn DiskManager>, read_latency: std::time::Duration) -> Self {
+        LatencyDisk {
+            inner,
+            read_latency,
+        }
+    }
+}
+
+impl DiskManager for LatencyDisk {
+    fn allocate(&self) -> PageId {
+        self.inner.allocate()
+    }
+
+    fn read(&self, id: PageId) -> Page {
+        std::thread::sleep(self.read_latency);
+        self.inner.read(id)
+    }
+
+    fn write(&self, id: PageId, page: &Page) {
+        self.inner.write(id, page)
+    }
+
+    fn num_pages(&self) -> usize {
+        self.inner.num_pages()
+    }
+
+    fn stats(&self) -> &DiskStats {
+        self.inner.stats()
+    }
+}
+
 /// A file-backed disk manager (one file, page-addressed).
 pub struct FileDisk {
     file: Mutex<File>,

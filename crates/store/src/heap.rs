@@ -26,6 +26,14 @@ pub struct HeapFile {
     pool: Arc<BufferPool>,
     first: PageId,
     last: Mutex<PageId>,
+    /// The page chain in scan order, maintained incrementally: pages are
+    /// only ever appended (deletes never unlink a page), so the list is
+    /// exact once built. Keeping it here makes [`HeapFile::pages`] and
+    /// [`HeapFile::num_pages`] free of disk reads — a chain walk through
+    /// an undersized buffer pool would otherwise serialize on I/O before
+    /// a scan even starts, which matters for parallel scans that
+    /// partition the page list across workers.
+    chain: Mutex<Vec<PageId>>,
 }
 
 impl HeapFile {
@@ -36,12 +44,15 @@ impl HeapFile {
             pool,
             first,
             last: Mutex::new(first),
+            chain: Mutex::new(vec![first]),
         }
     }
 
     /// Re-open an existing heap file given its first page.
     pub fn open(pool: Arc<BufferPool>, first: PageId) -> Self {
-        // Walk to the tail so inserts append.
+        // Walk the chain once to find the tail (so inserts append) and
+        // to seed the cached page list.
+        let mut chain = vec![first];
         let mut last = first;
         loop {
             let next = pool.with_page(last, |p, _| p.next_page());
@@ -49,11 +60,13 @@ impl HeapFile {
                 break;
             }
             last = PageId(next);
+            chain.push(last);
         }
         HeapFile {
             pool,
             first,
             last: Mutex::new(last),
+            chain: Mutex::new(chain),
         }
     }
 
@@ -82,6 +95,7 @@ impl HeapFile {
             *dirty = true;
         });
         *last = new_page;
+        self.chain.lock().push(new_page);
         let slot = self
             .pool
             .with_page(new_page, |p, dirty| {
@@ -140,19 +154,10 @@ impl HeapFile {
     }
 
     /// The page ids of the chain, in scan order. Useful for demand-driven
-    /// page-at-a-time scans (the execution engine's table scan).
+    /// page-at-a-time scans (the execution engine's table scan). Served
+    /// from the maintained chain cache — no disk reads.
     pub fn pages(&self) -> Vec<PageId> {
-        let mut out = vec![self.first];
-        let mut page = self.first;
-        loop {
-            let next = self.pool.with_page(page, |p, _| p.next_page());
-            if next == NO_PAGE {
-                break;
-            }
-            page = PageId(next);
-            out.push(page);
-        }
-        out
+        self.chain.lock().clone()
     }
 
     /// All live records of one page (copied out; the pin is released on
@@ -187,17 +192,7 @@ impl HeapFile {
 
     /// Number of pages in the chain.
     pub fn num_pages(&self) -> usize {
-        let mut n = 1;
-        let mut page = self.first;
-        loop {
-            let next = self.pool.with_page(page, |p, _| p.next_page());
-            if next == NO_PAGE {
-                break;
-            }
-            n += 1;
-            page = PageId(next);
-        }
-        n
+        self.chain.lock().len()
     }
 }
 

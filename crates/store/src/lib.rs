@@ -22,6 +22,6 @@ pub mod record;
 
 pub use btree::BTree;
 pub use buffer::BufferPool;
-pub use disk::{DiskManager, DiskStats, FileDisk, MemDisk};
+pub use disk::{DiskManager, DiskStats, FileDisk, LatencyDisk, MemDisk};
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};

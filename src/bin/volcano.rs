@@ -22,7 +22,8 @@ use volcano::core::{SearchBudget, SearchOptions};
 use volcano::exec::{BatchConfig, Database, PreparedStatement};
 use volcano::rel::catalog::ColType;
 use volcano::rel::{
-    explain_expr, explain_plan, Catalog, ColumnDef, RelModel, RelOptimizer, RelProps,
+    explain_expr, explain_plan, Catalog, ColumnDef, RelModel, RelModelOptions, RelOptimizer,
+    RelProps,
 };
 use volcano::sql::{
     lower, parse_script, BudgetSetting, ExecutorSetting, PlanCacheSetting, Statement,
@@ -40,6 +41,11 @@ struct Shell {
     /// Execution engine for subsequent queries: `None` = tuple engine,
     /// `Some(cfg)` = vectorized batch engine.
     executor: Option<BatchConfig>,
+    /// Morsel-driven parallel degree for the batch engine (1 = serial).
+    /// The optimizer sees it as a physical property: at degree > 1 it
+    /// weighs gather plans against serial ones and keeps whichever is
+    /// cheaper.
+    parallel_degree: u32,
     /// Statements registered with `PREPARE name AS ...`.
     prepared: HashMap<String, PreparedStatement>,
 }
@@ -52,6 +58,7 @@ impl Shell {
             cost_limit: None,
             budget: SearchBudget::default(),
             executor: None,
+            parallel_degree: 1,
             prepared: HashMap::new(),
         }
     }
@@ -63,11 +70,17 @@ impl Shell {
         }
     }
 
+    fn model_options(&self) -> RelModelOptions {
+        RelModelOptions::default().with_parallel_degree(self.parallel_degree)
+    }
+
     /// The database is created lazily so all CREATE TABLE statements can
     /// precede it.
     fn db(&mut self) -> &Database {
         if self.db.is_none() {
-            self.db = Some(Database::in_memory(self.catalog.clone()));
+            let db = Database::in_memory(self.catalog.clone());
+            db.set_parallel_degree(self.parallel_degree);
+            self.db = Some(db);
         }
         self.db.as_ref().expect("just created")
     }
@@ -161,13 +174,25 @@ impl Shell {
                         self.executor = None;
                         println!("executor: tuple-at-a-time");
                     }
-                    ExecutorSetting::Batch { batch_size } => {
+                    ExecutorSetting::Batch {
+                        batch_size,
+                        parallel,
+                    } => {
                         let cfg = match batch_size {
                             Some(n) => BatchConfig::with_batch_size(n),
                             None => BatchConfig::default(),
                         };
                         self.executor = Some(cfg);
-                        println!("executor: batch (batch size {})", cfg.batch_size);
+                        if let Some(degree) = parallel {
+                            self.parallel_degree = degree.max(1);
+                            if let Some(db) = &self.db {
+                                db.set_parallel_degree(self.parallel_degree);
+                            }
+                        }
+                        println!(
+                            "executor: batch (batch size {}, parallel degree {})",
+                            cfg.batch_size, self.parallel_degree
+                        );
                     }
                 }
                 Ok(())
@@ -188,7 +213,7 @@ impl Shell {
                 let q = lower(&ast, &mut catalog).map_err(|e| e.to_string())?;
                 println!("-- logical algebra --");
                 print!("{}", explain_expr(&catalog, &q.expr));
-                let model = RelModel::with_defaults(catalog.clone());
+                let model = RelModel::new(catalog.clone(), self.model_options());
                 let mut opt = RelOptimizer::new(&model, self.search_options());
                 let root = opt.insert_tree(&q.expr);
                 let goal = RelProps::sorted(q.order_by.clone());
@@ -236,9 +261,10 @@ impl Shell {
                 let q = lower(&ast, &mut catalog).map_err(|e| e.to_string())?;
                 let cost_limit = self.cost_limit;
                 let options = self.search_options();
+                let model_options = self.model_options();
                 let executor = self.executor;
                 let db = self.db();
-                let model = RelModel::with_defaults(catalog.clone());
+                let model = RelModel::new(catalog.clone(), model_options);
                 let mut opt = RelOptimizer::new(&model, options);
                 let root = opt.insert_tree(&q.expr);
                 let goal = RelProps::sorted(q.order_by.clone());
