@@ -427,6 +427,69 @@ fn check_plan_cache(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn check_serve(v: &Json) -> Result<(), String> {
+    for key in ["card", "ops_per_session", "latency_us", "pool_pages"] {
+        let x = num(v, key)?;
+        if x < 1.0 {
+            return Err(format!("{key} {x} < 1"));
+        }
+    }
+    let smoke = match v.get("smoke") {
+        Some(&Json::Bool(b)) => b,
+        _ => return Err("missing or non-boolean field \"smoke\"".to_string()),
+    };
+    let points = v
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing points array".to_string())?;
+    if points.is_empty() {
+        return Err("points array is empty".to_string());
+    }
+    let mut prev_sessions = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let ctx = |e: String| format!("points[{i}]: {e}");
+        let sessions = num(p, "sessions").map_err(ctx)?;
+        if sessions <= prev_sessions {
+            return Err(format!(
+                "points[{i}]: sessions {sessions} not strictly increasing"
+            ));
+        }
+        prev_sessions = sessions;
+        for key in ["wall_ms", "plans_per_sec", "p50_ms", "p99_ms"] {
+            let x = num(p, key).map_err(ctx)?;
+            if x <= 0.0 {
+                return Err(format!("points[{i}]: {key} {x} <= 0"));
+            }
+        }
+        let p50 = num(p, "p50_ms").map_err(ctx)?;
+        let p99 = num(p, "p99_ms").map_err(ctx)?;
+        if p99 < p50 {
+            return Err(format!("points[{i}]: p99 {p99} < p50 {p50}"));
+        }
+        let degraded = num(p, "degraded").map_err(ctx)?;
+        if degraded < 0.0 {
+            return Err(format!("points[{i}]: degraded {degraded} < 0"));
+        }
+    }
+    if points.len() < 2 {
+        return Err("points must sweep at least two session counts".to_string());
+    }
+    let g = num(v, "scaling_8")?;
+    if g <= 0.0 {
+        return Err(format!("scaling_8 {g} <= 0"));
+    }
+    // The acceptance gate: on a full (non-smoke) run, 8 concurrent
+    // sessions must deliver >= 2x the single-session throughput (the
+    // I/O-overlap regime the serving layer exists for). Smoke runs
+    // (tiny cards that fit the buffer pool, debug builds) are exempt.
+    if !smoke && g < 2.0 {
+        return Err(format!(
+            "scaling_8 {g:.2} < 2.0 on a full run (serving concurrency regression)"
+        ));
+    }
+    Ok(())
+}
+
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
     let v = parse_json(&text).map_err(|e| e.to_string())?;
@@ -437,6 +500,7 @@ fn check_file(path: &str) -> Result<(), String> {
         Some("exec_batch") => check_exec(&v),
         Some("exec_parallel") => check_exec_parallel(&v),
         Some("plan_cache") => check_plan_cache(&v),
+        Some("serve") => check_serve(&v),
         Some(other) => Err(format!("unknown benchmark tag {other:?}")),
         None => Err("missing \"benchmark\" tag".to_string()),
     }

@@ -13,7 +13,7 @@ use volcano_rel::value::Tuple;
 use volcano_rel::{Catalog, RelPlan};
 
 use crate::batch::{collect_batches, Batch, BatchOperator, BoxedBatchOperator};
-use crate::compile::{compile_batch_node, compile_node, BatchConfig, Built};
+use crate::compile::{compile_batch_node, compile_node_at, BatchConfig, Built};
 use crate::database::Database;
 use crate::iterator::{collect, BoxedOperator, Operator};
 
@@ -307,6 +307,7 @@ impl Analyzed {
 /// pre-order (parent before children).
 fn instrument(
     db: &Database,
+    sch: &crate::database::SchemaSnapshot,
     catalog: &Catalog,
     plan: &RelPlan,
     depth: usize,
@@ -332,9 +333,9 @@ fn instrument(
     let children: Vec<BoxedOperator> = plan
         .inputs
         .iter()
-        .map(|c| instrument(db, catalog, c, depth + 1, counters))
+        .map(|c| instrument(db, sch, catalog, c, depth + 1, counters))
         .collect();
-    let op = compile_node(db, plan, children);
+    let op = compile_node_at(db, sch, plan, children);
     counters[slot].0.operator = op.name();
     Box::new(Instrumented { child: op, cell })
 }
@@ -355,8 +356,9 @@ fn drain_counters(counters: Vec<(NodeMeasurement, Arc<Cell>)>) -> Vec<NodeMeasur
 
 /// Execute a plan with per-operator instrumentation.
 pub fn execute_analyzed(db: &Database, catalog: &Catalog, plan: &RelPlan) -> Analyzed {
+    let sch = db.snapshot();
     let mut counters = Vec::new();
-    let mut op = instrument(db, catalog, plan, 0, &mut counters);
+    let mut op = instrument(db, &sch, catalog, plan, 0, &mut counters);
     let rows = collect(op.as_mut());
     Analyzed {
         rows,
@@ -371,6 +373,7 @@ pub fn execute_analyzed(db: &Database, catalog: &Catalog, plan: &RelPlan) -> Ana
 /// cost lands in the parent's self time.
 fn instrument_batch(
     db: &Database,
+    sch: &crate::database::SchemaSnapshot,
     catalog: &Catalog,
     plan: &RelPlan,
     depth: usize,
@@ -397,9 +400,9 @@ fn instrument_batch(
     let children: Vec<Built> = plan
         .inputs
         .iter()
-        .map(|c| instrument_batch(db, catalog, c, depth + 1, cfg, counters))
+        .map(|c| instrument_batch(db, sch, catalog, c, depth + 1, cfg, counters))
         .collect();
-    match compile_batch_node(db, plan, children, cfg) {
+    match compile_batch_node(db, sch, plan, children, cfg) {
         Built::B(op) => {
             counters[slot].0.operator = op.name();
             Built::B(Box::new(InstrumentedBatch {
@@ -427,9 +430,10 @@ pub fn execute_analyzed_batch(
     plan: &RelPlan,
     cfg: BatchConfig,
 ) -> Analyzed {
+    let sch = db.snapshot();
     let mut counters = Vec::new();
-    let schema_len = crate::compile::schema_of(db, plan).len();
-    let mut op = instrument_batch(db, catalog, plan, 0, cfg, &mut counters)
+    let schema_len = crate::compile::schema_of_at(&sch, plan).len();
+    let mut op = instrument_batch(db, &sch, catalog, plan, 0, cfg, &mut counters)
         .into_batch(schema_len, cfg.batch_size);
     let rows = collect_batches(op.as_mut());
     Analyzed {

@@ -13,7 +13,7 @@ use volcano_rel::catalog::ColType;
 use volcano_rel::{AttrId, Pred, RelAlg, RelPlan, TableId};
 
 use crate::batch::{BoxedBatchOperator, DEFAULT_BATCH_SIZE};
-use crate::database::Database;
+use crate::database::{Database, SchemaSnapshot};
 use crate::iterator::BoxedOperator;
 use crate::ops::{
     aggregate::CompiledAgg, BatchFilter, BatchHashJoin, BatchProject, BatchScan, BatchSource,
@@ -104,8 +104,8 @@ pub(crate) fn compile_pred(schema: &[AttrId], pred: &Pred) -> CompiledPred {
     )
 }
 
-pub(crate) fn table_schema(db: &Database, t: TableId) -> Vec<AttrId> {
-    db.catalog()
+pub(crate) fn table_schema(sch: &SchemaSnapshot, t: TableId) -> Vec<AttrId> {
+    sch.catalog()
         .table(t)
         .columns
         .iter()
@@ -115,21 +115,28 @@ pub(crate) fn table_schema(db: &Database, t: TableId) -> Vec<AttrId> {
 
 /// The output schema of a plan node (attribute ids in position order).
 pub fn schema_of(db: &Database, plan: &RelPlan) -> Vec<AttrId> {
+    schema_of_at(&db.snapshot(), plan)
+}
+
+/// [`schema_of`] against a pinned schema snapshot.
+pub fn schema_of_at(sch: &SchemaSnapshot, plan: &RelPlan) -> Vec<AttrId> {
     match &plan.alg {
         RelAlg::FileScan(t) | RelAlg::FilterScan(t, _) | RelAlg::IndexScan(t, _) => {
-            table_schema(db, *t)
+            table_schema(sch, *t)
         }
-        RelAlg::Filter(_) | RelAlg::Sort(_) | RelAlg::Gather(_) => schema_of(db, &plan.inputs[0]),
+        RelAlg::Filter(_) | RelAlg::Sort(_) | RelAlg::Gather(_) => {
+            schema_of_at(sch, &plan.inputs[0])
+        }
         RelAlg::ProjectOp(attrs) => attrs.clone(),
         RelAlg::MergeJoin(_) | RelAlg::HybridHashJoin(_) | RelAlg::NestedLoops(_) => {
-            let mut s = schema_of(db, &plan.inputs[0]);
-            s.extend(schema_of(db, &plan.inputs[1]));
+            let mut s = schema_of_at(sch, &plan.inputs[0]);
+            s.extend(schema_of_at(sch, &plan.inputs[1]));
             s
         }
         RelAlg::MultiWayHashJoin { .. } => {
-            let mut s = schema_of(db, &plan.inputs[0]);
-            s.extend(schema_of(db, &plan.inputs[1]));
-            s.extend(schema_of(db, &plan.inputs[2]));
+            let mut s = schema_of_at(sch, &plan.inputs[0]);
+            s.extend(schema_of_at(sch, &plan.inputs[1]));
+            s.extend(schema_of_at(sch, &plan.inputs[2]));
             s
         }
         RelAlg::HashUnion
@@ -137,7 +144,7 @@ pub fn schema_of(db: &Database, plan: &RelPlan) -> Vec<AttrId> {
         | RelAlg::HashDifference
         | RelAlg::MergeUnion
         | RelAlg::MergeIntersect
-        | RelAlg::MergeDifference => schema_of(db, &plan.inputs[0]),
+        | RelAlg::MergeDifference => schema_of_at(sch, &plan.inputs[0]),
         RelAlg::HashAggregate(spec) | RelAlg::StreamAggregate(spec) => {
             let mut s = spec.group_by.clone();
             s.extend(spec.aggs.iter().map(|&(_, out)| out));
@@ -148,25 +155,32 @@ pub fn schema_of(db: &Database, plan: &RelPlan) -> Vec<AttrId> {
 
 /// Build the operator for `plan`'s root over pre-built `children`
 /// (which must correspond to `plan.inputs`, in order).
-pub fn compile_node(
+pub fn compile_node(db: &Database, plan: &RelPlan, children: Vec<BoxedOperator>) -> BoxedOperator {
+    compile_node_at(db, &db.snapshot(), plan, children)
+}
+
+/// [`compile_node`] against a pinned schema snapshot.
+pub fn compile_node_at(
     db: &Database,
+    sch: &SchemaSnapshot,
     plan: &RelPlan,
     mut children: Vec<BoxedOperator>,
 ) -> BoxedOperator {
-    let child_schemas: Vec<Vec<AttrId>> = plan.inputs.iter().map(|c| schema_of(db, c)).collect();
+    let child_schemas: Vec<Vec<AttrId>> =
+        plan.inputs.iter().map(|c| schema_of_at(sch, c)).collect();
     match &plan.alg {
-        RelAlg::FileScan(t) => Box::new(TableScan::new(db.table(*t).clone())),
+        RelAlg::FileScan(t) => Box::new(TableScan::new(sch.table(*t).clone())),
         RelAlg::IndexScan(t, attr) => {
-            let index = db
+            let index = sch
                 .index(*t, *attr)
                 .unwrap_or_else(|| panic!("no index on {t:?}.{attr:?}"))
                 .clone();
-            Box::new(crate::ops::IndexScan::new(db.table(*t).clone(), index))
+            Box::new(crate::ops::IndexScan::new(sch.table(*t).clone(), index))
         }
         RelAlg::FilterScan(t, pred) => {
-            let schema = table_schema(db, *t);
+            let schema = table_schema(sch, *t);
             let cp = compile_pred(&schema, pred);
-            Box::new(TableScan::with_pred(db.table(*t).clone(), Some(cp)))
+            Box::new(TableScan::with_pred(sch.table(*t).clone(), Some(cp)))
         }
         RelAlg::Filter(pred) => {
             let cp = compile_pred(&child_schemas[0], pred);
@@ -339,16 +353,22 @@ pub fn compile_node(
     }
 }
 
-/// Compile a plan against a database.
+/// Compile a plan against a database (the current schema snapshot).
 pub fn compile(db: &Database, plan: &RelPlan) -> Compiled {
+    compile_at(db, &db.snapshot(), plan)
+}
+
+/// [`compile`] against a pinned schema snapshot — every scan in the
+/// tree resolves against the same schema state.
+pub(crate) fn compile_at(db: &Database, sch: &SchemaSnapshot, plan: &RelPlan) -> Compiled {
     let children: Vec<BoxedOperator> = plan
         .inputs
         .iter()
-        .map(|c| compile(db, c).operator)
+        .map(|c| compile_at(db, sch, c).operator)
         .collect();
     Compiled {
-        operator: compile_node(db, plan, children),
-        schema: schema_of(db, plan),
+        operator: compile_node_at(db, sch, plan, children),
+        schema: schema_of_at(sch, plan),
     }
 }
 
@@ -385,8 +405,13 @@ impl Built {
     }
 }
 
-pub(crate) fn table_col_types(db: &Database, t: TableId) -> Vec<ColType> {
-    db.catalog().table(t).columns.iter().map(|c| c.ty).collect()
+pub(crate) fn table_col_types(sch: &SchemaSnapshot, t: TableId) -> Vec<ColType> {
+    sch.catalog()
+        .table(t)
+        .columns
+        .iter()
+        .map(|c| c.ty)
+        .collect()
 }
 
 /// Build the batch-engine operator for `plan`'s root over pre-built
@@ -397,25 +422,27 @@ pub(crate) fn table_col_types(db: &Database, t: TableId) -> Vec<ColType> {
 /// adapters appear exactly at the engine boundaries of the plan.
 pub(crate) fn compile_batch_node(
     db: &Database,
+    sch: &SchemaSnapshot,
     plan: &RelPlan,
     mut children: Vec<Built>,
     cfg: BatchConfig,
 ) -> Built {
     let bs = cfg.batch_size;
-    let child_schemas: Vec<Vec<AttrId>> = plan.inputs.iter().map(|c| schema_of(db, c)).collect();
+    let child_schemas: Vec<Vec<AttrId>> =
+        plan.inputs.iter().map(|c| schema_of_at(sch, c)).collect();
     match &plan.alg {
         RelAlg::FileScan(t) => Built::B(Box::new(BatchScan::new(
-            db.table(*t).clone(),
-            table_col_types(db, *t),
+            sch.table(*t).clone(),
+            table_col_types(sch, *t),
             None,
             bs,
         ))),
         RelAlg::FilterScan(t, pred) => {
-            let schema = table_schema(db, *t);
+            let schema = table_schema(sch, *t);
             let cp = compile_pred(&schema, pred);
             Built::B(Box::new(BatchScan::new(
-                db.table(*t).clone(),
-                table_col_types(db, *t),
+                sch.table(*t).clone(),
+                table_col_types(sch, *t),
                 Some(cp),
                 bs,
             )))
@@ -461,13 +488,14 @@ pub(crate) fn compile_batch_node(
         _ => {
             let tuple_children: Vec<BoxedOperator> =
                 children.into_iter().map(Built::into_tuple).collect();
-            Built::T(compile_node(db, plan, tuple_children))
+            Built::T(compile_node_at(db, sch, plan, tuple_children))
         }
     }
 }
 
 fn build_batch_tree(
     db: &Database,
+    sch: &SchemaSnapshot,
     plan: &RelPlan,
     cfg: BatchConfig,
     gathers: &mut Vec<Arc<crate::morsel::MorselStats>>,
@@ -478,28 +506,38 @@ fn build_batch_tree(
     // results.
     if let RelAlg::Gather(n) = &plan.alg {
         if *n > 1 {
-            if let Some(par) = crate::morsel::compile_parallel(db, &plan.inputs[0]) {
+            if let Some(par) = crate::morsel::compile_parallel(sch, &plan.inputs[0]) {
                 let op = crate::morsel::ParallelGather::new(Arc::new(par), *n as usize, cfg);
                 gathers.push(op.stats());
                 return Built::B(Box::new(op));
             }
         }
-        return build_batch_tree(db, &plan.inputs[0], cfg, gathers);
+        return build_batch_tree(db, sch, &plan.inputs[0], cfg, gathers);
     }
     let children: Vec<Built> = plan
         .inputs
         .iter()
-        .map(|c| build_batch_tree(db, c, cfg, gathers))
+        .map(|c| build_batch_tree(db, sch, c, cfg, gathers))
         .collect();
-    compile_batch_node(db, plan, children, cfg)
+    compile_batch_node(db, sch, plan, children, cfg)
 }
 
-/// Compile a plan for the batch engine.
+/// Compile a plan for the batch engine (the current schema snapshot).
 pub fn compile_batch(db: &Database, plan: &RelPlan, cfg: BatchConfig) -> CompiledBatch {
-    let schema = schema_of(db, plan);
+    compile_batch_at(db, &db.snapshot(), plan, cfg)
+}
+
+/// [`compile_batch`] against a pinned schema snapshot.
+pub(crate) fn compile_batch_at(
+    db: &Database,
+    sch: &SchemaSnapshot,
+    plan: &RelPlan,
+    cfg: BatchConfig,
+) -> CompiledBatch {
+    let schema = schema_of_at(sch, plan);
     let mut gathers = Vec::new();
     let operator =
-        build_batch_tree(db, plan, cfg, &mut gathers).into_batch(schema.len(), cfg.batch_size);
+        build_batch_tree(db, sch, plan, cfg, &mut gathers).into_batch(schema.len(), cfg.batch_size);
     CompiledBatch {
         operator,
         schema,

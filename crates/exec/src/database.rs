@@ -2,8 +2,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 use volcano_core::trace::{TraceEvent, Tracer};
 use volcano_core::{SearchOptions, SearchStats};
@@ -21,7 +23,7 @@ use volcano_store::record::{decode_record, encode_record, Field};
 use volcano_store::{BTree, BufferPool, DiskManager, FileDisk, HeapFile, MemDisk};
 
 use crate::batch::collect_batches;
-use crate::compile::{compile, compile_batch, BatchConfig};
+use crate::compile::BatchConfig;
 use crate::iterator::collect;
 use crate::plan_cache::{drift_validation, rebind_plan, CacheEntry, CacheOutcome, PlanCache};
 
@@ -125,15 +127,122 @@ pub struct PreparedOutcome {
     pub cost: RelCost,
 }
 
-/// A database instance: a catalog plus stored tables and their indexes.
-pub struct Database {
-    catalog: Catalog,
-    pool: Arc<BufferPool>,
+/// Per-execution controls for prepared execution — what a serving-tier
+/// session varies call by call without touching database-wide state.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Execute on the vectorized batch engine with this configuration;
+    /// `None` = tuple engine.
+    pub engine: Option<BatchConfig>,
+    /// Search budget applied when this execution has to optimize
+    /// (admission control degrades overloaded traffic to anytime
+    /// search). `None` = unlimited. A *degraded* optimization's plan is
+    /// never inserted into the plan cache: it is an upper bound chosen
+    /// under pressure, and caching it would serve the pessimized plan
+    /// to unpressured executions too.
+    pub budget: Option<volcano_core::SearchBudget>,
+    /// Bypass the plan cache for this execution only (a session-level
+    /// `SET PLAN_CACHE OFF`); the database-wide switch stays untouched
+    /// and nothing is cleared.
+    pub bypass_cache: bool,
+}
+
+impl ExecOptions {
+    /// Tuple-engine execution, unlimited search, cache on — the
+    /// defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Skip the plan cache for this execution.
+    pub fn with_cache_bypass(mut self, bypass: bool) -> Self {
+        self.bypass_cache = bypass;
+        self
+    }
+
+    /// Use the batch engine with `cfg`.
+    pub fn with_engine(mut self, cfg: Option<BatchConfig>) -> Self {
+        self.engine = cfg;
+        self
+    }
+
+    /// Bound optimization by `budget`.
+    pub fn with_budget(mut self, budget: volcano_core::SearchBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// An immutable snapshot of the database's schema objects: the catalog
+/// plus the heap files and indexes backing each table.
+///
+/// The [`Database`] keeps the current snapshot behind a readers–writer
+/// lock and replaces it wholesale on DDL (copy-on-write). A query pins
+/// one snapshot for its entire lower → plan → compile → execute flow,
+/// so it never observes a half-applied schema change: queries never
+/// block each other, DDL excludes only the instant of the swap, and a
+/// table dropped mid-query stays alive (via the `Arc`s below) until the
+/// last query over it finishes — MVCC-lite for metadata.
+pub struct SchemaSnapshot {
+    catalog: Arc<Catalog>,
     tables: HashMap<TableId, Arc<HeapFile>>,
     /// B+tree per indexed (table, column).
     indexes: HashMap<(TableId, AttrId), Arc<BTree>>,
+}
+
+impl SchemaSnapshot {
+    /// The catalog as of this snapshot.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Shared handle to the snapshot's catalog.
+    pub fn catalog_arc(&self) -> Arc<Catalog> {
+        self.catalog.clone()
+    }
+
+    /// The heap file backing a table. Panics if the table was dropped
+    /// as of this snapshot (plans are compiled against the same
+    /// snapshot they were lowered on, so a well-formed plan never hits
+    /// this).
+    pub fn table(&self, id: TableId) -> &Arc<HeapFile> {
+        self.tables.get(&id).unwrap_or_else(|| {
+            panic!(
+                "table {:?} ({}) was dropped",
+                id,
+                self.catalog.table(id).name
+            )
+        })
+    }
+
+    /// Whether the table still has storage (not dropped).
+    pub fn has_table(&self, id: TableId) -> bool {
+        self.tables.contains_key(&id)
+    }
+
+    /// The B+tree index on `(table, attr)`, if one exists.
+    pub fn index(&self, table: TableId, attr: AttrId) -> Option<&Arc<BTree>> {
+        self.indexes.get(&(table, attr))
+    }
+}
+
+/// A database instance: a catalog plus stored tables and their indexes.
+///
+/// `Database` is `Send + Sync`: any number of threads may plan and
+/// execute queries concurrently. Schema state lives in a copy-on-write
+/// [`SchemaSnapshot`] behind a readers–writer lock (queries read,
+/// DDL swaps); everything else is atomics, the internally-sharded
+/// [`PlanCache`], and the internally-locked storage layer.
+pub struct Database {
+    /// Current schema snapshot; see [`SchemaSnapshot`] for the
+    /// concurrency contract. Lock order: this lock is never held while
+    /// touching the buffer pool or plan cache — readers clone the `Arc`
+    /// out and release immediately, writers swap a fully-built
+    /// replacement.
+    schema: RwLock<Arc<SchemaSnapshot>>,
+    pool: Arc<BufferPool>,
     /// Tuples an external sort may hold in memory before spilling runs.
-    sort_memory_rows: usize,
+    sort_memory_rows: AtomicUsize,
     /// Monotone counter bumped by every statistics-relevant change:
     /// data loads, DDL, stats refreshes. Cached plans record the epoch
     /// they were optimized under.
@@ -192,11 +301,13 @@ impl Database {
             }
         }
         Database {
-            catalog,
+            schema: RwLock::new(Arc::new(SchemaSnapshot {
+                catalog: Arc::new(catalog),
+                tables,
+                indexes,
+            })),
             pool,
-            tables,
-            indexes,
-            sort_memory_rows: 1 << 20,
+            sort_memory_rows: AtomicUsize::new(1 << 20),
             stats_epoch: AtomicU64::new(0),
             plan_cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
             cache_enabled: AtomicBool::new(true),
@@ -229,13 +340,13 @@ impl Database {
 
     /// Restrict external sorts to `rows` in-memory tuples (forces run
     /// spilling for larger inputs).
-    pub fn set_sort_memory_rows(&mut self, rows: usize) {
-        self.sort_memory_rows = rows.max(2);
+    pub fn set_sort_memory_rows(&self, rows: usize) {
+        self.sort_memory_rows.store(rows.max(2), Ordering::Release);
     }
 
     /// The external-sort in-memory budget, in tuples.
     pub fn sort_memory_rows(&self) -> usize {
-        self.sort_memory_rows
+        self.sort_memory_rows.load(Ordering::Acquire)
     }
 
     /// The buffer pool (run files of external sorts allocate here).
@@ -243,38 +354,51 @@ impl Database {
         &self.pool
     }
 
-    /// The B+tree index on `(table, attr)`, if one exists.
-    pub fn index(&self, table: TableId, attr: AttrId) -> Option<&Arc<BTree>> {
-        self.indexes.get(&(table, attr))
+    /// The current schema snapshot. Callers doing multi-step work
+    /// (lower, compile, execute) should take one snapshot and use it
+    /// throughout, so concurrent DDL cannot pull the schema out from
+    /// under them.
+    pub fn snapshot(&self) -> Arc<SchemaSnapshot> {
+        self.schema.read().clone()
     }
 
-    /// The catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// The B+tree index on `(table, attr)` in the current snapshot, if
+    /// one exists.
+    pub fn index(&self, table: TableId, attr: AttrId) -> Option<Arc<BTree>> {
+        self.snapshot().index(table, attr).cloned()
     }
 
-    /// The heap file backing a table.
-    pub fn table(&self, id: TableId) -> &Arc<HeapFile> {
-        &self.tables[&id]
+    /// The catalog as of the current snapshot.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.schema.read().catalog.clone()
+    }
+
+    /// The heap file backing a table in the current snapshot. Panics if
+    /// the table was dropped; see [`SchemaSnapshot::table`].
+    pub fn table(&self, id: TableId) -> Arc<HeapFile> {
+        self.snapshot().table(id).clone()
     }
 
     /// Insert a row (typed per the table's schema; not validated beyond
     /// field count). Indexed columns must hold integers.
     pub fn insert(&self, table: TableId, row: Vec<Value>) {
-        let meta = self.catalog.table(table);
+        let snap = self.snapshot();
+        let meta = snap.catalog.table(table);
         assert_eq!(
             row.len(),
             meta.columns.len(),
             "row arity mismatch for table {:?}",
             table
         );
-        let rid = self.tables[&table].insert(&encode_row(&row));
+        let rid = snap.table(table).insert(&encode_row(&row));
         for (pos, c) in meta.columns.iter().enumerate() {
             if c.indexed {
                 let Value::Int(key) = row[pos] else {
                     panic!("indexed column {} must be an integer", c.name)
                 };
-                self.indexes[&(table, c.attr)].insert(key, rid);
+                snap.index(table, c.attr)
+                    .expect("declared index exists")
+                    .insert(key, rid);
             }
         }
         // Data changed: cached plans must re-justify themselves.
@@ -286,10 +410,11 @@ impl Database {
     /// cycling over `distinct` values. Deterministic per `seed`.
     pub fn generate(&self, seed: u64) {
         use rand_like::Lcg;
-        for t in self.catalog.tables() {
+        let snap = self.snapshot();
+        for t in snap.catalog.tables() {
             // Dropped tables keep their catalog slot (ids are positional)
             // but have no heap file any more.
-            if !self.tables.contains_key(&t.id) {
+            if !snap.has_table(t.id) {
                 continue;
             }
             let mut rng = Lcg::new(seed ^ (t.id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -323,7 +448,8 @@ impl Database {
 
     /// Execute an optimized physical plan, returning all result tuples.
     pub fn execute(&self, plan: &RelPlan) -> Vec<Tuple> {
-        let mut op = compile(self, plan).operator;
+        let snap = self.snapshot();
+        let mut op = crate::compile::compile_at(self, &snap, plan).operator;
         collect(op.as_mut())
     }
 
@@ -346,7 +472,8 @@ impl Database {
         cfg: BatchConfig,
         tracer: Option<&dyn Tracer>,
     ) -> Vec<Tuple> {
-        let compiled = compile_batch(self, plan, cfg);
+        let snap = self.snapshot();
+        let compiled = crate::compile::compile_batch_at(self, &snap, plan, cfg);
         let mut op = compiled.operator;
         let rows = collect_batches(op.as_mut());
         if let Some(t) = tracer {
@@ -456,26 +583,48 @@ impl Database {
         engine: Option<BatchConfig>,
         tracer: Option<&dyn Tracer>,
     ) -> Result<PreparedOutcome, PrepareError> {
+        self.execute_prepared_opts(
+            stmt,
+            params,
+            &ExecOptions::new().with_engine(engine),
+            tracer,
+        )
+    }
+
+    /// [`Database::execute_prepared_traced`] with full per-execution
+    /// controls (engine, search budget) — the serving layer's entry
+    /// point. The whole flow runs against one schema snapshot, so
+    /// concurrent DDL cannot make it panic half-way: a statement whose
+    /// table was dropped fails cleanly at lowering, and a drop landing
+    /// *after* the snapshot executes against the pre-drop data.
+    pub fn execute_prepared_opts(
+        &self,
+        stmt: &PreparedStatement,
+        params: &[Value],
+        opts: &ExecOptions,
+        tracer: Option<&dyn Tracer>,
+    ) -> Result<PreparedOutcome, PrepareError> {
+        let snap = self.snapshot();
         let full = stmt.param.bind(params).map_err(PrepareError::Bind)?;
-        // Lowering re-resolves names against the current catalog: a shape
-        // over a dropped table fails here, before any cache probe, so a
-        // stale plan can never be served for it.
-        let mut catalog = self.catalog.clone();
+        // Lowering re-resolves names against the snapshot's catalog: a
+        // shape over a dropped table fails here, before any cache probe,
+        // so a stale plan can never be served for it.
+        let mut catalog = (*snap.catalog).clone();
         let q = lower_with_params(&stmt.param.shape, &mut catalog, &full)
             .map_err(PrepareError::Lower)?;
         let goal = RelProps::sorted(q.order_by.clone());
         let shape = shape_key(&q.expr, &q.order_by);
 
-        if !self.plan_cache_enabled() {
+        if opts.bypass_cache || !self.plan_cache_enabled() {
             if let Some(t) = tracer {
                 t.event(TraceEvent::PlanCacheLookup {
                     shape,
                     outcome: "bypass",
                 });
             }
-            let (plan, stats) = self.optimize(&catalog, &q.expr, goal)?;
+            let (plan, stats) = self.optimize(&catalog, &q.expr, goal, opts.budget.clone())?;
             return Ok(PreparedOutcome {
-                rows: self.run(&plan, engine),
+                rows: self.run_at(&snap, &plan, opts.engine),
                 cache: "bypass",
                 cost: plan.cost,
                 search: Some(stats),
@@ -489,7 +638,7 @@ impl Database {
             if entry.epoch == epoch {
                 crate::plan_cache::Validation::Valid
             } else {
-                drift_validation(entry, &self.catalog, &options, &full, epoch, drift)
+                drift_validation(entry, &snap.catalog, &options, &full, epoch, drift)
             }
         });
         if let Some(t) = tracer {
@@ -502,7 +651,7 @@ impl Database {
             CacheOutcome::Hit(entry) => {
                 let plan = rebind_plan(&entry.plan, &full);
                 Ok(PreparedOutcome {
-                    rows: self.run(&plan, engine),
+                    rows: self.run_at(&snap, &plan, opts.engine),
                     cache: "hit",
                     cost: entry.cost,
                     search: None,
@@ -510,18 +659,25 @@ impl Database {
             }
             CacheOutcome::Miss | CacheOutcome::Invalidated => {
                 let label = outcome.label();
-                let (plan, stats) = self.optimize(&catalog, &q.expr, goal.clone())?;
-                self.plan_cache.insert(
-                    shape,
-                    goal,
-                    CacheEntry {
-                        plan: plan.clone(),
-                        cost: plan.cost,
-                        epoch,
-                    },
-                );
+                let (plan, stats) =
+                    self.optimize(&catalog, &q.expr, goal.clone(), opts.budget.clone())?;
+                // A budget-degraded plan is an under-pressure upper
+                // bound; caching it would pessimize every later
+                // execution of this shape. Let the next unpressured
+                // execution optimize and cache properly.
+                if !stats.outcome.is_degraded() {
+                    self.plan_cache.insert(
+                        shape,
+                        goal,
+                        CacheEntry {
+                            plan: plan.clone(),
+                            cost: plan.cost,
+                            epoch,
+                        },
+                    );
+                }
                 Ok(PreparedOutcome {
-                    rows: self.run(&plan, engine),
+                    rows: self.run_at(&snap, &plan, opts.engine),
                     cache: label,
                     cost: plan.cost,
                     search: Some(stats),
@@ -535,9 +691,14 @@ impl Database {
         catalog: &Catalog,
         expr: &volcano_rel::RelExpr,
         goal: RelProps,
+        budget: Option<volcano_core::SearchBudget>,
     ) -> Result<(RelPlan, SearchStats), PrepareError> {
         let model = RelModel::new(catalog.clone(), self.model_options());
-        let mut opt = RelOptimizer::new(&model, SearchOptions::default());
+        let mut search = SearchOptions::default();
+        if let Some(b) = budget {
+            search.budget = b;
+        }
+        let mut opt = RelOptimizer::new(&model, search);
         let root = opt.insert_tree(expr);
         let plan = opt
             .find_best_plan(root, goal, None)
@@ -545,22 +706,51 @@ impl Database {
         Ok((plan, opt.stats().clone()))
     }
 
-    fn run(&self, plan: &RelPlan, engine: Option<BatchConfig>) -> Vec<Tuple> {
+    /// Execute `plan` against a pinned snapshot (same snapshot the plan
+    /// was lowered on).
+    fn run_at(
+        &self,
+        snap: &Arc<SchemaSnapshot>,
+        plan: &RelPlan,
+        engine: Option<BatchConfig>,
+    ) -> Vec<Tuple> {
         match engine {
-            Some(cfg) => self.execute_batch(plan, cfg),
-            None => self.execute(plan),
+            Some(cfg) => {
+                let compiled = crate::compile::compile_batch_at(self, snap, plan, cfg);
+                let mut op = compiled.operator;
+                collect_batches(op.as_mut())
+            }
+            None => {
+                let mut op = crate::compile::compile_at(self, snap, plan).operator;
+                collect(op.as_mut())
+            }
         }
     }
 
     /// Drop a table: unregister it from the catalog (SQL over it fails
-    /// from now on), free its heap file and indexes, clear the plan
+    /// from now on), release its heap file and indexes, clear the plan
     /// cache, and bump the stats epoch. Returns `false` if no such table.
-    pub fn drop_table(&mut self, name: &str) -> bool {
-        let Some(id) = self.catalog.drop_table(name) else {
+    ///
+    /// Takes `&self`: the schema lock serializes DDL against other DDL
+    /// and against the instant a query pins its snapshot. In-flight
+    /// queries that already pinned a snapshot keep the dropped table's
+    /// storage alive (via its `Arc`) and finish normally.
+    pub fn drop_table(&self, name: &str) -> bool {
+        let mut guard = self.schema.write();
+        let mut catalog = (*guard.catalog).clone();
+        let Some(id) = catalog.drop_table(name) else {
             return false;
         };
-        self.tables.remove(&id);
-        self.indexes.retain(|(t, _), _| *t != id);
+        let mut tables = guard.tables.clone();
+        let mut indexes = guard.indexes.clone();
+        tables.remove(&id);
+        indexes.retain(|(t, _), _| *t != id);
+        *guard = Arc::new(SchemaSnapshot {
+            catalog: Arc::new(catalog),
+            tables,
+            indexes,
+        });
+        drop(guard);
         self.plan_cache.clear();
         self.bump_epoch();
         true
@@ -569,23 +759,26 @@ impl Database {
     /// Recompute catalog statistics (row counts and per-column distinct
     /// estimates) from the stored data, then bump the stats epoch so
     /// cached plans are re-judged under the new numbers.
-    pub fn refresh_stats(&mut self) {
+    ///
+    /// The table scans run against a pinned snapshot *without* holding
+    /// the schema lock (queries keep flowing); the write lock is taken
+    /// only to swap in the recomputed catalog, skipping tables dropped
+    /// in the meantime.
+    pub fn refresh_stats(&self) {
         use std::collections::HashSet;
-        let live: Vec<TableId> = self
-            .catalog
-            .tables()
-            .iter()
-            .map(|t| t.id)
-            .filter(|id| self.tables.contains_key(id))
-            .collect();
-        for id in live {
-            let rows: Vec<Tuple> = self.tables[&id]
+        let snap = self.snapshot();
+        let mut computed: Vec<(TableId, f64, Vec<Option<f64>>)> = Vec::new();
+        for t in snap.catalog.tables() {
+            if !snap.has_table(t.id) {
+                continue;
+            }
+            let rows: Vec<Tuple> = snap
+                .table(t.id)
                 .scan_all()
                 .iter()
                 .map(|b| decode_row(b))
                 .collect();
-            let cols = self.catalog.table(id).columns.len();
-            let mut distinct: Vec<HashSet<Value>> = vec![HashSet::new(); cols];
+            let mut distinct: Vec<HashSet<Value>> = vec![HashSet::new(); t.columns.len()];
             for row in &rows {
                 for (set, v) in distinct.iter_mut().zip(row) {
                     set.insert(v.clone());
@@ -593,7 +786,21 @@ impl Database {
             }
             let estimates: Vec<Option<f64>> =
                 distinct.iter().map(|s| Some(s.len() as f64)).collect();
-            self.catalog.update_stats(id, rows.len() as f64, &estimates);
+            computed.push((t.id, rows.len() as f64, estimates));
+        }
+        {
+            let mut guard = self.schema.write();
+            let mut catalog = (*guard.catalog).clone();
+            for (id, card, estimates) in computed {
+                if guard.tables.contains_key(&id) {
+                    catalog.update_stats(id, card, &estimates);
+                }
+            }
+            *guard = Arc::new(SchemaSnapshot {
+                catalog: Arc::new(catalog),
+                tables: guard.tables.clone(),
+                indexes: guard.indexes.clone(),
+            });
         }
         self.bump_epoch();
     }
@@ -798,7 +1005,7 @@ mod tests {
 
     #[test]
     fn dropping_a_table_unplans_it() {
-        let mut db = Database::in_memory(catalog());
+        let db = Database::in_memory(catalog());
         db.generate(2);
         let stmt = db.prepare("SELECT a FROM t WHERE a < 5").unwrap();
         db.execute_prepared(&stmt, &[], None).unwrap();
@@ -814,7 +1021,7 @@ mod tests {
 
     #[test]
     fn refresh_stats_measures_the_data() {
-        let mut db = Database::in_memory(catalog());
+        let db = Database::in_memory(catalog());
         let id = db.catalog().table_by_name("t").unwrap().id;
         for i in 0..30 {
             db.insert(id, vec![Value::Int(i % 3), Value::Str("s".into())]);
@@ -822,7 +1029,8 @@ mod tests {
         let before = db.epoch();
         db.refresh_stats();
         assert!(db.epoch() > before);
-        let t = db.catalog().table(id);
+        let cat = db.catalog();
+        let t = cat.table(id);
         assert_eq!(t.card, 30.0);
         assert_eq!(t.columns[0].distinct, 3.0);
         assert_eq!(t.columns[1].distinct, 1.0);

@@ -23,6 +23,11 @@
 //!   regions: page-range morsels, work-stealing workers, partitioned
 //!   parallel hash joins, results streamed to the consumer over a
 //!   bounded exchange channel.
+//! * [`serve`] — the multi-session serving layer: sessions with their
+//!   own prepared statements and `SET` state over one shared
+//!   `Send + Sync` [`database::Database`], with admission control that
+//!   degrades overloaded search to greedy completion instead of
+//!   queueing unboundedly.
 //! * [`naive`] — a direct evaluator for *logical* algebra expressions:
 //!   the correctness oracle that every optimized-and-executed plan is
 //!   tested against.
@@ -40,17 +45,23 @@ pub mod morsel;
 pub mod naive;
 pub mod ops;
 pub mod plan_cache;
+pub mod serve;
 
 pub use analyze::{execute_analyzed, execute_analyzed_batch, Analyzed};
 pub use batch::{collect_batches, Batch, BatchOperator, BoxedBatchOperator, Column};
 pub use compile::{
-    compile, compile_batch, compile_node, schema_of, BatchConfig, Compiled, CompiledBatch,
+    compile, compile_batch, compile_node, compile_node_at, schema_of, schema_of_at, BatchConfig,
+    Compiled, CompiledBatch,
 };
 pub use database::{
-    Database, PrepareError, PreparedOutcome, PreparedStatement, DEFAULT_DRIFT_FACTOR,
-    DEFAULT_PLAN_CACHE_CAPACITY,
+    Database, ExecOptions, PrepareError, PreparedOutcome, PreparedStatement, SchemaSnapshot,
+    DEFAULT_DRIFT_FACTOR, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use iterator::{collect, BoxedOperator, Operator};
 pub use morsel::{MorselStats, ParallelGather};
 pub use naive::{assert_same_rows, evaluate_logical, Evaluated};
 pub use plan_cache::{rebind_plan, CacheOutcome, PlanCache, PlanCacheStats};
+pub use serve::{
+    Admission, AdmissionControl, AdmissionStats, Server, ServerConfig, Session, SessionError,
+    SessionOutcome, Ticket, TrafficClass,
+};

@@ -21,8 +21,8 @@ use volcano_rel::catalog::ColType;
 use volcano_rel::{RelAlg, RelPlan};
 use volcano_store::HeapFile;
 
-use crate::compile::{compile_pred, position, schema_of, table_col_types, table_schema};
-use crate::database::Database;
+use crate::compile::{compile_pred, position, schema_of_at, table_col_types, table_schema};
+use crate::database::SchemaSnapshot;
 use crate::ops::CompiledPred;
 
 /// The scan feeding a pipeline: a heap file whose pages are dispensed as
@@ -89,9 +89,9 @@ impl ParallelPlan {
 /// Lower the subtree under a gather node to parallel pipelines, or
 /// `None` if it contains an operator with no morsel-parallel form (the
 /// caller falls back to serial execution).
-pub fn compile_parallel(db: &Database, plan: &RelPlan) -> Option<ParallelPlan> {
+pub fn compile_parallel(sch: &SchemaSnapshot, plan: &RelPlan) -> Option<ParallelPlan> {
     let mut pipelines = Vec::new();
-    let (source, stages) = decompose(db, plan, &mut pipelines)?;
+    let (source, stages) = decompose(sch, plan, &mut pipelines)?;
     pipelines.push(Pipeline {
         source,
         stages,
@@ -106,39 +106,39 @@ pub fn compile_parallel(db: &Database, plan: &RelPlan) -> Option<ParallelPlan> {
 /// counters advance in lockstep); the current pipeline's stage chain is
 /// returned and grows as the walk unwinds.
 fn decompose(
-    db: &Database,
+    sch: &SchemaSnapshot,
     plan: &RelPlan,
     pipelines: &mut Vec<Pipeline>,
 ) -> Option<(ScanSpec, Vec<Stage>)> {
     match &plan.alg {
         RelAlg::FileScan(t) => Some((
             ScanSpec {
-                heap: db.table(*t).clone(),
-                col_types: table_col_types(db, *t),
+                heap: sch.table(*t).clone(),
+                col_types: table_col_types(sch, *t),
                 pred: None,
             },
             Vec::new(),
         )),
         RelAlg::FilterScan(t, pred) => {
-            let schema = table_schema(db, *t);
+            let schema = table_schema(sch, *t);
             Some((
                 ScanSpec {
-                    heap: db.table(*t).clone(),
-                    col_types: table_col_types(db, *t),
+                    heap: sch.table(*t).clone(),
+                    col_types: table_col_types(sch, *t),
                     pred: Some(compile_pred(&schema, pred)),
                 },
                 Vec::new(),
             ))
         }
         RelAlg::Filter(pred) => {
-            let (src, mut stages) = decompose(db, &plan.inputs[0], pipelines)?;
-            let schema = schema_of(db, &plan.inputs[0]);
+            let (src, mut stages) = decompose(sch, &plan.inputs[0], pipelines)?;
+            let schema = schema_of_at(sch, &plan.inputs[0]);
             stages.push(Stage::Filter(compile_pred(&schema, pred)));
             Some((src, stages))
         }
         RelAlg::ProjectOp(attrs) => {
-            let (src, mut stages) = decompose(db, &plan.inputs[0], pipelines)?;
-            let schema = schema_of(db, &plan.inputs[0]);
+            let (src, mut stages) = decompose(sch, &plan.inputs[0], pipelines)?;
+            let schema = schema_of_at(sch, &plan.inputs[0]);
             stages.push(Stage::Project(
                 attrs.iter().map(|&a| position(&schema, a)).collect(),
             ));
@@ -148,8 +148,8 @@ fn decompose(
             // Build side (left) becomes its own pipeline ending in a
             // partitioned-build sink; the probe side continues the
             // current chain with a probe stage.
-            let bschema = schema_of(db, &plan.inputs[0]);
-            let (bsrc, bstages) = decompose(db, &plan.inputs[0], pipelines)?;
+            let bschema = schema_of_at(sch, &plan.inputs[0]);
+            let (bsrc, bstages) = decompose(sch, &plan.inputs[0], pipelines)?;
             let table = pipelines.len();
             pipelines.push(Pipeline {
                 source: bsrc,
@@ -164,8 +164,8 @@ fn decompose(
                     ncols: bschema.len(),
                 },
             });
-            let pschema = schema_of(db, &plan.inputs[1]);
-            let (psrc, mut pstages) = decompose(db, &plan.inputs[1], pipelines)?;
+            let pschema = schema_of_at(sch, &plan.inputs[1]);
+            let (psrc, mut pstages) = decompose(sch, &plan.inputs[1], pipelines)?;
             pstages.push(Stage::Probe {
                 table,
                 keys: p

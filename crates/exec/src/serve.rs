@@ -1,0 +1,556 @@
+//! Multi-session serving layer over a shared [`Database`].
+//!
+//! A [`Server`] wraps an `Arc<Database>` with admission control and
+//! hands out [`Session`]s. Each session owns its prepared statements
+//! and its own `SET EXECUTOR` / `SET BUDGET` / `SET PLAN_CACHE` state —
+//! the per-connection knobs a SQL shell exposes — while all sessions
+//! share one catalog, one buffer pool, and one plan cache. Sessions are
+//! plain values: move one per thread and execute concurrently; the
+//! database underneath is `Send + Sync`.
+//!
+//! # Admission control
+//!
+//! The paper's search budgets make optimization an *anytime* activity:
+//! a tripped budget degrades search to greedy promise-first completion
+//! instead of failing. The serving layer uses exactly that degree of
+//! freedom for overload: a fixed number of concurrency tickets bounds
+//! how many executions run full exhaustive search at once, and what
+//! happens when no ticket is free depends on the traffic class:
+//!
+//! - [`TrafficClass::Interactive`] never waits: it proceeds immediately
+//!   with the *degraded* budget (greedy search). Latency is bounded by
+//!   doing less work, not by queueing behind other queries.
+//! - [`TrafficClass::Batch`] waits up to the configured patience for a
+//!   ticket, then degrades and proceeds.
+//! - [`TrafficClass::Background`] always waits for a ticket and always
+//!   runs at full search quality.
+//!
+//! Overload therefore degrades plan quality — bounded, observable (the
+//! [`SessionOutcome`] says so), and never cached (see
+//! [`ExecOptions::budget`]) — rather than growing an unbounded queue.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use volcano_core::trace::Tracer;
+use volcano_core::SearchBudget;
+use volcano_rel::value::Tuple;
+use volcano_rel::Value;
+use volcano_sql::AstQuery;
+
+use crate::compile::BatchConfig;
+use crate::database::{Database, ExecOptions, PrepareError, PreparedOutcome, PreparedStatement};
+
+/// The latency class of a request, deciding how admission overload is
+/// absorbed: by degrading search (interactive), by bounded waiting
+/// (batch), or by unbounded waiting (background).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Latency-sensitive: never queues; degrades search under load.
+    Interactive,
+    /// Throughput-oriented: waits a bounded patience, then degrades.
+    Batch,
+    /// Maintenance: waits for a ticket, always full search quality.
+    Background,
+}
+
+impl TrafficClass {
+    /// Stable lowercase label (JSON exports, logs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficClass::Interactive => "interactive",
+            TrafficClass::Batch => "batch",
+            TrafficClass::Background => "background",
+        }
+    }
+}
+
+/// Serving-layer tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrency tickets: how many executions may run full-quality
+    /// search at once.
+    pub max_concurrent: usize,
+    /// How long [`TrafficClass::Batch`] waits for a ticket before
+    /// degrading.
+    pub batch_patience: Duration,
+    /// The budget applied to an execution admitted *without* a ticket.
+    /// The default trips after one optimization goal, which completes
+    /// the search greedily (promise-first) — the paper's anytime
+    /// degradation.
+    pub degraded_budget: SearchBudget,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_concurrent: 8,
+            batch_patience: Duration::from_millis(50),
+            degraded_budget: SearchBudget::unlimited().with_max_goals(1),
+        }
+    }
+}
+
+/// Point-in-time admission counters. `admitted_full +
+/// admitted_degraded` equals the number of `admit` calls that have
+/// returned, so the two tallies reconcile exactly against the request
+/// count a workload kept on its side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Executions admitted with a ticket (full search quality).
+    pub admitted_full: u64,
+    /// Executions admitted without a ticket (degraded budget).
+    pub admitted_degraded: u64,
+    /// Tickets currently held.
+    pub in_flight: usize,
+    /// High-water mark of held tickets.
+    pub peak_in_flight: usize,
+}
+
+struct AdmState {
+    in_use: usize,
+    peak: usize,
+}
+
+/// A counting semaphore with class-dependent acquisition: try-once
+/// (interactive), bounded wait (batch), or unbounded wait (background).
+/// Failure to acquire is not an error — the caller proceeds degraded.
+pub struct AdmissionControl {
+    max: usize,
+    state: Mutex<AdmState>,
+    available: Condvar,
+    admitted_full: AtomicU64,
+    admitted_degraded: AtomicU64,
+}
+
+/// A held concurrency ticket; released on drop.
+pub struct Ticket<'a> {
+    ctl: &'a AdmissionControl,
+}
+
+impl Drop for Ticket<'_> {
+    fn drop(&mut self) {
+        let mut st = self.ctl.state.lock().unwrap();
+        st.in_use -= 1;
+        drop(st);
+        self.ctl.available.notify_one();
+    }
+}
+
+/// The admission decision for one execution: either a held ticket
+/// (full quality) or permission to proceed degraded.
+pub struct Admission<'a> {
+    ticket: Option<Ticket<'a>>,
+}
+
+impl Admission<'_> {
+    /// Was this execution admitted without a ticket?
+    pub fn degraded(&self) -> bool {
+        self.ticket.is_none()
+    }
+}
+
+impl AdmissionControl {
+    /// A semaphore with `max_concurrent` tickets.
+    pub fn new(max_concurrent: usize) -> Self {
+        assert!(max_concurrent > 0, "admission needs at least one ticket");
+        AdmissionControl {
+            max: max_concurrent,
+            state: Mutex::new(AdmState { in_use: 0, peak: 0 }),
+            available: Condvar::new(),
+            admitted_full: AtomicU64::new(0),
+            admitted_degraded: AtomicU64::new(0),
+        }
+    }
+
+    /// Admit one execution of the given class; see the module docs for
+    /// the per-class policy. Never fails — the result says whether the
+    /// execution runs full-quality or degraded.
+    pub fn admit(&self, class: TrafficClass, patience: Duration) -> Admission<'_> {
+        let ticket = match class {
+            TrafficClass::Interactive => self.try_ticket(),
+            TrafficClass::Batch => self.wait_ticket(Some(patience)),
+            TrafficClass::Background => self.wait_ticket(None),
+        };
+        match ticket {
+            Some(t) => {
+                self.admitted_full.fetch_add(1, Ordering::Relaxed);
+                Admission { ticket: Some(t) }
+            }
+            None => {
+                self.admitted_degraded.fetch_add(1, Ordering::Relaxed);
+                Admission { ticket: None }
+            }
+        }
+    }
+
+    fn grant(&self, st: &mut AdmState) -> Ticket<'_> {
+        st.in_use += 1;
+        st.peak = st.peak.max(st.in_use);
+        Ticket { ctl: self }
+    }
+
+    fn try_ticket(&self) -> Option<Ticket<'_>> {
+        let mut st = self.state.lock().unwrap();
+        (st.in_use < self.max).then(|| self.grant(&mut st))
+    }
+
+    /// Wait for a ticket, up to `patience` (`None` = forever).
+    fn wait_ticket(&self, patience: Option<Duration>) -> Option<Ticket<'_>> {
+        let deadline = patience.map(|p| Instant::now() + p);
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.in_use < self.max {
+                return Some(self.grant(&mut st));
+            }
+            match deadline {
+                None => st = self.available.wait(st).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    st = self.available.wait_timeout(st, d - now).unwrap().0;
+                }
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> AdmissionStats {
+        let st = self.state.lock().unwrap();
+        AdmissionStats {
+            admitted_full: self.admitted_full.load(Ordering::Relaxed),
+            admitted_degraded: self.admitted_degraded.load(Ordering::Relaxed),
+            in_flight: st.in_use,
+            peak_in_flight: st.peak,
+        }
+    }
+}
+
+/// A database plus the serving-layer state shared by all its sessions.
+pub struct Server {
+    db: Arc<Database>,
+    admission: Arc<AdmissionControl>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Serve a freshly-owned database.
+    pub fn new(db: Database, config: ServerConfig) -> Self {
+        Self::over(Arc::new(db), config)
+    }
+
+    /// Serve an already-shared database.
+    pub fn over(db: Arc<Database>, config: ServerConfig) -> Self {
+        let admission = Arc::new(AdmissionControl::new(config.max_concurrent));
+        Server {
+            db,
+            admission,
+            config,
+        }
+    }
+
+    /// The served database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The shared admission controller.
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.admission
+    }
+
+    /// Open a session of the given traffic class. Sessions are
+    /// independent values (own their prepared statements and settings)
+    /// and can be moved to other threads.
+    pub fn session(&self, class: TrafficClass) -> Session {
+        Session {
+            db: self.db.clone(),
+            admission: self.admission.clone(),
+            class,
+            batch_patience: self.config.batch_patience,
+            degraded_budget: self.config.degraded_budget.clone(),
+            engine: None,
+            budget: None,
+            use_cache: true,
+            prepared: HashMap::new(),
+        }
+    }
+}
+
+/// Why a session-level execution failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// `EXECUTE name` with no statement of that name prepared in this
+    /// session.
+    UnknownStatement(String),
+    /// Preparing or executing the statement failed (parse, lowering —
+    /// including a table dropped since `PREPARE` — binding, or
+    /// planning).
+    Prepare(PrepareError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::UnknownStatement(name) => {
+                write!(f, "no prepared statement named '{name}'")
+            }
+            SessionError::Prepare(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<PrepareError> for SessionError {
+    fn from(e: PrepareError) -> Self {
+        SessionError::Prepare(e)
+    }
+}
+
+/// One prepared execution as seen by a session: the database-level
+/// outcome plus how admission treated it.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// Rows, cache verdict, search stats, plan cost.
+    pub outcome: PreparedOutcome,
+    /// `true` when this execution ran under the degraded budget
+    /// (admitted without a ticket).
+    pub degraded: bool,
+}
+
+impl SessionOutcome {
+    /// The result rows (convenience).
+    pub fn rows(self) -> Vec<Tuple> {
+        self.outcome.rows
+    }
+}
+
+/// One client's connection state: named prepared statements plus the
+/// session-scoped `SET` knobs. All mutation is `&mut self` on the
+/// session's own state; the shared [`Database`] is only ever touched
+/// through `&self` methods, so any number of sessions run concurrently.
+pub struct Session {
+    db: Arc<Database>,
+    admission: Arc<AdmissionControl>,
+    class: TrafficClass,
+    batch_patience: Duration,
+    degraded_budget: SearchBudget,
+    /// `SET EXECUTOR` — `None` = tuple engine.
+    engine: Option<BatchConfig>,
+    /// `SET BUDGET` — session-chosen search budget for full-quality
+    /// admissions; `None` = unlimited.
+    budget: Option<SearchBudget>,
+    /// `SET PLAN_CACHE` — `false` bypasses the shared cache for this
+    /// session only.
+    use_cache: bool,
+    prepared: HashMap<String, PreparedStatement>,
+}
+
+impl Session {
+    /// The shared database this session talks to.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// This session's traffic class.
+    pub fn class(&self) -> TrafficClass {
+        self.class
+    }
+
+    /// Change this session's traffic class.
+    pub fn set_class(&mut self, class: TrafficClass) {
+        self.class = class;
+    }
+
+    /// `SET EXECUTOR`: choose the engine for subsequent executions.
+    pub fn set_executor(&mut self, engine: Option<BatchConfig>) {
+        self.engine = engine;
+    }
+
+    /// The engine subsequent executions run on.
+    pub fn executor(&self) -> Option<BatchConfig> {
+        self.engine
+    }
+
+    /// `SET BUDGET`: bound search for subsequent full-quality
+    /// executions (`None` = unlimited).
+    pub fn set_budget(&mut self, budget: Option<SearchBudget>) {
+        self.budget = budget;
+    }
+
+    /// The session budget, if any.
+    pub fn budget(&self) -> Option<&SearchBudget> {
+        self.budget.as_ref()
+    }
+
+    /// `SET PLAN_CACHE`: enable/bypass the shared plan cache for this
+    /// session (the database-wide switch is untouched).
+    pub fn set_plan_cache(&mut self, on: bool) {
+        self.use_cache = on;
+    }
+
+    /// Whether this session uses the shared plan cache.
+    pub fn plan_cache_enabled(&self) -> bool {
+        self.use_cache
+    }
+
+    /// `PREPARE name AS sql`: parse and parameterize, storing the
+    /// statement under `name` (replacing any previous one). Returns the
+    /// number of explicit `$n` parameters.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<usize, SessionError> {
+        let stmt = self.db.prepare(sql).map_err(SessionError::Prepare)?;
+        let n = stmt.param_count();
+        self.prepared.insert(name.to_string(), stmt);
+        Ok(n)
+    }
+
+    /// `PREPARE` from an already-parsed query (the CLI's path).
+    pub fn prepare_ast(&mut self, name: &str, ast: &AstQuery) -> usize {
+        let stmt = self.db.prepare_ast(ast);
+        let n = stmt.param_count();
+        self.prepared.insert(name.to_string(), stmt);
+        n
+    }
+
+    /// `DEALLOCATE name`; returns whether the statement existed.
+    pub fn deallocate(&mut self, name: &str) -> bool {
+        self.prepared.remove(name).is_some()
+    }
+
+    /// The prepared statement stored under `name`, if any.
+    pub fn statement(&self, name: &str) -> Option<&PreparedStatement> {
+        self.prepared.get(name)
+    }
+
+    /// Names of this session's prepared statements (sorted).
+    pub fn statement_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.prepared.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// `EXECUTE name (params...)` through admission control.
+    pub fn execute(&self, name: &str, params: &[Value]) -> Result<SessionOutcome, SessionError> {
+        self.execute_traced(name, params, None)
+    }
+
+    /// [`Session::execute`] with a tracer receiving the plan-cache
+    /// lookup event.
+    pub fn execute_traced(
+        &self,
+        name: &str,
+        params: &[Value],
+        tracer: Option<&dyn Tracer>,
+    ) -> Result<SessionOutcome, SessionError> {
+        let stmt = self
+            .prepared
+            .get(name)
+            .ok_or_else(|| SessionError::UnknownStatement(name.to_string()))?;
+        self.run(stmt, params, tracer)
+    }
+
+    /// One-shot: prepare `sql` anonymously and execute it immediately
+    /// under admission control (the statement is not stored).
+    pub fn query(&self, sql: &str) -> Result<SessionOutcome, SessionError> {
+        let stmt = self.db.prepare(sql).map_err(SessionError::Prepare)?;
+        self.run(&stmt, &[], None)
+    }
+
+    /// Execute an externally-held statement with this session's
+    /// settings and admission.
+    pub fn run(
+        &self,
+        stmt: &PreparedStatement,
+        params: &[Value],
+        tracer: Option<&dyn Tracer>,
+    ) -> Result<SessionOutcome, SessionError> {
+        // Admit first: the ticket (or the degraded verdict) covers the
+        // whole optimize + execute span and is released when `admission`
+        // drops at the end of this call.
+        let admission = self.admission.admit(self.class, self.batch_patience);
+        let budget = if admission.degraded() {
+            Some(self.degraded_budget.clone())
+        } else {
+            self.budget.clone()
+        };
+        let mut opts = ExecOptions::new()
+            .with_engine(self.engine)
+            .with_cache_bypass(!self.use_cache);
+        opts.budget = budget;
+        let outcome = self
+            .db
+            .execute_prepared_opts(stmt, params, &opts, tracer)
+            .map_err(SessionError::Prepare)?;
+        Ok(SessionOutcome {
+            outcome,
+            degraded: admission.degraded(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interactive_degrades_instead_of_queueing() {
+        let ctl = AdmissionControl::new(1);
+        let held = ctl.admit(TrafficClass::Interactive, Duration::ZERO);
+        assert!(!held.degraded());
+        // Ticket exhausted: the next interactive request proceeds
+        // degraded without blocking.
+        let overload = ctl.admit(TrafficClass::Interactive, Duration::ZERO);
+        assert!(overload.degraded());
+        drop(overload);
+        drop(held);
+        // Ticket released: full admission again.
+        assert!(!ctl
+            .admit(TrafficClass::Interactive, Duration::ZERO)
+            .degraded());
+        let s = ctl.stats();
+        assert_eq!(s.admitted_full, 2);
+        assert_eq!(s.admitted_degraded, 1);
+        assert_eq!(s.peak_in_flight, 1);
+    }
+
+    #[test]
+    fn batch_waits_then_degrades() {
+        let ctl = AdmissionControl::new(1);
+        let held = ctl.admit(TrafficClass::Batch, Duration::ZERO);
+        assert!(!held.degraded());
+        let start = Instant::now();
+        let second = ctl.admit(TrafficClass::Batch, Duration::from_millis(30));
+        assert!(second.degraded());
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "batch must wait its patience"
+        );
+    }
+
+    #[test]
+    fn background_waits_for_release() {
+        let ctl = Arc::new(AdmissionControl::new(1));
+        let held = ctl.admit(TrafficClass::Background, Duration::ZERO);
+        assert!(!held.degraded());
+        std::thread::scope(|s| {
+            let ctl2 = ctl.clone();
+            let waiter = s.spawn(move || {
+                // Blocks until the main thread releases.
+                let a = ctl2.admit(TrafficClass::Background, Duration::ZERO);
+                assert!(!a.degraded(), "background never degrades");
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            drop(held);
+            waiter.join().unwrap();
+        });
+        let s = ctl.stats();
+        assert_eq!(s.admitted_full, 2);
+        assert_eq!(s.admitted_degraded, 0);
+        assert_eq!(s.in_flight, 0);
+    }
+}

@@ -159,7 +159,7 @@ fn random_case(rng: &mut StdRng) -> Case {
 /// user parameters, optimize from scratch, run the tuple engine.
 fn oracle_rows(db: &Database, sql: &str, params: &[Value]) -> Result<Vec<Tuple>, String> {
     let ast = parse(sql).map_err(|e| format!("oracle parse: {e}"))?;
-    let mut catalog = db.catalog().clone();
+    let mut catalog = (*db.catalog()).clone();
     let q =
         lower_with_params(&ast, &mut catalog, params).map_err(|e| format!("oracle lower: {e}"))?;
     let model = RelModel::with_defaults(catalog.clone());

@@ -53,7 +53,7 @@ const TOUCHES_EMP: [bool; 4] = [true, true, false, true];
 
 fn oracle_rows(db: &Database, sql: &str, params: &[Value]) -> Result<Vec<Tuple>, String> {
     let ast = parse(sql).map_err(|e| e.to_string())?;
-    let mut catalog = db.catalog().clone();
+    let mut catalog = (*db.catalog()).clone();
     let q = lower_with_params(&ast, &mut catalog, params).map_err(|e| e.to_string())?;
     let model = RelModel::with_defaults(catalog.clone());
     let mut opt = RelOptimizer::new(&model, SearchOptions::default());
@@ -82,7 +82,7 @@ proptest! {
     fn interleaved_ddl_never_serves_a_stale_plan(
         ops in proptest::collection::vec((0u8..6, 0i64..50), 6..24)
     ) {
-        let mut db = Database::in_memory(catalog());
+        let db = Database::in_memory(catalog());
         db.generate(17);
         let stmts: Vec<_> = STATEMENTS
             .iter()
@@ -172,7 +172,7 @@ proptest! {
 /// and the next execution re-optimizes instead of serving it.
 #[test]
 fn stats_growth_forces_reoptimization() {
-    let mut db = Database::in_memory(catalog());
+    let db = Database::in_memory(catalog());
     db.generate(3);
     let stmt = db
         .prepare("SELECT emp.id FROM emp, dept WHERE emp.dept = dept.id AND emp.salary < $0")
@@ -211,12 +211,61 @@ fn stats_growth_forces_reoptimization() {
     assert_eq!(s.lookups, s.hits + s.misses + s.invalidations);
 }
 
+/// Regression: executing a prepared statement whose table was dropped
+/// after `PREPARE` must return a clean [`PrepareError::Lower`] — it
+/// used to reach the executor and panic on the missing heap file. The
+/// same contract holds one level up, through a serving-layer session.
+#[test]
+fn stale_prepared_statement_after_drop_errors_cleanly() {
+    use volcano_exec::{PrepareError, Server, ServerConfig, SessionError, TrafficClass};
+
+    let db = Database::in_memory(catalog());
+    db.generate(23);
+    let stmt = db
+        .prepare("SELECT emp.id FROM emp WHERE emp.salary < $0")
+        .unwrap();
+    // Warm the cache so a stale template exists when the table goes.
+    db.execute_prepared(&stmt, &[Value::Int(25)], None).unwrap();
+    assert!(db.drop_table("emp"));
+
+    let err = db
+        .execute_prepared(&stmt, &[Value::Int(25)], None)
+        .unwrap_err();
+    assert!(
+        matches!(err, PrepareError::Lower(_)),
+        "expected a lowering error, got {err}"
+    );
+    // No cache probe happened for the failed execution.
+    let s = db.plan_cache().stats();
+    assert_eq!(s.lookups, s.hits + s.misses + s.invalidations);
+
+    // Session path: EXECUTE over a statement prepared before the drop.
+    let server = Server::new(Database::in_memory(catalog()), ServerConfig::default());
+    server.db().generate(23);
+    let mut session = server.session(TrafficClass::Interactive);
+    session
+        .prepare("q", "SELECT emp.id FROM emp WHERE emp.salary < $0")
+        .unwrap();
+    session.execute("q", &[Value::Int(25)]).unwrap();
+    assert!(server.db().drop_table("emp"));
+    let err = session.execute("q", &[Value::Int(25)]).unwrap_err();
+    assert!(
+        matches!(err, SessionError::Prepare(PrepareError::Lower(_))),
+        "expected a lowering error through the session, got {err}"
+    );
+    // Statements over surviving tables keep working in the same session.
+    session
+        .prepare("d", "SELECT dept.id FROM dept WHERE dept.id < $0")
+        .unwrap();
+    session.execute("d", &[Value::Int(5)]).unwrap();
+}
+
 /// A stats refresh that does not change the numbers keeps cached plans
 /// servable: the drift guard revalidates them in place (a hit), and the
 /// entry is restamped so later lookups skip the re-estimate.
 #[test]
 fn unchanged_stats_revalidate_without_reoptimizing() {
-    let mut db = Database::in_memory(catalog());
+    let db = Database::in_memory(catalog());
     db.generate(5);
     // Align the catalog's estimates with the data before caching, so
     // the later refresh is a true no-op.

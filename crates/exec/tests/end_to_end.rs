@@ -316,7 +316,7 @@ fn io_counters_reflect_scans() {
 #[test]
 fn external_sort_spills_through_the_full_pipeline() {
     let catalog = small_catalog();
-    let mut db = Database::with_pool_size(catalog.clone(), 8);
+    let db = Database::with_pool_size(catalog.clone(), 8);
     db.generate(42);
     // Force run spilling: only 32 tuples in memory per sort.
     db.set_sort_memory_rows(32);

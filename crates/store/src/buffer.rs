@@ -3,6 +3,29 @@
 //! The pool caches a bounded number of pages; pinned pages cannot be
 //! evicted. Dirty pages are written back on eviction and on
 //! [`BufferPool::flush_all`].
+//!
+//! # Concurrency
+//!
+//! Two locks protect two different things:
+//!
+//! - the **pool lock** guards the frame table (pin counts, LRU clock,
+//!   the in-flight `loading` set, hit/miss/eviction counters);
+//! - a **per-frame latch** guards each cached page's bytes.
+//!
+//! [`BufferPool::with_page`] pins under the pool lock, then runs the
+//! caller's closure *in place* under the frame latch with the pool lock
+//! released. Concurrent accesses to the same page therefore serialize
+//! on that page only, and mutations can never be lost: before this
+//! design the page was cloned out, mutated lock-free, and installed
+//! back, so two concurrent mutators of one page would silently drop one
+//! of the two updates (last install wins).
+//!
+//! Lock order: a frame latch is only ever acquired *after* releasing or
+//! while holding the pool lock, and no code path acquires the pool lock
+//! while holding a frame latch — closures run under a frame latch alone
+//! and must not touch the pool. Eviction and flush lock victim latches
+//! while holding the pool lock; that cannot deadlock because latch
+//! holders never wait on the pool lock.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -12,10 +35,17 @@ use parking_lot::Mutex;
 use crate::disk::DiskManager;
 use crate::page::{Page, PageId};
 
-struct Frame {
+/// The latched part of a frame: the page bytes plus the write-back flag.
+struct PageSlot {
     page: Page,
-    pins: u32,
     dirty: bool,
+}
+
+struct Frame {
+    /// Shared handle to the page contents; `with_page` clones the `Arc`
+    /// under the pool lock and latches it after releasing the lock.
+    slot: Arc<Mutex<PageSlot>>,
+    pins: u32,
     /// LRU clock: larger = more recently used.
     last_used: u64,
 }
@@ -74,9 +104,11 @@ impl BufferPool {
         st.frames.insert(
             id,
             Frame {
-                page: Page::new(),
+                slot: Arc::new(Mutex::new(PageSlot {
+                    page: Page::new(),
+                    dirty: true,
+                })),
                 pins: 0,
-                dirty: true,
                 last_used: tick,
             },
         );
@@ -84,14 +116,18 @@ impl BufferPool {
     }
 
     /// Pin a page, reading it from disk on a miss, and pass it to `f`.
-    /// The pin is released when `f` returns. `f` receives a mutable page
-    /// and a flag it can set to mark the page dirty.
+    /// The pin is released when `f` returns. `f` receives the cached
+    /// page *in place* under the frame latch, plus a flag it sets to
+    /// mark the page dirty (schedule write-back). Mutations always land
+    /// in the cached page — concurrent accesses to the same page
+    /// serialize on its latch — so `f` must not mutate unless it also
+    /// sets the flag. `f` must not re-enter the pool (lock order).
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&mut Page, &mut bool) -> R) -> R {
         // Pin. On a miss the disk read happens with the lock released
         // (the page is marked in `loading` so no one duplicates the
         // read), which lets concurrent workers overlap their I/O — the
         // difference between serialized and parallel scans.
-        {
+        let slot = {
             let mut st = self.state.lock();
             loop {
                 st.tick += 1;
@@ -99,8 +135,9 @@ impl BufferPool {
                 if let Some(fr) = st.frames.get_mut(&id) {
                     fr.pins += 1;
                     fr.last_used = tick;
+                    let slot = fr.slot.clone();
                     st.hits += 1;
-                    break;
+                    break slot;
                 }
                 if st.loading.contains(&id) {
                     // Another thread is reading this very page; retry
@@ -123,40 +160,45 @@ impl BufferPool {
                 Self::make_room(&self.disk, &mut st, self.capacity);
                 st.tick += 1;
                 let tick = st.tick;
+                let slot = Arc::new(Mutex::new(PageSlot { page, dirty: false }));
                 st.frames.insert(
                     id,
                     Frame {
-                        page,
+                        slot: slot.clone(),
                         pins: 1,
-                        dirty: false,
                         last_used: tick,
                     },
                 );
-                break;
+                break slot;
             }
-        }
-        // Use. The page is cloned out so user code runs without the pool
-        // lock held; the frame stays pinned so it cannot be evicted.
-        let mut page = {
-            let st = self.state.lock();
-            st.frames[&id].page.clone()
         };
-        let mut dirty = false;
-        let r = f(&mut page, &mut dirty);
-        // Unpin (and install mutations).
+        // Use, in place, under the frame latch only. The frame stays
+        // pinned so it cannot be evicted.
+        let r = {
+            let mut guard = slot.lock();
+            let mut dirty = false;
+            let r = f(&mut guard.page, &mut dirty);
+            if dirty {
+                guard.dirty = true;
+            }
+            r
+        };
+        // Unpin (after the latch is released — never hold a frame latch
+        // while taking the pool lock).
         {
             let mut st = self.state.lock();
             let fr = st.frames.get_mut(&id).expect("pinned frame present");
-            if dirty {
-                fr.page = page;
-                fr.dirty = true;
-            }
             fr.pins -= 1;
         }
         r
     }
 
     /// Evict the least-recently-used unpinned frame if at capacity.
+    ///
+    /// The victim's latch is taken under the pool lock; with zero pins
+    /// no thread can hold or re-acquire it (a holder is pinned for the
+    /// whole latched window), so the lock is uncontended and write-back
+    /// stays atomic with removal from the table.
     fn make_room(disk: &Arc<dyn DiskManager>, st: &mut PoolState, capacity: usize) {
         while st.frames.len() >= capacity {
             let victim = st
@@ -172,8 +214,9 @@ impl BufferPool {
                 ),
                 Some(id) => {
                     let fr = st.frames.remove(&id).expect("victim exists");
-                    if fr.dirty {
-                        disk.write(id, &fr.page);
+                    let slot = fr.slot.lock();
+                    if slot.dirty {
+                        disk.write(id, &slot.page);
                     }
                     st.evictions += 1;
                 }
@@ -183,17 +226,13 @@ impl BufferPool {
 
     /// Write all dirty pages back to disk (frames stay cached).
     pub fn flush_all(&self) {
-        let mut st = self.state.lock();
-        let mut dirty_ids: Vec<PageId> = Vec::new();
+        let st = self.state.lock();
         for (&id, fr) in st.frames.iter() {
-            if fr.dirty {
-                dirty_ids.push(id);
+            let mut slot = fr.slot.lock();
+            if slot.dirty {
+                self.disk.write(id, &slot.page);
+                slot.dirty = false;
             }
-        }
-        for id in dirty_ids {
-            let fr = st.frames.get_mut(&id).expect("frame");
-            self.disk.write(id, &fr.page);
-            fr.dirty = false;
         }
     }
 
@@ -269,5 +308,32 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_capacity_rejected() {
         let _ = pool(0);
+    }
+
+    /// Regression: two threads mutating the *same* page concurrently
+    /// must both have their updates survive. The old clone-out /
+    /// install-back `with_page` lost one of the two (last install
+    /// wins); the per-frame latch serializes them in place.
+    #[test]
+    fn concurrent_same_page_mutations_are_not_lost() {
+        let p = Arc::new(pool(4));
+        let id = p.allocate();
+        let threads = 4;
+        let per_thread = 25;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let p = p.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        p.with_page(id, |pg, dirty| {
+                            pg.insert(format!("t{t}-{i:02}").as_bytes()).unwrap();
+                            *dirty = true;
+                        });
+                    }
+                });
+            }
+        });
+        let n = p.with_page(id, |pg, _| pg.records().count());
+        assert_eq!(n, threads * per_thread, "lost page updates");
     }
 }

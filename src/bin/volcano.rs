@@ -12,14 +12,18 @@
 //!
 //! Usage: `volcano [script.sql]` (defaults to stdin), or
 //! `cargo run --bin volcano -- script.sql`.
+//!
+//! The shell is one [`Session`] of the serving layer: `SET EXECUTOR`,
+//! `SET BUDGET`, and `SET PLAN_CACHE` are session state, and `PREPARE`
+//! / `EXECUTE` go through the session (and so through admission
+//! control, like any other client of the shared database).
 
-use std::collections::HashMap;
 use std::io::Read;
-
+use std::sync::Arc;
 use std::time::Duration;
 
 use volcano::core::{SearchBudget, SearchOptions};
-use volcano::exec::{BatchConfig, Database, PreparedStatement};
+use volcano::exec::{BatchConfig, Database, Server, ServerConfig, Session, TrafficClass};
 use volcano::rel::catalog::ColType;
 use volcano::rel::{
     explain_expr, explain_plan, Catalog, ColumnDef, RelModel, RelModelOptions, RelOptimizer,
@@ -31,35 +35,37 @@ use volcano::sql::{
 
 struct Shell {
     catalog: Catalog,
-    db: Option<Database>,
+    /// The shell's one serving-layer session (created lazily together
+    /// with the database, so all CREATE TABLE statements can precede
+    /// it). Owns the prepared statements and the per-session `SET`
+    /// state; the database underneath takes `&self` everywhere.
+    session: Option<Session>,
     /// User-supplied cost limit (§3): queries whose best plan exceeds it
     /// are rejected instead of executed.
     cost_limit: Option<f64>,
     /// Search budget for subsequent queries; tripped budgets degrade to
-    /// greedy completion instead of failing.
+    /// greedy completion instead of failing. Mirrored into the session
+    /// (it may be set before the database exists).
     budget: SearchBudget,
     /// Execution engine for subsequent queries: `None` = tuple engine,
-    /// `Some(cfg)` = vectorized batch engine.
+    /// `Some(cfg)` = vectorized batch engine. Mirrored into the session.
     executor: Option<BatchConfig>,
     /// Morsel-driven parallel degree for the batch engine (1 = serial).
     /// The optimizer sees it as a physical property: at degree > 1 it
     /// weighs gather plans against serial ones and keeps whichever is
     /// cheaper.
     parallel_degree: u32,
-    /// Statements registered with `PREPARE name AS ...`.
-    prepared: HashMap<String, PreparedStatement>,
 }
 
 impl Shell {
     fn new() -> Self {
         Shell {
             catalog: Catalog::new(),
-            db: None,
+            session: None,
             cost_limit: None,
             budget: SearchBudget::default(),
             executor: None,
             parallel_degree: 1,
-            prepared: HashMap::new(),
         }
     }
 
@@ -74,20 +80,22 @@ impl Shell {
         RelModelOptions::default().with_parallel_degree(self.parallel_degree)
     }
 
-    /// The database is created lazily so all CREATE TABLE statements can
-    /// precede it.
-    fn db(&mut self) -> &Database {
-        if self.db.is_none() {
+    /// The shell's session, creating the database on first use.
+    fn session(&mut self) -> &mut Session {
+        if self.session.is_none() {
             let db = Database::in_memory(self.catalog.clone());
             db.set_parallel_degree(self.parallel_degree);
-            self.db = Some(db);
+            let server = Server::new(db, ServerConfig::default());
+            let mut session = server.session(TrafficClass::Interactive);
+            session.set_budget(Some(self.budget.clone()));
+            session.set_executor(self.executor);
+            self.session = Some(session);
         }
-        self.db.as_ref().expect("just created")
+        self.session.as_mut().expect("just created")
     }
 
-    fn db_mut(&mut self) -> &mut Database {
-        self.db();
-        self.db.as_mut().expect("just created")
+    fn db(&mut self) -> Arc<Database> {
+        self.session().db().clone()
     }
 
     fn run(&mut self, stmt: Statement) -> Result<(), String> {
@@ -97,7 +105,7 @@ impl Shell {
                 columns,
                 card,
             } => {
-                if self.db.is_some() {
+                if self.session.is_some() {
                     return Err(
                         "CREATE TABLE must precede GENERATE / queries in this shell".to_string()
                     );
@@ -166,6 +174,10 @@ impl Shell {
                         println!("budget off (exhaustive search)");
                     }
                 }
+                let budget = self.budget.clone();
+                if let Some(session) = &mut self.session {
+                    session.set_budget(Some(budget));
+                }
                 Ok(())
             }
             Statement::SetExecutor(setting) => {
@@ -185,8 +197,8 @@ impl Shell {
                         self.executor = Some(cfg);
                         if let Some(degree) = parallel {
                             self.parallel_degree = degree.max(1);
-                            if let Some(db) = &self.db {
-                                db.set_parallel_degree(self.parallel_degree);
+                            if let Some(session) = &self.session {
+                                session.db().set_parallel_degree(self.parallel_degree);
                             }
                         }
                         println!(
@@ -194,6 +206,10 @@ impl Shell {
                             cfg.batch_size, self.parallel_degree
                         );
                     }
+                }
+                let executor = self.executor;
+                if let Some(session) = &mut self.session {
+                    session.set_executor(executor);
                 }
                 Ok(())
             }
@@ -235,9 +251,9 @@ impl Shell {
                     let db = self.db();
                     let analyzed = match executor {
                         Some(cfg) => {
-                            volcano::exec::execute_analyzed_batch(db, &catalog, &plan, cfg)
+                            volcano::exec::execute_analyzed_batch(&db, &catalog, &plan, cfg)
                         }
-                        None => volcano::exec::execute_analyzed(db, &catalog, &plan),
+                        None => volcano::exec::execute_analyzed(&db, &catalog, &plan),
                     };
                     println!("-- analyze ({} result rows) --", analyzed.rows.len());
                     print!("{}", analyzed.report());
@@ -296,8 +312,8 @@ impl Shell {
                 if self.catalog.drop_table(&name).is_none() {
                     return Err(format!("unknown table {name}"));
                 }
-                if self.db.is_some() {
-                    self.db_mut().drop_table(&name);
+                if let Some(session) = &self.session {
+                    session.db().drop_table(&name);
                 }
                 println!("dropped table {name}");
                 Ok(())
@@ -306,39 +322,37 @@ impl Shell {
                 let db = self.db();
                 match setting {
                     PlanCacheSetting::On => {
-                        db.set_plan_cache_enabled(true);
+                        self.session().set_plan_cache(true);
                         println!("plan cache on (capacity {})", db.plan_cache().capacity());
                     }
                     PlanCacheSetting::Off => {
-                        db.set_plan_cache_enabled(false);
+                        // Session-level bypass: the shared cache and its
+                        // contents are untouched for other sessions.
+                        self.session().set_plan_cache(false);
                         println!("plan cache off");
                     }
                     PlanCacheSetting::Capacity(n) => {
                         db.set_plan_cache_capacity(n);
-                        db.set_plan_cache_enabled(true);
+                        self.session().set_plan_cache(true);
                         println!("plan cache on (capacity {})", db.plan_cache().capacity());
                     }
                 }
                 Ok(())
             }
             Statement::Prepare { name, query } => {
-                let stmt = self.db().prepare_ast(&query);
-                let params = stmt.param_count();
-                self.prepared.insert(name.clone(), stmt);
+                let params = self.session().prepare_ast(&name, &query);
                 println!("prepared {name} ({params} parameter(s))");
                 Ok(())
             }
             Statement::Execute { name, params } => {
-                let executor = self.executor;
-                self.db();
-                let db = self.db.as_ref().expect("just created");
-                let stmt = self
-                    .prepared
-                    .get(&name)
-                    .ok_or_else(|| format!("no prepared statement named {name}"))?;
-                let out = db
-                    .execute_prepared_traced(stmt, &params, executor, None)
+                let out = self
+                    .session()
+                    .execute(&name, &params)
                     .map_err(|e| e.to_string())?;
+                if out.degraded {
+                    println!("-- note: admitted degraded (greedy search) --");
+                }
+                let out = out.outcome;
                 for row in &out.rows {
                     let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
                     println!("{}", cells.join(" | "));
