@@ -271,6 +271,68 @@ fn check_exec(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn check_exec_fused(v: &Json) -> Result<(), String> {
+    for key in ["card", "reps", "batch_size", "pool_pages"] {
+        let x = num(v, key)?;
+        if x < 1.0 {
+            return Err(format!("{key} {x} < 1"));
+        }
+    }
+    // Zero is the default here (sleep-granularity floors make any
+    // nonzero latency I/O-bound), so only reject negatives.
+    let lat = num(v, "latency_us")?;
+    if lat < 0.0 {
+        return Err(format!("latency_us {lat} < 0"));
+    }
+    let smoke = match v.get("smoke") {
+        Some(&Json::Bool(b)) => b,
+        _ => return Err("missing or non-boolean field \"smoke\"".to_string()),
+    };
+    let workloads = v
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing workloads array".to_string())?;
+    if workloads.is_empty() {
+        return Err("workloads array is empty".to_string());
+    }
+    let mut saw_headline = false;
+    for (i, w) in workloads.iter().enumerate() {
+        let ctx = |e: String| format!("workloads[{i}]: {e}");
+        w.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("workloads[{i}]: missing name"))?;
+        match w.get("class").and_then(Json::as_str) {
+            Some("headline") => saw_headline = true,
+            Some(_) => {}
+            None => return Err(format!("workloads[{i}]: missing class")),
+        }
+        num(w, "rows").map_err(ctx)?;
+        for key in ["batch_ms", "fused_ms", "speedup"] {
+            let x = num(w, key).map_err(ctx)?;
+            if x <= 0.0 {
+                return Err(format!("workloads[{i}]: {key} {x} <= 0"));
+            }
+        }
+    }
+    if !saw_headline {
+        return Err("workloads must include a headline class".to_string());
+    }
+    let g = num(v, "geomean_speedup")?;
+    if g <= 0.0 {
+        return Err(format!("geomean_speedup {g} <= 0"));
+    }
+    // The acceptance gate: on a full (non-smoke) run the fused engine
+    // must beat the batch engine by >= 1.25x geomean on the fusable
+    // headline workloads. Smoke runs (tiny cards, debug builds) are
+    // exempt.
+    if !smoke && g < 1.25 {
+        return Err(format!(
+            "geomean_speedup {g:.2} < 1.25 on a full run (fused engine regression)"
+        ));
+    }
+    Ok(())
+}
+
 fn check_exec_parallel(v: &Json) -> Result<(), String> {
     for key in ["card", "reps", "latency_us", "pool_pages"] {
         let x = num(v, key)?;
@@ -498,6 +560,7 @@ fn check_file(path: &str) -> Result<(), String> {
         Some("budget") => check_budget(&v),
         Some("search_hotpath") => check_search_hotpath(&v),
         Some("exec_batch") => check_exec(&v),
+        Some("exec_fused") => check_exec_fused(&v),
         Some("exec_parallel") => check_exec_parallel(&v),
         Some("plan_cache") => check_plan_cache(&v),
         Some("serve") => check_serve(&v),

@@ -442,6 +442,35 @@ pub fn execute_analyzed_batch(
     }
 }
 
+/// `EXPLAIN ANALYZE` output for the pipeline-fused engine: the result
+/// rows plus the fused compilation/execution report (pipelines fused,
+/// operators per pipeline, fallback segments, adapters, per-pipeline
+/// row/batch/time counters).
+#[derive(Debug)]
+pub struct AnalyzedFused {
+    /// Result rows.
+    pub rows: Vec<Tuple>,
+    /// The fused report, its per-pipeline counters now populated.
+    pub report: crate::fused::FusedReport,
+}
+
+/// Execute a plan on the pipeline-fused engine and report fused-pipeline
+/// metrics. A fused region is a single compiled loop — there are no
+/// per-plan-node seams to instrument — so the analysis is per *pipeline*
+/// (rows, batches, wall time), not per operator. Gather regions run
+/// serially, mirroring [`execute_analyzed_batch`], so pipeline counters
+/// cover the whole input rather than one worker's share.
+pub fn execute_analyzed_fused(db: &Database, plan: &RelPlan, cfg: BatchConfig) -> AnalyzedFused {
+    let sch = db.snapshot();
+    let compiled = crate::fused::compile_fused_with(db, &sch, plan, cfg, true);
+    let mut op = compiled.operator;
+    let rows = collect_batches(op.as_mut());
+    AnalyzedFused {
+        rows,
+        report: compiled.report,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

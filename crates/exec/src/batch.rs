@@ -284,6 +284,30 @@ impl Column {
         }
     }
 
+    /// Shorten the column to its first `len` rows (no-op when already
+    /// shorter). Lets a speculative decoder roll back partial pushes.
+    pub fn truncate(&mut self, len: usize) {
+        match self {
+            Column::Int { data, valid } => {
+                data.truncate(len);
+                valid.truncate(len);
+            }
+            Column::Float { data, valid } => {
+                data.truncate(len);
+                valid.truncate(len);
+            }
+            Column::Bool { data, valid } => {
+                data.truncate(len);
+                valid.truncate(len);
+            }
+            Column::Str { data, valid } => {
+                data.truncate(len);
+                valid.truncate(len);
+            }
+            Column::Any(v) => v.truncate(len),
+        }
+    }
+
     /// Append the rows of `src` named by `sel` (or all rows when `sel`
     /// is `None`) — the column-at-a-time gather kernel.
     pub fn gather_from(&mut self, src: &Column, sel: Option<&[u32]>) {

@@ -54,6 +54,52 @@ impl Default for BatchConfig {
     }
 }
 
+/// Which of the three execution engines runs a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Tuple-at-a-time Volcano iterators (`open`/`next`/`close`).
+    #[default]
+    Tuple,
+    /// The vectorized batch engine: one operator per plan node,
+    /// column-at-a-time kernels over selection-vectored batches.
+    Batch(BatchConfig),
+    /// The pipeline-fused engine: maximal fusable plan segments compiled
+    /// into single [`crate::fused::FusedRegion`] operators, batch
+    /// operators for the rest.
+    Fused(BatchConfig),
+}
+
+impl Engine {
+    /// Short lowercase name (`tuple` / `batch` / `fused`) for traces and
+    /// the CLI's `SET EXECUTOR` echo.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Engine::Tuple => "tuple",
+            Engine::Batch(_) => "batch",
+            Engine::Fused(_) => "fused",
+        }
+    }
+
+    /// The batch configuration, for the two engines that have one.
+    pub fn batch_config(&self) -> Option<BatchConfig> {
+        match self {
+            Engine::Tuple => None,
+            Engine::Batch(cfg) | Engine::Fused(cfg) => Some(*cfg),
+        }
+    }
+}
+
+impl From<Option<BatchConfig>> for Engine {
+    /// Backward-compatible lift of the pre-fused "engine" signature:
+    /// `None` was the tuple engine, `Some(cfg)` the batch engine.
+    fn from(cfg: Option<BatchConfig>) -> Self {
+        match cfg {
+            Some(cfg) => Engine::Batch(cfg),
+            None => Engine::Tuple,
+        }
+    }
+}
+
 impl BatchConfig {
     /// Config with a specific batch size (clamped to ≥ 1).
     pub fn with_batch_size(batch_size: usize) -> Self {

@@ -23,7 +23,7 @@ use volcano_store::record::{decode_record, encode_record, Field};
 use volcano_store::{BTree, BufferPool, DiskManager, FileDisk, HeapFile, MemDisk};
 
 use crate::batch::collect_batches;
-use crate::compile::BatchConfig;
+use crate::compile::{BatchConfig, Engine};
 use crate::iterator::collect;
 use crate::plan_cache::{drift_validation, rebind_plan, CacheEntry, CacheOutcome, PlanCache};
 
@@ -131,9 +131,8 @@ pub struct PreparedOutcome {
 /// session varies call by call without touching database-wide state.
 #[derive(Debug, Clone, Default)]
 pub struct ExecOptions {
-    /// Execute on the vectorized batch engine with this configuration;
-    /// `None` = tuple engine.
-    pub engine: Option<BatchConfig>,
+    /// Which engine executes the plan (tuple, batch, or fused).
+    pub engine: Engine,
     /// Search budget applied when this execution has to optimize
     /// (admission control degrades overloaded traffic to anytime
     /// search). `None` = unlimited. A *degraded* optimization's plan is
@@ -160,9 +159,17 @@ impl ExecOptions {
         self
     }
 
-    /// Use the batch engine with `cfg`.
+    /// Use the batch engine with `cfg` (`None` = tuple engine). The
+    /// pre-fused signature, kept for the common two-engine call sites;
+    /// see [`ExecOptions::with_executor`] for the general form.
     pub fn with_engine(mut self, cfg: Option<BatchConfig>) -> Self {
-        self.engine = cfg;
+        self.engine = cfg.into();
+        self
+    }
+
+    /// Execute on `engine` (tuple, batch, or fused).
+    pub fn with_executor(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -490,6 +497,41 @@ impl Database {
         rows
     }
 
+    /// Execute a plan on the pipeline-fused engine: same multiset of
+    /// rows as [`Database::execute`] and [`Database::execute_batch`]
+    /// (same order for serial plans), with fusable segments running as
+    /// compiled [`crate::fused::FusedRegion`] pipelines.
+    pub fn execute_fused(&self, plan: &RelPlan, cfg: BatchConfig) -> Vec<Tuple> {
+        self.execute_fused_traced(plan, cfg, None)
+    }
+
+    /// [`Database::execute_fused`], plus one
+    /// [`TraceEvent::MorselPhase`] per morsel-parallel gather region,
+    /// emitted after execution completes.
+    pub fn execute_fused_traced(
+        &self,
+        plan: &RelPlan,
+        cfg: BatchConfig,
+        tracer: Option<&dyn Tracer>,
+    ) -> Vec<Tuple> {
+        let snap = self.snapshot();
+        let compiled = crate::fused::compile_fused_at(self, &snap, plan, cfg);
+        let mut op = compiled.operator;
+        let rows = collect_batches(op.as_mut());
+        if let Some(t) = tracer {
+            if t.enabled() {
+                for g in &compiled.gathers {
+                    t.event(TraceEvent::MorselPhase {
+                        workers: g.workers(),
+                        morsels: g.dispatched(),
+                        steals: g.stolen(),
+                    });
+                }
+            }
+        }
+        rows
+    }
+
     // -----------------------------------------------------------------
     // Prepared statements and the plan cache.
 
@@ -708,21 +750,21 @@ impl Database {
 
     /// Execute `plan` against a pinned snapshot (same snapshot the plan
     /// was lowered on).
-    fn run_at(
-        &self,
-        snap: &Arc<SchemaSnapshot>,
-        plan: &RelPlan,
-        engine: Option<BatchConfig>,
-    ) -> Vec<Tuple> {
+    fn run_at(&self, snap: &Arc<SchemaSnapshot>, plan: &RelPlan, engine: Engine) -> Vec<Tuple> {
         match engine {
-            Some(cfg) => {
+            Engine::Tuple => {
+                let mut op = crate::compile::compile_at(self, snap, plan).operator;
+                collect(op.as_mut())
+            }
+            Engine::Batch(cfg) => {
                 let compiled = crate::compile::compile_batch_at(self, snap, plan, cfg);
                 let mut op = compiled.operator;
                 collect_batches(op.as_mut())
             }
-            None => {
-                let mut op = crate::compile::compile_at(self, snap, plan).operator;
-                collect(op.as_mut())
+            Engine::Fused(cfg) => {
+                let compiled = crate::fused::compile_fused_at(self, snap, plan, cfg);
+                let mut op = compiled.operator;
+                collect_batches(op.as_mut())
             }
         }
     }

@@ -1,0 +1,716 @@
+//! Lowering a physical plan to fused pipelines.
+//!
+//! The fused engine breaks the plan into maximal *regions* of fusable
+//! operators — scans, filters, projections, hash joins — and compiles
+//! each region into one [`FusedRegion`] operator whose pipelines run as
+//! single loops with monomorphized kernels. Non-fusable operators
+//! (sorts, aggregates, set ops, merge/nested/multiway joins, index
+//! scans) fall back to the existing tuple operators exactly as in the
+//! batch engine, with at most one adapter per genuine engine boundary;
+//! a fusable chain *above* such an operator still fuses, treating the
+//! fallback subtree as an opaque batch input.
+//!
+//! Three plan-time rewrites distinguish this lowering from the batch
+//! engine's operator-per-node compilation:
+//!
+//! 1. **Filter absorption** — leading filter stages merge into the scan
+//!    predicate, so selection happens during page decode.
+//! 2. **Scan projection pushdown** — when only filters precede the
+//!    first projection, the scan decodes exactly the columns the
+//!    pipeline touches (via `decode_record_projected`); skipped string
+//!    payloads are never UTF-8 validated or copied.
+//! 3. **Probe/project fusion** — a projection directly above a hash
+//!    probe folds into the probe's output map, so join results gather
+//!    only the columns the query keeps, never the full build ++ probe
+//!    concatenation.
+//!
+//! `Gather(n)` nodes compile to the morsel-parallel executor (whose
+//! stage loops share the fused predicate kernels), so fused pipelines
+//! compose with work stealing unchanged.
+
+use std::sync::Arc;
+
+use volcano_rel::catalog::ColType;
+use volcano_rel::{AttrId, RelAlg, RelPlan};
+use volcano_store::HeapFile;
+
+use crate::batch::BoxedBatchOperator;
+use crate::compile::{
+    compile_node_at, compile_pred, position, schema_of_at, table_col_types, table_schema,
+    BatchConfig, Built,
+};
+use crate::database::{Database, SchemaSnapshot};
+use crate::fused::pred::FusedPred;
+use crate::fused::region::{
+    FusedPipeline, FusedRegion, FusedScan, FusedSource, FusedStage, PipelineStats, ProbeCol,
+};
+use crate::ops::CompiledPred;
+
+/// Compile-time intermediate form of a pipeline source.
+enum SourceIR {
+    /// Heap scan (predicate positions index the full table schema).
+    Scan {
+        heap: Arc<HeapFile>,
+        col_types: Vec<ColType>,
+        pred: Option<CompiledPred>,
+    },
+    /// Opaque batch subtree of the given arity.
+    Input {
+        op: BoxedBatchOperator,
+        arity: usize,
+    },
+}
+
+/// Compile-time intermediate form of a pipeline stage. Rewrites operate
+/// on this level — positions are plain `usize`s — before kernels are
+/// monomorphized.
+enum StageIR {
+    Filter(CompiledPred),
+    Project(Vec<usize>),
+    Probe {
+        table: usize,
+        keys: Vec<usize>,
+        build_ncols: usize,
+    },
+}
+
+/// A hash-join build side awaiting lowering; its slot index is its
+/// position in the region's build list.
+struct BuildIR {
+    source: SourceIR,
+    stages: Vec<StageIR>,
+    keys: Vec<usize>,
+    ncols: usize,
+}
+
+/// What the fused compiler did to one pipeline, with live counters.
+#[derive(Debug)]
+pub struct PipelineInfo {
+    /// Human-readable shape, e.g. `scan+filter→probe+project`.
+    pub label: String,
+    /// Plan operators fused into this pipeline (source + stages + build
+    /// sink), counted before rewrites merge them.
+    pub operators: usize,
+    /// Does this pipeline feed a hash-table build?
+    pub build: bool,
+    /// Execution counters, shared with the running region.
+    pub stats: Arc<PipelineStats>,
+}
+
+/// Compile-time report of the whole fused plan: what fused, what fell
+/// back, where the engine boundaries are.
+#[derive(Debug, Default)]
+pub struct FusedReport {
+    /// Every fused pipeline, across all regions of the plan.
+    pub pipelines: Vec<PipelineInfo>,
+    /// Names of plan operators that fell back to the tuple engine.
+    pub fallback_ops: Vec<&'static str>,
+    /// Adapter hops inserted at engine boundaries.
+    pub adapters: usize,
+    /// Morsel-parallel gather regions in the plan.
+    pub parallel_regions: usize,
+}
+
+impl FusedReport {
+    /// Number of fused pipelines in the plan.
+    pub fn pipelines_fused(&self) -> usize {
+        self.pipelines.len()
+    }
+
+    /// Number of non-fusable plan segments (fallback operators).
+    pub fn fallback_segments(&self) -> usize {
+        self.fallback_ops.len()
+    }
+
+    /// Render the report (used by `EXPLAIN ANALYZE`). Timing lines are
+    /// meaningful only after the plan has executed.
+    pub fn lines(&self) -> Vec<String> {
+        let mut out = vec![format!(
+            "fused: {} pipeline(s), {} fallback segment(s), {} adapter(s), {} parallel region(s)",
+            self.pipelines.len(),
+            self.fallback_ops.len(),
+            self.adapters,
+            self.parallel_regions,
+        )];
+        if !self.fallback_ops.is_empty() {
+            out.push(format!("  fallback ops: {}", self.fallback_ops.join(", ")));
+        }
+        for (i, p) in self.pipelines.iter().enumerate() {
+            out.push(format!(
+                "  pipeline {i}{}: {} · {} op(s) fused · {} rows · {} batches · {} ns",
+                if p.build { " [build]" } else { "" },
+                p.label,
+                p.operators,
+                p.stats.rows(),
+                p.stats.batches(),
+                p.stats.ns(),
+            ));
+        }
+        out
+    }
+}
+
+/// A plan compiled for the fused engine.
+pub struct CompiledFused {
+    /// The root batch operator.
+    pub operator: BoxedBatchOperator,
+    /// Output attribute ids, in column position order.
+    pub schema: Vec<AttrId>,
+    /// Morsel scheduling counters of each parallel region (as in
+    /// [`crate::compile::CompiledBatch`]).
+    pub gathers: Vec<Arc<crate::morsel::MorselStats>>,
+    /// What fused, what fell back.
+    pub report: FusedReport,
+}
+
+/// Compile a plan for the fused engine (the current schema snapshot).
+pub fn compile_fused(db: &Database, plan: &RelPlan, cfg: BatchConfig) -> CompiledFused {
+    compile_fused_at(db, &db.snapshot(), plan, cfg)
+}
+
+/// [`compile_fused`] against a pinned schema snapshot.
+pub(crate) fn compile_fused_at(
+    db: &Database,
+    sch: &SchemaSnapshot,
+    plan: &RelPlan,
+    cfg: BatchConfig,
+) -> CompiledFused {
+    compile_fused_with(db, sch, plan, cfg, false)
+}
+
+/// Full-control entry point: `serial_gather` degrades every gather node
+/// to a serial pass-through (the EXPLAIN ANALYZE path uses this so the
+/// per-pipeline counters cover the whole input, not a worker's share).
+pub(crate) fn compile_fused_with(
+    db: &Database,
+    sch: &SchemaSnapshot,
+    plan: &RelPlan,
+    cfg: BatchConfig,
+    serial_gather: bool,
+) -> CompiledFused {
+    let schema = schema_of_at(sch, plan);
+    let mut f = Fuser {
+        db,
+        sch,
+        cfg,
+        serial_gather,
+        gathers: Vec::new(),
+        report: FusedReport::default(),
+    };
+    let built = f.build_tree(plan);
+    if matches!(built, Built::T(_)) {
+        // Tuple root: the final coercion below is itself an adapter.
+        f.report.adapters += 1;
+    }
+    let operator = built.into_batch(schema.len(), cfg.batch_size);
+    CompiledFused {
+        operator,
+        schema,
+        gathers: f.gathers,
+        report: f.report,
+    }
+}
+
+struct Fuser<'a> {
+    db: &'a Database,
+    sch: &'a SchemaSnapshot,
+    cfg: BatchConfig,
+    serial_gather: bool,
+    gathers: Vec<Arc<crate::morsel::MorselStats>>,
+    report: FusedReport,
+}
+
+impl Fuser<'_> {
+    /// Compile `plan` into a [`Built`] subtree, fusing the maximal
+    /// region rooted at each fusable node.
+    fn build_tree(&mut self, plan: &RelPlan) -> Built {
+        // Gathers lower to the morsel-parallel executor exactly as in
+        // the batch engine; fused stages above or below compose with it
+        // through the pipeline source.
+        if let RelAlg::Gather(n) = &plan.alg {
+            if *n > 1 && !self.serial_gather {
+                if let Some(par) = crate::morsel::compile_parallel(self.sch, &plan.inputs[0]) {
+                    let op =
+                        crate::morsel::ParallelGather::new(Arc::new(par), *n as usize, self.cfg);
+                    self.gathers.push(op.stats());
+                    self.report.parallel_regions += 1;
+                    return Built::B(Box::new(op));
+                }
+            }
+            return self.build_tree(&plan.inputs[0]);
+        }
+        let mut builds = Vec::new();
+        if let Some((source, stages)) = self.fuse_node(plan, &mut builds) {
+            return Built::B(self.lower_region(builds, source, stages));
+        }
+        // Non-fusable root: compile this node on the tuple engine over
+        // recursively built children; each batch child costs exactly
+        // one adapter at this genuine engine boundary.
+        let children: Vec<Built> = plan.inputs.iter().map(|c| self.build_tree(c)).collect();
+        self.report.adapters += children.iter().filter(|c| matches!(c, Built::B(_))).count();
+        self.report.fallback_ops.push(fallback_name(&plan.alg));
+        let tuple_children = children.into_iter().map(Built::into_tuple).collect();
+        Built::T(compile_node_at(self.db, self.sch, plan, tuple_children))
+    }
+
+    /// Decompose the fusable region rooted at `plan`, mirroring the
+    /// morsel lowering: hash-join build sides become [`BuildIR`]s (slot
+    /// = push index), the probe chain continues the current pipeline.
+    /// `None` means `plan`'s *root* is not fusable — callers other than
+    /// [`Fuser::fuse_input`] then fall back. Returns without side
+    /// effects in the `None` case.
+    fn fuse_node(
+        &mut self,
+        plan: &RelPlan,
+        builds: &mut Vec<BuildIR>,
+    ) -> Option<(SourceIR, Vec<StageIR>)> {
+        match &plan.alg {
+            RelAlg::FileScan(t) => Some((
+                SourceIR::Scan {
+                    heap: self.sch.table(*t).clone(),
+                    col_types: table_col_types(self.sch, *t),
+                    pred: None,
+                },
+                Vec::new(),
+            )),
+            RelAlg::FilterScan(t, pred) => {
+                let schema = table_schema(self.sch, *t);
+                Some((
+                    SourceIR::Scan {
+                        heap: self.sch.table(*t).clone(),
+                        col_types: table_col_types(self.sch, *t),
+                        pred: Some(compile_pred(&schema, pred)),
+                    },
+                    Vec::new(),
+                ))
+            }
+            RelAlg::Filter(pred) => {
+                let (src, mut stages) = self.fuse_input(&plan.inputs[0], builds);
+                let schema = schema_of_at(self.sch, &plan.inputs[0]);
+                stages.push(StageIR::Filter(compile_pred(&schema, pred)));
+                Some((src, stages))
+            }
+            RelAlg::ProjectOp(attrs) => {
+                let (src, mut stages) = self.fuse_input(&plan.inputs[0], builds);
+                let schema = schema_of_at(self.sch, &plan.inputs[0]);
+                stages.push(StageIR::Project(
+                    attrs.iter().map(|&a| position(&schema, a)).collect(),
+                ));
+                Some((src, stages))
+            }
+            RelAlg::HybridHashJoin(p) if !p.pairs().is_empty() => {
+                let bschema = schema_of_at(self.sch, &plan.inputs[0]);
+                let (bsrc, bstages) = self.fuse_input(&plan.inputs[0], builds);
+                let table = builds.len();
+                builds.push(BuildIR {
+                    source: bsrc,
+                    stages: bstages,
+                    keys: p
+                        .pairs()
+                        .iter()
+                        .map(|&(la, _)| position(&bschema, la))
+                        .collect(),
+                    ncols: bschema.len(),
+                });
+                let pschema = schema_of_at(self.sch, &plan.inputs[1]);
+                let (psrc, mut pstages) = self.fuse_input(&plan.inputs[1], builds);
+                pstages.push(StageIR::Probe {
+                    table,
+                    keys: p
+                        .pairs()
+                        .iter()
+                        .map(|&(_, ra)| position(&pschema, ra))
+                        .collect(),
+                    build_ncols: bschema.len(),
+                });
+                Some((psrc, pstages))
+            }
+            // Gathers, sorts, aggregates, set ops, other joins: not
+            // fusable at the root of a pipeline chain.
+            _ => None,
+        }
+    }
+
+    /// Fuse a pipeline *input*: a fusable subtree continues the chain;
+    /// anything else compiles as an opaque batch source — the one
+    /// genuine engine boundary below this pipeline.
+    fn fuse_input(
+        &mut self,
+        plan: &RelPlan,
+        builds: &mut Vec<BuildIR>,
+    ) -> (SourceIR, Vec<StageIR>) {
+        if let Some(fused) = self.fuse_node(plan, builds) {
+            return fused;
+        }
+        let arity = schema_of_at(self.sch, plan).len();
+        let built = self.build_tree(plan);
+        if matches!(built, Built::T(_)) {
+            self.report.adapters += 1;
+        }
+        let op = built.into_batch(arity, self.cfg.batch_size);
+        (SourceIR::Input { op, arity }, Vec::new())
+    }
+
+    /// Lower a decomposed region to the runtime operator, registering
+    /// every pipeline in the report.
+    fn lower_region(
+        &mut self,
+        builds: Vec<BuildIR>,
+        source: SourceIR,
+        stages: Vec<StageIR>,
+    ) -> BoxedBatchOperator {
+        let table_shapes: Vec<(usize, Vec<usize>)> =
+            builds.iter().map(|b| (b.ncols, b.keys.clone())).collect();
+        let build_pipes: Vec<FusedPipeline> = builds
+            .into_iter()
+            .map(|b| self.lower_pipeline(b.source, b.stages, true))
+            .collect();
+        let output = self.lower_pipeline(source, stages, false);
+        Box::new(FusedRegion::new(
+            build_pipes,
+            output,
+            table_shapes,
+            self.cfg.batch_size,
+        ))
+    }
+
+    /// Lower one pipeline: apply the rewrites (filter absorption, scan
+    /// projection pushdown, probe/project fusion), monomorphize the
+    /// kernels, and record the pipeline in the report.
+    fn lower_pipeline(
+        &mut self,
+        source: SourceIR,
+        mut stages: Vec<StageIR>,
+        build: bool,
+    ) -> FusedPipeline {
+        // Plan operators this pipeline covers, before rewrites merge
+        // them: the source, each stage, and the build sink if any.
+        let operators = 1 + stages.len() + usize::from(build);
+        let mut absorbed_filters = false;
+        let (src, mut width) = match source {
+            SourceIR::Scan {
+                heap,
+                mut col_types,
+                mut pred,
+            } => {
+                // Rewrite 1: absorb leading filters into the scan
+                // predicate (conjunct order is preserved, so the
+                // narrowing matches the batch engine exactly).
+                let absorb = stages
+                    .iter()
+                    .take_while(|s| matches!(s, StageIR::Filter(_)))
+                    .count();
+                for stage in stages.drain(..absorb) {
+                    let StageIR::Filter(cp) = stage else {
+                        unreachable!()
+                    };
+                    absorbed_filters = true;
+                    let mut terms = pred.map(|p| p.terms().to_vec()).unwrap_or_default();
+                    terms.extend(cp.terms().iter().cloned());
+                    pred = Some(CompiledPred::new(terms));
+                }
+                // Rewrite 2: when a projection is the first non-filter
+                // stage, decode only the columns the pipeline touches.
+                let keep = prune_scan(&mut col_types, &mut pred, &mut stages);
+                let w = col_types.len();
+                (
+                    FusedSource::Scan(FusedScan::new(
+                        heap,
+                        col_types,
+                        keep,
+                        pred.map(|p| FusedPred::compile(&p)),
+                    )),
+                    w,
+                )
+            }
+            SourceIR::Input { op, arity } => (FusedSource::Input(op), arity),
+        };
+        // Lower the remaining stages, fusing `probe → project` pairs
+        // into the probe's output map (rewrite 3).
+        let mut lowered: Vec<FusedStage> = Vec::new();
+        let mut labels: Vec<&'static str> = Vec::new();
+        let mut i = 0;
+        while i < stages.len() {
+            match &stages[i] {
+                StageIR::Filter(cp) => {
+                    lowered.push(FusedStage::Filter(FusedPred::compile(cp)));
+                    labels.push("filter");
+                }
+                StageIR::Project(cols) => {
+                    width = cols.len();
+                    lowered.push(FusedStage::Project(cols.clone()));
+                    labels.push("project");
+                }
+                StageIR::Probe {
+                    table,
+                    keys,
+                    build_ncols,
+                } => {
+                    let (out, label) = match stages.get(i + 1) {
+                        Some(StageIR::Project(cols)) => {
+                            let map = cols
+                                .iter()
+                                .map(|&c| {
+                                    if c < *build_ncols {
+                                        ProbeCol::Build(c)
+                                    } else {
+                                        ProbeCol::Probe(c - build_ncols)
+                                    }
+                                })
+                                .collect::<Vec<_>>();
+                            width = map.len();
+                            i += 1; // consume the project
+                            (map, "probe+project")
+                        }
+                        _ => {
+                            let map = (0..*build_ncols)
+                                .map(ProbeCol::Build)
+                                .chain((0..width).map(ProbeCol::Probe))
+                                .collect::<Vec<_>>();
+                            width = map.len();
+                            (map, "probe")
+                        }
+                    };
+                    lowered.push(FusedStage::Probe {
+                        table: *table,
+                        keys: keys.clone(),
+                        out,
+                    });
+                    labels.push(label);
+                }
+            }
+            i += 1;
+        }
+        let _ = width;
+        let mut label = String::new();
+        label.push_str(match &src {
+            FusedSource::Scan(_) if absorbed_filters => "scan+filter",
+            FusedSource::Scan(_) => "scan",
+            FusedSource::Input(op) => op.name(),
+        });
+        for l in &labels {
+            label.push('→');
+            label.push_str(l);
+        }
+        if build {
+            label.push_str("→build");
+        }
+        let stats = Arc::new(PipelineStats::default());
+        self.report.pipelines.push(PipelineInfo {
+            label,
+            operators,
+            build,
+            stats: stats.clone(),
+        });
+        FusedPipeline {
+            source: src,
+            stages: lowered,
+            stats,
+        }
+    }
+}
+
+/// Scan projection pushdown: when every stage before the first
+/// projection is a filter, restrict the scan to the union of the
+/// columns used by the scan predicate, those filters, and the
+/// projection — remapping all their positions into the pruned space —
+/// and return the full-width keep mask for the projected decoder.
+/// `None` leaves the scan untouched (no projection to push down, a
+/// probe intervenes, or nothing prunable).
+fn prune_scan(
+    col_types: &mut Vec<ColType>,
+    pred: &mut Option<CompiledPred>,
+    stages: &mut Vec<StageIR>,
+) -> Option<Vec<bool>> {
+    let first_non_filter = stages
+        .iter()
+        .position(|s| !matches!(s, StageIR::Filter(_)))
+        .unwrap_or(stages.len());
+    let Some(StageIR::Project(project)) = stages.get(first_non_filter) else {
+        return None;
+    };
+    let n = col_types.len();
+    let mut keep = vec![false; n];
+    if let Some(p) = pred {
+        for &(pos, _, _) in p.terms() {
+            keep[pos] = true;
+        }
+    }
+    for s in &stages[..first_non_filter] {
+        let StageIR::Filter(cp) = s else {
+            unreachable!()
+        };
+        for &(pos, _, _) in cp.terms() {
+            keep[pos] = true;
+        }
+    }
+    for &c in project {
+        keep[c] = true;
+    }
+    let kept = keep.iter().filter(|&&k| k).count();
+    if kept == n {
+        return None;
+    }
+    // Old position → pruned position.
+    let mut remap = vec![usize::MAX; n];
+    let mut next = 0;
+    for (old, &k) in keep.iter().enumerate() {
+        if k {
+            remap[old] = next;
+            next += 1;
+        }
+    }
+    *col_types = col_types
+        .iter()
+        .zip(&keep)
+        .filter(|&(_, &k)| k)
+        .map(|(&t, _)| t)
+        .collect();
+    if let Some(p) = pred.take() {
+        *pred = Some(CompiledPred::new(
+            p.terms()
+                .iter()
+                .map(|&(pos, op, ref lit)| (remap[pos], op, lit.clone()))
+                .collect(),
+        ));
+    }
+    for s in stages[..first_non_filter].iter_mut() {
+        let StageIR::Filter(cp) = s else {
+            unreachable!()
+        };
+        *cp = CompiledPred::new(
+            cp.terms()
+                .iter()
+                .map(|&(pos, op, ref lit)| (remap[pos], op, lit.clone()))
+                .collect(),
+        );
+    }
+    let StageIR::Project(project) = &mut stages[first_non_filter] else {
+        unreachable!()
+    };
+    for c in project.iter_mut() {
+        *c = remap[*c];
+    }
+    // An identity projection over the pruned scan is a no-op: the scan
+    // now *produces* the projected schema.
+    if project.len() == kept && project.iter().enumerate().all(|(i, &c)| i == c) {
+        stages.remove(first_non_filter);
+    }
+    Some(keep)
+}
+
+/// Display name of a plan operator the fused engine does not fuse.
+fn fallback_name(alg: &RelAlg) -> &'static str {
+    match alg {
+        RelAlg::FileScan(_) => "file_scan",
+        RelAlg::IndexScan(..) => "index_scan",
+        RelAlg::FilterScan(..) => "filter_scan",
+        RelAlg::Filter(_) => "filter",
+        RelAlg::ProjectOp(_) => "project",
+        RelAlg::Gather(_) => "gather",
+        RelAlg::Sort(_) => "sort",
+        RelAlg::MergeJoin(_) => "merge_join",
+        RelAlg::HybridHashJoin(_) => "cross_hash_join",
+        RelAlg::MultiWayHashJoin { .. } => "multiway_hash_join",
+        RelAlg::NestedLoops(_) => "nested_loops",
+        RelAlg::HashUnion => "hash_union",
+        RelAlg::HashIntersect => "hash_intersect",
+        RelAlg::HashDifference => "hash_difference",
+        RelAlg::MergeUnion => "merge_union",
+        RelAlg::MergeIntersect => "merge_intersect",
+        RelAlg::MergeDifference => "merge_difference",
+        RelAlg::HashAggregate(_) => "hash_aggregate",
+        RelAlg::StreamAggregate(_) => "stream_aggregate",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcano_rel::{CmpOp, Value};
+
+    fn int_types(n: usize) -> Vec<ColType> {
+        vec![ColType::Int; n]
+    }
+
+    #[test]
+    fn prune_keeps_pred_filter_and_project_columns() {
+        // Table of 6 columns; scan pred on 0, filter on 2, project 4.
+        let mut types = int_types(6);
+        let mut pred = Some(CompiledPred::new(vec![(0, CmpOp::Gt, Value::Int(1))]));
+        let mut stages = vec![
+            StageIR::Filter(CompiledPred::new(vec![(2, CmpOp::Lt, Value::Int(9))])),
+            StageIR::Project(vec![4]),
+        ];
+        let keep = prune_scan(&mut types, &mut pred, &mut stages).expect("prunable");
+        assert_eq!(keep, vec![true, false, true, false, true, false]);
+        assert_eq!(types.len(), 3);
+        assert_eq!(
+            pred.as_ref().unwrap().terms(),
+            &[(0, CmpOp::Gt, Value::Int(1))]
+        );
+        let StageIR::Filter(f) = &stages[0] else {
+            panic!("filter survives")
+        };
+        assert_eq!(f.terms(), &[(1, CmpOp::Lt, Value::Int(9))]);
+        let StageIR::Project(p) = &stages[1] else {
+            panic!("project survives")
+        };
+        assert_eq!(p, &[2]);
+    }
+
+    #[test]
+    fn prune_drops_identity_projection() {
+        // Project [0, 2] over 4 columns, no predicates: the pruned scan
+        // produces exactly the projected schema, so the stage vanishes.
+        let mut types = int_types(4);
+        let mut pred = None;
+        let mut stages = vec![StageIR::Project(vec![0, 2])];
+        let keep = prune_scan(&mut types, &mut pred, &mut stages).expect("prunable");
+        assert_eq!(keep, vec![true, false, true, false]);
+        assert_eq!(types.len(), 2);
+        assert!(stages.is_empty(), "identity projection dropped");
+    }
+
+    #[test]
+    fn prune_preserves_permuting_projection() {
+        let mut types = int_types(4);
+        let mut pred = None;
+        let mut stages = vec![StageIR::Project(vec![3, 1])];
+        prune_scan(&mut types, &mut pred, &mut stages).expect("prunable");
+        let StageIR::Project(p) = &stages[0] else {
+            panic!("permutation survives")
+        };
+        assert_eq!(p, &[1, 0], "positions remapped into pruned space");
+    }
+
+    #[test]
+    fn prune_bails_without_projection_or_with_probe_first() {
+        let mut types = int_types(3);
+        let mut pred = None;
+        let mut stages = vec![StageIR::Filter(CompiledPred::new(vec![(
+            0,
+            CmpOp::Eq,
+            Value::Int(1),
+        )]))];
+        assert!(prune_scan(&mut types, &mut pred, &mut stages).is_none());
+        let mut stages = vec![
+            StageIR::Probe {
+                table: 0,
+                keys: vec![0],
+                build_ncols: 2,
+            },
+            StageIR::Project(vec![0]),
+        ];
+        assert!(prune_scan(&mut types, &mut pred, &mut stages).is_none());
+        assert_eq!(types.len(), 3, "untouched on bail");
+    }
+
+    #[test]
+    fn prune_bails_when_everything_is_needed() {
+        let mut types = int_types(2);
+        let mut pred = Some(CompiledPred::new(vec![(1, CmpOp::Ne, Value::Int(0))]));
+        let mut stages = vec![StageIR::Project(vec![0, 1])];
+        assert!(prune_scan(&mut types, &mut pred, &mut stages).is_none());
+    }
+}

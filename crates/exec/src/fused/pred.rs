@@ -1,0 +1,334 @@
+//! Monomorphized predicate kernels for the fused engine.
+//!
+//! A [`FusedPred`] compiles each conjunct of a [`CompiledPred`] into a
+//! closure specialized *at plan-compile time* over the (column variant ×
+//! literal type × comparison operator) combination the plan says it will
+//! see: the hot loop is a primitive comparison over a typed slice with
+//! the operator inlined — no `CmpOp` dispatch, no `Value`
+//! materialization, no per-row branching beyond the validity mask. A
+//! conjunct whose column arrives in an unexpected variant at runtime
+//! (demoted to [`Column::Any`], or a cross-typed comparison such as an
+//! `Int` column against a `Float` literal) falls back to the batch
+//! engine's [`filter_term`] kernel, which keeps semantics identical to
+//! the tuple engine's [`CompiledPred::eval`] by construction — in
+//! particular, a comparison involving NULL rejects the row.
+
+use volcano_rel::{CmpOp, Value};
+
+use crate::batch::{Batch, Column};
+use crate::kernels::pred::filter_term;
+use crate::ops::CompiledPred;
+
+/// A monomorphized conjunct kernel: narrow `sel` by comparing one column
+/// against the captured literal, pushing survivors into `out`.
+type Kernel = Box<dyn Fn(&Column, &[u32], &mut Vec<u32>) + Send + Sync>;
+
+struct FusedTerm {
+    pos: usize,
+    kernel: Kernel,
+}
+
+/// A conjunction compiled to per-conjunct monomorphized kernels.
+pub struct FusedPred {
+    terms: Vec<FusedTerm>,
+}
+
+impl FusedPred {
+    /// Specialize every conjunct of `pred`.
+    pub fn compile(pred: &CompiledPred) -> Self {
+        FusedPred {
+            terms: pred
+                .terms()
+                .iter()
+                .map(|&(pos, op, ref lit)| FusedTerm {
+                    pos,
+                    kernel: compile_term(op, lit.clone()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Trivially true?
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Apply the conjunction to `batch`, replacing its selection vector
+    /// with the surviving rows — same contract and same conjunct order
+    /// as [`crate::kernels::apply_pred`]. Returns the surviving count.
+    pub fn apply(&self, batch: &mut Batch, scratch: &mut Vec<u32>) -> usize {
+        for term in &self.terms {
+            if batch.live_rows() == 0 {
+                break;
+            }
+            match batch.sel.take() {
+                Some(sel) => {
+                    (term.kernel)(&batch.columns[term.pos], &sel, scratch);
+                    batch.sel = Some(std::mem::take(scratch));
+                    *scratch = sel; // recycle the old allocation
+                }
+                None => {
+                    let all: Vec<u32> = (0..batch.physical_rows() as u32).collect();
+                    (term.kernel)(&batch.columns[term.pos], &all, scratch);
+                    batch.sel = Some(std::mem::take(scratch));
+                    *scratch = all;
+                }
+            }
+        }
+        batch.live_rows()
+    }
+}
+
+/// Monomorphize one `<col> <op> <lit>` conjunct.
+fn compile_term(op: CmpOp, lit: Value) -> Kernel {
+    match lit {
+        Value::Int(l) => int_term(op, l),
+        Value::Float(l) => float_term(op, l.get()),
+        Value::Str(l) => str_term(op, l),
+        Value::Bool(l) => bool_term(op, l),
+        // SQL comparison with NULL is unknown: rejects every row.
+        Value::Null => Box::new(|_, _, out| out.clear()),
+    }
+}
+
+/// Expand one specialized kernel per comparison operator: `$cmp` is a
+/// distinct closure type per arm, so the inner loop is monomorphized
+/// with the comparison inlined.
+macro_rules! per_op {
+    ($op:expr, $k:ident) => {
+        match $op {
+            CmpOp::Eq => $k!(|a, b| a == b),
+            CmpOp::Ne => $k!(|a, b| a != b),
+            CmpOp::Lt => $k!(|a, b| a < b),
+            CmpOp::Le => $k!(|a, b| a <= b),
+            CmpOp::Gt => $k!(|a, b| a > b),
+            CmpOp::Ge => $k!(|a, b| a >= b),
+        }
+    };
+}
+
+fn int_term(op: CmpOp, l: i64) -> Kernel {
+    macro_rules! k {
+        ($cmp:expr) => {
+            Box::new(
+                move |col: &Column, sel: &[u32], out: &mut Vec<u32>| match col {
+                    Column::Int { data, valid } => {
+                        out.clear();
+                        out.reserve(sel.len());
+                        let cmp = $cmp;
+                        for &i in sel {
+                            let j = i as usize;
+                            if valid[j] && cmp(data[j], l) {
+                                out.push(i);
+                            }
+                        }
+                    }
+                    other => filter_term(other, op, &Value::Int(l), sel, out),
+                },
+            )
+        };
+    }
+    per_op!(op, k)
+}
+
+fn float_term(op: CmpOp, l: f64) -> Kernel {
+    // Direct f64 operators agree with `partial_cmp` because `Value`
+    // bans NaN; both zeros already compare equal under either.
+    macro_rules! k {
+        ($cmp:expr) => {
+            Box::new(
+                move |col: &Column, sel: &[u32], out: &mut Vec<u32>| match col {
+                    Column::Float { data, valid } => {
+                        out.clear();
+                        out.reserve(sel.len());
+                        let cmp = $cmp;
+                        for &i in sel {
+                            let j = i as usize;
+                            if valid[j] && cmp(data[j], l) {
+                                out.push(i);
+                            }
+                        }
+                    }
+                    other => filter_term(other, op, &Value::float(l), sel, out),
+                },
+            )
+        };
+    }
+    per_op!(op, k)
+}
+
+fn str_term(op: CmpOp, l: String) -> Kernel {
+    let fallback_lit = Value::Str(l.clone());
+    macro_rules! k {
+        ($cmp:expr) => {
+            Box::new(
+                move |col: &Column, sel: &[u32], out: &mut Vec<u32>| match col {
+                    Column::Str { data, valid } => {
+                        out.clear();
+                        out.reserve(sel.len());
+                        let cmp = $cmp;
+                        let l = l.as_str();
+                        for &i in sel {
+                            let j = i as usize;
+                            if valid[j] && cmp(data[j].as_str(), l) {
+                                out.push(i);
+                            }
+                        }
+                    }
+                    other => filter_term(other, op, &fallback_lit, sel, out),
+                },
+            )
+        };
+    }
+    per_op!(op, k)
+}
+
+fn bool_term(op: CmpOp, l: bool) -> Kernel {
+    macro_rules! k {
+        ($cmp:expr) => {
+            Box::new(
+                move |col: &Column, sel: &[u32], out: &mut Vec<u32>| match col {
+                    Column::Bool { data, valid } => {
+                        out.clear();
+                        out.reserve(sel.len());
+                        let cmp = $cmp;
+                        for &i in sel {
+                            let j = i as usize;
+                            if valid[j] && cmp(data[j], l) {
+                                out.push(i);
+                            }
+                        }
+                    }
+                    other => filter_term(other, op, &Value::Bool(l), sel, out),
+                },
+            )
+        };
+    }
+    per_op!(op, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::apply_pred;
+    use volcano_rel::catalog::ColType;
+
+    const OPS: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+
+    /// A batch with one column per storage shape: typed Int, typed
+    /// Float, typed Str, typed Bool, and a demoted Any mixing types.
+    fn mixed_batch() -> Batch {
+        let mut b = Batch::with_columns(0);
+        let mut ints = Column::with_type(ColType::Int);
+        let mut floats = Column::with_type(ColType::Float);
+        let mut strs = Column::with_type(ColType::Str);
+        let mut bools = Column::with_type(ColType::Bool);
+        let mut any = Column::any();
+        any.push_value(Value::str("force-any"));
+        // Row 0 of every column (the `any` column got its row above).
+        ints.push_null();
+        floats.push_null();
+        strs.push_null();
+        bools.push_null();
+        for i in 0..40i64 {
+            if i % 7 == 0 {
+                ints.push_null();
+                floats.push_null();
+                strs.push_null();
+                bools.push_null();
+                any.push_value(Value::Null);
+            } else {
+                ints.push_value(Value::Int(i - 20));
+                floats.push_value(Value::float((i as f64) / 4.0 - 5.0));
+                strs.push_value(Value::Str(format!("s{:02}", i % 10)));
+                bools.push_value(Value::Bool(i % 2 == 0));
+                if i % 3 == 0 {
+                    any.push_value(Value::Int(i));
+                } else {
+                    any.push_value(Value::Str(format!("v{i}")));
+                }
+            }
+        }
+        let mut head = Column::any();
+        head.push_value(Value::Null); // column 0 placeholder, unused
+        for _ in 1..41 {
+            head.push_value(Value::Null);
+        }
+        b.columns = vec![head, ints, floats, strs, bools, any];
+        b.set_physical_rows(41);
+        b
+    }
+
+    #[test]
+    fn fused_matches_batch_kernel_on_every_shape() {
+        let cases: Vec<(usize, Value)> = vec![
+            (1, Value::Int(3)),
+            (1, Value::float(2.5)),
+            (2, Value::float(-1.25)),
+            (2, Value::Int(0)),
+            (3, Value::str("s04")),
+            (4, Value::Bool(true)),
+            (5, Value::Int(9)),
+            (5, Value::str("v11")),
+            (1, Value::Null),
+        ];
+        for (pos, lit) in cases {
+            for &op in &OPS {
+                let pred = CompiledPred::new(vec![(pos, op, lit.clone())]);
+                let fused = FusedPred::compile(&pred);
+                let mut expect = mixed_batch();
+                let mut got = mixed_batch();
+                let mut s1 = Vec::new();
+                let mut s2 = Vec::new();
+                let n_expect = apply_pred(&pred, &mut expect, &mut s1);
+                let n_got = fused.apply(&mut got, &mut s2);
+                assert_eq!(n_got, n_expect, "pos={pos} op={op:?} lit={lit:?}");
+                assert_eq!(got.sel, expect.sel, "pos={pos} op={op:?} lit={lit:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn conjunction_narrows_in_order_and_matches_batch_kernel() {
+        let pred = CompiledPred::new(vec![
+            (1, CmpOp::Gt, Value::Int(-10)),
+            (2, CmpOp::Lt, Value::float(3.0)),
+            (4, CmpOp::Eq, Value::Bool(true)),
+        ]);
+        let fused = FusedPred::compile(&pred);
+        let mut expect = mixed_batch();
+        let mut got = mixed_batch();
+        let mut s = Vec::new();
+        apply_pred(&pred, &mut expect, &mut s);
+        s.clear();
+        fused.apply(&mut got, &mut s);
+        assert_eq!(got.sel, expect.sel);
+        assert!(got.live_rows() > 0, "test predicate should keep some rows");
+    }
+
+    #[test]
+    fn respects_existing_selection_vector() {
+        let pred = CompiledPred::new(vec![(1, CmpOp::Ge, Value::Int(0))]);
+        let fused = FusedPred::compile(&pred);
+        let mut b = mixed_batch();
+        b.sel = Some((0..41).step_by(2).collect());
+        let mut expect = b.clone();
+        let mut s = Vec::new();
+        apply_pred(&pred, &mut expect, &mut s);
+        s.clear();
+        fused.apply(&mut b, &mut s);
+        assert_eq!(b.sel, expect.sel);
+    }
+}

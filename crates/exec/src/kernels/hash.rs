@@ -37,7 +37,7 @@ fn hash_str(s: &str) -> u64 {
 /// Fold the key value at physical row `i` of `col` into `h`, or return
 /// `None` if it is NULL.
 #[inline]
-fn fold_value(h: u64, col: &Column, i: usize) -> Option<u64> {
+pub(crate) fn fold_value(h: u64, col: &Column, i: usize) -> Option<u64> {
     match col {
         Column::Int { data, valid } => valid[i].then(|| mix(h, mix(TAG_INT, data[i] as u64))),
         Column::Float { data, valid } => valid[i].then(|| {

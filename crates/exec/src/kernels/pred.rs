@@ -15,8 +15,10 @@ use crate::batch::{Batch, Column};
 use crate::ops::filter::CompiledPred;
 
 /// Narrow one selection vector by `column <op> literal`, appending the
-/// surviving indices to `out`.
-fn filter_term(col: &Column, op: CmpOp, lit: &Value, sel: &[u32], out: &mut Vec<u32>) {
+/// surviving indices to `out`. Also the fallback kernel of the fused
+/// engine's monomorphized predicates, for columns that arrive demoted
+/// or cross-typed at runtime.
+pub(crate) fn filter_term(col: &Column, op: CmpOp, lit: &Value, sel: &[u32], out: &mut Vec<u32>) {
     out.clear();
     out.reserve(sel.len());
     match (col, lit) {

@@ -19,6 +19,12 @@
 //!   column-at-a-time kernels, and tuple↔batch adapters so every plan
 //!   runs end-to-end under either engine with identical results
 //!   ([`compile_batch()`]).
+//! * [`fused`] — a third, pipeline-fused executor: maximal
+//!   scan→filter→project→probe plan segments compiled into single
+//!   fused-region operators with monomorphized predicate kernels and
+//!   projected record decoding, falling back to batch operators (one
+//!   adapter per genuine boundary) for everything else
+//!   ([`compile_fused()`]).
 //! * [`morsel`] — morsel-driven parallel execution of `gather(n)`
 //!   regions: page-range morsels, work-stealing workers, partitioned
 //!   parallel hash joins, results streamed to the consumer over a
@@ -39,6 +45,7 @@ pub mod analyze;
 pub mod batch;
 pub mod compile;
 pub mod database;
+pub mod fused;
 pub mod iterator;
 pub mod kernels;
 pub mod morsel;
@@ -47,16 +54,19 @@ pub mod ops;
 pub mod plan_cache;
 pub mod serve;
 
-pub use analyze::{execute_analyzed, execute_analyzed_batch, Analyzed};
+pub use analyze::{
+    execute_analyzed, execute_analyzed_batch, execute_analyzed_fused, Analyzed, AnalyzedFused,
+};
 pub use batch::{collect_batches, Batch, BatchOperator, BoxedBatchOperator, Column};
 pub use compile::{
     compile, compile_batch, compile_node, compile_node_at, schema_of, schema_of_at, BatchConfig,
-    Compiled, CompiledBatch,
+    Compiled, CompiledBatch, Engine,
 };
 pub use database::{
     Database, ExecOptions, PrepareError, PreparedOutcome, PreparedStatement, SchemaSnapshot,
     DEFAULT_DRIFT_FACTOR, DEFAULT_PLAN_CACHE_CAPACITY,
 };
+pub use fused::{compile_fused, CompiledFused, FusedRegion, FusedReport};
 pub use iterator::{collect, BoxedOperator, Operator};
 pub use morsel::{MorselStats, ParallelGather};
 pub use naive::{assert_same_rows, evaluate_logical, Evaluated};

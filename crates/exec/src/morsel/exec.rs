@@ -30,7 +30,7 @@ use volcano_core::fxhash::FxHashMap;
 
 use crate::batch::{Batch, BatchOperator, Column};
 use crate::compile::BatchConfig;
-use crate::kernels::{apply_pred, hash_join_keys};
+use crate::kernels::hash_join_keys;
 use crate::ops::BatchScan;
 
 use super::plan::{ParallelPlan, Pipeline, Sink, Stage};
@@ -225,7 +225,7 @@ fn run_pipeline(
                 }
                 match stage {
                     Stage::Filter(pred) => {
-                        apply_pred(pred, &mut cur, &mut s.pred_sel);
+                        pred.apply(&mut cur, &mut s.pred_sel);
                     }
                     Stage::Project(positions) => {
                         tmp.reset_columns(positions.len());
@@ -307,17 +307,21 @@ fn build_table(
         .map(|_| Mutex::new(JoinPart::default()))
         .collect();
     let next = AtomicUsize::new(0);
+    let merge_degree = degree.min(PARTITIONS);
+    stats.record_merge_workers(merge_degree as u32);
     thread::scope(|sc| {
-        for _ in 0..degree.min(PARTITIONS) {
+        for _ in 0..merge_degree {
             let next = &next;
             let parts = &parts;
             let worker_bufs = &worker_bufs;
+            let stats = &stats;
             sc.spawn(move || loop {
                 let p = next.fetch_add(1, Ordering::Relaxed);
                 if p >= PARTITIONS {
                     break;
                 }
                 *parts[p].lock().unwrap() = merge_partition(p, worker_bufs);
+                stats.record_partition_merge();
             });
         }
     });
@@ -488,6 +492,8 @@ impl BatchOperator for ParallelGather {
             ("workers", u64::from(self.stats.workers())),
             ("morsels_dispatched", self.stats.dispatched()),
             ("morsels_stolen", self.stats.stolen()),
+            ("partition_merges", self.stats.partition_merges()),
+            ("merge_workers", u64::from(self.stats.merge_workers())),
             ("batches", self.batches_out),
             ("rows", self.rows_out),
         ]

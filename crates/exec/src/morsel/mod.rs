@@ -89,6 +89,8 @@ pub struct MorselStats {
     dispatched: AtomicU64,
     stolen: AtomicU64,
     workers: AtomicU32,
+    partition_merges: AtomicU64,
+    merge_workers: AtomicU32,
 }
 
 impl MorselStats {
@@ -118,6 +120,28 @@ impl MorselStats {
             self.stolen.fetch_add(1, Ordering::Relaxed);
         }
         self.dispatched.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Hash-table partitions merged in parallel across all of the
+    /// region's join builds (each partition is claimed and merged by
+    /// exactly one merge worker).
+    pub fn partition_merges(&self) -> u64 {
+        self.partition_merges.load(Ordering::Relaxed)
+    }
+
+    /// Peak number of workers that participated in one build's
+    /// partition-merge phase — the evidence that merging ran in
+    /// parallel, not serially on one thread.
+    pub fn merge_workers(&self) -> u32 {
+        self.merge_workers.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_partition_merge(&self) {
+        self.partition_merges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_merge_workers(&self, n: u32) {
+        self.merge_workers.fetch_max(n, Ordering::Relaxed);
     }
 }
 

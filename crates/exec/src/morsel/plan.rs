@@ -23,6 +23,7 @@ use volcano_store::HeapFile;
 
 use crate::compile::{compile_pred, position, schema_of_at, table_col_types, table_schema};
 use crate::database::SchemaSnapshot;
+use crate::fused::FusedPred;
 use crate::ops::CompiledPred;
 
 /// The scan feeding a pipeline: a heap file whose pages are dispensed as
@@ -36,8 +37,10 @@ pub(crate) struct ScanSpec {
 
 /// One fused vectorized step of a pipeline, applied batch-at-a-time.
 pub(crate) enum Stage {
-    /// Narrow the selection vector with a compiled predicate.
-    Filter(CompiledPred),
+    /// Narrow the selection vector with monomorphized predicate kernels
+    /// (shared with the fused engine; falls back to the generic batch
+    /// kernel on unexpected column shapes).
+    Filter(FusedPred),
     /// Gather a subset/permutation of columns.
     Project(Vec<usize>),
     /// Probe the partitioned hash table built by an earlier pipeline;
@@ -133,7 +136,9 @@ fn decompose(
         RelAlg::Filter(pred) => {
             let (src, mut stages) = decompose(sch, &plan.inputs[0], pipelines)?;
             let schema = schema_of_at(sch, &plan.inputs[0]);
-            stages.push(Stage::Filter(compile_pred(&schema, pred)));
+            stages.push(Stage::Filter(FusedPred::compile(&compile_pred(
+                &schema, pred,
+            ))));
             Some((src, stages))
         }
         RelAlg::ProjectOp(attrs) => {

@@ -40,7 +40,7 @@ use volcano_rel::value::Tuple;
 use volcano_rel::Value;
 use volcano_sql::AstQuery;
 
-use crate::compile::BatchConfig;
+use crate::compile::Engine;
 use crate::database::{Database, ExecOptions, PrepareError, PreparedOutcome, PreparedStatement};
 
 /// The latency class of a request, deciding how admission overload is
@@ -273,7 +273,7 @@ impl Server {
             class,
             batch_patience: self.config.batch_patience,
             degraded_budget: self.config.degraded_budget.clone(),
-            engine: None,
+            engine: Engine::Tuple,
             budget: None,
             use_cache: true,
             prepared: HashMap::new(),
@@ -340,8 +340,8 @@ pub struct Session {
     class: TrafficClass,
     batch_patience: Duration,
     degraded_budget: SearchBudget,
-    /// `SET EXECUTOR` — `None` = tuple engine.
-    engine: Option<BatchConfig>,
+    /// `SET EXECUTOR` — tuple, batch, or fused.
+    engine: Engine,
     /// `SET BUDGET` — session-chosen search budget for full-quality
     /// admissions; `None` = unlimited.
     budget: Option<SearchBudget>,
@@ -368,12 +368,12 @@ impl Session {
     }
 
     /// `SET EXECUTOR`: choose the engine for subsequent executions.
-    pub fn set_executor(&mut self, engine: Option<BatchConfig>) {
+    pub fn set_executor(&mut self, engine: Engine) {
         self.engine = engine;
     }
 
     /// The engine subsequent executions run on.
-    pub fn executor(&self) -> Option<BatchConfig> {
+    pub fn executor(&self) -> Engine {
         self.engine
     }
 
@@ -479,7 +479,7 @@ impl Session {
             self.budget.clone()
         };
         let mut opts = ExecOptions::new()
-            .with_engine(self.engine)
+            .with_executor(self.engine)
             .with_cache_bypass(!self.use_cache);
         opts.budget = budget;
         let outcome = self

@@ -61,6 +61,8 @@ pub enum BudgetSetting {
 /// SET EXECUTOR BATCH PARALLEL 8;     -- morsel-driven parallel, 8 workers
 /// SET EXECUTOR BATCH 4096 PARALLEL 8; -- both knobs at once
 /// SET EXECUTOR BATCH PARALLEL 1;     -- back to serial batch execution
+/// SET EXECUTOR FUSED;                -- pipeline-fused engine
+/// SET EXECUTOR FUSED 4096 PARALLEL 8; -- fused, with the same knobs
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutorSetting {
@@ -74,6 +76,13 @@ pub enum ExecutorSetting {
         /// Morsel-driven parallel degree, if given explicitly
         /// (`None` = leave the current degree unchanged; `Some(1)`
         /// explicitly reverts to serial execution).
+        parallel: Option<u32>,
+    },
+    /// The pipeline-fused engine, with the same knobs as `Batch`.
+    Fused {
+        /// Rows per batch, if given explicitly.
+        batch_size: Option<usize>,
+        /// Morsel-driven parallel degree, if given explicitly.
         parallel: Option<u32>,
     },
 }
@@ -502,37 +511,39 @@ fn parse_set_budget(toks: &[Token]) -> Result<Statement, ParseError> {
     Ok(Statement::SetBudget(setting))
 }
 
+const EXECUTOR_USAGE: &str = "SET EXECUTOR <TUPLE|BATCH|FUSED [n] [PARALLEL k]>";
+
+/// Parse the shared `[n] [PARALLEL k]` tail of a batch/fused executor.
+fn parse_executor_knobs(rest: &[Token]) -> Result<(Option<usize>, Option<u32>), ParseError> {
+    match rest {
+        [] => Ok((None, None)),
+        [Token::Int(n)] if *n >= 1 => Ok((Some(*n as usize), None)),
+        [p, Token::Int(d)] if p.is_kw("parallel") && *d >= 1 => Ok((None, Some(*d as u32))),
+        [Token::Int(n), p, Token::Int(d)] if p.is_kw("parallel") && *n >= 1 && *d >= 1 => {
+            Ok((Some(*n as usize), Some(*d as u32)))
+        }
+        _ => Err(unexpected(EXECUTOR_USAGE, rest.first().cloned())),
+    }
+}
+
 fn parse_set_executor(toks: &[Token]) -> Result<Statement, ParseError> {
     let setting = match toks {
         [_, _, t] if t.is_kw("tuple") => ExecutorSetting::Tuple,
-        [_, _, t] if t.is_kw("batch") => ExecutorSetting::Batch {
-            batch_size: None,
-            parallel: None,
-        },
-        [_, _, t, Token::Int(n)] if t.is_kw("batch") && *n >= 1 => ExecutorSetting::Batch {
-            batch_size: Some(*n as usize),
-            parallel: None,
-        },
-        [_, _, t, p, Token::Int(d)] if t.is_kw("batch") && p.is_kw("parallel") && *d >= 1 => {
+        [_, _, t, rest @ ..] if t.is_kw("batch") => {
+            let (batch_size, parallel) = parse_executor_knobs(rest)?;
             ExecutorSetting::Batch {
-                batch_size: None,
-                parallel: Some(*d as u32),
+                batch_size,
+                parallel,
             }
         }
-        [_, _, t, Token::Int(n), p, Token::Int(d)]
-            if t.is_kw("batch") && p.is_kw("parallel") && *n >= 1 && *d >= 1 =>
-        {
-            ExecutorSetting::Batch {
-                batch_size: Some(*n as usize),
-                parallel: Some(*d as u32),
+        [_, _, t, rest @ ..] if t.is_kw("fused") => {
+            let (batch_size, parallel) = parse_executor_knobs(rest)?;
+            ExecutorSetting::Fused {
+                batch_size,
+                parallel,
             }
         }
-        _ => {
-            return Err(unexpected(
-                "SET EXECUTOR <TUPLE|BATCH [n] [PARALLEL k]>",
-                toks.get(2).cloned(),
-            ))
-        }
+        _ => return Err(unexpected(EXECUTOR_USAGE, toks.get(2).cloned())),
     };
     Ok(Statement::SetExecutor(setting))
 }
@@ -663,11 +674,41 @@ mod tests {
                 parallel: Some(4)
             })
         );
+        assert_eq!(
+            parse_statement("SET EXECUTOR FUSED").unwrap(),
+            Statement::SetExecutor(ExecutorSetting::Fused {
+                batch_size: None,
+                parallel: None
+            })
+        );
+        assert_eq!(
+            parse_statement("set executor fused 512").unwrap(),
+            Statement::SetExecutor(ExecutorSetting::Fused {
+                batch_size: Some(512),
+                parallel: None
+            })
+        );
+        assert_eq!(
+            parse_statement("SET EXECUTOR FUSED PARALLEL 8").unwrap(),
+            Statement::SetExecutor(ExecutorSetting::Fused {
+                batch_size: None,
+                parallel: Some(8)
+            })
+        );
+        assert_eq!(
+            parse_statement("SET EXECUTOR FUSED 1024 PARALLEL 4").unwrap(),
+            Statement::SetExecutor(ExecutorSetting::Fused {
+                batch_size: Some(1024),
+                parallel: Some(4)
+            })
+        );
         assert!(parse_statement("SET EXECUTOR").is_err());
         assert!(parse_statement("SET EXECUTOR ROW").is_err());
         assert!(parse_statement("SET EXECUTOR BATCH 0").is_err());
         assert!(parse_statement("SET EXECUTOR BATCH PARALLEL 0").is_err());
         assert!(parse_statement("SET EXECUTOR BATCH PARALLEL").is_err());
+        assert!(parse_statement("SET EXECUTOR FUSED 0").is_err());
+        assert!(parse_statement("SET EXECUTOR FUSED PARALLEL 0").is_err());
     }
 
     #[test]

@@ -207,6 +207,17 @@ impl HeapFile {
         });
     }
 
+    /// Visit every record of `page` in slot order while the page is
+    /// pinned in the pool: the caller decodes straight from page
+    /// memory, with no staging copy of the record bytes.
+    pub fn for_page_records(&self, page: PageId, mut f: impl FnMut(&[u8])) {
+        self.pool.with_page(page, |p, _| {
+            for (_, rec) in p.records() {
+                f(rec);
+            }
+        });
+    }
+
     /// Number of pages in the chain.
     pub fn num_pages(&self) -> usize {
         self.chain.lock().len()

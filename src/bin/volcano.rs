@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use volcano::core::{SearchBudget, SearchOptions};
-use volcano::exec::{BatchConfig, Database, Server, ServerConfig, Session, TrafficClass};
+use volcano::exec::{BatchConfig, Database, Engine, Server, ServerConfig, Session, TrafficClass};
 use volcano::rel::catalog::ColType;
 use volcano::rel::{
     explain_expr, explain_plan, Catalog, ColumnDef, RelModel, RelModelOptions, RelOptimizer,
@@ -47,9 +47,9 @@ struct Shell {
     /// greedy completion instead of failing. Mirrored into the session
     /// (it may be set before the database exists).
     budget: SearchBudget,
-    /// Execution engine for subsequent queries: `None` = tuple engine,
-    /// `Some(cfg)` = vectorized batch engine. Mirrored into the session.
-    executor: Option<BatchConfig>,
+    /// Execution engine for subsequent queries (tuple, batch, or
+    /// fused). Mirrored into the session.
+    executor: Engine,
     /// Morsel-driven parallel degree for the batch engine (1 = serial).
     /// The optimizer sees it as a physical property: at degree > 1 it
     /// weighs gather plans against serial ones and keeps whichever is
@@ -64,7 +64,7 @@ impl Shell {
             session: None,
             cost_limit: None,
             budget: SearchBudget::default(),
-            executor: None,
+            executor: Engine::Tuple,
             parallel_degree: 1,
         }
     }
@@ -183,10 +183,14 @@ impl Shell {
             Statement::SetExecutor(setting) => {
                 match setting {
                     ExecutorSetting::Tuple => {
-                        self.executor = None;
+                        self.executor = Engine::Tuple;
                         println!("executor: tuple-at-a-time");
                     }
                     ExecutorSetting::Batch {
+                        batch_size,
+                        parallel,
+                    }
+                    | ExecutorSetting::Fused {
                         batch_size,
                         parallel,
                     } => {
@@ -194,7 +198,10 @@ impl Shell {
                             Some(n) => BatchConfig::with_batch_size(n),
                             None => BatchConfig::default(),
                         };
-                        self.executor = Some(cfg);
+                        self.executor = match setting {
+                            ExecutorSetting::Fused { .. } => Engine::Fused(cfg),
+                            _ => Engine::Batch(cfg),
+                        };
                         if let Some(degree) = parallel {
                             self.parallel_degree = degree.max(1);
                             if let Some(session) = &self.session {
@@ -202,8 +209,10 @@ impl Shell {
                             }
                         }
                         println!(
-                            "executor: batch (batch size {}, parallel degree {})",
-                            cfg.batch_size, self.parallel_degree
+                            "executor: {} (batch size {}, parallel degree {})",
+                            self.executor.label(),
+                            cfg.batch_size,
+                            self.parallel_degree
                         );
                     }
                 }
@@ -249,11 +258,22 @@ impl Shell {
                     let stats_json = opt.stats().to_json();
                     let executor = self.executor;
                     let db = self.db();
+                    // The fused engine has no per-plan-node seams to
+                    // instrument: report per-pipeline metrics instead of
+                    // the per-operator table.
+                    if let Engine::Fused(cfg) = executor {
+                        let analyzed = volcano::exec::execute_analyzed_fused(&db, &plan, cfg);
+                        println!("-- analyze ({} result rows) --", analyzed.rows.len());
+                        for line in analyzed.report.lines() {
+                            println!("{line}");
+                        }
+                        return Ok(());
+                    }
                     let analyzed = match executor {
-                        Some(cfg) => {
+                        Engine::Batch(cfg) => {
                             volcano::exec::execute_analyzed_batch(&db, &catalog, &plan, cfg)
                         }
-                        None => volcano::exec::execute_analyzed(&db, &catalog, &plan),
+                        _ => volcano::exec::execute_analyzed(&db, &catalog, &plan),
                     };
                     println!("-- analyze ({} result rows) --", analyzed.rows.len());
                     print!("{}", analyzed.report());
@@ -298,8 +318,9 @@ impl Shell {
                     );
                 }
                 let rows = match executor {
-                    Some(cfg) => db.execute_batch(&plan, cfg),
-                    None => db.execute(&plan),
+                    Engine::Tuple => db.execute(&plan),
+                    Engine::Batch(cfg) => db.execute_batch(&plan, cfg),
+                    Engine::Fused(cfg) => db.execute_fused(&plan, cfg),
                 };
                 for row in &rows {
                     let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
