@@ -333,6 +333,71 @@ fn check_exec_fused(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn check_exec_agg(v: &Json) -> Result<(), String> {
+    for key in ["card", "reps", "batch_size", "degree"] {
+        let x = num(v, key)?;
+        if x < 1.0 {
+            return Err(format!("{key} {x} < 1"));
+        }
+    }
+    let smoke = match v.get("smoke") {
+        Some(&Json::Bool(b)) => b,
+        _ => return Err("missing or non-boolean field \"smoke\"".to_string()),
+    };
+    let workloads = v
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing workloads array".to_string())?;
+    if workloads.is_empty() {
+        return Err("workloads array is empty".to_string());
+    }
+    let mut classes = (false, false);
+    for (i, w) in workloads.iter().enumerate() {
+        let ctx = |e: String| format!("workloads[{i}]: {e}");
+        w.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("workloads[{i}]: missing name"))?;
+        match w.get("class").and_then(Json::as_str) {
+            Some("grouped") => classes.0 = true,
+            Some("total") => classes.1 = true,
+            other => return Err(format!("workloads[{i}]: bad class {other:?}")),
+        }
+        let rows = num(w, "rows").map_err(ctx)?;
+        if rows < 1.0 {
+            return Err(format!("workloads[{i}]: rows {rows} < 1"));
+        }
+        for key in ["tuple_ms", "batch_serial_ms", "parallel_ms", "speedup"] {
+            let x = num(w, key).map_err(ctx)?;
+            if x <= 0.0 {
+                return Err(format!("workloads[{i}]: {key} {x} <= 0"));
+            }
+        }
+    }
+    if !(classes.0 && classes.1) {
+        return Err("workloads must cover both a grouped and a total class".to_string());
+    }
+    let g = num(v, "geomean_speedup")?;
+    if g <= 0.0 {
+        return Err(format!("geomean_speedup {g} <= 0"));
+    }
+    // The acceptance gate: on a full (non-smoke) run, two-phase batch
+    // aggregation at 8 workers must beat the serial tuple engine by
+    // >= 2x geomean. Smoke runs (tiny cards, debug builds) are exempt.
+    if !smoke && g < 2.0 {
+        return Err(format!(
+            "geomean_speedup {g:.2} < 2.0 on a full run (parallel aggregation regression)"
+        ));
+    }
+    if let Some(vs) = v.get("vs_baseline") {
+        let b = num(vs, "baseline_geomean").map_err(|e| format!("vs_baseline: {e}"))?;
+        let r = num(vs, "ratio").map_err(|e| format!("vs_baseline: {e}"))?;
+        if b <= 0.0 || r <= 0.0 {
+            return Err(format!("vs_baseline: non-positive values ({b}, {r})"));
+        }
+    }
+    Ok(())
+}
+
 fn check_exec_parallel(v: &Json) -> Result<(), String> {
     for key in ["card", "reps", "latency_us", "pool_pages"] {
         let x = num(v, key)?;
@@ -561,6 +626,7 @@ fn check_file(path: &str) -> Result<(), String> {
         Some("search_hotpath") => check_search_hotpath(&v),
         Some("exec_batch") => check_exec(&v),
         Some("exec_fused") => check_exec_fused(&v),
+        Some("exec_agg") => check_exec_agg(&v),
         Some("exec_parallel") => check_exec_parallel(&v),
         Some("plan_cache") => check_plan_cache(&v),
         Some("serve") => check_serve(&v),

@@ -359,18 +359,11 @@ impl Column {
                     valid: sv,
                 },
             ) => typed_gather!(data, valid, sd, sv),
-            // A fresh (empty) destination adopts the source variant.
-            (dst, src) if dst.is_empty() && !matches!(dst, Column::Any(_)) => {
-                *dst = match src {
-                    Column::Int { .. } => Column::with_type(ColType::Int),
-                    Column::Float { .. } => Column::with_type(ColType::Float),
-                    Column::Bool { .. } => Column::with_type(ColType::Bool),
-                    Column::Str { .. } => Column::with_type(ColType::Str),
-                    Column::Any(_) => Column::any(),
-                };
-                dst.gather_from(src, sel);
-            }
-            (dst @ Column::Any(_), src) if dst.is_empty() => {
+            // A fresh (empty) destination adopts a *typed* source's
+            // variant. An `Any` source must NOT take these arms: its
+            // `empty_like` is another empty `Any`, so re-dispatching
+            // would recurse forever — it goes value-wise below instead.
+            (dst, src) if dst.is_empty() && !matches!(src, Column::Any(_)) => {
                 *dst = src.empty_like();
                 dst.gather_from(src, sel);
             }
@@ -693,5 +686,26 @@ mod tests {
         assert!(b.sel.is_none());
         // Capacity-preserving clear keeps the specialized variants.
         assert!(matches!(b.columns[0], Column::Int { .. }));
+    }
+
+    /// Gathering from an untyped (`Any`) source into an empty
+    /// destination must go value-wise, not re-dispatch on an `Any`
+    /// `empty_like` (which used to recurse forever). An adapter column
+    /// whose first row is NULL stays `Any`, so this shape occurs on any
+    /// projection above a tuple fallback emitting a NULL first.
+    #[test]
+    fn gather_from_any_source_into_empty_destination() {
+        let mut src = Column::any();
+        src.push_value(Value::Null);
+        src.push_value(Value::Int(7));
+        for mut dst in [Column::any(), Column::with_type(ColType::Int)] {
+            dst.gather_from(&src, None);
+            assert_eq!(dst.value_at(0), Value::Null);
+            assert_eq!(dst.value_at(1), Value::Int(7));
+            let mut sel_dst = Column::any();
+            sel_dst.gather_from(&src, Some(&[1]));
+            assert_eq!(sel_dst.len(), 1);
+            assert_eq!(sel_dst.value_at(0), Value::Int(7));
+        }
     }
 }

@@ -10,15 +10,15 @@
 use std::sync::Arc;
 
 use volcano_rel::catalog::ColType;
-use volcano_rel::{AttrId, Pred, RelAlg, RelPlan, TableId};
+use volcano_rel::{AggSpec, AttrId, Pred, RelAlg, RelPlan, TableId};
 
 use crate::batch::{BoxedBatchOperator, DEFAULT_BATCH_SIZE};
 use crate::database::{Database, SchemaSnapshot};
 use crate::iterator::BoxedOperator;
 use crate::ops::{
-    aggregate::CompiledAgg, BatchFilter, BatchHashJoin, BatchProject, BatchScan, BatchSource,
-    CompiledPred, Filter, HashAggregate, HashJoin, MergeJoin, NestedLoops, Project,
-    StreamAggregate, TableScan, TupleSource,
+    aggregate::CompiledAgg, AggMode, BatchFilter, BatchHashAggregate, BatchHashJoin, BatchProject,
+    BatchScan, BatchSource, CompiledPred, Filter, HashAggregate, HashJoin, MergeJoin, NestedLoops,
+    Project, StreamAggregate, TableScan, TupleSource,
 };
 use crate::ops::{HashSetOp, MergeSetOp, SetOpKind};
 
@@ -191,12 +191,64 @@ pub fn schema_of_at(sch: &SchemaSnapshot, plan: &RelPlan) -> Vec<AttrId> {
         | RelAlg::MergeUnion
         | RelAlg::MergeIntersect
         | RelAlg::MergeDifference => schema_of_at(sch, &plan.inputs[0]),
-        RelAlg::HashAggregate(spec) | RelAlg::StreamAggregate(spec) => {
+        RelAlg::HashAggregate(spec)
+        | RelAlg::StreamAggregate(spec)
+        | RelAlg::FinalHashAggregate(spec) => {
             let mut s = spec.group_by.clone();
             s.extend(spec.aggs.iter().map(|&(_, out)| out));
             s
         }
+        RelAlg::PartialHashAggregate(spec, _) => spec.partial_attrs(),
     }
+}
+
+/// Resolve an aggregate spec against its *raw* input schema: group-by
+/// positions and per-aggregate input positions.
+pub(crate) fn compile_agg_spec(
+    schema: &[AttrId],
+    spec: &AggSpec,
+) -> (Vec<usize>, Vec<CompiledAgg>) {
+    let group = spec.group_by.iter().map(|&a| position(schema, a)).collect();
+    let aggs = spec
+        .aggs
+        .iter()
+        .map(|(f, _)| {
+            use volcano_rel::AggFunc::*;
+            match f {
+                CountStar => CompiledAgg::CountStar,
+                Sum(a) => CompiledAgg::Sum(position(schema, *a)),
+                Min(a) => CompiledAgg::Min(position(schema, *a)),
+                Max(a) => CompiledAgg::Max(position(schema, *a)),
+                Avg(a) => CompiledAgg::Avg(position(schema, *a)),
+            }
+        })
+        .collect();
+    (group, aggs)
+}
+
+/// Resolve an aggregate spec against the *partial row layout* a final
+/// aggregate consumes: group keys lead, each aggregate's partial value
+/// follows (AVG's companion count column is found by the merge itself).
+pub(crate) fn partial_layout_aggs(spec: &AggSpec) -> Vec<CompiledAgg> {
+    let mut pos = spec.group_by.len();
+    spec.aggs
+        .iter()
+        .map(|(f, _)| {
+            use volcano_rel::AggFunc::*;
+            let main = pos;
+            pos += 1;
+            match f {
+                CountStar => CompiledAgg::CountStar,
+                Sum(_) => CompiledAgg::Sum(main),
+                Min(_) => CompiledAgg::Min(main),
+                Max(_) => CompiledAgg::Max(main),
+                Avg(_) => {
+                    pos += 1;
+                    CompiledAgg::Avg(main)
+                }
+            }
+        })
+        .collect()
 }
 
 /// Build the operator for `plan`'s root over pre-built `children`
@@ -371,30 +423,31 @@ pub fn compile_node_at(
             Box::new(MergeSetOp::new(kind, left, right))
         }
         RelAlg::HashAggregate(spec) | RelAlg::StreamAggregate(spec) => {
-            let group: Vec<usize> = spec
-                .group_by
-                .iter()
-                .map(|&a| position(&child_schemas[0], a))
-                .collect();
-            let aggs: Vec<CompiledAgg> = spec
-                .aggs
-                .iter()
-                .map(|(f, _)| {
-                    use volcano_rel::AggFunc::*;
-                    match f {
-                        CountStar => CompiledAgg::CountStar,
-                        Sum(a) => CompiledAgg::Sum(position(&child_schemas[0], *a)),
-                        Min(a) => CompiledAgg::Min(position(&child_schemas[0], *a)),
-                        Max(a) => CompiledAgg::Max(position(&child_schemas[0], *a)),
-                        Avg(a) => CompiledAgg::Avg(position(&child_schemas[0], *a)),
-                    }
-                })
-                .collect();
+            let (group, aggs) = compile_agg_spec(&child_schemas[0], spec);
             let child = children.remove(0);
             match &plan.alg {
                 RelAlg::StreamAggregate(_) => Box::new(StreamAggregate::new(child, group, aggs)),
                 _ => Box::new(HashAggregate::new(child, group, aggs)),
             }
+        }
+        RelAlg::PartialHashAggregate(spec, _) => {
+            let (group, aggs) = compile_agg_spec(&child_schemas[0], spec);
+            Box::new(HashAggregate::with_mode(
+                children.remove(0),
+                group,
+                aggs,
+                AggMode::Partial,
+            ))
+        }
+        RelAlg::FinalHashAggregate(spec) => {
+            let group: Vec<usize> = (0..spec.group_by.len()).collect();
+            let aggs = partial_layout_aggs(spec);
+            Box::new(HashAggregate::with_mode(
+                children.remove(0),
+                group,
+                aggs,
+                AggMode::Final,
+            ))
         }
     }
 }
@@ -461,9 +514,10 @@ pub(crate) fn table_col_types(sch: &SchemaSnapshot, t: TableId) -> Vec<ColType> 
 }
 
 /// Build the batch-engine operator for `plan`'s root over pre-built
-/// `children`, vectorizing scan, filter, projection, and hash join
-/// natively and falling back to the tuple operator (sort, aggregate,
-/// set ops, merge/nested/multiway joins, index scan) behind adapters. A
+/// `children`, vectorizing scan, filter, projection, hash join, and
+/// hash aggregation (all three phases) natively and falling back to the
+/// tuple operator (sort, stream aggregate, set ops,
+/// merge/nested/multiway joins, index scan) behind adapters. A
 /// non-scan node is vectorized only when its inputs already are, so
 /// adapters appear exactly at the engine boundaries of the plan.
 pub(crate) fn compile_batch_node(
@@ -522,6 +576,40 @@ pub(crate) fn compile_batch_node(
             let right = children.remove(1).into_batch(child_schemas[1].len(), bs);
             let left = children.remove(0).into_batch(child_schemas[0].len(), bs);
             Built::B(Box::new(BatchHashJoin::new(left, right, lkeys, rkeys, bs)))
+        }
+        RelAlg::HashAggregate(spec) if matches!(children[0], Built::B(_)) => {
+            let (group, aggs) = compile_agg_spec(&child_schemas[0], spec);
+            let child = children.remove(0).into_batch(child_schemas[0].len(), bs);
+            Built::B(Box::new(BatchHashAggregate::new(
+                child,
+                group,
+                aggs,
+                AggMode::Complete,
+                bs,
+            )))
+        }
+        RelAlg::PartialHashAggregate(spec, _) if matches!(children[0], Built::B(_)) => {
+            let (group, aggs) = compile_agg_spec(&child_schemas[0], spec);
+            let child = children.remove(0).into_batch(child_schemas[0].len(), bs);
+            Built::B(Box::new(BatchHashAggregate::new(
+                child,
+                group,
+                aggs,
+                AggMode::Partial,
+                bs,
+            )))
+        }
+        RelAlg::FinalHashAggregate(spec) if matches!(children[0], Built::B(_)) => {
+            let group: Vec<usize> = (0..spec.group_by.len()).collect();
+            let aggs = partial_layout_aggs(spec);
+            let child = children.remove(0).into_batch(child_schemas[0].len(), bs);
+            Built::B(Box::new(BatchHashAggregate::new(
+                child,
+                group,
+                aggs,
+                AggMode::Final,
+                bs,
+            )))
         }
         // A gather over pre-built children is a serial pass-through (the
         // EXPLAIN ANALYZE path lands here: it instruments every plan node

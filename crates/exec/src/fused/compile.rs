@@ -3,8 +3,12 @@
 //! The fused engine breaks the plan into maximal *regions* of fusable
 //! operators — scans, filters, projections, hash joins — and compiles
 //! each region into one [`FusedRegion`] operator whose pipelines run as
-//! single loops with monomorphized kernels. Non-fusable operators
-//! (sorts, aggregates, set ops, merge/nested/multiway joins, index
+//! single loops with monomorphized kernels. A hash aggregate above a
+//! fusable chain terminates the region's output pipeline in an
+//! aggregation sink, so `scan→filter→project→aggregate` runs as one
+//! loop (an aggregate over a non-fusable child runs batch-native
+//! instead — never through a tuple adapter). Other non-fusable
+//! operators (sorts, set ops, merge/nested/multiway joins, index
 //! scans) fall back to the existing tuple operators exactly as in the
 //! batch engine, with at most one adapter per genuine engine boundary;
 //! a fusable chain *above* such an operator still fuses, treating the
@@ -31,20 +35,22 @@
 use std::sync::Arc;
 
 use volcano_rel::catalog::ColType;
-use volcano_rel::{AttrId, RelAlg, RelPlan};
+use volcano_rel::{AggSpec, AttrId, RelAlg, RelPlan};
 use volcano_store::HeapFile;
 
 use crate::batch::BoxedBatchOperator;
 use crate::compile::{
-    compile_node_at, compile_pred, position, schema_of_at, table_col_types, table_schema,
-    BatchConfig, Built,
+    compile_agg_spec, compile_node_at, compile_pred, partial_layout_aggs, position, schema_of_at,
+    table_col_types, table_schema, BatchConfig, Built,
 };
 use crate::database::{Database, SchemaSnapshot};
 use crate::fused::pred::FusedPred;
 use crate::fused::region::{
-    FusedPipeline, FusedRegion, FusedScan, FusedSource, FusedStage, PipelineStats, ProbeCol,
+    AggSink, FusedPipeline, FusedRegion, FusedScan, FusedSource, FusedStage, PipelineStats,
+    ProbeCol,
 };
-use crate::ops::CompiledPred;
+use crate::kernels::agg::AggMode;
+use crate::ops::{BatchHashAggregate, CompiledPred};
 
 /// Compile-time intermediate form of a pipeline source.
 enum SourceIR {
@@ -109,6 +115,8 @@ pub struct FusedReport {
     pub adapters: usize,
     /// Morsel-parallel gather regions in the plan.
     pub parallel_regions: usize,
+    /// Terminal aggregation sinks fused into region output pipelines.
+    pub agg_sinks: usize,
 }
 
 impl FusedReport {
@@ -126,11 +134,12 @@ impl FusedReport {
     /// meaningful only after the plan has executed.
     pub fn lines(&self) -> Vec<String> {
         let mut out = vec![format!(
-            "fused: {} pipeline(s), {} fallback segment(s), {} adapter(s), {} parallel region(s)",
+            "fused: {} pipeline(s), {} fallback segment(s), {} adapter(s), {} parallel region(s), {} agg sink(s)",
             self.pipelines.len(),
             self.fallback_ops.len(),
             self.adapters,
             self.parallel_regions,
+            self.agg_sinks,
         )];
         if !self.fallback_ops.is_empty() {
             out.push(format!("  fallback ops: {}", self.fallback_ops.join(", ")));
@@ -239,9 +248,24 @@ impl Fuser<'_> {
             }
             return self.build_tree(&plan.inputs[0]);
         }
+        // Hash aggregates terminate a fused pipeline in an aggregation
+        // sink (or run batch-native over a non-fusable child) — they
+        // never fall back to the tuple engine.
+        match &plan.alg {
+            RelAlg::HashAggregate(spec) => {
+                return self.build_aggregate(plan, spec, AggMode::Complete)
+            }
+            RelAlg::PartialHashAggregate(spec, _) => {
+                return self.build_aggregate(plan, spec, AggMode::Partial)
+            }
+            RelAlg::FinalHashAggregate(spec) => {
+                return self.build_aggregate(plan, spec, AggMode::Final)
+            }
+            _ => {}
+        }
         let mut builds = Vec::new();
         if let Some((source, stages)) = self.fuse_node(plan, &mut builds) {
-            return Built::B(self.lower_region(builds, source, stages));
+            return Built::B(self.lower_region(builds, source, stages, None));
         }
         // Non-fusable root: compile this node on the tuple engine over
         // recursively built children; each batch child costs exactly
@@ -251,6 +275,44 @@ impl Fuser<'_> {
         self.report.fallback_ops.push(fallback_name(&plan.alg));
         let tuple_children = children.into_iter().map(Built::into_tuple).collect();
         Built::T(compile_node_at(self.db, self.sch, plan, tuple_children))
+    }
+
+    /// Compile a hash aggregate. When the child subtree fuses, the
+    /// aggregation becomes the region's terminal sink — the whole
+    /// `scan→filter→project→aggregate` chain runs as one loop. When it
+    /// does not (a gather, sort, or another aggregate below), the child
+    /// compiles as a batch subtree and a batch-native
+    /// [`BatchHashAggregate`] runs above it; either way no tuple adapter
+    /// is inserted for the aggregate itself.
+    fn build_aggregate(&mut self, plan: &RelPlan, spec: &AggSpec, mode: AggMode) -> Built {
+        let child = &plan.inputs[0];
+        let (group, aggs) = match mode {
+            // A final aggregate consumes the partial row layout: group
+            // keys lead, each aggregate's partial value follows.
+            AggMode::Final => (
+                (0..spec.group_by.len()).collect::<Vec<_>>(),
+                partial_layout_aggs(spec),
+            ),
+            _ => compile_agg_spec(&schema_of_at(self.sch, child), spec),
+        };
+        let mut builds = Vec::new();
+        if let Some((source, stages)) = self.fuse_node(child, &mut builds) {
+            let sink = AggSink { group, aggs, mode };
+            return Built::B(self.lower_region(builds, source, stages, Some(sink)));
+        }
+        let arity = schema_of_at(self.sch, child).len();
+        let built = self.build_tree(child);
+        if matches!(built, Built::T(_)) {
+            self.report.adapters += 1;
+        }
+        let input = built.into_batch(arity, self.cfg.batch_size);
+        Built::B(Box::new(BatchHashAggregate::new(
+            input,
+            group,
+            aggs,
+            mode,
+            self.cfg.batch_size,
+        )))
     }
 
     /// Decompose the fusable region rooted at `plan`, mirroring the
@@ -358,6 +420,7 @@ impl Fuser<'_> {
         builds: Vec<BuildIR>,
         source: SourceIR,
         stages: Vec<StageIR>,
+        agg: Option<AggSink>,
     ) -> BoxedBatchOperator {
         let table_shapes: Vec<(usize, Vec<usize>)> =
             builds.iter().map(|b| (b.ncols, b.keys.clone())).collect();
@@ -366,12 +429,20 @@ impl Fuser<'_> {
             .map(|b| self.lower_pipeline(b.source, b.stages, true))
             .collect();
         let output = self.lower_pipeline(source, stages, false);
-        Box::new(FusedRegion::new(
-            build_pipes,
-            output,
-            table_shapes,
-            self.cfg.batch_size,
-        ))
+        let mut region = FusedRegion::new(build_pipes, output, table_shapes, self.cfg.batch_size);
+        if let Some(sink) = agg {
+            let info = self.report.pipelines.last_mut().expect("output pipeline");
+            info.label.push('→');
+            info.label.push_str(match sink.mode {
+                AggMode::Complete => "agg",
+                AggMode::Partial => "partial_agg",
+                AggMode::Final => "final_agg",
+            });
+            info.operators += 1;
+            self.report.agg_sinks += 1;
+            region = region.with_agg(sink);
+        }
+        Box::new(region)
     }
 
     /// Lower one pipeline: apply the rewrites (filter absorption, scan
@@ -621,6 +692,8 @@ fn fallback_name(alg: &RelAlg) -> &'static str {
         RelAlg::MergeDifference => "merge_difference",
         RelAlg::HashAggregate(_) => "hash_aggregate",
         RelAlg::StreamAggregate(_) => "stream_aggregate",
+        RelAlg::PartialHashAggregate(..) => "partial_hash_aggregate",
+        RelAlg::FinalHashAggregate(_) => "final_hash_aggregate",
     }
 }
 

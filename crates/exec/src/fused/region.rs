@@ -27,7 +27,23 @@ use volcano_store::{HeapFile, PageId};
 
 use crate::batch::{Batch, BatchOperator, BoxedBatchOperator, Column};
 use crate::fused::pred::FusedPred;
+use crate::kernels::agg::{AggMode, CompiledAgg, GroupScratch, GroupTable};
 use crate::kernels::hash_join_keys;
+
+/// A terminal aggregation sink: instead of streaming rows out, the
+/// output pipeline folds them into a [`GroupTable`] inside the fused
+/// loop — `scan→filter→project→aggregate` runs as one loop with zero
+/// intermediate operator dispatch — and the region then streams the
+/// group results.
+pub(crate) struct AggSink {
+    /// Group-by column positions in the pipeline's row shape (for the
+    /// `Final` phase these are the leading partial-layout columns).
+    pub(crate) group: Vec<usize>,
+    /// The aggregates, resolved to input column positions.
+    pub(crate) aggs: Vec<CompiledAgg>,
+    /// Phase: one-shot, per-worker partial, or partial-merging final.
+    pub(crate) mode: AggMode,
+}
 
 /// Counters of one fused pipeline, shared with the compile-time report
 /// so `EXPLAIN ANALYZE` can read them after the region has executed.
@@ -640,6 +656,17 @@ pub struct FusedRegion {
     build_rows: u64,
     rows_out: u64,
     batches_out: u64,
+    /// Terminal aggregation sink, if the region ends in an aggregate.
+    agg: Option<AggSink>,
+    agg_scratch: GroupScratch,
+    /// Group table filled on the first `next_batch` of an agg region.
+    agg_table: Option<GroupTable>,
+    /// Groups already streamed out of [`Self::agg_table`].
+    agg_emitted: usize,
+    /// Rows the output pipeline delivered to the aggregation sink.
+    agg_rows_in: u64,
+    /// Partial groups merged (Final-phase sink only).
+    agg_groups_in: u64,
 }
 
 impl FusedRegion {
@@ -662,12 +689,100 @@ impl FusedRegion {
             build_rows: 0,
             rows_out: 0,
             batches_out: 0,
+            agg: None,
+            agg_scratch: GroupScratch::default(),
+            agg_table: None,
+            agg_emitted: 0,
+            agg_rows_in: 0,
+            agg_groups_in: 0,
         }
+    }
+
+    /// Terminate the region's output pipeline in an aggregation sink.
+    pub(crate) fn with_agg(mut self, sink: AggSink) -> Self {
+        self.agg = Some(sink);
+        self
     }
 
     /// Number of pipelines (builds + output).
     pub fn pipeline_count(&self) -> usize {
         self.builds.len() + 1
+    }
+
+    /// Drain the output pipeline into the sink's group table (the
+    /// aggregation is a full-input barrier, like the hash-table builds).
+    fn drain_into_groups(&mut self) {
+        let sink = self.agg.take().expect("agg sink present");
+        let mut table = GroupTable::new(sink.group.len(), &sink.aggs);
+        let mut work = Batch::default();
+        let t0 = Instant::now();
+        loop {
+            let more = match &mut self.output.source {
+                FusedSource::Scan(s) => s.fill(&mut work, self.batch_size),
+                FusedSource::Input(op) => op.next_batch(&mut work),
+            };
+            if !more {
+                break;
+            }
+            run_stages(
+                &self.output.stages,
+                &self.tables,
+                &mut work,
+                &mut self.tmp,
+                &mut self.scratch,
+            );
+            let consumed = match sink.mode {
+                AggMode::Complete | AggMode::Partial => {
+                    table.accumulate(&work, &sink.group, &sink.aggs, &mut self.agg_scratch)
+                }
+                AggMode::Final => {
+                    let n = table.merge_partial(&work, &sink.aggs, &mut self.agg_scratch);
+                    self.agg_groups_in += n as u64;
+                    n
+                }
+            };
+            self.agg_rows_in += consumed as u64;
+            self.output.stats.batches.fetch_add(1, Ordering::Relaxed);
+            self.output
+                .stats
+                .rows
+                .fetch_add(consumed as u64, Ordering::Relaxed);
+        }
+        // Grand total over an empty input still yields one row — from
+        // the Complete or Final phase, never the per-worker Partial.
+        if sink.group.is_empty() && sink.mode != AggMode::Partial {
+            table.ensure_grand_total();
+        }
+        self.output
+            .stats
+            .ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.agg_table = Some(table);
+        self.agg_emitted = 0;
+        self.agg = Some(sink);
+    }
+
+    /// Stream the next batch of aggregated groups.
+    fn next_agg_batch(&mut self, out: &mut Batch) -> bool {
+        if self.agg_table.is_none() {
+            self.drain_into_groups();
+        }
+        let sink = self.agg.as_ref().expect("agg sink present");
+        let table = self.agg_table.as_ref().expect("drained above");
+        if self.agg_emitted >= table.len() {
+            return false;
+        }
+        let to = (self.agg_emitted + self.batch_size).min(table.len());
+        table.emit(
+            self.agg_emitted..to,
+            &sink.aggs,
+            sink.mode == AggMode::Partial,
+            out,
+        );
+        self.agg_emitted = to;
+        self.rows_out += out.live_rows() as u64;
+        self.batches_out += 1;
+        true
     }
 }
 
@@ -721,11 +836,16 @@ impl BatchOperator for FusedRegion {
             FusedSource::Scan(s) => s.open(),
             FusedSource::Input(op) => op.open(),
         }
+        self.agg_table = None;
+        self.agg_emitted = 0;
         self.opened = true;
     }
 
     fn next_batch(&mut self, out: &mut Batch) -> bool {
         assert!(self.opened, "next_batch() before open()");
+        if self.agg.is_some() {
+            return self.next_agg_batch(out);
+        }
         let t0 = Instant::now();
         let more = match &mut self.output.source {
             FusedSource::Scan(s) => s.fill(out, self.batch_size),
@@ -765,6 +885,7 @@ impl BatchOperator for FusedRegion {
             FusedSource::Input(op) => op.close(),
         }
         self.tables.clear();
+        self.agg_table = None;
         self.opened = false;
     }
 
@@ -779,6 +900,16 @@ impl BatchOperator for FusedRegion {
             ("batches", self.batches_out),
             ("rows", self.rows_out),
         ];
+        if let Some(sink) = &self.agg {
+            m.push(("rows_in", self.agg_rows_in));
+            if sink.mode == AggMode::Final {
+                m.push(("groups_in", self.agg_groups_in));
+            }
+            m.push((
+                "groups_out",
+                self.agg_table.as_ref().map_or(0, |t| t.len()) as u64,
+            ));
+        }
         if let FusedSource::Scan(s) = &self.output.source {
             m.push(("pages_read", s.pages_read));
             m.push(("rows_scanned", s.rows_scanned));

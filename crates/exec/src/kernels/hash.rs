@@ -22,7 +22,7 @@ const TAG_FLOAT: u64 = 0xc1b7;
 const TAG_STR: u64 = 0x2722;
 
 #[inline]
-fn mix(h: u64, word: u64) -> u64 {
+pub(crate) fn mix(h: u64, word: u64) -> u64 {
     // The FxHasher step, inlined for the hot loop.
     (h.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
 }

@@ -6,8 +6,10 @@
 //! per-row work is a handful of machine instructions with no virtual
 //! dispatch and no per-row allocation.
 
+pub mod agg;
 pub mod hash;
 pub mod pred;
 
+pub use agg::{AccState, GroupTable, SumState};
 pub use hash::hash_join_keys;
 pub use pred::apply_pred;

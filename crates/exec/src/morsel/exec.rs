@@ -30,6 +30,7 @@ use volcano_core::fxhash::FxHashMap;
 
 use crate::batch::{Batch, BatchOperator, Column};
 use crate::compile::BatchConfig;
+use crate::kernels::agg::{GroupScratch, GroupTable};
 use crate::kernels::hash_join_keys;
 use crate::ops::BatchScan;
 
@@ -443,9 +444,35 @@ impl BatchOperator for ParallelGather {
             self.workers.push(thread::spawn(move || {
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     let pipe = plan.pipelines.last().expect("output pipeline");
-                    run_pipeline(pipe, &tables, &queue, w, batch_size, &mut |b| {
-                        tx.send(Ok(std::mem::take(b))).is_ok()
-                    });
+                    match &pipe.sink {
+                        // Two-phase aggregation: fold every morsel into a
+                        // worker-local group table, then ship the partial
+                        // groups once the queue is dry — only summaries
+                        // cross the gather.
+                        Sink::PartialAgg { group, aggs } => {
+                            let mut table = GroupTable::new(group.len(), aggs);
+                            let mut scratch = GroupScratch::default();
+                            run_pipeline(pipe, &tables, &queue, w, batch_size, &mut |b| {
+                                table.accumulate(b, group, aggs, &mut scratch);
+                                true
+                            });
+                            let mut out = Batch::default();
+                            let mut from = 0;
+                            while from < table.len() {
+                                let to = (from + batch_size).min(table.len());
+                                table.emit(from..to, aggs, true, &mut out);
+                                if tx.send(Ok(std::mem::take(&mut out))).is_err() {
+                                    break;
+                                }
+                                from = to;
+                            }
+                        }
+                        _ => {
+                            run_pipeline(pipe, &tables, &queue, w, batch_size, &mut |b| {
+                                tx.send(Ok(std::mem::take(b))).is_ok()
+                            });
+                        }
+                    }
                 }));
                 if let Err(p) = result {
                     // Consumer gone is fine — the panic dies with us.

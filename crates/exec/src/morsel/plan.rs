@@ -21,10 +21,12 @@ use volcano_rel::catalog::ColType;
 use volcano_rel::{RelAlg, RelPlan};
 use volcano_store::HeapFile;
 
-use crate::compile::{compile_pred, position, schema_of_at, table_col_types, table_schema};
+use crate::compile::{
+    compile_agg_spec, compile_pred, position, schema_of_at, table_col_types, table_schema,
+};
 use crate::database::SchemaSnapshot;
 use crate::fused::FusedPred;
-use crate::ops::CompiledPred;
+use crate::ops::{CompiledAgg, CompiledPred};
 
 /// The scan feeding a pipeline: a heap file whose pages are dispensed as
 /// morsels, decoded straight into typed columns, with an optional fused
@@ -65,6 +67,16 @@ pub(crate) enum Sink {
         /// the build side turns out empty).
         ncols: usize,
     },
+    /// Accumulate rows into a worker-local group table; each worker
+    /// emits its groups as *partial* aggregate rows (the layout of
+    /// [`crate::kernels::agg::partial_positions`]) once the morsel
+    /// queue runs dry. The final merge happens above the gather.
+    PartialAgg {
+        /// Group-by column positions in the pipeline's row shape.
+        group: Vec<usize>,
+        /// The aggregates, resolved to input column positions.
+        aggs: Vec<CompiledAgg>,
+    },
     /// Rows are the parallel region's output.
     Output,
 }
@@ -93,6 +105,23 @@ impl ParallelPlan {
 /// `None` if it contains an operator with no morsel-parallel form (the
 /// caller falls back to serial execution).
 pub fn compile_parallel(sch: &SchemaSnapshot, plan: &RelPlan) -> Option<ParallelPlan> {
+    // A partial aggregate at the root of the gather subtree terminates
+    // the output pipeline in a per-worker aggregation sink: workers
+    // accumulate locally across all their morsels and only group
+    // summaries cross the gather.
+    if let RelAlg::PartialHashAggregate(spec, _) = &plan.alg {
+        let child = &plan.inputs[0];
+        let mut pipelines = Vec::new();
+        let (source, stages) = decompose(sch, child, &mut pipelines)?;
+        let schema = schema_of_at(sch, child);
+        let (group, aggs) = compile_agg_spec(&schema, spec);
+        pipelines.push(Pipeline {
+            source,
+            stages,
+            sink: Sink::PartialAgg { group, aggs },
+        });
+        return Some(ParallelPlan { pipelines });
+    }
     let mut pipelines = Vec::new();
     let (source, stages) = decompose(sch, plan, &mut pipelines)?;
     pipelines.push(Pipeline {

@@ -174,25 +174,25 @@ pub fn evaluate_logical(db: &Database, expr: &RelExpr) -> Evaluated {
             schema.extend(spec.aggs.iter().map(|&(_, out)| out));
             Evaluated { rows, schema }
         }
+        RelOp::PartialAggregate(_) | RelOp::FinalAggregate(_) => {
+            // These only exist inside the optimizer's search space (the
+            // aggregate-split transformation); user-facing logical
+            // expressions never contain them.
+            panic!("partial/final aggregate in a logical expression")
+        }
     }
 }
 
 fn eval_agg(f: &AggFunc, members: &[Tuple], schema: &[AttrId]) -> Value {
-    let numeric = |v: &Value| match v {
-        Value::Int(i) => Some(*i as f64),
-        Value::Float(x) => Some(x.get()),
-        _ => None,
-    };
     match f {
         AggFunc::CountStar => Value::Int(members.len() as i64),
         AggFunc::Sum(a) => {
             let pos = position(schema, *a);
-            let vals: Vec<f64> = members.iter().filter_map(|t| numeric(&t[pos])).collect();
-            if vals.is_empty() {
-                Value::Null
-            } else {
-                Value::float(vals.iter().sum())
+            let mut s = crate::kernels::agg::SumState::default();
+            for t in members {
+                s.add_value(&t[pos]);
             }
+            s.value()
         }
         AggFunc::Min(a) => {
             let pos = position(schema, *a);
@@ -216,11 +216,17 @@ fn eval_agg(f: &AggFunc, members: &[Tuple], schema: &[AttrId]) -> Value {
         }
         AggFunc::Avg(a) => {
             let pos = position(schema, *a);
-            let vals: Vec<f64> = members.iter().filter_map(|t| numeric(&t[pos])).collect();
-            if vals.is_empty() {
-                Value::Null
+            let mut s = crate::kernels::agg::SumState::default();
+            let mut n = 0i64;
+            for t in members {
+                if s.add_value(&t[pos]) {
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                Value::float(s.total_f64() / n as f64)
             } else {
-                Value::float(vals.iter().sum::<f64>() / vals.len() as f64)
+                Value::Null
             }
         }
     }

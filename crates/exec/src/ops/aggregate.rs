@@ -1,110 +1,49 @@
 //! Aggregation: hash-based (unordered) and stream-based (sorted input).
+//!
+//! Accumulator semantics (NULL skipping, exact integer sums, AVG's
+//! decomposable sum/count pair) live in [`crate::kernels::agg`] and are
+//! shared with the batch and fused engines, so every engine — and every
+//! phase of a two-phase parallel aggregation — produces identical
+//! values. [`HashAggregate`] runs in one of three [`AggMode`]s: the
+//! classic one-shot `Complete`, a per-worker `Partial` that emits the
+//! partial row layout (group keys, then each aggregate's partial value,
+//! with AVG carrying a companion count column), and a `Final` that
+//! merges partial rows back into finished groups.
 
 use std::collections::HashMap;
 
 use volcano_rel::value::Tuple;
 use volcano_rel::Value;
 
+use crate::kernels::agg::{partial_positions, AccState};
+pub use crate::kernels::agg::{AggMode, CompiledAgg};
+
 use crate::iterator::{BoxedOperator, Operator};
 
-/// An aggregate compiled to input positions.
-#[derive(Debug, Clone, Copy)]
-pub enum CompiledAgg {
-    /// `COUNT(*)`.
-    CountStar,
-    /// `SUM(col at position)`.
-    Sum(usize),
-    /// `MIN(col at position)`.
-    Min(usize),
-    /// `MAX(col at position)`.
-    Max(usize),
-    /// `AVG(col at position)`.
-    Avg(usize),
+fn init_accs(aggs: &[CompiledAgg]) -> Vec<AccState> {
+    aggs.iter().map(AccState::new_for).collect()
 }
 
-/// Running accumulator for one aggregate.
-#[derive(Debug, Clone)]
-enum Acc {
-    Count(i64),
-    Sum(f64, bool),
-    Min(Option<Value>),
-    Max(Option<Value>),
-    Avg(f64, i64),
-}
-
-impl CompiledAgg {
-    fn init(&self) -> Acc {
-        match self {
-            CompiledAgg::CountStar => Acc::Count(0),
-            CompiledAgg::Sum(_) => Acc::Sum(0.0, false),
-            CompiledAgg::Min(_) => Acc::Min(None),
-            CompiledAgg::Max(_) => Acc::Max(None),
-            CompiledAgg::Avg(_) => Acc::Avg(0.0, 0),
+fn update(acc: &mut AccState, agg: &CompiledAgg, t: &Tuple) {
+    match agg {
+        CompiledAgg::CountStar => acc.accumulate(&Value::Null),
+        CompiledAgg::Sum(p) | CompiledAgg::Min(p) | CompiledAgg::Max(p) | CompiledAgg::Avg(p) => {
+            acc.accumulate(&t[*p])
         }
     }
 }
 
-fn numeric(v: &Value) -> Option<f64> {
-    match v {
-        Value::Int(i) => Some(*i as f64),
-        Value::Float(x) => Some(x.get()),
-        _ => None,
-    }
-}
-
-fn update(acc: &mut Acc, agg: &CompiledAgg, t: &Tuple) {
-    match (acc, agg) {
-        (Acc::Count(c), CompiledAgg::CountStar) => *c += 1,
-        (Acc::Sum(s, seen), CompiledAgg::Sum(p)) => {
-            if let Some(x) = numeric(&t[*p]) {
-                *s += x;
-                *seen = true;
-            }
-        }
-        (Acc::Min(m), CompiledAgg::Min(p)) => {
-            if !t[*p].is_null() && m.as_ref().map(|cur| t[*p] < *cur).unwrap_or(true) {
-                *m = Some(t[*p].clone());
-            }
-        }
-        (Acc::Max(m), CompiledAgg::Max(p)) => {
-            if !t[*p].is_null() && m.as_ref().map(|cur| t[*p] > *cur).unwrap_or(true) {
-                *m = Some(t[*p].clone());
-            }
-        }
-        (Acc::Avg(s, n), CompiledAgg::Avg(p)) => {
-            if let Some(x) = numeric(&t[*p]) {
-                *s += x;
-                *n += 1;
-            }
-        }
-        _ => unreachable!("accumulator/aggregate mismatch"),
-    }
-}
-
-fn finish(acc: Acc) -> Value {
-    match acc {
-        Acc::Count(c) => Value::Int(c),
-        Acc::Sum(s, seen) => {
-            if seen {
-                Value::float(s)
-            } else {
-                Value::Null
-            }
-        }
-        Acc::Min(m) | Acc::Max(m) => m.unwrap_or(Value::Null),
-        Acc::Avg(s, n) => {
-            if n > 0 {
-                Value::float(s / n as f64)
-            } else {
-                Value::Null
-            }
-        }
-    }
-}
-
-fn output_row(group: Vec<Value>, accs: Vec<Acc>) -> Tuple {
+fn output_row(group: Vec<Value>, accs: Vec<AccState>) -> Tuple {
     let mut row = group;
-    row.extend(accs.into_iter().map(finish));
+    row.extend(accs.iter().map(AccState::finish));
+    row
+}
+
+fn partial_row(group: Vec<Value>, accs: Vec<AccState>) -> Tuple {
+    let mut row = group;
+    for acc in &accs {
+        acc.push_partial(&mut row);
+    }
     row
 }
 
@@ -113,24 +52,44 @@ pub struct HashAggregate {
     child: BoxedOperator,
     group: Vec<usize>,
     aggs: Vec<CompiledAgg>,
+    mode: AggMode,
     results: Vec<Tuple>,
     idx: usize,
     /// Input rows aggregated (cumulative across re-opens).
     rows_in: u64,
+    /// Partial groups merged (Final mode; cumulative).
+    groups_in: u64,
     /// Groups produced (cumulative).
     groups_out: u64,
 }
 
 impl HashAggregate {
-    /// Aggregate `child`, grouping on positions `group`.
+    /// One-shot aggregation of `child`, grouping on positions `group`.
     pub fn new(child: BoxedOperator, group: Vec<usize>, aggs: Vec<CompiledAgg>) -> Self {
+        Self::with_mode(child, group, aggs, AggMode::Complete)
+    }
+
+    /// Aggregate `child` in the given phase. In `Final` mode the input
+    /// must carry the partial row layout with the group keys at
+    /// positions `0..group.len()` (so `group` is `0..g`).
+    pub fn with_mode(
+        child: BoxedOperator,
+        group: Vec<usize>,
+        aggs: Vec<CompiledAgg>,
+        mode: AggMode,
+    ) -> Self {
+        if mode == AggMode::Final {
+            debug_assert!(group.iter().enumerate().all(|(i, &p)| i == p));
+        }
         HashAggregate {
             child,
             group,
             aggs,
+            mode,
             results: Vec::new(),
             idx: 0,
             rows_in: 0,
+            groups_in: 0,
             groups_out: 0,
         }
     }
@@ -139,27 +98,44 @@ impl HashAggregate {
 impl Operator for HashAggregate {
     fn open(&mut self) {
         self.child.open();
-        let mut table: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+        let mut table: HashMap<Vec<Value>, Vec<AccState>> = HashMap::new();
+        let positions = partial_positions(self.group.len(), &self.aggs);
         let mut any_row = false;
         while let Some(t) = self.child.next() {
             any_row = true;
             self.rows_in += 1;
             let key: Vec<Value> = self.group.iter().map(|&i| t[i].clone()).collect();
-            let accs = table
-                .entry(key)
-                .or_insert_with(|| self.aggs.iter().map(CompiledAgg::init).collect());
-            for (acc, agg) in accs.iter_mut().zip(self.aggs.iter()) {
-                update(acc, agg, &t);
+            let accs = table.entry(key).or_insert_with(|| init_accs(&self.aggs));
+            match self.mode {
+                AggMode::Complete | AggMode::Partial => {
+                    for (acc, agg) in accs.iter_mut().zip(self.aggs.iter()) {
+                        update(acc, agg, &t);
+                    }
+                }
+                AggMode::Final => {
+                    self.groups_in += 1;
+                    for (acc, (main, comp)) in accs.iter_mut().zip(positions.iter()) {
+                        acc.merge(&t[*main], comp.map(|c| &t[c]));
+                    }
+                }
             }
         }
         self.child.close();
-        // Grand total over an empty input still yields one row.
-        if !any_row && self.group.is_empty() {
-            table.insert(vec![], self.aggs.iter().map(CompiledAgg::init).collect());
+        // Grand total over an empty input still yields one row — from
+        // the Complete or Final phase, never the per-worker Partial.
+        if !any_row && self.group.is_empty() && self.mode != AggMode::Partial {
+            table.insert(vec![], init_accs(&self.aggs));
         }
+        let partial = self.mode == AggMode::Partial;
         self.results = table
             .into_iter()
-            .map(|(k, accs)| output_row(k, accs))
+            .map(|(k, accs)| {
+                if partial {
+                    partial_row(k, accs)
+                } else {
+                    output_row(k, accs)
+                }
+            })
             .collect();
         self.groups_out += self.results.len() as u64;
         self.idx = 0;
@@ -180,11 +156,22 @@ impl Operator for HashAggregate {
     }
 
     fn name(&self) -> &'static str {
-        "hash_aggregate"
+        match self.mode {
+            AggMode::Complete => "hash_aggregate",
+            AggMode::Partial => "partial_hash_aggregate",
+            AggMode::Final => "final_hash_aggregate",
+        }
     }
 
     fn metrics(&self) -> Vec<(&'static str, u64)> {
-        vec![("rows_in", self.rows_in), ("groups_out", self.groups_out)]
+        match self.mode {
+            AggMode::Final => vec![
+                ("rows_in", self.rows_in),
+                ("groups_in", self.groups_in),
+                ("groups_out", self.groups_out),
+            ],
+            _ => vec![("rows_in", self.rows_in), ("groups_out", self.groups_out)],
+        }
     }
 }
 
@@ -195,7 +182,7 @@ pub struct StreamAggregate {
     group: Vec<usize>,
     aggs: Vec<CompiledAgg>,
     current_key: Option<Vec<Value>>,
-    accs: Vec<Acc>,
+    accs: Vec<AccState>,
     done: bool,
     produced_any: bool,
     /// Input rows aggregated (cumulative across re-opens).
@@ -246,10 +233,7 @@ impl Operator for StreamAggregate {
                     if self.group.is_empty() && !self.produced_any {
                         self.produced_any = true;
                         self.groups_out += 1;
-                        return Some(output_row(
-                            vec![],
-                            self.aggs.iter().map(CompiledAgg::init).collect(),
-                        ));
+                        return Some(output_row(vec![], init_accs(&self.aggs)));
                     }
                     return None;
                 }
@@ -261,10 +245,7 @@ impl Operator for StreamAggregate {
                             // Group boundary: emit the finished group and
                             // start the new one with this tuple.
                             let finished = self.current_key.replace(key).expect("current");
-                            let accs = std::mem::replace(
-                                &mut self.accs,
-                                self.aggs.iter().map(CompiledAgg::init).collect(),
-                            );
+                            let accs = std::mem::replace(&mut self.accs, init_accs(&self.aggs));
                             for (acc, agg) in self.accs.iter_mut().zip(self.aggs.iter()) {
                                 update(acc, agg, &t);
                             }
@@ -279,7 +260,7 @@ impl Operator for StreamAggregate {
                         }
                         None => {
                             self.current_key = Some(key);
-                            self.accs = self.aggs.iter().map(CompiledAgg::init).collect();
+                            self.accs = init_accs(&self.aggs);
                             for (acc, agg) in self.accs.iter_mut().zip(self.aggs.iter()) {
                                 update(acc, agg, &t);
                             }

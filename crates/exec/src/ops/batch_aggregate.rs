@@ -1,0 +1,143 @@
+//! Batch-native hash aggregation.
+//!
+//! Consumes whole batches from a batch child and folds them into a
+//! columnar [`GroupTable`] with typed accumulate kernels — no tuple
+//! adapter, no per-row virtual dispatch. Like the tuple
+//! [`HashAggregate`](super::HashAggregate) it runs in any
+//! [`AggMode`]: `Complete` for a one-shot aggregation, `Partial` for
+//! the per-worker phase of a two-phase parallel plan (emitting the
+//! partial row layout), and `Final` to merge partial rows above a
+//! gather.
+
+use crate::batch::{Batch, BatchOperator, BoxedBatchOperator};
+use crate::kernels::agg::{AggMode, CompiledAgg, GroupScratch, GroupTable};
+
+/// Vectorized hash aggregation over a batch child.
+pub struct BatchHashAggregate {
+    child: BoxedBatchOperator,
+    group: Vec<usize>,
+    aggs: Vec<CompiledAgg>,
+    mode: AggMode,
+    batch_size: usize,
+    table: GroupTable,
+    scratch: GroupScratch,
+    built: bool,
+    emitted: usize,
+    /// Input rows aggregated (cumulative across re-opens).
+    rows_in: u64,
+    /// Partial groups merged (Final mode; cumulative).
+    groups_in: u64,
+    /// Groups produced (cumulative).
+    groups_out: u64,
+}
+
+impl BatchHashAggregate {
+    /// Aggregate `child` in the given phase, grouping on positions
+    /// `group` and emitting output batches of at most `batch_size`
+    /// groups. In `Final` mode the input must carry the partial row
+    /// layout with group keys at positions `0..group.len()`.
+    pub fn new(
+        child: BoxedBatchOperator,
+        group: Vec<usize>,
+        aggs: Vec<CompiledAgg>,
+        mode: AggMode,
+        batch_size: usize,
+    ) -> Self {
+        if mode == AggMode::Final {
+            debug_assert!(group.iter().enumerate().all(|(i, &p)| i == p));
+        }
+        let table = GroupTable::new(group.len(), &aggs);
+        BatchHashAggregate {
+            child,
+            group,
+            aggs,
+            mode,
+            batch_size: batch_size.max(1),
+            table,
+            scratch: GroupScratch::default(),
+            built: false,
+            emitted: 0,
+            rows_in: 0,
+            groups_in: 0,
+            groups_out: 0,
+        }
+    }
+
+    fn build(&mut self) {
+        let mut input = Batch::default();
+        while self.child.next_batch(&mut input) {
+            let consumed = match self.mode {
+                AggMode::Complete | AggMode::Partial => {
+                    self.table
+                        .accumulate(&input, &self.group, &self.aggs, &mut self.scratch)
+                }
+                AggMode::Final => {
+                    let n = self
+                        .table
+                        .merge_partial(&input, &self.aggs, &mut self.scratch);
+                    self.groups_in += n as u64;
+                    n
+                }
+            };
+            self.rows_in += consumed as u64;
+        }
+        // Grand total over an empty input still yields one row — from
+        // the Complete or Final phase, never the per-worker Partial.
+        if self.group.is_empty() && self.mode != AggMode::Partial {
+            self.table.ensure_grand_total();
+        }
+        self.built = true;
+    }
+}
+
+impl BatchOperator for BatchHashAggregate {
+    fn open(&mut self) {
+        self.child.open();
+        self.table = GroupTable::new(self.group.len(), &self.aggs);
+        self.built = false;
+        self.emitted = 0;
+    }
+
+    fn next_batch(&mut self, out: &mut Batch) -> bool {
+        if !self.built {
+            self.build();
+        }
+        if self.emitted >= self.table.len() {
+            return false;
+        }
+        let to = (self.emitted + self.batch_size).min(self.table.len());
+        self.table.emit(
+            self.emitted..to,
+            &self.aggs,
+            self.mode == AggMode::Partial,
+            out,
+        );
+        self.groups_out += (to - self.emitted) as u64;
+        self.emitted = to;
+        true
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+        self.table = GroupTable::new(self.group.len(), &self.aggs);
+    }
+
+    fn name(&self) -> &'static str {
+        match self.mode {
+            AggMode::Complete => "batch_hash_aggregate",
+            AggMode::Partial => "batch_partial_hash_aggregate",
+            AggMode::Final => "batch_final_hash_aggregate",
+        }
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        match self.mode {
+            AggMode::Final => vec![
+                ("rows_in", self.rows_in),
+                ("groups_in", self.groups_in),
+                ("groups_out", self.groups_out),
+            ],
+            _ => vec![("rows_in", self.rows_in), ("groups_out", self.groups_out)],
+        }
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod aggregate;
 pub mod batch_adapter;
+pub mod batch_aggregate;
 pub mod batch_filter;
 pub mod batch_join;
 pub mod batch_project;
@@ -16,8 +17,9 @@ pub mod scan;
 pub mod set_ops;
 pub mod sort;
 
-pub use aggregate::{HashAggregate, StreamAggregate};
+pub use aggregate::{AggMode, CompiledAgg, HashAggregate, StreamAggregate};
 pub use batch_adapter::{BatchSource, TupleSource};
+pub use batch_aggregate::BatchHashAggregate;
 pub use batch_filter::BatchFilter;
 pub use batch_join::BatchHashJoin;
 pub use batch_project::BatchProject;

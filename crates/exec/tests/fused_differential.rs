@@ -10,9 +10,11 @@
 //! degree (only sort-key ties may reorder under parallelism).
 //!
 //! The fallback-coverage tests pin the engine-boundary discipline:
-//! non-fusable operators (sort, aggregate, set ops) execute correctly
-//! through at most one adapter per genuine engine boundary, with the
-//! fusable segments around them still fused.
+//! non-fusable operators (sort, set ops) execute correctly through at
+//! most one adapter per genuine engine boundary, with the fusable
+//! segments around them still fused. Hash aggregates never fall back —
+//! they terminate a fused pipeline in an aggregation sink (or run
+//! batch-native over a non-fusable child).
 
 mod common;
 
@@ -141,15 +143,18 @@ fn fig4_sorted_goals_preserve_order_on_fused() {
 }
 
 /// Fallback coverage: the golden list contains sorts, an aggregate, and
-/// a union — none fusable. Each must execute correctly on the fused
-/// engine, the fusable segments beneath/around it must still fuse, and
-/// the adapter count must stay within one adapter per engine boundary
-/// (a fallback operator has at most two boundary edges below/above it
-/// in these unary/binary plans, plus one possible boundary at the
-/// root).
+/// a union. Sorts and unions are not fusable — each must execute
+/// correctly on the fused engine, the fusable segments beneath/around
+/// them must still fuse, and the adapter count must stay within one
+/// adapter per engine boundary (a fallback operator has at most two
+/// boundary edges below/above it in these unary/binary plans, plus one
+/// possible boundary at the root). Hash aggregates terminate a fused
+/// pipeline in an aggregation sink instead of falling back: the golden
+/// aggregate query must produce an agg sink and zero adapters.
 #[test]
 fn fallback_operators_fuse_around_with_bounded_adapters() {
     let mut fallbacks_seen = Vec::new();
+    let mut agg_sinks_seen = 0usize;
     for case in sql_cases(options(1)) {
         let compiled = compile_fused(&case.db, &case.plan, BatchConfig::default());
         let report = &compiled.report;
@@ -176,15 +181,35 @@ fn fallback_operators_fuse_around_with_bounded_adapters() {
                 case.tag
             );
         }
+        // Adapters around an agg sink can only come from *other*
+        // fallback segments (e.g. a sort above it) — never from the
+        // aggregate itself.
+        if report.agg_sinks > 0 && report.fallback_segments() == 0 {
+            assert_eq!(
+                report.adapters, 0,
+                "{}: a fused terminal aggregate must report 0 adapters",
+                case.tag
+            );
+        }
+        agg_sinks_seen += report.agg_sinks;
         fallbacks_seen.extend(report.fallback_ops.iter().copied());
     }
-    // The golden list must actually exercise the fallback families.
-    for family in ["sort", "agg", "union"] {
+    // The golden list must actually exercise the fallback families —
+    // and aggregates must never be among them.
+    for family in ["sort", "union"] {
         assert!(
             fallbacks_seen.iter().any(|op| op.contains(family)),
             "golden queries produced no {family} fallback (saw {fallbacks_seen:?})"
         );
     }
+    assert!(
+        !fallbacks_seen.iter().any(|op| op.contains("aggregate")),
+        "aggregates must not fall back to the tuple engine (saw {fallbacks_seen:?})"
+    );
+    assert!(
+        agg_sinks_seen >= 1,
+        "golden queries produced no fused aggregation sink"
+    );
 }
 
 /// A fully fusable pipeline plan must compile to zero fallback segments

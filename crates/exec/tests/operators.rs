@@ -152,9 +152,10 @@ fn stream_aggregate_group_boundaries() {
     assert_eq!(out.len(), 3);
     assert_eq!(out[0][0], Value::Int(1));
     assert_eq!(out[0][1], Value::Int(2));
-    assert_eq!(out[0][2], Value::float(30.0));
+    // Integer SUM stays exact (Value::Int), not float.
+    assert_eq!(out[0][2], Value::Int(30));
     assert_eq!(out[2][0], Value::Int(3));
-    assert_eq!(out[2][2], Value::float(3.0));
+    assert_eq!(out[2][2], Value::Int(3));
 }
 
 #[test]

@@ -458,6 +458,11 @@ impl<'m> Search<'m> {
                     input_sorts: vec![false],
                 });
             }
+            // Split aggregates exist only inside the Volcano optimizer's
+            // search space (the aggregate-split transformation); they
+            // never reach this greedy mesh, whose input is the user's
+            // logical expression.
+            RelOp::PartialAggregate(_) | RelOp::FinalAggregate(_) => {}
         }
 
         // Complete totals and pick the best record.

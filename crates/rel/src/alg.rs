@@ -69,6 +69,16 @@ pub enum RelAlg {
     StreamAggregate(AggSpec),
     /// Hash-based aggregation over unordered input.
     HashAggregate(AggSpec),
+    /// Per-worker hash aggregation below a gather: each of the `u32`
+    /// workers groups its own share of the input and emits partial
+    /// summaries in the intermediate layout of
+    /// [`AggSpec::partial_attrs`]. The degree is carried so the
+    /// re-coster can reproduce the search-time cardinality without the
+    /// optimizer context.
+    PartialHashAggregate(AggSpec, u32),
+    /// Merge of partial summaries into final aggregate results; runs
+    /// serially above the gather.
+    FinalHashAggregate(AggSpec),
     /// The sort **enforcer**: performs no logical data manipulation, only
     /// establishes an ordering (§2.2).
     Sort(Vec<AttrId>),
@@ -100,6 +110,8 @@ impl Algorithm for RelAlg {
             RelAlg::HashDifference => "hash_difference",
             RelAlg::StreamAggregate(_) => "stream_aggregate",
             RelAlg::HashAggregate(_) => "hash_aggregate",
+            RelAlg::PartialHashAggregate(_, _) => "partial_hash_aggregate",
+            RelAlg::FinalHashAggregate(_) => "final_hash_aggregate",
             RelAlg::Sort(_) => "sort",
             RelAlg::Gather(_) => "gather",
         }

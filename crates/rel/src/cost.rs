@@ -249,6 +249,20 @@ pub mod formulas {
         RelCost::cpu(input.card * (CPU_HASH_MS + CPU_TUPLE_MS) + out.card * CPU_TUPLE_MS)
     }
 
+    /// Per-worker partial hash aggregation: the same hash-and-update
+    /// work as [`hash_agg`], producing the (larger, per-worker) partial
+    /// summary set. The caller parallelizes the result, so this is the
+    /// *total* work across workers.
+    pub fn partial_hash_agg(input: &RelLogical, out: &RelLogical) -> RelCost {
+        RelCost::cpu(input.card * (CPU_HASH_MS + CPU_TUPLE_MS) + out.card * CPU_TUPLE_MS)
+    }
+
+    /// Serial merge of partial summaries: one hash-and-merge per partial
+    /// row, one output tuple per final group.
+    pub fn final_hash_agg(input: &RelLogical, out: &RelLogical) -> RelCost {
+        RelCost::cpu(input.card * (CPU_HASH_MS + CPU_TUPLE_MS) + out.card * CPU_TUPLE_MS)
+    }
+
     /// Scale a local operator cost to its per-worker share under a
     /// delivered parallel degree. Both I/O and CPU divide by the degree:
     /// workers process disjoint morsels, and with `degree` outstanding

@@ -17,7 +17,7 @@ use crate::catalog::{Catalog, ColType};
 use crate::cost::{formulas, RelCost};
 use crate::ids::TableId;
 use crate::model::RelModelOptions;
-use crate::ops::AggFunc;
+use crate::ops::{AggFunc, AggSpec};
 use crate::predicate::JoinPred;
 use crate::props::{ColInfo, RelLogical};
 use crate::selectivity::{join_selectivity, pred_selectivity};
@@ -155,6 +155,103 @@ fn logical_from_inputs(catalog: &Catalog, alg: &RelAlg, inputs: &[RelLogical]) -
                 cols: Arc::new(cols),
             }
         }
+        RelAlg::PartialHashAggregate(spec, degree) => {
+            // Mirrors the model's `PartialAggregate` derivation: up to
+            // `degree` per-worker copies of each group, capped by the
+            // input size. The degree rides on the algorithm so the
+            // re-coster reproduces the search-time estimate without the
+            // optimizer context.
+            let input = &inputs[0];
+            let d_groups = if spec.group_by.is_empty() {
+                1.0
+            } else {
+                spec.group_by
+                    .iter()
+                    .map(|a| input.distinct(*a))
+                    .product::<f64>()
+            };
+            let card = (d_groups * f64::from((*degree).max(1)))
+                .min(input.card)
+                .max(1.0);
+            let mut cols: Vec<ColInfo> = spec
+                .group_by
+                .iter()
+                .map(|a| {
+                    *input
+                        .col(*a)
+                        .unwrap_or_else(|| panic!("group-by references unknown attribute {a:?}"))
+                })
+                .collect();
+            for (func, out) in &spec.aggs {
+                let ty = match func {
+                    AggFunc::CountStar => ColType::Int,
+                    AggFunc::Sum(a) | AggFunc::Min(a) | AggFunc::Max(a) | AggFunc::Avg(a) => {
+                        input.col(*a).map(|c| c.ty).unwrap_or(ColType::Int)
+                    }
+                };
+                cols.push(ColInfo {
+                    attr: *out,
+                    ty,
+                    width: 8,
+                    distinct: card,
+                });
+                if matches!(func, AggFunc::Avg(_)) {
+                    cols.push(ColInfo {
+                        attr: AggSpec::companion_attr(*out),
+                        ty: ColType::Int,
+                        width: 8,
+                        distinct: card,
+                    });
+                }
+            }
+            RelLogical {
+                card,
+                cols: Arc::new(cols),
+            }
+        }
+        RelAlg::FinalHashAggregate(spec) => {
+            // The input carries the partial layout: aggregate
+            // intermediates already sit at the output attribute ids.
+            let input = &inputs[0];
+            let groups = if spec.group_by.is_empty() {
+                1.0
+            } else {
+                spec.group_by
+                    .iter()
+                    .map(|a| input.distinct(*a))
+                    .product::<f64>()
+                    .min(input.card)
+                    .max(1.0)
+            };
+            let mut cols: Vec<ColInfo> = spec
+                .group_by
+                .iter()
+                .map(|a| {
+                    *input
+                        .col(*a)
+                        .unwrap_or_else(|| panic!("group-by references unknown attribute {a:?}"))
+                })
+                .collect();
+            for (func, out) in &spec.aggs {
+                let ty = match func {
+                    AggFunc::CountStar => ColType::Int,
+                    AggFunc::Avg(_) => ColType::Float,
+                    AggFunc::Sum(_) | AggFunc::Min(_) | AggFunc::Max(_) => {
+                        input.col(*out).map(|c| c.ty).unwrap_or(ColType::Int)
+                    }
+                };
+                cols.push(ColInfo {
+                    attr: *out,
+                    ty,
+                    width: 8,
+                    distinct: groups,
+                });
+            }
+            RelLogical {
+                card: groups,
+                cols: Arc::new(cols),
+            }
+        }
         // Enforcers manipulate no logical data: output = input.
         RelAlg::Sort(_) | RelAlg::Gather(_) => inputs[0].clone(),
     }
@@ -224,6 +321,8 @@ fn plan_cost_rec(
         }
         RelAlg::StreamAggregate(_) => formulas::stream_agg(&inputs[0], &out),
         RelAlg::HashAggregate(_) => formulas::hash_agg(&inputs[0], &out),
+        RelAlg::PartialHashAggregate(_, _) => formulas::partial_hash_agg(&inputs[0], &out),
+        RelAlg::FinalHashAggregate(_) => formulas::final_hash_agg(&inputs[0], &out),
         RelAlg::Sort(_) => formulas::sort(&inputs[0]),
         RelAlg::Gather(n) => formulas::gather(&inputs[0], *n),
     };

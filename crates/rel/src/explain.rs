@@ -85,6 +85,19 @@ pub fn alg_description(catalog: &Catalog, alg: &RelAlg) -> String {
         ),
         RelAlg::Sort(attrs) => format!("sort[{}]", attrs_name(catalog, attrs)),
         RelAlg::Gather(n) => format!("gather({n})"),
+        RelAlg::StreamAggregate(s) | RelAlg::HashAggregate(s) => format!(
+            "{}[group by {}]",
+            alg.name(),
+            attrs_name(catalog, &s.group_by)
+        ),
+        RelAlg::PartialHashAggregate(s, n) => format!(
+            "partial_hash_aggregate({n})[group by {}]",
+            attrs_name(catalog, &s.group_by)
+        ),
+        RelAlg::FinalHashAggregate(s) => format!(
+            "final_hash_aggregate[group by {}]",
+            attrs_name(catalog, &s.group_by)
+        ),
         other => other.name().to_string(),
     }
 }
@@ -131,6 +144,14 @@ pub fn explain_expr(catalog: &Catalog, expr: &RelExpr) -> String {
             RelOp::Aggregate(s) => {
                 format!("aggregate[group by {}]", attrs_name(catalog, &s.group_by))
             }
+            RelOp::PartialAggregate(s) => format!(
+                "partial_aggregate[group by {}]",
+                attrs_name(catalog, &s.group_by)
+            ),
+            RelOp::FinalAggregate(s) => format!(
+                "final_aggregate[group by {}]",
+                attrs_name(catalog, &s.group_by)
+            ),
         };
         let _ = writeln!(out, "{:indent$}{label}", "", indent = depth * 2);
         for i in &e.inputs {

@@ -7,16 +7,16 @@ use volcano_core::rules::{Enforcer, ImplementationRule, TransformationRule};
 
 use crate::catalog::{Catalog, ColType};
 use crate::cost::RelCost;
-use crate::ops::{AggFunc, RelOp};
+use crate::ops::{AggFunc, AggSpec, RelOp};
 use crate::props::{ColInfo, RelLogical, RelProps};
 use crate::rules::implement::{
-    FileScanRule, FilterRule, FilterScanRule, HashAggRule, HashJoinRule, HashSetOpRule,
-    IndexScanRule, MergeJoinRule, MergeSetOpRule, MultiWayJoinRule, NestedLoopsRule, ProjectRule,
-    SetOpKind, StreamAggRule,
+    FileScanRule, FilterRule, FilterScanRule, FinalHashAggRule, HashAggRule, HashJoinRule,
+    HashSetOpRule, IndexScanRule, MergeJoinRule, MergeSetOpRule, MultiWayJoinRule, NestedLoopsRule,
+    PartialHashAggRule, ProjectRule, SetOpKind, StreamAggRule,
 };
 use crate::rules::transform::{
-    BottomJoinCommute, JoinAssoc, JoinCommute, JoinLeftExchange, SelectMerge, SelectPushdown,
-    SetOpAssoc, SetOpCommute,
+    AggSplit, BottomJoinCommute, JoinAssoc, JoinCommute, JoinLeftExchange, SelectMerge,
+    SelectPushdown, SetOpAssoc, SetOpCommute,
 };
 use crate::rules::{GatherEnforcer, SortEnforcer};
 use crate::selectivity::{join_selectivity, pred_selectivity};
@@ -171,6 +171,12 @@ impl RelModel {
                 transforms.push(Box::new(SetOpCommute::intersect()));
             }
         }
+        if options.parallel_degree > 1 {
+            // Two-phase aggregation only pays off when there are workers
+            // to share the partial phase; a serial model stays
+            // bit-identical to the pre-parallel configuration.
+            transforms.push(Box::new(AggSplit::new()));
+        }
 
         let mut impls: Vec<Box<dyn ImplementationRule<RelModel>>> = vec![
             Box::new(FileScanRule::new()),
@@ -202,6 +208,10 @@ impl RelModel {
         }
         impls.push(Box::new(StreamAggRule::new()));
         impls.push(Box::new(HashAggRule::new()));
+        if options.parallel_degree > 1 {
+            impls.push(Box::new(PartialHashAggRule::new(options.parallel_degree)));
+            impls.push(Box::new(FinalHashAggRule::new()));
+        }
 
         let mut enforcers: Vec<Box<dyn Enforcer<RelModel>>> = vec![Box::new(SortEnforcer)];
         if options.parallel_degree > 1 {
@@ -331,6 +341,105 @@ impl Model for RelModel {
                         AggFunc::Avg(_) => ColType::Float,
                         AggFunc::Sum(a) | AggFunc::Min(a) | AggFunc::Max(a) => {
                             input.col(*a).map(|c| c.ty).unwrap_or(ColType::Int)
+                        }
+                    };
+                    cols.push(ColInfo {
+                        attr: *out,
+                        ty,
+                        width: 8,
+                        distinct: groups,
+                    });
+                }
+                RelLogical {
+                    card: groups,
+                    cols: Arc::new(cols),
+                }
+            }
+            RelOp::PartialAggregate(spec) => {
+                // Per-worker local grouping: up to `degree` copies of each
+                // group survive (one per worker), capped by the input
+                // size. For any degree this keeps the *final* group count
+                // identical to the single-phase derivation —
+                // min(D, min(D·n, card)) = min(D, card) — so the split is
+                // derivation-invariant.
+                let input = inputs[0];
+                let d_groups = if spec.group_by.is_empty() {
+                    1.0
+                } else {
+                    spec.group_by
+                        .iter()
+                        .map(|a| input.distinct(*a))
+                        .product::<f64>()
+                };
+                let degree = f64::from(self.options.parallel_degree.max(1));
+                let card = (d_groups * degree).min(input.card).max(1.0);
+                let mut cols: Vec<ColInfo> = spec
+                    .group_by
+                    .iter()
+                    .map(|a| {
+                        *input.col(*a).unwrap_or_else(|| {
+                            panic!("group-by references unknown attribute {a:?}")
+                        })
+                    })
+                    .collect();
+                for (func, out) in &spec.aggs {
+                    let ty = match func {
+                        AggFunc::CountStar => ColType::Int,
+                        AggFunc::Sum(a) | AggFunc::Min(a) | AggFunc::Max(a) | AggFunc::Avg(a) => {
+                            input.col(*a).map(|c| c.ty).unwrap_or(ColType::Int)
+                        }
+                    };
+                    cols.push(ColInfo {
+                        attr: *out,
+                        ty,
+                        width: 8,
+                        distinct: card,
+                    });
+                    if matches!(func, AggFunc::Avg(_)) {
+                        // AVG ships a (sum, count) pair across the gather.
+                        cols.push(ColInfo {
+                            attr: AggSpec::companion_attr(*out),
+                            ty: ColType::Int,
+                            width: 8,
+                            distinct: card,
+                        });
+                    }
+                }
+                RelLogical {
+                    card,
+                    cols: Arc::new(cols),
+                }
+            }
+            RelOp::FinalAggregate(spec) => {
+                // The input is the partial layout: group columns carry the
+                // original distinct counts, aggregate intermediates sit at
+                // the output attribute ids.
+                let input = inputs[0];
+                let groups = if spec.group_by.is_empty() {
+                    1.0
+                } else {
+                    spec.group_by
+                        .iter()
+                        .map(|a| input.distinct(*a))
+                        .product::<f64>()
+                        .min(input.card)
+                        .max(1.0)
+                };
+                let mut cols: Vec<ColInfo> = spec
+                    .group_by
+                    .iter()
+                    .map(|a| {
+                        *input.col(*a).unwrap_or_else(|| {
+                            panic!("group-by references unknown attribute {a:?}")
+                        })
+                    })
+                    .collect();
+                for (func, out) in &spec.aggs {
+                    let ty = match func {
+                        AggFunc::CountStar => ColType::Int,
+                        AggFunc::Avg(_) => ColType::Float,
+                        AggFunc::Sum(_) | AggFunc::Min(_) | AggFunc::Max(_) => {
+                            input.col(*out).map(|c| c.ty).unwrap_or(ColType::Int)
                         }
                     };
                     cols.push(ColInfo {

@@ -62,6 +62,49 @@ pub struct AggSpec {
     pub aggs: Vec<(AggFunc, AttrId)>,
 }
 
+/// Bit set on synthetic attribute ids in a partial aggregate's
+/// intermediate schema (the AVG count companion). Catalog-allocated ids
+/// stay far below this, so the companions can never collide.
+pub const PARTIAL_COMPANION_BIT: u32 = 1 << 30;
+
+impl AggSpec {
+    /// The AVG count companion attribute for output attribute `out`:
+    /// a partial AVG ships `(sum, count)` across the gather, and the
+    /// count column needs a deterministic id distinct from every real
+    /// attribute.
+    pub fn companion_attr(out: AttrId) -> AttrId {
+        AttrId(out.0 | PARTIAL_COMPANION_BIT)
+    }
+
+    /// The intermediate (partial-aggregate output) attribute layout:
+    /// group-by attributes, then per aggregate its output attribute —
+    /// with AVG contributing a second, companion column for the count.
+    ///
+    /// This layout is the contract between the partial and final phases
+    /// in every engine: `PartialHashAggregate` produces it and
+    /// `FinalHashAggregate` consumes it positionally.
+    pub fn partial_attrs(&self) -> Vec<AttrId> {
+        let mut out: Vec<AttrId> = self.group_by.clone();
+        for (f, a) in &self.aggs {
+            out.push(*a);
+            if matches!(f, AggFunc::Avg(_)) {
+                out.push(Self::companion_attr(*a));
+            }
+        }
+        out
+    }
+
+    /// The final (user-visible) attribute layout: group-by attributes,
+    /// then one column per aggregate.
+    pub fn output_attrs(&self) -> Vec<AttrId> {
+        self.group_by
+            .iter()
+            .copied()
+            .chain(self.aggs.iter().map(|(_, a)| *a))
+            .collect()
+    }
+}
+
 /// The logical operators of the relational algebra.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum RelOp {
@@ -82,6 +125,15 @@ pub enum RelOp {
     Difference,
     /// Group-by + aggregation (arity 1).
     Aggregate(AggSpec),
+    /// Per-worker partial aggregation: groups its input locally and
+    /// emits one summary row per (worker, group) in the intermediate
+    /// layout of [`AggSpec::partial_attrs`] (arity 1). Only produced by
+    /// the `AggSplit` transformation under a parallel model.
+    PartialAggregate(AggSpec),
+    /// Merge of partial-aggregate summaries into final results: SUM and
+    /// COUNT partials are summed, MIN/MAX re-minimized, AVG divides the
+    /// merged `(sum, count)` pair (arity 1).
+    FinalAggregate(AggSpec),
 }
 
 /// Operator discriminants for the rule-dispatch index (see
@@ -104,6 +156,10 @@ pub mod rel_disc {
     pub const DIFFERENCE: usize = 6;
     /// `RelOp::Aggregate(_)`.
     pub const AGGREGATE: usize = 7;
+    /// `RelOp::PartialAggregate(_)`.
+    pub const PARTIAL_AGGREGATE: usize = 8;
+    /// `RelOp::FinalAggregate(_)`.
+    pub const FINAL_AGGREGATE: usize = 9;
 }
 
 impl RelOp {
@@ -118,6 +174,8 @@ impl RelOp {
             RelOp::Intersect => rel_disc::INTERSECT,
             RelOp::Difference => rel_disc::DIFFERENCE,
             RelOp::Aggregate(_) => rel_disc::AGGREGATE,
+            RelOp::PartialAggregate(_) => rel_disc::PARTIAL_AGGREGATE,
+            RelOp::FinalAggregate(_) => rel_disc::FINAL_AGGREGATE,
         }
     }
 }
@@ -126,7 +184,11 @@ impl Operator for RelOp {
     fn arity(&self) -> usize {
         match self {
             RelOp::Get(_) => 0,
-            RelOp::Select(_) | RelOp::Project(_) | RelOp::Aggregate(_) => 1,
+            RelOp::Select(_)
+            | RelOp::Project(_)
+            | RelOp::Aggregate(_)
+            | RelOp::PartialAggregate(_)
+            | RelOp::FinalAggregate(_) => 1,
             RelOp::Join(_) | RelOp::Union | RelOp::Intersect | RelOp::Difference => 2,
         }
     }
@@ -141,6 +203,8 @@ impl Operator for RelOp {
             RelOp::Intersect => "intersect",
             RelOp::Difference => "difference",
             RelOp::Aggregate(_) => "aggregate",
+            RelOp::PartialAggregate(_) => "partial_aggregate",
+            RelOp::FinalAggregate(_) => "final_aggregate",
         }
     }
 }
@@ -159,6 +223,22 @@ impl fmt::Display for RelOp {
                 write!(
                     f,
                     "aggregate[group={:?}, {} aggs]",
+                    s.group_by,
+                    s.aggs.len()
+                )
+            }
+            RelOp::PartialAggregate(s) => {
+                write!(
+                    f,
+                    "partial_aggregate[group={:?}, {} aggs]",
+                    s.group_by,
+                    s.aggs.len()
+                )
+            }
+            RelOp::FinalAggregate(s) => {
+                write!(
+                    f,
+                    "final_aggregate[group={:?}, {} aggs]",
                     s.group_by,
                     s.aggs.len()
                 )

@@ -986,7 +986,8 @@ impl ImplementationRule<RelModel> for HashAggRule {
     }
 
     fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
-        // Aggregation executes serially (no morsel-parallel path).
+        // The single-phase hash aggregate is a serial pipeline breaker;
+        // parallel goals are served by the partial/final split instead.
         if required.is_sorted() || required.is_parallel() {
             return vec![];
         }
@@ -1002,5 +1003,118 @@ impl ImplementationRule<RelModel> for HashAggRule {
 
     fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
         formulas::hash_agg(input_props(ctx, b, 0), out_props(ctx, b))
+    }
+}
+
+/// `PartialAggregate` → `PartialHashAggregate`: per-worker local
+/// grouping. The only implementation of the partial class, and it
+/// *demands* a parallel input at the model's degree — under a serial
+/// requirement it does not qualify, so the only way a partial aggregate
+/// reaches a serial consumer is through the gather enforcer, which is
+/// exactly the `Final ← Gather(n) ← Partial ← parallel subtree` shape
+/// two-phase aggregation wants.
+pub struct PartialHashAggRule {
+    pattern: Pattern<RelModel>,
+    degree: u32,
+}
+
+impl PartialHashAggRule {
+    /// Construct the rule for a model with `degree` workers.
+    pub fn new(degree: u32) -> Self {
+        PartialHashAggRule {
+            pattern: Pattern::op_disc(
+                "partial_aggregate",
+                vec![rel_disc::PARTIAL_AGGREGATE],
+                |op: &RelOp| matches!(op, RelOp::PartialAggregate(_)),
+                vec![Pattern::Any],
+            ),
+            degree,
+        }
+    }
+}
+
+impl ImplementationRule<RelModel> for PartialHashAggRule {
+    fn name(&self) -> &'static str {
+        "partial_aggregate_to_partial_hash_aggregate"
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
+        let delivers = RelProps::parallel(self.degree);
+        if !delivers.satisfies(required) {
+            return vec![];
+        }
+        let RelOp::PartialAggregate(spec) = &b.op else {
+            unreachable!()
+        };
+        vec![App {
+            alg: RelAlg::PartialHashAggregate(spec.clone(), self.degree),
+            input_props: vec![RelProps::parallel(self.degree)],
+            delivers,
+        }]
+    }
+
+    fn cost(&self, app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        formulas::parallelize(
+            formulas::partial_hash_agg(input_props(ctx, b, 0), out_props(ctx, b)),
+            app.delivers.parallel,
+        )
+    }
+}
+
+/// `FinalAggregate` → `FinalHashAggregate`: serial merge of partial
+/// summaries, above the gather.
+pub struct FinalHashAggRule {
+    pattern: Pattern<RelModel>,
+}
+
+impl FinalHashAggRule {
+    /// Construct the rule.
+    pub fn new() -> Self {
+        FinalHashAggRule {
+            pattern: Pattern::op_disc(
+                "final_aggregate",
+                vec![rel_disc::FINAL_AGGREGATE],
+                |op: &RelOp| matches!(op, RelOp::FinalAggregate(_)),
+                vec![Pattern::Any],
+            ),
+        }
+    }
+}
+
+impl Default for FinalHashAggRule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ImplementationRule<RelModel> for FinalHashAggRule {
+    fn name(&self) -> &'static str {
+        "final_aggregate_to_final_hash_aggregate"
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn applies(&self, b: &Bind, required: &RelProps, _ctx: &Ctx<'_>) -> Vec<App> {
+        if required.is_sorted() || required.is_parallel() {
+            return vec![];
+        }
+        let RelOp::FinalAggregate(spec) = &b.op else {
+            unreachable!()
+        };
+        vec![App {
+            alg: RelAlg::FinalHashAggregate(spec.clone()),
+            input_props: vec![RelProps::any()],
+            delivers: RelProps::any(),
+        }]
+    }
+
+    fn cost(&self, _app: &App, b: &Bind, ctx: &Ctx<'_>) -> RelCost {
+        formulas::final_hash_agg(input_props(ctx, b, 0), out_props(ctx, b))
     }
 }

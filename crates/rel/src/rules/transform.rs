@@ -418,6 +418,62 @@ impl TransformationRule<RelModel> for SelectMerge {
     }
 }
 
+/// `γ(X)  →  γ_final(γ_partial(X))`: split an aggregate into a
+/// per-worker partial phase and a serial merge phase. Every supported
+/// aggregate decomposes: SUM/MIN/MAX merge with themselves, COUNT(*)
+/// merges by summing partial counts, and AVG ships a `(sum, count)`
+/// pair (see [`AggSpec::partial_attrs`]). The rewrite is only *useful*
+/// under a parallel model — the partial class's sole implementation
+/// demands a parallel input, so the optimizer prices it against the
+/// serial single-phase plan and the gather enforcer decides placement —
+/// hence the rule is registered only when `parallel_degree > 1`.
+pub struct AggSplit {
+    pattern: Pattern<RelModel>,
+}
+
+impl AggSplit {
+    /// Construct the rule.
+    pub fn new() -> Self {
+        AggSplit {
+            pattern: Pattern::op_disc(
+                "aggregate",
+                vec![rel_disc::AGGREGATE],
+                |op: &RelOp| matches!(op, RelOp::Aggregate(_)),
+                vec![Pattern::Any],
+            ),
+        }
+    }
+}
+
+impl Default for AggSplit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TransformationRule<RelModel> for AggSplit {
+    fn name(&self) -> &'static str {
+        "agg_split"
+    }
+
+    fn pattern(&self) -> &Pattern<RelModel> {
+        &self.pattern
+    }
+
+    fn apply(&self, b: &Binding<RelModel>, _ctx: &RuleCtx<'_, RelModel>) -> Vec<Subst> {
+        let RelOp::Aggregate(spec) = &b.op else {
+            unreachable!()
+        };
+        vec![Subst::node(
+            RelOp::FinalAggregate(spec.clone()),
+            vec![Subst::node(
+                RelOp::PartialAggregate(spec.clone()),
+                vec![Subst::group(b.input_group(0))],
+            )],
+        )]
+    }
+}
+
 /// Commutativity for a symmetric set operation (union or intersection).
 pub struct SetOpCommute {
     pattern: Pattern<RelModel>,

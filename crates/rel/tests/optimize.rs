@@ -300,6 +300,64 @@ fn aggregation_chooses_between_hash_and_stream() {
 }
 
 #[test]
+fn parallel_model_splits_aggregate_into_two_phases() {
+    // A large aggregation under a parallel model must split: per-worker
+    // partial aggregation below the gather, a final merge above it —
+    // only group summaries cross the exchange.
+    let mut c = Catalog::new();
+    c.add_table(
+        "sales",
+        1_000_000.0,
+        vec![
+            ColumnDef::int("cust", 100.0),
+            ColumnDef::int("amount", 10_000.0),
+        ],
+    );
+    let cust = c.attr("sales", "cust");
+    let amount = c.attr("sales", "amount");
+    let out = c.fresh_attr();
+    let expr = |c: &RelModel| {
+        let q = QueryBuilder::new(c.catalog());
+        aggregate(
+            q.scan("sales"),
+            AggSpec {
+                group_by: vec![cust],
+                aggs: vec![(AggFunc::Sum(amount), out)],
+            },
+        )
+    };
+    let parallel = RelModel::new(
+        c.clone(),
+        RelModelOptions::default().with_parallel_degree(8),
+    );
+    let plan = optimize(&parallel, &expr(&parallel), RelProps::any());
+    let shape = plan.compact();
+    assert!(
+        matches!(plan.alg, RelAlg::FinalHashAggregate(_)),
+        "expected final_hash_aggregate at the root, got {shape}"
+    );
+    assert!(
+        matches!(plan.inputs[0].alg, RelAlg::Gather(8)),
+        "expected gather(8) below the final merge, got {shape}"
+    );
+    assert!(
+        matches!(
+            plan.inputs[0].inputs[0].alg,
+            RelAlg::PartialHashAggregate(_, 8)
+        ),
+        "expected partial_hash_aggregate below the gather, got {shape}"
+    );
+    // The serial model must keep the one-shot plan.
+    let serial = RelModel::new(c, RelModelOptions::default());
+    let plan = optimize(&serial, &expr(&serial), RelProps::any());
+    assert!(
+        matches!(plan.alg, RelAlg::HashAggregate(_)),
+        "serial model must not split, got {}",
+        plan.compact()
+    );
+}
+
+#[test]
 fn impossible_requirement_fails_cleanly() {
     let model = RelModel::with_defaults(catalog());
     let q = QueryBuilder::new(model.catalog());

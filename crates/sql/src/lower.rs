@@ -127,7 +127,8 @@ fn output_width(e: &RelExpr, catalog: &Catalog) -> usize {
         RelOp::Project(attrs) => attrs.len(),
         RelOp::Join(_) => output_width(&e.inputs[0], catalog) + output_width(&e.inputs[1], catalog),
         RelOp::Union | RelOp::Intersect | RelOp::Difference => output_width(&e.inputs[0], catalog),
-        RelOp::Aggregate(s) => s.group_by.len() + s.aggs.len(),
+        RelOp::Aggregate(s) | RelOp::FinalAggregate(s) => s.group_by.len() + s.aggs.len(),
+        RelOp::PartialAggregate(s) => s.partial_attrs().len(),
     }
 }
 

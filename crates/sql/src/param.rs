@@ -169,7 +169,10 @@ fn hash_expr(e: &RelExpr, h: &mut FxHasher) {
         RelOp::Project(attrs) => attrs.hash(h),
         RelOp::Join(p) => p.hash(h),
         RelOp::Union | RelOp::Intersect | RelOp::Difference => {}
-        RelOp::Aggregate(spec) => spec.hash(h),
+        RelOp::Aggregate(spec) | RelOp::PartialAggregate(spec) | RelOp::FinalAggregate(spec) => {
+            // The variants hash distinctly via the discriminant above.
+            spec.hash(h)
+        }
     }
     h.write_usize(e.inputs.len());
     for input in &e.inputs {

@@ -103,7 +103,7 @@ fn golden_group_by_aggregate() {
         r#"
 project[emp.dept, a6]  (cost 113.83ms (io 41.16 + cpu 72.67))  [sorted: emp.dept]
   sort[emp.dept]  (cost 113.73ms (io 41.16 + cpu 72.57))  [sorted: emp.dept]
-    hash_aggregate  (cost 107.36ms (io 35.16 + cpu 72.20))
+    hash_aggregate[group by emp.dept]  (cost 107.36ms (io 35.16 + cpu 72.20))
       file_scan(emp)  (cost 55.16ms (io 35.16 + cpu 20.00))
 "#,
     );
