@@ -617,6 +617,74 @@ fn check_serve(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn check_feedback(v: &Json) -> Result<(), String> {
+    for key in ["rows", "reps"] {
+        let x = num(v, key)?;
+        if x < 1.0 {
+            return Err(format!("{key} {x} < 1"));
+        }
+    }
+    let smoke = match v.get("smoke") {
+        Some(&Json::Bool(b)) => b,
+        _ => return Err("missing or non-boolean field \"smoke\"".to_string()),
+    };
+    let engines = v
+        .get("engines")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing engines array".to_string())?;
+    let mut seen = (false, false, false);
+    for (i, e) in engines.iter().enumerate() {
+        let ctx = |err: String| format!("engines[{i}]: {err}");
+        match e.get("engine").and_then(Json::as_str) {
+            Some("tuple") => seen.0 = true,
+            Some("batch") => seen.1 = true,
+            Some("fused") => seen.2 = true,
+            other => return Err(format!("engines[{i}]: unknown engine {other:?}")),
+        }
+        let k = num(e, "executions_to_converge").map_err(ctx)?;
+        if k < 1.0 {
+            return Err(format!("engines[{i}]: executions_to_converge {k} < 1"));
+        }
+        // The acceptance gate, per engine: a repeatedly-wrong cached
+        // plan must be re-optimized onto the oracle plan within 5
+        // executions.
+        if !smoke && k > 5.0 {
+            return Err(format!(
+                "engines[{i}]: executions_to_converge {k} > 5 on a full run \
+                 (adaptive re-optimization regression)"
+            ));
+        }
+        for key in ["wrong_ms", "converged_ms", "improvement_ratio"] {
+            let x = num(e, key).map_err(ctx)?;
+            if x <= 0.0 {
+                return Err(format!("engines[{i}]: {key} {x} <= 0"));
+            }
+        }
+    }
+    if seen != (true, true, true) {
+        return Err("engines must cover tuple, batch, and fused".to_string());
+    }
+    let k = num(v, "max_executions_to_converge")?;
+    if !smoke && k > 5.0 {
+        return Err(format!("max_executions_to_converge {k} > 5 on a full run"));
+    }
+    let g = num(v, "geomean_improvement")?;
+    if g <= 0.0 {
+        return Err(format!("geomean_improvement {g} <= 0"));
+    }
+    // The latency gate: on a full run, the converged plan must run at
+    // least 2x faster than the misestimated plan it replaced (geomean
+    // across engines). Smoke runs (tiny tables, debug builds) are
+    // exempt.
+    if !smoke && g < 2.0 {
+        return Err(format!(
+            "geomean_improvement {g:.2} < 2.0 on a full run \
+             (feedback stopped paying for itself)"
+        ));
+    }
+    Ok(())
+}
+
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
     let v = parse_json(&text).map_err(|e| e.to_string())?;
@@ -630,6 +698,7 @@ fn check_file(path: &str) -> Result<(), String> {
         Some("exec_parallel") => check_exec_parallel(&v),
         Some("plan_cache") => check_plan_cache(&v),
         Some("serve") => check_serve(&v),
+        Some("feedback") => check_feedback(&v),
         Some(other) => Err(format!("unknown benchmark tag {other:?}")),
         None => Err("missing \"benchmark\" tag".to_string()),
     }

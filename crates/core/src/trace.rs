@@ -124,6 +124,17 @@ pub enum TraceEvent {
         /// Morsels a worker stole from another worker's local queue.
         steals: u64,
     },
+    /// Observed selectivities from one executed plan were merged into the
+    /// catalog's selectivity memory. Emitted by the execution layer after
+    /// a feedback-enabled prepared execution completes.
+    FeedbackApplied {
+        /// Selectivity observations harvested from this execution.
+        observations: u64,
+        /// Whether the merge moved the memory materially — in which case
+        /// the stats epoch was bumped so cached plans re-justify
+        /// themselves under the observed statistics.
+        epoch_bumped: bool,
+    },
 }
 
 impl TraceEvent {
@@ -134,7 +145,8 @@ impl TraceEvent {
             TraceEvent::RuleFired { .. }
             | TraceEvent::BudgetTripped { .. }
             | TraceEvent::PlanCacheLookup { .. }
-            | TraceEvent::MorselPhase { .. } => None,
+            | TraceEvent::MorselPhase { .. }
+            | TraceEvent::FeedbackApplied { .. } => None,
             TraceEvent::GoalBegin { group, .. }
             | TraceEvent::GoalEnd { group, .. }
             | TraceEvent::MoveCosted { group, .. }
@@ -591,10 +603,11 @@ impl Tracer for MetricsTracer {
             }
             // Budget trips are not per-group counters (SearchStats carries
             // the outcome), cache lookups precede any search, and morsel
-            // phases are an execution-time signal.
+            // phases and feedback merges are execution-time signals.
             TraceEvent::BudgetTripped { .. }
             | TraceEvent::PlanCacheLookup { .. }
-            | TraceEvent::MorselPhase { .. } => {}
+            | TraceEvent::MorselPhase { .. }
+            | TraceEvent::FeedbackApplied { .. } => {}
         }
     }
 }

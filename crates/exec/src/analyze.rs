@@ -216,6 +216,13 @@ fn finite(x: f64) -> f64 {
 }
 
 impl Analyzed {
+    /// Per-node actual output row counts in plan pre-order — the exact
+    /// vector `volcano_rel::feedback::observations` consumes (the
+    /// harvest walk and the instrumentation share the same pre-order).
+    pub fn actual_rows(&self) -> Vec<u64> {
+        self.nodes.iter().map(|n| n.actual_rows).collect()
+    }
+
     /// Inclusive-minus-children ("self") time for each node, derived
     /// from the pre-order depth vector.
     fn self_times(&self) -> Vec<Duration> {
@@ -357,8 +364,21 @@ fn drain_counters(counters: Vec<(NodeMeasurement, Arc<Cell>)>) -> Vec<NodeMeasur
 /// Execute a plan with per-operator instrumentation.
 pub fn execute_analyzed(db: &Database, catalog: &Catalog, plan: &RelPlan) -> Analyzed {
     let sch = db.snapshot();
+    execute_analyzed_at(db, &sch, catalog, plan)
+}
+
+/// [`execute_analyzed`] against a caller-pinned schema snapshot — the
+/// feedback path instruments the same snapshot the prepared execution
+/// lowered on, so concurrent DDL cannot change the plan's tables
+/// between planning and measurement.
+pub fn execute_analyzed_at(
+    db: &Database,
+    sch: &crate::database::SchemaSnapshot,
+    catalog: &Catalog,
+    plan: &RelPlan,
+) -> Analyzed {
     let mut counters = Vec::new();
-    let mut op = instrument(db, &sch, catalog, plan, 0, &mut counters);
+    let mut op = instrument(db, sch, catalog, plan, 0, &mut counters);
     let rows = collect(op.as_mut());
     Analyzed {
         rows,
@@ -431,9 +451,21 @@ pub fn execute_analyzed_batch(
     cfg: BatchConfig,
 ) -> Analyzed {
     let sch = db.snapshot();
+    execute_analyzed_batch_at(db, &sch, catalog, plan, cfg)
+}
+
+/// [`execute_analyzed_batch`] against a caller-pinned schema snapshot
+/// (see [`execute_analyzed_at`]).
+pub fn execute_analyzed_batch_at(
+    db: &Database,
+    sch: &crate::database::SchemaSnapshot,
+    catalog: &Catalog,
+    plan: &RelPlan,
+    cfg: BatchConfig,
+) -> Analyzed {
     let mut counters = Vec::new();
-    let schema_len = crate::compile::schema_of_at(&sch, plan).len();
-    let mut op = instrument_batch(db, &sch, catalog, plan, 0, cfg, &mut counters)
+    let schema_len = crate::compile::schema_of_at(sch, plan).len();
+    let mut op = instrument_batch(db, sch, catalog, plan, 0, cfg, &mut counters)
         .into_batch(schema_len, cfg.batch_size);
     let rows = collect_batches(op.as_mut());
     Analyzed {

@@ -12,15 +12,15 @@ use volcano_core::{SearchOptions, SearchStats};
 use volcano_rel::catalog::ColType;
 use volcano_rel::value::Tuple;
 use volcano_rel::{
-    AttrId, Catalog, RelCost, RelModel, RelModelOptions, RelOptimizer, RelPlan, RelProps, TableId,
-    Value,
+    AttrId, Catalog, Observation, ObservationKey, RelCost, RelModel, RelModelOptions, RelOptimizer,
+    RelPlan, RelProps, TableId, Value,
 };
 use volcano_sql::{
     lower_with_params, parameterize, parse, shape_key, AstQuery, BindError, LowerError, ParamQuery,
     ParseError,
 };
 use volcano_store::record::{decode_record, encode_record, Field};
-use volcano_store::{BTree, BufferPool, DiskManager, FileDisk, HeapFile, MemDisk};
+use volcano_store::{BTree, BufferPool, DiskManager, FileDisk, HeapFile, MemDisk, MetaEntry};
 
 use crate::batch::collect_batches;
 use crate::compile::{BatchConfig, Engine};
@@ -68,6 +68,41 @@ pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
 /// Default cost-drift tolerance: a stale entry whose re-estimated cost
 /// exceeds its recorded cost by more than this factor is re-optimized.
 pub const DEFAULT_DRIFT_FACTOR: f64 = 2.0;
+
+/// Materiality threshold for feedback-triggered epoch bumps: merging an
+/// execution's observations bumps the stats epoch (forcing cached plans
+/// to re-justify themselves under the observed statistics) only when
+/// some memory cell moved by at least this ratio. Immaterial drift —
+/// re-observing what the memory already says — must not invalidate
+/// anything, or every execution would de-cache its own plan.
+pub const FEEDBACK_MATERIAL_RATIO: f64 = 1.5;
+
+/// Counters of the adaptive-feedback loop (see
+/// [`Database::feedback_stats`]); rendered in `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackStats {
+    /// Whether database-wide feedback is enabled.
+    pub enabled: bool,
+    /// Selectivity observations merged into the memory so far.
+    pub observations: u64,
+    /// Executions that harvested at least one observation.
+    pub applications: u64,
+    /// Stats-epoch bumps triggered by material memory movement.
+    pub epoch_bumps: u64,
+    /// Memory cells currently populated in the catalog.
+    pub cells: u64,
+}
+
+impl FeedbackStats {
+    /// Render as a JSON object (the CLI's `EXPLAIN ANALYZE` embeds it).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"enabled\":{},\"observations\":{},\"applications\":{},\
+             \"epoch_bumps\":{},\"cells\":{}}}",
+            self.enabled, self.observations, self.applications, self.epoch_bumps, self.cells
+        )
+    }
+}
 
 /// A statement prepared against a [`Database`]: the parameterized query
 /// shape plus the constants extracted from its text. Cheap to clone;
@@ -125,6 +160,10 @@ pub struct PreparedOutcome {
     pub search: Option<SearchStats>,
     /// Estimated cost of the executed plan.
     pub cost: RelCost,
+    /// The physical plan this execution ran (re-bound to this
+    /// execution's parameters when served from the cache) — the
+    /// convergence harness compares plan identity across executions.
+    pub plan: RelPlan,
 }
 
 /// Per-execution controls for prepared execution — what a serving-tier
@@ -144,6 +183,10 @@ pub struct ExecOptions {
     /// `SET PLAN_CACHE OFF`); the database-wide switch stays untouched
     /// and nothing is cleared.
     pub bypass_cache: bool,
+    /// Harvest observed selectivities from this execution and merge them
+    /// into the catalog's memory (a session-level `SET FEEDBACK ON`).
+    /// Feedback also applies when the database-wide switch is on.
+    pub feedback: bool,
 }
 
 impl ExecOptions {
@@ -176,6 +219,12 @@ impl ExecOptions {
     /// Bound optimization by `budget`.
     pub fn with_budget(mut self, budget: volcano_core::SearchBudget) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Harvest and merge observed selectivities from this execution.
+    pub fn with_feedback(mut self, on: bool) -> Self {
+        self.feedback = on;
         self
     }
 }
@@ -264,6 +313,15 @@ pub struct Database {
     /// Worker-pool degree the optimizer's gather enforcer may offer
     /// (morsel-driven batch execution); `1` = serial planning.
     parallel_degree: AtomicU32,
+    /// Database-wide adaptive-feedback switch (off by default: feedback
+    /// changes plans, so it is strictly opt-in).
+    feedback_enabled: AtomicBool,
+    /// Selectivity observations merged into the memory.
+    feedback_observations: AtomicU64,
+    /// Executions that harvested at least one observation.
+    feedback_applications: AtomicU64,
+    /// Epoch bumps triggered by material feedback.
+    feedback_epoch_bumps: AtomicU64,
 }
 
 impl Database {
@@ -320,6 +378,10 @@ impl Database {
             cache_enabled: AtomicBool::new(true),
             drift_factor: AtomicU64::new(DEFAULT_DRIFT_FACTOR.to_bits()),
             parallel_degree: AtomicU32::new(1),
+            feedback_enabled: AtomicBool::new(false),
+            feedback_observations: AtomicU64::new(0),
+            feedback_applications: AtomicU64::new(0),
+            feedback_epoch_bumps: AtomicU64::new(0),
         }
     }
 
@@ -581,6 +643,138 @@ impl Database {
         f64::from_bits(self.drift_factor.load(Ordering::Acquire))
     }
 
+    // -----------------------------------------------------------------
+    // Adaptive feedback: executed plans report observed selectivities,
+    // the catalog's memory merges them, and material movement bumps the
+    // stats epoch so the drift guard re-judges cached plans under the
+    // observed statistics.
+
+    /// Enable or disable database-wide adaptive feedback. Off by
+    /// default; a session can also opt in per execution via
+    /// [`ExecOptions::with_feedback`].
+    pub fn set_feedback_enabled(&self, on: bool) {
+        self.feedback_enabled.store(on, Ordering::Release);
+    }
+
+    /// Whether database-wide adaptive feedback is enabled.
+    pub fn feedback_enabled(&self) -> bool {
+        self.feedback_enabled.load(Ordering::Acquire)
+    }
+
+    /// The adaptive-feedback counters.
+    pub fn feedback_stats(&self) -> FeedbackStats {
+        FeedbackStats {
+            enabled: self.feedback_enabled(),
+            observations: self.feedback_observations.load(Ordering::Acquire),
+            applications: self.feedback_applications.load(Ordering::Acquire),
+            epoch_bumps: self.feedback_epoch_bumps.load(Ordering::Acquire),
+            cells: self.snapshot().catalog.feedback().len() as u64,
+        }
+    }
+
+    /// Merge harvested observations into the catalog's selectivity
+    /// memory (copy-on-write snapshot swap, like every other catalog
+    /// mutation). Returns whether the merge was *material* — some cell
+    /// moved by at least [`FEEDBACK_MATERIAL_RATIO`] relative to its
+    /// prior (or, for a fresh cell, to the harvest-time estimate) — in
+    /// which case the stats epoch was bumped so cached plans re-justify
+    /// themselves under the observed statistics.
+    pub fn apply_feedback(&self, observations: &[Observation]) -> bool {
+        if observations.is_empty() {
+            return false;
+        }
+        let floor = volcano_rel::selectivity::MIN_SELECTIVITY;
+        let mut material = false;
+        {
+            let mut guard = self.schema.write();
+            let mut catalog = (*guard.catalog).clone();
+            let memory = catalog.feedback_mut();
+            for o in observations {
+                let prior = memory
+                    .lookup(&o.key)
+                    .unwrap_or_else(|| o.estimated.clamp(floor, 1.0));
+                memory.observe(o.key, o.observed);
+                if let Some(new) = memory.lookup(&o.key) {
+                    let ratio = if new > prior {
+                        new / prior
+                    } else {
+                        prior / new
+                    };
+                    if ratio >= FEEDBACK_MATERIAL_RATIO {
+                        material = true;
+                    }
+                }
+            }
+            *guard = Arc::new(SchemaSnapshot {
+                catalog: Arc::new(catalog),
+                tables: guard.tables.clone(),
+                indexes: guard.indexes.clone(),
+            });
+        }
+        self.feedback_observations
+            .fetch_add(observations.len() as u64, Ordering::AcqRel);
+        self.feedback_applications.fetch_add(1, Ordering::AcqRel);
+        if material {
+            self.feedback_epoch_bumps.fetch_add(1, Ordering::AcqRel);
+            self.bump_epoch();
+        }
+        material
+    }
+
+    /// Export the catalog's selectivity memory in the model-agnostic
+    /// sidecar codec of `volcano_store::meta` (deterministic byte
+    /// order). Observed selectivities were paid for with real
+    /// executions; persisting them lets a re-opened database skip the
+    /// cold-start convergence.
+    pub fn export_feedback(&self) -> Vec<u8> {
+        let snap = self.snapshot();
+        let mut entries: Vec<MetaEntry> = snap
+            .catalog
+            .feedback()
+            .iter()
+            .map(|(k, e)| MetaEntry {
+                tag: k.tag(),
+                key: k.raw(),
+                value: e.sel,
+                count: e.n,
+            })
+            .collect();
+        entries.sort_by_key(|a| (a.tag, a.key));
+        volcano_store::meta::encode(&entries)
+    }
+
+    /// Restore a memory exported by [`Database::export_feedback`],
+    /// replacing any overlapping cells, and bump the stats epoch if
+    /// anything was restored. Returns the number of cells restored —
+    /// zero for corrupt bytes (a bad sidecar degrades to a cold start)
+    /// and for entries written by an unknown newer tag.
+    pub fn import_feedback(&self, bytes: &[u8]) -> usize {
+        let Some(entries) = volcano_store::meta::decode(bytes) else {
+            return 0;
+        };
+        let mut restored = 0usize;
+        {
+            let mut guard = self.schema.write();
+            let mut catalog = (*guard.catalog).clone();
+            for e in &entries {
+                if let Some(key) = ObservationKey::from_parts(e.tag, e.key) {
+                    catalog.feedback_mut().insert_raw(key, e.value, e.count);
+                    restored += 1;
+                }
+            }
+            if restored == 0 {
+                return 0;
+            }
+            *guard = Arc::new(SchemaSnapshot {
+                catalog: Arc::new(catalog),
+                tables: guard.tables.clone(),
+                indexes: guard.indexes.clone(),
+            });
+        }
+        self.bump_epoch();
+        restored
+    }
+
     /// Prepare a SQL statement: parse, then auto-parameterize every
     /// WHERE-clause literal (explicit `$n` placeholders keep their
     /// slots). Name resolution happens at execution time, so preparing
@@ -656,6 +850,7 @@ impl Database {
             .map_err(PrepareError::Lower)?;
         let goal = RelProps::sorted(q.order_by.clone());
         let shape = shape_key(&q.expr, &q.order_by);
+        let feedback = opts.feedback || self.feedback_enabled();
 
         if opts.bypass_cache || !self.plan_cache_enabled() {
             if let Some(t) = tracer {
@@ -666,10 +861,11 @@ impl Database {
             }
             let (plan, stats) = self.optimize(&catalog, &q.expr, goal, opts.budget.clone())?;
             return Ok(PreparedOutcome {
-                rows: self.run_at(&snap, &plan, opts.engine),
+                rows: self.run_prepared(&snap, &plan, opts.engine, feedback, tracer),
                 cache: "bypass",
                 cost: plan.cost,
                 search: Some(stats),
+                plan,
             });
         }
 
@@ -693,10 +889,11 @@ impl Database {
             CacheOutcome::Hit(entry) => {
                 let plan = rebind_plan(&entry.plan, &full);
                 Ok(PreparedOutcome {
-                    rows: self.run_at(&snap, &plan, opts.engine),
+                    rows: self.run_prepared(&snap, &plan, opts.engine, feedback, tracer),
                     cache: "hit",
                     cost: entry.cost,
                     search: None,
+                    plan,
                 })
             }
             CacheOutcome::Miss | CacheOutcome::Invalidated => {
@@ -719,10 +916,11 @@ impl Database {
                     );
                 }
                 Ok(PreparedOutcome {
-                    rows: self.run_at(&snap, &plan, opts.engine),
+                    rows: self.run_prepared(&snap, &plan, opts.engine, feedback, tracer),
                     cache: label,
                     cost: plan.cost,
                     search: Some(stats),
+                    plan,
                 })
             }
         }
@@ -746,6 +944,68 @@ impl Database {
             .find_best_plan(root, goal, None)
             .map_err(|e| PrepareError::Plan(e.to_string()))?;
         Ok((plan, opt.stats().clone()))
+    }
+
+    /// Dispatch a prepared execution: the plain engine run, or — with
+    /// feedback on — the instrumented run that harvests and merges
+    /// observed selectivities.
+    fn run_prepared(
+        &self,
+        snap: &Arc<SchemaSnapshot>,
+        plan: &RelPlan,
+        engine: Engine,
+        feedback: bool,
+        tracer: Option<&dyn Tracer>,
+    ) -> Vec<Tuple> {
+        if feedback {
+            self.run_feedback_at(snap, plan, engine, tracer)
+        } else {
+            self.run_at(snap, plan, engine)
+        }
+    }
+
+    /// Execute `plan` with per-operator (tuple/batch) or per-pipeline
+    /// (fused) instrumentation, harvest selectivity observations from
+    /// the actual cardinalities, and merge them into the catalog's
+    /// memory. Emits one [`TraceEvent::FeedbackApplied`] per execution.
+    fn run_feedback_at(
+        &self,
+        snap: &Arc<SchemaSnapshot>,
+        plan: &RelPlan,
+        engine: Engine,
+        tracer: Option<&dyn Tracer>,
+    ) -> Vec<Tuple> {
+        let (rows, observations) = match engine {
+            Engine::Tuple => {
+                let analyzed = crate::analyze::execute_analyzed_at(self, snap, &snap.catalog, plan);
+                let obs = volcano_rel::observations(&snap.catalog, plan, &analyzed.actual_rows());
+                (analyzed.rows, obs)
+            }
+            Engine::Batch(cfg) => {
+                let analyzed =
+                    crate::analyze::execute_analyzed_batch_at(self, snap, &snap.catalog, plan, cfg);
+                let obs = volcano_rel::observations(&snap.catalog, plan, &analyzed.actual_rows());
+                (analyzed.rows, obs)
+            }
+            Engine::Fused(cfg) => {
+                // The fused engine measures per pipeline, not per plan
+                // node; the report's harvest hints map pipeline counters
+                // back to predicate terms and join pairs.
+                let compiled = crate::fused::compile_fused_at(self, snap, plan, cfg);
+                let mut op = compiled.operator;
+                let rows = collect_batches(op.as_mut());
+                let obs = compiled.report.observations();
+                (rows, obs)
+            }
+        };
+        let epoch_bumped = self.apply_feedback(&observations);
+        if let Some(t) = tracer {
+            t.event(TraceEvent::FeedbackApplied {
+                observations: observations.len() as u64,
+                epoch_bumped,
+            });
+        }
+        rows
     }
 
     /// Execute `plan` against a pinned snapshot (same snapshot the plan
@@ -1076,6 +1336,89 @@ mod tests {
         assert_eq!(t.card, 30.0);
         assert_eq!(t.columns[0].distinct, 3.0);
         assert_eq!(t.columns[1].distinct, 1.0);
+    }
+
+    #[test]
+    fn feedback_is_off_by_default_and_harvests_when_on() {
+        let db = Database::in_memory(catalog());
+        db.generate(11);
+        let stmt = db.prepare("SELECT a FROM t WHERE a < 4").unwrap();
+        db.execute_prepared(&stmt, &[], None).unwrap();
+        let s = db.feedback_stats();
+        assert!(!s.enabled);
+        assert_eq!((s.observations, s.applications, s.cells), (0, 0, 0));
+        db.set_feedback_enabled(true);
+        db.execute_prepared(&stmt, &[], None).unwrap();
+        let s = db.feedback_stats();
+        assert!(s.enabled);
+        assert!(s.observations > 0, "{s:?}");
+        assert_eq!(s.applications, 1, "{s:?}");
+        assert!(s.cells > 0, "{s:?}");
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"enabled\":true"), "{json}");
+    }
+
+    #[test]
+    fn session_feedback_opt_in_works_without_the_global_switch() {
+        let db = Database::in_memory(catalog());
+        db.generate(11);
+        let stmt = db.prepare("SELECT a FROM t WHERE a < 4").unwrap();
+        let opts = ExecOptions::new().with_feedback(true);
+        let out = db.execute_prepared_opts(&stmt, &[], &opts, None).unwrap();
+        assert!(!out.rows.is_empty());
+        assert!(!db.feedback_enabled(), "global switch untouched");
+        assert!(db.feedback_stats().observations > 0);
+    }
+
+    #[test]
+    fn immaterial_feedback_does_not_bump_the_epoch() {
+        use volcano_rel::{Cmp, ObservationKey};
+        let db = Database::in_memory(catalog());
+        let key = volcano_rel::term_key(&Cmp::eq(AttrId(0), 1i64));
+        // First merge agrees with its own estimate: immaterial.
+        let obs = [volcano_rel::Observation {
+            key,
+            observed: 0.01,
+            estimated: 0.01,
+        }];
+        let before = db.epoch();
+        assert!(!db.apply_feedback(&obs));
+        assert_eq!(db.epoch(), before);
+        // A wildly different observation is material and bumps.
+        let obs = [volcano_rel::Observation {
+            key,
+            observed: 0.9,
+            estimated: 0.01,
+        }];
+        assert!(db.apply_feedback(&obs));
+        assert_eq!(db.epoch(), before + 1);
+        assert_eq!(db.feedback_stats().epoch_bumps, 1);
+        // Unknown keys are never restored.
+        assert_eq!(ObservationKey::from_parts(7, 1), None);
+    }
+
+    #[test]
+    fn feedback_memory_roundtrips_through_the_sidecar_codec() {
+        let db = Database::in_memory(catalog());
+        db.generate(11);
+        db.set_feedback_enabled(true);
+        let stmt = db.prepare("SELECT a FROM t WHERE a < 4").unwrap();
+        db.execute_prepared(&stmt, &[], None).unwrap();
+        let cells = db.feedback_stats().cells;
+        assert!(cells > 0);
+        let bytes = db.export_feedback();
+        // A fresh database restores the memory verbatim.
+        let db2 = Database::in_memory(catalog());
+        assert_eq!(db2.import_feedback(&bytes), cells as usize);
+        assert_eq!(db2.feedback_stats().cells, cells);
+        assert_eq!(
+            db2.snapshot().catalog.feedback(),
+            db.snapshot().catalog.feedback()
+        );
+        // Corrupt bytes degrade to a cold start.
+        assert_eq!(db2.import_feedback(b"garbage"), 0);
+        assert_eq!(db2.feedback_stats().cells, cells, "memory untouched");
     }
 
     #[test]

@@ -35,7 +35,7 @@
 use std::sync::Arc;
 
 use volcano_rel::catalog::ColType;
-use volcano_rel::{AggSpec, AttrId, RelAlg, RelPlan};
+use volcano_rel::{AggSpec, AttrId, JoinPred, Pred, RelAlg, RelPlan};
 use volcano_store::HeapFile;
 
 use crate::batch::BoxedBatchOperator;
@@ -59,6 +59,10 @@ enum SourceIR {
         heap: Arc<HeapFile>,
         col_types: Vec<ColType>,
         pred: Option<CompiledPred>,
+        /// The relational-level scan predicate, kept alongside the
+        /// compiled one so the feedback harvest can key observed
+        /// selectivities by term (see [`PipelineInfo::scan_pred`]).
+        rel_pred: Option<Pred>,
     },
     /// Opaque batch subtree of the given arity.
     Input {
@@ -69,14 +73,16 @@ enum SourceIR {
 
 /// Compile-time intermediate form of a pipeline stage. Rewrites operate
 /// on this level — positions are plain `usize`s — before kernels are
-/// monomorphized.
+/// monomorphized. Filters and probes carry their relational-level
+/// predicate for the feedback harvest hints.
 enum StageIR {
-    Filter(CompiledPred),
+    Filter(CompiledPred, Pred),
     Project(Vec<usize>),
     Probe {
         table: usize,
         keys: Vec<usize>,
         build_ncols: usize,
+        join: JoinPred,
     },
 }
 
@@ -101,6 +107,14 @@ pub struct PipelineInfo {
     pub build: bool,
     /// Execution counters, shared with the running region.
     pub stats: Arc<PipelineStats>,
+    /// The relational predicate the pipeline's source scan applies
+    /// (original scan predicate plus any absorbed leading filters).
+    /// Observed scan selectivity is `stats.source_out / stats.source_rows`.
+    pub scan_pred: Option<Pred>,
+    /// When the pipeline has exactly one probe stage: its join predicate
+    /// and the report index of the build pipeline it probes. Observed
+    /// join selectivity is `probe_out / (probe_in × build.stats.rows)`.
+    pub probe_join: Option<(JoinPred, usize)>,
 }
 
 /// Compile-time report of the whole fused plan: what fused, what fell
@@ -123,6 +137,37 @@ impl FusedReport {
     /// Number of fused pipelines in the plan.
     pub fn pipelines_fused(&self) -> usize {
         self.pipelines.len()
+    }
+
+    /// Harvest selectivity observations from the per-pipeline counters
+    /// (meaningful after the plan executed): scan predicates from the
+    /// pre-/post-predicate source counts, single-probe joins from the
+    /// probe in/out counts against the build pipeline's inserted rows.
+    /// Pipelines without harvest hints contribute nothing.
+    pub fn observations(&self) -> Vec<volcano_rel::Observation> {
+        let mut out = Vec::new();
+        for p in &self.pipelines {
+            if let Some(pred) = &p.scan_pred {
+                volcano_rel::pred_observations(
+                    pred,
+                    p.stats.source_out(),
+                    p.stats.source_rows(),
+                    &mut out,
+                );
+            }
+            if let Some((join, build_idx)) = &p.probe_join {
+                if let Some(b) = self.pipelines.get(*build_idx) {
+                    volcano_rel::join_observations(
+                        join,
+                        p.stats.probe_out(),
+                        b.stats.rows(),
+                        p.stats.probe_in(),
+                        &mut out,
+                    );
+                }
+            }
+        }
+        out
     }
 
     /// Number of non-fusable plan segments (fallback operators).
@@ -332,6 +377,7 @@ impl Fuser<'_> {
                     heap: self.sch.table(*t).clone(),
                     col_types: table_col_types(self.sch, *t),
                     pred: None,
+                    rel_pred: None,
                 },
                 Vec::new(),
             )),
@@ -342,6 +388,7 @@ impl Fuser<'_> {
                         heap: self.sch.table(*t).clone(),
                         col_types: table_col_types(self.sch, *t),
                         pred: Some(compile_pred(&schema, pred)),
+                        rel_pred: Some(pred.clone()),
                     },
                     Vec::new(),
                 ))
@@ -349,7 +396,7 @@ impl Fuser<'_> {
             RelAlg::Filter(pred) => {
                 let (src, mut stages) = self.fuse_input(&plan.inputs[0], builds);
                 let schema = schema_of_at(self.sch, &plan.inputs[0]);
-                stages.push(StageIR::Filter(compile_pred(&schema, pred)));
+                stages.push(StageIR::Filter(compile_pred(&schema, pred), pred.clone()));
                 Some((src, stages))
             }
             RelAlg::ProjectOp(attrs) => {
@@ -384,6 +431,7 @@ impl Fuser<'_> {
                         .map(|&(_, ra)| position(&pschema, ra))
                         .collect(),
                     build_ncols: bschema.len(),
+                    join: p.clone(),
                 });
                 Some((psrc, pstages))
             }
@@ -424,11 +472,21 @@ impl Fuser<'_> {
     ) -> BoxedBatchOperator {
         let table_shapes: Vec<(usize, Vec<usize>)> =
             builds.iter().map(|b| (b.ncols, b.keys.clone())).collect();
+        // Build pipelines land in the report at `first + slot`, before
+        // the output pipeline — harvest hints use those indices.
+        let first = self.report.pipelines.len();
         let build_pipes: Vec<FusedPipeline> = builds
             .into_iter()
-            .map(|b| self.lower_pipeline(b.source, b.stages, true))
+            .map(|b| {
+                let hints = harvest_hints(&b.source, &b.stages, first);
+                let pipe = self.lower_pipeline(b.source, b.stages, true);
+                self.set_hints(hints);
+                pipe
+            })
             .collect();
+        let hints = harvest_hints(&source, &stages, first);
         let output = self.lower_pipeline(source, stages, false);
+        self.set_hints(hints);
         let mut region = FusedRegion::new(build_pipes, output, table_shapes, self.cfg.batch_size);
         if let Some(sink) = agg {
             let info = self.report.pipelines.last_mut().expect("output pipeline");
@@ -463,16 +521,17 @@ impl Fuser<'_> {
                 heap,
                 mut col_types,
                 mut pred,
+                rel_pred: _,
             } => {
                 // Rewrite 1: absorb leading filters into the scan
                 // predicate (conjunct order is preserved, so the
                 // narrowing matches the batch engine exactly).
                 let absorb = stages
                     .iter()
-                    .take_while(|s| matches!(s, StageIR::Filter(_)))
+                    .take_while(|s| matches!(s, StageIR::Filter(..)))
                     .count();
                 for stage in stages.drain(..absorb) {
-                    let StageIR::Filter(cp) = stage else {
+                    let StageIR::Filter(cp, _) = stage else {
                         unreachable!()
                     };
                     absorbed_filters = true;
@@ -503,7 +562,7 @@ impl Fuser<'_> {
         let mut i = 0;
         while i < stages.len() {
             match &stages[i] {
-                StageIR::Filter(cp) => {
+                StageIR::Filter(cp, _) => {
                     lowered.push(FusedStage::Filter(FusedPred::compile(cp)));
                     labels.push("filter");
                 }
@@ -516,6 +575,7 @@ impl Fuser<'_> {
                     table,
                     keys,
                     build_ncols,
+                    join: _,
                 } => {
                     let (out, label) = match stages.get(i + 1) {
                         Some(StageIR::Project(cols)) => {
@@ -572,6 +632,8 @@ impl Fuser<'_> {
             operators,
             build,
             stats: stats.clone(),
+            scan_pred: None,
+            probe_join: None,
         });
         FusedPipeline {
             source: src,
@@ -579,6 +641,57 @@ impl Fuser<'_> {
             stats,
         }
     }
+
+    /// Attach harvest hints to the pipeline most recently registered by
+    /// [`Fuser::lower_pipeline`].
+    fn set_hints(&mut self, hints: (Option<Pred>, Option<(JoinPred, usize)>)) {
+        let info = self.report.pipelines.last_mut().expect("pipeline pushed");
+        info.scan_pred = hints.0;
+        info.probe_join = hints.1;
+    }
+}
+
+/// Compute a pipeline's feedback-harvest hints from its compile-time IR,
+/// before lowering consumes it. Mirrors the filter-absorption rule of
+/// [`Fuser::lower_pipeline`]: every leading filter of a scan-sourced
+/// pipeline merges into the scan predicate, so the observed
+/// `source_out / source_rows` ratio covers the original scan predicate
+/// plus those filters. The probe hint is set only when the pipeline has
+/// exactly one probe stage — with several, the shared in/out counters
+/// would conflate the joins. `first` is the report index of the region's
+/// first build pipeline; table slot `t` lands at `first + t`.
+fn harvest_hints(
+    source: &SourceIR,
+    stages: &[StageIR],
+    first: usize,
+) -> (Option<Pred>, Option<(JoinPred, usize)>) {
+    let scan_pred = match source {
+        SourceIR::Scan { rel_pred, .. } => {
+            let mut terms = rel_pred
+                .as_ref()
+                .map(|p| p.terms().to_vec())
+                .unwrap_or_default();
+            for s in stages {
+                let StageIR::Filter(_, p) = s else { break };
+                terms.extend(p.terms().iter().cloned());
+            }
+            if terms.is_empty() {
+                None
+            } else {
+                Some(Pred::conj(terms))
+            }
+        }
+        SourceIR::Input { .. } => None,
+    };
+    let mut probes = stages.iter().filter_map(|s| match s {
+        StageIR::Probe { table, join, .. } => Some((join.clone(), first + table)),
+        _ => None,
+    });
+    let probe_join = match (probes.next(), probes.next()) {
+        (Some(j), None) => Some(j),
+        _ => None,
+    };
+    (scan_pred, probe_join)
 }
 
 /// Scan projection pushdown: when every stage before the first
@@ -595,7 +708,7 @@ fn prune_scan(
 ) -> Option<Vec<bool>> {
     let first_non_filter = stages
         .iter()
-        .position(|s| !matches!(s, StageIR::Filter(_)))
+        .position(|s| !matches!(s, StageIR::Filter(..)))
         .unwrap_or(stages.len());
     let Some(StageIR::Project(project)) = stages.get(first_non_filter) else {
         return None;
@@ -608,7 +721,7 @@ fn prune_scan(
         }
     }
     for s in &stages[..first_non_filter] {
-        let StageIR::Filter(cp) = s else {
+        let StageIR::Filter(cp, _) = s else {
             unreachable!()
         };
         for &(pos, _, _) in cp.terms() {
@@ -646,7 +759,7 @@ fn prune_scan(
         ));
     }
     for s in stages[..first_non_filter].iter_mut() {
-        let StageIR::Filter(cp) = s else {
+        let StageIR::Filter(cp, _) = s else {
             unreachable!()
         };
         *cp = CompiledPred::new(
@@ -706,13 +819,22 @@ mod tests {
         vec![ColType::Int; n]
     }
 
+    /// Placeholder relational predicate for stage IR under test —
+    /// `prune_scan` only looks at the compiled positions.
+    fn rel_true() -> Pred {
+        Pred::conj(Vec::new())
+    }
+
     #[test]
     fn prune_keeps_pred_filter_and_project_columns() {
         // Table of 6 columns; scan pred on 0, filter on 2, project 4.
         let mut types = int_types(6);
         let mut pred = Some(CompiledPred::new(vec![(0, CmpOp::Gt, Value::Int(1))]));
         let mut stages = vec![
-            StageIR::Filter(CompiledPred::new(vec![(2, CmpOp::Lt, Value::Int(9))])),
+            StageIR::Filter(
+                CompiledPred::new(vec![(2, CmpOp::Lt, Value::Int(9))]),
+                rel_true(),
+            ),
             StageIR::Project(vec![4]),
         ];
         let keep = prune_scan(&mut types, &mut pred, &mut stages).expect("prunable");
@@ -722,7 +844,7 @@ mod tests {
             pred.as_ref().unwrap().terms(),
             &[(0, CmpOp::Gt, Value::Int(1))]
         );
-        let StageIR::Filter(f) = &stages[0] else {
+        let StageIR::Filter(f, _) = &stages[0] else {
             panic!("filter survives")
         };
         assert_eq!(f.terms(), &[(1, CmpOp::Lt, Value::Int(9))]);
@@ -761,17 +883,17 @@ mod tests {
     fn prune_bails_without_projection_or_with_probe_first() {
         let mut types = int_types(3);
         let mut pred = None;
-        let mut stages = vec![StageIR::Filter(CompiledPred::new(vec![(
-            0,
-            CmpOp::Eq,
-            Value::Int(1),
-        )]))];
+        let mut stages = vec![StageIR::Filter(
+            CompiledPred::new(vec![(0, CmpOp::Eq, Value::Int(1))]),
+            rel_true(),
+        )];
         assert!(prune_scan(&mut types, &mut pred, &mut stages).is_none());
         let mut stages = vec![
             StageIR::Probe {
                 table: 0,
                 keys: vec![0],
                 build_ncols: 2,
+                join: JoinPred::eq(AttrId(0), AttrId(2)),
             },
             StageIR::Project(vec![0]),
         ];

@@ -55,6 +55,15 @@ pub struct PipelineStats {
     batches: AtomicU64,
     /// Wall nanoseconds inside the pipeline's loop.
     ns: AtomicU64,
+    /// Physical rows the source scan decoded, before its predicate.
+    source_rows: AtomicU64,
+    /// Rows that survived the scan predicate (equals [`Self::source_rows`]
+    /// for an unpredicated scan).
+    source_out: AtomicU64,
+    /// Rows that entered a probe stage.
+    probe_in: AtomicU64,
+    /// Join pairs a probe stage produced.
+    probe_out: AtomicU64,
 }
 
 impl PipelineStats {
@@ -71,6 +80,26 @@ impl PipelineStats {
     /// Wall nanoseconds spent inside the pipeline.
     pub fn ns(&self) -> u64 {
         self.ns.load(Ordering::Relaxed)
+    }
+
+    /// Physical rows the source scan decoded, before its predicate.
+    pub fn source_rows(&self) -> u64 {
+        self.source_rows.load(Ordering::Relaxed)
+    }
+
+    /// Rows that survived the scan predicate.
+    pub fn source_out(&self) -> u64 {
+        self.source_out.load(Ordering::Relaxed)
+    }
+
+    /// Rows that entered a probe stage.
+    pub fn probe_in(&self) -> u64 {
+        self.probe_in.load(Ordering::Relaxed)
+    }
+
+    /// Join pairs a probe stage produced.
+    pub fn probe_out(&self) -> u64 {
+        self.probe_out.load(Ordering::Relaxed)
     }
 }
 
@@ -125,8 +154,9 @@ impl FusedScan {
     /// are staged, and apply the scan predicate; `false` when the heap
     /// is exhausted. The page is the atomic decode unit — it stays
     /// pinned for exactly one pass — so a batch may exceed `batch_size`
-    /// by up to one page of rows.
-    fn fill(&mut self, out: &mut Batch, batch_size: usize) -> bool {
+    /// by up to one page of rows. `stats` receives the pre-/post-
+    /// predicate row counts the feedback harvest reads.
+    fn fill(&mut self, out: &mut Batch, batch_size: usize, stats: &PipelineStats) -> bool {
         out.clear();
         if out.columns.len() != self.col_types.len() {
             *out = Batch::for_types(&self.col_types);
@@ -165,9 +195,13 @@ impl FusedScan {
         }
         self.rows_scanned += rows as u64;
         out.set_physical_rows(rows);
+        stats.source_rows.fetch_add(rows as u64, Ordering::Relaxed);
         if let Some(pred) = &self.pred {
             pred.apply(out, &mut self.scratch);
         }
+        stats
+            .source_out
+            .fetch_add(out.live_rows() as u64, Ordering::Relaxed);
         true
     }
 
@@ -541,12 +575,15 @@ struct Scratch {
 }
 
 /// Run the stage chain over `cur` in place (`tmp` is swap space).
+/// `stats` collects the probe in/out row counts the feedback harvest
+/// reads (meaningful when the pipeline has exactly one probe stage).
 fn run_stages(
     stages: &[FusedStage],
     tables: &[FusedTable],
     cur: &mut Batch,
     tmp: &mut Batch,
     s: &mut Scratch,
+    stats: &PipelineStats,
 ) {
     for stage in stages {
         match stage {
@@ -564,6 +601,9 @@ fn run_stages(
             }
             FusedStage::Probe { table, keys, out } => {
                 let t = &tables[*table];
+                stats
+                    .probe_in
+                    .fetch_add(cur.live_rows() as u64, Ordering::Relaxed);
                 s.pairs_build.clear();
                 s.pairs_probe.clear();
                 match &t.index {
@@ -621,6 +661,9 @@ fn run_stages(
                         }
                     }
                 }
+                stats
+                    .probe_out
+                    .fetch_add(s.pairs_build.len() as u64, Ordering::Relaxed);
                 tmp.reset_columns(out.len());
                 for (o, pc) in out.iter().enumerate() {
                     match pc {
@@ -718,7 +761,7 @@ impl FusedRegion {
         let t0 = Instant::now();
         loop {
             let more = match &mut self.output.source {
-                FusedSource::Scan(s) => s.fill(&mut work, self.batch_size),
+                FusedSource::Scan(s) => s.fill(&mut work, self.batch_size, &self.output.stats),
                 FusedSource::Input(op) => op.next_batch(&mut work),
             };
             if !more {
@@ -730,6 +773,7 @@ impl FusedRegion {
                 &mut work,
                 &mut self.tmp,
                 &mut self.scratch,
+                &self.output.stats,
             );
             let consumed = match sink.mode {
                 AggMode::Complete | AggMode::Partial => {
@@ -806,7 +850,7 @@ impl BatchOperator for FusedRegion {
             }
             loop {
                 let more = match &mut pipe.source {
-                    FusedSource::Scan(s) => s.fill(&mut work, self.batch_size),
+                    FusedSource::Scan(s) => s.fill(&mut work, self.batch_size, &pipe.stats),
                     FusedSource::Input(op) => op.next_batch(&mut work),
                 };
                 if !more {
@@ -819,6 +863,7 @@ impl BatchOperator for FusedRegion {
                     &mut work,
                     &mut self.tmp,
                     &mut self.scratch,
+                    &pipe.stats,
                 );
                 let inserted = own.insert_batch(&work, &mut self.scratch);
                 pipe.stats.rows.fetch_add(inserted, Ordering::Relaxed);
@@ -848,7 +893,7 @@ impl BatchOperator for FusedRegion {
         }
         let t0 = Instant::now();
         let more = match &mut self.output.source {
-            FusedSource::Scan(s) => s.fill(out, self.batch_size),
+            FusedSource::Scan(s) => s.fill(out, self.batch_size, &self.output.stats),
             FusedSource::Input(op) => op.next_batch(out),
         };
         if !more {
@@ -864,6 +909,7 @@ impl BatchOperator for FusedRegion {
             out,
             &mut self.tmp,
             &mut self.scratch,
+            &self.output.stats,
         );
         self.output.stats.batches.fetch_add(1, Ordering::Relaxed);
         self.output

@@ -63,8 +63,8 @@ pub use compile::{
     Compiled, CompiledBatch, Engine,
 };
 pub use database::{
-    Database, ExecOptions, PrepareError, PreparedOutcome, PreparedStatement, SchemaSnapshot,
-    DEFAULT_DRIFT_FACTOR, DEFAULT_PLAN_CACHE_CAPACITY,
+    Database, ExecOptions, FeedbackStats, PrepareError, PreparedOutcome, PreparedStatement,
+    SchemaSnapshot, DEFAULT_DRIFT_FACTOR, DEFAULT_PLAN_CACHE_CAPACITY, FEEDBACK_MATERIAL_RATIO,
 };
 pub use fused::{compile_fused, CompiledFused, FusedRegion, FusedReport};
 pub use iterator::{collect, BoxedOperator, Operator};

@@ -2,7 +2,8 @@
 //!
 //! A [`Server`] wraps an `Arc<Database>` with admission control and
 //! hands out [`Session`]s. Each session owns its prepared statements
-//! and its own `SET EXECUTOR` / `SET BUDGET` / `SET PLAN_CACHE` state —
+//! and its own `SET EXECUTOR` / `SET BUDGET` / `SET PLAN_CACHE` /
+//! `SET FEEDBACK` state —
 //! the per-connection knobs a SQL shell exposes — while all sessions
 //! share one catalog, one buffer pool, and one plan cache. Sessions are
 //! plain values: move one per thread and execute concurrently; the
@@ -276,6 +277,7 @@ impl Server {
             engine: Engine::Tuple,
             budget: None,
             use_cache: true,
+            feedback: false,
             prepared: HashMap::new(),
         }
     }
@@ -348,6 +350,9 @@ pub struct Session {
     /// `SET PLAN_CACHE` — `false` bypasses the shared cache for this
     /// session only.
     use_cache: bool,
+    /// `SET FEEDBACK` — `true` harvests actual cardinalities from this
+    /// session's executions into the shared selectivity memory.
+    feedback: bool,
     prepared: HashMap<String, PreparedStatement>,
 }
 
@@ -397,6 +402,17 @@ impl Session {
     /// Whether this session uses the shared plan cache.
     pub fn plan_cache_enabled(&self) -> bool {
         self.use_cache
+    }
+
+    /// `SET FEEDBACK`: enable adaptive-feedback harvesting for this
+    /// session's executions (the database-wide switch is untouched).
+    pub fn set_feedback(&mut self, on: bool) {
+        self.feedback = on;
+    }
+
+    /// Whether this session harvests execution feedback.
+    pub fn feedback_enabled(&self) -> bool {
+        self.feedback
     }
 
     /// `PREPARE name AS sql`: parse and parameterize, storing the
@@ -480,7 +496,8 @@ impl Session {
         };
         let mut opts = ExecOptions::new()
             .with_executor(self.engine)
-            .with_cache_bypass(!self.use_cache);
+            .with_cache_bypass(!self.use_cache)
+            .with_feedback(self.feedback);
         opts.budget = budget;
         let outcome = self
             .db

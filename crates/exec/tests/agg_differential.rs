@@ -21,7 +21,9 @@
 
 mod common;
 
-use common::testkit::{assert_same_multiset, thread_counts};
+use common::testkit::{
+    assert_same_multiset, high_cardinality_rows, skewed_rows, thread_counts, Lcg,
+};
 use proptest::prelude::*;
 use volcano_core::PhysicalProps;
 use volcano_exec::kernels::agg::{CompiledAgg, GroupScratch, GroupTable};
@@ -72,55 +74,6 @@ fn make_db(rows: &[(Option<i64>, Option<i64>)]) -> Database {
         db.insert(table, vec![as_value(k), as_value(v)]);
     }
     db
-}
-
-/// A deterministic LCG so datasets are stable without pulling in rand.
-struct Lcg(u64);
-
-impl Lcg {
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 33
-    }
-}
-
-/// Skewed groups: ~80% of rows land on one hot key, the rest spread
-/// over a small tail; a sprinkle of NULL keys and NULL values.
-fn skewed_rows(n: usize, seed: u64) -> Vec<(Option<i64>, Option<i64>)> {
-    let mut rng = Lcg(seed);
-    (0..n)
-        .map(|_| {
-            let k = match rng.next() % 10 {
-                0..=7 => Some(0),
-                8 => Some((rng.next() % 50) as i64),
-                _ => None,
-            };
-            let v = if rng.next().is_multiple_of(11) {
-                None
-            } else {
-                Some((rng.next() % 2_000) as i64 - 1_000)
-            };
-            (k, v)
-        })
-        .collect()
-}
-
-/// High-cardinality groups: most keys appear exactly once, so nearly
-/// every row opens a fresh group and the final merge sees almost as
-/// many partial rows as there were inputs.
-fn high_cardinality_rows(n: usize, seed: u64) -> Vec<(Option<i64>, Option<i64>)> {
-    let mut rng = Lcg(seed);
-    (0..n)
-        .map(|i| {
-            (
-                Some(i as i64),
-                Some((rng.next() % 1_000_000) as i64 - 500_000),
-            )
-        })
-        .collect()
 }
 
 /// Does the plan split the aggregation: a final merge above a gather

@@ -209,3 +209,131 @@ pub fn thread_counts() -> Vec<u32> {
 pub fn morsel_sizes() -> [Option<usize>; 3] {
     [Some(1), None, Some(usize::MAX)]
 }
+
+// ---------------------------------------------------------------------
+// Deterministic data generators (skew, Zipf, correlation).
+// ---------------------------------------------------------------------
+
+/// A deterministic LCG (Knuth MMIX constants) so datasets are stable
+/// without pulling in rand.
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    /// The next pseudo-random 31-bit-ish value.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next() % (1 << 24)) as f64 / (1 << 24) as f64
+    }
+}
+
+/// Skewed groups: ~80% of rows land on one hot key, the rest spread
+/// over a small tail; a sprinkle of NULL keys and NULL values.
+pub fn skewed_rows(n: usize, seed: u64) -> Vec<(Option<i64>, Option<i64>)> {
+    let mut rng = Lcg(seed);
+    (0..n)
+        .map(|_| {
+            let k = match rng.next() % 10 {
+                0..=7 => Some(0),
+                8 => Some((rng.next() % 50) as i64),
+                _ => None,
+            };
+            let v = if rng.next().is_multiple_of(11) {
+                None
+            } else {
+                Some((rng.next() % 2_000) as i64 - 1_000)
+            };
+            (k, v)
+        })
+        .collect()
+}
+
+/// High-cardinality groups: most keys appear exactly once, so nearly
+/// every row opens a fresh group and a final aggregate merge sees
+/// almost as many partial rows as there were inputs.
+pub fn high_cardinality_rows(n: usize, seed: u64) -> Vec<(Option<i64>, Option<i64>)> {
+    let mut rng = Lcg(seed);
+    (0..n)
+        .map(|i| {
+            (
+                Some(i as i64),
+                Some((rng.next() % 1_000_000) as i64 - 500_000),
+            )
+        })
+        .collect()
+}
+
+/// A Zipf(s) sampler over keys `0..n_keys` (key 0 most frequent): the
+/// canonical "estimates assume uniform, data is anything but" workload
+/// for the adaptive-feedback suites. Precomputes the CDF once.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler with exponent `s` over `n_keys` ranks.
+    pub fn new(n_keys: usize, s: f64) -> Self {
+        assert!(n_keys > 0, "Zipf needs at least one key");
+        let mut mass = 0.0;
+        let cdf: Vec<f64> = (1..=n_keys)
+            .map(|rank| {
+                mass += 1.0 / (rank as f64).powf(s);
+                mass
+            })
+            .collect();
+        let total = *cdf.last().unwrap();
+        Zipf {
+            cdf: cdf.into_iter().map(|c| c / total).collect(),
+        }
+    }
+
+    /// Draw one key in `0..n_keys`.
+    pub fn sample(&self, rng: &mut Lcg) -> i64 {
+        let u = rng.unit();
+        self.cdf.partition_point(|&c| c < u) as i64
+    }
+}
+
+/// `n` keys drawn Zipf(`s`) over `0..n_keys`: with s ≳ 1.3 the top rank
+/// absorbs most of the mass, so a uniform `1/distinct` estimate is
+/// wrong by an order of magnitude for the hot key.
+pub fn zipf_keys(n: usize, n_keys: usize, s: f64, seed: u64) -> Vec<i64> {
+    let zipf = Zipf::new(n_keys, s);
+    let mut rng = Lcg(seed);
+    (0..n).map(|_| zipf.sample(&mut rng)).collect()
+}
+
+/// Pairs whose second column is a noisy function of the first
+/// (`b = a % groups` with `noise`-probability uniform escape): the
+/// correlated-column workload where independence-assuming conjunct
+/// estimates multiply into nonsense.
+pub fn correlated_pairs(n: usize, groups: i64, noise: f64, seed: u64) -> Vec<(i64, i64)> {
+    assert!(groups > 0);
+    let mut rng = Lcg(seed);
+    (0..n)
+        .map(|i| {
+            let a = i as i64;
+            let b = if rng.unit() < noise {
+                (rng.next() % (groups as u64)) as i64
+            } else {
+                a % groups
+            };
+            (a, b)
+        })
+        .collect()
+}
+
+/// Run `attempt(i)` for executions `1..=k`; `Some(i)` is the first
+/// execution where it reports convergence, `None` if `k` executions
+/// never converge. The adaptive-feedback acceptance bar is
+/// `converges_within(5, ...)` returning `Some(_)`.
+pub fn converges_within(k: usize, mut attempt: impl FnMut(usize) -> bool) -> Option<usize> {
+    (1..=k).find(|&i| attempt(i))
+}

@@ -274,7 +274,9 @@ fn sessions_under_ddl_chaos_reconcile_exactly() {
     );
 
     // (2) No lost epoch bumps: inserts + refreshes + explicit bumps +
-    // the drop, each exactly once.
+    // the drop, each exactly once. Feedback is off in this suite, so
+    // its epoch-bump term must be exactly zero.
+    assert_eq!(db.feedback_stats().epoch_bumps, 0, "feedback is off");
     let expected_epoch =
         epoch_start + total_inserts + worker_refreshes + chaos_refreshes + chaos_bumps + 1; // the drop
     assert_eq!(
@@ -314,4 +316,174 @@ fn sessions_under_ddl_chaos_reconcile_exactly() {
         Err(SessionError::Prepare(PrepareError::Lower(_)))
     ));
     assert_eq!(survivor.query(STATIC_SQL).unwrap().rows(), static_rows);
+}
+
+/// Adaptive feedback under chaos: every worker session runs with
+/// `SET FEEDBACK ON` (on a rotating engine) while a chaos thread bumps
+/// epochs and refreshes statistics, racing the feedback merges on the
+/// same copy-on-write catalog. The ledgers must still reconcile
+/// *exactly*:
+///
+/// * the epoch advances by exactly one per insert, refresh, explicit
+///   bump, and material feedback merge — the database's own
+///   `epoch_bumps` counter closes the arithmetic, so a torn or lost
+///   feedback write shows up as an off-by-n here;
+/// * plan-cache counters reconcile (`lookups == successes`,
+///   `hits + misses + invalidations == lookups`), and live entries
+///   equal `insertions - evictions` — feedback-driven invalidations
+///   never leak entries;
+/// * every selectivity-memory cell is a valid merge result: selectivity
+///   finite in (0, 1], observation count ≥ 1.
+#[test]
+fn feedback_under_chaos_reconciles_exactly() {
+    use volcano_exec::{BatchConfig, Engine};
+
+    let workers = worker_count();
+    let iters = 60usize;
+
+    let db = Arc::new(Database::in_memory(diff_catalog()));
+    db.generate(31);
+    db.set_feedback_enabled(true);
+    let emp = db.catalog().table_by_name("emp").unwrap().id;
+    let server = Server::over(
+        db.clone(),
+        ServerConfig {
+            max_concurrent: 2.min(workers),
+            batch_patience: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    );
+    let epoch_start = db.epoch();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let (ledgers, chaos_events) = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let mut session = server.session(match w % 3 {
+                0 => TrafficClass::Interactive,
+                1 => TrafficClass::Batch,
+                _ => TrafficClass::Background,
+            });
+            session.set_executor(match w % 3 {
+                0 => Engine::Tuple,
+                1 => Engine::Batch(BatchConfig::default()),
+                _ => Engine::Fused(BatchConfig::default()),
+            });
+            let db = db.clone();
+            handles.push(scope.spawn(move || {
+                let mut ledger = WorkerLedger::default();
+                session.prepare("emp", EMP_SQL).unwrap();
+                for i in 0..iters {
+                    match i % 6 {
+                        // Executions with varying parameters: every one
+                        // harvests observations into the shared memory.
+                        0..=3 => {
+                            ledger.admissions += 1;
+                            session
+                                .execute("emp", &[Value::Int((i % 90) as i64)])
+                                .unwrap_or_else(|e| panic!("worker {w}: {e}"));
+                            ledger.successes += 1;
+                        }
+                        // Join one-shots exercise join-key observations.
+                        4 => {
+                            ledger.admissions += 1;
+                            session
+                                .query(DEPT_SQL)
+                                .unwrap_or_else(|e| panic!("worker {w}: {e}"));
+                            ledger.successes += 1;
+                        }
+                        // Grow emp: races the feedback snapshot swaps.
+                        _ => {
+                            db.insert(
+                                emp,
+                                vec![
+                                    Value::Int(2_000_000 + (w * iters + i) as i64),
+                                    Value::Int((i % 20) as i64),
+                                    Value::Int((i % 100) as i64),
+                                ],
+                            );
+                            ledger.inserts += 1;
+                        }
+                    }
+                }
+                ledger
+            }));
+        }
+
+        let chaos = {
+            let db = db.clone();
+            let done = done.clone();
+            scope.spawn(move || {
+                let mut bumps = 0u64;
+                let mut refreshes = 0u64;
+                for round in 0..40 {
+                    if done.load(Ordering::Acquire) && round >= 10 {
+                        break;
+                    }
+                    db.bump_epoch();
+                    bumps += 1;
+                    if round % 4 == 3 {
+                        db.refresh_stats();
+                        refreshes += 1;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                (bumps, refreshes)
+            })
+        };
+
+        let ledgers: Vec<WorkerLedger> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        done.store(true, Ordering::Release);
+        (ledgers, chaos.join().unwrap())
+    });
+
+    let (chaos_bumps, chaos_refreshes) = chaos_events;
+    let total_admissions: u64 = ledgers.iter().map(|l| l.admissions).sum();
+    let total_successes: u64 = ledgers.iter().map(|l| l.successes).sum();
+    let total_inserts: u64 = ledgers.iter().map(|l| l.inserts).sum();
+
+    // (1) Cache counters reconcile; feedback-driven invalidations do
+    // not leak entries.
+    let s = db.plan_cache().stats();
+    assert_eq!(s.lookups, s.hits + s.misses + s.invalidations);
+    assert_eq!(s.lookups, total_successes);
+    assert_eq!(
+        db.plan_cache().len() as u64,
+        s.insertions - s.evictions,
+        "evicted entries leaked"
+    );
+
+    // (2) Exact epoch arithmetic, feedback bumps included: the
+    // database's own counter must close the ledger to the bump.
+    let fb = db.feedback_stats();
+    let expected_epoch =
+        epoch_start + total_inserts + chaos_refreshes + chaos_bumps + fb.epoch_bumps;
+    assert_eq!(
+        db.epoch(),
+        expected_epoch,
+        "epoch bumps were lost or double-counted (feedback bumps: {})",
+        fb.epoch_bumps
+    );
+
+    // (3) Feedback really ran, and no merge was torn: every cell is a
+    // valid smoothed selectivity.
+    assert!(fb.applications > 0, "no feedback was applied");
+    assert!(fb.applications <= total_successes);
+    assert!(fb.observations >= fb.applications);
+    let snap = db.snapshot();
+    let memory = snap.catalog().feedback();
+    assert_eq!(memory.len() as u64, fb.cells);
+    assert!(fb.cells > 0, "memory stayed empty");
+    for (key, cell) in memory.iter() {
+        assert!(
+            cell.sel.is_finite() && cell.sel > 0.0 && cell.sel <= 1.0,
+            "torn selectivity cell {key:?}: {cell:?}"
+        );
+        assert!(cell.n >= 1, "cell {key:?} merged zero observations");
+    }
+
+    // (4) Admission ledger still closes.
+    let a = server.admission().stats();
+    assert_eq!(a.admitted_full + a.admitted_degraded, total_admissions);
+    assert_eq!(a.in_flight, 0, "tickets leaked");
 }

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use crate::feedback::SelectivityMemory;
 use crate::ids::{AttrId, TableId};
 
 /// Column data types (deliberately small; what the execution engine
@@ -120,6 +121,7 @@ pub struct Catalog {
     tables: Vec<TableDef>,
     by_name: HashMap<String, TableId>,
     next_attr: u32,
+    feedback: SelectivityMemory,
 }
 
 impl Catalog {
@@ -229,6 +231,20 @@ impl Catalog {
     /// All registered tables.
     pub fn tables(&self) -> &[TableDef] {
         &self.tables
+    }
+
+    /// The catalog's selectivity memory (observed per-term / per-join-pair
+    /// selectivities harvested from executed plans). Empty by default, in
+    /// which case every estimator falls back to the System R formulas
+    /// bit-identically.
+    pub fn feedback(&self) -> &SelectivityMemory {
+        &self.feedback
+    }
+
+    /// Mutable access to the selectivity memory (feedback application and
+    /// persistence restore).
+    pub fn feedback_mut(&mut self) -> &mut SelectivityMemory {
+        &mut self.feedback
     }
 
     /// Resolve an attribute id back to `(table, column)` names, for

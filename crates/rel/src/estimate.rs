@@ -20,7 +20,7 @@ use crate::model::RelModelOptions;
 use crate::ops::{AggFunc, AggSpec};
 use crate::predicate::JoinPred;
 use crate::props::{ColInfo, RelLogical};
-use crate::selectivity::{join_selectivity, pred_selectivity};
+use crate::selectivity::{join_selectivity_with, pred_selectivity_with};
 use crate::RelPlan;
 
 fn table_logical(catalog: &Catalog, t: TableId) -> RelLogical {
@@ -42,11 +42,11 @@ fn table_logical(catalog: &Catalog, t: TableId) -> RelLogical {
     }
 }
 
-fn join(l: &RelLogical, r: &RelLogical, p: &JoinPred) -> RelLogical {
+fn join(catalog: &Catalog, l: &RelLogical, r: &RelLogical, p: &JoinPred) -> RelLogical {
     let mut cols: Vec<ColInfo> = l.cols.as_ref().clone();
     cols.extend(r.cols.iter().copied());
     RelLogical {
-        card: l.card * r.card * join_selectivity(p, l, r),
+        card: l.card * r.card * join_selectivity_with(p, l, r, catalog.feedback()),
         cols: Arc::new(cols),
     }
 }
@@ -68,14 +68,14 @@ fn logical_from_inputs(catalog: &Catalog, alg: &RelAlg, inputs: &[RelLogical]) -
         RelAlg::FilterScan(t, pred) => {
             let base = table_logical(catalog, *t);
             RelLogical {
-                card: base.card * pred_selectivity(pred, &base),
+                card: base.card * pred_selectivity_with(pred, &base, catalog.feedback()),
                 cols: base.cols.clone(),
             }
         }
         RelAlg::Filter(pred) => {
             let input = &inputs[0];
             RelLogical {
-                card: input.card * pred_selectivity(pred, input),
+                card: input.card * pred_selectivity_with(pred, input, catalog.feedback()),
                 cols: input.cols.clone(),
             }
         }
@@ -96,11 +96,11 @@ fn logical_from_inputs(catalog: &Catalog, alg: &RelAlg, inputs: &[RelLogical]) -
             }
         }
         RelAlg::MergeJoin(p) | RelAlg::HybridHashJoin(p) | RelAlg::NestedLoops(p) => {
-            join(&inputs[0], &inputs[1], p)
+            join(catalog, &inputs[0], &inputs[1], p)
         }
         RelAlg::MultiWayHashJoin { inner, outer } => {
-            let ab = join(&inputs[0], &inputs[1], inner);
-            join(&ab, &inputs[2], outer)
+            let ab = join(catalog, &inputs[0], &inputs[1], inner);
+            join(catalog, &ab, &inputs[2], outer)
         }
         RelAlg::MergeUnion | RelAlg::HashUnion => RelLogical {
             card: inputs[0].card + inputs[1].card,
@@ -310,7 +310,7 @@ fn plan_cost_rec(
             formulas::nested_loops(&inputs[0], &inputs[1], &out, p.pairs().len())
         }
         RelAlg::MultiWayHashJoin { inner, .. } => {
-            let mid = join(&inputs[0], &inputs[1], inner);
+            let mid = join(catalog, &inputs[0], &inputs[1], inner);
             formulas::multiway_hash_join(&inputs[0], &inputs[1], &inputs[2], &mid, &out)
         }
         RelAlg::MergeUnion | RelAlg::MergeIntersect | RelAlg::MergeDifference => {

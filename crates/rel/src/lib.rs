@@ -36,6 +36,7 @@ pub mod catalog;
 pub mod cost;
 pub mod estimate;
 pub mod explain;
+pub mod feedback;
 pub mod ids;
 pub mod model;
 pub mod ops;
@@ -51,6 +52,10 @@ pub use catalog::{Catalog, ColumnDef, TableDef};
 pub use cost::RelCost;
 pub use estimate::{estimated_logical, estimated_plan_cost, estimated_rows};
 pub use explain::{explain_expr, explain_plan};
+pub use feedback::{
+    geometric_share, join_observations, join_pair_key, observations, pred_observations, term_key,
+    Observation, ObservationKey, SelectivityMemory,
+};
 pub use ids::{AttrId, TableId};
 pub use model::{JoinSpace, RelModel, RelModelOptions};
 pub use ops::{AggFunc, AggSpec, RelOp};

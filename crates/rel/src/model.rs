@@ -19,7 +19,7 @@ use crate::rules::transform::{
     SelectPushdown, SetOpAssoc, SetOpCommute,
 };
 use crate::rules::{GatherEnforcer, SortEnforcer};
-use crate::selectivity::{join_selectivity, pred_selectivity};
+use crate::selectivity::{join_selectivity_with, pred_selectivity_with};
 
 /// Which join orders the transformation rules enumerate — Starburst's
 /// search-space parameter (§5), expressed Volcano-style as a rule-set
@@ -273,7 +273,7 @@ impl Model for RelModel {
             RelOp::Select(p) => {
                 let input = inputs[0];
                 RelLogical {
-                    card: input.card * pred_selectivity(p, input),
+                    card: input.card * pred_selectivity_with(p, input, self.catalog.feedback()),
                     cols: input.cols.clone(),
                 }
             }
@@ -298,7 +298,7 @@ impl Model for RelModel {
                 let mut cols: Vec<ColInfo> = l.cols.as_ref().clone();
                 cols.extend(r.cols.iter().copied());
                 RelLogical {
-                    card: l.card * r.card * join_selectivity(p, l, r),
+                    card: l.card * r.card * join_selectivity_with(p, l, r, self.catalog.feedback()),
                     cols: Arc::new(cols),
                 }
             }

@@ -9,6 +9,7 @@
 //! [`crate::props`] for why that keeps logical properties
 //! derivation-invariant) and clamp to `[MIN_SELECTIVITY, 1]`.
 
+use crate::feedback::{join_pair_key, term_key, SelectivityMemory};
 use crate::predicate::{Cmp, CmpOp, JoinPred, Pred};
 use crate::props::RelLogical;
 
@@ -53,6 +54,53 @@ pub fn join_selectivity(pred: &JoinPred, left: &RelLogical, right: &RelLogical) 
                 let dl = left.distinct(l).max(1.0);
                 let dr = right.distinct(r).max(1.0);
                 1.0 / dl.max(dr)
+            })
+            .product(),
+    )
+}
+
+/// [`cmp_selectivity`], consulting the selectivity memory first: an
+/// observed value for this term's key wins over the System R formula.
+/// With an empty memory every lookup misses and the result is the exact
+/// same floating-point expression as the static estimator.
+pub fn cmp_selectivity_with(cmp: &Cmp, input: &RelLogical, memory: &SelectivityMemory) -> f64 {
+    match memory.lookup(&term_key(cmp)) {
+        Some(s) => clamp(s),
+        None => cmp_selectivity(cmp, input),
+    }
+}
+
+/// [`pred_selectivity`] with per-term memory lookups (see
+/// [`cmp_selectivity_with`]); terms without observations keep their
+/// static estimates inside the same independence product.
+pub fn pred_selectivity_with(pred: &Pred, input: &RelLogical, memory: &SelectivityMemory) -> f64 {
+    clamp(
+        pred.terms()
+            .iter()
+            .map(|c| cmp_selectivity_with(c, input, memory))
+            .product(),
+    )
+}
+
+/// [`join_selectivity`] with per-pair memory lookups; pairs without
+/// observations keep the `1/max(d_l, d_r)` estimate inside the same
+/// product.
+pub fn join_selectivity_with(
+    pred: &JoinPred,
+    left: &RelLogical,
+    right: &RelLogical,
+    memory: &SelectivityMemory,
+) -> f64 {
+    clamp(
+        pred.pairs()
+            .iter()
+            .map(|&(l, r)| match memory.lookup(&join_pair_key(l, r)) {
+                Some(s) => clamp(s),
+                None => {
+                    let dl = left.distinct(l).max(1.0);
+                    let dr = right.distinct(r).max(1.0);
+                    1.0 / dl.max(dr)
+                }
             })
             .product(),
     )

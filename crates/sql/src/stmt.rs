@@ -150,6 +150,11 @@ pub enum Statement {
     },
     /// `SET PLAN_CACHE ON | OFF | <capacity>`.
     SetPlanCache(PlanCacheSetting),
+    /// `SET FEEDBACK ON | OFF`: harvest actual cardinalities from
+    /// executions into the optimizer's selectivity memory, so cached
+    /// plans that estimates got wrong are re-optimized under observed
+    /// statistics.
+    SetFeedback(bool),
     /// `PREPARE name AS <query>`: parameterize and remember a statement
     /// under a name for later `EXECUTE`.
     Prepare {
@@ -462,6 +467,14 @@ fn parse_set(input: &str) -> Result<Statement, ParseError> {
         };
         return Ok(Statement::SetPlanCache(setting));
     }
+    if matches!(toks.get(1), Some(t) if t.is_kw("feedback")) {
+        let on = match toks.as_slice() {
+            [_, _, t] if t.is_kw("on") => true,
+            [_, _, t] if t.is_kw("off") => false,
+            _ => return Err(unexpected("SET FEEDBACK <ON|OFF>", toks.get(2).cloned())),
+        };
+        return Ok(Statement::SetFeedback(on));
+    }
     match toks.as_slice() {
         [s, c, l, Token::Int(n)]
             if s.is_kw("set") && c.is_kw("cost") && l.is_kw("limit") && *n >= 0 =>
@@ -727,6 +740,21 @@ mod tests {
         );
         assert!(parse_statement("SET PLAN_CACHE 0").is_err());
         assert!(parse_statement("SET PLAN_CACHE maybe").is_err());
+    }
+
+    #[test]
+    fn set_feedback() {
+        assert_eq!(
+            parse_statement("SET FEEDBACK ON").unwrap(),
+            Statement::SetFeedback(true)
+        );
+        assert_eq!(
+            parse_statement("set feedback off").unwrap(),
+            Statement::SetFeedback(false)
+        );
+        assert!(parse_statement("SET FEEDBACK").is_err());
+        assert!(parse_statement("SET FEEDBACK maybe").is_err());
+        assert!(parse_statement("SET FEEDBACK 1").is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod btree;
 pub mod buffer;
 pub mod disk;
 pub mod heap;
+pub mod meta;
 pub mod page;
 pub mod record;
 
@@ -24,4 +25,5 @@ pub use btree::BTree;
 pub use buffer::BufferPool;
 pub use disk::{DiskManager, DiskStats, FileDisk, LatencyDisk, MemDisk};
 pub use heap::{HeapFile, RecordId};
+pub use meta::MetaEntry;
 pub use page::{Page, PageId, PAGE_SIZE};

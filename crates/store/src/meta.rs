@@ -1,0 +1,133 @@
+//! A tiny self-describing codec for catalog side-metadata.
+//!
+//! The optimizer's adaptive feedback loop (see `volcano-rel`'s
+//! `feedback` module) accumulates observed selectivities that are worth
+//! keeping across restarts — they were paid for with real executions.
+//! The storage crate cannot depend on the relational model, so the
+//! codec is model-agnostic: a flat list of `(tag, key, f64, u64)`
+//! entries with a magic number and a version byte. The relational layer
+//! maps its `ObservationKey`/`SelEntry` cells onto entries; any other
+//! layer could persist its own tagged statistics the same way.
+
+/// One persisted metadata entry: a tagged 64-bit key with a float and a
+/// counter payload (for selectivity memory: the smoothed selectivity and
+/// the observation count).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetaEntry {
+    /// Namespace tag (the producer's discriminant; selectivity memory
+    /// uses 0 = predicate term, 1 = join pair).
+    pub tag: u8,
+    /// Opaque 64-bit key.
+    pub key: u64,
+    /// Float payload.
+    pub value: f64,
+    /// Counter payload.
+    pub count: u64,
+}
+
+const MAGIC: u32 = 0x564d_4554; // "VMET"
+const VERSION: u8 = 1;
+const HEADER: usize = 4 + 1 + 4; // magic + version + entry count
+const ENTRY: usize = 1 + 8 + 8 + 8; // tag + key + value + count
+
+/// Serialize entries into a self-describing byte buffer.
+pub fn encode(entries: &[MetaEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER + entries.len() * ENTRY);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        out.push(e.tag);
+        out.extend_from_slice(&e.key.to_le_bytes());
+        out.extend_from_slice(&e.value.to_bits().to_le_bytes());
+        out.extend_from_slice(&e.count.to_le_bytes());
+    }
+    out
+}
+
+/// Deserialize a buffer produced by [`encode`]. Returns `None` on a bad
+/// magic number, an unknown version, or a truncated buffer — callers
+/// treat that as "no persisted metadata" rather than an error, so a
+/// corrupt sidecar degrades to a cold start.
+pub fn decode(bytes: &[u8]) -> Option<Vec<MetaEntry>> {
+    if bytes.len() < HEADER {
+        return None;
+    }
+    if bytes[0..4] != MAGIC.to_le_bytes() || bytes[4] != VERSION {
+        return None;
+    }
+    let count = u32::from_le_bytes(bytes[5..9].try_into().ok()?) as usize;
+    if bytes.len() != HEADER + count * ENTRY {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut at = HEADER;
+    for _ in 0..count {
+        let tag = bytes[at];
+        let key = u64::from_le_bytes(bytes[at + 1..at + 9].try_into().ok()?);
+        let value = f64::from_bits(u64::from_le_bytes(bytes[at + 9..at + 17].try_into().ok()?));
+        let count = u64::from_le_bytes(bytes[at + 17..at + 25].try_into().ok()?);
+        out.push(MetaEntry {
+            tag,
+            key,
+            value,
+            count,
+        });
+        at += ENTRY;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let entries = vec![
+            MetaEntry {
+                tag: 0,
+                key: 0xdead_beef,
+                value: 0.125,
+                count: 7,
+            },
+            MetaEntry {
+                tag: 1,
+                key: u64::MAX,
+                value: 1e-9,
+                count: 1,
+            },
+        ];
+        assert_eq!(decode(&encode(&entries)), Some(entries));
+        assert_eq!(decode(&encode(&[])), Some(vec![]));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode(b""), None);
+        assert_eq!(decode(b"not metadata at all"), None);
+        let mut buf = encode(&[MetaEntry {
+            tag: 0,
+            key: 1,
+            value: 0.5,
+            count: 2,
+        }]);
+        buf.truncate(buf.len() - 1); // torn write
+        assert_eq!(decode(&buf), None);
+        let mut wrong_version = encode(&[]);
+        wrong_version[4] = 99;
+        assert_eq!(decode(&wrong_version), None);
+    }
+
+    #[test]
+    fn float_payloads_are_bit_exact() {
+        let e = MetaEntry {
+            tag: 1,
+            key: 42,
+            value: 0.1 + 0.2, // not representable "nicely"
+            count: 3,
+        };
+        let back = decode(&encode(&[e])).unwrap();
+        assert_eq!(back[0].value.to_bits(), e.value.to_bits());
+    }
+}

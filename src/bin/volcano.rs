@@ -14,7 +14,8 @@
 //! `cargo run --bin volcano -- script.sql`.
 //!
 //! The shell is one [`Session`] of the serving layer: `SET EXECUTOR`,
-//! `SET BUDGET`, and `SET PLAN_CACHE` are session state, and `PREPARE`
+//! `SET BUDGET`, `SET PLAN_CACHE`, and `SET FEEDBACK` are session
+//! state, and `PREPARE`
 //! / `EXECUTE` go through the session (and so through admission
 //! control, like any other client of the shared database).
 
@@ -282,10 +283,11 @@ impl Shell {
                     // object.
                     println!("-- json --");
                     println!(
-                        "{{\"analyze\":{},\"search\":{},\"plan_cache\":{}}}",
+                        "{{\"analyze\":{},\"search\":{},\"plan_cache\":{},\"feedback\":{}}}",
                         analyzed.to_json(),
                         stats_json,
-                        db.plan_cache().stats().to_json()
+                        db.plan_cache().stats().to_json(),
+                        db.feedback_stats().to_json()
                     );
                 }
                 Ok(())
@@ -357,6 +359,15 @@ impl Shell {
                         self.session().set_plan_cache(true);
                         println!("plan cache on (capacity {})", db.plan_cache().capacity());
                     }
+                }
+                Ok(())
+            }
+            Statement::SetFeedback(on) => {
+                self.session().set_feedback(on);
+                if on {
+                    println!("feedback on (adaptive re-optimization)");
+                } else {
+                    println!("feedback off");
                 }
                 Ok(())
             }
